@@ -1,0 +1,57 @@
+//! Errors surfaced by the restricted access interface.
+
+use std::fmt;
+use wnw_graph::NodeId;
+
+/// Errors a sampler can hit while talking to the (simulated) social network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessError {
+    /// The node id is not a user of the network.
+    UnknownNode(NodeId),
+    /// The query budget configured for this session is exhausted.
+    ///
+    /// Experiments use this to stop samplers exactly at a query-cost grid
+    /// point; callers are expected to treat it as a normal termination signal.
+    BudgetExhausted {
+        /// The budget that was configured.
+        budget: u64,
+    },
+    /// The requested attribute is not exposed by the network.
+    UnknownAttribute(String),
+    /// The rate limiter rejected the call (only produced when the limiter is
+    /// configured to reject rather than to account for waiting time).
+    RateLimited {
+        /// How many simulated seconds the caller would have to wait.
+        retry_after_secs: u64,
+    },
+}
+
+impl fmt::Display for AccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessError::UnknownNode(v) => write!(f, "unknown node {v}"),
+            AccessError::BudgetExhausted { budget } => {
+                write!(f, "query budget of {budget} exhausted")
+            }
+            AccessError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            AccessError::RateLimited { retry_after_secs } => {
+                write!(f, "rate limited; retry after {retry_after_secs}s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AccessError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(AccessError::UnknownNode(NodeId(3)).to_string().contains('3'));
+        assert!(AccessError::BudgetExhausted { budget: 100 }.to_string().contains("100"));
+        assert!(AccessError::UnknownAttribute("stars".into()).to_string().contains("stars"));
+        assert!(AccessError::RateLimited { retry_after_secs: 60 }.to_string().contains("60"));
+    }
+}

@@ -1,0 +1,45 @@
+//! # wnw-access
+//!
+//! The restricted access layer of the reproduction of *"Walk, Not Wait"*
+//! (Nazi et al., VLDB 2015).
+//!
+//! The whole premise of the paper is that a third party can only see an
+//! online social network through a **local-neighborhood query interface**:
+//! given a user `v`, the service returns `N(v)` — and every such access
+//! counts against a query budget (rate limits, API quotas). This crate makes
+//! that constraint explicit in the type system:
+//!
+//! * [`SocialNetwork`] — the only view samplers get of a graph: `neighbors`,
+//!   `degree`, and per-node attribute reads, all of which are metered;
+//! * [`QueryCounter`] — unique-node query accounting (the paper's query-cost
+//!   measure) plus raw API-call counts;
+//! * [`SimulatedOsn`] — wraps a [`wnw_graph::Graph`] behind the interface,
+//!   with a neighbor cache, optional [`NeighborRestriction`]s (Section 6.3:
+//!   random-k, fixed-k, truncated neighbor lists with bidirectional-edge
+//!   checking), and an optional [`RateLimiter`];
+//! * [`QueryBudget`] / [`AccessError`] — hard budget enforcement so
+//!   experiments can ask "what does each sampler deliver for X queries?".
+//!
+//! Samplers in `wnw-mcmc` and `wnw-core` are written against the trait, so
+//! swapping a simulated graph for a live crawler is a matter of implementing
+//! [`SocialNetwork`] once.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod error;
+pub mod interface;
+pub mod rate_limit;
+pub mod restrictions;
+pub mod simulated;
+
+pub use counter::{QueryBudget, QueryCounter, QueryStats};
+pub use error::AccessError;
+pub use interface::SocialNetwork;
+pub use rate_limit::{RateLimitPolicy, RateLimiter};
+pub use restrictions::NeighborRestriction;
+pub use simulated::SimulatedOsn;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, AccessError>;

@@ -1,0 +1,165 @@
+//! Simulated API rate limits.
+//!
+//! The paper motivates query-cost minimisation with services like Twitter
+//! that allow only "15 API requests every 15 minutes" (Section 1.1) and notes
+//! that rate limits are an orthogonal engineering concern (Section 6.3.1).
+//! The simulator models them anyway so the *time* cost of a sampling run can
+//! be reported alongside the query cost: a [`RateLimiter`] advances a
+//! simulated clock instead of sleeping, which keeps experiments fast while
+//! still exposing "how long would this crawl have taken against the real
+//! API?".
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// A fixed-window rate-limit policy: at most `requests_per_window` calls per
+/// `window_secs` of (simulated) wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RateLimitPolicy {
+    /// Maximum number of API calls per window.
+    pub requests_per_window: u64,
+    /// Window length in seconds.
+    pub window_secs: u64,
+}
+
+impl RateLimitPolicy {
+    /// Twitter's follower-id endpoint at the time of the paper:
+    /// 15 requests every 15 minutes.
+    pub const TWITTER_FOLLOWER_IDS: RateLimitPolicy =
+        RateLimitPolicy { requests_per_window: 15, window_secs: 15 * 60 };
+
+    /// A practically unlimited policy (useful as a default).
+    pub const UNLIMITED: RateLimitPolicy =
+        RateLimitPolicy { requests_per_window: u64::MAX, window_secs: 1 };
+}
+
+/// Tracks simulated elapsed time under a [`RateLimitPolicy`].
+///
+/// Each [`RateLimiter::record_call`] consumes one request slot; when the
+/// window is full the simulated clock jumps to the start of the next window.
+#[derive(Debug)]
+pub struct RateLimiter {
+    policy: RateLimitPolicy,
+    state: Mutex<LimiterState>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct LimiterState {
+    /// Simulated seconds since the crawl started.
+    now_secs: u64,
+    /// Start of the current window.
+    window_start: u64,
+    /// Calls already made in the current window.
+    calls_in_window: u64,
+    /// Total simulated seconds spent *waiting* on rate limits.
+    waited_secs: u64,
+    /// Total calls recorded.
+    total_calls: u64,
+}
+
+impl RateLimiter {
+    /// Creates a limiter with the given policy, starting at simulated time 0.
+    pub fn new(policy: RateLimitPolicy) -> Self {
+        RateLimiter { policy, state: Mutex::new(LimiterState::default()) }
+    }
+
+    /// Records one API call, advancing the simulated clock if the window is
+    /// exhausted. Returns the number of seconds "waited" by this call.
+    pub fn record_call(&self) -> u64 {
+        let mut s = self.state.lock();
+        s.total_calls += 1;
+        if self.policy.requests_per_window == u64::MAX {
+            return 0;
+        }
+        if s.calls_in_window >= self.policy.requests_per_window {
+            // Jump to the next window.
+            let next_window = s.window_start + self.policy.window_secs;
+            let wait = next_window.saturating_sub(s.now_secs);
+            s.now_secs = next_window;
+            s.window_start = next_window;
+            s.calls_in_window = 0;
+            s.waited_secs += wait;
+            s.calls_in_window += 1;
+            wait
+        } else {
+            s.calls_in_window += 1;
+            0
+        }
+    }
+
+    /// Total simulated time elapsed, in seconds.
+    pub fn elapsed_secs(&self) -> u64 {
+        self.state.lock().now_secs
+    }
+
+    /// Total simulated time spent waiting on the limiter, in seconds.
+    pub fn waited_secs(&self) -> u64 {
+        self.state.lock().waited_secs
+    }
+
+    /// Total calls recorded.
+    pub fn total_calls(&self) -> u64 {
+        self.state.lock().total_calls
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> RateLimitPolicy {
+        self.policy
+    }
+
+    /// Resets the simulated clock and counters.
+    pub fn reset(&self) {
+        *self.state.lock() = LimiterState::default();
+    }
+}
+
+impl Default for RateLimiter {
+    fn default() -> Self {
+        RateLimiter::new(RateLimitPolicy::UNLIMITED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_policy_never_waits() {
+        let rl = RateLimiter::default();
+        for _ in 0..1000 {
+            assert_eq!(rl.record_call(), 0);
+        }
+        assert_eq!(rl.waited_secs(), 0);
+        assert_eq!(rl.total_calls(), 1000);
+    }
+
+    #[test]
+    fn twitter_policy_waits_once_per_window() {
+        let rl = RateLimiter::new(RateLimitPolicy::TWITTER_FOLLOWER_IDS);
+        // First 15 calls are free.
+        for _ in 0..15 {
+            assert_eq!(rl.record_call(), 0);
+        }
+        // The 16th call rolls into the next window: 900 seconds of waiting.
+        assert_eq!(rl.record_call(), 900);
+        assert_eq!(rl.elapsed_secs(), 900);
+        assert_eq!(rl.waited_secs(), 900);
+        // 14 more calls fit in that window before waiting again.
+        for _ in 0..14 {
+            assert_eq!(rl.record_call(), 0);
+        }
+        assert_eq!(rl.record_call(), 900);
+        assert_eq!(rl.elapsed_secs(), 1800);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let rl = RateLimiter::new(RateLimitPolicy { requests_per_window: 1, window_secs: 10 });
+        rl.record_call();
+        rl.record_call();
+        assert!(rl.elapsed_secs() > 0);
+        rl.reset();
+        assert_eq!(rl.elapsed_secs(), 0);
+        assert_eq!(rl.total_calls(), 0);
+    }
+}

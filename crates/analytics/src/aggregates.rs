@@ -1,0 +1,237 @@
+//! AVG-aggregate estimation from node samples.
+//!
+//! The paper measures sample quality indirectly: use the sample to estimate
+//! an AVG aggregate (average degree, average stars, average shortest-path
+//! length, average clustering coefficient, average self-description length)
+//! and report the relative error against the exact population value
+//! (Sections 2.4 and 7.1). Two weighting schemes are needed:
+//!
+//! * **uniform samples** (MHRW target, or WE targeting uniform) — the plain
+//!   arithmetic mean is unbiased;
+//! * **degree-proportional samples** (SRW target, or WE targeting SRW's
+//!   stationary distribution) — each observation must be re-weighted by
+//!   `1/d(v)`; for the special case of estimating the *average degree* this
+//!   collapses to the harmonic mean of sampled degrees, which is exactly what
+//!   the paper uses ("arithmetic and harmonic mean for the uniform and
+//!   non-uniform samples respectively").
+
+use crate::stats;
+use serde::{Deserialize, Serialize};
+use wnw_graph::NodeId;
+
+/// One sampled node together with the measured attribute value and the
+/// node's degree (needed for importance re-weighting).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SampleValue {
+    /// The sampled node.
+    pub node: NodeId,
+    /// The attribute value measured at the node (its degree, star rating,
+    /// clustering coefficient, ...).
+    pub value: f64,
+    /// The node's degree, used as the sampling weight under
+    /// degree-proportional sampling.
+    pub degree: usize,
+}
+
+/// How sampled values must be weighted to form an unbiased population mean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WeightingScheme {
+    /// Samples were drawn (approximately) uniformly: plain arithmetic mean.
+    Uniform,
+    /// Samples were drawn with probability proportional to degree:
+    /// re-weight each observation by `1/degree` (Hansen–Hurwitz style
+    /// self-normalised importance sampling).
+    InverseDegree,
+}
+
+impl WeightingScheme {
+    /// The scheme matching a sampler's target distribution name, as used by
+    /// the experiment harness ("uniform" / "degree-proportional").
+    pub fn for_target_name(name: &str) -> WeightingScheme {
+        if name == "uniform" {
+            WeightingScheme::Uniform
+        } else {
+            WeightingScheme::InverseDegree
+        }
+    }
+}
+
+/// Estimates the population mean of the measured attribute from samples.
+///
+/// Returns 0.0 when no usable samples are provided (callers treat that as
+/// "no estimate yet"). Samples with degree 0 cannot occur under either
+/// sampling design on a connected graph and are skipped defensively.
+pub fn estimate_average(samples: &[SampleValue], scheme: WeightingScheme) -> f64 {
+    match scheme {
+        WeightingScheme::Uniform => {
+            let values: Vec<f64> = samples.iter().map(|s| s.value).collect();
+            stats::mean(&values)
+        }
+        WeightingScheme::InverseDegree => {
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for s in samples {
+                if s.degree == 0 {
+                    continue;
+                }
+                let w = 1.0 / s.degree as f64;
+                num += w * s.value;
+                den += w;
+            }
+            if den > 0.0 {
+                num / den
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+/// Convenience: estimate the average *degree* itself. Under
+/// [`WeightingScheme::InverseDegree`] this is the harmonic mean of sampled
+/// degrees, matching the paper's estimator for SRW samples.
+pub fn estimate_average_degree(samples: &[SampleValue], scheme: WeightingScheme) -> f64 {
+    match scheme {
+        WeightingScheme::Uniform => {
+            let degrees: Vec<f64> = samples.iter().map(|s| s.degree as f64).collect();
+            stats::mean(&degrees)
+        }
+        WeightingScheme::InverseDegree => {
+            let degrees: Vec<f64> = samples.iter().map(|s| s.degree as f64).collect();
+            stats::harmonic_mean(&degrees)
+        }
+    }
+}
+
+/// Relative error `|estimate − truth| / truth` (Section 7.1). Returns the
+/// absolute error if the truth is 0.
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    if truth.abs() < f64::EPSILON {
+        estimate.abs()
+    } else {
+        (estimate - truth).abs() / truth.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sv(node: u32, value: f64, degree: usize) -> SampleValue {
+        SampleValue { node: NodeId(node), value, degree }
+    }
+
+    #[test]
+    fn uniform_scheme_is_arithmetic_mean() {
+        let samples = [sv(0, 2.0, 5), sv(1, 4.0, 1), sv(2, 6.0, 9)];
+        assert_eq!(estimate_average(&samples, WeightingScheme::Uniform), 4.0);
+    }
+
+    #[test]
+    fn inverse_degree_scheme_reweights() {
+        // Two nodes with values 10 and 20, degrees 1 and 4: weights 1 and
+        // 0.25 => (10 + 5) / 1.25 = 12.
+        let samples = [sv(0, 10.0, 1), sv(1, 20.0, 4)];
+        assert!((estimate_average(&samples, WeightingScheme::InverseDegree) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_degree_is_harmonic_mean_under_srw() {
+        let samples = [sv(0, 0.0, 1), sv(1, 0.0, 2), sv(2, 0.0, 4)];
+        let expected = 3.0 / (1.0 + 0.5 + 0.25);
+        assert!(
+            (estimate_average_degree(&samples, WeightingScheme::InverseDegree) - expected).abs()
+                < 1e-12
+        );
+        assert!(
+            (estimate_average_degree(&samples, WeightingScheme::Uniform) - (7.0 / 3.0)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn empty_or_degenerate_samples_yield_zero() {
+        assert_eq!(estimate_average(&[], WeightingScheme::Uniform), 0.0);
+        assert_eq!(estimate_average(&[], WeightingScheme::InverseDegree), 0.0);
+        assert_eq!(estimate_average(&[sv(0, 5.0, 0)], WeightingScheme::InverseDegree), 0.0);
+    }
+
+    #[test]
+    fn relative_error_behaviour() {
+        assert_eq!(relative_error(11.0, 10.0), 0.1);
+        assert_eq!(relative_error(9.0, 10.0), 0.1);
+        assert_eq!(relative_error(3.0, 0.0), 3.0);
+        assert_eq!(relative_error(5.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn weighting_scheme_from_target_name() {
+        assert_eq!(WeightingScheme::for_target_name("uniform"), WeightingScheme::Uniform);
+        assert_eq!(
+            WeightingScheme::for_target_name("degree-proportional"),
+            WeightingScheme::InverseDegree
+        );
+    }
+
+    #[test]
+    fn importance_weighting_corrects_degree_bias() {
+        // Population: degrees 1..=10, attribute = degree. Draw 60k samples
+        // with probability proportional to degree; the inverse-degree
+        // estimator must recover the plain average 5.5 while the naive mean
+        // overestimates it.
+        let degrees: Vec<usize> = (1..=10).collect();
+        let total: usize = degrees.iter().sum();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut samples = Vec::new();
+        for _ in 0..60_000 {
+            let mut pick = rng.gen_range(0..total);
+            let mut chosen = degrees[0];
+            for &d in &degrees {
+                if pick < d {
+                    chosen = d;
+                    break;
+                }
+                pick -= d;
+            }
+            samples.push(sv(chosen as u32, chosen as f64, chosen));
+        }
+        let naive = estimate_average(&samples, WeightingScheme::Uniform);
+        let corrected = estimate_average(&samples, WeightingScheme::InverseDegree);
+        assert!(relative_error(corrected, 5.5) < 0.05, "corrected {corrected}");
+        assert!(naive > 6.0, "naive mean should over-count high degrees: {naive}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_uniform_estimate_is_bounded_by_sample_values(
+            values in proptest::collection::vec(0.0f64..1e3, 1..50)
+        ) {
+            let samples: Vec<SampleValue> =
+                values.iter().enumerate().map(|(i, &v)| sv(i as u32, v, 3)).collect();
+            let est = estimate_average(&samples, WeightingScheme::Uniform);
+            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9);
+        }
+
+        #[test]
+        fn prop_inverse_degree_estimate_is_bounded_by_sample_values(
+            pairs in proptest::collection::vec((0.0f64..1e3, 1usize..100), 1..50)
+        ) {
+            let samples: Vec<SampleValue> =
+                pairs.iter().enumerate().map(|(i, &(v, d))| sv(i as u32, v, d)).collect();
+            let est = estimate_average(&samples, WeightingScheme::InverseDegree);
+            let lo = pairs.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+            let hi = pairs.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9);
+        }
+
+        #[test]
+        fn prop_relative_error_nonnegative(est in -1e6f64..1e6, truth in -1e6f64..1e6) {
+            prop_assert!(relative_error(est, truth) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Exact sample-bias measurement (Figure 12 / Table 1).
+//!
+//! Sample bias is the distance between the *actual* sampling distribution of
+//! an algorithm and its target distribution. Measuring it exactly requires
+//! sampling each node many times, so the paper does it only on a small
+//! 1000-node scale-free graph: run the sampler with a huge budget, count how
+//! often each node appears, and compare the empirical distribution against
+//! the theoretical target with ℓ∞ and KL divergence (Table 1), plus
+//! degree-ordered PDF/CDF plots (Figure 12).
+
+use serde::{Deserialize, Serialize};
+use wnw_graph::{Graph, NodeId};
+
+/// An empirical sampling distribution built from repeated draws.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmpiricalDistribution {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl EmpiricalDistribution {
+    /// Creates an empty distribution over `node_count` nodes.
+    pub fn new(node_count: usize) -> Self {
+        EmpiricalDistribution { counts: vec![0; node_count], total: 0 }
+    }
+
+    /// Builds a distribution directly from a list of sampled nodes.
+    pub fn from_samples(node_count: usize, samples: &[NodeId]) -> Self {
+        let mut d = Self::new(node_count);
+        for &s in samples {
+            d.record(s);
+        }
+        d
+    }
+
+    /// Records one draw of node `v`.
+    pub fn record(&mut self, v: NodeId) {
+        self.counts[v.index()] += 1;
+        self.total += 1;
+    }
+
+    /// Number of draws recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of nodes that were never sampled.
+    pub fn unseen_nodes(&self) -> usize {
+        self.counts.iter().filter(|&&c| c == 0).count()
+    }
+
+    /// The empirical probability of node `v`.
+    pub fn probability(&self, v: NodeId) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[v.index()] as f64 / self.total as f64
+        }
+    }
+
+    /// The full probability vector.
+    pub fn probabilities(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+    }
+
+    /// ℓ∞ distance against a target probability vector.
+    pub fn linf_distance(&self, target: &[f64]) -> f64 {
+        assert_eq!(target.len(), self.counts.len());
+        self.probabilities()
+            .iter()
+            .zip(target)
+            .map(|(p, q)| (p - q).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Total-variation distance against a target probability vector.
+    pub fn total_variation_distance(&self, target: &[f64]) -> f64 {
+        assert_eq!(target.len(), self.counts.len());
+        0.5 * self
+            .probabilities()
+            .iter()
+            .zip(target)
+            .map(|(p, q)| (p - q).abs())
+            .sum::<f64>()
+    }
+
+    /// KL divergence `KL(target ‖ empirical)`, matching the direction the
+    /// paper reports ("Dist(Theoretical, SRW/WE)"): how badly the empirical
+    /// distribution explains the target. The empirical side is floored at
+    /// `1e-12` so never-sampled nodes yield a large-but-finite penalty.
+    pub fn kl_from_target(&self, target: &[f64]) -> f64 {
+        assert_eq!(target.len(), self.counts.len());
+        let emp = self.probabilities();
+        target
+            .iter()
+            .zip(&emp)
+            .filter(|(&t, _)| t > 0.0)
+            .map(|(&t, &e)| t * (t / e.max(1e-12)).ln())
+            .sum()
+    }
+}
+
+/// One point of the degree-ordered PDF/CDF series of Figure 12.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistributionPoint {
+    /// Rank of the node when ordered by degree, descending (0 = highest).
+    pub rank: usize,
+    /// The node id.
+    pub node: NodeId,
+    /// Node degree (the ordering key).
+    pub degree: usize,
+    /// Probability density at this node.
+    pub pdf: f64,
+    /// Cumulative probability up to and including this node.
+    pub cdf: f64,
+}
+
+/// Produces the Figure 12 series: nodes ordered by degree (descending), each
+/// with the PDF and CDF of the given probability vector.
+pub fn degree_ordered_series(graph: &Graph, probabilities: &[f64]) -> Vec<DistributionPoint> {
+    assert_eq!(probabilities.len(), graph.node_count());
+    let mut order: Vec<NodeId> = graph.nodes().collect();
+    order.sort_by(|&a, &b| {
+        graph
+            .degree(b)
+            .cmp(&graph.degree(a))
+            .then_with(|| a.cmp(&b))
+    });
+    let mut cdf = 0.0;
+    order
+        .into_iter()
+        .enumerate()
+        .map(|(rank, node)| {
+            let pdf = probabilities[node.index()];
+            cdf += pdf;
+            DistributionPoint { rank, node, degree: graph.degree(node), pdf, cdf }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use wnw_graph::generators::classic::star;
+    use wnw_graph::generators::random::barabasi_albert;
+
+    #[test]
+    fn counting_and_probabilities() {
+        let mut d = EmpiricalDistribution::new(3);
+        d.record(NodeId(0));
+        d.record(NodeId(0));
+        d.record(NodeId(2));
+        assert_eq!(d.total(), 3);
+        assert_eq!(d.unseen_nodes(), 1);
+        assert!((d.probability(NodeId(0)) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(d.probability(NodeId(1)), 0.0);
+        assert!((d.probabilities().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_samples_matches_manual_recording() {
+        let samples = vec![NodeId(1), NodeId(1), NodeId(0)];
+        let d = EmpiricalDistribution::from_samples(2, &samples);
+        assert_eq!(d.total(), 3);
+        assert!((d.probability(NodeId(1)) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distances_against_exact_match_are_zero() {
+        let mut d = EmpiricalDistribution::new(2);
+        d.record(NodeId(0));
+        d.record(NodeId(1));
+        let target = [0.5, 0.5];
+        assert!(d.linf_distance(&target) < 1e-12);
+        assert!(d.total_variation_distance(&target) < 1e-12);
+        assert!(d.kl_from_target(&target) < 1e-12);
+    }
+
+    #[test]
+    fn kl_penalises_unseen_nodes_but_stays_finite() {
+        let mut d = EmpiricalDistribution::new(2);
+        d.record(NodeId(0)); // node 1 never sampled
+        let target = [0.5, 0.5];
+        let kl = d.kl_from_target(&target);
+        assert!(kl > 1.0);
+        assert!(kl.is_finite());
+    }
+
+    #[test]
+    fn empty_distribution_is_all_zero() {
+        let d = EmpiricalDistribution::new(4);
+        assert_eq!(d.probabilities(), vec![0.0; 4]);
+        assert_eq!(d.unseen_nodes(), 4);
+        assert_eq!(d.probability(NodeId(2)), 0.0);
+    }
+
+    #[test]
+    fn degree_ordered_series_sorts_and_accumulates() {
+        let g = star(4); // node 0 degree 3, leaves degree 1
+        let probs = [0.4, 0.3, 0.2, 0.1];
+        let series = degree_ordered_series(&g, &probs);
+        assert_eq!(series.len(), 4);
+        assert_eq!(series[0].node, NodeId(0));
+        assert_eq!(series[0].degree, 3);
+        assert!((series[3].cdf - 1.0).abs() < 1e-12);
+        for w in series.windows(2) {
+            assert!(w[0].degree >= w[1].degree);
+            assert!(w[1].cdf >= w[0].cdf);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_probabilities_sum_to_one(
+            samples in proptest::collection::vec(0usize..20, 1..300)
+        ) {
+            let nodes: Vec<NodeId> = samples.iter().map(|&i| NodeId(i as u32)).collect();
+            let d = EmpiricalDistribution::from_samples(20, &nodes);
+            let sum: f64 = d.probabilities().iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_tv_le_linf_times_n(
+            samples in proptest::collection::vec(0usize..10, 1..200)
+        ) {
+            let nodes: Vec<NodeId> = samples.iter().map(|&i| NodeId(i as u32)).collect();
+            let d = EmpiricalDistribution::from_samples(10, &nodes);
+            let target = vec![0.1; 10];
+            let tv = d.total_variation_distance(&target);
+            let linf = d.linf_distance(&target);
+            prop_assert!(tv <= 10.0 * linf + 1e-9);
+            prop_assert!(linf <= 2.0 * tv + 1e-9);
+            prop_assert!(d.kl_from_target(&target) >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn series_on_ba_graph_has_descending_degree() {
+        let g = barabasi_albert(100, 3, 1).unwrap();
+        let pi: Vec<f64> = {
+            let total = 2.0 * g.edge_count() as f64;
+            g.nodes().map(|v| g.degree(v) as f64 / total).collect()
+        };
+        let series = degree_ordered_series(&g, &pi);
+        // Under the degree-proportional distribution the PDF must also be
+        // non-increasing along the series.
+        for w in series.windows(2) {
+            assert!(w[0].pdf >= w[1].pdf - 1e-12);
+        }
+    }
+}

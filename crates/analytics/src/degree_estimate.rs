@@ -1,0 +1,97 @@
+//! Mark-and-recapture degree estimation (Section 6.3.1, restriction type 1).
+//!
+//! When the service returns only `k` *random* neighbors per call, the length
+//! of one response no longer reveals a node's degree. The paper points out
+//! that the degree can still be estimated with mark-and-recapture: query the
+//! node twice, "mark" the first batch, count how many of the second batch are
+//! recaptures, and apply the Lincoln–Petersen estimator
+//!
+//! ```text
+//! d̂ = |batch₁| · |batch₂| / |batch₁ ∩ batch₂|
+//! ```
+//!
+//! (with the Chapman correction to tame the small-sample bias). With more
+//! than two batches the pairwise estimates are averaged.
+
+use std::collections::HashSet;
+use wnw_graph::NodeId;
+
+/// Lincoln–Petersen estimate with the Chapman correction:
+/// `d̂ = (n₁ + 1)(n₂ + 1)/(m + 1) − 1`, where `m` is the recapture count.
+pub fn lincoln_petersen(batch1: &[NodeId], batch2: &[NodeId]) -> f64 {
+    let set1: HashSet<NodeId> = batch1.iter().copied().collect();
+    let recaptured = batch2.iter().filter(|v| set1.contains(v)).count();
+    let n1 = set1.len() as f64;
+    let n2 = batch2.iter().copied().collect::<HashSet<_>>().len() as f64;
+    ((n1 + 1.0) * (n2 + 1.0) / (recaptured as f64 + 1.0)) - 1.0
+}
+
+/// Degree estimate from repeated invocations of a random-`k` neighbors API:
+/// the mean of Lincoln–Petersen estimates over consecutive batch pairs.
+/// Returns `None` with fewer than two batches.
+pub fn estimate_degree_from_batches(batches: &[Vec<NodeId>]) -> Option<f64> {
+    if batches.len() < 2 {
+        return None;
+    }
+    let mut estimates = Vec::with_capacity(batches.len() - 1);
+    for pair in batches.windows(2) {
+        estimates.push(lincoln_petersen(&pair[0], &pair[1]));
+    }
+    Some(estimates.iter().sum::<f64>() / estimates.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn random_batch(degree: u32, k: usize, rng: &mut StdRng) -> Vec<NodeId> {
+        let mut all: Vec<NodeId> = (0..degree).map(NodeId).collect();
+        all.shuffle(rng);
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn identical_batches_estimate_their_own_size() {
+        let batch: Vec<NodeId> = (0..10).map(NodeId).collect();
+        let est = lincoln_petersen(&batch, &batch);
+        assert!((est - 10.0).abs() < 1.0, "{est}");
+    }
+
+    #[test]
+    fn disjoint_batches_imply_a_large_population() {
+        let b1: Vec<NodeId> = (0..10).map(NodeId).collect();
+        let b2: Vec<NodeId> = (10..20).map(NodeId).collect();
+        let est = lincoln_petersen(&b1, &b2);
+        assert!(est > 50.0, "{est}");
+    }
+
+    #[test]
+    fn recaptures_recover_true_degree_approximately() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let degree = 200u32;
+        let k = 60;
+        let batches: Vec<Vec<NodeId>> =
+            (0..30).map(|_| random_batch(degree, k, &mut rng)).collect();
+        let est = estimate_degree_from_batches(&batches).unwrap();
+        let rel = (est - degree as f64).abs() / degree as f64;
+        assert!(rel < 0.15, "estimate {est} vs {degree}");
+    }
+
+    #[test]
+    fn too_few_batches_yield_none() {
+        assert!(estimate_degree_from_batches(&[]).is_none());
+        assert!(estimate_degree_from_batches(&[vec![NodeId(0)]]).is_none());
+    }
+
+    #[test]
+    fn small_k_still_produces_finite_estimates() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let batches: Vec<Vec<NodeId>> = (0..5).map(|_| random_batch(50, 3, &mut rng)).collect();
+        let est = estimate_degree_from_batches(&batches).unwrap();
+        assert!(est.is_finite() && est > 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Numeric special functions.
+//!
+//! Theorem 1 of the paper expresses the optimal short-walk length as
+//!
+//! ```text
+//! t_opt = −log(−(1/Γ)·W(−Γ/(e·d_max))·d_max) / log(1 − λ)
+//! ```
+//!
+//! where `W` is the Lambert W function. The argument `−Γ/(e·d_max)` lies in
+//! `(−1/e, 0)`, where W is two-valued: the principal branch `W₀` in `[−1, 0)`
+//! and the lower branch `W₋₁` in `(−∞, −1]`. Both are provided; the IDEAL-WALK
+//! analysis in `wnw-core` picks the branch that yields the cost-minimising
+//! (and positive) walk length.
+//!
+//! The implementation uses a standard initial guess followed by Halley
+//! iteration, accurate to ~1e-12 over the domains used here, with no external
+//! dependencies.
+
+/// Principal branch `W₀(x)` of the Lambert W function, defined for
+/// `x ≥ −1/e`. Returns `NaN` outside the domain.
+pub fn lambert_w0(x: f64) -> f64 {
+    if x.is_nan() || x < -1.0 / std::f64::consts::E {
+        return f64::NAN;
+    }
+    if x == 0.0 {
+        return 0.0;
+    }
+    // Initial guess by region: branch-point series for negative x, a
+    // logarithmic guess for moderate x, and the two-term asymptotic for
+    // large x (where ln(ln(x)) is well defined and accurate).
+    let mut w = if x < 0.0 {
+        let p = (2.0 * (1.0 + std::f64::consts::E * x)).max(0.0).sqrt();
+        -1.0 + p - p * p / 3.0 + 11.0 * p * p * p / 72.0
+    } else if x < 10.0 {
+        (1.0 + x).ln()
+    } else {
+        let l1 = x.ln();
+        let l2 = l1.ln();
+        l1 - l2 + l2 / l1
+    };
+    halley(x, &mut w);
+    w
+}
+
+/// Lower branch `W₋₁(x)` of the Lambert W function, defined for
+/// `x ∈ [−1/e, 0)`. Returns `NaN` outside the domain.
+pub fn lambert_w_minus1(x: f64) -> f64 {
+    if x.is_nan() || x < -1.0 / std::f64::consts::E || x >= 0.0 {
+        return f64::NAN;
+    }
+    // Initial guess: near the branch point use the same series with the
+    // negative square root; elsewhere use log-based asymptotics.
+    let p = (2.0 * (1.0 + std::f64::consts::E * x)).max(0.0).sqrt();
+    let mut w = if p < 0.5 {
+        -1.0 - p - p * p / 3.0 - 11.0 * p * p * p / 72.0
+    } else {
+        let l1 = (-x).ln();
+        let l2 = (-l1).ln();
+        l1 - l2 + l2 / l1
+    };
+    halley(x, &mut w);
+    w
+}
+
+/// Halley iteration for `w·e^w = x`.
+fn halley(x: f64, w: &mut f64) {
+    for _ in 0..60 {
+        let ew = w.exp();
+        let f = *w * ew - x;
+        if f.abs() < 1e-14 * (1.0 + x.abs()) {
+            break;
+        }
+        let wp1 = *w + 1.0;
+        let denom = ew * wp1 - (*w + 2.0) * f / (2.0 * wp1);
+        if denom == 0.0 || !denom.is_finite() {
+            break;
+        }
+        let delta = f / denom;
+        *w -= delta;
+        if delta.abs() < 1e-15 * (1.0 + w.abs()) {
+            break;
+        }
+    }
+}
+
+/// Numerically stable `log(1 + x)`-style helper: `log(x)` clamped so callers
+/// can take logs of probabilities that might round to exactly 0.
+pub fn safe_ln(x: f64, floor: f64) -> f64 {
+    x.max(floor).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::E;
+
+    fn check_inverse(w: f64, x: f64) {
+        assert!((w * w.exp() - x).abs() < 1e-9, "W({x}) = {w}: residual {}", w * w.exp() - x);
+    }
+
+    #[test]
+    fn principal_branch_known_values() {
+        assert_eq!(lambert_w0(0.0), 0.0);
+        assert!((lambert_w0(E) - 1.0).abs() < 1e-12);
+        assert!((lambert_w0(1.0) - 0.567_143_290_409_78).abs() < 1e-9);
+        assert!((lambert_w0(-1.0 / E) - (-1.0)).abs() < 1e-5);
+        for &x in &[-0.3, -0.1, -0.01, 0.5, 2.0, 10.0, 1e3, 1e6] {
+            check_inverse(lambert_w0(x), x);
+        }
+    }
+
+    #[test]
+    fn lower_branch_known_values() {
+        // W₋₁(−1/e) = −1.
+        assert!((lambert_w_minus1(-1.0 / E) - (-1.0)).abs() < 1e-5);
+        // W₋₁(−0.1) ≈ −3.577152.
+        assert!((lambert_w_minus1(-0.1) - (-3.577_152_063_957_297)).abs() < 1e-8);
+        for &x in &[-0.367, -0.3, -0.2, -0.05, -1e-3, -1e-6] {
+            let w = lambert_w_minus1(x);
+            assert!(w <= -1.0);
+            check_inverse(w, x);
+        }
+    }
+
+    #[test]
+    fn branches_bracket_the_branch_point() {
+        // On (−1/e, 0): W₀ ∈ (−1, 0) and W₋₁ < −1.
+        for &x in &[-0.35, -0.2, -0.05] {
+            let w0 = lambert_w0(x);
+            let wm1 = lambert_w_minus1(x);
+            assert!(w0 > -1.0 && w0 < 0.0, "W0({x}) = {w0}");
+            assert!(wm1 < -1.0, "Wm1({x}) = {wm1}");
+        }
+    }
+
+    #[test]
+    fn out_of_domain_is_nan() {
+        assert!(lambert_w0(-1.0).is_nan());
+        assert!(lambert_w_minus1(0.5).is_nan());
+        assert!(lambert_w_minus1(-1.0).is_nan());
+        assert!(lambert_w0(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn safe_ln_floors() {
+        assert_eq!(safe_ln(0.0, 1e-12), (1e-12f64).ln());
+        assert_eq!(safe_ln(2.0, 1e-12), 2.0f64.ln());
+    }
+}

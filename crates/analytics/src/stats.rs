@@ -1,0 +1,215 @@
+//! Basic statistics used across the estimators and experiment harness.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population variance; 0.0 for slices with fewer than two elements.
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(values: &[f64]) -> f64 {
+    variance(values).sqrt()
+}
+
+/// Harmonic mean of strictly positive values; 0.0 for an empty slice or if
+/// any value is ≤ 0 (the harmonic mean is undefined there, and the callers —
+/// importance-weighted estimators — treat that as "no estimate").
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return 0.0;
+    }
+    let denom: f64 = values.iter().map(|v| 1.0 / v).sum();
+    values.len() as f64 / denom
+}
+
+/// Weighted arithmetic mean `Σ wᵢ·xᵢ / Σ wᵢ`; 0.0 if the weights sum to 0.
+pub fn weighted_mean(values: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(values.len(), weights.len(), "values and weights must align");
+    let wsum: f64 = weights.iter().sum();
+    if wsum <= 0.0 {
+        return 0.0;
+    }
+    values.iter().zip(weights).map(|(v, w)| v * w).sum::<f64>() / wsum
+}
+
+/// The `pct`-th percentile (0–100) using nearest-rank interpolation on a
+/// copy of the data; 0.0 for an empty slice.
+pub fn percentile(values: &[f64], pct: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered"));
+    let pct = pct.clamp(0.0, 100.0);
+    let idx = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx]
+}
+
+/// Mean and population variance in a single pass (Welford's algorithm),
+/// handy for the ESTIMATE step's per-node variance bookkeeping.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = value - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Current mean (0.0 with no observations).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Current population variance (0.0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Standard error of the mean: `sqrt(variance / count)`.
+    pub fn standard_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.variance() / self.count as f64).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_statistics() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&v), 2.5);
+        assert!((variance(&v) - 1.25).abs() < 1e-12);
+        assert!((std_dev(&v) - 1.25f64.sqrt()).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn harmonic_mean_known_values() {
+        assert!((harmonic_mean(&[1.0, 2.0, 4.0]) - 12.0 / 7.0).abs() < 1e-12);
+        assert_eq!(harmonic_mean(&[]), 0.0);
+        assert_eq!(harmonic_mean(&[1.0, 0.0]), 0.0);
+        assert_eq!(harmonic_mean(&[1.0, -2.0]), 0.0);
+    }
+
+    #[test]
+    fn weighted_mean_matches_manual() {
+        assert!((weighted_mean(&[1.0, 3.0], &[1.0, 3.0]) - 2.5).abs() < 1e-12);
+        assert_eq!(weighted_mean(&[1.0, 3.0], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "values and weights must align")]
+    fn weighted_mean_length_mismatch_panics() {
+        weighted_mean(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        let p10 = percentile(&v, 10.0);
+        assert!((10.0..=12.0).contains(&p10));
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[f64::NAN], 50.0), 0.0);
+    }
+
+    #[test]
+    fn running_stats_match_batch() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut rs = RunningStats::new();
+        for &x in &v {
+            rs.push(x);
+        }
+        assert_eq!(rs.count(), 8);
+        assert!((rs.mean() - mean(&v)).abs() < 1e-12);
+        assert!((rs.variance() - variance(&v)).abs() < 1e-12);
+        assert!(rs.standard_error() > 0.0);
+        assert_eq!(RunningStats::new().mean(), 0.0);
+        assert_eq!(RunningStats::new().standard_error(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mean_within_bounds(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let m = mean(&values);
+            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= lo - 1e-6 && m <= hi + 1e-6);
+        }
+
+        #[test]
+        fn prop_variance_nonnegative(values in proptest::collection::vec(-1e6f64..1e6, 0..200)) {
+            prop_assert!(variance(&values) >= 0.0);
+        }
+
+        #[test]
+        fn prop_harmonic_le_arithmetic(values in proptest::collection::vec(0.001f64..1e6, 1..100)) {
+            let h = harmonic_mean(&values);
+            let a = mean(&values);
+            prop_assert!(h <= a + 1e-6 * a.abs().max(1.0));
+        }
+
+        #[test]
+        fn prop_running_stats_match_batch(values in proptest::collection::vec(-1e3f64..1e3, 2..100)) {
+            let mut rs = RunningStats::new();
+            for &v in &values { rs.push(v); }
+            prop_assert!((rs.mean() - mean(&values)).abs() < 1e-6);
+            prop_assert!((rs.variance() - variance(&values)).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_percentile_is_an_observed_value(values in proptest::collection::vec(-1e3f64..1e3, 1..100), pct in 0.0f64..100.0) {
+            let p = percentile(&values, pct);
+            prop_assert!(values.iter().any(|&v| (v - p).abs() < 1e-9));
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`:
+//! rejection-sampling scaling-factor policy, walk-length policy, and
+//! many-short-runs vs one-long-run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wnw_access::SimulatedOsn;
+use wnw_bench::small_scale_free;
+use wnw_core::{WalkEstimateConfig, WalkEstimateSampler, WalkLengthPolicy};
+use wnw_mcmc::burn_in::{BurnInConfig, ManyShortRunsSampler, OneLongRunSampler};
+use wnw_mcmc::sampler::collect_samples;
+use wnw_mcmc::{RandomWalkKind, ScalingFactorPolicy};
+
+fn scaling_factor_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_scaling_factor");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    let graph = small_scale_free(300, 0xAB1);
+    for (name, policy) in [
+        ("exact_min", ScalingFactorPolicy::ExactMin),
+        ("percentile_10", ScalingFactorPolicy::Percentile(10.0)),
+        ("percentile_50", ScalingFactorPolicy::Percentile(50.0)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let osn = SimulatedOsn::new(graph.clone());
+                let config = WalkEstimateConfig::default().with_scaling_factor(policy);
+                let mut sampler =
+                    WalkEstimateSampler::new(osn, RandomWalkKind::Simple, config, 0xAB2)
+                        .with_diameter_estimate(4);
+                collect_samples(&mut sampler, 10).unwrap().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn walk_length_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_walk_length");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    let graph = small_scale_free(300, 0xAB3);
+    for multiplier in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("diameter_multiple", multiplier),
+            &multiplier,
+            |b, &m| {
+                b.iter(|| {
+                    let osn = SimulatedOsn::new(graph.clone());
+                    let config = WalkEstimateConfig::default().with_walk_length(
+                        WalkLengthPolicy::DiameterMultiple {
+                            multiplier: m,
+                            offset: 1,
+                            assumed_diameter: 4,
+                        },
+                    );
+                    let mut sampler =
+                        WalkEstimateSampler::new(osn, RandomWalkKind::Simple, config, 0xAB4);
+                    collect_samples(&mut sampler, 10).unwrap().len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn short_runs_vs_long_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_one_long_run");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    let graph = small_scale_free(300, 0xAB5);
+    group.bench_function("many_short_runs_20_samples", |b| {
+        b.iter(|| {
+            let osn = SimulatedOsn::new(graph.clone());
+            let mut sampler = ManyShortRunsSampler::new(
+                osn,
+                RandomWalkKind::Simple,
+                BurnInConfig::default(),
+                0xAB6,
+            );
+            collect_samples(&mut sampler, 20).unwrap().len()
+        })
+    });
+    group.bench_function("one_long_run_20_samples", |b| {
+        b.iter(|| {
+            let osn = SimulatedOsn::new(graph.clone());
+            let mut sampler =
+                OneLongRunSampler::new(osn, RandomWalkKind::Simple, BurnInConfig::default(), 0xAB7);
+            collect_samples(&mut sampler, 20).unwrap().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, scaling_factor_policies, walk_length_policies, short_runs_vs_long_run);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 1 bench: exact min/max sampling probability vs walk length.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wnw_experiments::figures::fig01;
+use wnw_experiments::report::ExperimentScale;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig01_prob_extrema");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("ba31_srw_trajectory", |b| {
+        b.iter(|| {
+            let result = fig01::run(ExperimentScale::Quick);
+            assert!(!result.tables[0].is_empty());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 2 bench: IDEAL-WALK exact cost curves on the case-study models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wnw_core::ideal;
+use wnw_experiments::figures::fig02;
+use wnw_experiments::report::ExperimentScale;
+use wnw_graph::generators::classic::hypercube;
+use wnw_graph::NodeId;
+use wnw_mcmc::{RandomWalkKind, TargetDistribution};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig02_ideal_cost");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("all_models_quick", |b| {
+        b.iter(|| {
+            let result = fig02::run(ExperimentScale::Quick);
+            assert!(!result.tables[0].is_empty());
+        })
+    });
+    let cube = hypercube(5);
+    group.bench_function("hypercube32_cost_curve", |b| {
+        b.iter(|| {
+            ideal::exact_cost_curve_lazy(
+                &cube,
+                RandomWalkKind::Simple,
+                NodeId(0),
+                64,
+                TargetDistribution::Uniform,
+                0.2,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

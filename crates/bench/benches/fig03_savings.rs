@@ -1,0 +1,31 @@
+//! Figure 3 bench: Theorem 1 query-cost savings across graph sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wnw_core::IdealWalkAnalysis;
+use wnw_experiments::figures::fig03;
+use wnw_experiments::report::ExperimentScale;
+use wnw_graph::generators::random::barabasi_albert;
+use wnw_mcmc::RandomWalkKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig03_savings");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("savings_sweep_quick", |b| {
+        b.iter(|| {
+            let result = fig03::run(ExperimentScale::Quick);
+            assert!(!result.tables[0].is_empty());
+        })
+    });
+    let graph = barabasi_albert(128, 3, 3).unwrap();
+    group.bench_function("theorem1_model_ba128", |b| {
+        b.iter(|| {
+            let analysis = IdealWalkAnalysis::from_graph(&graph, RandomWalkKind::Simple);
+            analysis.saving(0.001)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

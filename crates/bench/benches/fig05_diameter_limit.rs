@@ -1,0 +1,36 @@
+//! Figure 5 bench: per-sample step cost on long-diameter cycles (SRW vs WE).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wnw_core::{WalkEstimateConfig, WalkEstimateVariant, WalkLengthPolicy};
+use wnw_experiments::runner::{api_calls_per_sample, SamplerKind, Workbench};
+use wnw_graph::generators::classic::cycle;
+use wnw_graph::metrics;
+use wnw_mcmc::RandomWalkKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig05_diameter_limit");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for n in [11usize, 21] {
+        let graph = cycle(n);
+        let diameter = metrics::exact_diameter(&graph).unwrap();
+        let config = WalkEstimateConfig::default()
+            .with_walk_length(WalkLengthPolicy::paper_default(diameter))
+            .with_crawl_depth(1);
+        let bench = Workbench::new(graph, config);
+        group.bench_with_input(BenchmarkId::new("srw_steps_per_sample", n), &n, |b, _| {
+            b.iter(|| api_calls_per_sample(&bench, SamplerKind::Srw, 2, 1, 5))
+        });
+        let we = SamplerKind::WalkEstimate {
+            input: RandomWalkKind::Simple,
+            variant: WalkEstimateVariant::Full,
+        };
+        group.bench_with_input(BenchmarkId::new("we_steps_per_sample", n), &n, |b, _| {
+            b.iter(|| api_calls_per_sample(&bench, we, 2, 1, 5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 7 bench: Yelp (surrogate) relative error vs query cost — one
+//! budget point per aggregate, quick scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wnw_core::WalkEstimateConfig;
+use wnw_experiments::datasets::DatasetRegistry;
+use wnw_experiments::measures::Aggregate;
+use wnw_experiments::report::ExperimentScale;
+use wnw_experiments::runner::{error_vs_cost, SamplerKind, Workbench};
+use wnw_graph::generators::surrogate::ATTR_STARS;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig07_yelp_error_vs_cost");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    let registry = DatasetRegistry::new(ExperimentScale::Quick);
+    let dataset = registry.yelp();
+    let budget = (dataset.graph.node_count() / 3) as u64;
+    let bench = Workbench::new(dataset.graph, WalkEstimateConfig::default());
+    let we = SamplerKind::Srw.walk_estimate_counterpart();
+    for (name, aggregate) in [
+        ("avg_degree", Aggregate::Degree),
+        ("avg_stars", Aggregate::NodeAttribute(ATTR_STARS.to_string())),
+        ("avg_local_clustering", Aggregate::LocalClustering),
+    ] {
+        group.bench_function(format!("{name}_we_srw"), |b| {
+            b.iter(|| error_vs_cost(&bench, we, &aggregate, &[budget], 1, 0x0702))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

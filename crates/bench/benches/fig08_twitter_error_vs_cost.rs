@@ -1,0 +1,34 @@
+//! Figure 8 bench: Twitter (surrogate) relative error vs query cost — one
+//! budget point per aggregate, quick scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wnw_core::WalkEstimateConfig;
+use wnw_experiments::datasets::DatasetRegistry;
+use wnw_experiments::measures::Aggregate;
+use wnw_experiments::report::ExperimentScale;
+use wnw_experiments::runner::{error_vs_cost, SamplerKind, Workbench};
+use wnw_graph::generators::surrogate::{ATTR_IN_DEGREE, ATTR_OUT_DEGREE};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_twitter_error_vs_cost");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    let registry = DatasetRegistry::new(ExperimentScale::Quick);
+    let dataset = registry.twitter();
+    let budget = (dataset.graph.node_count() / 3) as u64;
+    let bench = Workbench::new(dataset.graph, WalkEstimateConfig::default());
+    let we = SamplerKind::Srw.walk_estimate_counterpart();
+    for (name, aggregate) in [
+        ("avg_in_degree", Aggregate::NodeAttribute(ATTR_IN_DEGREE.to_string())),
+        ("avg_out_degree", Aggregate::NodeAttribute(ATTR_OUT_DEGREE.to_string())),
+        ("avg_local_clustering", Aggregate::LocalClustering),
+    ] {
+        group.bench_function(format!("{name}_we_srw"), |b| {
+            b.iter(|| error_vs_cost(&bench, we, &aggregate, &[budget], 1, 0x0803))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 9 bench: variance-reduction ablation — one budget point per WE
+//! variant on the quick Google Plus surrogate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wnw_core::{WalkEstimateConfig, WalkEstimateVariant, WalkLengthPolicy};
+use wnw_experiments::datasets::DatasetRegistry;
+use wnw_experiments::measures::Aggregate;
+use wnw_experiments::report::ExperimentScale;
+use wnw_experiments::runner::{error_vs_cost, SamplerKind, Workbench};
+use wnw_mcmc::RandomWalkKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig09_ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    let registry = DatasetRegistry::new(ExperimentScale::Quick);
+    let dataset = registry.google_plus();
+    let budget = (dataset.graph.node_count() / 3) as u64;
+    let config =
+        WalkEstimateConfig::default().with_walk_length(WalkLengthPolicy::paper_default(7)).with_crawl_depth(1);
+    let bench = Workbench::new(dataset.graph, config);
+    for variant in [
+        WalkEstimateVariant::None,
+        WalkEstimateVariant::CrawlOnly,
+        WalkEstimateVariant::WeightedOnly,
+        WalkEstimateVariant::Full,
+    ] {
+        let kind = SamplerKind::WalkEstimate { input: RandomWalkKind::Simple, variant };
+        group.bench_function(variant.label(), |b| {
+            b.iter(|| error_vs_cost(&bench, kind, &Aggregate::Degree, &[budget], 1, 0x0904))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

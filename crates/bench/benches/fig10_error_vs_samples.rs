@@ -1,0 +1,29 @@
+//! Figure 10 bench: relative error vs number of samples on the quick Google
+//! Plus surrogate (sample quality, not just cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wnw_core::{WalkEstimateConfig, WalkLengthPolicy};
+use wnw_experiments::datasets::DatasetRegistry;
+use wnw_experiments::measures::Aggregate;
+use wnw_experiments::report::ExperimentScale;
+use wnw_experiments::runner::{error_vs_samples, SamplerKind, Workbench};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_error_vs_samples");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    let registry = DatasetRegistry::new(ExperimentScale::Quick);
+    let dataset = registry.google_plus();
+    let config =
+        WalkEstimateConfig::default().with_walk_length(WalkLengthPolicy::paper_default(7)).with_crawl_depth(1);
+    let bench = Workbench::new(dataset.graph, config);
+    for kind in [SamplerKind::Mhrw, SamplerKind::Mhrw.walk_estimate_counterpart()] {
+        group.bench_function(format!("avg_degree_10_samples_{}", kind.label()), |b| {
+            b.iter(|| error_vs_samples(&bench, kind, &Aggregate::Degree, &[10], 1, 0x1005))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

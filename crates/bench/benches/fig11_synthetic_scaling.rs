@@ -1,0 +1,29 @@
+//! Figure 11 bench: synthetic Barabási–Albert graphs — error vs cost at
+//! several graph sizes (quick scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wnw_core::WalkEstimateConfig;
+use wnw_experiments::datasets::DatasetRegistry;
+use wnw_experiments::measures::Aggregate;
+use wnw_experiments::report::ExperimentScale;
+use wnw_experiments::runner::{error_vs_cost, SamplerKind, Workbench};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_synthetic_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    let registry = DatasetRegistry::new(ExperimentScale::Quick);
+    let we = SamplerKind::Srw.walk_estimate_counterpart();
+    for n in registry.synthetic_sizes() {
+        let graph = registry.synthetic(n);
+        let bench = Workbench::new(graph, WalkEstimateConfig::default());
+        let budget = (n / 3) as u64;
+        group.bench_with_input(BenchmarkId::new("avg_degree_we_srw", n), &n, |b, _| {
+            b.iter(|| error_vs_cost(&bench, we, &Aggregate::Degree, &[budget], 1, 0x1106))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

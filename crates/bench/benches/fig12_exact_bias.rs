@@ -1,0 +1,31 @@
+//! Figure 12 bench: drawing the sample pools for the exact-bias study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wnw_core::{WalkEstimateConfig, WalkEstimateVariant};
+use wnw_experiments::datasets::DatasetRegistry;
+use wnw_experiments::report::ExperimentScale;
+use wnw_experiments::runner::{draw_nodes, SamplerKind, Workbench};
+use wnw_mcmc::RandomWalkKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_exact_bias");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    let registry = DatasetRegistry::new(ExperimentScale::Quick);
+    let graph = registry.exact_bias_graph();
+    let bench = Workbench::new(graph, WalkEstimateConfig::default());
+    group.bench_function("srw_200_draws", |b| {
+        b.iter(|| draw_nodes(&bench, SamplerKind::Srw, 200, 0x1201))
+    });
+    let we = SamplerKind::WalkEstimate {
+        input: RandomWalkKind::MetropolisHastings,
+        variant: WalkEstimateVariant::Full,
+    };
+    group.bench_function("we_mhrw_200_draws", |b| {
+        b.iter(|| draw_nodes(&bench, we, 200, 0x1202))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Table 1 bench: distance computations between empirical and theoretical
+//! sampling distributions (ℓ∞, total variation, KL).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wnw_analytics::bias::{degree_ordered_series, EmpiricalDistribution};
+use wnw_bench::small_scale_free;
+use wnw_core::{WalkEstimateConfig, WalkEstimateVariant};
+use wnw_experiments::runner::{draw_nodes, SamplerKind, Workbench};
+use wnw_mcmc::RandomWalkKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_distances");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    let graph = small_scale_free(200, 0x7AB1);
+    let n = graph.node_count();
+    let uniform = vec![1.0 / n as f64; n];
+    let bench = Workbench::new(graph.clone(), WalkEstimateConfig::default());
+    let we = SamplerKind::WalkEstimate {
+        input: RandomWalkKind::MetropolisHastings,
+        variant: WalkEstimateVariant::Full,
+    };
+    let samples = draw_nodes(&bench, we, 400, 0x7AB2);
+    let dist = EmpiricalDistribution::from_samples(n, &samples);
+    group.bench_function("linf_tv_kl", |b| {
+        b.iter(|| {
+            (
+                dist.linf_distance(&uniform),
+                dist.total_variation_distance(&uniform),
+                dist.kl_from_target(&uniform),
+            )
+        })
+    });
+    group.bench_function("degree_ordered_series", |b| {
+        b.iter(|| degree_ordered_series(&graph, &dist.probabilities()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,275 @@
+//! Algorithm 3 — ESTIMATE: repeated backward estimates with variance-driven
+//! budget allocation.
+//!
+//! A single backward estimate is unbiased but noisy, so ESTIMATE averages
+//! several per candidate and then spends a refinement budget preferentially
+//! on the candidates whose estimates still vary the most ("Choose nodes
+//! randomly proportional to their variance").
+
+use crate::config::{WalkEstimateConfig, WalkEstimateVariant};
+use crate::estimate::crawl::InitialCrawl;
+use crate::estimate::unbiased::{backward_estimate, BackwardOptions};
+use crate::history::WalkHistory;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use wnw_access::{Result, SocialNetwork};
+use wnw_analytics::stats::RunningStats;
+use wnw_graph::NodeId;
+use wnw_mcmc::RandomWalkKind;
+
+/// The estimate of a candidate's sampling probability.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbabilityEstimate {
+    /// The candidate node.
+    pub node: NodeId,
+    /// Walk length the probability refers to.
+    pub walk_length: usize,
+    /// Mean of the backward estimates (the estimate of `p_t(node)`).
+    pub probability: f64,
+    /// Variance across the backward estimates.
+    pub variance: f64,
+    /// Number of backward estimates averaged.
+    pub repetitions: usize,
+}
+
+/// Repeated-estimation engine implementing Algorithm 3.
+#[derive(Debug, Clone)]
+pub struct ProbabilityEstimator {
+    kind: RandomWalkKind,
+    base_repetitions: usize,
+    refinement_repetitions: usize,
+    epsilon: f64,
+    variant: WalkEstimateVariant,
+}
+
+impl ProbabilityEstimator {
+    /// Builds an estimator from the sampler configuration.
+    pub fn from_config(kind: RandomWalkKind, config: &WalkEstimateConfig) -> Self {
+        ProbabilityEstimator {
+            kind,
+            base_repetitions: config.base_backward_repetitions.max(1),
+            refinement_repetitions: config.refinement_backward_repetitions,
+            epsilon: config.weighted_epsilon,
+            variant: config.variant,
+        }
+    }
+
+    /// Builds an estimator with explicit parameters.
+    pub fn new(
+        kind: RandomWalkKind,
+        base_repetitions: usize,
+        refinement_repetitions: usize,
+        epsilon: f64,
+        variant: WalkEstimateVariant,
+    ) -> Self {
+        ProbabilityEstimator {
+            kind,
+            base_repetitions: base_repetitions.max(1),
+            refinement_repetitions,
+            epsilon,
+            variant,
+        }
+    }
+
+    fn options<'a>(
+        &self,
+        crawl: Option<&'a InitialCrawl>,
+        history: Option<&'a WalkHistory>,
+    ) -> BackwardOptions<'a> {
+        BackwardOptions {
+            crawl: if self.variant.uses_crawl() { crawl } else { None },
+            weighting: if self.variant.uses_weighted_sampling() {
+                history.map(|h| (h, self.epsilon))
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Estimates `p_t(node)` for a single candidate, spending
+    /// `base_repetitions + refinement_repetitions` backward walks on it.
+    pub fn estimate_single<N: SocialNetwork + ?Sized, R: Rng + ?Sized>(
+        &self,
+        osn: &N,
+        node: NodeId,
+        start: NodeId,
+        walk_length: usize,
+        crawl: Option<&InitialCrawl>,
+        history: Option<&WalkHistory>,
+        rng: &mut R,
+    ) -> Result<ProbabilityEstimate> {
+        let options = self.options(crawl, history);
+        let mut stats = RunningStats::new();
+        let total = self.base_repetitions + self.refinement_repetitions;
+        for _ in 0..total {
+            let est =
+                backward_estimate(osn, self.kind, node, start, walk_length, options, rng)?;
+            stats.push(est);
+        }
+        Ok(ProbabilityEstimate {
+            node,
+            walk_length,
+            probability: stats.mean(),
+            variance: stats.variance(),
+            repetitions: total,
+        })
+    }
+
+    /// Estimates the probabilities of several candidates (Algorithm 3):
+    /// every candidate receives `base_repetitions` backward walks, then a
+    /// pooled refinement budget of `refinement_repetitions × |candidates|`
+    /// extra walks is handed out with probability proportional to the current
+    /// estimation variance of each candidate.
+    pub fn estimate_many<N: SocialNetwork + ?Sized, R: Rng + ?Sized>(
+        &self,
+        osn: &N,
+        candidates: &[(NodeId, usize)],
+        start: NodeId,
+        crawl: Option<&InitialCrawl>,
+        history: Option<&WalkHistory>,
+        rng: &mut R,
+    ) -> Result<Vec<ProbabilityEstimate>> {
+        let options = self.options(crawl, history);
+        let mut stats: Vec<RunningStats> = vec![RunningStats::new(); candidates.len()];
+        for (i, &(node, t)) in candidates.iter().enumerate() {
+            for _ in 0..self.base_repetitions {
+                let est = backward_estimate(osn, self.kind, node, start, t, options, rng)?;
+                stats[i].push(est);
+            }
+        }
+        // Refinement: allocate extra repetitions proportional to variance.
+        let budget = self.refinement_repetitions * candidates.len();
+        for _ in 0..budget {
+            let variances: Vec<f64> = stats.iter().map(|s| s.variance()).collect();
+            let total_var: f64 = variances.iter().sum();
+            let idx = if total_var <= 0.0 {
+                rng.gen_range(0..candidates.len())
+            } else {
+                let mut threshold = rng.gen::<f64>() * total_var;
+                let mut chosen = candidates.len() - 1;
+                for (i, &v) in variances.iter().enumerate() {
+                    if threshold < v {
+                        chosen = i;
+                        break;
+                    }
+                    threshold -= v;
+                }
+                chosen
+            };
+            let (node, t) = candidates[idx];
+            let est = backward_estimate(osn, self.kind, node, start, t, options, rng)?;
+            stats[idx].push(est);
+        }
+        Ok(candidates
+            .iter()
+            .zip(&stats)
+            .map(|(&(node, walk_length), s)| ProbabilityEstimate {
+                node,
+                walk_length,
+                probability: s.mean(),
+                variance: s.variance(),
+                repetitions: s.count() as usize,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wnw_access::SimulatedOsn;
+    use wnw_graph::generators::random::barabasi_albert;
+    use wnw_mcmc::distribution::TransitionMatrix;
+
+    fn setup(seed: u64) -> (SimulatedOsn, wnw_graph::Graph) {
+        let graph = barabasi_albert(60, 3, seed).unwrap();
+        (SimulatedOsn::new(graph.clone()), graph)
+    }
+
+    #[test]
+    fn single_estimate_reports_statistics() {
+        let (osn, _graph) = setup(3);
+        let estimator = ProbabilityEstimator::new(
+            RandomWalkKind::Simple,
+            10,
+            5,
+            0.1,
+            WalkEstimateVariant::None,
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let est = estimator
+            .estimate_single(&osn, NodeId(10), NodeId(0), 5, None, None, &mut rng)
+            .unwrap();
+        assert_eq!(est.repetitions, 15);
+        assert_eq!(est.walk_length, 5);
+        assert!(est.probability >= 0.0);
+        assert!(est.variance >= 0.0);
+    }
+
+    #[test]
+    fn initial_crawling_reduces_estimation_variance() {
+        // Replacing the noisy tail of the backward recursion with exact
+        // crawled probabilities can only lower the variance (law of total
+        // variance) — the core claim of Section 5.2, and one axis of the
+        // Figure 9 ablation.
+        let (osn, graph) = setup(5);
+        let start = NodeId(0);
+        let t = 6;
+        let target = NodeId(25);
+        let crawl = InitialCrawl::build(&osn, RandomWalkKind::Simple, start, 3).unwrap();
+        let plain = ProbabilityEstimator::new(RandomWalkKind::Simple, 600, 0, 0.1, WalkEstimateVariant::None);
+        let crawled =
+            ProbabilityEstimator::new(RandomWalkKind::Simple, 600, 0, 0.1, WalkEstimateVariant::CrawlOnly);
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let mut rng_b = StdRng::seed_from_u64(11);
+        let est_plain =
+            plain.estimate_single(&osn, target, start, t, Some(&crawl), None, &mut rng_a).unwrap();
+        let est_crawled =
+            crawled.estimate_single(&osn, target, start, t, Some(&crawl), None, &mut rng_b).unwrap();
+        let exact = TransitionMatrix::new(&graph, RandomWalkKind::Simple)
+            .distribution_after(start, t)[target.index()];
+        assert!(exact > 0.0);
+        assert!(
+            est_crawled.variance < est_plain.variance,
+            "WE-Crawl variance {} should be below WE-None variance {}",
+            est_crawled.variance,
+            est_plain.variance
+        );
+        // Both remain in the right ballpark of the exact probability.
+        assert!((est_crawled.probability - exact).abs() / exact < 0.5);
+    }
+
+    #[test]
+    fn estimate_many_allocates_full_budget() {
+        let (osn, _) = setup(7);
+        let estimator = ProbabilityEstimator::new(
+            RandomWalkKind::Simple,
+            4,
+            4,
+            0.1,
+            WalkEstimateVariant::None,
+        );
+        let mut rng = StdRng::seed_from_u64(13);
+        let candidates = vec![(NodeId(5), 5), (NodeId(9), 5), (NodeId(30), 5)];
+        let estimates = estimator
+            .estimate_many(&osn, &candidates, NodeId(0), None, None, &mut rng)
+            .unwrap();
+        assert_eq!(estimates.len(), 3);
+        let total_reps: usize = estimates.iter().map(|e| e.repetitions).sum();
+        // 3 candidates × 4 base + 3 × 4 refinement.
+        assert_eq!(total_reps, 24);
+        for e in &estimates {
+            assert!(e.repetitions >= 4, "every candidate keeps its base repetitions");
+        }
+    }
+
+    #[test]
+    fn from_config_respects_variant() {
+        let config = WalkEstimateConfig::default().with_variant(WalkEstimateVariant::CrawlOnly);
+        let estimator = ProbabilityEstimator::from_config(RandomWalkKind::MetropolisHastings, &config);
+        assert_eq!(estimator.variant, WalkEstimateVariant::CrawlOnly);
+        assert_eq!(estimator.base_repetitions, config.base_backward_repetitions);
+    }
+}

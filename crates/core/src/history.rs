@@ -1,0 +1,119 @@
+//! History of forward walks, feeding the weighted-sampling heuristic.
+//!
+//! WALK-ESTIMATE repeatedly starts forward walks from the same node. The
+//! weighted backward sampling of Algorithm 2 uses how often each node was
+//! reached at each step of those past walks (`n_{u', t-1}` out of `n_hw`
+//! walks) to focus backward steps on the neighbors that actually carry
+//! probability mass.
+
+use std::collections::HashMap;
+use wnw_graph::NodeId;
+
+/// Per-step visit counts across all recorded forward walks.
+#[derive(Debug, Clone, Default)]
+pub struct WalkHistory {
+    /// `counts[t][v]` = number of recorded walks that were at node `v` at
+    /// step `t`.
+    counts: Vec<HashMap<NodeId, u64>>,
+    /// Number of walks recorded.
+    walks: u64,
+}
+
+impl WalkHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a forward walk given its full path (`path[0]` is the start).
+    pub fn record_walk(&mut self, path: &[NodeId]) {
+        if path.is_empty() {
+            return;
+        }
+        if self.counts.len() < path.len() {
+            self.counts.resize_with(path.len(), HashMap::new);
+        }
+        for (step, &node) in path.iter().enumerate() {
+            *self.counts[step].entry(node).or_insert(0) += 1;
+        }
+        self.walks += 1;
+    }
+
+    /// Number of walks recorded so far (`n_hw`).
+    pub fn walk_count(&self) -> u64 {
+        self.walks
+    }
+
+    /// Number of recorded walks that were at `node` at step `step`
+    /// (`n_{node, step}`).
+    pub fn count_at(&self, node: NodeId, step: usize) -> u64 {
+        self.counts.get(step).and_then(|m| m.get(&node)).copied().unwrap_or(0)
+    }
+
+    /// All nodes seen at `step`, with their counts.
+    pub fn nodes_at(&self, step: usize) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.counts.get(step).into_iter().flat_map(|m| m.iter().map(|(&n, &c)| (n, c)))
+    }
+
+    /// Longest recorded path length (steps + 1), 0 when empty.
+    pub fn max_recorded_length(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Clears all recorded walks.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+        self.walks = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let mut h = WalkHistory::new();
+        h.record_walk(&[NodeId(0), NodeId(1), NodeId(2)]);
+        h.record_walk(&[NodeId(0), NodeId(1), NodeId(1)]);
+        assert_eq!(h.walk_count(), 2);
+        assert_eq!(h.count_at(NodeId(0), 0), 2);
+        assert_eq!(h.count_at(NodeId(1), 1), 2);
+        assert_eq!(h.count_at(NodeId(2), 2), 1);
+        assert_eq!(h.count_at(NodeId(1), 2), 1);
+        assert_eq!(h.count_at(NodeId(9), 1), 0);
+        assert_eq!(h.max_recorded_length(), 3);
+    }
+
+    #[test]
+    fn nodes_at_enumerates_step_visits() {
+        let mut h = WalkHistory::new();
+        h.record_walk(&[NodeId(0), NodeId(1)]);
+        h.record_walk(&[NodeId(0), NodeId(2)]);
+        let mut at1: Vec<(NodeId, u64)> = h.nodes_at(1).collect();
+        at1.sort();
+        assert_eq!(at1, vec![(NodeId(1), 1), (NodeId(2), 1)]);
+        assert_eq!(h.nodes_at(5).count(), 0);
+    }
+
+    #[test]
+    fn empty_walk_is_ignored_and_clear_resets() {
+        let mut h = WalkHistory::new();
+        h.record_walk(&[]);
+        assert_eq!(h.walk_count(), 0);
+        h.record_walk(&[NodeId(3)]);
+        assert_eq!(h.walk_count(), 1);
+        h.clear();
+        assert_eq!(h.walk_count(), 0);
+        assert_eq!(h.max_recorded_length(), 0);
+    }
+
+    #[test]
+    fn variable_length_walks_extend_history() {
+        let mut h = WalkHistory::new();
+        h.record_walk(&[NodeId(0), NodeId(1)]);
+        h.record_walk(&[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(h.max_recorded_length(), 4);
+        assert_eq!(h.count_at(NodeId(3), 3), 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! The WALK component (Section 4.3): choosing the short-walk length.
+//!
+//! The walk must be at least as long as the graph diameter for every node to
+//! have a positive sampling probability, but an overly long walk wastes the
+//! savings. The paper's practical rule is to be *conservative rather than
+//! aggressive*: walk `2·D̄ + 1` steps where `D̄` is an upper bound on the
+//! diameter (commonly taken to be 8–10 for real online social networks, 7
+//! for their Google Plus crawl).
+
+use serde::{Deserialize, Serialize};
+
+/// How the forward walk length `t` is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WalkLengthPolicy {
+    /// A fixed number of steps.
+    Fixed(usize),
+    /// `multiplier · D̄ + offset`, where `D̄` is the (estimated or assumed)
+    /// diameter upper bound. The paper uses `2·D̄ + 1`.
+    DiameterMultiple {
+        /// Multiplier applied to the diameter bound.
+        multiplier: usize,
+        /// Constant added after multiplying.
+        offset: usize,
+        /// The diameter upper bound `D̄` to use when the caller does not
+        /// supply a better estimate.
+        assumed_diameter: usize,
+    },
+}
+
+impl Default for WalkLengthPolicy {
+    /// The paper's default: `2·D̄ + 1` with `D̄ = 10`, the conservative bound
+    /// quoted for real-world online social networks.
+    fn default() -> Self {
+        WalkLengthPolicy::DiameterMultiple { multiplier: 2, offset: 1, assumed_diameter: 10 }
+    }
+}
+
+impl WalkLengthPolicy {
+    /// The paper's rule with an explicit diameter bound.
+    pub fn paper_default(diameter_bound: usize) -> Self {
+        WalkLengthPolicy::DiameterMultiple {
+            multiplier: 2,
+            offset: 1,
+            assumed_diameter: diameter_bound,
+        }
+    }
+
+    /// Resolves the policy into a concrete number of steps.
+    ///
+    /// `estimated_diameter` overrides the policy's assumed bound when the
+    /// caller has a better estimate (e.g. from a double-sweep BFS on a
+    /// synthetic graph whose topology is known to the experiment harness).
+    /// The result is always at least 1.
+    pub fn resolve(&self, estimated_diameter: Option<usize>) -> usize {
+        match *self {
+            WalkLengthPolicy::Fixed(t) => t.max(1),
+            WalkLengthPolicy::DiameterMultiple { multiplier, offset, assumed_diameter } => {
+                let d = estimated_diameter.unwrap_or(assumed_diameter).max(1);
+                (multiplier * d + offset).max(1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_policy_is_clamped_to_one() {
+        assert_eq!(WalkLengthPolicy::Fixed(15).resolve(None), 15);
+        assert_eq!(WalkLengthPolicy::Fixed(0).resolve(Some(100)), 1);
+    }
+
+    #[test]
+    fn default_matches_paper_rule() {
+        let p = WalkLengthPolicy::default();
+        assert_eq!(p.resolve(None), 21); // 2·10 + 1
+        assert_eq!(p.resolve(Some(7)), 15); // Google Plus setting: 2·7 + 1
+    }
+
+    #[test]
+    fn paper_default_constructor() {
+        let p = WalkLengthPolicy::paper_default(7);
+        assert_eq!(p.resolve(None), 15);
+        assert_eq!(p.resolve(Some(3)), 7);
+    }
+
+    #[test]
+    fn zero_diameter_estimate_still_walks() {
+        let p = WalkLengthPolicy::paper_default(10);
+        assert_eq!(p.resolve(Some(0)), 3); // clamped diameter of 1
+    }
+}

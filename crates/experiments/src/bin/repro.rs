@@ -1,0 +1,110 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--scale quick|default|paper] [--out DIR] [--list] [FIGURE ...]
+//! ```
+//!
+//! With no figure arguments every figure is regenerated. Results are written
+//! as CSV files plus a markdown summary per figure under the output
+//! directory (default `./results`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+use wnw_experiments::figures;
+use wnw_experiments::report::ExperimentScale;
+
+struct Options {
+    scale: ExperimentScale,
+    out_dir: PathBuf,
+    list: bool,
+    figures: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        scale: ExperimentScale::Default,
+        out_dir: PathBuf::from("results"),
+        list: false,
+        figures: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = args.next().ok_or("--scale requires a value")?;
+                options.scale = ExperimentScale::parse(&value)
+                    .ok_or_else(|| format!("unknown scale `{value}` (quick|default|paper)"))?;
+            }
+            "--out" => {
+                options.out_dir = PathBuf::from(args.next().ok_or("--out requires a value")?);
+            }
+            "--list" => options.list = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--scale quick|default|paper] [--out DIR] [--list] [FIGURE ...]\n\
+                     figures: {}",
+                    figures::all_figures().iter().map(|(id, _)| *id).collect::<Vec<_>>().join(", ")
+                );
+                std::process::exit(0);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
+            other => options.figures.push(other.to_string()),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let all = figures::all_figures();
+    if options.list {
+        for (id, _) in &all {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let selected: Vec<_> = if options.figures.is_empty() {
+        all
+    } else {
+        let mut chosen = Vec::new();
+        for wanted in &options.figures {
+            match figures::all_figures().into_iter().find(|(id, _)| id == wanted) {
+                Some(entry) => chosen.push(entry),
+                None => {
+                    eprintln!("error: unknown figure `{wanted}` (use --list)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        chosen
+    };
+
+    println!(
+        "reproducing {} figure(s) at {:?} scale into {}",
+        selected.len(),
+        options.scale,
+        options.out_dir.display()
+    );
+    for (id, run) in selected {
+        let started = Instant::now();
+        print!("  {id} ... ");
+        let result = run(options.scale);
+        if let Err(e) = result.write_to_dir(&options.out_dir) {
+            eprintln!("failed to write results: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("done in {:.1?} ({} tables)", started.elapsed(), result.tables.len());
+        for note in &result.notes {
+            println!("      note: {note}");
+        }
+    }
+    println!("results written to {}", options.out_dir.display());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,105 @@
+//! Figure 5 — the limitation study: steps per sample on long-diameter cycle
+//! graphs.
+//!
+//! Paper setup: cycle graphs of 11, 21, 31, 41, 51 nodes (diameters 5–25),
+//! SRW as input; plot the average number of walk steps per sample for plain
+//! SRW and for WALK-ESTIMATE. SRW is barely affected by the diameter while
+//! WE's cost explodes, because the backward estimation rarely hits the
+//! starting neighborhood on a long thin graph — exactly why the paper says
+//! WE should not be used on long-diameter graphs (and why real OSNs, with
+//! diameters 3–8, are safe territory).
+
+use crate::report::{ExperimentScale, FigureResult, Table};
+use crate::runner::{api_calls_per_sample, SamplerKind, Workbench};
+use wnw_core::{WalkEstimateConfig, WalkEstimateVariant, WalkLengthPolicy};
+use wnw_graph::generators::classic::cycle;
+use wnw_graph::metrics;
+use wnw_mcmc::RandomWalkKind;
+
+/// Regenerates Figure 5.
+pub fn run(scale: ExperimentScale) -> FigureResult {
+    let (sizes, samples, repetitions): (Vec<usize>, usize, usize) = match scale {
+        ExperimentScale::Quick => (vec![11, 21], 3, 2),
+        ExperimentScale::Default => (vec![11, 21, 31, 41, 51], 10, 5),
+        ExperimentScale::Paper => (vec![11, 21, 31, 41, 51], 20, 20),
+    };
+    let mut result = FigureResult::new(
+        "fig05",
+        "Average walk steps per sample on cycle graphs with growing diameter (SRW vs WE)",
+    );
+    let mut table =
+        Table::new("steps_vs_diameter", &["diameter", "nodes", "sampler", "steps_per_sample"]);
+    for n in sizes {
+        let graph = cycle(n);
+        let diameter = metrics::exact_diameter(&graph).unwrap_or(n / 2);
+        // On a cycle the crawl would immediately cover the whole starting
+        // stretch, hiding the effect the figure is about; the paper's point
+        // is about the backward walk, so use the plain variant with the
+        // 2d+1 walk length rule.
+        let config = WalkEstimateConfig::default()
+            .with_walk_length(WalkLengthPolicy::paper_default(diameter))
+            .with_crawl_depth(1)
+            .with_variant(WalkEstimateVariant::Full);
+        let bench = Workbench::new(graph, config);
+        for (label, kind) in [
+            ("SRW", SamplerKind::Srw),
+            (
+                "WE",
+                SamplerKind::WalkEstimate {
+                    input: RandomWalkKind::Simple,
+                    variant: WalkEstimateVariant::Full,
+                },
+            ),
+        ] {
+            let steps = api_calls_per_sample(&bench, kind, samples, repetitions, 0x5105 + n as u64);
+            table.push_row(vec![
+                (diameter as f64).into(),
+                (n as f64).into(),
+                label.into(),
+                steps.into(),
+            ]);
+        }
+    }
+    result.push_note(
+        "WE's per-sample step count grows much faster with the diameter than SRW's — the limitation the paper highlights in Section 6.2",
+    );
+    result.push_table(table);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Cell;
+
+    #[test]
+    fn figure5_we_cost_grows_with_diameter() {
+        let result = run(ExperimentScale::Quick);
+        let table = &result.tables[0];
+        let we_steps: Vec<f64> = table
+            .rows
+            .iter()
+            .filter(|r| matches!(&r[2], Cell::Text(s) if s == "WE"))
+            .map(|r| match r[3] {
+                Cell::Number(x) => x,
+                _ => f64::NAN,
+            })
+            .collect();
+        assert_eq!(we_steps.len(), 2);
+        // Larger diameter => more steps per sample for WE.
+        assert!(
+            we_steps[1] > we_steps[0],
+            "WE steps should grow with diameter: {we_steps:?}"
+        );
+        let srw_steps: Vec<f64> = table
+            .rows
+            .iter()
+            .filter(|r| matches!(&r[2], Cell::Text(s) if s == "SRW"))
+            .map(|r| match r[3] {
+                Cell::Number(x) => x,
+                _ => f64::NAN,
+            })
+            .collect();
+        assert!(srw_steps.iter().all(|&s| s > 0.0));
+    }
+}

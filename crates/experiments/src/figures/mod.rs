@@ -1,0 +1,93 @@
+//! One module per paper artefact. Every module exposes
+//! `run(scale) -> FigureResult`; the `repro` binary collects and writes them.
+
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+
+use crate::measures::Aggregate;
+use crate::report::{ExperimentScale, Table};
+use crate::runner::{self, SamplerKind, Workbench};
+
+/// All figure ids in paper order, with the function regenerating each.
+pub fn all_figures() -> Vec<(&'static str, fn(ExperimentScale) -> crate::report::FigureResult)> {
+    vec![
+        ("fig01", fig01::run as fn(ExperimentScale) -> crate::report::FigureResult),
+        ("fig02", fig02::run),
+        ("fig03", fig03::run),
+        ("fig05", fig05::run),
+        ("fig06", fig06::run),
+        ("fig07", fig07::run),
+        ("fig08", fig08::run),
+        ("fig09", fig09::run),
+        ("fig10", fig10::run),
+        ("fig11", fig11::run),
+        ("fig12", fig12::run),
+    ]
+}
+
+/// Shared builder for the error-vs-query-cost panels of Figures 6–9: one
+/// table per `(sampler, aggregate)` pair, each with a WE counterpart curve
+/// when `pair_with_we` is set.
+pub(crate) fn error_vs_cost_panel(
+    bench: &Workbench,
+    name: &str,
+    samplers: &[SamplerKind],
+    aggregate: &Aggregate,
+    budgets: &[u64],
+    repetitions: usize,
+    seed: u64,
+) -> Table {
+    let mut table = Table::new(
+        name,
+        &["sampler", "budget", "query_cost", "relative_error", "samples"],
+    );
+    for kind in samplers {
+        let points = runner::error_vs_cost(bench, *kind, aggregate, budgets, repetitions, seed);
+        for p in points {
+            table.push_row(vec![
+                kind.label().into(),
+                (p.budget as f64).into(),
+                p.query_cost.into(),
+                p.relative_error.into(),
+                p.samples.into(),
+            ]);
+        }
+    }
+    table
+}
+
+/// Mean relative error of a sampler's rows within a panel table (used by
+/// figure notes and tests to compare curves).
+pub(crate) fn mean_error_for(table: &Table, sampler_label: &str) -> f64 {
+    let sampler_idx = table.columns.iter().position(|c| c == "sampler").expect("sampler column");
+    let err_idx =
+        table.columns.iter().position(|c| c == "relative_error").expect("relative_error column");
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for row in &table.rows {
+        let label = match &row[sampler_idx] {
+            crate::report::Cell::Text(s) => s.as_str(),
+            crate::report::Cell::Number(_) => continue,
+        };
+        if label == sampler_label {
+            if let crate::report::Cell::Number(e) = row[err_idx] {
+                sum += e;
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        f64::NAN
+    } else {
+        sum / count as f64
+    }
+}

@@ -1,0 +1,142 @@
+//! The AVG aggregates whose estimation error measures sample quality
+//! (Section 7.1).
+//!
+//! Each aggregate defines (a) the value it reads off a single sampled node
+//! and (b) its exact population average, computed once per dataset from the
+//! ground-truth graph. Per-node values are evaluated against the ground
+//! truth (not charged as queries): the paper treats them as attributes
+//! retrieved with the sampled node's profile, and charging them identically
+//! for every sampler keeps the query-cost comparison fair.
+
+use wnw_graph::{metrics, Graph, NodeId};
+
+/// An AVG aggregate over nodes of the graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Average node degree (Figures 6a/6c, 7a, 11).
+    Degree,
+    /// Average of a named node attribute (self-description words, stars,
+    /// in/out-degree; Figures 6b/6d, 7b, 8a/8b).
+    NodeAttribute(String),
+    /// Average local clustering coefficient (Figures 7d, 8c/8d).
+    LocalClustering,
+    /// Average shortest-path length, expressed per node as the mean BFS
+    /// distance to every other reachable node (Figures 7c, 8).
+    MeanShortestPath,
+}
+
+impl Aggregate {
+    /// Short name used in output tables.
+    pub fn name(&self) -> String {
+        match self {
+            Aggregate::Degree => "avg_degree".to_string(),
+            Aggregate::NodeAttribute(attr) => format!("avg_{attr}"),
+            Aggregate::LocalClustering => "avg_local_clustering".to_string(),
+            Aggregate::MeanShortestPath => "avg_shortest_path".to_string(),
+        }
+    }
+
+    /// The value this aggregate reads off one sampled node.
+    pub fn node_value(&self, graph: &Graph, v: NodeId) -> f64 {
+        match self {
+            Aggregate::Degree => graph.degree(v) as f64,
+            Aggregate::NodeAttribute(attr) => graph.attribute(attr, v).unwrap_or(0.0),
+            Aggregate::LocalClustering => metrics::local_clustering_coefficient(graph, v),
+            Aggregate::MeanShortestPath => {
+                let dist = metrics::bfs_distances(graph, v);
+                let mut total = 0u64;
+                let mut count = 0u64;
+                for (u, &d) in dist.iter().enumerate() {
+                    if d != metrics::UNREACHABLE && u != v.index() {
+                        total += d as u64;
+                        count += 1;
+                    }
+                }
+                if count == 0 {
+                    0.0
+                } else {
+                    total as f64 / count as f64
+                }
+            }
+        }
+    }
+
+    /// The exact population average (the denominator of the relative error).
+    ///
+    /// For [`Aggregate::MeanShortestPath`] on graphs above a few thousand
+    /// nodes the exact all-pairs value is replaced by a 200-source BFS
+    /// estimate, which is accurate to well under the error levels the
+    /// figures report.
+    pub fn ground_truth(&self, graph: &Graph) -> f64 {
+        match self {
+            Aggregate::Degree => graph.average_degree(),
+            Aggregate::NodeAttribute(attr) => {
+                graph.attributes().column(attr).map(|c| c.mean()).unwrap_or(0.0)
+            }
+            Aggregate::LocalClustering => metrics::average_local_clustering(graph),
+            Aggregate::MeanShortestPath => {
+                if graph.node_count() <= 2_000 {
+                    metrics::average_shortest_path(graph)
+                } else {
+                    metrics::sampled_average_shortest_path(graph, 200, 0xACC_u64)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wnw_graph::generators::classic::{complete, path};
+    use wnw_graph::generators::random::barabasi_albert;
+
+    #[test]
+    fn degree_aggregate() {
+        let g = complete(5);
+        assert_eq!(Aggregate::Degree.node_value(&g, NodeId(0)), 4.0);
+        assert_eq!(Aggregate::Degree.ground_truth(&g), 4.0);
+        assert_eq!(Aggregate::Degree.name(), "avg_degree");
+    }
+
+    #[test]
+    fn attribute_aggregate() {
+        let mut g = path(3);
+        g.set_attribute("stars", vec![1.0, 3.0, 5.0]).unwrap();
+        let agg = Aggregate::NodeAttribute("stars".to_string());
+        assert_eq!(agg.node_value(&g, NodeId(2)), 5.0);
+        assert_eq!(agg.ground_truth(&g), 3.0);
+        assert_eq!(agg.name(), "avg_stars");
+        // Missing attribute degrades to zero rather than panicking.
+        assert_eq!(Aggregate::NodeAttribute("x".into()).node_value(&g, NodeId(0)), 0.0);
+    }
+
+    #[test]
+    fn clustering_aggregate() {
+        let g = complete(4);
+        assert_eq!(Aggregate::LocalClustering.node_value(&g, NodeId(1)), 1.0);
+        assert_eq!(Aggregate::LocalClustering.ground_truth(&g), 1.0);
+    }
+
+    #[test]
+    fn shortest_path_aggregate() {
+        let g = path(3);
+        // Node 0: distances 1 and 2 -> mean 1.5; node 1: 1 and 1 -> 1.0.
+        assert_eq!(Aggregate::MeanShortestPath.node_value(&g, NodeId(0)), 1.5);
+        assert_eq!(Aggregate::MeanShortestPath.node_value(&g, NodeId(1)), 1.0);
+        let truth = Aggregate::MeanShortestPath.ground_truth(&g);
+        assert!((truth - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_node_mean_averages_to_population_mean() {
+        let g = barabasi_albert(120, 3, 3).unwrap();
+        let truth = Aggregate::MeanShortestPath.ground_truth(&g);
+        let avg_of_node_values: f64 = g
+            .nodes()
+            .map(|v| Aggregate::MeanShortestPath.node_value(&g, v))
+            .sum::<f64>()
+            / g.node_count() as f64;
+        assert!((truth - avg_of_node_values).abs() < 1e-9);
+    }
+}

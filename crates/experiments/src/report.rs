@@ -1,0 +1,274 @@
+//! Result tables, experiment scales, and output writers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// How big an experiment run should be.
+///
+/// The paper-scale settings match Section 7.1 (16k-node Google Plus
+/// surrogate, 100 repetitions per data point, ...); the default scale keeps
+/// the whole suite runnable on a laptop in minutes, and the quick scale keeps
+/// unit tests and Criterion benches fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ExperimentScale {
+    /// Tiny sizes for tests and benches (seconds).
+    Quick,
+    /// Laptop-friendly defaults (minutes).
+    #[default]
+    Default,
+    /// The paper's sizes (hours).
+    Paper,
+}
+
+impl ExperimentScale {
+    /// Parses a scale name as used by the `repro` binary (`quick`,
+    /// `default`, `paper`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "quick" => Some(ExperimentScale::Quick),
+            "default" => Some(ExperimentScale::Default),
+            "paper" => Some(ExperimentScale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Repetitions used to average each reported data point (the paper uses
+    /// 100).
+    pub fn repetitions(&self) -> usize {
+        match self {
+            ExperimentScale::Quick => 2,
+            ExperimentScale::Default => 10,
+            ExperimentScale::Paper => 100,
+        }
+    }
+}
+
+/// One value cell of a result table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Cell {
+    /// A floating-point value.
+    Number(f64),
+    /// A label.
+    Text(String),
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Number(x) => {
+                if x.is_infinite() {
+                    "inf".to_string()
+                } else if (x.fract() == 0.0) && x.abs() < 1e15 {
+                    format!("{x:.0}")
+                } else {
+                    format!("{x:.6}")
+                }
+            }
+            Cell::Text(s) => s.clone(),
+        }
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(x: f64) -> Self {
+        Cell::Number(x)
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+
+/// A named table of results (one CSV file / markdown table per instance).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Identifier used for the output file name (e.g. `fig06a_avg_degree_srw`).
+    pub name: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells (each row has `columns.len()` entries).
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            name: name.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row length does not match the number of columns.
+    pub fn push_row(&mut self, row: Vec<Cell>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch in table {}", self.name);
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(|c| c.render()).collect();
+            let _ = writeln!(out, "{}", line.join(","));
+        }
+        out
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.columns.join(" | "));
+        let _ = writeln!(out, "|{}|", self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(|c| c.render()).collect();
+            let _ = writeln!(out, "| {} |", line.join(" | "));
+        }
+        out
+    }
+
+    /// Extracts a numeric column by header name (non-numeric cells are
+    /// skipped), useful for tests and summaries.
+    pub fn numeric_column(&self, header: &str) -> Vec<f64> {
+        let Some(idx) = self.columns.iter().position(|c| c == header) else {
+            return Vec::new();
+        };
+        self.rows
+            .iter()
+            .filter_map(|row| match &row[idx] {
+                Cell::Number(x) => Some(*x),
+                Cell::Text(_) => None,
+            })
+            .collect()
+    }
+}
+
+/// The result of reproducing one figure or table of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureResult {
+    /// Identifier ("fig06", "table1", ...).
+    pub id: String,
+    /// Human-readable description of what the paper artefact shows.
+    pub title: String,
+    /// The regenerated data series.
+    pub tables: Vec<Table>,
+    /// Free-form notes (e.g. observed vs expected shape).
+    pub notes: Vec<String>,
+}
+
+impl FigureResult {
+    /// Creates an empty result.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        FigureResult { id: id.into(), title: title.into(), tables: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Adds a table.
+    pub fn push_table(&mut self, table: Table) {
+        self.tables.push(table);
+    }
+
+    /// Adds a note.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Writes one CSV per table plus a markdown summary into `dir`.
+    pub fn write_to_dir(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for table in &self.tables {
+            let path = dir.join(format!("{}_{}.csv", self.id, table.name));
+            std::fs::write(path, table.to_csv())?;
+        }
+        let mut md = String::new();
+        let _ = writeln!(md, "# {} — {}\n", self.id, self.title);
+        for note in &self.notes {
+            let _ = writeln!(md, "> {note}\n");
+        }
+        for table in &self.tables {
+            let _ = writeln!(md, "## {}\n", table.name);
+            let _ = writeln!(md, "{}", table.to_markdown());
+        }
+        std::fs::write(dir.join(format!("{}.md", self.id)), md)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing_and_repetitions() {
+        assert_eq!(ExperimentScale::parse("quick"), Some(ExperimentScale::Quick));
+        assert_eq!(ExperimentScale::parse("Default"), Some(ExperimentScale::Default));
+        assert_eq!(ExperimentScale::parse("PAPER"), Some(ExperimentScale::Paper));
+        assert_eq!(ExperimentScale::parse("huge"), None);
+        assert!(ExperimentScale::Paper.repetitions() > ExperimentScale::Quick.repetitions());
+    }
+
+    #[test]
+    fn table_round_trip_and_rendering() {
+        let mut t = Table::new("demo", &["x", "y", "label"]);
+        t.push_row(vec![1.0.into(), 0.5.into(), "SRW".into()]);
+        t.push_row(vec![2.0.into(), f64::INFINITY.into(), "WE".into()]);
+        assert_eq!(t.len(), 2);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("x,y,label\n"));
+        assert!(csv.contains("1,0.500000,SRW"));
+        assert!(csv.contains("inf"));
+        let md = t.to_markdown();
+        assert!(md.contains("| x | y | label |"));
+        assert_eq!(t.numeric_column("x"), vec![1.0, 2.0]);
+        assert_eq!(t.numeric_column("label"), Vec::<f64>::new());
+        assert_eq!(t.numeric_column("missing"), Vec::<f64>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_enforced() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec![1.0.into()]);
+    }
+
+    #[test]
+    fn figure_result_writes_files() {
+        let mut result = FigureResult::new("figtest", "unit-test figure");
+        let mut t = Table::new("series", &["x", "y"]);
+        t.push_row(vec![1.0.into(), 2.0.into()]);
+        result.push_table(t);
+        result.push_note("shape matches");
+        let dir = std::env::temp_dir().join("wnw_report_test");
+        result.write_to_dir(&dir).unwrap();
+        assert!(dir.join("figtest_series.csv").exists());
+        assert!(dir.join("figtest.md").exists());
+        let md = std::fs::read_to_string(dir.join("figtest.md")).unwrap();
+        assert!(md.contains("unit-test figure"));
+        assert!(md.contains("shape matches"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

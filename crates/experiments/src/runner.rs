@@ -1,0 +1,389 @@
+//! Shared experiment loops: build a sampler, run it against a budget or a
+//! sample-count target, estimate an aggregate, and average the relative error
+//! over repetitions — the common core of Figures 6–11.
+
+use crate::measures::Aggregate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use wnw_access::{QueryBudget, SimulatedOsn, SocialNetwork};
+use wnw_analytics::aggregates::{estimate_average, relative_error, SampleValue, WeightingScheme};
+use wnw_core::{WalkEstimateConfig, WalkEstimateSampler, WalkEstimateVariant};
+use wnw_graph::{metrics, Graph, NodeId};
+use wnw_mcmc::burn_in::{BurnInConfig, ManyShortRunsSampler, OneLongRunSampler};
+use wnw_mcmc::sampler::{collect_samples, Sampler, SamplerRunSummary};
+use wnw_mcmc::{RandomWalkKind, TargetDistribution};
+
+/// The samplers compared in the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamplerKind {
+    /// Traditional simple random walk with Geweke-monitored burn-in,
+    /// many-short-runs style.
+    Srw,
+    /// Traditional Metropolis–Hastings random walk, many-short-runs style.
+    Mhrw,
+    /// One-long-run variant of SRW (Section 6.1 discussion).
+    SrwOneLongRun,
+    /// WALK-ESTIMATE with the given input walk and heuristic variant.
+    WalkEstimate {
+        /// The input random-walk design WE replaces.
+        input: RandomWalkKind,
+        /// Which variance-reduction heuristics are enabled.
+        variant: WalkEstimateVariant,
+    },
+}
+
+impl SamplerKind {
+    /// Label used in result tables ("SRW", "WE(SRW)", "WE-Crawl(MHRW)", ...).
+    pub fn label(&self) -> String {
+        match self {
+            SamplerKind::Srw => "SRW".to_string(),
+            SamplerKind::Mhrw => "MHRW".to_string(),
+            SamplerKind::SrwOneLongRun => "SRW-one-long-run".to_string(),
+            SamplerKind::WalkEstimate { input, variant } => {
+                format!("{}({})", variant.label(), input.name())
+            }
+        }
+    }
+
+    /// The target distribution of the emitted samples.
+    pub fn target(&self) -> TargetDistribution {
+        match self {
+            SamplerKind::Srw | SamplerKind::SrwOneLongRun => TargetDistribution::DegreeProportional,
+            SamplerKind::Mhrw => TargetDistribution::Uniform,
+            SamplerKind::WalkEstimate { input, .. } => input.target(),
+        }
+    }
+
+    /// The estimator weighting matching this sampler's target distribution.
+    pub fn weighting(&self) -> WeightingScheme {
+        match self.target() {
+            TargetDistribution::Uniform => WeightingScheme::Uniform,
+            TargetDistribution::DegreeProportional => WeightingScheme::InverseDegree,
+        }
+    }
+
+    /// The WALK-ESTIMATE counterpart of a traditional sampler (used to pair
+    /// curves in the figures). WE kinds return themselves.
+    pub fn walk_estimate_counterpart(&self) -> SamplerKind {
+        match self {
+            SamplerKind::Srw | SamplerKind::SrwOneLongRun => SamplerKind::WalkEstimate {
+                input: RandomWalkKind::Simple,
+                variant: WalkEstimateVariant::Full,
+            },
+            SamplerKind::Mhrw => SamplerKind::WalkEstimate {
+                input: RandomWalkKind::MetropolisHastings,
+                variant: WalkEstimateVariant::Full,
+            },
+            we @ SamplerKind::WalkEstimate { .. } => *we,
+        }
+    }
+
+    /// Builds the sampler over a prepared access layer.
+    pub fn build(
+        &self,
+        osn: SimulatedOsn,
+        diameter_estimate: usize,
+        config: &WalkEstimateConfig,
+        seed: u64,
+    ) -> Box<dyn Sampler> {
+        match *self {
+            SamplerKind::Srw => Box::new(ManyShortRunsSampler::new(
+                osn,
+                RandomWalkKind::Simple,
+                BurnInConfig::default(),
+                seed,
+            )),
+            SamplerKind::Mhrw => Box::new(ManyShortRunsSampler::new(
+                osn,
+                RandomWalkKind::MetropolisHastings,
+                BurnInConfig::default(),
+                seed,
+            )),
+            SamplerKind::SrwOneLongRun => Box::new(OneLongRunSampler::new(
+                osn,
+                RandomWalkKind::Simple,
+                BurnInConfig::default(),
+                seed,
+            )),
+            SamplerKind::WalkEstimate { input, variant } => Box::new(
+                WalkEstimateSampler::new(osn, input, config.with_variant(variant), seed)
+                    .with_diameter_estimate(diameter_estimate),
+            ),
+        }
+    }
+}
+
+/// Fixed experiment environment for one dataset: the graph, its estimated
+/// diameter, and the WE configuration in force.
+#[derive(Debug, Clone)]
+pub struct Workbench {
+    /// The ground-truth graph behind the simulated access layer.
+    pub graph: Graph,
+    /// Diameter estimate fed to the WALK length policy.
+    pub diameter: usize,
+    /// WALK-ESTIMATE configuration (crawl depth etc.).
+    pub config: WalkEstimateConfig,
+}
+
+impl Workbench {
+    /// Prepares a workbench, estimating the diameter with a double sweep.
+    pub fn new(graph: Graph, config: WalkEstimateConfig) -> Self {
+        let diameter = metrics::double_sweep_diameter_estimate(&graph, 0xD1A).unwrap_or(10).max(2);
+        Workbench { graph, diameter, config }
+    }
+
+    fn osn(&self, budget: Option<u64>, start: NodeId) -> SimulatedOsn {
+        let mut builder = SimulatedOsn::builder(self.graph.clone()).seed_node(start);
+        if let Some(b) = budget {
+            builder = builder.budget(QueryBudget(b));
+        }
+        builder.build()
+    }
+
+    fn random_start(&self, rng: &mut StdRng) -> NodeId {
+        NodeId::new(rng.gen_range(0..self.graph.node_count()))
+    }
+
+    fn samples_to_values(&self, run: &SamplerRunSummary, aggregate: &Aggregate) -> Vec<SampleValue> {
+        run.samples
+            .iter()
+            .map(|s| SampleValue {
+                node: s.node,
+                value: aggregate.node_value(&self.graph, s.node),
+                degree: self.graph.degree(s.node),
+            })
+            .collect()
+    }
+}
+
+/// One point of an error-vs-query-cost curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorVsCostPoint {
+    /// Query budget given to the sampler.
+    pub budget: u64,
+    /// Query cost actually spent (averaged over repetitions).
+    pub query_cost: f64,
+    /// Relative error of the aggregate estimate (averaged over repetitions).
+    pub relative_error: f64,
+    /// Number of samples obtained (averaged over repetitions).
+    pub samples: f64,
+}
+
+/// Runs `kind` against each budget and reports the averaged relative error of
+/// `aggregate` (the building block of Figures 6–8, 9, 11a).
+pub fn error_vs_cost(
+    bench: &Workbench,
+    kind: SamplerKind,
+    aggregate: &Aggregate,
+    budgets: &[u64],
+    repetitions: usize,
+    base_seed: u64,
+) -> Vec<ErrorVsCostPoint> {
+    let truth = aggregate.ground_truth(&bench.graph);
+    let mut rng = StdRng::seed_from_u64(base_seed);
+    budgets
+        .iter()
+        .map(|&budget| {
+            let mut err_sum = 0.0;
+            let mut cost_sum = 0.0;
+            let mut sample_sum = 0.0;
+            for rep in 0..repetitions {
+                let start = bench.random_start(&mut rng);
+                let osn = bench.osn(Some(budget), start);
+                let mut sampler =
+                    kind.build(osn.clone(), bench.diameter, &bench.config, base_seed ^ (rep as u64) << 8 ^ budget);
+                let run = collect_samples(sampler.as_mut(), usize::MAX >> 1)
+                    .expect("budget exhaustion is handled internally");
+                let values = bench.samples_to_values(&run, aggregate);
+                let estimate = estimate_average(&values, kind.weighting());
+                err_sum += relative_error(estimate, truth);
+                cost_sum += osn.query_cost() as f64;
+                sample_sum += run.len() as f64;
+            }
+            ErrorVsCostPoint {
+                budget,
+                query_cost: cost_sum / repetitions as f64,
+                relative_error: err_sum / repetitions as f64,
+                samples: sample_sum / repetitions as f64,
+            }
+        })
+        .collect()
+}
+
+/// One point of an error-vs-sample-count curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorVsSamplesPoint {
+    /// Number of samples requested.
+    pub samples: usize,
+    /// Relative error of the aggregate estimate (averaged over repetitions).
+    pub relative_error: f64,
+    /// Query cost spent to obtain the samples (averaged over repetitions).
+    pub query_cost: f64,
+}
+
+/// Runs `kind` until it has produced each sample count and reports the
+/// averaged relative error (Figures 10, 11b).
+pub fn error_vs_samples(
+    bench: &Workbench,
+    kind: SamplerKind,
+    aggregate: &Aggregate,
+    sample_counts: &[usize],
+    repetitions: usize,
+    base_seed: u64,
+) -> Vec<ErrorVsSamplesPoint> {
+    let truth = aggregate.ground_truth(&bench.graph);
+    let mut rng = StdRng::seed_from_u64(base_seed);
+    sample_counts
+        .iter()
+        .map(|&count| {
+            let mut err_sum = 0.0;
+            let mut cost_sum = 0.0;
+            for rep in 0..repetitions {
+                let start = bench.random_start(&mut rng);
+                let osn = bench.osn(None, start);
+                let mut sampler =
+                    kind.build(osn.clone(), bench.diameter, &bench.config, base_seed ^ (rep as u64) << 8 ^ count as u64);
+                let run = collect_samples(sampler.as_mut(), count)
+                    .expect("unlimited budget cannot be exhausted");
+                let values = bench.samples_to_values(&run, aggregate);
+                let estimate = estimate_average(&values, kind.weighting());
+                err_sum += relative_error(estimate, truth);
+                cost_sum += osn.query_cost() as f64;
+            }
+            ErrorVsSamplesPoint {
+                samples: count,
+                relative_error: err_sum / repetitions as f64,
+                query_cost: cost_sum / repetitions as f64,
+            }
+        })
+        .collect()
+}
+
+/// Average number of neighbor-list API calls ("walk steps") spent per sample
+/// — the y-axis of Figure 5.
+pub fn api_calls_per_sample(
+    bench: &Workbench,
+    kind: SamplerKind,
+    samples: usize,
+    repetitions: usize,
+    base_seed: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(base_seed);
+    let mut total = 0.0;
+    for rep in 0..repetitions {
+        let start = bench.random_start(&mut rng);
+        let osn = bench.osn(None, start);
+        let mut sampler = kind.build(osn.clone(), bench.diameter, &bench.config, base_seed ^ rep as u64);
+        let run = collect_samples(sampler.as_mut(), samples).expect("unlimited budget");
+        let calls = osn.query_stats().api_calls as f64;
+        total += calls / run.len().max(1) as f64;
+    }
+    total / repetitions as f64
+}
+
+/// Draws `count` samples and returns the sampled node ids (used by the
+/// exact-bias study of Figure 12 / Table 1).
+pub fn draw_nodes(
+    bench: &Workbench,
+    kind: SamplerKind,
+    count: usize,
+    seed: u64,
+) -> Vec<NodeId> {
+    let osn = bench.osn(None, NodeId(0));
+    let mut sampler = kind.build(osn, bench.diameter, &bench.config, seed);
+    let run = collect_samples(sampler.as_mut(), count).expect("unlimited budget");
+    run.nodes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wnw_graph::generators::random::barabasi_albert;
+
+    fn bench() -> Workbench {
+        let graph = barabasi_albert(300, 3, 5).unwrap();
+        Workbench::new(graph, WalkEstimateConfig::default())
+    }
+
+    #[test]
+    fn sampler_kind_labels_and_pairing() {
+        assert_eq!(SamplerKind::Srw.label(), "SRW");
+        assert_eq!(SamplerKind::Mhrw.label(), "MHRW");
+        let we = SamplerKind::Srw.walk_estimate_counterpart();
+        assert_eq!(we.label(), "WE(SRW)");
+        assert_eq!(we.walk_estimate_counterpart(), we);
+        assert_eq!(SamplerKind::Mhrw.weighting(), WeightingScheme::Uniform);
+        assert_eq!(SamplerKind::Srw.weighting(), WeightingScheme::InverseDegree);
+        assert_eq!(SamplerKind::SrwOneLongRun.target(), TargetDistribution::DegreeProportional);
+    }
+
+    #[test]
+    fn error_vs_cost_produces_monotone_budgets() {
+        let bench = bench();
+        let points = error_vs_cost(
+            &bench,
+            SamplerKind::Srw,
+            &Aggregate::Degree,
+            &[60, 120, 180],
+            2,
+            7,
+        );
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert!(p.query_cost <= p.budget as f64 + 1.0);
+            assert!(p.relative_error.is_finite());
+            assert!(p.samples >= 0.0);
+        }
+        assert!(points[2].samples >= points[0].samples);
+    }
+
+    #[test]
+    fn error_vs_cost_works_for_walk_estimate() {
+        let bench = bench();
+        let kind = SamplerKind::WalkEstimate {
+            input: RandomWalkKind::Simple,
+            variant: WalkEstimateVariant::Full,
+        };
+        let points = error_vs_cost(&bench, kind, &Aggregate::Degree, &[80, 160], 2, 11);
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().all(|p| p.relative_error.is_finite()));
+    }
+
+    #[test]
+    fn error_vs_samples_improves_with_more_samples() {
+        let bench = bench();
+        let points = error_vs_samples(
+            &bench,
+            SamplerKind::Mhrw,
+            &Aggregate::Degree,
+            &[5, 60],
+            3,
+            13,
+        );
+        assert_eq!(points.len(), 2);
+        // Not guaranteed monotone for every seed, but the 12x sample count
+        // should not be dramatically worse.
+        assert!(points[1].relative_error <= points[0].relative_error * 2.0 + 0.05);
+        assert!(points[1].query_cost > points[0].query_cost);
+    }
+
+    #[test]
+    fn api_calls_per_sample_is_positive() {
+        let bench = bench();
+        let calls = api_calls_per_sample(&bench, SamplerKind::Srw, 3, 2, 17);
+        assert!(calls > 1.0);
+    }
+
+    #[test]
+    fn draw_nodes_returns_requested_count() {
+        let bench = bench();
+        let kind = SamplerKind::WalkEstimate {
+            input: RandomWalkKind::MetropolisHastings,
+            variant: WalkEstimateVariant::Full,
+        };
+        let nodes = draw_nodes(&bench, kind, 5, 19);
+        assert_eq!(nodes.len(), 5);
+        assert!(nodes.iter().all(|&v| bench.graph.contains(v)));
+    }
+}

@@ -1,0 +1,160 @@
+//! Incremental construction of undirected graphs.
+//!
+//! Generators and file loaders accumulate edges into a [`GraphBuilder`],
+//! which deduplicates parallel edges and drops self-loops before freezing the
+//! edge set into the CSR [`Graph`](crate::Graph). The paper's graph model is a
+//! simple undirected graph (Section 2.1), so both choices are deliberate.
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+
+/// Accumulates an edge list and freezes it into a [`Graph`].
+///
+/// Duplicate edges (in either orientation) and self-loops are silently
+/// ignored; the node count grows to cover the largest endpoint seen, and may
+/// also be raised explicitly with [`GraphBuilder::ensure_node`] so isolated
+/// nodes survive.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    /// Edges stored with the smaller endpoint first.
+    edges: Vec<(u32, u32)>,
+    node_count: usize,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder expecting `nodes` nodes and roughly `edges` edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        GraphBuilder { edges: Vec::with_capacity(edges), node_count: nodes }
+    }
+
+    /// Number of nodes the built graph will have (so far).
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of (possibly duplicated) edge insertions recorded so far.
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Makes sure node `v` exists even if no edge touches it.
+    pub fn ensure_node(&mut self, v: impl Into<NodeId>) -> &mut Self {
+        let v = v.into().index();
+        if v + 1 > self.node_count {
+            self.node_count = v + 1;
+        }
+        self
+    }
+
+    /// Makes sure nodes `0..n` exist.
+    pub fn ensure_nodes(&mut self, n: usize) -> &mut Self {
+        if n > self.node_count {
+            self.node_count = n;
+        }
+        self
+    }
+
+    /// Adds the undirected edge `{u, v}`. Self-loops are ignored.
+    pub fn add_edge(&mut self, u: impl Into<NodeId>, v: impl Into<NodeId>) -> &mut Self {
+        let u = u.into();
+        let v = v.into();
+        self.ensure_node(u);
+        self.ensure_node(v);
+        if u == v {
+            return self;
+        }
+        let (a, b) = if u.0 <= v.0 { (u.0, v.0) } else { (v.0, u.0) };
+        self.edges.push((a, b));
+        self
+    }
+
+    /// Adds every edge of an iterator of `(u, v)` pairs.
+    pub fn extend_edges<I, U, V>(&mut self, iter: I) -> &mut Self
+    where
+        I: IntoIterator<Item = (U, V)>,
+        U: Into<NodeId>,
+        V: Into<NodeId>,
+    {
+        for (u, v) in iter {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Freezes the accumulated edges into a CSR [`Graph`].
+    ///
+    /// Parallel edges are removed; the neighbor lists of the resulting graph
+    /// are sorted by node id.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        Graph::from_deduped_edges(self.node_count, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_triangle() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0u32, 1u32).add_edge(1u32, 2u32).add_edge(2u32, 0u32);
+        let g = b.build();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(NodeId(0)), 2);
+        assert_eq!(g.neighbors(NodeId(0)), &[NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn deduplicates_and_ignores_self_loops() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0u32, 1u32)
+            .add_edge(1u32, 0u32)
+            .add_edge(0u32, 1u32)
+            .add_edge(1u32, 1u32);
+        let g = b.build();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn isolated_nodes_survive() {
+        let mut b = GraphBuilder::new();
+        b.ensure_nodes(5);
+        b.add_edge(0u32, 1u32);
+        let g = b.build();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.degree(NodeId(4)), 0);
+        assert!(g.neighbors(NodeId(4)).is_empty());
+    }
+
+    #[test]
+    fn extend_edges_matches_individual_adds() {
+        let mut a = GraphBuilder::new();
+        a.extend_edges([(0u32, 1u32), (1, 2), (2, 3)]);
+        let mut b = GraphBuilder::new();
+        b.add_edge(0u32, 1u32).add_edge(1u32, 2u32).add_edge(2u32, 3u32);
+        let ga = a.build();
+        let gb = b.build();
+        assert_eq!(ga.node_count(), gb.node_count());
+        assert_eq!(ga.edge_count(), gb.edge_count());
+        for v in ga.nodes() {
+            assert_eq!(ga.neighbors(v), gb.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn with_capacity_tracks_nodes() {
+        let b = GraphBuilder::with_capacity(10, 20);
+        assert_eq!(b.node_count(), 10);
+        assert_eq!(b.raw_edge_count(), 0);
+    }
+}

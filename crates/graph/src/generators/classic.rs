@@ -1,0 +1,254 @@
+//! Deterministic theoretical graph models.
+//!
+//! These are the models used in the paper's Section 4.2 case study of
+//! IDEAL-WALK: *cycle*, *hypercube*, *barbell*, *(balanced binary) tree*, and
+//! the scale-free Barabási–Albert model (the latter lives in
+//! [`random`](crate::generators::random) because it is randomized). A few
+//! extra standard models (complete, path, star, grid) are provided because
+//! they make handy test fixtures with known diameters and degree profiles.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+
+/// Cycle graph `C_n`: a single circle of `n` nodes, diameter `⌊n/2⌋`.
+///
+/// The paper uses cycles as the worst case for WALK-ESTIMATE (Figure 5):
+/// large diameter, spectral gap `O(n^-2)`.
+pub fn cycle(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n);
+    b.ensure_nodes(n);
+    if n >= 2 {
+        for i in 0..n {
+            b.add_edge(i, (i + 1) % n);
+        }
+    }
+    b.build()
+}
+
+/// Path graph `P_n`: `n` nodes in a line, diameter `n - 1`.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    b.ensure_nodes(n);
+    for i in 1..n {
+        b.add_edge(i - 1, i);
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`: every pair of nodes connected, diameter 1.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n * n.saturating_sub(1) / 2);
+    b.ensure_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(i, j);
+        }
+    }
+    b.build()
+}
+
+/// Star graph `S_n`: one hub connected to `n - 1` leaves, diameter 2.
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    b.ensure_nodes(n);
+    for i in 1..n {
+        b.add_edge(0usize, i);
+    }
+    b.build()
+}
+
+/// `k`-dimensional hypercube `Q_k`: `2^k` nodes, `2^{k-1}·k` edges,
+/// diameter `k`. Two nodes are adjacent iff their binary representations
+/// differ in exactly one bit.
+pub fn hypercube(k: u32) -> Graph {
+    let n = 1usize << k;
+    let mut b = GraphBuilder::with_capacity(n, n * k as usize / 2);
+    b.ensure_nodes(n);
+    for v in 0..n {
+        for bit in 0..k {
+            let u = v ^ (1 << bit);
+            if u > v {
+                b.add_edge(v, u);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Barbell graph of `n` nodes (for odd `n ≥ 3`): two copies of the complete
+/// graph `K_{(n-1)/2}` joined by one central node, with one edge from the
+/// central node into each half (the paper quotes diameter 3; under this
+/// literal construction the worst-case distance between two non-attachment
+/// nodes in opposite halves is 4). Either way the graph mixes extremely
+/// slowly — the paper's counterexample for the heuristic walk-length rule
+/// (Section 4.3).
+///
+/// For even `n` the extra node is added to the first clique so the total node
+/// count is always `n`.
+pub fn barbell(n: usize) -> Graph {
+    if n < 3 {
+        return complete(n);
+    }
+    let half = (n - 1) / 2;
+    let first = half + (n - 1) % 2; // absorb the rounding remainder
+    let second = half;
+    let center = n - 1;
+    let mut b = GraphBuilder::with_capacity(n, first * first / 2 + second * second / 2 + 2);
+    b.ensure_nodes(n);
+    // First clique occupies nodes [0, first).
+    for i in 0..first {
+        for j in (i + 1)..first {
+            b.add_edge(i, j);
+        }
+    }
+    // Second clique occupies nodes [first, first + second).
+    for i in 0..second {
+        for j in (i + 1)..second {
+            b.add_edge(first + i, first + j);
+        }
+    }
+    // Central node bridges the two cliques through a single edge each.
+    if first > 0 {
+        b.add_edge(center, 0usize);
+    }
+    if second > 0 {
+        b.add_edge(center, first);
+    }
+    b.build()
+}
+
+/// Balanced binary tree of height `h`: `2^{h+1} - 1` nodes, diameter `2h`.
+/// Node 0 is the root; node `i` has children `2i + 1` and `2i + 2`.
+pub fn balanced_binary_tree(h: u32) -> Graph {
+    let n = (1usize << (h + 1)) - 1;
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    b.ensure_nodes(n);
+    for i in 0..n {
+        let left = 2 * i + 1;
+        let right = 2 * i + 2;
+        if left < n {
+            b.add_edge(i, left);
+        }
+        if right < n {
+            b.add_edge(i, right);
+        }
+    }
+    b.build()
+}
+
+/// `rows × cols` grid graph with 4-neighborhood, diameter `rows + cols - 2`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    b.ensure_nodes(n);
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use crate::node::NodeId;
+
+    #[test]
+    fn cycle_structure() {
+        let g = cycle(8);
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 8);
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+        assert_eq!(metrics::exact_diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn cycle_degenerate_sizes() {
+        assert_eq!(cycle(0).node_count(), 0);
+        let g1 = cycle(1);
+        assert_eq!(g1.node_count(), 1);
+        assert_eq!(g1.edge_count(), 0);
+        let g2 = cycle(2);
+        assert_eq!(g2.edge_count(), 1);
+    }
+
+    #[test]
+    fn path_and_star() {
+        let p = path(5);
+        assert_eq!(p.edge_count(), 4);
+        assert_eq!(metrics::exact_diameter(&p), Some(4));
+        let s = star(6);
+        assert_eq!(s.edge_count(), 5);
+        assert_eq!(s.degree(NodeId(0)), 5);
+        assert_eq!(metrics::exact_diameter(&s), Some(2));
+    }
+
+    #[test]
+    fn complete_graph_diameter_one() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert!(g.nodes().all(|v| g.degree(v) == 5));
+        assert_eq!(metrics::exact_diameter(&g), Some(1));
+    }
+
+    #[test]
+    fn hypercube_counts_match_formula() {
+        // Paper: a k-hypercube has 2^k nodes and 2^{k-1}·k edges, diameter k.
+        for k in 1..=5u32 {
+            let g = hypercube(k);
+            assert_eq!(g.node_count(), 1 << k);
+            assert_eq!(g.edge_count(), (1 << (k - 1)) * k as usize);
+            assert_eq!(metrics::exact_diameter(&g), Some(k as usize));
+        }
+    }
+
+    #[test]
+    fn barbell_has_small_diameter_and_is_connected() {
+        let g = barbell(31);
+        assert_eq!(g.node_count(), 31);
+        assert_eq!(metrics::connected_components(&g), 1);
+        let d = metrics::exact_diameter(&g).unwrap();
+        assert!((3..=4).contains(&d), "barbell diameter {d}");
+    }
+
+    #[test]
+    fn barbell_even_node_count_is_exact() {
+        let g = barbell(10);
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(metrics::connected_components(&g), 1);
+    }
+
+    #[test]
+    fn barbell_tiny_falls_back_to_complete() {
+        let g = barbell(2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn balanced_tree_structure() {
+        // Height h => 2^{h+1}-1 nodes, diameter 2h (paper Section 4.2).
+        for h in 1..=4u32 {
+            let g = balanced_binary_tree(h);
+            assert_eq!(g.node_count(), (1 << (h + 1)) - 1);
+            assert_eq!(g.edge_count(), g.node_count() - 1);
+            assert_eq!(metrics::exact_diameter(&g), Some(2 * h as usize));
+            assert_eq!(metrics::connected_components(&g), 1);
+        }
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+        assert_eq!(metrics::exact_diameter(&g), Some(5));
+    }
+}

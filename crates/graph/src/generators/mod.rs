@@ -1,0 +1,23 @@
+//! Graph generators.
+//!
+//! Two families:
+//!
+//! * [`classic`] — the deterministic theoretical models of the paper's
+//!   Section 4.2 case study (cycle, hypercube, barbell, balanced binary tree,
+//!   complete graph, path, star, grid),
+//! * [`random`] — random graph models (Erdős–Rényi, Barabási–Albert,
+//!   Watts–Strogatz, directed preferential attachment), and
+//! * [`surrogate`] — synthetic stand-ins for the paper's real-world datasets
+//!   (Google Plus, Yelp, Twitter) including the node attributes the
+//!   aggregate-estimation experiments need.
+//!
+//! All random generators take an explicit seed so experiments are
+//! reproducible run to run.
+
+pub mod classic;
+pub mod random;
+pub mod surrogate;
+
+pub use classic::{balanced_binary_tree, barbell, complete, cycle, grid, hypercube, path, star};
+pub use random::{barabasi_albert, erdos_renyi, watts_strogatz};
+pub use surrogate::{google_plus_like, twitter_like, yelp_like, SurrogateDataset};

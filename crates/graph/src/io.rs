@@ -1,0 +1,302 @@
+//! Plain-text graph formats.
+//!
+//! Real OSN datasets (SNAP edge lists, crawler output) typically arrive as
+//! whitespace-separated edge lists, so this module reads and writes:
+//!
+//! * **edge lists** — one `u v` pair per line, `#`-prefixed comments allowed,
+//!   node ids need not be dense (they are remapped in first-seen order), and
+//! * **snapshots** — a self-contained text format that also carries node
+//!   attributes, used to cache generated surrogate datasets between
+//!   experiment runs.
+//!
+//! Both formats are deliberately plain text rather than a serde binary format
+//! so datasets remain inspectable with standard shell tools.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::Result;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads an undirected edge list from a reader.
+///
+/// Lines are `u v` (whitespace separated); blank lines and lines starting
+/// with `#` or `%` are skipped. Node ids are remapped to a dense `0..n` range
+/// in first-seen order; self-loops and duplicate edges are dropped.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph> {
+    let reader = BufReader::new(reader);
+    let mut remap: HashMap<u64, u32> = HashMap::new();
+    let mut builder = GraphBuilder::new();
+    let intern = |raw: u64, remap: &mut HashMap<u64, u32>| -> u32 {
+        let next = remap.len() as u32;
+        *remap.entry(raw).or_insert(next)
+    };
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>, lineno: usize| -> Result<u64> {
+            let tok = tok.ok_or(GraphError::Parse {
+                line: lineno + 1,
+                message: "expected two node ids per line".into(),
+            })?;
+            tok.parse::<u64>().map_err(|_| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("`{tok}` is not a non-negative integer node id"),
+            })
+        };
+        let u = parse(parts.next(), lineno)?;
+        let v = parse(parts.next(), lineno)?;
+        let u = intern(u, &mut remap);
+        let v = intern(v, &mut remap);
+        builder.add_edge(u, v);
+    }
+    Ok(builder.build())
+}
+
+/// Reads an edge list from a file path. See [`read_edge_list`].
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<Graph> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file)
+}
+
+/// Writes the graph as an edge list (`u v` per line, each undirected edge
+/// once), preceded by a comment header with node/edge counts.
+pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# walk-not-wait edge list")?;
+    writeln!(w, "# nodes {} edges {}", g.node_count(), g.edge_count())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{} {}", u.0, v.0)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes an edge list to a file path. See [`write_edge_list`].
+pub fn write_edge_list_file<P: AsRef<Path>>(g: &Graph, path: P) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(g, file)
+}
+
+/// Writes a self-contained snapshot: node count, edges, and every attribute
+/// column. Format:
+///
+/// ```text
+/// wnw-snapshot v1
+/// nodes <n>
+/// edges <m>
+/// <u> <v>            (m lines)
+/// attr <name> <n>
+/// <value>            (n lines, one per node)
+/// ```
+pub fn write_snapshot<W: Write>(g: &Graph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "wnw-snapshot v1")?;
+    writeln!(w, "nodes {}", g.node_count())?;
+    writeln!(w, "edges {}", g.edge_count())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{} {}", u.0, v.0)?;
+    }
+    for name in g.attributes().names() {
+        let col = g.attributes().column(name).expect("name came from the table");
+        writeln!(w, "attr {} {}", name, col.len())?;
+        for v in col.as_slice() {
+            writeln!(w, "{v}")?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a snapshot to a file path. See [`write_snapshot`].
+pub fn write_snapshot_file<P: AsRef<Path>>(g: &Graph, path: P) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_snapshot(g, file)
+}
+
+/// Reads a snapshot written by [`write_snapshot`].
+pub fn read_snapshot<R: Read>(reader: R) -> Result<Graph> {
+    let reader = BufReader::new(reader);
+    let lines: Vec<String> = reader.lines().collect::<std::io::Result<_>>()?;
+    let mut cursor = SnapshotCursor { lines: &lines, pos: 0 };
+
+    let (i, header) = cursor.next_line("header")?;
+    if header.trim() != "wnw-snapshot v1" {
+        return Err(GraphError::Parse { line: i + 1, message: "missing `wnw-snapshot v1` header".into() });
+    }
+    let (i, nodes_line) = cursor.next_line("nodes")?;
+    let n = parse_count(&nodes_line, i, "nodes")?;
+    let (i, edges_line) = cursor.next_line("edges")?;
+    let m = parse_count(&edges_line, i, "edges")?;
+
+    let mut builder = GraphBuilder::with_capacity(n, m);
+    builder.ensure_nodes(n);
+    for _ in 0..m {
+        let (i, line) = cursor.next_line("edge")?;
+        let mut parts = line.split_whitespace();
+        let u: u32 = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or(GraphError::Parse { line: i + 1, message: "bad edge line".into() })?;
+        let v: u32 = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or(GraphError::Parse { line: i + 1, message: "bad edge line".into() })?;
+        builder.add_edge(u, v);
+    }
+    let mut graph = builder.build();
+
+    // Attribute sections until EOF.
+    while let Some((i, line)) = cursor.next_nonempty_line() {
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some("attr"), Some(name), Some(count)) => {
+                let count: usize = count.parse().map_err(|_| GraphError::Parse {
+                    line: i + 1,
+                    message: "bad attribute count".into(),
+                })?;
+                let mut values = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let (j, vline) = cursor.next_line("attribute value")?;
+                    let v: f64 = vline.trim().parse().map_err(|_| GraphError::Parse {
+                        line: j + 1,
+                        message: format!("`{vline}` is not a number"),
+                    })?;
+                    values.push(v);
+                }
+                graph.set_attribute(name, values)?;
+            }
+            _ => {
+                return Err(GraphError::Parse {
+                    line: i + 1,
+                    message: format!("expected `attr <name> <count>`, got `{line}`"),
+                })
+            }
+        }
+    }
+    Ok(graph)
+}
+
+/// Cursor over pre-read snapshot lines, tracking 0-based positions so parse
+/// errors can report 1-based line numbers.
+struct SnapshotCursor<'a> {
+    lines: &'a [String],
+    pos: usize,
+}
+
+impl SnapshotCursor<'_> {
+    fn next_line(&mut self, expect: &str) -> Result<(usize, String)> {
+        match self.lines.get(self.pos) {
+            Some(l) => {
+                let i = self.pos;
+                self.pos += 1;
+                Ok((i, l.clone()))
+            }
+            None => Err(GraphError::Parse {
+                line: self.pos,
+                message: format!("unexpected end of file, expected {expect}"),
+            }),
+        }
+    }
+
+    fn next_nonempty_line(&mut self) -> Option<(usize, String)> {
+        while let Some(l) = self.lines.get(self.pos) {
+            let i = self.pos;
+            self.pos += 1;
+            if !l.trim().is_empty() {
+                return Some((i, l.clone()));
+            }
+        }
+        None
+    }
+}
+
+fn parse_count(line: &str, lineno: usize, key: &str) -> Result<usize> {
+    let mut parts = line.split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some(k), Some(v)) if k == key => v.parse::<usize>().map_err(|_| GraphError::Parse {
+            line: lineno + 1,
+            message: format!("`{v}` is not a count"),
+        }),
+        _ => Err(GraphError::Parse { line: lineno + 1, message: format!("expected `{key} <count>`") }),
+    }
+}
+
+/// Reads a snapshot from a file path. See [`read_snapshot`].
+pub fn read_snapshot_file<P: AsRef<Path>>(path: P) -> Result<Graph> {
+    let file = std::fs::File::open(path)?;
+    read_snapshot(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic::cycle;
+    use crate::generators::random::barabasi_albert;
+    use crate::node::NodeId;
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = barabasi_albert(50, 3, 1).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let h = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(h.node_count(), g.node_count());
+        assert_eq!(h.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn edge_list_parses_comments_and_sparse_ids() {
+        let text = "# comment\n% another\n\n100 200\n200 300\n100 300\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(read_edge_list("1 x\n".as_bytes()).is_err());
+        assert!(read_edge_list("1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_with_attributes() {
+        let mut g = cycle(6);
+        g.set_attribute("stars", vec![1.0, 2.0, 3.0, 4.0, 5.0, 2.5]).unwrap();
+        g.set_attribute("words", vec![10.0; 6]).unwrap();
+        let mut buf = Vec::new();
+        write_snapshot(&g, &mut buf).unwrap();
+        let h = read_snapshot(&buf[..]).unwrap();
+        assert_eq!(h.node_count(), 6);
+        assert_eq!(h.edge_count(), 6);
+        assert_eq!(h.attribute("stars", NodeId(4)).unwrap(), 5.0);
+        assert_eq!(h.attribute("words", NodeId(0)).unwrap(), 10.0);
+        assert_eq!(h.attributes().len(), 2);
+    }
+
+    #[test]
+    fn snapshot_rejects_bad_header() {
+        assert!(read_snapshot("not a snapshot\n".as_bytes()).is_err());
+        assert!(read_snapshot("wnw-snapshot v1\nnodes x\n".as_bytes()).is_err());
+        assert!(read_snapshot("wnw-snapshot v1\nnodes 2\nedges 1\n0 zzz\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn snapshot_file_roundtrip() {
+        let dir = std::env::temp_dir().join("wnw_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cycle.snapshot");
+        let g = cycle(5);
+        write_snapshot_file(&g, &path).unwrap();
+        let h = read_snapshot_file(&path).unwrap();
+        assert_eq!(h.node_count(), 5);
+        assert_eq!(h.edge_count(), 5);
+        std::fs::remove_file(&path).ok();
+    }
+}

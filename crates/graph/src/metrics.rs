@@ -1,0 +1,416 @@
+//! Exact graph measures used as experiment ground truth.
+//!
+//! The paper measures sample bias indirectly as the relative error of AVG
+//! aggregates (Section 2.4 / 7.1): average degree, average shortest-path
+//! length, average local clustering coefficient, and averages of node
+//! attributes. This module computes the exact population values of the
+//! topological measures, plus diameters, BFS distances and connected
+//! components needed by generators, the WALK length policy and the
+//! initial-crawling heuristic.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::node::NodeId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// Distance value for unreachable nodes in [`bfs_distances`].
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS. Returns one distance per node; unreachable nodes get
+/// [`UNREACHABLE`].
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    if !g.contains(source) {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for &v in g.neighbors(u) {
+            if dist[v.index()] == UNREACHABLE {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Nodes within `h` hops of `source` (inclusive of `source` itself), together
+/// with their hop distance. Used by the initial-crawling heuristic.
+pub fn k_hop_neighborhood(g: &Graph, source: NodeId, h: usize) -> Vec<(NodeId, u32)> {
+    let mut out = Vec::new();
+    if !g.contains(source) {
+        return out;
+    }
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    out.push((source, 0));
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        if du as usize >= h {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if dist[v.index()] == UNREACHABLE {
+                dist[v.index()] = du + 1;
+                out.push((v, du + 1));
+                queue.push_back(v);
+            }
+        }
+    }
+    out
+}
+
+/// Eccentricity of `source`: the largest finite BFS distance from it.
+/// Returns `None` for a graph with no nodes.
+pub fn eccentricity(g: &Graph, source: NodeId) -> Option<u32> {
+    if g.is_empty() {
+        return None;
+    }
+    let dist = bfs_distances(g, source);
+    dist.iter().copied().filter(|&d| d != UNREACHABLE).max()
+}
+
+/// Exact diameter by all-pairs BFS — O(|V|·(|V| + |E|)), intended for the
+/// small case-study graphs (Figures 1–3, 5). Returns `None` for an empty
+/// graph; for a disconnected graph the diameter of the largest component is
+/// **not** what this returns — it returns the max over finite distances,
+/// i.e. the largest intra-component diameter.
+pub fn exact_diameter(g: &Graph) -> Option<usize> {
+    if g.is_empty() {
+        return None;
+    }
+    let mut best = 0u32;
+    for v in g.nodes() {
+        if let Some(e) = eccentricity(g, v) {
+            best = best.max(e);
+        }
+    }
+    Some(best as usize)
+}
+
+/// Double-sweep lower bound on the diameter: BFS from an arbitrary node, then
+/// BFS again from the farthest node found. Cheap (2 BFS) and usually tight on
+/// social graphs; used to pick the default WALK length (`2·D̄ + 1`) on graphs
+/// too large for [`exact_diameter`].
+pub fn double_sweep_diameter_estimate(g: &Graph, seed: u64) -> Option<usize> {
+    if g.is_empty() {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    let start = *nodes.choose(&mut rng)?;
+    let d1 = bfs_distances(g, start);
+    let far = d1
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != UNREACHABLE)
+        .max_by_key(|(_, &d)| d)
+        .map(|(i, _)| NodeId::new(i))?;
+    let d2 = bfs_distances(g, far);
+    d2.iter().copied().filter(|&d| d != UNREACHABLE).max().map(|d| d as usize)
+}
+
+/// Number of connected components.
+pub fn connected_components(g: &Graph) -> usize {
+    component_labels(g).1
+}
+
+/// Per-node component label plus the number of components.
+pub fn component_labels(g: &Graph) -> (Vec<u32>, usize) {
+    let n = g.node_count();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for s in g.nodes() {
+        if label[s.index()] != u32::MAX {
+            continue;
+        }
+        label[s.index()] = count;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if label[v.index()] == u32::MAX {
+                    label[v.index()] = count;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (label, count as usize)
+}
+
+/// Extracts the largest connected component as a new graph with dense node
+/// ids, carrying all node attributes over to the remapped ids.
+pub fn largest_connected_component(g: &Graph) -> Graph {
+    if g.is_empty() {
+        return GraphBuilder::new().build();
+    }
+    let (labels, count) = component_labels(g);
+    let mut sizes = vec![0usize; count];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &s)| s)
+        .map(|(i, _)| i as u32)
+        .unwrap_or(0);
+    // Dense remapping old -> new.
+    let mut remap = vec![u32::MAX; g.node_count()];
+    let mut kept: Vec<NodeId> = Vec::new();
+    for v in g.nodes() {
+        if labels[v.index()] == best {
+            remap[v.index()] = kept.len() as u32;
+            kept.push(v);
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(kept.len(), g.edge_count());
+    b.ensure_nodes(kept.len());
+    for (u, v) in g.edges() {
+        if labels[u.index()] == best && labels[v.index()] == best {
+            b.add_edge(remap[u.index()], remap[v.index()]);
+        }
+    }
+    let mut out = b.build();
+    // Carry attributes across the remapping.
+    let names: Vec<String> = g.attributes().names().map(|s| s.to_string()).collect();
+    for name in names {
+        if let Some(col) = g.attributes().column(&name) {
+            let values: Vec<f64> = kept.iter().map(|&v| col.value(v)).collect();
+            out.set_attribute(&name, values).expect("kept length matches new node count");
+        }
+    }
+    out
+}
+
+/// Local clustering coefficient of node `v`: the fraction of pairs of
+/// neighbors of `v` that are themselves connected. Defined as 0 for nodes of
+/// degree < 2.
+pub fn local_clustering_coefficient(g: &Graph, v: NodeId) -> f64 {
+    let nbrs = g.neighbors(v);
+    let d = nbrs.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut links = 0usize;
+    for (i, &a) in nbrs.iter().enumerate() {
+        for &b in &nbrs[(i + 1)..] {
+            if g.has_edge(a, b) {
+                links += 1;
+            }
+        }
+    }
+    2.0 * links as f64 / (d * (d - 1)) as f64
+}
+
+/// Exact average of the local clustering coefficient over all nodes.
+pub fn average_local_clustering(g: &Graph) -> f64 {
+    if g.is_empty() {
+        return 0.0;
+    }
+    g.nodes().map(|v| local_clustering_coefficient(g, v)).sum::<f64>() / g.node_count() as f64
+}
+
+/// Exact average shortest-path length over all connected ordered pairs,
+/// via all-pairs BFS. O(|V|·(|V| + |E|)) — use [`sampled_average_shortest_path`]
+/// for large graphs.
+pub fn average_shortest_path(g: &Graph) -> f64 {
+    let mut total = 0u64;
+    let mut pairs = 0u64;
+    for v in g.nodes() {
+        let dist = bfs_distances(g, v);
+        for (u, &d) in dist.iter().enumerate() {
+            if d != UNREACHABLE && u != v.index() {
+                total += d as u64;
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        total as f64 / pairs as f64
+    }
+}
+
+/// Average shortest-path length estimated from `sources` BFS runs from
+/// uniformly chosen source nodes. This is the ground-truth computation used
+/// for the larger surrogate datasets (the paper likewise reports AVG shortest
+/// path on graphs far too large for all-pairs BFS).
+pub fn sampled_average_shortest_path(g: &Graph, sources: usize, seed: u64) -> f64 {
+    if g.is_empty() || sources == 0 {
+        return 0.0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nodes: Vec<NodeId> = g.nodes().collect();
+    nodes.shuffle(&mut rng);
+    let mut total = 0u64;
+    let mut pairs = 0u64;
+    for &s in nodes.iter().take(sources.min(nodes.len())) {
+        let dist = bfs_distances(g, s);
+        for (u, &d) in dist.iter().enumerate() {
+            if d != UNREACHABLE && u != s.index() {
+                total += d as u64;
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        total as f64 / pairs as f64
+    }
+}
+
+/// Exact degree histogram: `hist[d]` = number of nodes of degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.nodes() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic::{balanced_binary_tree, barbell, complete, cycle, path, star};
+    use crate::generators::random::barabasi_albert;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path(5);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_unreachable_nodes() {
+        let mut b = GraphBuilder::new();
+        b.ensure_nodes(4);
+        b.add_edge(0u32, 1u32);
+        let g = b.build();
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn k_hop_neighborhood_counts() {
+        let g = cycle(10);
+        let hood = k_hop_neighborhood(&g, NodeId(0), 2);
+        // 0 plus two nodes at hop 1 plus two at hop 2.
+        assert_eq!(hood.len(), 5);
+        assert!(hood.iter().all(|&(_, d)| d <= 2));
+    }
+
+    #[test]
+    fn diameters_of_known_graphs() {
+        assert_eq!(exact_diameter(&cycle(31)), Some(15));
+        assert_eq!(exact_diameter(&complete(10)), Some(1));
+        assert_eq!(exact_diameter(&star(20)), Some(2));
+        let barbell_d = exact_diameter(&barbell(31)).unwrap();
+        assert!((3..=4).contains(&barbell_d));
+        assert_eq!(exact_diameter(&balanced_binary_tree(4)), Some(8));
+    }
+
+    #[test]
+    fn double_sweep_matches_exact_on_paths_and_cycles() {
+        let p = path(40);
+        assert_eq!(double_sweep_diameter_estimate(&p, 1), Some(39));
+        let c = cycle(30);
+        let est = double_sweep_diameter_estimate(&c, 1).unwrap();
+        assert!(est >= 15 - 1 && est <= 15, "estimate {est}");
+    }
+
+    #[test]
+    fn component_counting() {
+        let mut b = GraphBuilder::new();
+        b.ensure_nodes(6);
+        b.add_edge(0u32, 1u32).add_edge(1u32, 2u32).add_edge(3u32, 4u32);
+        let g = b.build();
+        assert_eq!(connected_components(&g), 3); // {0,1,2}, {3,4}, {5}
+    }
+
+    #[test]
+    fn largest_component_extraction_remaps_attributes() {
+        let mut b = GraphBuilder::new();
+        b.ensure_nodes(6);
+        b.add_edge(0u32, 1u32).add_edge(1u32, 2u32).add_edge(3u32, 4u32);
+        let mut g = b.build();
+        g.set_attribute("x", vec![10.0, 11.0, 12.0, 13.0, 14.0, 15.0]).unwrap();
+        let lcc = largest_connected_component(&g);
+        assert_eq!(lcc.node_count(), 3);
+        assert_eq!(lcc.edge_count(), 2);
+        let col = lcc.attributes().column("x").unwrap();
+        let mut vals = col.as_slice().to_vec();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(vals, vec![10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn clustering_coefficients() {
+        let k4 = complete(4);
+        assert!((average_local_clustering(&k4) - 1.0).abs() < 1e-12);
+        let s = star(5);
+        assert_eq!(average_local_clustering(&s), 0.0);
+        let t = {
+            // Triangle plus a pendant on node 0.
+            let mut b = GraphBuilder::new();
+            b.extend_edges([(0u32, 1u32), (1, 2), (2, 0), (0, 3)]);
+            b.build()
+        };
+        assert!((local_clustering_coefficient(&t, NodeId(1)) - 1.0).abs() < 1e-12);
+        // Node 0 has neighbors {1, 2, 3}; only the pair (1,2) is linked.
+        assert!((local_clustering_coefficient(&t, NodeId(0)) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(local_clustering_coefficient(&t, NodeId(3)), 0.0);
+    }
+
+    #[test]
+    fn average_shortest_path_on_path_graph() {
+        // P_3 distances: (0,1)=1 (0,2)=2 (1,2)=1 (+symmetric) => mean 4/3.
+        let g = path(3);
+        assert!((average_shortest_path(&g) - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_average_shortest_path_close_to_exact() {
+        let g = barabasi_albert(300, 3, 5).unwrap();
+        let exact = average_shortest_path(&g);
+        let approx = sampled_average_shortest_path(&g, 60, 7);
+        assert!((exact - approx).abs() / exact < 0.1, "exact {exact} approx {approx}");
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_node_count() {
+        let g = barabasi_albert(200, 3, 2).unwrap();
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), g.node_count());
+        assert_eq!(hist.len(), g.max_degree() + 1);
+    }
+
+    #[test]
+    fn empty_graph_metrics_are_degenerate() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(exact_diameter(&g), None);
+        assert_eq!(double_sweep_diameter_estimate(&g, 1), None);
+        assert_eq!(average_local_clustering(&g), 0.0);
+        assert_eq!(average_shortest_path(&g), 0.0);
+        assert_eq!(connected_components(&g), 0);
+        assert_eq!(largest_connected_component(&g).node_count(), 0);
+    }
+
+    use crate::builder::GraphBuilder;
+}

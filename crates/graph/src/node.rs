@@ -1,0 +1,94 @@
+//! Node identifiers.
+//!
+//! Nodes are dense `u32` indices (`0..n`). A newtype keeps them from being
+//! confused with other integers (step counts, degrees, query budgets) at the
+//! type level while staying `Copy` and 4 bytes wide, which matters because
+//! adjacency lists for the surrogate Google-Plus graph hold millions of them.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node (user) of the social graph, identified by a dense index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Builds a node id from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u32` (graphs in this workspace are
+    /// bounded well below 4 billion nodes).
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize, "node index overflows u32");
+        NodeId(index as u32)
+    }
+
+    /// Returns the node id as a `usize` index suitable for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(v: NodeId) -> Self {
+        v.0
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_usize() {
+        let n = NodeId::new(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(u32::from(n), 42);
+        assert_eq!(NodeId::from(42usize), n);
+        assert_eq!(NodeId::from(42u32), n);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let n = NodeId(7);
+        assert_eq!(format!("{n}"), "7");
+        assert_eq!(format!("{n:?}"), "n7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(3), NodeId(3));
+    }
+
+    #[test]
+    fn is_small() {
+        assert_eq!(std::mem::size_of::<NodeId>(), 4);
+    }
+}

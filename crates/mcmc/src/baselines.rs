@@ -1,0 +1,258 @@
+//! Non-MCMC baseline samplers from the related work (Section 8).
+//!
+//! The OSN-sampling literature the paper builds on compares random walks
+//! against simpler crawl-based strategies. They are implemented here both as
+//! comparison points for the benchmark harness and as additional exercise of
+//! the restricted access layer:
+//!
+//! * [`BfsSampler`] / [`DfsSampler`] — breadth/depth-first crawling from the
+//!   seed node, emitting nodes in visit order. Known to be biased toward the
+//!   seed's neighborhood (BFS) or long chains (DFS); Leskovec & Faloutsos and
+//!   Gjoka et al. document their inferiority to random walks, which is why
+//!   the paper does not even include them — they are here so the claim can be
+//!   verified.
+//! * [`RandomJumpSampler`] — the "uniform node id generator" strategy used by
+//!   hybrid samplers such as Albatross sampling: repeatedly guess ids from
+//!   the id space and keep the hits. Its cost per sample is driven by the
+//!   *hit rate* (valid ids / id space), which is exactly why the paper does
+//!   not assume such a generator exists.
+
+use crate::sampler::{SampleRecord, Sampler};
+use crate::transition::TargetDistribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashSet, VecDeque};
+use wnw_access::{AccessError, Result, SocialNetwork};
+use wnw_graph::NodeId;
+
+/// Breadth-first crawler: emits nodes in BFS order from the seed.
+pub struct BfsSampler<N: SocialNetwork> {
+    osn: N,
+    queue: VecDeque<NodeId>,
+    visited: HashSet<NodeId>,
+}
+
+impl<N: SocialNetwork> BfsSampler<N> {
+    /// Starts a BFS crawl from `osn.seed_node()`.
+    pub fn new(osn: N) -> Self {
+        let seed = osn.seed_node();
+        let mut visited = HashSet::new();
+        visited.insert(seed);
+        BfsSampler { osn, queue: VecDeque::from([seed]), visited }
+    }
+}
+
+impl<N: SocialNetwork> Sampler for BfsSampler<N> {
+    fn draw(&mut self) -> Result<SampleRecord> {
+        let Some(next) = self.queue.pop_front() else {
+            // The reachable component is exhausted; BFS cannot produce more
+            // distinct nodes, which shows up as a budget-style stop.
+            return Err(AccessError::BudgetExhausted { budget: self.visited.len() as u64 });
+        };
+        for neighbor in self.osn.neighbors(next)? {
+            if self.visited.insert(neighbor) {
+                self.queue.push_back(neighbor);
+            }
+        }
+        Ok(SampleRecord { node: next, query_cost: self.osn.query_cost(), attempts: 1 })
+    }
+
+    fn target(&self) -> TargetDistribution {
+        // BFS has no principled target distribution; reporting uniform makes
+        // the (biased) plain mean the estimator applied to it, matching how
+        // the literature evaluates it.
+        TargetDistribution::Uniform
+    }
+
+    fn name(&self) -> String {
+        "BFS".to_string()
+    }
+}
+
+/// Depth-first crawler: emits nodes in DFS order from the seed.
+pub struct DfsSampler<N: SocialNetwork> {
+    osn: N,
+    stack: Vec<NodeId>,
+    visited: HashSet<NodeId>,
+}
+
+impl<N: SocialNetwork> DfsSampler<N> {
+    /// Starts a DFS crawl from `osn.seed_node()`.
+    pub fn new(osn: N) -> Self {
+        let seed = osn.seed_node();
+        let mut visited = HashSet::new();
+        visited.insert(seed);
+        DfsSampler { osn, stack: vec![seed], visited }
+    }
+}
+
+impl<N: SocialNetwork> Sampler for DfsSampler<N> {
+    fn draw(&mut self) -> Result<SampleRecord> {
+        let Some(next) = self.stack.pop() else {
+            return Err(AccessError::BudgetExhausted { budget: self.visited.len() as u64 });
+        };
+        for neighbor in self.osn.neighbors(next)? {
+            if self.visited.insert(neighbor) {
+                self.stack.push(neighbor);
+            }
+        }
+        Ok(SampleRecord { node: next, query_cost: self.osn.query_cost(), attempts: 1 })
+    }
+
+    fn target(&self) -> TargetDistribution {
+        TargetDistribution::Uniform
+    }
+
+    fn name(&self) -> String {
+        "DFS".to_string()
+    }
+}
+
+/// Uniform random-id guessing ("random jump" substrate): draws ids uniformly
+/// from an id space of size `id_space`, counting every guess as one API call
+/// and every *miss* as wasted budget.
+///
+/// `hit_rate = node_count / id_space`. Real services have hit rates far below
+/// 1 (sparse 64-bit id spaces), which is what makes this strategy expensive
+/// and motivates walk-based sampling.
+pub struct RandomJumpSampler<N: SocialNetwork> {
+    osn: N,
+    node_count: usize,
+    id_space: u64,
+    rng: StdRng,
+    /// Total guesses made (hits + misses).
+    guesses: u64,
+}
+
+impl<N: SocialNetwork> RandomJumpSampler<N> {
+    /// Creates a sampler over an id space of `id_space` ids, of which the
+    /// first `node_count` (the real users) are hits.
+    ///
+    /// # Panics
+    /// Panics if the access layer does not expose a node count hint (the id
+    /// generator abstraction needs to know which guesses are hits).
+    pub fn new(osn: N, id_space: u64, seed: u64) -> Self {
+        let node_count =
+            osn.node_count_hint().expect("RandomJumpSampler needs a node count hint");
+        assert!(id_space >= node_count as u64, "id space must cover all nodes");
+        RandomJumpSampler { osn, node_count, id_space, rng: StdRng::seed_from_u64(seed), guesses: 0 }
+    }
+
+    /// Total id guesses made so far (hits and misses).
+    pub fn guesses(&self) -> u64 {
+        self.guesses
+    }
+
+    /// The configured hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        self.node_count as f64 / self.id_space as f64
+    }
+}
+
+impl<N: SocialNetwork> Sampler for RandomJumpSampler<N> {
+    fn draw(&mut self) -> Result<SampleRecord> {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            self.guesses += 1;
+            let guess = self.rng.gen_range(0..self.id_space);
+            if guess < self.node_count as u64 {
+                let node = NodeId(guess as u32);
+                // Touch the profile so the query cost reflects the fetch of
+                // the sampled user (parity with the walk-based samplers).
+                let _ = self.osn.neighbors(node)?;
+                return Ok(SampleRecord { node, query_cost: self.osn.query_cost(), attempts });
+            }
+        }
+    }
+
+    fn target(&self) -> TargetDistribution {
+        TargetDistribution::Uniform
+    }
+
+    fn name(&self) -> String {
+        "random-jump".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::collect_samples;
+    use wnw_access::SimulatedOsn;
+    use wnw_graph::generators::classic::path;
+    use wnw_graph::generators::random::barabasi_albert;
+
+    #[test]
+    fn bfs_visits_every_node_exactly_once() {
+        let graph = barabasi_albert(80, 3, 1).unwrap();
+        let n = graph.node_count();
+        let osn = SimulatedOsn::new(graph);
+        let mut bfs = BfsSampler::new(osn);
+        let run = collect_samples(&mut bfs, n + 10).unwrap();
+        assert_eq!(run.len(), n, "BFS covers the connected graph then stops");
+        let unique: HashSet<NodeId> = run.nodes().into_iter().collect();
+        assert_eq!(unique.len(), n);
+        assert!(run.budget_exhausted);
+        assert_eq!(bfs.name(), "BFS");
+    }
+
+    #[test]
+    fn bfs_emits_nodes_in_distance_order() {
+        let osn = SimulatedOsn::new(path(6));
+        let mut bfs = BfsSampler::new(osn);
+        let run = collect_samples(&mut bfs, 6).unwrap();
+        let nodes: Vec<u32> = run.nodes().iter().map(|n| n.0).collect();
+        assert_eq!(nodes, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn dfs_visits_every_node_and_differs_from_bfs_on_trees() {
+        let graph = wnw_graph::generators::classic::balanced_binary_tree(3);
+        let n = graph.node_count();
+        let osn_b = SimulatedOsn::new(graph.clone());
+        let osn_d = SimulatedOsn::new(graph);
+        let bfs_nodes = collect_samples(&mut BfsSampler::new(osn_b), n).unwrap().nodes();
+        let dfs_nodes = collect_samples(&mut DfsSampler::new(osn_d), n).unwrap().nodes();
+        assert_eq!(bfs_nodes.len(), n);
+        assert_eq!(dfs_nodes.len(), n);
+        assert_ne!(bfs_nodes, dfs_nodes, "orders should differ on a deep tree");
+    }
+
+    #[test]
+    fn bfs_samples_are_degree_biased_toward_the_hub_neighborhood() {
+        // On a BA graph, the first few BFS samples have far higher average
+        // degree than the population — the classic BFS bias the related work
+        // documents.
+        let graph = barabasi_albert(500, 3, 5).unwrap();
+        let avg = graph.average_degree();
+        let osn = SimulatedOsn::new(graph.clone());
+        let mut bfs = BfsSampler::new(osn);
+        let run = collect_samples(&mut bfs, 30).unwrap();
+        let sample_avg: f64 =
+            run.nodes().iter().map(|&v| graph.degree(v) as f64).sum::<f64>() / run.len() as f64;
+        assert!(sample_avg > 1.5 * avg, "BFS sample avg degree {sample_avg} vs population {avg}");
+    }
+
+    #[test]
+    fn random_jump_is_uniform_but_wastes_guesses() {
+        let graph = barabasi_albert(200, 3, 7).unwrap();
+        let osn = SimulatedOsn::new(graph);
+        // Hit rate 1/50: most guesses miss.
+        let mut sampler = RandomJumpSampler::new(osn, 200 * 50, 11);
+        assert!((sampler.hit_rate() - 0.02).abs() < 1e-12);
+        let run = collect_samples(&mut sampler, 20).unwrap();
+        assert_eq!(run.len(), 20);
+        assert!(sampler.guesses() > 200, "expected many wasted guesses, got {}", sampler.guesses());
+        assert!(run.samples.iter().all(|s| s.attempts >= 1));
+        assert_eq!(sampler.name(), "random-jump");
+        assert_eq!(sampler.target(), TargetDistribution::Uniform);
+    }
+
+    #[test]
+    #[should_panic(expected = "id space must cover all nodes")]
+    fn random_jump_rejects_too_small_id_space() {
+        let osn = SimulatedOsn::new(path(10));
+        let _ = RandomJumpSampler::new(osn, 5, 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Convergence monitors (MCMC convergence diagnostics).
+//!
+//! Traditional random-walk samplers cannot compute their burn-in length
+//! without the full topology, so in practice they "wait" until an on-the-fly
+//! diagnostic says the chain looks stationary. The paper (and its baselines)
+//! use the **Geweke diagnostic**: split the walk into window A (first 10 %)
+//! and window B (last 50 %) and compare the means of a node attribute
+//! (typically the degree) observed in the two windows,
+//!
+//! ```text
+//! Z = |θ̄_A − θ̄_B| / sqrt(S_A + S_B)
+//! ```
+//!
+//! declaring convergence when `Z` falls below a threshold (0.1 by default,
+//! 0.01 for the stricter runs in Section 2.2.3).
+
+use serde::{Deserialize, Serialize};
+
+/// Decision returned by a convergence check.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GewekeOutcome {
+    /// The computed Z score (`f64::INFINITY` when a window is degenerate).
+    pub z: f64,
+    /// Whether `z <= threshold`.
+    pub converged: bool,
+}
+
+/// Geweke convergence monitor over a stream of per-step attribute values.
+#[derive(Debug, Clone)]
+pub struct GewekeMonitor {
+    threshold: f64,
+    first_window_fraction: f64,
+    last_window_fraction: f64,
+    min_samples: usize,
+    values: Vec<f64>,
+}
+
+impl GewekeMonitor {
+    /// Creates a monitor with the paper's defaults: windows of 10 % / 50 %,
+    /// threshold `Z ≤ 0.1`, and at least 20 observations before a verdict.
+    pub fn new(threshold: f64) -> Self {
+        GewekeMonitor {
+            threshold,
+            first_window_fraction: 0.1,
+            last_window_fraction: 0.5,
+            min_samples: 20,
+            values: Vec::new(),
+        }
+    }
+
+    /// Overrides the window fractions (must be in `(0, 1)` and sum to ≤ 1).
+    pub fn with_windows(mut self, first: f64, last: f64) -> Self {
+        assert!(first > 0.0 && last > 0.0 && first + last <= 1.0, "invalid Geweke windows");
+        self.first_window_fraction = first;
+        self.last_window_fraction = last;
+        self
+    }
+
+    /// Overrides the minimum number of observations before convergence can
+    /// be declared.
+    pub fn with_min_samples(mut self, min_samples: usize) -> Self {
+        self.min_samples = min_samples.max(4);
+        self
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Number of observations recorded so far.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Records the attribute value observed at the next step of the walk.
+    pub fn observe(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Evaluates the diagnostic on everything observed so far.
+    pub fn check(&self) -> GewekeOutcome {
+        let n = self.values.len();
+        if n < self.min_samples {
+            return GewekeOutcome { z: f64::INFINITY, converged: false };
+        }
+        let first_len = ((n as f64 * self.first_window_fraction).ceil() as usize).max(2);
+        let last_len = ((n as f64 * self.last_window_fraction).ceil() as usize).max(2);
+        if first_len + last_len > n {
+            return GewekeOutcome { z: f64::INFINITY, converged: false };
+        }
+        let window_a = &self.values[..first_len];
+        let window_b = &self.values[n - last_len..];
+        let (mean_a, var_a) = mean_and_variance(window_a);
+        let (mean_b, var_b) = mean_and_variance(window_b);
+        let denom = (var_a + var_b).sqrt();
+        let z = if denom > 0.0 {
+            (mean_a - mean_b).abs() / denom
+        } else if (mean_a - mean_b).abs() < f64::EPSILON {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+        GewekeOutcome { z, converged: z <= self.threshold }
+    }
+
+    /// `observe` + `check` in one call.
+    pub fn observe_and_check(&mut self, value: f64) -> GewekeOutcome {
+        self.observe(value);
+        self.check()
+    }
+
+    /// Clears all observations (the configuration is kept).
+    pub fn reset(&mut self) {
+        self.values.clear();
+    }
+}
+
+/// Sample mean and (population) variance of a slice.
+fn mean_and_variance(values: &[f64]) -> (f64, f64) {
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn needs_minimum_observations() {
+        let mut m = GewekeMonitor::new(0.1);
+        for _ in 0..5 {
+            assert!(!m.observe_and_check(1.0).converged);
+        }
+        assert_eq!(m.len(), 5);
+    }
+
+    #[test]
+    fn constant_stream_converges_immediately_after_minimum() {
+        let mut m = GewekeMonitor::new(0.1).with_min_samples(10);
+        let mut outcome = GewekeOutcome { z: f64::INFINITY, converged: false };
+        for _ in 0..10 {
+            outcome = m.observe_and_check(3.0);
+        }
+        assert!(outcome.converged);
+        assert_eq!(outcome.z, 0.0);
+    }
+
+    #[test]
+    fn stationary_noise_converges_drifting_signal_does_not() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut stationary = GewekeMonitor::new(0.1).with_min_samples(50);
+        for _ in 0..3000 {
+            stationary.observe(rng.gen_range(0.0..1.0));
+        }
+        assert!(stationary.check().converged, "z = {}", stationary.check().z);
+
+        let mut drifting = GewekeMonitor::new(0.1).with_min_samples(50);
+        for i in 0..400 {
+            drifting.observe(i as f64 + rng.gen_range(0.0..0.5));
+        }
+        assert!(!drifting.check().converged);
+    }
+
+    #[test]
+    fn tighter_threshold_is_harder_to_satisfy() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let values: Vec<f64> = (0..200).map(|_| rng.gen_range(0.0..10.0)).collect();
+        let mut loose = GewekeMonitor::new(0.5).with_min_samples(50);
+        let mut tight = GewekeMonitor::new(1e-6).with_min_samples(50);
+        for &v in &values {
+            loose.observe(v);
+            tight.observe(v);
+        }
+        assert!(loose.check().converged);
+        assert!(!tight.check().converged);
+        assert_eq!(loose.check().z, tight.check().z);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut m = GewekeMonitor::new(0.1);
+        m.observe(1.0);
+        m.reset();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Geweke windows")]
+    fn invalid_windows_panic() {
+        let _ = GewekeMonitor::new(0.1).with_windows(0.7, 0.7);
+    }
+}

@@ -1,0 +1,370 @@
+//! Exact distribution computations on the full graph.
+//!
+//! These are *ground-truth* tools: they read the whole topology, which a
+//! third-party sampler never could. The experiments use them to
+//!
+//! * plot the minimum / maximum sampling probability against walk length
+//!   (Figure 1),
+//! * compute the relative point-wise distance Δ(t) of Definition 3,
+//! * provide the theoretical sampling distribution that the exact-bias study
+//!   (Figure 12 / Table 1) compares empirical distributions against.
+
+use crate::transition::{RandomWalkKind, TargetDistribution};
+use wnw_graph::{Graph, NodeId};
+
+/// A row-stochastic transition matrix stored sparsely per node.
+///
+/// `rows[u]` lists `(v, T(u, v))` for `v ∈ N(u)`, and `self_loops[u]` holds
+/// `T(u, u)` (non-zero only for MHRW).
+#[derive(Debug, Clone)]
+pub struct TransitionMatrix {
+    rows: Vec<Vec<(NodeId, f64)>>,
+    self_loops: Vec<f64>,
+    kind: RandomWalkKind,
+}
+
+impl TransitionMatrix {
+    /// Builds the transition matrix of `kind` on `graph`.
+    pub fn new(graph: &Graph, kind: RandomWalkKind) -> Self {
+        let n = graph.node_count();
+        let mut rows = Vec::with_capacity(n);
+        let mut self_loops = vec![0.0; n];
+        for u in graph.nodes() {
+            let du = graph.degree(u);
+            let mut row = Vec::with_capacity(du);
+            if du > 0 {
+                for &v in graph.neighbors(u) {
+                    let p = kind.edge_probability(du, graph.degree(v));
+                    row.push((v, p));
+                }
+                let outgoing: f64 = row.iter().map(|&(_, p)| p).sum();
+                self_loops[u.index()] = (1.0 - outgoing).max(0.0);
+            } else {
+                // An isolated node can only stay where it is.
+                self_loops[u.index()] = 1.0;
+            }
+            rows.push(row);
+        }
+        TransitionMatrix { rows, self_loops, kind }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns the lazy version `(1 − α)·T + α·I` of this matrix.
+    ///
+    /// The paper's Footnote 1 assumes every node has a (possibly arbitrarily
+    /// small) self-transition probability so the chain is aperiodic; this is
+    /// required on bipartite case-study graphs (hypercubes, trees) where a
+    /// plain SRW alternates sides forever.
+    pub fn lazy(&self, alpha: f64) -> TransitionMatrix {
+        assert!((0.0..1.0).contains(&alpha), "laziness must be in [0, 1), got {alpha}");
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(|&(v, p)| (v, (1.0 - alpha) * p)).collect())
+            .collect();
+        let self_loops =
+            self.self_loops.iter().map(|&p| (1.0 - alpha) * p + alpha).collect();
+        TransitionMatrix { rows, self_loops, kind: self.kind }
+    }
+
+    /// The walk design this matrix realises.
+    pub fn kind(&self) -> RandomWalkKind {
+        self.kind
+    }
+
+    /// `T(u, u)`.
+    pub fn self_loop(&self, u: NodeId) -> f64 {
+        self.self_loops[u.index()]
+    }
+
+    /// The sparse row of node `u` (neighbors only; add
+    /// [`self_loop`](Self::self_loop) for the diagonal).
+    pub fn row(&self, u: NodeId) -> &[(NodeId, f64)] {
+        &self.rows[u.index()]
+    }
+
+    /// One step of distribution evolution: returns `p · T`.
+    pub fn step_distribution(&self, p: &[f64]) -> Vec<f64> {
+        assert_eq!(p.len(), self.node_count(), "distribution length mismatch");
+        let mut next = vec![0.0; p.len()];
+        for (u, &mass) in p.iter().enumerate() {
+            if mass == 0.0 {
+                continue;
+            }
+            next[u] += mass * self.self_loops[u];
+            for &(v, t) in &self.rows[u] {
+                next[v.index()] += mass * t;
+            }
+        }
+        next
+    }
+
+    /// The exact sampling distribution `p_t` of a walk of `t` steps started
+    /// at `start` (`p_0` is the indicator of `start`).
+    pub fn distribution_after(&self, start: NodeId, t: usize) -> Vec<f64> {
+        let mut p = vec![0.0; self.node_count()];
+        p[start.index()] = 1.0;
+        for _ in 0..t {
+            p = self.step_distribution(&p);
+        }
+        p
+    }
+
+    /// The sequence `p_0, p_1, …, p_t` (useful when a figure needs every
+    /// prefix, e.g. Figure 1's min/max curves).
+    pub fn distribution_trajectory(&self, start: NodeId, t: usize) -> Vec<Vec<f64>> {
+        let mut out = Vec::with_capacity(t + 1);
+        let mut p = vec![0.0; self.node_count()];
+        p[start.index()] = 1.0;
+        out.push(p.clone());
+        for _ in 0..t {
+            p = self.step_distribution(&p);
+            out.push(p.clone());
+        }
+        out
+    }
+
+    /// The design's stationary distribution on `graph` (normalised).
+    ///
+    /// SRW: `π(v) = d(v) / 2|E|`; MHRW: uniform. Both follow from detailed
+    /// balance and are exactly what Section 2.2 states.
+    pub fn stationary_distribution(graph: &Graph, kind: RandomWalkKind) -> Vec<f64> {
+        let n = graph.node_count();
+        match kind.target() {
+            TargetDistribution::Uniform => vec![1.0 / n as f64; n],
+            TargetDistribution::DegreeProportional => {
+                let total = 2.0 * graph.edge_count() as f64;
+                graph.nodes().map(|v| graph.degree(v) as f64 / total).collect()
+            }
+        }
+    }
+
+    /// Relative point-wise distance Δ(t) of Definition 3:
+    /// `max_{u, v} |T^t(u, v) − π(v)| / π(v)`.
+    ///
+    /// Requires evolving the distribution from *every* starting node, so this
+    /// is only feasible for small case-study graphs.
+    pub fn relative_pointwise_distance(&self, graph: &Graph, t: usize) -> f64 {
+        let pi = Self::stationary_distribution(graph, self.kind);
+        let mut worst: f64 = 0.0;
+        for u in graph.nodes() {
+            let p = self.distribution_after(u, t);
+            for v in graph.nodes() {
+                let target = pi[v.index()];
+                if target > 0.0 {
+                    let d = (p[v.index()] - target).abs() / target;
+                    worst = worst.max(d);
+                }
+            }
+        }
+        worst
+    }
+
+    /// Burn-in length under Definition 3: the smallest `t ≤ max_t` with
+    /// `Δ(t) ≤ epsilon`, or `None` if no such `t` exists within the cap.
+    pub fn burn_in_length(&self, graph: &Graph, epsilon: f64, max_t: usize) -> Option<usize> {
+        for t in 0..=max_t {
+            if self.relative_pointwise_distance(graph, t) <= epsilon {
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+/// ℓ∞ (variation) distance between two probability vectors:
+/// `max_v |p(v) − q(v)|`.
+pub fn linf_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len());
+    p.iter().zip(q).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+}
+
+/// Total variation distance: `½ Σ_v |p(v) − q(v)|`.
+pub fn total_variation_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len());
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Kullback–Leibler divergence `KL(p ‖ q) = Σ_v p(v) ln(p(v)/q(v))`.
+///
+/// Terms with `p(v) = 0` contribute 0; terms with `q(v) = 0 < p(v)` would be
+/// infinite, so `q` is floored at `1e-12` — the same smoothing any empirical
+/// comparison needs (Table 1 compares an empirical distribution that may
+/// miss nodes entirely).
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len());
+    p.iter()
+        .zip(q)
+        .filter(|(&a, _)| a > 0.0)
+        .map(|(&a, &b)| a * (a / b.max(1e-12)).ln())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wnw_graph::generators::classic::{complete, cycle, star};
+    use wnw_graph::generators::random::barabasi_albert;
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() < eps, "{a} vs {b}");
+    }
+
+    #[test]
+    fn rows_are_stochastic() {
+        let g = barabasi_albert(60, 3, 1).unwrap();
+        for kind in [RandomWalkKind::Simple, RandomWalkKind::MetropolisHastings] {
+            let t = TransitionMatrix::new(&g, kind);
+            for u in g.nodes() {
+                let sum: f64 =
+                    t.row(u).iter().map(|&(_, p)| p).sum::<f64>() + t.self_loop(u);
+                assert_close(sum, 1.0, 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn srw_has_no_self_loops_mhrw_does_on_stars() {
+        let g = star(6);
+        let srw = TransitionMatrix::new(&g, RandomWalkKind::Simple);
+        assert_eq!(srw.self_loop(NodeId(0)), 0.0);
+        let mhrw = TransitionMatrix::new(&g, RandomWalkKind::MetropolisHastings);
+        // Hub degree 5, each leaf degree 1: T(hub, leaf) = 1/5·min(1,5) = 1/5,
+        // so no self-loop at the hub; each leaf proposes the hub and accepts
+        // with 1/5, so T(leaf, leaf) = 4/5.
+        assert_close(mhrw.self_loop(NodeId(0)), 0.0, 1e-12);
+        assert_close(mhrw.self_loop(NodeId(1)), 0.8, 1e-12);
+    }
+
+    #[test]
+    fn distribution_evolution_preserves_mass() {
+        let g = barabasi_albert(40, 3, 2).unwrap();
+        let t = TransitionMatrix::new(&g, RandomWalkKind::MetropolisHastings);
+        let p = t.distribution_after(NodeId(0), 13);
+        assert_close(p.iter().sum::<f64>(), 1.0, 1e-9);
+        assert!(p.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn distribution_on_cycle_spreads_symmetrically() {
+        let g = cycle(9);
+        let t = TransitionMatrix::new(&g, RandomWalkKind::Simple);
+        let p = t.distribution_after(NodeId(0), 4);
+        // Symmetric around the start: p(1) == p(8), p(2) == p(7) ...
+        assert_close(p[1], p[8], 1e-12);
+        assert_close(p[2], p[7], 1e-12);
+        assert_close(p[3], p[6], 1e-12);
+    }
+
+    #[test]
+    fn stationary_distributions_are_correct_and_fixed_points() {
+        let g = barabasi_albert(50, 3, 3).unwrap();
+        for kind in [RandomWalkKind::Simple, RandomWalkKind::MetropolisHastings] {
+            let t = TransitionMatrix::new(&g, kind);
+            let pi = TransitionMatrix::stationary_distribution(&g, kind);
+            assert_close(pi.iter().sum::<f64>(), 1.0, 1e-9);
+            let next = t.step_distribution(&pi);
+            for (a, b) in pi.iter().zip(&next) {
+                assert_close(*a, *b, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn srw_converges_to_degree_proportional() {
+        let g = barabasi_albert(30, 3, 4).unwrap();
+        let t = TransitionMatrix::new(&g, RandomWalkKind::Simple);
+        // Lazy trick not needed: BA graphs are non-bipartite w.h.p.; evolve
+        // long enough and compare.
+        let p = t.distribution_after(NodeId(0), 2000);
+        let pi = TransitionMatrix::stationary_distribution(&g, RandomWalkKind::Simple);
+        assert!(linf_distance(&p, &pi) < 1e-6);
+    }
+
+    #[test]
+    fn trajectory_matches_individual_evolutions() {
+        let g = cycle(7);
+        let t = TransitionMatrix::new(&g, RandomWalkKind::Simple);
+        let traj = t.distribution_trajectory(NodeId(0), 5);
+        assert_eq!(traj.len(), 6);
+        for (step, p) in traj.iter().enumerate() {
+            let direct = t.distribution_after(NodeId(0), step);
+            assert!(linf_distance(p, &direct) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn relative_pointwise_distance_decreases() {
+        let g = complete(8);
+        let t = TransitionMatrix::new(&g, RandomWalkKind::MetropolisHastings);
+        let d1 = t.relative_pointwise_distance(&g, 1);
+        let d5 = t.relative_pointwise_distance(&g, 5);
+        assert!(d5 <= d1 + 1e-12, "Δ(5) = {d5} > Δ(1) = {d1}");
+        let burn = t.burn_in_length(&g, 0.05, 50);
+        assert!(burn.is_some());
+    }
+
+    #[test]
+    fn burn_in_length_can_time_out() {
+        // A 2-cycle (single edge) is periodic under SRW: it never converges.
+        let g = cycle(2);
+        let t = TransitionMatrix::new(&g, RandomWalkKind::Simple);
+        assert_eq!(t.burn_in_length(&g, 0.01, 20), None);
+    }
+
+    #[test]
+    fn distance_functions() {
+        let p = [0.5, 0.5, 0.0];
+        let q = [0.25, 0.25, 0.5];
+        assert_close(linf_distance(&p, &q), 0.5, 1e-12);
+        assert_close(total_variation_distance(&p, &q), 0.5, 1e-12);
+        assert!(kl_divergence(&p, &q) > 0.0);
+        assert_close(kl_divergence(&p, &p), 0.0, 1e-12);
+        // KL is finite even when q has zero mass where p does not.
+        assert!(kl_divergence(&p, &[0.5, 0.5, 0.0]).is_finite());
+    }
+
+    #[test]
+    fn lazy_matrix_is_stochastic_and_aperiodic() {
+        // A 4-cycle is bipartite: the plain SRW never mixes, the lazy one does.
+        let g = cycle(4);
+        let t = TransitionMatrix::new(&g, RandomWalkKind::Simple);
+        let plain = t.distribution_after(NodeId(0), 101);
+        // Odd step count on a bipartite graph: the start side has zero mass.
+        assert_eq!(plain[0], 0.0);
+        let lazy = t.lazy(0.5);
+        for u in g.nodes() {
+            let sum: f64 =
+                lazy.row(u).iter().map(|&(_, p)| p).sum::<f64>() + lazy.self_loop(u);
+            assert_close(sum, 1.0, 1e-12);
+        }
+        let mixed = lazy.distribution_after(NodeId(0), 200);
+        for &p in &mixed {
+            assert_close(p, 0.25, 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "laziness")]
+    fn lazy_rejects_bad_alpha() {
+        let g = cycle(4);
+        let _ = TransitionMatrix::new(&g, RandomWalkKind::Simple).lazy(1.0);
+    }
+
+    #[test]
+    fn isolated_nodes_self_loop() {
+        use wnw_graph::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        b.ensure_nodes(3);
+        b.add_edge(0u32, 1u32);
+        let g = b.build();
+        let t = TransitionMatrix::new(&g, RandomWalkKind::Simple);
+        assert_eq!(t.self_loop(NodeId(2)), 1.0);
+        let p = t.distribution_after(NodeId(2), 10);
+        assert_close(p[2], 1.0, 1e-12);
+    }
+}

@@ -1,0 +1,163 @@
+//! The sampler abstraction shared by the baselines and WALK-ESTIMATE.
+//!
+//! Every sampler in this workspace — the traditional burn-in samplers in
+//! [`burn_in`](crate::burn_in) and the WALK-ESTIMATE family in `wnw-core` —
+//! implements [`Sampler`], so the experiment harness can compare them on the
+//! paper's terms: *what sample quality do you get for a given query cost?*
+
+use crate::transition::TargetDistribution;
+use serde::{Deserialize, Serialize};
+use wnw_access::{AccessError, Result};
+use wnw_graph::NodeId;
+
+/// One sample produced by a sampler, annotated with the cumulative query
+/// cost at the moment it was produced (the x-axis of Figures 6–8 and 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SampleRecord {
+    /// The sampled node.
+    pub node: NodeId,
+    /// Cumulative unique-node query cost of the access layer when this
+    /// sample was emitted.
+    pub query_cost: u64,
+    /// How many candidate nodes were examined (walks completed) to produce
+    /// this sample; 1 for samplers without rejection.
+    pub attempts: u32,
+}
+
+/// A node sampler over a restricted-access social network.
+pub trait Sampler {
+    /// Draws the next sample. Errors are access-layer errors; in particular
+    /// [`AccessError::BudgetExhausted`] signals that the query budget ran out
+    /// mid-draw and is treated by harnesses as a normal stop condition.
+    fn draw(&mut self) -> Result<SampleRecord>;
+
+    /// The distribution the emitted samples follow (or approach).
+    fn target(&self) -> TargetDistribution;
+
+    /// Short name used in experiment output (e.g. "SRW", "MHRW", "WE(SRW)").
+    fn name(&self) -> String;
+}
+
+/// Summary of a sampling run produced by [`collect_samples`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SamplerRunSummary {
+    /// Samples in the order they were produced.
+    pub samples: Vec<SampleRecord>,
+    /// Whether the run stopped because the query budget was exhausted.
+    pub budget_exhausted: bool,
+}
+
+impl SamplerRunSummary {
+    /// The sampled node ids only.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.samples.iter().map(|s| s.node).collect()
+    }
+
+    /// Query cost recorded with the last sample (0 if no samples were drawn).
+    pub fn final_query_cost(&self) -> u64 {
+        self.samples.last().map_or(0, |s| s.query_cost)
+    }
+
+    /// Number of samples drawn.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were drawn.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// Draws up to `max_samples` samples, stopping early (without error) if the
+/// access layer's query budget runs out.
+pub fn collect_samples<S: Sampler + ?Sized>(
+    sampler: &mut S,
+    max_samples: usize,
+) -> Result<SamplerRunSummary> {
+    let mut summary = SamplerRunSummary::default();
+    for _ in 0..max_samples {
+        match sampler.draw() {
+            Ok(record) => summary.samples.push(record),
+            Err(AccessError::BudgetExhausted { .. }) => {
+                summary.budget_exhausted = true;
+                break;
+            }
+            Err(other) => return Err(other),
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic fake sampler for exercising the helpers.
+    struct FakeSampler {
+        emitted: u32,
+        fail_after: u32,
+    }
+
+    impl Sampler for FakeSampler {
+        fn draw(&mut self) -> Result<SampleRecord> {
+            if self.emitted >= self.fail_after {
+                return Err(AccessError::BudgetExhausted { budget: 10 });
+            }
+            self.emitted += 1;
+            Ok(SampleRecord {
+                node: NodeId(self.emitted),
+                query_cost: u64::from(self.emitted) * 3,
+                attempts: 1,
+            })
+        }
+        fn target(&self) -> TargetDistribution {
+            TargetDistribution::Uniform
+        }
+        fn name(&self) -> String {
+            "fake".into()
+        }
+    }
+
+    #[test]
+    fn collect_until_count() {
+        let mut s = FakeSampler { emitted: 0, fail_after: 100 };
+        let run = collect_samples(&mut s, 5).unwrap();
+        assert_eq!(run.len(), 5);
+        assert!(!run.budget_exhausted);
+        assert_eq!(run.final_query_cost(), 15);
+        assert_eq!(run.nodes(), vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4), NodeId(5)]);
+    }
+
+    #[test]
+    fn collect_stops_gracefully_on_budget() {
+        let mut s = FakeSampler { emitted: 0, fail_after: 3 };
+        let run = collect_samples(&mut s, 10).unwrap();
+        assert_eq!(run.len(), 3);
+        assert!(run.budget_exhausted);
+    }
+
+    #[test]
+    fn other_errors_propagate() {
+        struct Broken;
+        impl Sampler for Broken {
+            fn draw(&mut self) -> Result<SampleRecord> {
+                Err(AccessError::UnknownNode(NodeId(7)))
+            }
+            fn target(&self) -> TargetDistribution {
+                TargetDistribution::Uniform
+            }
+            fn name(&self) -> String {
+                "broken".into()
+            }
+        }
+        assert!(collect_samples(&mut Broken, 3).is_err());
+    }
+
+    #[test]
+    fn empty_summary_defaults() {
+        let s = SamplerRunSummary::default();
+        assert!(s.is_empty());
+        assert_eq!(s.final_query_cost(), 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Spectral gap of a random-walk transition matrix.
+//!
+//! The paper's Theorem 1 expresses both the burn-in cost of a traditional
+//! walk and the optimal WALK length through the spectral gap `λ = 1 − s₂`,
+//! where `s₂` is the second largest eigenvalue of `T` (Section 2.2.3).
+//!
+//! Both SRW and MHRW are *reversible*: SRW w.r.t. the degree distribution,
+//! MHRW w.r.t. the uniform distribution. A reversible `T` with stationary
+//! distribution `π` is similar to the symmetric matrix
+//! `S = D_π^{1/2} · T · D_π^{-1/2}`, whose spectrum equals `T`'s and whose
+//! leading eigenvector is `√π`. We therefore run power iteration on `S`
+//! with deflation against `√π` to obtain `s₂` without any external linear
+//! algebra dependency.
+
+use crate::distribution::TransitionMatrix;
+use crate::transition::RandomWalkKind;
+use wnw_graph::Graph;
+
+/// Result of a spectral-gap computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralInfo {
+    /// Second largest eigenvalue `s₂` of the transition matrix.
+    pub second_eigenvalue: f64,
+    /// Spectral gap `λ = 1 − s₂`.
+    pub gap: f64,
+    /// Number of power iterations performed.
+    pub iterations: usize,
+}
+
+/// Computes the spectral gap `λ = 1 − s₂` of the walk `kind` on `graph`.
+///
+/// `tolerance` controls the power-iteration convergence test on the Rayleigh
+/// quotient; 1e-9 is plenty for the case-study figures. Graphs with fewer
+/// than 2 nodes return a gap of 1.0 by convention.
+pub fn spectral_gap(graph: &Graph, kind: RandomWalkKind, tolerance: f64) -> SpectralInfo {
+    spectral_gap_with_iterations(graph, kind, tolerance, 100_000)
+}
+
+/// Like [`spectral_gap`] with an explicit iteration cap.
+pub fn spectral_gap_with_iterations(
+    graph: &Graph,
+    kind: RandomWalkKind,
+    tolerance: f64,
+    max_iterations: usize,
+) -> SpectralInfo {
+    let n = graph.node_count();
+    if n < 2 {
+        return SpectralInfo { second_eigenvalue: 0.0, gap: 1.0, iterations: 0 };
+    }
+    let t = TransitionMatrix::new(graph, kind);
+    let pi = TransitionMatrix::stationary_distribution(graph, kind);
+    let sqrt_pi: Vec<f64> = pi.iter().map(|&x| x.sqrt()).collect();
+
+    // x: current iterate, kept orthogonal to sqrt_pi (the leading
+    // eigenvector of S) so power iteration converges to the second one.
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| {
+            // A deterministic, non-degenerate starting vector.
+            ((i as f64 * 0.754_877_666 + 0.1).sin() + 1.5) / (i as f64 + 2.0)
+        })
+        .collect();
+    orthogonalize(&mut x, &sqrt_pi);
+    normalize(&mut x);
+
+    // Power iteration on the *shifted* operator (S + I)/2, whose spectrum is
+    // a monotone map of S's into [0, 1]. This makes the iteration converge to
+    // the second *largest eigenvalue* of S (the paper's s₂) rather than the
+    // second largest modulus — the two differ on near-bipartite graphs such
+    // as cycles, where the most negative eigenvalue has the larger modulus.
+    let mut shifted_eigenvalue = 0.0;
+    let mut iterations = 0;
+    for it in 0..max_iterations {
+        iterations = it + 1;
+        let sx = apply_symmetrized(&t, &sqrt_pi, &x);
+        let mut y: Vec<f64> = sx.iter().zip(&x).map(|(s, xi)| 0.5 * (s + xi)).collect();
+        orthogonalize(&mut y, &sqrt_pi);
+        let norm = vec_norm(&y);
+        if norm < 1e-300 {
+            // x was (numerically) in the span of sqrt_pi: every remaining
+            // direction has eigenvalue ~ -1 under S; treat s₂ as 0 for the
+            // degenerate graphs where this happens.
+            shifted_eigenvalue = 0.5;
+            break;
+        }
+        for v in &mut y {
+            *v /= norm;
+        }
+        // Rayleigh quotient (y is unit length) on the shifted operator.
+        let sy = apply_symmetrized(&t, &sqrt_pi, &y);
+        let shifted_sy: Vec<f64> = sy.iter().zip(&y).map(|(s, yi)| 0.5 * (s + yi)).collect();
+        let new_eigenvalue: f64 = y.iter().zip(&shifted_sy).map(|(a, b)| a * b).sum();
+        let converged = (new_eigenvalue - shifted_eigenvalue).abs() < tolerance;
+        shifted_eigenvalue = new_eigenvalue;
+        x = y;
+        if converged && it > 3 {
+            break;
+        }
+    }
+    let eigenvalue = 2.0 * shifted_eigenvalue - 1.0;
+    SpectralInfo {
+        second_eigenvalue: eigenvalue,
+        gap: (1.0 - eigenvalue).clamp(0.0, 1.0),
+        iterations,
+    }
+}
+
+/// `S·x` where `S = D_π^{1/2} T D_π^{-1/2}`, computed without forming `S`.
+fn apply_symmetrized(t: &TransitionMatrix, sqrt_pi: &[f64], x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    // w = D_π^{-1/2} x
+    let w: Vec<f64> = x
+        .iter()
+        .zip(sqrt_pi)
+        .map(|(&xi, &s)| if s > 0.0 { xi / s } else { 0.0 })
+        .collect();
+    // z = Tᵀ? Careful: (S x)_v = Σ_u sqrt_pi[v]/sqrt_pi[u] · T(v, u) ... Use
+    // S = D^{1/2} T D^{-1/2}: (S x)_u = sqrt_pi[u] · Σ_v T(u, v) · w[v].
+    let mut out = vec![0.0; n];
+    for u in 0..n {
+        let mut acc = t.self_loop(wnw_graph::NodeId(u as u32)) * w[u];
+        for &(v, p) in t.row(wnw_graph::NodeId(u as u32)) {
+            acc += p * w[v.index()];
+        }
+        out[u] = sqrt_pi[u] * acc;
+    }
+    out
+}
+
+fn orthogonalize(x: &mut [f64], against: &[f64]) {
+    let dot: f64 = x.iter().zip(against).map(|(a, b)| a * b).sum();
+    let norm_sq: f64 = against.iter().map(|a| a * a).sum();
+    if norm_sq > 0.0 {
+        let coeff = dot / norm_sq;
+        for (xi, ai) in x.iter_mut().zip(against) {
+            *xi -= coeff * ai;
+        }
+    }
+}
+
+fn vec_norm(x: &[f64]) -> f64 {
+    x.iter().map(|a| a * a).sum::<f64>().sqrt()
+}
+
+fn normalize(x: &mut [f64]) {
+    let n = vec_norm(x);
+    if n > 0.0 {
+        for v in x.iter_mut() {
+            *v /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wnw_graph::generators::classic::{complete, cycle, hypercube};
+    use wnw_graph::generators::random::barabasi_albert;
+
+    #[test]
+    fn complete_graph_srw_eigenvalue_is_known() {
+        // K_n under SRW: eigenvalues are 1 and -1/(n-1); the second largest
+        // is -1/(n-1), so the gap is close to 1 (power iteration converges to
+        // the largest *positive* remaining eigenvalue; with all remaining
+        // eigenvalues negative the Rayleigh quotient approaches -1/(n-1)).
+        let g = complete(10);
+        let info = spectral_gap(&g, RandomWalkKind::Simple, 1e-10);
+        assert!(info.second_eigenvalue <= 0.0 + 1e-6, "{info:?}");
+        assert!(info.gap >= 0.99, "{info:?}");
+    }
+
+    #[test]
+    fn cycle_srw_eigenvalue_matches_cosine_formula() {
+        // C_n under SRW has eigenvalues cos(2πk/n); the second largest is
+        // cos(2π/n).
+        let n = 20;
+        let g = cycle(n);
+        let info = spectral_gap(&g, RandomWalkKind::Simple, 1e-12);
+        let expected = (2.0 * std::f64::consts::PI / n as f64).cos();
+        assert!((info.second_eigenvalue - expected).abs() < 1e-6, "{info:?} vs {expected}");
+    }
+
+    #[test]
+    fn hypercube_srw_eigenvalue_matches_formula() {
+        // Q_k under SRW has eigenvalues 1 - 2i/k; the second largest is
+        // 1 - 2/k.
+        let k = 4;
+        let g = hypercube(k);
+        let info = spectral_gap(&g, RandomWalkKind::Simple, 1e-12);
+        let expected = 1.0 - 2.0 / k as f64;
+        assert!((info.second_eigenvalue - expected).abs() < 1e-6, "{info:?} vs {expected}");
+    }
+
+    #[test]
+    fn gap_is_in_unit_interval_for_real_graphs() {
+        let g = barabasi_albert(200, 3, 7).unwrap();
+        for kind in [RandomWalkKind::Simple, RandomWalkKind::MetropolisHastings] {
+            let info = spectral_gap(&g, kind, 1e-9);
+            assert!(info.gap > 0.0 && info.gap <= 1.0, "{kind:?}: {info:?}");
+            assert!(info.second_eigenvalue < 1.0);
+        }
+    }
+
+    #[test]
+    fn larger_cycles_have_smaller_gaps() {
+        let small = spectral_gap(&cycle(10), RandomWalkKind::Simple, 1e-10).gap;
+        let large = spectral_gap(&cycle(40), RandomWalkKind::Simple, 1e-10).gap;
+        assert!(large < small, "gap should shrink with diameter: {large} vs {small}");
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        let g = complete(1);
+        let info = spectral_gap(&g, RandomWalkKind::Simple, 1e-9);
+        assert_eq!(info.gap, 1.0);
+        let g0 = wnw_graph::GraphBuilder::new().build();
+        assert_eq!(spectral_gap(&g0, RandomWalkKind::Simple, 1e-9).gap, 1.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Transition designs (Definitions 1 and 2 of the paper).
+//!
+//! A random walk is characterised by its transition matrix `T`. The paper
+//! evaluates two designs because of their popularity in OSN sampling:
+//!
+//! * **Simple Random Walk (SRW)** — `T(u, v) = 1/|N(u)|` for `v ∈ N(u)`;
+//!   its stationary distribution is proportional to node degree;
+//! * **Metropolis–Hastings Random Walk (MHRW)** —
+//!   `T(u, v) = 1/|N(u)| · min{1, |N(u)|/|N(v)|}` for `v ∈ N(u)`, with the
+//!   leftover mass as a self-loop; its stationary distribution is uniform.
+//!
+//! WALK-ESTIMATE is transparent to the design: it takes a
+//! [`RandomWalkKind`] as input and produces samples following the *same*
+//! target distribution, just cheaper.
+
+use serde::{Deserialize, Serialize};
+
+/// The target (stationary) distribution of a random-walk design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TargetDistribution {
+    /// Every node equally likely (MHRW's stationary distribution).
+    Uniform,
+    /// Probability proportional to node degree (SRW's stationary
+    /// distribution on a connected undirected graph).
+    DegreeProportional,
+}
+
+impl TargetDistribution {
+    /// Unnormalised target weight `q̃(v)` of a node with degree `degree`.
+    ///
+    /// Rejection sampling and importance-weighted estimators only ever need
+    /// ratios of target probabilities, so the normalising constant (which a
+    /// third party cannot know without `|V|` or `|E|`) never appears.
+    #[inline]
+    pub fn weight(&self, degree: usize) -> f64 {
+        match self {
+            TargetDistribution::Uniform => 1.0,
+            TargetDistribution::DegreeProportional => degree as f64,
+        }
+    }
+
+    /// Human-readable name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TargetDistribution::Uniform => "uniform",
+            TargetDistribution::DegreeProportional => "degree-proportional",
+        }
+    }
+}
+
+/// The random-walk designs evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RandomWalkKind {
+    /// Simple Random Walk (Definition 1).
+    Simple,
+    /// Metropolis–Hastings Random Walk targeting the uniform distribution
+    /// (Definition 2).
+    MetropolisHastings,
+}
+
+impl RandomWalkKind {
+    /// The design's stationary / target distribution.
+    pub fn target(&self) -> TargetDistribution {
+        match self {
+            RandomWalkKind::Simple => TargetDistribution::DegreeProportional,
+            RandomWalkKind::MetropolisHastings => TargetDistribution::Uniform,
+        }
+    }
+
+    /// Whether the design can stay put (has self-loop probability mass).
+    pub fn has_self_loops(&self) -> bool {
+        matches!(self, RandomWalkKind::MetropolisHastings)
+    }
+
+    /// Short name used in experiment output ("SRW" / "MHRW").
+    pub fn name(&self) -> &'static str {
+        match self {
+            RandomWalkKind::Simple => "SRW",
+            RandomWalkKind::MetropolisHastings => "MHRW",
+        }
+    }
+
+    /// Transition probability `T(u, v)` for a *neighboring* pair `u → v`,
+    /// expressed through the two degrees (all either design needs).
+    ///
+    /// For the self-loop probability of MHRW use
+    /// [`self_loop_probability`](Self::self_loop_probability); `T(u, v) = 0`
+    /// for non-adjacent distinct nodes by definition.
+    #[inline]
+    pub fn edge_probability(&self, degree_u: usize, degree_v: usize) -> f64 {
+        debug_assert!(degree_u > 0, "transition from an isolated node is undefined");
+        match self {
+            RandomWalkKind::Simple => 1.0 / degree_u as f64,
+            RandomWalkKind::MetropolisHastings => {
+                let du = degree_u as f64;
+                let dv = degree_v as f64;
+                (1.0 / du) * (du / dv).min(1.0)
+            }
+        }
+    }
+
+    /// Self-loop probability `T(u, u)` given the degrees of `u`'s neighbors.
+    ///
+    /// `neighbor_degrees` must contain `|N(u)|` entries. For SRW this is
+    /// always 0; for MHRW it is `1 − Σ_w T(u, w)`.
+    pub fn self_loop_probability(&self, degree_u: usize, neighbor_degrees: &[usize]) -> f64 {
+        match self {
+            RandomWalkKind::Simple => 0.0,
+            RandomWalkKind::MetropolisHastings => {
+                let outgoing: f64 = neighbor_degrees
+                    .iter()
+                    .map(|&dv| self.edge_probability(degree_u, dv))
+                    .sum();
+                (1.0 - outgoing).max(0.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srw_probabilities_are_uniform_over_neighbors() {
+        let k = RandomWalkKind::Simple;
+        assert!((k.edge_probability(4, 100) - 0.25).abs() < 1e-12);
+        assert!((k.edge_probability(4, 1) - 0.25).abs() < 1e-12);
+        assert_eq!(k.self_loop_probability(4, &[1, 2, 3, 4]), 0.0);
+        assert_eq!(k.target(), TargetDistribution::DegreeProportional);
+        assert!(!k.has_self_loops());
+        assert_eq!(k.name(), "SRW");
+    }
+
+    #[test]
+    fn mhrw_probabilities_match_definition() {
+        let k = RandomWalkKind::MetropolisHastings;
+        // d(u) = 4, d(v) = 2: T = 1/4 · min(1, 4/2) = 1/4.
+        assert!((k.edge_probability(4, 2) - 0.25).abs() < 1e-12);
+        // d(u) = 2, d(v) = 4: T = 1/2 · min(1, 2/4) = 1/4.
+        assert!((k.edge_probability(2, 4) - 0.25).abs() < 1e-12);
+        assert_eq!(k.target(), TargetDistribution::Uniform);
+        assert!(k.has_self_loops());
+        assert_eq!(k.name(), "MHRW");
+    }
+
+    #[test]
+    fn mhrw_rows_sum_to_one() {
+        let k = RandomWalkKind::MetropolisHastings;
+        let neighbor_degrees = [1usize, 2, 8, 3];
+        let du = neighbor_degrees.len();
+        let outgoing: f64 =
+            neighbor_degrees.iter().map(|&dv| k.edge_probability(du, dv)).sum();
+        let self_loop = k.self_loop_probability(du, &neighbor_degrees);
+        assert!((outgoing + self_loop - 1.0).abs() < 1e-12);
+        // There is a neighbor with a higher degree, so the self-loop is
+        // strictly positive.
+        assert!(self_loop > 0.0);
+    }
+
+    #[test]
+    fn mhrw_detailed_balance_for_uniform_target() {
+        // π uniform => π(u) T(u,v) = π(v) T(v,u) iff T(u,v) = T(v,u).
+        let k = RandomWalkKind::MetropolisHastings;
+        for (du, dv) in [(3usize, 7usize), (10, 2), (5, 5)] {
+            let forward = k.edge_probability(du, dv);
+            let backward = k.edge_probability(dv, du);
+            assert!((forward - backward).abs() < 1e-12, "({du}, {dv})");
+        }
+    }
+
+    #[test]
+    fn srw_detailed_balance_for_degree_target() {
+        // π ∝ degree => d(u)·T(u,v) = d(v)·T(v,u) = 1 for adjacent u, v.
+        let k = RandomWalkKind::Simple;
+        for (du, dv) in [(3usize, 7usize), (10, 2)] {
+            let lhs = du as f64 * k.edge_probability(du, dv);
+            let rhs = dv as f64 * k.edge_probability(dv, du);
+            assert!((lhs - rhs).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn target_weights() {
+        assert_eq!(TargetDistribution::Uniform.weight(17), 1.0);
+        assert_eq!(TargetDistribution::DegreeProportional.weight(17), 17.0);
+        assert_eq!(TargetDistribution::Uniform.name(), "uniform");
+        assert_eq!(TargetDistribution::DegreeProportional.name(), "degree-proportional");
+    }
+}

@@ -1,0 +1,91 @@
+//! Aggregate estimation under a query budget, on the Yelp-like surrogate:
+//! estimate the average star rating and the average degree of users of a
+//! review network you can only explore through `neighbors(v)` calls.
+//!
+//! This is the workload of the paper's Figure 7: for the same query budget,
+//! how close does each sampler get to the true population averages?
+//!
+//! ```text
+//! cargo run --release --example aggregate_estimation
+//! ```
+
+use walk_not_wait::experiments::datasets::DatasetRegistry;
+use walk_not_wait::experiments::report::ExperimentScale;
+use walk_not_wait::mcmc::burn_in::{BurnInConfig, ManyShortRunsSampler};
+use walk_not_wait::prelude::*;
+
+fn main() {
+    let registry = DatasetRegistry::new(ExperimentScale::Quick);
+    let dataset = registry.yelp();
+    let graph = dataset.graph;
+    let true_stars = graph.attributes().column("stars").expect("stars attribute").mean();
+    let true_degree = graph.average_degree();
+    println!(
+        "Yelp-like review network: {} users, {} edges ({})",
+        graph.node_count(),
+        graph.edge_count(),
+        dataset.paper_reference
+    );
+    println!("ground truth: avg stars {true_stars:.3}, avg degree {true_degree:.2}\n");
+
+    let budget = (graph.node_count() / 4) as u64;
+    println!("query budget per sampler: {budget} unique users\n");
+
+    let report = |name: &str, nodes: Vec<NodeId>, weighting: WeightingScheme, cost: u64| {
+        let star_values: Vec<SampleValue> = nodes
+            .iter()
+            .map(|&v| SampleValue {
+                node: v,
+                value: graph.attribute("stars", v).unwrap_or(0.0),
+                degree: graph.degree(v),
+            })
+            .collect();
+        let degree_values: Vec<SampleValue> = nodes
+            .iter()
+            .map(|&v| SampleValue {
+                node: v,
+                value: graph.degree(v) as f64,
+                degree: graph.degree(v),
+            })
+            .collect();
+        let est_stars = estimate_average(&star_values, weighting);
+        let est_degree = estimate_average(&degree_values, weighting);
+        println!(
+            "{name:<22} {:>4} samples, {cost:>5} queries | stars {est_stars:.3} ({:.1}% err) | degree {est_degree:.2} ({:.1}% err)",
+            nodes.len(),
+            100.0 * relative_error(est_stars, true_stars),
+            100.0 * relative_error(est_degree, true_degree),
+        );
+    };
+
+    // Traditional SRW with burn-in.
+    let osn = SimulatedOsn::builder(graph.clone()).budget(QueryBudget(budget)).build();
+    let mut srw =
+        ManyShortRunsSampler::new(osn.clone(), RandomWalkKind::Simple, BurnInConfig::default(), 3);
+    let run = collect_samples(&mut srw, 10_000).expect("budget exhaustion handled");
+    report("SRW (burn-in)", run.nodes(), WeightingScheme::InverseDegree, osn.query_cost());
+
+    // WALK-ESTIMATE on the same input walk.
+    let osn = SimulatedOsn::builder(graph.clone()).budget(QueryBudget(budget)).build();
+    let mut we = WalkEstimateSampler::new(
+        osn.clone(),
+        RandomWalkKind::Simple,
+        WalkEstimateConfig::default(),
+        3,
+    )
+    .with_diameter_estimate(6);
+    let run = collect_samples(&mut we, 10_000).expect("budget exhaustion handled");
+    report("WE(SRW)", run.nodes(), WeightingScheme::InverseDegree, osn.query_cost());
+
+    // WALK-ESTIMATE targeting the uniform distribution (MHRW input).
+    let osn = SimulatedOsn::builder(graph.clone()).budget(QueryBudget(budget)).build();
+    let mut we_uniform = WalkEstimateSampler::new(
+        osn.clone(),
+        RandomWalkKind::MetropolisHastings,
+        WalkEstimateConfig::default(),
+        3,
+    )
+    .with_diameter_estimate(6);
+    let run = collect_samples(&mut we_uniform, 10_000).expect("budget exhaustion handled");
+    report("WE(MHRW, uniform)", run.nodes(), WeightingScheme::Uniform, osn.query_cost());
+}

@@ -1,0 +1,70 @@
+//! Side-by-side comparison of every sampler in the workspace on the same
+//! simulated social network: traditional SRW and MHRW (many short runs),
+//! SRW one-long-run, and the four WALK-ESTIMATE variants of the Figure 9
+//! ablation.
+//!
+//! For each sampler the example reports the query cost for a fixed number of
+//! samples and the relative error of the average-degree estimate.
+//!
+//! ```text
+//! cargo run --release --example compare_samplers
+//! ```
+
+use walk_not_wait::core::WalkEstimateVariant;
+use walk_not_wait::experiments::measures::Aggregate;
+use walk_not_wait::experiments::runner::{SamplerKind, Workbench};
+use walk_not_wait::mcmc::collect_samples;
+use walk_not_wait::prelude::*;
+
+fn main() {
+    let graph = walk_not_wait::graph::generators::random::barabasi_albert(2_000, 5, 21)
+        .expect("valid generator parameters");
+    let bench = Workbench::new(graph.clone(), WalkEstimateConfig::default());
+    let truth = Aggregate::Degree.ground_truth(&graph);
+    let samples = 40;
+    println!(
+        "graph: {} nodes, {} edges, true average degree {truth:.2}; drawing {samples} samples per sampler\n",
+        graph.node_count(),
+        graph.edge_count()
+    );
+    println!("{:<22} {:>10} {:>12} {:>16}", "sampler", "queries", "est. degree", "relative error");
+
+    let samplers = [
+        SamplerKind::Srw,
+        SamplerKind::Mhrw,
+        SamplerKind::SrwOneLongRun,
+        SamplerKind::WalkEstimate { input: RandomWalkKind::Simple, variant: WalkEstimateVariant::None },
+        SamplerKind::WalkEstimate { input: RandomWalkKind::Simple, variant: WalkEstimateVariant::CrawlOnly },
+        SamplerKind::WalkEstimate { input: RandomWalkKind::Simple, variant: WalkEstimateVariant::WeightedOnly },
+        SamplerKind::WalkEstimate { input: RandomWalkKind::Simple, variant: WalkEstimateVariant::Full },
+        SamplerKind::WalkEstimate { input: RandomWalkKind::MetropolisHastings, variant: WalkEstimateVariant::Full },
+    ];
+    for kind in samplers {
+        let osn = SimulatedOsn::new(graph.clone());
+        let mut sampler = kind.build(osn.clone(), bench.diameter, &bench.config, 99);
+        let run = collect_samples(sampler.as_mut(), samples).expect("unlimited budget");
+        let values: Vec<SampleValue> = run
+            .samples
+            .iter()
+            .map(|s| SampleValue {
+                node: s.node,
+                value: graph.degree(s.node) as f64,
+                degree: graph.degree(s.node),
+            })
+            .collect();
+        let estimate = estimate_average(&values, kind.weighting());
+        println!(
+            "{:<22} {:>10} {:>12.2} {:>15.1}%",
+            kind.label(),
+            osn.query_cost(),
+            estimate,
+            100.0 * relative_error(estimate, truth)
+        );
+    }
+
+    println!(
+        "\nNote: one-long-run is cheap but its samples are correlated; see the\n\
+         effective-sample-size discussion in the paper's Section 6.1 and the\n\
+         `ablation_one_long_run` bench."
+    );
+}

@@ -1,0 +1,83 @@
+//! Working under real-world access restrictions (paper Section 6.3):
+//! rate limits, truncated neighbor lists with the bidirectional-edge check,
+//! random-k neighbor responses with mark-and-recapture degree estimation,
+//! and hard query budgets.
+//!
+//! ```text
+//! cargo run --release --example restricted_access
+//! ```
+
+use walk_not_wait::access::{NeighborRestriction, RateLimitPolicy, RateLimiter};
+use walk_not_wait::analytics::degree_estimate::estimate_degree_from_batches;
+use walk_not_wait::prelude::*;
+
+fn main() {
+    let graph = walk_not_wait::graph::generators::random::barabasi_albert(1_000, 8, 5)
+        .expect("valid generator parameters");
+
+    // 1. Rate limits: how long would a 500-query crawl take against
+    //    Twitter's 15-requests-per-15-minutes follower endpoint?
+    let osn = SimulatedOsn::builder(graph.clone())
+        .rate_limiter(RateLimiter::new(RateLimitPolicy::TWITTER_FOLLOWER_IDS))
+        .build();
+    let mut sampler = WalkEstimateSampler::new(
+        osn.clone(),
+        RandomWalkKind::MetropolisHastings,
+        WalkEstimateConfig::default(),
+        1,
+    )
+    .with_diameter_estimate(5);
+    let run = collect_samples(&mut sampler, 20).expect("unlimited budget");
+    println!(
+        "rate-limited crawl: {} samples, {} unique-node queries, {} API calls,\n\
+         simulated wall-clock time {:.1} hours under the Twitter policy\n",
+        run.len(),
+        osn.query_cost(),
+        osn.query_stats().api_calls,
+        osn.rate_limiter().elapsed_secs() as f64 / 3600.0
+    );
+
+    // 2. Truncated neighbor lists (restriction type 3) with the
+    //    bidirectional-edge check: the visible graph shrinks, but sampling
+    //    still works on what remains visible.
+    let osn = SimulatedOsn::builder(graph.clone())
+        .restriction(NeighborRestriction::Truncated { l: 30 })
+        .build();
+    let hub = NodeId(0);
+    let visible = osn.neighbors(hub).expect("hub exists");
+    println!(
+        "truncated interface (l = 30): hub {} has true degree {} but only {} mutually-visible neighbors\n",
+        hub,
+        graph.degree(hub),
+        visible.len()
+    );
+
+    // 3. Random-k responses (restriction type 1): single responses no longer
+    //    reveal degrees, but mark-and-recapture over repeated calls does.
+    let osn = SimulatedOsn::builder(graph.clone())
+        .restriction(NeighborRestriction::RandomSubset { k: 40 })
+        .build();
+    let node = NodeId(1);
+    let batches: Vec<Vec<NodeId>> =
+        (0..12).map(|_| osn.neighbors(node).expect("node exists")).collect();
+    let estimated = estimate_degree_from_batches(&batches).expect("two or more batches");
+    println!(
+        "mark-and-recapture: node {} true degree {} — estimated {:.1} from 12 random-40 responses\n",
+        node,
+        graph.degree(node),
+        estimated
+    );
+
+    // 4. Hard query budgets: the sampler stops cleanly when the budget runs
+    //    out, keeping every sample drawn so far.
+    let osn = SimulatedOsn::builder(graph).budget(QueryBudget(150)).build();
+    let mut sampler =
+        WalkEstimateSampler::new(osn.clone(), RandomWalkKind::Simple, WalkEstimateConfig::default(), 2)
+            .with_diameter_estimate(5);
+    let run = collect_samples(&mut sampler, 1_000).expect("budget exhaustion is not an error");
+    println!(
+        "hard budget of 150 queries: obtained {} samples before the budget ran out (budget exhausted: {})",
+        run.len(),
+        run.budget_exhausted
+    );
+}

@@ -1,0 +1,79 @@
+//! Smoke tests for the figure-reproduction drivers at quick scale: every
+//! figure must run end to end, produce non-empty tables, and exhibit the
+//! paper's qualitative outcome where that outcome is robust at small scale.
+
+use walk_not_wait::experiments::figures;
+use walk_not_wait::experiments::report::{Cell, ExperimentScale, FigureResult};
+
+fn table<'a>(result: &'a FigureResult, name: &str) -> &'a walk_not_wait::experiments::report::Table {
+    result
+        .tables
+        .iter()
+        .find(|t| t.name == name)
+        .unwrap_or_else(|| panic!("table `{name}` missing from {}", result.id))
+}
+
+#[test]
+fn every_figure_runs_at_quick_scale_and_produces_data() {
+    for (id, run) in figures::all_figures() {
+        // The heavier error-vs-cost figures are covered individually below;
+        // still run them all here to catch panics and empty outputs.
+        let result = run(ExperimentScale::Quick);
+        assert_eq!(result.id, id);
+        assert!(!result.tables.is_empty(), "{id} produced no tables");
+        for t in &result.tables {
+            assert!(!t.is_empty(), "{id}/{} is empty", t.name);
+        }
+    }
+}
+
+#[test]
+fn figure6_walk_estimate_beats_srw_on_average_degree() {
+    let result = figures::fig06::run(ExperimentScale::Quick);
+    let t = table(&result, "a_avg_degree_srw");
+    let srw = mean_error(t, "SRW");
+    let we = mean_error(t, "WE(SRW)");
+    assert!(
+        we <= srw * 1.5 + 0.05,
+        "WE(SRW) mean error {we} should not be substantially worse than SRW {srw}"
+    );
+}
+
+#[test]
+fn figure12_table1_we_closer_to_uniform_than_srw() {
+    let result = figures::fig12::run(ExperimentScale::Quick);
+    let t = table(&result, "table1_distances");
+    for row in &t.rows {
+        let measure = match &row[0] {
+            Cell::Text(s) => s.clone(),
+            _ => continue,
+        };
+        let (srw, we) = match (&row[1], &row[2]) {
+            (Cell::Number(a), Cell::Number(b)) => (*a, *b),
+            _ => continue,
+        };
+        if measure == "kl_divergence" || measure == "total_variation" {
+            assert!(
+                we < srw,
+                "{measure}: WE ({we}) should be closer to the uniform target than SRW ({srw})"
+            );
+        }
+    }
+}
+
+fn mean_error(table: &walk_not_wait::experiments::report::Table, label: &str) -> f64 {
+    let sampler_idx = table.columns.iter().position(|c| c == "sampler").unwrap();
+    let err_idx = table.columns.iter().position(|c| c == "relative_error").unwrap();
+    let mut sum = 0.0;
+    let mut count = 0;
+    for row in &table.rows {
+        if matches!(&row[sampler_idx], Cell::Text(s) if s == label) {
+            if let Cell::Number(e) = row[err_idx] {
+                sum += e;
+                count += 1;
+            }
+        }
+    }
+    assert!(count > 0, "no rows for sampler {label}");
+    sum / count as f64
+}
