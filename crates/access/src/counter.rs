@@ -14,14 +14,14 @@
 //!   [`AccessError::BudgetExhausted`].
 
 use crate::error::AccessError;
+use crate::sync::lock;
 use crate::Result;
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+use std::sync::Mutex;
 use wnw_graph::NodeId;
 
 /// A hard cap on the number of unique-node queries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueryBudget(pub u64);
 
 impl QueryBudget {
@@ -30,7 +30,7 @@ impl QueryBudget {
 }
 
 /// A snapshot of the counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Distinct nodes whose neighborhood has been queried — the paper's
     /// query-cost measure.
@@ -66,7 +66,10 @@ impl QueryCounter {
 
     /// Creates a counter that fails queries beyond `budget` unique nodes.
     pub fn with_budget(budget: QueryBudget) -> Self {
-        QueryCounter { inner: Mutex::new(CounterInner::default()), budget }
+        QueryCounter {
+            inner: Mutex::new(CounterInner::default()),
+            budget,
+        }
     }
 
     /// The configured budget.
@@ -80,7 +83,7 @@ impl QueryCounter {
     /// `Ok(false)` on a cache hit, and an error if the budget would be
     /// exceeded by a charged access.
     pub fn record_neighbor_query(&self, v: NodeId) -> Result<bool> {
-        let mut inner = self.inner.lock();
+        let mut inner = lock(&self.inner);
         inner.stats.api_calls += 1;
         if inner.visited.contains(&v) {
             inner.stats.cache_hits += 1;
@@ -88,7 +91,9 @@ impl QueryCounter {
         }
         if inner.stats.unique_nodes >= self.budget.0 {
             // Undo the api_call bump? Keep it: the caller did attempt a call.
-            return Err(AccessError::BudgetExhausted { budget: self.budget.0 });
+            return Err(AccessError::BudgetExhausted {
+                budget: self.budget.0,
+            });
         }
         inner.visited.insert(v);
         inner.stats.unique_nodes += 1;
@@ -97,17 +102,17 @@ impl QueryCounter {
 
     /// Records an attribute read (not charged against the budget).
     pub fn record_attribute_read(&self) {
-        self.inner.lock().stats.attribute_reads += 1;
+        lock(&self.inner).stats.attribute_reads += 1;
     }
 
     /// Returns whether node `v` has already been charged (i.e. is cached).
     pub fn is_visited(&self, v: NodeId) -> bool {
-        self.inner.lock().visited.contains(&v)
+        lock(&self.inner).visited.contains(&v)
     }
 
     /// Number of unique nodes charged so far — the query cost.
     pub fn query_cost(&self) -> u64 {
-        self.inner.lock().stats.unique_nodes
+        lock(&self.inner).stats.unique_nodes
     }
 
     /// Remaining budget in unique-node queries.
@@ -118,12 +123,12 @@ impl QueryCounter {
 
     /// A copy of all counters.
     pub fn stats(&self) -> QueryStats {
-        self.inner.lock().stats
+        lock(&self.inner).stats
     }
 
     /// Resets all counters and the visited set (the budget is kept).
     pub fn reset(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = lock(&self.inner);
         inner.visited.clear();
         inner.stats = QueryStats::default();
     }

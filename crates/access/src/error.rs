@@ -49,9 +49,19 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(AccessError::UnknownNode(NodeId(3)).to_string().contains('3'));
-        assert!(AccessError::BudgetExhausted { budget: 100 }.to_string().contains("100"));
-        assert!(AccessError::UnknownAttribute("stars".into()).to_string().contains("stars"));
-        assert!(AccessError::RateLimited { retry_after_secs: 60 }.to_string().contains("60"));
+        assert!(AccessError::UnknownNode(NodeId(3))
+            .to_string()
+            .contains('3'));
+        assert!(AccessError::BudgetExhausted { budget: 100 }
+            .to_string()
+            .contains("100"));
+        assert!(AccessError::UnknownAttribute("stars".into())
+            .to_string()
+            .contains("stars"));
+        assert!(AccessError::RateLimited {
+            retry_after_secs: 60
+        }
+        .to_string()
+        .contains("60"));
     }
 }

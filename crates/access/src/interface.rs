@@ -55,8 +55,47 @@ pub trait SocialNetwork {
     }
 }
 
+/// A [`SocialNetwork`] that can be shared across walker threads.
+///
+/// This is a pure marker: the sampling engine takes `N: ThreadedNetwork`
+/// where a worker pool fans out over one shared handle, making the
+/// `Send + Sync` requirement part of the access contract instead of a bound
+/// scattered across the engine. Every `SocialNetwork` whose type is already
+/// `Send + Sync` (e.g. [`SimulatedOsn`](crate::SimulatedOsn), or a
+/// [`CachedNetwork`](crate::CachedNetwork) over one) gets it for free via the
+/// blanket implementation.
+pub trait ThreadedNetwork: SocialNetwork + Send + Sync {}
+
+impl<N: SocialNetwork + Send + Sync + ?Sized> ThreadedNetwork for N {}
+
 /// Blanket implementation so `&N` works wherever `N: SocialNetwork` does.
 impl<N: SocialNetwork + ?Sized> SocialNetwork for &N {
+    fn neighbors(&self, v: NodeId) -> Result<Vec<NodeId>> {
+        (**self).neighbors(v)
+    }
+    fn degree(&self, v: NodeId) -> Result<usize> {
+        (**self).degree(v)
+    }
+    fn attribute(&self, name: &str, v: NodeId) -> Result<f64> {
+        (**self).attribute(name, v)
+    }
+    fn seed_node(&self) -> NodeId {
+        (**self).seed_node()
+    }
+    fn query_stats(&self) -> QueryStats {
+        (**self).query_stats()
+    }
+    fn reset_counters(&self) {
+        (**self).reset_counters()
+    }
+    fn node_count_hint(&self) -> Option<usize> {
+        (**self).node_count_hint()
+    }
+}
+
+/// Blanket implementation so `Arc<N>` works wherever `N: SocialNetwork`
+/// does — the natural shape for handles shared by walker threads.
+impl<N: SocialNetwork + ?Sized> SocialNetwork for std::sync::Arc<N> {
     fn neighbors(&self, v: NodeId) -> Result<Vec<NodeId>> {
         (**self).neighbors(v)
     }
@@ -86,12 +125,25 @@ mod tests {
     use crate::simulated::SimulatedOsn;
     use wnw_graph::generators::classic::cycle;
 
+    fn assert_threaded<N: ThreadedNetwork>(_n: &N) {}
+
+    #[test]
+    fn arc_impl_delegates_and_is_threaded() {
+        let osn = std::sync::Arc::new(SimulatedOsn::new(cycle(5)));
+        assert_eq!(osn.degree(NodeId(0)).unwrap(), 2);
+        assert_eq!(osn.query_cost(), 1);
+        assert_eq!(osn.node_count_hint(), Some(5));
+        assert_threaded(&osn);
+        osn.reset_counters();
+        assert_eq!(osn.query_cost(), 0);
+    }
+
     #[test]
     fn blanket_ref_impl_delegates() {
         let osn = SimulatedOsn::new(cycle(5));
         let by_ref: &dyn SocialNetwork = &osn;
         assert_eq!(by_ref.degree(NodeId(0)).unwrap(), 2);
-        assert_eq!((&osn).query_cost(), 1);
+        assert_eq!(osn.query_cost(), 1);
         assert_eq!(by_ref.node_count_hint(), Some(5));
         by_ref.reset_counters();
         assert_eq!(by_ref.query_cost(), 0);

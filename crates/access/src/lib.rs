@@ -18,25 +18,39 @@
 //!   random-k, fixed-k, truncated neighbor lists with bidirectional-edge
 //!   checking), and an optional [`RateLimiter`];
 //! * [`QueryBudget`] / [`AccessError`] — hard budget enforcement so
-//!   experiments can ask "what does each sampler deliver for X queries?".
+//!   experiments can ask "what does each sampler deliver for X queries?";
+//! * [`CachedNetwork`] — a sharded, lock-striped neighbor cache any number
+//!   of concurrent walkers can share, with exact unique-node accounting
+//!   under contention;
+//! * [`MeteredNetwork`] — an independent per-caller metering and budget view
+//!   over a shared network (how the engine gives each walker its own
+//!   deterministic budget share);
+//! * [`ThreadedNetwork`] — the `Send + Sync` marker the concurrent engine
+//!   requires of a network handle shared across worker threads.
 //!
 //! Samplers in `wnw-mcmc` and `wnw-core` are written against the trait, so
 //! swapping a simulated graph for a live crawler is a matter of implementing
-//! [`SocialNetwork`] once.
+//! [`SocialNetwork`] once — the caching, metering, and concurrency layers
+//! compose on top unchanged.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cached;
 pub mod counter;
 pub mod error;
 pub mod interface;
+pub mod metered;
 pub mod rate_limit;
 pub mod restrictions;
 pub mod simulated;
+pub mod sync;
 
+pub use cached::CachedNetwork;
 pub use counter::{QueryBudget, QueryCounter, QueryStats};
 pub use error::AccessError;
-pub use interface::SocialNetwork;
+pub use interface::{SocialNetwork, ThreadedNetwork};
+pub use metered::MeteredNetwork;
 pub use rate_limit::{RateLimitPolicy, RateLimiter};
 pub use restrictions::NeighborRestriction;
 pub use simulated::SimulatedOsn;

@@ -9,12 +9,12 @@
 //! still exposing "how long would this crawl have taken against the real
 //! API?".
 
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use crate::sync::lock;
+use std::sync::Mutex;
 
 /// A fixed-window rate-limit policy: at most `requests_per_window` calls per
 /// `window_secs` of (simulated) wall-clock time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RateLimitPolicy {
     /// Maximum number of API calls per window.
     pub requests_per_window: u64,
@@ -25,12 +25,16 @@ pub struct RateLimitPolicy {
 impl RateLimitPolicy {
     /// Twitter's follower-id endpoint at the time of the paper:
     /// 15 requests every 15 minutes.
-    pub const TWITTER_FOLLOWER_IDS: RateLimitPolicy =
-        RateLimitPolicy { requests_per_window: 15, window_secs: 15 * 60 };
+    pub const TWITTER_FOLLOWER_IDS: RateLimitPolicy = RateLimitPolicy {
+        requests_per_window: 15,
+        window_secs: 15 * 60,
+    };
 
     /// A practically unlimited policy (useful as a default).
-    pub const UNLIMITED: RateLimitPolicy =
-        RateLimitPolicy { requests_per_window: u64::MAX, window_secs: 1 };
+    pub const UNLIMITED: RateLimitPolicy = RateLimitPolicy {
+        requests_per_window: u64::MAX,
+        window_secs: 1,
+    };
 }
 
 /// Tracks simulated elapsed time under a [`RateLimitPolicy`].
@@ -60,13 +64,16 @@ struct LimiterState {
 impl RateLimiter {
     /// Creates a limiter with the given policy, starting at simulated time 0.
     pub fn new(policy: RateLimitPolicy) -> Self {
-        RateLimiter { policy, state: Mutex::new(LimiterState::default()) }
+        RateLimiter {
+            policy,
+            state: Mutex::new(LimiterState::default()),
+        }
     }
 
     /// Records one API call, advancing the simulated clock if the window is
     /// exhausted. Returns the number of seconds "waited" by this call.
     pub fn record_call(&self) -> u64 {
-        let mut s = self.state.lock();
+        let mut s = lock(&self.state);
         s.total_calls += 1;
         if self.policy.requests_per_window == u64::MAX {
             return 0;
@@ -89,17 +96,17 @@ impl RateLimiter {
 
     /// Total simulated time elapsed, in seconds.
     pub fn elapsed_secs(&self) -> u64 {
-        self.state.lock().now_secs
+        lock(&self.state).now_secs
     }
 
     /// Total simulated time spent waiting on the limiter, in seconds.
     pub fn waited_secs(&self) -> u64 {
-        self.state.lock().waited_secs
+        lock(&self.state).waited_secs
     }
 
     /// Total calls recorded.
     pub fn total_calls(&self) -> u64 {
-        self.state.lock().total_calls
+        lock(&self.state).total_calls
     }
 
     /// The configured policy.
@@ -109,7 +116,7 @@ impl RateLimiter {
 
     /// Resets the simulated clock and counters.
     pub fn reset(&self) {
-        *self.state.lock() = LimiterState::default();
+        *lock(&self.state) = LimiterState::default();
     }
 }
 
@@ -154,7 +161,10 @@ mod tests {
 
     #[test]
     fn reset_restores_initial_state() {
-        let rl = RateLimiter::new(RateLimitPolicy { requests_per_window: 1, window_secs: 10 });
+        let rl = RateLimiter::new(RateLimitPolicy {
+            requests_per_window: 1,
+            window_secs: 10,
+        });
         rl.record_call();
         rl.record_call();
         assert!(rl.elapsed_secs() > 0);

@@ -17,11 +17,10 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use wnw_graph::NodeId;
 
 /// How the service restricts the neighbor lists it returns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum NeighborRestriction {
     /// The full neighbor list is returned (the paper's main setting).
     #[default]
@@ -50,7 +49,10 @@ impl NeighborRestriction {
     /// Whether traversals must apply the bidirectional-edge check
     /// (restrictions 2 and 3 make visibility asymmetric).
     pub fn requires_bidirectional_check(&self) -> bool {
-        matches!(self, NeighborRestriction::FixedSubset { .. } | NeighborRestriction::Truncated { .. })
+        matches!(
+            self,
+            NeighborRestriction::FixedSubset { .. } | NeighborRestriction::Truncated { .. }
+        )
     }
 
     /// Applies the restriction to a full neighbor list.
@@ -60,13 +62,7 @@ impl NeighborRestriction {
     /// * `invocation` — a per-call counter (randomises
     ///   [`RandomSubset`](NeighborRestriction::RandomSubset) across calls);
     /// * `seed` — the access layer's base seed.
-    pub fn apply(
-        &self,
-        node: NodeId,
-        full: &[NodeId],
-        invocation: u64,
-        seed: u64,
-    ) -> Vec<NodeId> {
+    pub fn apply(&self, node: NodeId, full: &[NodeId], invocation: u64, seed: u64) -> Vec<NodeId> {
         match *self {
             NeighborRestriction::Full => full.to_vec(),
             NeighborRestriction::RandomSubset { k } => {
@@ -147,7 +143,10 @@ mod tests {
     #[test]
     fn truncation_keeps_prefix() {
         let r = NeighborRestriction::Truncated { l: 2 };
-        assert_eq!(r.apply(NodeId(0), &nbrs(5), 0, 1), vec![NodeId(0), NodeId(1)]);
+        assert_eq!(
+            r.apply(NodeId(0), &nbrs(5), 0, 1),
+            vec![NodeId(0), NodeId(1)]
+        );
         assert!(r.requires_bidirectional_check());
     }
 

@@ -11,10 +11,10 @@ use crate::error::AccessError;
 use crate::interface::SocialNetwork;
 use crate::rate_limit::RateLimiter;
 use crate::restrictions::NeighborRestriction;
+use crate::sync::lock;
 use crate::Result;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 use wnw_graph::{Graph, NodeId};
 
 /// A simulated online social network backed by an in-memory graph.
@@ -30,7 +30,13 @@ pub struct SimulatedOsn {
     limiter: Arc<RateLimiter>,
     seed_node: NodeId,
     restriction_seed: u64,
-    invocation: Arc<AtomicU64>,
+    /// Per-node fetch counts driving the randomised restriction. Using a
+    /// *per-node* call index (not a global one) makes every response a pure
+    /// function of `(node, how often this node was fetched)`: under
+    /// concurrent access the first fetch of each node is identical whatever
+    /// the thread interleaving, so a cache layer freezing first responses
+    /// (`CachedNetwork`) stays deterministic at any thread count.
+    fetch_counts: Arc<Mutex<std::collections::HashMap<NodeId, u64>>>,
     /// Cached restricted views for the bidirectional-edge check, so the check
     /// itself does not inflate the query cost (the crawler already has both
     /// lists locally when it performs the check).
@@ -84,12 +90,20 @@ impl SimulatedOsn {
         }
         self.counter.record_neighbor_query(v)?;
         self.limiter.record_call();
-        let invocation = self.invocation.fetch_add(1, Ordering::Relaxed);
+        let invocation = {
+            let mut counts = lock(&self.fetch_counts);
+            let entry = counts.entry(v).or_insert(0);
+            let current = *entry;
+            *entry += 1;
+            current
+        };
         let full = self.graph.neighbors(v);
-        let restricted = self.restriction.apply(v, full, invocation, self.restriction_seed);
+        let restricted = self
+            .restriction
+            .apply(v, full, invocation, self.restriction_seed);
         if self.restriction.requires_bidirectional_check() {
             // Fixed subsets are stable per node, so cache them for the check.
-            self.restricted_cache.lock().insert(v, restricted.clone());
+            lock(&self.restricted_cache).insert(v, restricted.clone());
         }
         Ok(restricted)
     }
@@ -99,7 +113,7 @@ impl SimulatedOsn {
     /// has already paid for — conservatively, a cache miss here falls back to
     /// a charged fetch).
     fn restricted_view_for_check(&self, u: NodeId) -> Result<Vec<NodeId>> {
-        if let Some(cached) = self.restricted_cache.lock().get(&u) {
+        if let Some(cached) = lock(&self.restricted_cache).get(&u) {
             return Ok(cached.clone());
         }
         self.fetch_restricted(u)
@@ -145,8 +159,8 @@ impl SocialNetwork for SimulatedOsn {
     fn reset_counters(&self) {
         self.counter.reset();
         self.limiter.reset();
-        self.restricted_cache.lock().clear();
-        self.invocation.store(0, Ordering::Relaxed);
+        lock(&self.restricted_cache).clear();
+        lock(&self.fetch_counts).clear();
     }
 
     fn node_count_hint(&self) -> Option<usize> {
@@ -205,7 +219,7 @@ impl SimulatedOsnBuilder {
             limiter: Arc::new(self.limiter.unwrap_or_default()),
             seed_node: self.seed_node,
             restriction_seed: self.restriction_seed,
-            invocation: Arc::new(AtomicU64::new(0)),
+            fetch_counts: Arc::new(Mutex::new(std::collections::HashMap::new())),
             restricted_cache: Arc::new(Mutex::new(std::collections::HashMap::new())),
         }
     }
@@ -233,13 +247,21 @@ mod tests {
     #[test]
     fn unknown_node_is_rejected() {
         let osn = SimulatedOsn::new(cycle(3));
-        assert_eq!(osn.neighbors(NodeId(9)).unwrap_err(), AccessError::UnknownNode(NodeId(9)));
-        assert!(matches!(osn.attribute("stars", NodeId(9)), Err(AccessError::UnknownNode(_))));
+        assert_eq!(
+            osn.neighbors(NodeId(9)).unwrap_err(),
+            AccessError::UnknownNode(NodeId(9))
+        );
+        assert!(matches!(
+            osn.attribute("stars", NodeId(9)),
+            Err(AccessError::UnknownNode(_))
+        ));
     }
 
     #[test]
     fn budget_is_enforced() {
-        let osn = SimulatedOsn::builder(complete(10)).budget(QueryBudget(3)).build();
+        let osn = SimulatedOsn::builder(complete(10))
+            .budget(QueryBudget(3))
+            .build();
         osn.neighbors(NodeId(0)).unwrap();
         osn.neighbors(NodeId(1)).unwrap();
         osn.neighbors(NodeId(2)).unwrap();

@@ -1,0 +1,46 @@
+//! Poison-robust locking.
+//!
+//! The access layer's counters and caches are monotone bookkeeping: a panic
+//! in one walker thread while it holds a lock cannot leave the protected data
+//! in a state that is unsafe for other threads to read (at worst a single
+//! in-flight query goes unrecorded). Propagating `std::sync` poisoning would
+//! instead take down every other walker sharing the network handle, so all
+//! access-layer locks go through [`lock`], which recovers the guard from a
+//! poisoned mutex.
+
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Acquires `mutex`, recovering the guard if a previous holder panicked.
+pub fn lock<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquires `rwlock` for reading, recovering the guard if a writer panicked.
+pub fn read<T: ?Sized>(rwlock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    rwlock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquires `rwlock` for writing, recovering the guard if a holder panicked.
+pub fn write<T: ?Sized>(rwlock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    rwlock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_survives_poisoning() {
+        let m = std::sync::Arc::new(Mutex::new(7u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock(&m), 7);
+        *lock(&m) = 9;
+        assert_eq!(*lock(&m), 9);
+    }
+}

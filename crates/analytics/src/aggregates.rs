@@ -16,12 +16,11 @@
 //!   non-uniform samples respectively").
 
 use crate::stats;
-use serde::{Deserialize, Serialize};
 use wnw_graph::NodeId;
 
 /// One sampled node together with the measured attribute value and the
 /// node's degree (needed for importance re-weighting).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SampleValue {
     /// The sampled node.
     pub node: NodeId,
@@ -34,7 +33,7 @@ pub struct SampleValue {
 }
 
 /// How sampled values must be weighted to form an unbiased population mean.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WeightingScheme {
     /// Samples were drawn (approximately) uniformly: plain arithmetic mean.
     Uniform,
@@ -116,12 +115,15 @@ pub fn relative_error(estimate: f64, truth: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
     fn sv(node: u32, value: f64, degree: usize) -> SampleValue {
-        SampleValue { node: NodeId(node), value, degree }
+        SampleValue {
+            node: NodeId(node),
+            value,
+            degree,
+        }
     }
 
     #[test]
@@ -156,7 +158,10 @@ mod tests {
     fn empty_or_degenerate_samples_yield_zero() {
         assert_eq!(estimate_average(&[], WeightingScheme::Uniform), 0.0);
         assert_eq!(estimate_average(&[], WeightingScheme::InverseDegree), 0.0);
-        assert_eq!(estimate_average(&[sv(0, 5.0, 0)], WeightingScheme::InverseDegree), 0.0);
+        assert_eq!(
+            estimate_average(&[sv(0, 5.0, 0)], WeightingScheme::InverseDegree),
+            0.0
+        );
     }
 
     #[test]
@@ -169,7 +174,10 @@ mod tests {
 
     #[test]
     fn weighting_scheme_from_target_name() {
-        assert_eq!(WeightingScheme::for_target_name("uniform"), WeightingScheme::Uniform);
+        assert_eq!(
+            WeightingScheme::for_target_name("uniform"),
+            WeightingScheme::Uniform
+        );
         assert_eq!(
             WeightingScheme::for_target_name("degree-proportional"),
             WeightingScheme::InverseDegree
@@ -200,38 +208,61 @@ mod tests {
         }
         let naive = estimate_average(&samples, WeightingScheme::Uniform);
         let corrected = estimate_average(&samples, WeightingScheme::InverseDegree);
-        assert!(relative_error(corrected, 5.5) < 0.05, "corrected {corrected}");
-        assert!(naive > 6.0, "naive mean should over-count high degrees: {naive}");
+        assert!(
+            relative_error(corrected, 5.5) < 0.05,
+            "corrected {corrected}"
+        );
+        assert!(
+            naive > 6.0,
+            "naive mean should over-count high degrees: {naive}"
+        );
     }
 
-    proptest! {
-        #[test]
-        fn prop_uniform_estimate_is_bounded_by_sample_values(
-            values in proptest::collection::vec(0.0f64..1e3, 1..50)
-        ) {
-            let samples: Vec<SampleValue> =
-                values.iter().enumerate().map(|(i, &v)| sv(i as u32, v, 3)).collect();
+    #[test]
+    fn prop_uniform_estimate_is_bounded_by_sample_values() {
+        let mut rng = StdRng::seed_from_u64(0xC1A);
+        for _ in 0..64 {
+            let len = rng.gen_range(1..50usize);
+            let values: Vec<f64> = (0..len).map(|_| rng.gen_range(0.0..1e3)).collect();
+            let samples: Vec<SampleValue> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| sv(i as u32, v, 3))
+                .collect();
             let est = estimate_average(&samples, WeightingScheme::Uniform);
             let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9);
+            assert!(est >= lo - 1e-9 && est <= hi + 1e-9);
         }
+    }
 
-        #[test]
-        fn prop_inverse_degree_estimate_is_bounded_by_sample_values(
-            pairs in proptest::collection::vec((0.0f64..1e3, 1usize..100), 1..50)
-        ) {
-            let samples: Vec<SampleValue> =
-                pairs.iter().enumerate().map(|(i, &(v, d))| sv(i as u32, v, d)).collect();
+    #[test]
+    fn prop_inverse_degree_estimate_is_bounded_by_sample_values() {
+        let mut rng = StdRng::seed_from_u64(0xC1B);
+        for _ in 0..64 {
+            let len = rng.gen_range(1..50usize);
+            let pairs: Vec<(f64, usize)> = (0..len)
+                .map(|_| (rng.gen_range(0.0..1e3), rng.gen_range(1..100usize)))
+                .collect();
+            let samples: Vec<SampleValue> = pairs
+                .iter()
+                .enumerate()
+                .map(|(i, &(v, d))| sv(i as u32, v, d))
+                .collect();
             let est = estimate_average(&samples, WeightingScheme::InverseDegree);
             let lo = pairs.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
             let hi = pairs.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
-            prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9);
+            assert!(est >= lo - 1e-9 && est <= hi + 1e-9);
         }
+    }
 
-        #[test]
-        fn prop_relative_error_nonnegative(est in -1e6f64..1e6, truth in -1e6f64..1e6) {
-            prop_assert!(relative_error(est, truth) >= 0.0);
+    #[test]
+    fn prop_relative_error_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(0xC1C);
+        for _ in 0..256 {
+            let est = rng.gen_range(-1e6..1e6);
+            let truth = rng.gen_range(-1e6..1e6);
+            assert!(relative_error(est, truth) >= 0.0);
         }
     }
 }

@@ -8,11 +8,10 @@
 //! the theoretical target with ℓ∞ and KL divergence (Table 1), plus
 //! degree-ordered PDF/CDF plots (Figure 12).
 
-use serde::{Deserialize, Serialize};
 use wnw_graph::{Graph, NodeId};
 
 /// An empirical sampling distribution built from repeated draws.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EmpiricalDistribution {
     counts: Vec<u64>,
     total: u64,
@@ -21,7 +20,10 @@ pub struct EmpiricalDistribution {
 impl EmpiricalDistribution {
     /// Creates an empty distribution over `node_count` nodes.
     pub fn new(node_count: usize) -> Self {
-        EmpiricalDistribution { counts: vec![0; node_count], total: 0 }
+        EmpiricalDistribution {
+            counts: vec![0; node_count],
+            total: 0,
+        }
     }
 
     /// Builds a distribution directly from a list of sampled nodes.
@@ -63,7 +65,10 @@ impl EmpiricalDistribution {
         if self.total == 0 {
             return vec![0.0; self.counts.len()];
         }
-        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
     }
 
     /// ℓ∞ distance against a target probability vector.
@@ -104,7 +109,7 @@ impl EmpiricalDistribution {
 }
 
 /// One point of the degree-ordered PDF/CDF series of Figure 12.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DistributionPoint {
     /// Rank of the node when ordered by degree, descending (0 = highest).
     pub rank: usize,
@@ -136,7 +141,13 @@ pub fn degree_ordered_series(graph: &Graph, probabilities: &[f64]) -> Vec<Distri
         .map(|(rank, node)| {
             let pdf = probabilities[node.index()];
             cdf += pdf;
-            DistributionPoint { rank, node, degree: graph.degree(node), pdf, cdf }
+            DistributionPoint {
+                rank,
+                node,
+                degree: graph.degree(node),
+                pdf,
+                cdf,
+            }
         })
         .collect()
 }
@@ -144,7 +155,8 @@ pub fn degree_ordered_series(graph: &Graph, probabilities: &[f64]) -> Vec<Distri
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
     use wnw_graph::generators::classic::star;
     use wnw_graph::generators::random::barabasi_albert;
 
@@ -213,29 +225,38 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn prop_probabilities_sum_to_one(
-            samples in proptest::collection::vec(0usize..20, 1..300)
-        ) {
-            let nodes: Vec<NodeId> = samples.iter().map(|&i| NodeId(i as u32)).collect();
+    /// Seeded randomized node-sample vectors, standing in for the former
+    /// proptest strategies in the offline build.
+    fn random_samples(rng: &mut StdRng, universe: u32, max_len: usize) -> Vec<NodeId> {
+        let len = rng.gen_range(1..max_len);
+        (0..len)
+            .map(|_| NodeId(rng.gen_range(0..universe)))
+            .collect()
+    }
+
+    #[test]
+    fn prop_probabilities_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(0xB1A);
+        for _ in 0..64 {
+            let nodes = random_samples(&mut rng, 20, 300);
             let d = EmpiricalDistribution::from_samples(20, &nodes);
             let sum: f64 = d.probabilities().iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-9);
+            assert!((sum - 1.0).abs() < 1e-9, "probabilities sum to {sum}");
         }
+    }
 
-        #[test]
-        fn prop_tv_le_linf_times_n(
-            samples in proptest::collection::vec(0usize..10, 1..200)
-        ) {
-            let nodes: Vec<NodeId> = samples.iter().map(|&i| NodeId(i as u32)).collect();
+    #[test]
+    fn prop_tv_le_linf_times_n() {
+        let mut rng = StdRng::seed_from_u64(0xB1B);
+        for _ in 0..64 {
+            let nodes = random_samples(&mut rng, 10, 200);
             let d = EmpiricalDistribution::from_samples(10, &nodes);
             let target = vec![0.1; 10];
             let tv = d.total_variation_distance(&target);
             let linf = d.linf_distance(&target);
-            prop_assert!(tv <= 10.0 * linf + 1e-9);
-            prop_assert!(linf <= 2.0 * tv + 1e-9);
-            prop_assert!(d.kl_from_target(&target) >= -1e-9);
+            assert!(tv <= 10.0 * linf + 1e-9);
+            assert!(linf <= 2.0 * tv + 1e-9);
+            assert!(d.kl_from_target(&target) >= -1e-9);
         }
     }
 

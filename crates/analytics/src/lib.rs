@@ -28,6 +28,6 @@ pub mod numeric;
 pub mod stats;
 
 pub use aggregates::{estimate_average, relative_error, SampleValue, WeightingScheme};
-pub use bias::{EmpiricalDistribution,};
+pub use bias::EmpiricalDistribution;
 pub use numeric::{lambert_w0, lambert_w_minus1};
 pub use stats::{harmonic_mean, mean, percentile, std_dev, variance};

@@ -45,7 +45,7 @@ pub fn lambert_w0(x: f64) -> f64 {
 /// Lower branch `W₋₁(x)` of the Lambert W function, defined for
 /// `x ∈ [−1/e, 0)`. Returns `NaN` outside the domain.
 pub fn lambert_w_minus1(x: f64) -> f64 {
-    if x.is_nan() || x < -1.0 / std::f64::consts::E || x >= 0.0 {
+    if x.is_nan() || !(-1.0 / std::f64::consts::E..0.0).contains(&x) {
         return f64::NAN;
     }
     // Initial guess: near the branch point use the same series with the
@@ -95,7 +95,11 @@ mod tests {
     use std::f64::consts::E;
 
     fn check_inverse(w: f64, x: f64) {
-        assert!((w * w.exp() - x).abs() < 1e-9, "W({x}) = {w}: residual {}", w * w.exp() - x);
+        assert!(
+            (w * w.exp() - x).abs() < 1e-9,
+            "W({x}) = {w}: residual {}",
+            w * w.exp() - x
+        );
     }
 
     #[test]

@@ -119,7 +119,8 @@ impl RunningStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn basic_statistics() {
@@ -177,39 +178,83 @@ mod tests {
         assert_eq!(RunningStats::new().standard_error(), 0.0);
     }
 
-    proptest! {
-        #[test]
-        fn prop_mean_within_bounds(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+    /// Seeded randomized cases standing in for the former proptest block
+    /// (the offline build has no proptest; the shrinking is lost, the
+    /// coverage is kept).
+    fn random_vec(
+        rng: &mut StdRng,
+        len_range: std::ops::Range<usize>,
+        value_range: std::ops::Range<f64>,
+    ) -> Vec<f64> {
+        let len = rng.gen_range(len_range);
+        (0..len)
+            .map(|_| rng.gen_range(value_range.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn prop_mean_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(0xA11);
+        for _ in 0..64 {
+            let values = random_vec(&mut rng, 1..200, -1e6..1e6);
             let m = mean(&values);
             let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            prop_assert!(m >= lo - 1e-6 && m <= hi + 1e-6);
+            assert!(
+                m >= lo - 1e-6 && m <= hi + 1e-6,
+                "mean {m} outside [{lo}, {hi}]"
+            );
         }
+    }
 
-        #[test]
-        fn prop_variance_nonnegative(values in proptest::collection::vec(-1e6f64..1e6, 0..200)) {
-            prop_assert!(variance(&values) >= 0.0);
+    #[test]
+    fn prop_variance_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(0xA12);
+        for _ in 0..64 {
+            let values = random_vec(&mut rng, 0..200, -1e6..1e6);
+            assert!(variance(&values) >= 0.0);
         }
+    }
 
-        #[test]
-        fn prop_harmonic_le_arithmetic(values in proptest::collection::vec(0.001f64..1e6, 1..100)) {
+    #[test]
+    fn prop_harmonic_le_arithmetic() {
+        let mut rng = StdRng::seed_from_u64(0xA13);
+        for _ in 0..64 {
+            let values = random_vec(&mut rng, 1..100, 0.001..1e6);
             let h = harmonic_mean(&values);
             let a = mean(&values);
-            prop_assert!(h <= a + 1e-6 * a.abs().max(1.0));
+            assert!(
+                h <= a + 1e-6 * a.abs().max(1.0),
+                "harmonic {h} > arithmetic {a}"
+            );
         }
+    }
 
-        #[test]
-        fn prop_running_stats_match_batch(values in proptest::collection::vec(-1e3f64..1e3, 2..100)) {
+    #[test]
+    fn prop_running_stats_match_batch() {
+        let mut rng = StdRng::seed_from_u64(0xA14);
+        for _ in 0..64 {
+            let values = random_vec(&mut rng, 2..100, -1e3..1e3);
             let mut rs = RunningStats::new();
-            for &v in &values { rs.push(v); }
-            prop_assert!((rs.mean() - mean(&values)).abs() < 1e-6);
-            prop_assert!((rs.variance() - variance(&values)).abs() < 1e-6);
+            for &v in &values {
+                rs.push(v);
+            }
+            assert!((rs.mean() - mean(&values)).abs() < 1e-6);
+            assert!((rs.variance() - variance(&values)).abs() < 1e-6);
         }
+    }
 
-        #[test]
-        fn prop_percentile_is_an_observed_value(values in proptest::collection::vec(-1e3f64..1e3, 1..100), pct in 0.0f64..100.0) {
+    #[test]
+    fn prop_percentile_is_an_observed_value() {
+        let mut rng = StdRng::seed_from_u64(0xA15);
+        for _ in 0..64 {
+            let values = random_vec(&mut rng, 1..100, -1e3..1e3);
+            let pct = rng.gen_range(0.0..100.0);
             let p = percentile(&values, pct);
-            prop_assert!(values.iter().any(|&v| (v - p).abs() < 1e-9));
+            assert!(
+                values.iter().any(|&v| (v - p).abs() < 1e-9),
+                "{p} not an observed value"
+            );
         }
     }
 }

@@ -13,7 +13,9 @@ use wnw_mcmc::{RandomWalkKind, ScalingFactorPolicy};
 
 fn scaling_factor_policies(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_scaling_factor");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     let graph = small_scale_free(300, 0xAB1);
     for (name, policy) in [
         ("exact_min", ScalingFactorPolicy::ExactMin),
@@ -36,7 +38,9 @@ fn scaling_factor_policies(c: &mut Criterion) {
 
 fn walk_length_policies(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_walk_length");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     let graph = small_scale_free(300, 0xAB3);
     for multiplier in [1usize, 2, 4] {
         group.bench_with_input(
@@ -64,7 +68,9 @@ fn walk_length_policies(c: &mut Criterion) {
 
 fn short_runs_vs_long_run(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_one_long_run");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     let graph = small_scale_free(300, 0xAB5);
     group.bench_function("many_short_runs_20_samples", |b| {
         b.iter(|| {
@@ -89,5 +95,10 @@ fn short_runs_vs_long_run(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, scaling_factor_policies, walk_length_policies, short_runs_vs_long_run);
+criterion_group!(
+    benches,
+    scaling_factor_policies,
+    walk_length_policies,
+    short_runs_vs_long_run
+);
 criterion_main!(benches);

@@ -7,7 +7,9 @@ use wnw_experiments::report::ExperimentScale;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig01_prob_extrema");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("ba31_srw_trajectory", |b| {
         b.iter(|| {
             let result = fig01::run(ExperimentScale::Quick);

@@ -11,7 +11,9 @@ use wnw_mcmc::{RandomWalkKind, TargetDistribution};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig02_ideal_cost");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("all_models_quick", |b| {
         b.iter(|| {
             let result = fig02::run(ExperimentScale::Quick);

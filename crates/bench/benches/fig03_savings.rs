@@ -10,7 +10,9 @@ use wnw_mcmc::RandomWalkKind;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig03_savings");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("savings_sweep_quick", |b| {
         b.iter(|| {
             let result = fig03::run(ExperimentScale::Quick);

@@ -10,7 +10,9 @@ use wnw_mcmc::RandomWalkKind;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig05_diameter_limit");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for n in [11usize, 21] {
         let graph = cycle(n);
         let diameter = metrics::exact_diameter(&graph).unwrap();

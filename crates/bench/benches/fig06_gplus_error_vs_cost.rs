@@ -3,22 +3,29 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
+use wnw_core::{WalkEstimateConfig, WalkLengthPolicy};
 use wnw_experiments::datasets::DatasetRegistry;
 use wnw_experiments::measures::Aggregate;
 use wnw_experiments::report::ExperimentScale;
 use wnw_experiments::runner::{error_vs_cost, SamplerKind, Workbench};
-use wnw_core::{WalkEstimateConfig, WalkLengthPolicy};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig06_gplus_error_vs_cost");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let registry = DatasetRegistry::new(ExperimentScale::Quick);
     let dataset = registry.google_plus();
     let budget = (dataset.graph.node_count() / 3) as u64;
-    let config =
-        WalkEstimateConfig::default().with_walk_length(WalkLengthPolicy::paper_default(7)).with_crawl_depth(1);
+    let config = WalkEstimateConfig::default()
+        .with_walk_length(WalkLengthPolicy::paper_default(7))
+        .with_crawl_depth(1);
     let bench = Workbench::new(dataset.graph, config);
-    for kind in [SamplerKind::Srw, SamplerKind::Srw.walk_estimate_counterpart(), SamplerKind::Mhrw] {
+    for kind in [
+        SamplerKind::Srw,
+        SamplerKind::Srw.walk_estimate_counterpart(),
+        SamplerKind::Mhrw,
+    ] {
         group.bench_function(format!("avg_degree_{}", kind.label()), |b| {
             b.iter(|| error_vs_cost(&bench, kind, &Aggregate::Degree, &[budget], 1, 0x0601))
         });

@@ -12,7 +12,9 @@ use wnw_graph::generators::surrogate::ATTR_STARS;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig07_yelp_error_vs_cost");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let registry = DatasetRegistry::new(ExperimentScale::Quick);
     let dataset = registry.yelp();
     let budget = (dataset.graph.node_count() / 3) as u64;
@@ -20,7 +22,10 @@ fn bench(c: &mut Criterion) {
     let we = SamplerKind::Srw.walk_estimate_counterpart();
     for (name, aggregate) in [
         ("avg_degree", Aggregate::Degree),
-        ("avg_stars", Aggregate::NodeAttribute(ATTR_STARS.to_string())),
+        (
+            "avg_stars",
+            Aggregate::NodeAttribute(ATTR_STARS.to_string()),
+        ),
         ("avg_local_clustering", Aggregate::LocalClustering),
     ] {
         group.bench_function(format!("{name}_we_srw"), |b| {

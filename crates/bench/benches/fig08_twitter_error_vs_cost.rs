@@ -12,15 +12,23 @@ use wnw_graph::generators::surrogate::{ATTR_IN_DEGREE, ATTR_OUT_DEGREE};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig08_twitter_error_vs_cost");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let registry = DatasetRegistry::new(ExperimentScale::Quick);
     let dataset = registry.twitter();
     let budget = (dataset.graph.node_count() / 3) as u64;
     let bench = Workbench::new(dataset.graph, WalkEstimateConfig::default());
     let we = SamplerKind::Srw.walk_estimate_counterpart();
     for (name, aggregate) in [
-        ("avg_in_degree", Aggregate::NodeAttribute(ATTR_IN_DEGREE.to_string())),
-        ("avg_out_degree", Aggregate::NodeAttribute(ATTR_OUT_DEGREE.to_string())),
+        (
+            "avg_in_degree",
+            Aggregate::NodeAttribute(ATTR_IN_DEGREE.to_string()),
+        ),
+        (
+            "avg_out_degree",
+            Aggregate::NodeAttribute(ATTR_OUT_DEGREE.to_string()),
+        ),
         ("avg_local_clustering", Aggregate::LocalClustering),
     ] {
         group.bench_function(format!("{name}_we_srw"), |b| {

@@ -12,12 +12,15 @@ use wnw_mcmc::RandomWalkKind;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig09_ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let registry = DatasetRegistry::new(ExperimentScale::Quick);
     let dataset = registry.google_plus();
     let budget = (dataset.graph.node_count() / 3) as u64;
-    let config =
-        WalkEstimateConfig::default().with_walk_length(WalkLengthPolicy::paper_default(7)).with_crawl_depth(1);
+    let config = WalkEstimateConfig::default()
+        .with_walk_length(WalkLengthPolicy::paper_default(7))
+        .with_crawl_depth(1);
     let bench = Workbench::new(dataset.graph, config);
     for variant in [
         WalkEstimateVariant::None,
@@ -25,7 +28,10 @@ fn bench(c: &mut Criterion) {
         WalkEstimateVariant::WeightedOnly,
         WalkEstimateVariant::Full,
     ] {
-        let kind = SamplerKind::WalkEstimate { input: RandomWalkKind::Simple, variant };
+        let kind = SamplerKind::WalkEstimate {
+            input: RandomWalkKind::Simple,
+            variant,
+        };
         group.bench_function(variant.label(), |b| {
             b.iter(|| error_vs_cost(&bench, kind, &Aggregate::Degree, &[budget], 1, 0x0904))
         });

@@ -11,13 +11,19 @@ use wnw_experiments::runner::{error_vs_samples, SamplerKind, Workbench};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_error_vs_samples");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let registry = DatasetRegistry::new(ExperimentScale::Quick);
     let dataset = registry.google_plus();
-    let config =
-        WalkEstimateConfig::default().with_walk_length(WalkLengthPolicy::paper_default(7)).with_crawl_depth(1);
+    let config = WalkEstimateConfig::default()
+        .with_walk_length(WalkLengthPolicy::paper_default(7))
+        .with_crawl_depth(1);
     let bench = Workbench::new(dataset.graph, config);
-    for kind in [SamplerKind::Mhrw, SamplerKind::Mhrw.walk_estimate_counterpart()] {
+    for kind in [
+        SamplerKind::Mhrw,
+        SamplerKind::Mhrw.walk_estimate_counterpart(),
+    ] {
         group.bench_function(format!("avg_degree_10_samples_{}", kind.label()), |b| {
             b.iter(|| error_vs_samples(&bench, kind, &Aggregate::Degree, &[10], 1, 0x1005))
         });

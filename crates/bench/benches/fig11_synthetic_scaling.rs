@@ -11,7 +11,9 @@ use wnw_experiments::runner::{error_vs_cost, SamplerKind, Workbench};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11_synthetic_scaling");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let registry = DatasetRegistry::new(ExperimentScale::Quick);
     let we = SamplerKind::Srw.walk_estimate_counterpart();
     for n in registry.synthetic_sizes() {

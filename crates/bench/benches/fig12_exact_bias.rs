@@ -10,7 +10,9 @@ use wnw_mcmc::RandomWalkKind;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12_exact_bias");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let registry = DatasetRegistry::new(ExperimentScale::Quick);
     let graph = registry.exact_bias_graph();
     let bench = Workbench::new(graph, WalkEstimateConfig::default());

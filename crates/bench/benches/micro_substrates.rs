@@ -15,7 +15,9 @@ use wnw_mcmc::{random_walk, RandomWalkKind};
 
 fn graph_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro_graph_generation");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for n in [1_000usize, 5_000] {
         group.bench_with_input(BenchmarkId::new("barabasi_albert_m3", n), &n, |b, &n| {
             b.iter(|| barabasi_albert(n, 3, 7).unwrap())
@@ -26,9 +28,13 @@ fn graph_generation(c: &mut Criterion) {
 
 fn graph_metrics(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro_graph_metrics");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     let graph = small_scale_free(2_000, 11);
-    group.bench_function("bfs_distances", |b| b.iter(|| metrics::bfs_distances(&graph, NodeId(0))));
+    group.bench_function("bfs_distances", |b| {
+        b.iter(|| metrics::bfs_distances(&graph, NodeId(0)))
+    });
     group.bench_function("double_sweep_diameter", |b| {
         b.iter(|| metrics::double_sweep_diameter_estimate(&graph, 3))
     });
@@ -40,11 +46,15 @@ fn graph_metrics(c: &mut Criterion) {
 
 fn mcmc_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro_mcmc_kernels");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     let graph = small_scale_free(1_000, 13);
     let matrix = TransitionMatrix::new(&graph, RandomWalkKind::Simple);
     let start = vec![1.0 / graph.node_count() as f64; graph.node_count()];
-    group.bench_function("distribution_step", |b| b.iter(|| matrix.step_distribution(&start)));
+    group.bench_function("distribution_step", |b| {
+        b.iter(|| matrix.step_distribution(&start))
+    });
     group.bench_function("spectral_gap_srw", |b| {
         b.iter(|| spectral_gap(&graph, RandomWalkKind::Simple, 1e-6))
     });
@@ -53,7 +63,9 @@ fn mcmc_kernels(c: &mut Criterion) {
 
 fn walking_and_estimation(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro_walk_estimate");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     let osn = small_osn(1_000, 17);
     group.bench_function("forward_walk_15_steps", |b| {
         let mut rng = StdRng::seed_from_u64(1);
@@ -62,12 +74,25 @@ fn walking_and_estimation(c: &mut Criterion) {
     group.bench_function("backward_unbiased_estimate_t8", |b| {
         let mut rng = StdRng::seed_from_u64(2);
         b.iter(|| {
-            unbiased_estimate(&osn, RandomWalkKind::Simple, NodeId(100), NodeId(0), 8, &mut rng)
-                .unwrap()
+            unbiased_estimate(
+                &osn,
+                RandomWalkKind::Simple,
+                NodeId(100),
+                NodeId(0),
+                8,
+                &mut rng,
+            )
+            .unwrap()
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, graph_generation, graph_metrics, mcmc_kernels, walking_and_estimation);
+criterion_group!(
+    benches,
+    graph_generation,
+    graph_metrics,
+    mcmc_kernels,
+    walking_and_estimation
+);
 criterion_main!(benches);

@@ -11,7 +11,9 @@ use wnw_mcmc::RandomWalkKind;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_distances");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let graph = small_scale_free(200, 0x7AB1);
     let n = graph.node_count();
     let uniform = vec![1.0 / n as f64; n];

@@ -1,12 +1,11 @@
 //! Configuration of the WALK-ESTIMATE sampler.
 
 use crate::walk::WalkLengthPolicy;
-use serde::{Deserialize, Serialize};
 use wnw_mcmc::ScalingFactorPolicy;
 
 /// Which of the paper's variance-reduction heuristics are enabled
 /// (the ablation of Figure 9).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum WalkEstimateVariant {
     /// Plain UNBIASED-ESTIMATE: no initial crawling, no weighted sampling
     /// ("WE-None").
@@ -23,12 +22,18 @@ pub enum WalkEstimateVariant {
 impl WalkEstimateVariant {
     /// Whether the h-hop initial crawl is performed.
     pub fn uses_crawl(&self) -> bool {
-        matches!(self, WalkEstimateVariant::CrawlOnly | WalkEstimateVariant::Full)
+        matches!(
+            self,
+            WalkEstimateVariant::CrawlOnly | WalkEstimateVariant::Full
+        )
     }
 
     /// Whether backward steps use history-weighted sampling (WS-BW).
     pub fn uses_weighted_sampling(&self) -> bool {
-        matches!(self, WalkEstimateVariant::WeightedOnly | WalkEstimateVariant::Full)
+        matches!(
+            self,
+            WalkEstimateVariant::WeightedOnly | WalkEstimateVariant::Full
+        )
     }
 
     /// The label used in experiment output.
@@ -49,7 +54,7 @@ impl WalkEstimateVariant {
 /// 10, initial-crawling depth `h = 2`, weighted-sampling floor `ε = 0.1`,
 /// and the 10th-percentile bootstrap for the rejection-sampling scaling
 /// factor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WalkEstimateConfig {
     /// How the forward walk length `t` is chosen.
     pub walk_length: WalkLengthPolicy,

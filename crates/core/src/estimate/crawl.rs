@@ -94,7 +94,12 @@ impl InitialCrawl {
             probabilities.push(next.clone());
             current = next;
         }
-        Ok(InitialCrawl { start, depth, probabilities, degrees })
+        Ok(InitialCrawl {
+            start,
+            depth,
+            probabilities,
+            degrees,
+        })
     }
 
     /// The starting node of the crawl.
@@ -113,7 +118,11 @@ impl InitialCrawl {
     /// # Panics
     /// Panics if `t > depth`; callers must check [`depth`](Self::depth).
     pub fn exact_probability(&self, t: usize, v: NodeId) -> f64 {
-        assert!(t <= self.depth, "crawl only covers probabilities up to t = {}", self.depth);
+        assert!(
+            t <= self.depth,
+            "crawl only covers probabilities up to t = {}",
+            self.depth
+        );
         self.probabilities[t].get(&v).copied().unwrap_or(0.0)
     }
 
@@ -175,12 +184,17 @@ mod tests {
         let osn = SimulatedOsn::new(graph.clone());
         let start = NodeId(2);
         let h = 3;
-        let crawl = InitialCrawl::build(&osn, RandomWalkKind::MetropolisHastings, start, h).unwrap();
+        let crawl =
+            InitialCrawl::build(&osn, RandomWalkKind::MetropolisHastings, start, h).unwrap();
         let matrix = TransitionMatrix::new(&graph, RandomWalkKind::MetropolisHastings);
         for t in 0..=h {
             let exact = matrix.distribution_after(start, t);
             for v in graph.nodes() {
-                let got = if t <= crawl.depth() { crawl.exact_probability(t, v) } else { 0.0 };
+                let got = if t <= crawl.depth() {
+                    crawl.exact_probability(t, v)
+                } else {
+                    0.0
+                };
                 assert!((got - exact[v.index()]).abs() < 1e-12, "t={t} v={v}");
             }
         }
@@ -212,7 +226,9 @@ mod tests {
         let crawl = InitialCrawl::build(&osn, RandomWalkKind::Simple, NodeId(3), 2).unwrap();
         assert_eq!(crawl.exact_probability(1, NodeId(0)), 1.0);
         for leaf in 1..n as u32 {
-            assert!((crawl.exact_probability(2, NodeId(leaf)) - 1.0 / (n as f64 - 1.0)).abs() < 1e-12);
+            assert!(
+                (crawl.exact_probability(2, NodeId(leaf)) - 1.0 / (n as f64 - 1.0)).abs() < 1e-12
+            );
         }
         assert_eq!(crawl.exact_probability(2, NodeId(0)), 0.0);
         assert_eq!(crawl.degree(NodeId(0)), Some(n - 1));

@@ -9,16 +9,15 @@
 use crate::config::{WalkEstimateConfig, WalkEstimateVariant};
 use crate::estimate::crawl::InitialCrawl;
 use crate::estimate::unbiased::{backward_estimate, BackwardOptions};
-use crate::history::WalkHistory;
+use crate::history::HistoryView;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use wnw_access::{Result, SocialNetwork};
 use wnw_analytics::stats::RunningStats;
 use wnw_graph::NodeId;
 use wnw_mcmc::RandomWalkKind;
 
 /// The estimate of a candidate's sampling probability.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProbabilityEstimate {
     /// The candidate node.
     pub node: NodeId,
@@ -74,10 +73,14 @@ impl ProbabilityEstimator {
     fn options<'a>(
         &self,
         crawl: Option<&'a InitialCrawl>,
-        history: Option<&'a WalkHistory>,
+        history: Option<&'a dyn HistoryView>,
     ) -> BackwardOptions<'a> {
         BackwardOptions {
-            crawl: if self.variant.uses_crawl() { crawl } else { None },
+            crawl: if self.variant.uses_crawl() {
+                crawl
+            } else {
+                None
+            },
             weighting: if self.variant.uses_weighted_sampling() {
                 history.map(|h| (h, self.epsilon))
             } else {
@@ -88,6 +91,7 @@ impl ProbabilityEstimator {
 
     /// Estimates `p_t(node)` for a single candidate, spending
     /// `base_repetitions + refinement_repetitions` backward walks on it.
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list for Algorithm 3
     pub fn estimate_single<N: SocialNetwork + ?Sized, R: Rng + ?Sized>(
         &self,
         osn: &N,
@@ -95,15 +99,14 @@ impl ProbabilityEstimator {
         start: NodeId,
         walk_length: usize,
         crawl: Option<&InitialCrawl>,
-        history: Option<&WalkHistory>,
+        history: Option<&dyn HistoryView>,
         rng: &mut R,
     ) -> Result<ProbabilityEstimate> {
         let options = self.options(crawl, history);
         let mut stats = RunningStats::new();
         let total = self.base_repetitions + self.refinement_repetitions;
         for _ in 0..total {
-            let est =
-                backward_estimate(osn, self.kind, node, start, walk_length, options, rng)?;
+            let est = backward_estimate(osn, self.kind, node, start, walk_length, options, rng)?;
             stats.push(est);
         }
         Ok(ProbabilityEstimate {
@@ -126,7 +129,7 @@ impl ProbabilityEstimator {
         candidates: &[(NodeId, usize)],
         start: NodeId,
         crawl: Option<&InitialCrawl>,
-        history: Option<&WalkHistory>,
+        history: Option<&dyn HistoryView>,
         rng: &mut R,
     ) -> Result<Vec<ProbabilityEstimate>> {
         let options = self.options(crawl, history);
@@ -219,15 +222,28 @@ mod tests {
         let t = 6;
         let target = NodeId(25);
         let crawl = InitialCrawl::build(&osn, RandomWalkKind::Simple, start, 3).unwrap();
-        let plain = ProbabilityEstimator::new(RandomWalkKind::Simple, 600, 0, 0.1, WalkEstimateVariant::None);
-        let crawled =
-            ProbabilityEstimator::new(RandomWalkKind::Simple, 600, 0, 0.1, WalkEstimateVariant::CrawlOnly);
+        let plain = ProbabilityEstimator::new(
+            RandomWalkKind::Simple,
+            600,
+            0,
+            0.1,
+            WalkEstimateVariant::None,
+        );
+        let crawled = ProbabilityEstimator::new(
+            RandomWalkKind::Simple,
+            600,
+            0,
+            0.1,
+            WalkEstimateVariant::CrawlOnly,
+        );
         let mut rng_a = StdRng::seed_from_u64(11);
         let mut rng_b = StdRng::seed_from_u64(11);
-        let est_plain =
-            plain.estimate_single(&osn, target, start, t, Some(&crawl), None, &mut rng_a).unwrap();
-        let est_crawled =
-            crawled.estimate_single(&osn, target, start, t, Some(&crawl), None, &mut rng_b).unwrap();
+        let est_plain = plain
+            .estimate_single(&osn, target, start, t, Some(&crawl), None, &mut rng_a)
+            .unwrap();
+        let est_crawled = crawled
+            .estimate_single(&osn, target, start, t, Some(&crawl), None, &mut rng_b)
+            .unwrap();
         let exact = TransitionMatrix::new(&graph, RandomWalkKind::Simple)
             .distribution_after(start, t)[target.index()];
         assert!(exact > 0.0);
@@ -244,13 +260,8 @@ mod tests {
     #[test]
     fn estimate_many_allocates_full_budget() {
         let (osn, _) = setup(7);
-        let estimator = ProbabilityEstimator::new(
-            RandomWalkKind::Simple,
-            4,
-            4,
-            0.1,
-            WalkEstimateVariant::None,
-        );
+        let estimator =
+            ProbabilityEstimator::new(RandomWalkKind::Simple, 4, 4, 0.1, WalkEstimateVariant::None);
         let mut rng = StdRng::seed_from_u64(13);
         let candidates = vec![(NodeId(5), 5), (NodeId(9), 5), (NodeId(30), 5)];
         let estimates = estimator
@@ -261,14 +272,18 @@ mod tests {
         // 3 candidates × 4 base + 3 × 4 refinement.
         assert_eq!(total_reps, 24);
         for e in &estimates {
-            assert!(e.repetitions >= 4, "every candidate keeps its base repetitions");
+            assert!(
+                e.repetitions >= 4,
+                "every candidate keeps its base repetitions"
+            );
         }
     }
 
     #[test]
     fn from_config_respects_variant() {
         let config = WalkEstimateConfig::default().with_variant(WalkEstimateVariant::CrawlOnly);
-        let estimator = ProbabilityEstimator::from_config(RandomWalkKind::MetropolisHastings, &config);
+        let estimator =
+            ProbabilityEstimator::from_config(RandomWalkKind::MetropolisHastings, &config);
         assert_eq!(estimator.variant, WalkEstimateVariant::CrawlOnly);
         assert_eq!(estimator.base_repetitions, config.base_backward_repetitions);
     }

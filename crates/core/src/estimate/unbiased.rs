@@ -27,7 +27,7 @@
 
 use crate::estimate::crawl::InitialCrawl;
 use crate::estimate::weighted;
-use crate::history::WalkHistory;
+use crate::history::HistoryView;
 use rand::Rng;
 use wnw_access::{Result, SocialNetwork};
 use wnw_graph::NodeId;
@@ -41,7 +41,7 @@ pub struct BackwardOptions<'a> {
     pub crawl: Option<&'a InitialCrawl>,
     /// Historic forward-walk visit counts for weighted backward sampling,
     /// together with the floor `ε`; `None` selects predecessors uniformly.
-    pub weighting: Option<(&'a WalkHistory, f64)>,
+    pub weighting: Option<(&'a dyn HistoryView, f64)>,
 }
 
 /// Plain UNBIASED-ESTIMATE (Algorithm 1): uniform backward selection, no
@@ -175,6 +175,7 @@ fn sample_index<R: Rng + ?Sized>(probs: &[f64], rng: &mut R) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::history::WalkHistory;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use wnw_access::SimulatedOsn;
@@ -184,6 +185,7 @@ mod tests {
     use wnw_mcmc::distribution::TransitionMatrix;
 
     /// Averages many single estimates and compares against the exact value.
+    #[allow(clippy::too_many_arguments)]
     fn mean_estimate(
         graph: &Graph,
         kind: RandomWalkKind,
@@ -201,7 +203,7 @@ mod tests {
         for _ in 0..repetitions {
             let options = BackwardOptions {
                 crawl: crawl.as_ref(),
-                weighting: history.as_ref().map(|h| (h, 0.1)),
+                weighting: history.as_ref().map(|h| (h as &dyn HistoryView, 0.1)),
             };
             sum += backward_estimate(&osn, kind, node, start, t, options, &mut rng).unwrap();
         }
@@ -215,11 +217,27 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         // t = 0: indicator of the start node.
         assert_eq!(
-            unbiased_estimate(&osn, RandomWalkKind::Simple, NodeId(0), NodeId(0), 0, &mut rng).unwrap(),
+            unbiased_estimate(
+                &osn,
+                RandomWalkKind::Simple,
+                NodeId(0),
+                NodeId(0),
+                0,
+                &mut rng
+            )
+            .unwrap(),
             1.0
         );
         assert_eq!(
-            unbiased_estimate(&osn, RandomWalkKind::Simple, NodeId(1), NodeId(0), 0, &mut rng).unwrap(),
+            unbiased_estimate(
+                &osn,
+                RandomWalkKind::Simple,
+                NodeId(1),
+                NodeId(0),
+                0,
+                &mut rng
+            )
+            .unwrap(),
             0.0
         );
     }
@@ -231,8 +249,15 @@ mod tests {
         let osn = SimulatedOsn::new(cycle(7));
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..20 {
-            let est = unbiased_estimate(&osn, RandomWalkKind::Simple, NodeId(1), NodeId(0), 1, &mut rng)
-                .unwrap();
+            let est = unbiased_estimate(
+                &osn,
+                RandomWalkKind::Simple,
+                NodeId(1),
+                NodeId(0),
+                1,
+                &mut rng,
+            )
+            .unwrap();
             assert!(est == 0.0 || (est - 1.0).abs() < 1e-12 || (est - 0.5).abs() < 1e-12);
         }
     }
@@ -250,7 +275,10 @@ mod tests {
             |_| (None, None),
             3,
         );
-        assert!((mean - exact).abs() / exact < 0.1, "mean {mean} exact {exact}");
+        assert!(
+            (mean - exact).abs() / exact < 0.1,
+            "mean {mean} exact {exact}"
+        );
     }
 
     #[test]
@@ -267,7 +295,10 @@ mod tests {
             7,
         );
         assert!(exact > 0.0);
-        assert!((mean - exact).abs() / exact < 0.2, "mean {mean} exact {exact}");
+        assert!(
+            (mean - exact).abs() / exact < 0.2,
+            "mean {mean} exact {exact}"
+        );
     }
 
     #[test]
@@ -284,7 +315,10 @@ mod tests {
             11,
         );
         assert!(exact > 0.0);
-        assert!((mean - exact).abs() / exact < 0.25, "mean {mean} exact {exact}");
+        assert!(
+            (mean - exact).abs() / exact < 0.25,
+            "mean {mean} exact {exact}"
+        );
     }
 
     #[test]
@@ -294,8 +328,8 @@ mod tests {
         let graph = barabasi_albert(50, 3, 13).unwrap();
         let osn = SimulatedOsn::new(graph.clone());
         let crawl = InitialCrawl::build(&osn, RandomWalkKind::Simple, NodeId(0), 3).unwrap();
-        let exact = TransitionMatrix::new(&graph, RandomWalkKind::Simple)
-            .distribution_after(NodeId(0), 3);
+        let exact =
+            TransitionMatrix::new(&graph, RandomWalkKind::Simple).distribution_after(NodeId(0), 3);
         let mut rng = StdRng::seed_from_u64(17);
         for v in [NodeId(1), NodeId(5), NodeId(20)] {
             let est = backward_estimate(
@@ -304,11 +338,18 @@ mod tests {
                 v,
                 NodeId(0),
                 3,
-                BackwardOptions { crawl: Some(&crawl), weighting: None },
+                BackwardOptions {
+                    crawl: Some(&crawl),
+                    weighting: None,
+                },
                 &mut rng,
             )
             .unwrap();
-            assert!((est - exact[v.index()]).abs() < 1e-12, "{v}: {est} vs {}", exact[v.index()]);
+            assert!(
+                (est - exact[v.index()]).abs() < 1e-12,
+                "{v}: {est} vs {}",
+                exact[v.index()]
+            );
         }
     }
 
@@ -323,12 +364,18 @@ mod tests {
             5,
             40_000,
             |osn| {
-                (Some(InitialCrawl::build(osn, RandomWalkKind::Simple, NodeId(0), 2).unwrap()), None)
+                (
+                    Some(InitialCrawl::build(osn, RandomWalkKind::Simple, NodeId(0), 2).unwrap()),
+                    None,
+                )
             },
             23,
         );
         assert!(exact > 0.0);
-        assert!((mean - exact).abs() / exact < 0.15, "mean {mean} exact {exact}");
+        assert!(
+            (mean - exact).abs() / exact < 0.15,
+            "mean {mean} exact {exact}"
+        );
     }
 
     #[test]
@@ -340,8 +387,14 @@ mod tests {
         let mut history = WalkHistory::new();
         let mut rng = StdRng::seed_from_u64(31);
         for _ in 0..50 {
-            let walk = wnw_mcmc::random_walk(&osn_for_history, RandomWalkKind::Simple, NodeId(0), 5, &mut rng)
-                .unwrap();
+            let walk = wnw_mcmc::random_walk(
+                &osn_for_history,
+                RandomWalkKind::Simple,
+                NodeId(0),
+                5,
+                &mut rng,
+            )
+            .unwrap();
             history.record_walk(&walk.path);
         }
         let (mean, exact) = mean_estimate(
@@ -355,7 +408,10 @@ mod tests {
             37,
         );
         assert!(exact > 0.0);
-        assert!((mean - exact).abs() / exact < 0.2, "mean {mean} exact {exact}");
+        assert!(
+            (mean - exact).abs() / exact < 0.2,
+            "mean {mean} exact {exact}"
+        );
     }
 
     #[test]

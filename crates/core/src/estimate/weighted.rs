@@ -18,7 +18,7 @@
 //! explicitly aims to preserve ("to maintain the unbiasedness of the
 //! estimation algorithm"). This is documented in DESIGN.md.
 
-use crate::history::WalkHistory;
+use crate::history::HistoryView;
 use wnw_graph::NodeId;
 
 /// The backward selection distribution over `candidates` at forward step
@@ -27,16 +27,21 @@ use wnw_graph::NodeId;
 /// Each candidate gets a floor of `ε / |candidates|`; the remaining `1 − ε`
 /// is distributed proportionally to the historic visit counts at `step`
 /// (uniformly when no walk has reached any candidate at that step yet).
+/// Any [`HistoryView`] works — a walker's own history, or the pool-shared
+/// view of the concurrent engine.
 pub fn selection_distribution(
     candidates: &[NodeId],
     step: usize,
-    history: &WalkHistory,
+    history: &dyn HistoryView,
     epsilon: f64,
 ) -> Vec<f64> {
     let k = candidates.len();
     assert!(k > 0, "selection over an empty candidate set");
     let epsilon = epsilon.clamp(0.0, 1.0);
-    let counts: Vec<u64> = candidates.iter().map(|&c| history.count_at(c, step)).collect();
+    let counts: Vec<u64> = candidates
+        .iter()
+        .map(|&c| history.count_at(c, step))
+        .collect();
     let total: u64 = counts.iter().sum();
     let mut probs = vec![epsilon / k as f64; k];
     if total == 0 {
@@ -55,6 +60,7 @@ pub fn selection_distribution(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::history::WalkHistory;
 
     fn ids(v: &[u32]) -> Vec<NodeId> {
         v.iter().map(|&i| NodeId(i)).collect()

@@ -5,9 +5,37 @@
 //! reached at each step of those past walks (`n_{u', t-1}` out of `n_hw`
 //! walks) to focus backward steps on the neighbors that actually carry
 //! probability mass.
+//!
+//! Three shapes of history live here:
+//!
+//! * [`WalkHistory`] — the plain single-walker structure;
+//! * [`SharedWalkHistory`] — a lock-striped accumulator a pool of walkers
+//!   merges into, so every walker's backward sampling benefits from *all*
+//!   forward walks (the engine's cooperative mode);
+//! * [`OverlayHistory`] — a shared snapshot plus a walker's not-yet-merged
+//!   local walks, which is what a walker actually reads mid-round.
+//!
+//! The consumers ([`selection_distribution`](crate::estimate::weighted) and
+//! the backward estimator) only need per-(node, step) counts, captured by the
+//! [`HistoryView`] trait. Correctness never depends on *which* history a
+//! walker sees: the importance-weighted backward estimator is unbiased for
+//! any selection distribution with full support, so richer history only
+//! reduces variance.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use wnw_access::sync::{read, write};
 use wnw_graph::NodeId;
+
+/// Read access to per-(node, step) visit counts of past forward walks.
+pub trait HistoryView: std::fmt::Debug {
+    /// Number of recorded walks that were at `node` at step `step`.
+    fn count_at(&self, node: NodeId, step: usize) -> u64;
+
+    /// Number of walks recorded (`n_hw`).
+    fn walk_count(&self) -> u64;
+}
 
 /// Per-step visit counts across all recorded forward walks.
 #[derive(Debug, Clone, Default)]
@@ -47,12 +75,19 @@ impl WalkHistory {
     /// Number of recorded walks that were at `node` at step `step`
     /// (`n_{node, step}`).
     pub fn count_at(&self, node: NodeId, step: usize) -> u64 {
-        self.counts.get(step).and_then(|m| m.get(&node)).copied().unwrap_or(0)
+        self.counts
+            .get(step)
+            .and_then(|m| m.get(&node))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// All nodes seen at `step`, with their counts.
     pub fn nodes_at(&self, step: usize) -> impl Iterator<Item = (NodeId, u64)> + '_ {
-        self.counts.get(step).into_iter().flat_map(|m| m.iter().map(|(&n, &c)| (n, c)))
+        self.counts
+            .get(step)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(&n, &c)| (n, c)))
     }
 
     /// Longest recorded path length (steps + 1), 0 when empty.
@@ -64,6 +99,209 @@ impl WalkHistory {
     pub fn clear(&mut self) {
         self.counts.clear();
         self.walks = 0;
+    }
+
+    /// Whether no walks are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.walks == 0
+    }
+}
+
+impl HistoryView for WalkHistory {
+    fn count_at(&self, node: NodeId, step: usize) -> u64 {
+        WalkHistory::count_at(self, node, step)
+    }
+
+    fn walk_count(&self) -> u64 {
+        WalkHistory::walk_count(self)
+    }
+}
+
+/// Number of independent stripes of a [`SharedWalkHistory`]. Counts for step
+/// `t` live in stripe `t % STRIPE_COUNT`, so walkers reading different steps
+/// of the backward recursion rarely contend.
+pub const STRIPE_COUNT: usize = 16;
+
+/// A walk history shared by a pool of concurrent walkers.
+///
+/// Writers batch: a walker records its forward walks into a private
+/// [`WalkHistory`] and [`merge`](Self::merge)s it in at synchronisation
+/// points chosen by the engine (merging per walk would serialise the pool on
+/// these locks). Counts are additive, so the merged result is identical
+/// for every arrival order — this is what keeps the engine's cooperative
+/// mode deterministic at any thread count.
+///
+/// Stripes are `RwLock`s because the engine's schedule makes the history
+/// read-only between barriers: the backward-sampling hot loop takes cheap
+/// shared read locks (all walkers probing the same step would otherwise
+/// serialise on one stripe), while merges — confined to the barrier window —
+/// take the write lock.
+#[derive(Debug, Default)]
+pub struct SharedWalkHistory {
+    /// `stripes[t % STRIPE_COUNT]` holds `step → node → count` for its steps.
+    stripes: [RwLock<HashMap<usize, HashMap<NodeId, u64>>>; STRIPE_COUNT],
+    walks: AtomicU64,
+}
+
+impl SharedWalkHistory {
+    /// Creates an empty shared history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty shared history behind an [`Arc`], ready to hand to
+    /// walkers.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Merges all counts of `local` in (additively).
+    pub fn merge(&self, local: &WalkHistory) {
+        if local.is_empty() {
+            return;
+        }
+        for step in 0..local.max_recorded_length() {
+            let mut stripe = write(&self.stripes[step % STRIPE_COUNT]);
+            for (node, count) in local.nodes_at(step) {
+                *stripe.entry(step).or_default().entry(node).or_insert(0) += count;
+            }
+        }
+        self.walks.fetch_add(local.walk_count(), Ordering::Relaxed);
+    }
+
+    /// Records one walk directly (convenience for tests and single callers;
+    /// pools should batch through [`merge`](Self::merge)).
+    pub fn record_walk(&self, path: &[NodeId]) {
+        if path.is_empty() {
+            return;
+        }
+        for (step, &node) in path.iter().enumerate() {
+            let mut stripe = write(&self.stripes[step % STRIPE_COUNT]);
+            *stripe.entry(step).or_default().entry(node).or_insert(0) += 1;
+        }
+        self.walks.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl HistoryView for SharedWalkHistory {
+    fn count_at(&self, node: NodeId, step: usize) -> u64 {
+        read(&self.stripes[step % STRIPE_COUNT])
+            .get(&step)
+            .and_then(|m| m.get(&node))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn walk_count(&self) -> u64 {
+        self.walks.load(Ordering::Relaxed)
+    }
+}
+
+/// A shared history snapshot overlaid with a walker's not-yet-merged local
+/// walks: counts are the sum of both layers.
+#[derive(Debug, Clone, Copy)]
+pub struct OverlayHistory<'a> {
+    base: &'a SharedWalkHistory,
+    pending: &'a WalkHistory,
+}
+
+impl<'a> OverlayHistory<'a> {
+    /// Combines a shared base with a walker's pending local walks.
+    pub fn new(base: &'a SharedWalkHistory, pending: &'a WalkHistory) -> Self {
+        OverlayHistory { base, pending }
+    }
+}
+
+impl HistoryView for OverlayHistory<'_> {
+    fn count_at(&self, node: NodeId, step: usize) -> u64 {
+        self.base.count_at(node, step) + self.pending.count_at(node, step)
+    }
+
+    fn walk_count(&self) -> u64 {
+        self.base.walk_count() + self.pending.walk_count()
+    }
+}
+
+/// The history a sampler records into: its own, or a pool's shared one.
+#[derive(Debug, Clone)]
+pub enum HistoryHandle {
+    /// A private history, as the single-threaded samplers use.
+    Local(WalkHistory),
+    /// A pool-shared history plus this walker's pending (unmerged) walks.
+    Shared {
+        /// The accumulator shared by the pool.
+        shared: Arc<SharedWalkHistory>,
+        /// Walks recorded since the last [`flush`](HistoryHandle::flush).
+        pending: WalkHistory,
+    },
+}
+
+impl Default for HistoryHandle {
+    fn default() -> Self {
+        HistoryHandle::Local(WalkHistory::new())
+    }
+}
+
+impl HistoryHandle {
+    /// A handle merging into `shared`.
+    pub fn shared(shared: Arc<SharedWalkHistory>) -> Self {
+        HistoryHandle::Shared {
+            shared,
+            pending: WalkHistory::new(),
+        }
+    }
+
+    /// Records one forward walk.
+    pub fn record_walk(&mut self, path: &[NodeId]) {
+        match self {
+            HistoryHandle::Local(h) => h.record_walk(path),
+            HistoryHandle::Shared { pending, .. } => pending.record_walk(path),
+        }
+    }
+
+    /// Publishes pending walks to the shared accumulator (no-op for local
+    /// handles). The engine calls this at its round barriers.
+    pub fn flush(&mut self) {
+        if let HistoryHandle::Shared { shared, pending } = self {
+            shared.merge(pending);
+            pending.clear();
+        }
+    }
+
+    /// The view a backward estimator should read: local counts, or the
+    /// shared counts overlaid with this walker's pending walks.
+    pub fn view(&self) -> HistoryViewRef<'_> {
+        match self {
+            HistoryHandle::Local(h) => HistoryViewRef::Local(h),
+            HistoryHandle::Shared { shared, pending } => {
+                HistoryViewRef::Overlay(OverlayHistory::new(shared, pending))
+            }
+        }
+    }
+}
+
+/// A borrowed [`HistoryView`] produced by [`HistoryHandle::view`].
+#[derive(Debug, Clone, Copy)]
+pub enum HistoryViewRef<'a> {
+    /// View of a private history.
+    Local(&'a WalkHistory),
+    /// View of a shared history plus pending local walks.
+    Overlay(OverlayHistory<'a>),
+}
+
+impl HistoryView for HistoryViewRef<'_> {
+    fn count_at(&self, node: NodeId, step: usize) -> u64 {
+        match self {
+            HistoryViewRef::Local(h) => h.count_at(node, step),
+            HistoryViewRef::Overlay(o) => o.count_at(node, step),
+        }
+    }
+
+    fn walk_count(&self) -> u64 {
+        match self {
+            HistoryViewRef::Local(h) => h.walk_count(),
+            HistoryViewRef::Overlay(o) => o.walk_count(),
+        }
     }
 }
 
@@ -115,5 +353,86 @@ mod tests {
         h.record_walk(&[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
         assert_eq!(h.max_recorded_length(), 4);
         assert_eq!(h.count_at(NodeId(3), 3), 1);
+    }
+
+    #[test]
+    fn shared_history_merge_matches_direct_recording() {
+        let shared = SharedWalkHistory::new();
+        let mut a = WalkHistory::new();
+        a.record_walk(&[NodeId(0), NodeId(1), NodeId(2)]);
+        a.record_walk(&[NodeId(0), NodeId(2), NodeId(2)]);
+        let mut b = WalkHistory::new();
+        b.record_walk(&[NodeId(0), NodeId(1), NodeId(1)]);
+        shared.merge(&a);
+        shared.merge(&b);
+        shared.record_walk(&[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(HistoryView::walk_count(&shared), 4);
+        assert_eq!(HistoryView::count_at(&shared, NodeId(0), 0), 4);
+        assert_eq!(HistoryView::count_at(&shared, NodeId(1), 1), 3);
+        assert_eq!(HistoryView::count_at(&shared, NodeId(2), 2), 3);
+        assert_eq!(HistoryView::count_at(&shared, NodeId(9), 1), 0);
+        // Merging an empty history is a no-op.
+        shared.merge(&WalkHistory::new());
+        assert_eq!(HistoryView::walk_count(&shared), 4);
+    }
+
+    #[test]
+    fn shared_history_concurrent_merges_lose_nothing() {
+        let shared = SharedWalkHistory::shared();
+        std::thread::scope(|scope| {
+            for t in 0..8u32 {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    for i in 0..100u32 {
+                        let mut local = WalkHistory::new();
+                        local.record_walk(&[NodeId(0), NodeId(t), NodeId(i % 5)]);
+                        shared.merge(&local);
+                    }
+                });
+            }
+        });
+        assert_eq!(HistoryView::walk_count(&*shared), 800);
+        assert_eq!(HistoryView::count_at(&*shared, NodeId(0), 0), 800);
+        let step2: u64 = (0..5)
+            .map(|i| HistoryView::count_at(&*shared, NodeId(i), 2))
+            .sum();
+        assert_eq!(step2, 800);
+    }
+
+    #[test]
+    fn overlay_sums_base_and_pending() {
+        let shared = SharedWalkHistory::new();
+        shared.record_walk(&[NodeId(0), NodeId(1)]);
+        let mut pending = WalkHistory::new();
+        pending.record_walk(&[NodeId(0), NodeId(1)]);
+        pending.record_walk(&[NodeId(0), NodeId(2)]);
+        let overlay = OverlayHistory::new(&shared, &pending);
+        assert_eq!(overlay.walk_count(), 3);
+        assert_eq!(overlay.count_at(NodeId(1), 1), 2);
+        assert_eq!(overlay.count_at(NodeId(2), 1), 1);
+        assert_eq!(overlay.count_at(NodeId(0), 0), 3);
+    }
+
+    #[test]
+    fn handle_flush_publishes_and_clears_pending() {
+        let shared = SharedWalkHistory::shared();
+        let mut handle = HistoryHandle::shared(shared.clone());
+        handle.record_walk(&[NodeId(0), NodeId(3)]);
+        // Before the flush the walk is visible to this handle only.
+        assert_eq!(handle.view().count_at(NodeId(3), 1), 1);
+        assert_eq!(HistoryView::count_at(&*shared, NodeId(3), 1), 0);
+        handle.flush();
+        assert_eq!(HistoryView::count_at(&*shared, NodeId(3), 1), 1);
+        assert_eq!(
+            handle.view().count_at(NodeId(3), 1),
+            1,
+            "no double counting after flush"
+        );
+        assert_eq!(handle.view().walk_count(), 1);
+        // Local handles flush to nowhere.
+        let mut local = HistoryHandle::default();
+        local.record_walk(&[NodeId(7)]);
+        local.flush();
+        assert_eq!(local.view().count_at(NodeId(7), 0), 1);
     }
 }

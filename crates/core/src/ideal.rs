@@ -22,14 +22,13 @@
 //!   what Figures 2–3 plot (the paper computes them "numerically over a
 //!   number of theoretical graph models").
 
-use serde::{Deserialize, Serialize};
 use wnw_analytics::numeric::lambert_w_minus1;
 use wnw_graph::{Graph, NodeId};
 use wnw_mcmc::distribution::TransitionMatrix;
 use wnw_mcmc::transition::{RandomWalkKind, TargetDistribution};
 
 /// Closed-form Theorem 1 cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IdealWalkAnalysis {
     /// Spectral gap `λ = 1 − s₂` of the input walk's transition matrix.
     pub lambda: f64,
@@ -44,10 +43,17 @@ pub struct IdealWalkAnalysis {
 impl IdealWalkAnalysis {
     /// Builds the model from explicit parameters.
     pub fn new(lambda: f64, d_max: f64, gamma: f64) -> Self {
-        assert!(lambda > 0.0 && lambda < 1.0, "spectral gap must be in (0, 1), got {lambda}");
+        assert!(
+            lambda > 0.0 && lambda < 1.0,
+            "spectral gap must be in (0, 1), got {lambda}"
+        );
         assert!(d_max >= 1.0, "maximum degree must be at least 1");
         assert!(gamma > 0.0, "gamma must be positive");
-        IdealWalkAnalysis { lambda, d_max, gamma }
+        IdealWalkAnalysis {
+            lambda,
+            d_max,
+            gamma,
+        }
     }
 
     /// Convenience constructor measuring `λ` and `d_max` from a graph and
@@ -95,7 +101,10 @@ impl IdealWalkAnalysis {
         // The optimum of the continuous objective; evaluate nearby integer
         // lengths too so the reported cost corresponds to an executable walk.
         let candidates = [t, t.floor().max(1.0), t.ceil()];
-        candidates.iter().map(|&c| self.cost_at(c, delta)).fold(f64::INFINITY, f64::min)
+        candidates
+            .iter()
+            .map(|&c| self.cost_at(c, delta))
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Expected query cost per sample of the traditional input random walk to
@@ -203,7 +212,10 @@ fn exact_cost_from_distribution(
 ) -> f64 {
     // Unnormalised target weights; the acceptance probability needs the
     // normalised q, so normalise here (the harness knows the full graph).
-    let weights: Vec<f64> = graph.nodes().map(|v| target.weight(graph.degree(v))).collect();
+    let weights: Vec<f64> = graph
+        .nodes()
+        .map(|v| target.weight(graph.degree(v)))
+        .collect();
     let total_weight: f64 = weights.iter().sum();
     if total_weight <= 0.0 {
         return f64::INFINITY;
@@ -211,7 +223,13 @@ fn exact_cost_from_distribution(
     let min_ratio = p
         .iter()
         .zip(&weights)
-        .map(|(&pv, &w)| if w > 0.0 { pv / (w / total_weight) } else { f64::INFINITY })
+        .map(|(&pv, &w)| {
+            if w > 0.0 {
+                pv / (w / total_weight)
+            } else {
+                f64::INFINITY
+            }
+        })
         .fold(f64::INFINITY, f64::min);
     if min_ratio <= 0.0 {
         return f64::INFINITY;
@@ -282,7 +300,10 @@ mod tests {
         for &delta in &[0.5, 0.1, 0.01] {
             let c_opt = a.cost_at(t, delta);
             assert!(c_opt <= a.cost_at(t * 1.3, delta) + 1e-9, "delta {delta}");
-            assert!(c_opt <= a.cost_at((t * 0.7).max(1.0), delta) + 1e-9, "delta {delta}");
+            assert!(
+                c_opt <= a.cost_at((t * 0.7).max(1.0), delta) + 1e-9,
+                "delta {delta}"
+            );
         }
     }
 
@@ -377,7 +398,10 @@ mod tests {
         )
         .unwrap();
         assert!(c_opt.is_finite());
-        assert!(t_opt >= 5, "optimum should be at least the diameter, got {t_opt}");
+        assert!(
+            t_opt >= 5,
+            "optimum should be at least the diameter, got {t_opt}"
+        );
         // The curve at twice the optimum is worse than at the optimum, but
         // not catastrophically (slow increase).
         let later = curve[(2 * t_opt - 1).min(curve.len() - 1)];

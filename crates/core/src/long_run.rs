@@ -129,11 +129,12 @@ impl<N: SocialNetwork> Sampler for WalkEstimateLongRunSampler<N> {
             }
 
             let t = self.effective_walk_length();
-            let history = if self.config.variant.uses_weighted_sampling() {
-                Some(&self.history)
-            } else {
-                None
-            };
+            let history: Option<&dyn crate::history::HistoryView> =
+                if self.config.variant.uses_weighted_sampling() {
+                    Some(&self.history)
+                } else {
+                    None
+                };
             // For steps beyond the cap the walk no longer starts at `start`
             // from the estimator's point of view; the estimate of p_t is
             // performed against the *original* start, which stays valid
@@ -156,14 +157,14 @@ impl<N: SocialNetwork> Sampler for WalkEstimateLongRunSampler<N> {
                 && target_weight > 0.0
                 && self.observed_ratios.len() < MAX_OBSERVED_RATIOS
             {
-                self.observed_ratios.push(estimate.probability / target_weight);
+                self.observed_ratios
+                    .push(estimate.probability / target_weight);
             }
             let scale = self.config.scaling_factor.resolve(&self.observed_ratios);
             let accept = match scale {
                 None => true,
                 Some(scale) => {
-                    let beta =
-                        acceptance_probability(estimate.probability, target_weight, scale);
+                    let beta = acceptance_probability(estimate.probability, target_weight, scale);
                     self.rng.gen::<f64>() < beta
                 }
             };
@@ -182,7 +183,11 @@ impl<N: SocialNetwork> Sampler for WalkEstimateLongRunSampler<N> {
     }
 
     fn name(&self) -> String {
-        format!("{}-long-run({})", self.config.variant.label(), self.kind.name())
+        format!(
+            "{}-long-run({})",
+            self.config.variant.label(),
+            self.kind.name()
+        )
     }
 }
 
@@ -255,7 +260,11 @@ mod tests {
         assert_eq!(run.len(), samples);
 
         let total_attempts: usize = run.samples.iter().map(|s| s.attempts as usize).sum();
-        assert_eq!(long.steps_taken(), total_attempts, "one forward step per candidate");
+        assert_eq!(
+            long.steps_taken(),
+            total_attempts,
+            "one forward step per candidate"
+        );
         assert!(
             long.steps_taken() < samples * short_walk_length,
             "long run took {} forward steps, short runs would take at least {}",
@@ -286,7 +295,9 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_stops_cleanly() {
-        let osn = SimulatedOsn::builder(graph(9)).budget(QueryBudget(60)).build();
+        let osn = SimulatedOsn::builder(graph(9))
+            .budget(QueryBudget(60))
+            .build();
         let mut sampler = WalkEstimateLongRunSampler::new(
             osn,
             RandomWalkKind::Simple,

@@ -19,9 +19,10 @@
 use crate::config::{WalkEstimateConfig, WalkEstimateVariant};
 use crate::estimate::crawl::InitialCrawl;
 use crate::estimate::estimator::ProbabilityEstimator;
-use crate::history::WalkHistory;
+use crate::history::{HistoryHandle, HistoryView, SharedWalkHistory};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use wnw_access::{Result, SocialNetwork};
 use wnw_graph::NodeId;
 use wnw_mcmc::rejection::acceptance_probability;
@@ -40,7 +41,7 @@ pub struct WalkEstimateSampler<N: SocialNetwork> {
     walk_length: usize,
     estimator: ProbabilityEstimator,
     crawl: Option<InitialCrawl>,
-    history: WalkHistory,
+    history: HistoryHandle,
     observed_ratios: Vec<f64>,
     rng: StdRng,
     /// Total forward walks performed (accepted + rejected candidates).
@@ -62,7 +63,7 @@ impl<N: SocialNetwork> WalkEstimateSampler<N> {
             walk_length,
             estimator,
             crawl: None,
-            history: WalkHistory::new(),
+            history: HistoryHandle::default(),
             observed_ratios: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             forward_walks: 0,
@@ -74,6 +75,24 @@ impl<N: SocialNetwork> WalkEstimateSampler<N> {
         self.start = start;
         self.crawl = None;
         self
+    }
+
+    /// Plugs this sampler into a pool-shared walk history: its forward walks
+    /// are published to `shared` on [`flush_history`](Self::flush_history),
+    /// and its weighted backward sampling reads everyone's published walks
+    /// (plus its own unpublished ones). Used by the concurrent engine's
+    /// cooperative mode; the estimator stays unbiased under any history, so
+    /// this only changes variance, never correctness.
+    pub fn with_shared_history(mut self, shared: Arc<SharedWalkHistory>) -> Self {
+        self.history = HistoryHandle::shared(shared);
+        self
+    }
+
+    /// Publishes pending forward walks to the shared history, if any. The
+    /// engine calls this at its deterministic round barriers; for samplers
+    /// with a private history it is a no-op.
+    pub fn flush_history(&mut self) {
+        self.history.flush();
     }
 
     /// Re-resolves the walk length with a concrete diameter estimate
@@ -123,15 +142,22 @@ impl<N: SocialNetwork> Sampler for WalkEstimateSampler<N> {
         loop {
             attempts += 1;
             // WALK: a short forward walk to a candidate node.
-            let walk =
-                walker::random_walk(&self.osn, self.kind, self.start, self.walk_length, &mut self.rng)?;
+            let walk = walker::random_walk(
+                &self.osn,
+                self.kind,
+                self.start,
+                self.walk_length,
+                &mut self.rng,
+            )?;
             self.forward_walks += 1;
             self.history.record_walk(&walk.path);
             let candidate = walk.current();
 
             // ESTIMATE: the candidate's sampling probability p_t(candidate).
-            let history = if self.config.variant.uses_weighted_sampling() {
-                Some(&self.history)
+            let history_view = self.history.view();
+            let history: Option<&dyn HistoryView> = if self.config.variant.uses_weighted_sampling()
+            {
+                Some(&history_view)
             } else {
                 None
             };
@@ -186,6 +212,10 @@ impl<N: SocialNetwork> Sampler for WalkEstimateSampler<N> {
 
     fn name(&self) -> String {
         format!("{}({})", self.config.variant.label(), self.kind.name())
+    }
+
+    fn flush_shared_state(&mut self) {
+        self.flush_history();
     }
 }
 
@@ -268,8 +298,13 @@ mod tests {
         // raw short-walk distribution it corrects — the correction must help.
         let (osn, graph) = osn_with_graph(40, 7);
         let n = graph.node_count();
-        let diameter = metrics::exact_diameter(&graph).unwrap();
-        let walk_length = 2 * diameter + 1;
+        // Deliberately *under*-mixed walk length: at 2·D̄ + 1 the raw walk on
+        // a 40-node graph is already so close to uniform that the empirical
+        // TV of any sampler is dominated by sampling noise (~0.08 for 1500
+        // samples over 40 nodes) and the comparison is meaningless. At t = 3
+        // the raw distribution is visibly biased, which is exactly the regime
+        // the acceptance-rejection correction exists for.
+        let walk_length = 3;
         let config = WalkEstimateConfig {
             // Use a generous estimation budget so the acceptance probabilities
             // are driven by the correction, not by estimator noise.
@@ -290,8 +325,12 @@ mod tests {
         // The raw (uncorrected) sampling distribution of the short MHRW walk.
         let raw = TransitionMatrix::new(&graph, RandomWalkKind::MetropolisHastings)
             .distribution_after(NodeId(0), walk_length);
-        let raw_tv: f64 =
-            0.5 * raw.iter().zip(&uniform).map(|(a, b)| (a - b).abs()).sum::<f64>();
+        let raw_tv: f64 = 0.5
+            * raw
+                .iter()
+                .zip(&uniform)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>();
 
         assert!(
             we_tv < raw_tv,

@@ -7,10 +7,8 @@
 //! diameter (commonly taken to be 8–10 for real online social networks, 7
 //! for their Google Plus crawl).
 
-use serde::{Deserialize, Serialize};
-
 /// How the forward walk length `t` is chosen.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WalkLengthPolicy {
     /// A fixed number of steps.
     Fixed(usize),
@@ -31,7 +29,11 @@ impl Default for WalkLengthPolicy {
     /// The paper's default: `2·D̄ + 1` with `D̄ = 10`, the conservative bound
     /// quoted for real-world online social networks.
     fn default() -> Self {
-        WalkLengthPolicy::DiameterMultiple { multiplier: 2, offset: 1, assumed_diameter: 10 }
+        WalkLengthPolicy::DiameterMultiple {
+            multiplier: 2,
+            offset: 1,
+            assumed_diameter: 10,
+        }
     }
 }
 
@@ -54,7 +56,11 @@ impl WalkLengthPolicy {
     pub fn resolve(&self, estimated_diameter: Option<usize>) -> usize {
         match *self {
             WalkLengthPolicy::Fixed(t) => t.max(1),
-            WalkLengthPolicy::DiameterMultiple { multiplier, offset, assumed_diameter } => {
+            WalkLengthPolicy::DiameterMultiple {
+                multiplier,
+                offset,
+                assumed_diameter,
+            } => {
                 let d = estimated_diameter.unwrap_or(assumed_diameter).max(1);
                 (multiplier * d + offset).max(1)
             }

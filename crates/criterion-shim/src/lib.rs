@@ -1,0 +1,247 @@
+//! A minimal, dependency-free benchmark harness exposing the subset of the
+//! `criterion` API this workspace's benches use.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! this drop-in: the dev-dependency is declared as
+//! `criterion = { package = "wnw-criterion-shim", path = ... }`, which lets
+//! every bench keep its `use criterion::{criterion_group, ...}` lines
+//! unchanged. It is not a statistics engine — it runs each routine for the
+//! configured sample count (bounded by the measurement time) and prints the
+//! minimum, median, and mean wall-clock time per iteration. Swap the
+//! dependency for the real crate when building with network access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export used by benches to defeat constant folding. `std::hint` is
+/// enough for the coarse timing this shim does.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The top-level harness handle passed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Accepted for API compatibility; this shim has no CLI.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Identifier for a parameterised benchmark, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter into one id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples (routine invocations) per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total time spent measuring one benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has a single sampling mode.
+    pub fn sampling_mode(&mut self, _mode: SamplingMode) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            budget: self.measurement_time,
+            target: self.sample_size,
+        };
+        f(&mut bencher);
+        let mut times = bencher.samples;
+        if times.is_empty() {
+            eprintln!("  {}/{id}: no samples", self.name);
+            return;
+        }
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        eprintln!(
+            "  {}/{id}: min {min:?}  median {median:?}  mean {mean:?}  ({} samples)",
+            self.name,
+            times.len()
+        );
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Sampling modes, accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingMode {
+    /// Criterion's automatic choice.
+    Auto,
+    /// One iteration per sample.
+    Flat,
+    /// Linearly increasing iteration counts.
+    Linear,
+}
+
+/// Timer handle passed to the closure of a benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    target: usize,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly — once per sample, until the sample target
+    /// or the time budget is reached.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let started = Instant::now();
+        for _ in 0..self.target {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(200));
+        let mut runs = 0;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn macros_compose() {
+        fn bench(c: &mut Criterion) {
+            c.benchmark_group("m")
+                .sample_size(1)
+                .bench_function("noop", |b| b.iter(|| 1 + 1));
+        }
+        criterion_group!(benches, bench);
+        benches();
+    }
+}

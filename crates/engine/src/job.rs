@@ -1,0 +1,221 @@
+//! Sampling job requests.
+//!
+//! A [`SampleJob`] describes *what* to sample — which sampler family, how
+//! many samples, under which query budget and walk-length policy — without
+//! saying anything about threads. The unit of work and of reproducibility is
+//! the **virtual walker**: a job fans out over [`walkers`](SampleJob::walkers)
+//! independent walker states with deterministic per-walker RNG streams
+//! (`seed ⊕ walker_id`), and the engine maps those walkers onto however many
+//! OS threads it was built with. The accepted-sample multiset therefore
+//! depends only on the job, never on the thread count.
+
+use wnw_core::config::WalkEstimateConfig;
+use wnw_mcmc::burn_in::BurnInConfig;
+use wnw_mcmc::transition::{RandomWalkKind, TargetDistribution};
+
+/// Which sampler family a job runs in each walker.
+#[derive(Debug, Clone, Copy)]
+pub enum SamplerSpec {
+    /// WALK-ESTIMATE over the given input walk design (the paper's
+    /// contribution, and the engine's default).
+    WalkEstimate {
+        /// The input random-walk design WE replaces.
+        input: RandomWalkKind,
+        /// Full WALK-ESTIMATE configuration (variant, crawl depth, ...).
+        config: WalkEstimateConfig,
+    },
+    /// Traditional many-short-runs baseline with Geweke-monitored burn-in.
+    ManyShortRuns {
+        /// The random-walk design.
+        input: RandomWalkKind,
+        /// Burn-in configuration.
+        config: BurnInConfig,
+    },
+    /// Traditional one-long-run baseline (correlated samples after one
+    /// burn-in).
+    OneLongRun {
+        /// The random-walk design.
+        input: RandomWalkKind,
+        /// Burn-in configuration.
+        config: BurnInConfig,
+    },
+}
+
+impl SamplerSpec {
+    /// The target distribution of the samples this spec produces.
+    pub fn target(&self) -> TargetDistribution {
+        match self {
+            SamplerSpec::WalkEstimate { input, .. }
+            | SamplerSpec::ManyShortRuns { input, .. }
+            | SamplerSpec::OneLongRun { input, .. } => input.target(),
+        }
+    }
+
+    /// Whether walkers of this spec profit from a pool-shared walk history.
+    pub fn uses_shared_history(&self) -> bool {
+        matches!(
+            self,
+            SamplerSpec::WalkEstimate { config, .. }
+                if config.variant.uses_weighted_sampling()
+        )
+    }
+}
+
+/// How walkers share forward-walk history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HistoryMode {
+    /// Walkers publish their forward walks to a pool-shared
+    /// [`SharedWalkHistory`](wnw_core::SharedWalkHistory) at the engine's
+    /// round barriers, so every walker's weighted backward sampling benefits
+    /// from everyone's walks. Still deterministic at any thread count: reads
+    /// happen against a snapshot frozen between barriers and merges are
+    /// additive (order-independent).
+    #[default]
+    Cooperative,
+    /// Every walker keeps a private history, exactly like `walkers`
+    /// independent single-threaded samplers.
+    Independent,
+}
+
+/// A request to the engine: collect `samples` samples with `walkers` virtual
+/// walkers under an optional total query budget.
+#[derive(Debug, Clone)]
+pub struct SampleJob {
+    /// Sampler family to run.
+    pub spec: SamplerSpec,
+    /// Total number of samples to collect (split round-robin across
+    /// walkers).
+    pub samples: usize,
+    /// Number of virtual walkers — the determinism unit, independent of the
+    /// engine's thread count.
+    pub walkers: usize,
+    /// Base RNG seed; walker `w` runs on the stream seeded by `seed ^ w`.
+    pub seed: u64,
+    /// Optional *total* unique-node query budget, split evenly across
+    /// walkers and enforced per walker (a pool-global budget would make the
+    /// accepted-sample multiset depend on thread interleaving).
+    pub budget: Option<u64>,
+    /// History sharing mode.
+    pub history: HistoryMode,
+    /// Diameter estimate handed to WALK-ESTIMATE's walk-length policy.
+    pub diameter_estimate: Option<usize>,
+}
+
+impl SampleJob {
+    /// A WALK-ESTIMATE job with the default configuration: cooperative
+    /// history, 4 virtual walkers, no budget.
+    pub fn walk_estimate(input: RandomWalkKind, samples: usize, seed: u64) -> Self {
+        SampleJob {
+            spec: SamplerSpec::WalkEstimate {
+                input,
+                config: WalkEstimateConfig::default(),
+            },
+            samples,
+            walkers: 4,
+            seed,
+            budget: None,
+            history: HistoryMode::default(),
+            diameter_estimate: None,
+        }
+    }
+
+    /// A many-short-runs baseline job.
+    pub fn baseline(input: RandomWalkKind, samples: usize, seed: u64) -> Self {
+        SampleJob {
+            spec: SamplerSpec::ManyShortRuns {
+                input,
+                config: BurnInConfig::default(),
+            },
+            samples,
+            walkers: 4,
+            seed,
+            budget: None,
+            history: HistoryMode::Independent,
+            diameter_estimate: None,
+        }
+    }
+
+    /// Sets the number of virtual walkers.
+    pub fn with_walkers(mut self, walkers: usize) -> Self {
+        self.walkers = walkers.max(1);
+        self
+    }
+
+    /// Sets the total query budget.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Sets the history mode.
+    pub fn with_history(mut self, history: HistoryMode) -> Self {
+        self.history = history;
+        self
+    }
+
+    /// Sets the diameter estimate for the walk-length policy.
+    pub fn with_diameter_estimate(mut self, diameter: usize) -> Self {
+        self.diameter_estimate = Some(diameter);
+        self
+    }
+
+    /// Sets the sampler spec.
+    pub fn with_spec(mut self, spec: SamplerSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Sample quota of walker `w`: `samples` split round-robin.
+    pub fn quota_of(&self, walker: usize) -> usize {
+        debug_assert!(walker < self.walkers);
+        self.samples / self.walkers + usize::from(walker < self.samples % self.walkers)
+    }
+
+    /// Budget share of walker `w` (`None` when the job is unbudgeted):
+    /// an even split, with the remainder going to the first walkers.
+    pub fn budget_of(&self, walker: usize) -> Option<u64> {
+        debug_assert!(walker < self.walkers);
+        self.budget
+            .map(|b| b / self.walkers as u64 + u64::from((walker as u64) < b % self.walkers as u64))
+    }
+
+    /// RNG seed of walker `w`.
+    pub fn seed_of(&self, walker: usize) -> u64 {
+        self.seed ^ walker as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quotas_and_budgets_split_without_loss() {
+        let job = SampleJob::walk_estimate(RandomWalkKind::Simple, 10, 1)
+            .with_walkers(4)
+            .with_budget(1003);
+        let total: usize = (0..4).map(|w| job.quota_of(w)).sum();
+        assert_eq!(total, 10);
+        assert_eq!(job.quota_of(0), 3);
+        assert_eq!(job.quota_of(2), 2);
+        let budget: u64 = (0..4).map(|w| job.budget_of(w).unwrap()).sum();
+        assert_eq!(budget, 1003);
+    }
+
+    #[test]
+    fn walker_seeds_differ() {
+        let job = SampleJob::walk_estimate(RandomWalkKind::Simple, 4, 99).with_walkers(3);
+        assert_ne!(job.seed_of(0), job.seed_of(1));
+        assert_ne!(job.seed_of(1), job.seed_of(2));
+    }
+
+    #[test]
+    fn spec_properties() {
+        let we = SampleJob::walk_estimate(RandomWalkKind::MetropolisHastings, 1, 1);
+        assert_eq!(we.spec.target(), TargetDistribution::Uniform);
+        assert!(we.spec.uses_shared_history());
+        let base = SampleJob::baseline(RandomWalkKind::Simple, 1, 1);
+        assert_eq!(base.spec.target(), TargetDistribution::DegreeProportional);
+        assert!(!base.spec.uses_shared_history());
+    }
+}

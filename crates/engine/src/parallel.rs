@@ -1,0 +1,95 @@
+//! Order-preserving parallel map over independent work items.
+//!
+//! The experiment harness runs many independent repetitions (one sampler,
+//! one budget, one start node each); [`scatter_map`] fans them over a fixed
+//! number of threads and returns results **in input order**, so downstream
+//! averaging is bit-for-bit identical to the sequential loop it replaces
+//! (floating-point summation order preserved).
+
+/// Applies `f` to every item on up to `threads` threads, returning results
+/// in input order. Items are assigned round-robin by index, and `f` receives
+/// the item's index alongside the item (handy for per-repetition seeds).
+///
+/// With `threads <= 1` (or a single item) this degenerates to a plain
+/// sequential map on the calling thread.
+pub fn scatter_map<T, U, F>(threads: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let threads = threads.min(items.len()).max(1);
+    if threads == 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect();
+    }
+
+    // Partition into per-thread buckets, remembering original indices.
+    let mut buckets: Vec<Vec<(usize, T)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i % threads].push((i, item));
+    }
+
+    let total: usize = buckets.iter().map(Vec::len).sum();
+    let mut slots: Vec<Option<U>> = (0..total).map(|_| None).collect();
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move || {
+                    bucket
+                        .into_iter()
+                        .map(|(i, x)| (i, f(i, x)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, result) in handle.join().expect("scatter workers do not panic") {
+                slots[i] = Some(result);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u32> = (0..100).collect();
+        let doubled = scatter_map(8, items, |i, x| {
+            assert_eq!(i as u32, x);
+            x * 2
+        });
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let results = scatter_map(3, vec!["a", "b", "c", "d", "e"], |_, s| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            s.len()
+        });
+        assert_eq!(results, vec![1; 5]);
+        assert_eq!(hits.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        assert!(scatter_map(4, Vec::<u8>::new(), |_, x| x).is_empty());
+        assert_eq!(scatter_map(0, vec![7], |_, x| x + 1), vec![8]);
+        assert_eq!(scatter_map(16, vec![1, 2], |_, x| x), vec![1, 2]);
+    }
+}

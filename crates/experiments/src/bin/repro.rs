@@ -75,7 +75,10 @@ fn main() -> ExitCode {
     } else {
         let mut chosen = Vec::new();
         for wanted in &options.figures {
-            match figures::all_figures().into_iter().find(|(id, _)| id == wanted) {
+            match figures::all_figures()
+                .into_iter()
+                .find(|(id, _)| id == wanted)
+            {
                 Some(entry) => chosen.push(entry),
                 None => {
                     eprintln!("error: unknown figure `{wanted}` (use --list)");
@@ -100,7 +103,11 @@ fn main() -> ExitCode {
             eprintln!("failed to write results: {e}");
             return ExitCode::FAILURE;
         }
-        println!("done in {:.1?} ({} tables)", started.elapsed(), result.tables.len());
+        println!(
+            "done in {:.1?} ({} tables)",
+            started.elapsed(),
+            result.tables.len()
+        );
         for note in &result.notes {
             println!("      note: {note}");
         }

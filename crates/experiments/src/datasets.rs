@@ -34,7 +34,10 @@ pub struct DatasetRegistry {
 impl DatasetRegistry {
     /// A registry without on-disk caching.
     pub fn new(scale: ExperimentScale) -> Self {
-        DatasetRegistry { scale, cache_dir: None }
+        DatasetRegistry {
+            scale,
+            cache_dir: None,
+        }
     }
 
     /// Enables snapshot caching under `dir`.
@@ -107,7 +110,9 @@ impl DatasetRegistry {
     pub fn google_plus(&self) -> SurrogateDataset {
         let n = self.google_plus_size();
         let graph = self.cached(&format!("google_plus_{n}"), || {
-            surrogate::google_plus_like(n, seeds::GOOGLE_PLUS).expect("valid surrogate size").graph
+            surrogate::google_plus_like(n, seeds::GOOGLE_PLUS)
+                .expect("valid surrogate size")
+                .graph
         });
         SurrogateDataset {
             name: "google-plus-like".into(),
@@ -120,7 +125,9 @@ impl DatasetRegistry {
     pub fn yelp(&self) -> SurrogateDataset {
         let n = self.yelp_size();
         let graph = self.cached(&format!("yelp_{n}"), || {
-            surrogate::yelp_like(n, seeds::YELP).expect("valid surrogate size").graph
+            surrogate::yelp_like(n, seeds::YELP)
+                .expect("valid surrogate size")
+                .graph
         });
         SurrogateDataset {
             name: "yelp-like".into(),
@@ -133,7 +140,9 @@ impl DatasetRegistry {
     pub fn twitter(&self) -> SurrogateDataset {
         let n = self.twitter_size();
         let graph = self.cached(&format!("twitter_{n}"), || {
-            surrogate::twitter_like(n, seeds::TWITTER).expect("valid surrogate size").graph
+            surrogate::twitter_like(n, seeds::TWITTER)
+                .expect("valid surrogate size")
+                .graph
         });
         SurrogateDataset {
             name: "twitter-like".into(),
@@ -175,7 +184,10 @@ impl DatasetRegistry {
             ExperimentScale::Default => 6,
             ExperimentScale::Paper => 10,
         };
-        (1..=points).map(|i| (max * i as u64) / points as u64).map(|b| b.max(20)).collect()
+        (1..=points)
+            .map(|i| (max * i as u64) / points as u64)
+            .map(|b| b.max(20))
+            .collect()
     }
 
     /// Sample-count grid for the error-vs-samples figures (paper: up to 120).
@@ -197,7 +209,11 @@ mod tests {
         let reg = DatasetRegistry::new(ExperimentScale::Quick);
         let gp = reg.google_plus();
         assert_eq!(gp.graph.node_count(), reg.google_plus_size());
-        assert!(gp.graph.attributes().column("self_description_words").is_some());
+        assert!(gp
+            .graph
+            .attributes()
+            .column("self_description_words")
+            .is_some());
         let yelp = reg.yelp();
         assert!(yelp.graph.attributes().column("stars").is_some());
         let tw = reg.twitter();

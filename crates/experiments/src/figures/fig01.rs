@@ -34,8 +34,16 @@ pub fn run(scale: ExperimentScale) -> FigureResult {
         "fig01",
         "Minimum and maximum sampling probability vs walk length (BA n=31, m=3, SRW)",
     );
-    let max_start = table.numeric_column("max_prob").first().copied().unwrap_or(0.0);
-    let max_end = table.numeric_column("max_prob").last().copied().unwrap_or(0.0);
+    let max_start = table
+        .numeric_column("max_prob")
+        .first()
+        .copied()
+        .unwrap_or(0.0);
+    let max_end = table
+        .numeric_column("max_prob")
+        .last()
+        .copied()
+        .unwrap_or(0.0);
     result.push_note(format!(
         "max probability drops from {max_start:.3} at t=0 to {max_end:.3} at t={max_t}; the paper reports the same order-of-magnitude collapse within the first few steps"
     ));
@@ -54,8 +62,8 @@ mod tests {
         let max = table.numeric_column("max_prob");
         let min = table.numeric_column("min_prob");
         assert_eq!(max.len(), 41); // t = 0..=40
-        // Max probability starts at 1 (the walk sits on the start node) and
-        // decays sharply within the first few steps.
+                                   // Max probability starts at 1 (the walk sits on the start node) and
+                                   // decays sharply within the first few steps.
         assert_eq!(max[0], 1.0);
         assert!(max[0] > 5.0 * max[10]);
         // Min probability starts at 0 (unreached nodes) and becomes positive

@@ -26,7 +26,11 @@ pub(crate) fn case_study_graphs(n: usize) -> Vec<(&'static str, Graph, f64)> {
         ("cycle", cycle(n | 1), 0.0), // force an odd cycle so the walk is aperiodic
         ("hypercube", hypercube(cube_dim.max(2)), 0.2),
         ("tree", balanced_binary_tree(tree_height.max(2)), 0.2),
-        ("barabasi", barabasi_albert(n.max(5), 3, 0xF2).expect("valid BA parameters"), 0.0),
+        (
+            "barabasi",
+            barabasi_albert(n.max(5), 3, 0xF2).expect("valid BA parameters"),
+            0.0,
+        ),
     ]
 }
 
@@ -40,7 +44,10 @@ pub fn run(scale: ExperimentScale) -> FigureResult {
         "fig02",
         "IDEAL-WALK expected query cost per sample vs walk length (five graph models, uniform target)",
     );
-    let mut table = Table::new("cost_vs_walk_length", &["model", "walk_length", "query_cost"]);
+    let mut table = Table::new(
+        "cost_vs_walk_length",
+        &["model", "walk_length", "query_cost"],
+    );
     for (name, graph, laziness) in case_study_graphs(n) {
         let curve = ideal::exact_cost_curve_lazy(
             &graph,
@@ -88,8 +95,14 @@ mod tests {
             assert!(!finite.is_empty(), "{model} never becomes finite");
             let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
             let last = *finite.last().unwrap();
-            assert!(last >= min, "{model}: cost should not dip below the optimum at the end");
-            assert!(finite[0] >= min, "{model}: cost should start above the optimum");
+            assert!(
+                last >= min,
+                "{model}: cost should not dip below the optimum at the end"
+            );
+            assert!(
+                finite[0] >= min,
+                "{model}: cost should start above the optimum"
+            );
         }
     }
 }

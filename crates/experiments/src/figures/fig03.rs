@@ -26,7 +26,10 @@ pub fn run(scale: ExperimentScale) -> FigureResult {
         "fig03",
         "Query-cost saving of IDEAL-WALK over the input random walk vs graph size (Theorem 1 model, Δ = 0.001)",
     );
-    let mut table = Table::new("saving_vs_size", &["model", "nodes", "spectral_gap", "saving_pct"]);
+    let mut table = Table::new(
+        "saving_vs_size",
+        &["model", "nodes", "spectral_gap", "saving_pct"],
+    );
     for size in sizes {
         for (name, graph, _laziness) in case_study_graphs(size) {
             if graph.node_count() < 4 {

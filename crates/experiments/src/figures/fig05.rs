@@ -27,8 +27,10 @@ pub fn run(scale: ExperimentScale) -> FigureResult {
         "fig05",
         "Average walk steps per sample on cycle graphs with growing diameter (SRW vs WE)",
     );
-    let mut table =
-        Table::new("steps_vs_diameter", &["diameter", "nodes", "sampler", "steps_per_sample"]);
+    let mut table = Table::new(
+        "steps_vs_diameter",
+        &["diameter", "nodes", "sampler", "steps_per_sample"],
+    );
     for n in sizes {
         let graph = cycle(n);
         let diameter = metrics::exact_diameter(&graph).unwrap_or(n / 2);

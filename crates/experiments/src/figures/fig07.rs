@@ -23,7 +23,11 @@ pub fn run(scale: ExperimentScale) -> FigureResult {
     // Crawl depth 2 is the paper's Yelp setting; on the tiny quick-scale
     // surrogate a 2-hop crawl would already cover most of the graph, so the
     // quick runs use depth 1.
-    let crawl_depth = if scale == ExperimentScale::Quick { 1 } else { 2 };
+    let crawl_depth = if scale == ExperimentScale::Quick {
+        1
+    } else {
+        2
+    };
     let config = WalkEstimateConfig::default()
         .with_walk_length(WalkLengthPolicy::default())
         .with_crawl_depth(crawl_depth);
@@ -35,17 +39,32 @@ pub fn run(scale: ExperimentScale) -> FigureResult {
     );
     let panels: [(&str, Aggregate); 4] = [
         ("a_avg_degree", Aggregate::Degree),
-        ("b_avg_stars", Aggregate::NodeAttribute(ATTR_STARS.to_string())),
+        (
+            "b_avg_stars",
+            Aggregate::NodeAttribute(ATTR_STARS.to_string()),
+        ),
         ("c_avg_shortest_path", Aggregate::MeanShortestPath),
         ("d_avg_local_clustering", Aggregate::LocalClustering),
     ];
-    let samplers = [SamplerKind::Srw, SamplerKind::Srw.walk_estimate_counterpart()];
+    let samplers = [
+        SamplerKind::Srw,
+        SamplerKind::Srw.walk_estimate_counterpart(),
+    ];
     for (name, aggregate) in panels {
-        let table =
-            error_vs_cost_panel(&bench, name, &samplers, &aggregate, &budgets, repetitions, 0x0702);
+        let table = error_vs_cost_panel(
+            &bench,
+            name,
+            &samplers,
+            &aggregate,
+            &budgets,
+            repetitions,
+            0x0702,
+        );
         let base = crate::figures::mean_error_for(&table, "SRW");
         let we = crate::figures::mean_error_for(&table, "WE(SRW)");
-        result.push_note(format!("{name}: mean relative error {base:.4} (SRW) vs {we:.4} (WE)"));
+        result.push_note(format!(
+            "{name}: mean relative error {base:.4} (SRW) vs {we:.4} (WE)"
+        ));
         result.push_table(table);
     }
     result

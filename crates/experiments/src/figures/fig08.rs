@@ -23,7 +23,11 @@ pub fn run(scale: ExperimentScale) -> FigureResult {
     let repetitions = scale.repetitions();
     // Depth 2 is the paper's setting; the tiny quick-scale surrogate uses
     // depth 1 so the crawl does not swallow the whole query budget.
-    let crawl_depth = if scale == ExperimentScale::Quick { 1 } else { 2 };
+    let crawl_depth = if scale == ExperimentScale::Quick {
+        1
+    } else {
+        2
+    };
     let config = WalkEstimateConfig::default()
         .with_walk_length(WalkLengthPolicy::default())
         .with_crawl_depth(crawl_depth);
@@ -34,18 +38,36 @@ pub fn run(scale: ExperimentScale) -> FigureResult {
         "Twitter (surrogate): relative error of AVG estimations vs query cost (SRW vs WE)",
     );
     let panels: [(&str, Aggregate); 4] = [
-        ("a_avg_in_degree", Aggregate::NodeAttribute(ATTR_IN_DEGREE.to_string())),
-        ("b_avg_out_degree", Aggregate::NodeAttribute(ATTR_OUT_DEGREE.to_string())),
+        (
+            "a_avg_in_degree",
+            Aggregate::NodeAttribute(ATTR_IN_DEGREE.to_string()),
+        ),
+        (
+            "b_avg_out_degree",
+            Aggregate::NodeAttribute(ATTR_OUT_DEGREE.to_string()),
+        ),
         ("c_avg_local_clustering", Aggregate::LocalClustering),
         ("d_avg_shortest_path", Aggregate::MeanShortestPath),
     ];
-    let samplers = [SamplerKind::Srw, SamplerKind::Srw.walk_estimate_counterpart()];
+    let samplers = [
+        SamplerKind::Srw,
+        SamplerKind::Srw.walk_estimate_counterpart(),
+    ];
     for (name, aggregate) in panels {
-        let table =
-            error_vs_cost_panel(&bench, name, &samplers, &aggregate, &budgets, repetitions, 0x0803);
+        let table = error_vs_cost_panel(
+            &bench,
+            name,
+            &samplers,
+            &aggregate,
+            &budgets,
+            repetitions,
+            0x0803,
+        );
         let base = crate::figures::mean_error_for(&table, "SRW");
         let we = crate::figures::mean_error_for(&table, "WE(SRW)");
-        result.push_note(format!("{name}: mean relative error {base:.4} (SRW) vs {we:.4} (WE)"));
+        result.push_note(format!(
+            "{name}: mean relative error {base:.4} (SRW) vs {we:.4} (WE)"
+        ));
         result.push_table(table);
     }
     result

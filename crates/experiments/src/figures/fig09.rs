@@ -18,10 +18,22 @@ use wnw_mcmc::RandomWalkKind;
 
 fn variant_samplers(input: RandomWalkKind) -> [SamplerKind; 4] {
     [
-        SamplerKind::WalkEstimate { input, variant: WalkEstimateVariant::None },
-        SamplerKind::WalkEstimate { input, variant: WalkEstimateVariant::CrawlOnly },
-        SamplerKind::WalkEstimate { input, variant: WalkEstimateVariant::WeightedOnly },
-        SamplerKind::WalkEstimate { input, variant: WalkEstimateVariant::Full },
+        SamplerKind::WalkEstimate {
+            input,
+            variant: WalkEstimateVariant::None,
+        },
+        SamplerKind::WalkEstimate {
+            input,
+            variant: WalkEstimateVariant::CrawlOnly,
+        },
+        SamplerKind::WalkEstimate {
+            input,
+            variant: WalkEstimateVariant::WeightedOnly,
+        },
+        SamplerKind::WalkEstimate {
+            input,
+            variant: WalkEstimateVariant::Full,
+        },
     ]
 }
 
@@ -38,13 +50,21 @@ pub fn run(scale: ExperimentScale) -> FigureResult {
         "Google Plus (surrogate): variance-reduction ablation — WE vs WE-None / WE-Crawl / WE-Weighted",
     );
     let panels: [(&str, RandomWalkKind, Aggregate); 4] = [
-        ("a_avg_degree_srw", RandomWalkKind::Simple, Aggregate::Degree),
+        (
+            "a_avg_degree_srw",
+            RandomWalkKind::Simple,
+            Aggregate::Degree,
+        ),
         (
             "b_avg_self_description_srw",
             RandomWalkKind::Simple,
             Aggregate::NodeAttribute(ATTR_SELF_DESCRIPTION_WORDS.to_string()),
         ),
-        ("c_avg_degree_mhrw", RandomWalkKind::MetropolisHastings, Aggregate::Degree),
+        (
+            "c_avg_degree_mhrw",
+            RandomWalkKind::MetropolisHastings,
+            Aggregate::Degree,
+        ),
         (
             "d_avg_self_description_mhrw",
             RandomWalkKind::MetropolisHastings,
@@ -53,8 +73,15 @@ pub fn run(scale: ExperimentScale) -> FigureResult {
     ];
     for (name, input, aggregate) in panels {
         let samplers = variant_samplers(input);
-        let table =
-            error_vs_cost_panel(&bench, name, &samplers, &aggregate, &budgets, repetitions, 0x0904);
+        let table = error_vs_cost_panel(
+            &bench,
+            name,
+            &samplers,
+            &aggregate,
+            &budgets,
+            repetitions,
+            0x0904,
+        );
         let none = crate::figures::mean_error_for(&table, &samplers[0].label());
         let full = crate::figures::mean_error_for(&table, &samplers[3].label());
         result.push_note(format!(
@@ -73,6 +100,14 @@ mod tests {
     fn ablation_covers_all_four_variants() {
         let samplers = variant_samplers(RandomWalkKind::Simple);
         let labels: Vec<String> = samplers.iter().map(|s| s.label()).collect();
-        assert_eq!(labels, vec!["WE-None(SRW)", "WE-Crawl(SRW)", "WE-Weighted(SRW)", "WE(SRW)"]);
+        assert_eq!(
+            labels,
+            vec![
+                "WE-None(SRW)",
+                "WE-Crawl(SRW)",
+                "WE-Weighted(SRW)",
+                "WE(SRW)"
+            ]
+        );
     }
 }

@@ -40,11 +40,19 @@ pub fn run(scale: ExperimentScale) -> FigureResult {
         ),
     ];
     for (name, baseline, aggregate) in panels {
-        let mut table =
-            Table::new(name, &["sampler", "samples", "relative_error", "query_cost"]);
+        let mut table = Table::new(
+            name,
+            &["sampler", "samples", "relative_error", "query_cost"],
+        );
         for kind in [baseline, baseline.walk_estimate_counterpart()] {
-            let points =
-                error_vs_samples(&bench, kind, &aggregate, &sample_counts, repetitions, 0x1005);
+            let points = error_vs_samples(
+                &bench,
+                kind,
+                &aggregate,
+                &sample_counts,
+                repetitions,
+                0x1005,
+            );
             for p in points {
                 table.push_row(vec![
                     kind.label().into(),

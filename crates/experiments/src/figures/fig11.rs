@@ -22,20 +22,42 @@ pub fn run(scale: ExperimentScale) -> FigureResult {
     );
     let mut cost_table = Table::new(
         "a_error_vs_cost",
-        &["nodes", "sampler", "budget", "query_cost", "relative_error", "samples"],
+        &[
+            "nodes",
+            "sampler",
+            "budget",
+            "query_cost",
+            "relative_error",
+            "samples",
+        ],
     );
     let mut samples_table = Table::new(
         "b_error_vs_samples",
-        &["nodes", "sampler", "samples", "relative_error", "query_cost"],
+        &[
+            "nodes",
+            "sampler",
+            "samples",
+            "relative_error",
+            "query_cost",
+        ],
     );
-    let samplers = [SamplerKind::Srw, SamplerKind::Srw.walk_estimate_counterpart()];
+    let samplers = [
+        SamplerKind::Srw,
+        SamplerKind::Srw.walk_estimate_counterpart(),
+    ];
     for n in registry.synthetic_sizes() {
         let graph = registry.synthetic(n);
         let bench = Workbench::new(graph, WalkEstimateConfig::default());
         let budgets = registry.query_budget_grid(n);
         for kind in samplers {
-            let points =
-                error_vs_cost(&bench, kind, &Aggregate::Degree, &budgets, repetitions, 0x1106);
+            let points = error_vs_cost(
+                &bench,
+                kind,
+                &Aggregate::Degree,
+                &budgets,
+                repetitions,
+                0x1106,
+            );
             for p in points {
                 cost_table.push_row(vec![
                     (n as f64).into(),

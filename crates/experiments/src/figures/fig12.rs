@@ -53,8 +53,12 @@ pub fn run(scale: ExperimentScale) -> FigureResult {
     );
 
     // Figure 12: degree-ordered PDF and CDF of theoretical / SRW / WE.
-    let mut pdf_table =
-        Table::new("pdf_cdf_by_degree_rank", &["rank", "degree", "theo_pdf", "srw_pdf", "we_pdf", "theo_cdf", "srw_cdf", "we_cdf"]);
+    let mut pdf_table = Table::new(
+        "pdf_cdf_by_degree_rank",
+        &[
+            "rank", "degree", "theo_pdf", "srw_pdf", "we_pdf", "theo_cdf", "srw_cdf", "we_cdf",
+        ],
+    );
     let theo_series = degree_ordered_series(&graph, &uniform);
     let srw_series = degree_ordered_series(&graph, &srw_dist.probabilities());
     let we_series = degree_ordered_series(&graph, &we_dist.probabilities());
@@ -75,7 +79,11 @@ pub fn run(scale: ExperimentScale) -> FigureResult {
     // Table 1: distance measures.
     let mut distances = Table::new(
         "table1_distances",
-        &["distance_measure", "dist_theoretical_srw", "dist_theoretical_we"],
+        &[
+            "distance_measure",
+            "dist_theoretical_srw",
+            "dist_theoretical_we",
+        ],
     );
     distances.push_row(vec![
         "linf".into(),
@@ -120,7 +128,10 @@ mod tests {
                 (Cell::Number(a), Cell::Number(b)) => (*a, *b),
                 _ => panic!("numeric cells expected"),
             };
-            assert!(we <= srw, "WE distance {we} should not exceed SRW distance {srw}");
+            assert!(
+                we <= srw,
+                "WE distance {we} should not exceed SRW distance {srw}"
+            );
         }
     }
 }

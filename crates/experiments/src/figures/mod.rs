@@ -17,10 +17,13 @@ use crate::measures::Aggregate;
 use crate::report::{ExperimentScale, Table};
 use crate::runner::{self, SamplerKind, Workbench};
 
+/// A figure-regeneration entry point.
+pub type FigureFn = fn(ExperimentScale) -> crate::report::FigureResult;
+
 /// All figure ids in paper order, with the function regenerating each.
-pub fn all_figures() -> Vec<(&'static str, fn(ExperimentScale) -> crate::report::FigureResult)> {
+pub fn all_figures() -> Vec<(&'static str, FigureFn)> {
     vec![
-        ("fig01", fig01::run as fn(ExperimentScale) -> crate::report::FigureResult),
+        ("fig01", fig01::run as FigureFn),
         ("fig02", fig02::run),
         ("fig03", fig03::run),
         ("fig05", fig05::run),
@@ -48,7 +51,13 @@ pub(crate) fn error_vs_cost_panel(
 ) -> Table {
     let mut table = Table::new(
         name,
-        &["sampler", "budget", "query_cost", "relative_error", "samples"],
+        &[
+            "sampler",
+            "budget",
+            "query_cost",
+            "relative_error",
+            "samples",
+        ],
     );
     for kind in samplers {
         let points = runner::error_vs_cost(bench, *kind, aggregate, budgets, repetitions, seed);
@@ -68,9 +77,16 @@ pub(crate) fn error_vs_cost_panel(
 /// Mean relative error of a sampler's rows within a panel table (used by
 /// figure notes and tests to compare curves).
 pub(crate) fn mean_error_for(table: &Table, sampler_label: &str) -> f64 {
-    let sampler_idx = table.columns.iter().position(|c| c == "sampler").expect("sampler column");
-    let err_idx =
-        table.columns.iter().position(|c| c == "relative_error").expect("relative_error column");
+    let sampler_idx = table
+        .columns
+        .iter()
+        .position(|c| c == "sampler")
+        .expect("sampler column");
+    let err_idx = table
+        .columns
+        .iter()
+        .position(|c| c == "relative_error")
+        .expect("relative_error column");
     let mut sum = 0.0;
     let mut count = 0usize;
     for row in &table.rows {

@@ -70,9 +70,11 @@ impl Aggregate {
     pub fn ground_truth(&self, graph: &Graph) -> f64 {
         match self {
             Aggregate::Degree => graph.average_degree(),
-            Aggregate::NodeAttribute(attr) => {
-                graph.attributes().column(attr).map(|c| c.mean()).unwrap_or(0.0)
-            }
+            Aggregate::NodeAttribute(attr) => graph
+                .attributes()
+                .column(attr)
+                .map(|c| c.mean())
+                .unwrap_or(0.0),
             Aggregate::LocalClustering => metrics::average_local_clustering(graph),
             Aggregate::MeanShortestPath => {
                 if graph.node_count() <= 2_000 {
@@ -108,7 +110,10 @@ mod tests {
         assert_eq!(agg.ground_truth(&g), 3.0);
         assert_eq!(agg.name(), "avg_stars");
         // Missing attribute degrades to zero rather than panicking.
-        assert_eq!(Aggregate::NodeAttribute("x".into()).node_value(&g, NodeId(0)), 0.0);
+        assert_eq!(
+            Aggregate::NodeAttribute("x".into()).node_value(&g, NodeId(0)),
+            0.0
+        );
     }
 
     #[test]

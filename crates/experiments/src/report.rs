@@ -1,6 +1,5 @@
 //! Result tables, experiment scales, and output writers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
@@ -11,7 +10,7 @@ use std::path::Path;
 /// surrogate, 100 repetitions per data point, ...); the default scale keeps
 /// the whole suite runnable on a laptop in minutes, and the quick scale keeps
 /// unit tests and Criterion benches fast.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExperimentScale {
     /// Tiny sizes for tests and benches (seconds).
     Quick,
@@ -46,7 +45,7 @@ impl ExperimentScale {
 }
 
 /// One value cell of a result table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Cell {
     /// A floating-point value.
     Number(f64),
@@ -90,7 +89,7 @@ impl From<String> for Cell {
 }
 
 /// A named table of results (one CSV file / markdown table per instance).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     /// Identifier used for the output file name (e.g. `fig06a_avg_degree_srw`).
     pub name: String,
@@ -115,7 +114,12 @@ impl Table {
     /// # Panics
     /// Panics if the row length does not match the number of columns.
     pub fn push_row(&mut self, row: Vec<Cell>) {
-        assert_eq!(row.len(), self.columns.len(), "row width mismatch in table {}", self.name);
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width mismatch in table {}",
+            self.name
+        );
         self.rows.push(row);
     }
 
@@ -144,7 +148,15 @@ impl Table {
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "| {} |", self.columns.join(" | "));
-        let _ = writeln!(out, "|{}|", self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
         for row in &self.rows {
             let line: Vec<String> = row.iter().map(|c| c.render()).collect();
             let _ = writeln!(out, "| {} |", line.join(" | "));
@@ -169,7 +181,7 @@ impl Table {
 }
 
 /// The result of reproducing one figure or table of the paper.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigureResult {
     /// Identifier ("fig06", "table1", ...).
     pub id: String,
@@ -184,7 +196,12 @@ pub struct FigureResult {
 impl FigureResult {
     /// Creates an empty result.
     pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
-        FigureResult { id: id.into(), title: title.into(), tables: Vec::new(), notes: Vec::new() }
+        FigureResult {
+            id: id.into(),
+            title: title.into(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
     }
 
     /// Adds a table.
@@ -224,9 +241,18 @@ mod tests {
 
     #[test]
     fn scale_parsing_and_repetitions() {
-        assert_eq!(ExperimentScale::parse("quick"), Some(ExperimentScale::Quick));
-        assert_eq!(ExperimentScale::parse("Default"), Some(ExperimentScale::Default));
-        assert_eq!(ExperimentScale::parse("PAPER"), Some(ExperimentScale::Paper));
+        assert_eq!(
+            ExperimentScale::parse("quick"),
+            Some(ExperimentScale::Quick)
+        );
+        assert_eq!(
+            ExperimentScale::parse("Default"),
+            Some(ExperimentScale::Default)
+        );
+        assert_eq!(
+            ExperimentScale::parse("PAPER"),
+            Some(ExperimentScale::Paper)
+        );
         assert_eq!(ExperimentScale::parse("huge"), None);
         assert!(ExperimentScale::Paper.repetitions() > ExperimentScale::Quick.repetitions());
     }

@@ -5,7 +5,6 @@
 use crate::measures::Aggregate;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use wnw_access::{QueryBudget, SimulatedOsn, SocialNetwork};
 use wnw_analytics::aggregates::{estimate_average, relative_error, SampleValue, WeightingScheme};
 use wnw_core::{WalkEstimateConfig, WalkEstimateSampler, WalkEstimateVariant};
@@ -15,7 +14,7 @@ use wnw_mcmc::sampler::{collect_samples, Sampler, SamplerRunSummary};
 use wnw_mcmc::{RandomWalkKind, TargetDistribution};
 
 /// The samplers compared in the experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SamplerKind {
     /// Traditional simple random walk with Geweke-monitored burn-in,
     /// many-short-runs style.
@@ -79,6 +78,31 @@ impl SamplerKind {
         }
     }
 
+    /// The engine [`SamplerSpec`](wnw_engine::SamplerSpec) equivalent of
+    /// this kind, for dispatching pooled jobs through
+    /// [`wnw_engine::Engine`].
+    pub fn spec(&self, config: &WalkEstimateConfig) -> wnw_engine::SamplerSpec {
+        use wnw_mcmc::burn_in::BurnInConfig;
+        match *self {
+            SamplerKind::Srw => wnw_engine::SamplerSpec::ManyShortRuns {
+                input: RandomWalkKind::Simple,
+                config: BurnInConfig::default(),
+            },
+            SamplerKind::Mhrw => wnw_engine::SamplerSpec::ManyShortRuns {
+                input: RandomWalkKind::MetropolisHastings,
+                config: BurnInConfig::default(),
+            },
+            SamplerKind::SrwOneLongRun => wnw_engine::SamplerSpec::OneLongRun {
+                input: RandomWalkKind::Simple,
+                config: BurnInConfig::default(),
+            },
+            SamplerKind::WalkEstimate { input, variant } => wnw_engine::SamplerSpec::WalkEstimate {
+                input,
+                config: config.with_variant(variant),
+            },
+        }
+    }
+
     /// Builds the sampler over a prepared access layer.
     pub fn build(
         &self,
@@ -124,13 +148,35 @@ pub struct Workbench {
     pub diameter: usize,
     /// WALK-ESTIMATE configuration (crawl depth etc.).
     pub config: WalkEstimateConfig,
+    /// Worker threads used to fan independent repetitions out through the
+    /// engine's [`scatter_map`](wnw_engine::scatter_map). Results are
+    /// averaged in repetition order, so they are identical at any thread
+    /// count.
+    pub threads: usize,
 }
 
 impl Workbench {
     /// Prepares a workbench, estimating the diameter with a double sweep.
+    /// Repetitions are dispatched over all available hardware threads.
     pub fn new(graph: Graph, config: WalkEstimateConfig) -> Self {
-        let diameter = metrics::double_sweep_diameter_estimate(&graph, 0xD1A).unwrap_or(10).max(2);
-        Workbench { graph, diameter, config }
+        let diameter = metrics::double_sweep_diameter_estimate(&graph, 0xD1A)
+            .unwrap_or(10)
+            .max(2);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Workbench {
+            graph,
+            diameter,
+            config,
+            threads,
+        }
+    }
+
+    /// Overrides the repetition-dispatch thread count (1 = sequential).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     fn osn(&self, budget: Option<u64>, start: NodeId) -> SimulatedOsn {
@@ -145,7 +191,11 @@ impl Workbench {
         NodeId::new(rng.gen_range(0..self.graph.node_count()))
     }
 
-    fn samples_to_values(&self, run: &SamplerRunSummary, aggregate: &Aggregate) -> Vec<SampleValue> {
+    fn samples_to_values(
+        &self,
+        run: &SamplerRunSummary,
+        aggregate: &Aggregate,
+    ) -> Vec<SampleValue> {
         run.samples
             .iter()
             .map(|s| SampleValue {
@@ -158,7 +208,7 @@ impl Workbench {
 }
 
 /// One point of an error-vs-query-cost curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ErrorVsCostPoint {
     /// Query budget given to the sampler.
     pub budget: u64,
@@ -185,21 +235,37 @@ pub fn error_vs_cost(
     budgets
         .iter()
         .map(|&budget| {
-            let mut err_sum = 0.0;
-            let mut cost_sum = 0.0;
-            let mut sample_sum = 0.0;
-            for rep in 0..repetitions {
-                let start = bench.random_start(&mut rng);
+            // Start nodes come from the shared stream *before* the fan-out,
+            // so the dispatch width never changes which repetition sees
+            // which start.
+            let starts: Vec<NodeId> = (0..repetitions)
+                .map(|_| bench.random_start(&mut rng))
+                .collect();
+            let outcomes = wnw_engine::scatter_map(bench.threads, starts, |rep, start| {
                 let osn = bench.osn(Some(budget), start);
-                let mut sampler =
-                    kind.build(osn.clone(), bench.diameter, &bench.config, base_seed ^ (rep as u64) << 8 ^ budget);
+                let mut sampler = kind.build(
+                    osn.clone(),
+                    bench.diameter,
+                    &bench.config,
+                    base_seed ^ (rep as u64) << 8 ^ budget,
+                );
                 let run = collect_samples(sampler.as_mut(), usize::MAX >> 1)
                     .expect("budget exhaustion is handled internally");
                 let values = bench.samples_to_values(&run, aggregate);
                 let estimate = estimate_average(&values, kind.weighting());
-                err_sum += relative_error(estimate, truth);
-                cost_sum += osn.query_cost() as f64;
-                sample_sum += run.len() as f64;
+                (
+                    relative_error(estimate, truth),
+                    osn.query_cost() as f64,
+                    run.len() as f64,
+                )
+            });
+            let mut err_sum = 0.0;
+            let mut cost_sum = 0.0;
+            let mut sample_sum = 0.0;
+            for (err, cost, samples) in outcomes {
+                err_sum += err;
+                cost_sum += cost;
+                sample_sum += samples;
             }
             ErrorVsCostPoint {
                 budget,
@@ -212,7 +278,7 @@ pub fn error_vs_cost(
 }
 
 /// One point of an error-vs-sample-count curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ErrorVsSamplesPoint {
     /// Number of samples requested.
     pub samples: usize,
@@ -237,19 +303,28 @@ pub fn error_vs_samples(
     sample_counts
         .iter()
         .map(|&count| {
-            let mut err_sum = 0.0;
-            let mut cost_sum = 0.0;
-            for rep in 0..repetitions {
-                let start = bench.random_start(&mut rng);
+            let starts: Vec<NodeId> = (0..repetitions)
+                .map(|_| bench.random_start(&mut rng))
+                .collect();
+            let outcomes = wnw_engine::scatter_map(bench.threads, starts, |rep, start| {
                 let osn = bench.osn(None, start);
-                let mut sampler =
-                    kind.build(osn.clone(), bench.diameter, &bench.config, base_seed ^ (rep as u64) << 8 ^ count as u64);
+                let mut sampler = kind.build(
+                    osn.clone(),
+                    bench.diameter,
+                    &bench.config,
+                    base_seed ^ (rep as u64) << 8 ^ count as u64,
+                );
                 let run = collect_samples(sampler.as_mut(), count)
                     .expect("unlimited budget cannot be exhausted");
                 let values = bench.samples_to_values(&run, aggregate);
                 let estimate = estimate_average(&values, kind.weighting());
-                err_sum += relative_error(estimate, truth);
-                cost_sum += osn.query_cost() as f64;
+                (relative_error(estimate, truth), osn.query_cost() as f64)
+            });
+            let mut err_sum = 0.0;
+            let mut cost_sum = 0.0;
+            for (err, cost) in outcomes {
+                err_sum += err;
+                cost_sum += cost;
             }
             ErrorVsSamplesPoint {
                 samples: count,
@@ -270,30 +345,57 @@ pub fn api_calls_per_sample(
     base_seed: u64,
 ) -> f64 {
     let mut rng = StdRng::seed_from_u64(base_seed);
-    let mut total = 0.0;
-    for rep in 0..repetitions {
-        let start = bench.random_start(&mut rng);
+    let starts: Vec<NodeId> = (0..repetitions)
+        .map(|_| bench.random_start(&mut rng))
+        .collect();
+    let per_rep = wnw_engine::scatter_map(bench.threads, starts, |rep, start| {
         let osn = bench.osn(None, start);
-        let mut sampler = kind.build(osn.clone(), bench.diameter, &bench.config, base_seed ^ rep as u64);
+        let mut sampler = kind.build(
+            osn.clone(),
+            bench.diameter,
+            &bench.config,
+            base_seed ^ rep as u64,
+        );
         let run = collect_samples(sampler.as_mut(), samples).expect("unlimited budget");
         let calls = osn.query_stats().api_calls as f64;
-        total += calls / run.len().max(1) as f64;
-    }
-    total / repetitions as f64
+        calls / run.len().max(1) as f64
+    });
+    per_rep.iter().sum::<f64>() / repetitions as f64
 }
 
 /// Draws `count` samples and returns the sampled node ids (used by the
 /// exact-bias study of Figure 12 / Table 1).
-pub fn draw_nodes(
-    bench: &Workbench,
-    kind: SamplerKind,
-    count: usize,
-    seed: u64,
-) -> Vec<NodeId> {
+pub fn draw_nodes(bench: &Workbench, kind: SamplerKind, count: usize, seed: u64) -> Vec<NodeId> {
     let osn = bench.osn(None, NodeId(0));
     let mut sampler = kind.build(osn, bench.diameter, &bench.config, seed);
     let run = collect_samples(sampler.as_mut(), count).expect("unlimited budget");
     run.nodes()
+}
+
+/// Draws `count` samples through the concurrent engine: a pool of `walkers`
+/// virtual walkers over one shared cache, run on the workbench's thread
+/// count. Deterministic for a fixed seed at any thread count.
+pub fn pooled_draw_nodes(
+    bench: &Workbench,
+    kind: SamplerKind,
+    count: usize,
+    walkers: usize,
+    seed: u64,
+) -> Vec<NodeId> {
+    let osn = bench.osn(None, NodeId(0));
+    let job = wnw_engine::SampleJob {
+        spec: kind.spec(&bench.config),
+        samples: count,
+        walkers: walkers.max(1),
+        seed,
+        budget: None,
+        history: wnw_engine::HistoryMode::Cooperative,
+        diameter_estimate: Some(bench.diameter),
+    };
+    let report = wnw_engine::Engine::with_threads(bench.threads)
+        .run(&osn, &job)
+        .expect("unlimited budget");
+    report.nodes()
 }
 
 #[cfg(test)]
@@ -315,7 +417,10 @@ mod tests {
         assert_eq!(we.walk_estimate_counterpart(), we);
         assert_eq!(SamplerKind::Mhrw.weighting(), WeightingScheme::Uniform);
         assert_eq!(SamplerKind::Srw.weighting(), WeightingScheme::InverseDegree);
-        assert_eq!(SamplerKind::SrwOneLongRun.target(), TargetDistribution::DegreeProportional);
+        assert_eq!(
+            SamplerKind::SrwOneLongRun.target(),
+            TargetDistribution::DegreeProportional
+        );
     }
 
     #[test]
@@ -385,5 +490,71 @@ mod tests {
         let nodes = draw_nodes(&bench, kind, 5, 19);
         assert_eq!(nodes.len(), 5);
         assert!(nodes.iter().all(|&v| bench.graph.contains(v)));
+    }
+
+    #[test]
+    fn pooled_draw_nodes_is_thread_count_invariant() {
+        let bench = bench();
+        let kind = SamplerKind::WalkEstimate {
+            input: RandomWalkKind::Simple,
+            variant: WalkEstimateVariant::Full,
+        };
+        let sequential = pooled_draw_nodes(&bench.clone().with_threads(1), kind, 9, 3, 23);
+        let parallel = pooled_draw_nodes(&bench.clone().with_threads(8), kind, 9, 3, 23);
+        assert_eq!(sequential.len(), 9);
+        assert_eq!(sequential, parallel);
+        assert!(sequential.iter().all(|&v| bench.graph.contains(v)));
+    }
+
+    #[test]
+    fn repetition_dispatch_is_thread_count_invariant() {
+        let bench = bench();
+        let seq = error_vs_cost(
+            &bench.clone().with_threads(1),
+            SamplerKind::Srw,
+            &Aggregate::Degree,
+            &[80, 160],
+            3,
+            29,
+        );
+        let par = error_vs_cost(
+            &bench.clone().with_threads(8),
+            SamplerKind::Srw,
+            &Aggregate::Degree,
+            &[80, 160],
+            3,
+            29,
+        );
+        assert_eq!(
+            seq, par,
+            "parallel repetition dispatch must not change results"
+        );
+    }
+
+    #[test]
+    fn sampler_kind_spec_roundtrip() {
+        let config = WalkEstimateConfig::default();
+        assert!(matches!(
+            SamplerKind::Srw.spec(&config),
+            wnw_engine::SamplerSpec::ManyShortRuns {
+                input: RandomWalkKind::Simple,
+                ..
+            }
+        ));
+        assert!(matches!(
+            SamplerKind::SrwOneLongRun.spec(&config),
+            wnw_engine::SamplerSpec::OneLongRun { .. }
+        ));
+        let we = SamplerKind::WalkEstimate {
+            input: RandomWalkKind::MetropolisHastings,
+            variant: WalkEstimateVariant::CrawlOnly,
+        };
+        match we.spec(&config) {
+            wnw_engine::SamplerSpec::WalkEstimate { input, config } => {
+                assert_eq!(input, RandomWalkKind::MetropolisHastings);
+                assert_eq!(config.variant, WalkEstimateVariant::CrawlOnly);
+            }
+            other => panic!("wrong spec {other:?}"),
+        }
     }
 }

@@ -8,11 +8,10 @@
 
 use crate::error::GraphError;
 use crate::node::NodeId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A named, dense, per-node `f64` column.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeAttributes {
     values: Vec<f64>,
 }
@@ -61,7 +60,7 @@ impl NodeAttributes {
 ///
 /// A `BTreeMap` keeps iteration deterministic, which keeps experiment output
 /// and snapshots byte-for-byte reproducible across runs.
-#[derive(Debug, Clone, Serialize, Deserialize, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AttributeTable {
     node_count: usize,
     columns: BTreeMap<String, NodeAttributes>,
@@ -70,7 +69,10 @@ pub struct AttributeTable {
 impl AttributeTable {
     /// Creates an empty table for a graph with `node_count` nodes.
     pub fn new(node_count: usize) -> Self {
-        AttributeTable { node_count, columns: BTreeMap::new() }
+        AttributeTable {
+            node_count,
+            columns: BTreeMap::new(),
+        }
     }
 
     /// Registers (or replaces) the column `name`.
@@ -91,7 +93,8 @@ impl AttributeTable {
             });
         }
         self.node_count = expected_nodes;
-        self.columns.insert(name.to_string(), NodeAttributes::new(values));
+        self.columns
+            .insert(name.to_string(), NodeAttributes::new(values));
         Ok(())
     }
 
@@ -107,7 +110,10 @@ impl AttributeTable {
             .get(name)
             .ok_or_else(|| GraphError::UnknownAttribute(name.to_string()))?;
         if v.index() >= col.len() {
-            return Err(GraphError::NodeOutOfRange { node: v.index(), node_count: col.len() });
+            return Err(GraphError::NodeOutOfRange {
+                node: v.index(),
+                node_count: col.len(),
+            });
         }
         Ok(col.value(v))
     }
@@ -154,8 +160,14 @@ mod tests {
     fn unknown_attribute_and_out_of_range() {
         let mut t = AttributeTable::new(2);
         t.insert("x", vec![0.5, 0.7], 2).unwrap();
-        assert!(matches!(t.value("y", NodeId(0)), Err(GraphError::UnknownAttribute(_))));
-        assert!(matches!(t.value("x", NodeId(5)), Err(GraphError::NodeOutOfRange { .. })));
+        assert!(matches!(
+            t.value("y", NodeId(0)),
+            Err(GraphError::UnknownAttribute(_))
+        ));
+        assert!(matches!(
+            t.value("x", NodeId(5)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -29,7 +29,10 @@ impl GraphBuilder {
 
     /// Creates a builder expecting `nodes` nodes and roughly `edges` edges.
     pub fn with_capacity(nodes: usize, edges: usize) -> Self {
-        GraphBuilder { edges: Vec::with_capacity(edges), node_count: nodes }
+        GraphBuilder {
+            edges: Vec::with_capacity(edges),
+            node_count: nodes,
+        }
     }
 
     /// Number of nodes the built graph will have (so far).
@@ -104,7 +107,9 @@ mod tests {
     #[test]
     fn builds_simple_triangle() {
         let mut b = GraphBuilder::new();
-        b.add_edge(0u32, 1u32).add_edge(1u32, 2u32).add_edge(2u32, 0u32);
+        b.add_edge(0u32, 1u32)
+            .add_edge(1u32, 2u32)
+            .add_edge(2u32, 0u32);
         let g = b.build();
         assert_eq!(g.node_count(), 3);
         assert_eq!(g.edge_count(), 3);
@@ -141,7 +146,9 @@ mod tests {
         let mut a = GraphBuilder::new();
         a.extend_edges([(0u32, 1u32), (1, 2), (2, 3)]);
         let mut b = GraphBuilder::new();
-        b.add_edge(0u32, 1u32).add_edge(1u32, 2u32).add_edge(2u32, 3u32);
+        b.add_edge(0u32, 1u32)
+            .add_edge(1u32, 2u32)
+            .add_edge(2u32, 3u32);
         let ga = a.build();
         let gb = b.build();
         assert_eq!(ga.node_count(), gb.node_count());

@@ -42,17 +42,26 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, node_count } => {
-                write!(f, "node {node} out of range for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for graph with {node_count} nodes"
+                )
             }
             GraphError::InvalidGeneratorParameters(msg) => {
                 write!(f, "invalid generator parameters: {msg}")
             }
             GraphError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
-            GraphError::AttributeLengthMismatch { name, values, nodes } => write!(
+            GraphError::AttributeLengthMismatch {
+                name,
+                values,
+                nodes,
+            } => write!(
                 f,
                 "attribute `{name}` has {values} values but the graph has {nodes} nodes"
             ),
-            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -79,7 +88,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = GraphError::NodeOutOfRange { node: 10, node_count: 5 };
+        let e = GraphError::NodeOutOfRange {
+            node: 10,
+            node_count: 5,
+        };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains("5"));
 
@@ -96,7 +108,10 @@ mod tests {
         };
         assert!(e.to_string().contains("stars"));
 
-        let e = GraphError::Parse { line: 7, message: "bad token".into() };
+        let e = GraphError::Parse {
+            line: 7,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 7"));
     }
 

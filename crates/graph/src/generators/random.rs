@@ -101,7 +101,7 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Result<Graph> {
 /// to its `k` nearest neighbors (k even), then each edge is rewired with
 /// probability `beta`.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Result<Graph> {
-    if k % 2 != 0 || k == 0 {
+    if !k.is_multiple_of(2) || k == 0 {
         return Err(GraphError::InvalidGeneratorParameters(format!(
             "Watts–Strogatz neighbor count k must be even and positive, got {k}"
         )));

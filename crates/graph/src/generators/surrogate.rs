@@ -90,7 +90,11 @@ pub fn google_plus_like(n: usize, seed: u64) -> Result<SurrogateDataset> {
         .map(|v| {
             let degree_boost = (graph.degree(v) as f64 + 1.0).ln();
             let base = rng.gen_range(0.0..40.0);
-            let verbose = if rng.gen::<f64>() < 0.2 { rng.gen_range(40.0..200.0) } else { 0.0 };
+            let verbose = if rng.gen::<f64>() < 0.2 {
+                rng.gen_range(40.0..200.0)
+            } else {
+                0.0
+            };
             (base + 3.0 * degree_boost + verbose).round()
         })
         .collect();
@@ -98,7 +102,8 @@ pub fn google_plus_like(n: usize, seed: u64) -> Result<SurrogateDataset> {
     Ok(SurrogateDataset {
         name: "google-plus-like".into(),
         graph,
-        paper_reference: "Google Plus crawl: 16,405 users, ~4.5M edges, avg degree 560.44, self-description text",
+        paper_reference:
+            "Google Plus crawl: 16,405 users, ~4.5M edges, avg degree 560.44, self-description text",
     })
 }
 
@@ -136,7 +141,8 @@ pub fn yelp_like(n: usize, seed: u64) -> Result<SurrogateDataset> {
     Ok(SurrogateDataset {
         name: "yelp-like".into(),
         graph,
-        paper_reference: "Yelp academic dataset user-user graph: ~120k nodes, ~954k edges, star ratings",
+        paper_reference:
+            "Yelp academic dataset user-user graph: ~120k nodes, ~954k edges, star ratings",
     })
 }
 
@@ -174,7 +180,8 @@ pub fn twitter_like(n: usize, seed: u64) -> Result<SurrogateDataset> {
     Ok(SurrogateDataset {
         name: "twitter-like".into(),
         graph,
-        paper_reference: "SNAP ego-Twitter: ~80k nodes, ~1.7M directed edges, reduced to mutual undirected edges",
+        paper_reference:
+            "SNAP ego-Twitter: ~80k nodes, ~1.7M directed edges, reduced to mutual undirected edges",
     })
 }
 
@@ -188,7 +195,11 @@ mod tests {
         let g = &ds.graph;
         assert_eq!(metrics::connected_components(g), 1);
         // Density ratio matches the real crawl: 560/16405 ≈ 3.4% of nodes.
-        assert!(g.average_degree() > 0.02 * g.node_count() as f64, "avg degree {}", g.average_degree());
+        assert!(
+            g.average_degree() > 0.02 * g.node_count() as f64,
+            "avg degree {}",
+            g.average_degree()
+        );
         let col = g.attributes().column(ATTR_SELF_DESCRIPTION_WORDS).unwrap();
         assert_eq!(col.len(), g.node_count());
         assert!(col.mean() > 0.0);

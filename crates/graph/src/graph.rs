@@ -11,13 +11,12 @@ use crate::attributes::AttributeTable;
 use crate::error::GraphError;
 use crate::node::NodeId;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// An immutable, simple, undirected graph in CSR form.
 ///
 /// Construct one through [`GraphBuilder`](crate::GraphBuilder), a generator
 /// in [`generators`](crate::generators), or [`io`](crate::io).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Graph {
     /// `offsets[v]..offsets[v+1]` indexes `adjacency` for node `v`.
     offsets: Vec<u64>,
@@ -102,7 +101,10 @@ impl Graph {
         if self.contains(v) {
             Ok(())
         } else {
-            Err(GraphError::NodeOutOfRange { node: v.index(), node_count: self.node_count() })
+            Err(GraphError::NodeOutOfRange {
+                node: v.index(),
+                node_count: self.node_count(),
+            })
         }
     }
 
@@ -132,7 +134,11 @@ impl Graph {
             return false;
         }
         // Search the shorter adjacency list.
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.neighbors(a).binary_search(&b).is_ok()
     }
 
@@ -145,7 +151,11 @@ impl Graph {
     /// with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.nodes().flat_map(move |u| {
-            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 
@@ -232,7 +242,14 @@ mod tests {
     fn edges_iterator_reports_each_edge_once() {
         let g = path4();
         let edges: Vec<_> = g.edges().collect();
-        assert_eq!(edges, vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2)), (NodeId(2), NodeId(3))]);
+        assert_eq!(
+            edges,
+            vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(2), NodeId(3))
+            ]
+        );
     }
 
     #[test]
@@ -275,7 +292,7 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_preserves_structure() {
+    fn clone_preserves_structure() {
         // Full serialization is exercised by the `io` module tests; here just
         // check that cloning preserves all observable state.
         let g = path4();

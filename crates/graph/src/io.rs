@@ -104,7 +104,10 @@ pub fn write_snapshot<W: Write>(g: &Graph, writer: W) -> Result<()> {
         writeln!(w, "{} {}", u.0, v.0)?;
     }
     for name in g.attributes().names() {
-        let col = g.attributes().column(name).expect("name came from the table");
+        let col = g
+            .attributes()
+            .column(name)
+            .expect("name came from the table");
         writeln!(w, "attr {} {}", name, col.len())?;
         for v in col.as_slice() {
             writeln!(w, "{v}")?;
@@ -124,11 +127,17 @@ pub fn write_snapshot_file<P: AsRef<Path>>(g: &Graph, path: P) -> Result<()> {
 pub fn read_snapshot<R: Read>(reader: R) -> Result<Graph> {
     let reader = BufReader::new(reader);
     let lines: Vec<String> = reader.lines().collect::<std::io::Result<_>>()?;
-    let mut cursor = SnapshotCursor { lines: &lines, pos: 0 };
+    let mut cursor = SnapshotCursor {
+        lines: &lines,
+        pos: 0,
+    };
 
     let (i, header) = cursor.next_line("header")?;
     if header.trim() != "wnw-snapshot v1" {
-        return Err(GraphError::Parse { line: i + 1, message: "missing `wnw-snapshot v1` header".into() });
+        return Err(GraphError::Parse {
+            line: i + 1,
+            message: "missing `wnw-snapshot v1` header".into(),
+        });
     }
     let (i, nodes_line) = cursor.next_line("nodes")?;
     let n = parse_count(&nodes_line, i, "nodes")?;
@@ -143,11 +152,17 @@ pub fn read_snapshot<R: Read>(reader: R) -> Result<Graph> {
         let u: u32 = parts
             .next()
             .and_then(|t| t.parse().ok())
-            .ok_or(GraphError::Parse { line: i + 1, message: "bad edge line".into() })?;
+            .ok_or(GraphError::Parse {
+                line: i + 1,
+                message: "bad edge line".into(),
+            })?;
         let v: u32 = parts
             .next()
             .and_then(|t| t.parse().ok())
-            .ok_or(GraphError::Parse { line: i + 1, message: "bad edge line".into() })?;
+            .ok_or(GraphError::Parse {
+                line: i + 1,
+                message: "bad edge line".into(),
+            })?;
         builder.add_edge(u, v);
     }
     let mut graph = builder.build();
@@ -224,7 +239,10 @@ fn parse_count(line: &str, lineno: usize, key: &str) -> Result<usize> {
             line: lineno + 1,
             message: format!("`{v}` is not a count"),
         }),
-        _ => Err(GraphError::Parse { line: lineno + 1, message: format!("expected `{key} <count>`") }),
+        _ => Err(GraphError::Parse {
+            line: lineno + 1,
+            message: format!("expected `{key} <count>`"),
+        }),
     }
 }
 
@@ -268,7 +286,8 @@ mod tests {
     #[test]
     fn snapshot_roundtrip_with_attributes() {
         let mut g = cycle(6);
-        g.set_attribute("stars", vec![1.0, 2.0, 3.0, 4.0, 5.0, 2.5]).unwrap();
+        g.set_attribute("stars", vec![1.0, 2.0, 3.0, 4.0, 5.0, 2.5])
+            .unwrap();
         g.set_attribute("words", vec![10.0; 6]).unwrap();
         let mut buf = Vec::new();
         write_snapshot(&g, &mut buf).unwrap();

@@ -116,7 +116,11 @@ pub fn double_sweep_diameter_estimate(g: &Graph, seed: u64) -> Option<usize> {
         .max_by_key(|(_, &d)| d)
         .map(|(i, _)| NodeId::new(i))?;
     let d2 = bfs_distances(g, far);
-    d2.iter().copied().filter(|&d| d != UNREACHABLE).max().map(|d| d as usize)
+    d2.iter()
+        .copied()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .map(|d| d as usize)
 }
 
 /// Number of connected components.
@@ -188,7 +192,8 @@ pub fn largest_connected_component(g: &Graph) -> Graph {
     for name in names {
         if let Some(col) = g.attributes().column(&name) {
             let values: Vec<f64> = kept.iter().map(|&v| col.value(v)).collect();
-            out.set_attribute(&name, values).expect("kept length matches new node count");
+            out.set_attribute(&name, values)
+                .expect("kept length matches new node count");
         }
     }
     out
@@ -219,7 +224,10 @@ pub fn average_local_clustering(g: &Graph) -> f64 {
     if g.is_empty() {
         return 0.0;
     }
-    g.nodes().map(|v| local_clustering_coefficient(g, v)).sum::<f64>() / g.node_count() as f64
+    g.nodes()
+        .map(|v| local_clustering_coefficient(g, v))
+        .sum::<f64>()
+        / g.node_count() as f64
 }
 
 /// Exact average shortest-path length over all connected ordered pairs,
@@ -332,14 +340,16 @@ mod tests {
         assert_eq!(double_sweep_diameter_estimate(&p, 1), Some(39));
         let c = cycle(30);
         let est = double_sweep_diameter_estimate(&c, 1).unwrap();
-        assert!(est >= 15 - 1 && est <= 15, "estimate {est}");
+        assert!((15 - 1..=15).contains(&est), "estimate {est}");
     }
 
     #[test]
     fn component_counting() {
         let mut b = GraphBuilder::new();
         b.ensure_nodes(6);
-        b.add_edge(0u32, 1u32).add_edge(1u32, 2u32).add_edge(3u32, 4u32);
+        b.add_edge(0u32, 1u32)
+            .add_edge(1u32, 2u32)
+            .add_edge(3u32, 4u32);
         let g = b.build();
         assert_eq!(connected_components(&g), 3); // {0,1,2}, {3,4}, {5}
     }
@@ -348,9 +358,12 @@ mod tests {
     fn largest_component_extraction_remaps_attributes() {
         let mut b = GraphBuilder::new();
         b.ensure_nodes(6);
-        b.add_edge(0u32, 1u32).add_edge(1u32, 2u32).add_edge(3u32, 4u32);
+        b.add_edge(0u32, 1u32)
+            .add_edge(1u32, 2u32)
+            .add_edge(3u32, 4u32);
         let mut g = b.build();
-        g.set_attribute("x", vec![10.0, 11.0, 12.0, 13.0, 14.0, 15.0]).unwrap();
+        g.set_attribute("x", vec![10.0, 11.0, 12.0, 13.0, 14.0, 15.0])
+            .unwrap();
         let lcc = largest_connected_component(&g);
         assert_eq!(lcc.node_count(), 3);
         assert_eq!(lcc.edge_count(), 2);
@@ -390,7 +403,10 @@ mod tests {
         let g = barabasi_albert(300, 3, 5).unwrap();
         let exact = average_shortest_path(&g);
         let approx = sampled_average_shortest_path(&g, 60, 7);
-        assert!((exact - approx).abs() / exact < 0.1, "exact {exact} approx {approx}");
+        assert!(
+            (exact - approx).abs() / exact < 0.1,
+            "exact {exact} approx {approx}"
+        );
     }
 
     #[test]

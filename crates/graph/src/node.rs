@@ -5,11 +5,10 @@
 //! type level while staying `Copy` and 4 bytes wide, which matters because
 //! adjacency lists for the surrogate Google-Plus graph hold millions of them.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A node (user) of the social graph, identified by a dense index.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {

@@ -38,7 +38,11 @@ impl<N: SocialNetwork> BfsSampler<N> {
         let seed = osn.seed_node();
         let mut visited = HashSet::new();
         visited.insert(seed);
-        BfsSampler { osn, queue: VecDeque::from([seed]), visited }
+        BfsSampler {
+            osn,
+            queue: VecDeque::from([seed]),
+            visited,
+        }
     }
 }
 
@@ -47,14 +51,20 @@ impl<N: SocialNetwork> Sampler for BfsSampler<N> {
         let Some(next) = self.queue.pop_front() else {
             // The reachable component is exhausted; BFS cannot produce more
             // distinct nodes, which shows up as a budget-style stop.
-            return Err(AccessError::BudgetExhausted { budget: self.visited.len() as u64 });
+            return Err(AccessError::BudgetExhausted {
+                budget: self.visited.len() as u64,
+            });
         };
         for neighbor in self.osn.neighbors(next)? {
             if self.visited.insert(neighbor) {
                 self.queue.push_back(neighbor);
             }
         }
-        Ok(SampleRecord { node: next, query_cost: self.osn.query_cost(), attempts: 1 })
+        Ok(SampleRecord {
+            node: next,
+            query_cost: self.osn.query_cost(),
+            attempts: 1,
+        })
     }
 
     fn target(&self) -> TargetDistribution {
@@ -82,21 +92,31 @@ impl<N: SocialNetwork> DfsSampler<N> {
         let seed = osn.seed_node();
         let mut visited = HashSet::new();
         visited.insert(seed);
-        DfsSampler { osn, stack: vec![seed], visited }
+        DfsSampler {
+            osn,
+            stack: vec![seed],
+            visited,
+        }
     }
 }
 
 impl<N: SocialNetwork> Sampler for DfsSampler<N> {
     fn draw(&mut self) -> Result<SampleRecord> {
         let Some(next) = self.stack.pop() else {
-            return Err(AccessError::BudgetExhausted { budget: self.visited.len() as u64 });
+            return Err(AccessError::BudgetExhausted {
+                budget: self.visited.len() as u64,
+            });
         };
         for neighbor in self.osn.neighbors(next)? {
             if self.visited.insert(neighbor) {
                 self.stack.push(neighbor);
             }
         }
-        Ok(SampleRecord { node: next, query_cost: self.osn.query_cost(), attempts: 1 })
+        Ok(SampleRecord {
+            node: next,
+            query_cost: self.osn.query_cost(),
+            attempts: 1,
+        })
     }
 
     fn target(&self) -> TargetDistribution {
@@ -132,10 +152,20 @@ impl<N: SocialNetwork> RandomJumpSampler<N> {
     /// Panics if the access layer does not expose a node count hint (the id
     /// generator abstraction needs to know which guesses are hits).
     pub fn new(osn: N, id_space: u64, seed: u64) -> Self {
-        let node_count =
-            osn.node_count_hint().expect("RandomJumpSampler needs a node count hint");
-        assert!(id_space >= node_count as u64, "id space must cover all nodes");
-        RandomJumpSampler { osn, node_count, id_space, rng: StdRng::seed_from_u64(seed), guesses: 0 }
+        let node_count = osn
+            .node_count_hint()
+            .expect("RandomJumpSampler needs a node count hint");
+        assert!(
+            id_space >= node_count as u64,
+            "id space must cover all nodes"
+        );
+        RandomJumpSampler {
+            osn,
+            node_count,
+            id_space,
+            rng: StdRng::seed_from_u64(seed),
+            guesses: 0,
+        }
     }
 
     /// Total id guesses made so far (hits and misses).
@@ -161,7 +191,11 @@ impl<N: SocialNetwork> Sampler for RandomJumpSampler<N> {
                 // Touch the profile so the query cost reflects the fetch of
                 // the sampled user (parity with the walk-based samplers).
                 let _ = self.osn.neighbors(node)?;
-                return Ok(SampleRecord { node, query_cost: self.osn.query_cost(), attempts });
+                return Ok(SampleRecord {
+                    node,
+                    query_cost: self.osn.query_cost(),
+                    attempts,
+                });
             }
         }
     }
@@ -212,8 +246,12 @@ mod tests {
         let n = graph.node_count();
         let osn_b = SimulatedOsn::new(graph.clone());
         let osn_d = SimulatedOsn::new(graph);
-        let bfs_nodes = collect_samples(&mut BfsSampler::new(osn_b), n).unwrap().nodes();
-        let dfs_nodes = collect_samples(&mut DfsSampler::new(osn_d), n).unwrap().nodes();
+        let bfs_nodes = collect_samples(&mut BfsSampler::new(osn_b), n)
+            .unwrap()
+            .nodes();
+        let dfs_nodes = collect_samples(&mut DfsSampler::new(osn_d), n)
+            .unwrap()
+            .nodes();
         assert_eq!(bfs_nodes.len(), n);
         assert_eq!(dfs_nodes.len(), n);
         assert_ne!(bfs_nodes, dfs_nodes, "orders should differ on a deep tree");
@@ -229,9 +267,16 @@ mod tests {
         let osn = SimulatedOsn::new(graph.clone());
         let mut bfs = BfsSampler::new(osn);
         let run = collect_samples(&mut bfs, 30).unwrap();
-        let sample_avg: f64 =
-            run.nodes().iter().map(|&v| graph.degree(v) as f64).sum::<f64>() / run.len() as f64;
-        assert!(sample_avg > 1.5 * avg, "BFS sample avg degree {sample_avg} vs population {avg}");
+        let sample_avg: f64 = run
+            .nodes()
+            .iter()
+            .map(|&v| graph.degree(v) as f64)
+            .sum::<f64>()
+            / run.len() as f64;
+        assert!(
+            sample_avg > 1.5 * avg,
+            "BFS sample avg degree {sample_avg} vs population {avg}"
+        );
     }
 
     #[test]
@@ -243,7 +288,11 @@ mod tests {
         assert!((sampler.hit_rate() - 0.02).abs() < 1e-12);
         let run = collect_samples(&mut sampler, 20).unwrap();
         assert_eq!(run.len(), 20);
-        assert!(sampler.guesses() > 200, "expected many wasted guesses, got {}", sampler.guesses());
+        assert!(
+            sampler.guesses() > 200,
+            "expected many wasted guesses, got {}",
+            sampler.guesses()
+        );
         assert!(run.samples.iter().all(|s| s.attempts >= 1));
         assert_eq!(sampler.name(), "random-jump");
         assert_eq!(sampler.target(), TargetDistribution::Uniform);

@@ -63,7 +63,14 @@ impl<N: SocialNetwork> ManyShortRunsSampler<N> {
     /// Creates a sampler that starts every walk from `osn.seed_node()`.
     pub fn new(osn: N, kind: RandomWalkKind, config: BurnInConfig, seed: u64) -> Self {
         let start = osn.seed_node();
-        ManyShortRunsSampler { osn, kind, start, config, rng: StdRng::seed_from_u64(seed), walk_lengths: Vec::new() }
+        ManyShortRunsSampler {
+            osn,
+            kind,
+            start,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            walk_lengths: Vec::new(),
+        }
     }
 
     /// Overrides the starting node.
@@ -99,7 +106,7 @@ impl<N: SocialNetwork> Sampler for ManyShortRunsSampler<N> {
             let degree = self.osn.degree(current)? as f64;
             monitor.observe(degree);
             let reached_cap = steps >= self.config.max_steps;
-            if steps >= self.config.min_steps && steps % self.config.check_interval == 0 {
+            if steps >= self.config.min_steps && steps.is_multiple_of(self.config.check_interval) {
                 if monitor.check().converged || reached_cap {
                     break;
                 }
@@ -108,7 +115,11 @@ impl<N: SocialNetwork> Sampler for ManyShortRunsSampler<N> {
             }
         }
         self.walk_lengths.push(steps);
-        Ok(SampleRecord { node: current, query_cost: self.osn.query_cost(), attempts: 1 })
+        Ok(SampleRecord {
+            node: current,
+            query_cost: self.osn.query_cost(),
+            attempts: 1,
+        })
     }
 
     fn target(&self) -> TargetDistribution {
@@ -169,7 +180,7 @@ impl<N: SocialNetwork> OneLongRunSampler<N> {
             let degree = self.osn.degree(self.current)? as f64;
             monitor.observe(degree);
             let reached_cap = steps >= self.config.max_steps;
-            if steps >= self.config.min_steps && steps % self.config.check_interval == 0 {
+            if steps >= self.config.min_steps && steps.is_multiple_of(self.config.check_interval) {
                 if monitor.check().converged || reached_cap {
                     break;
                 }
@@ -195,7 +206,11 @@ impl<N: SocialNetwork> Sampler for OneLongRunSampler<N> {
             });
         }
         self.current = walker::step(&self.osn, self.kind, self.current, &mut self.rng)?;
-        Ok(SampleRecord { node: self.current, query_cost: self.osn.query_cost(), attempts: 1 })
+        Ok(SampleRecord {
+            node: self.current,
+            query_cost: self.osn.query_cost(),
+            attempts: 1,
+        })
     }
 
     fn target(&self) -> TargetDistribution {
@@ -254,8 +269,12 @@ mod tests {
     #[test]
     fn many_short_runs_produces_valid_samples() {
         let osn = small_osn(1);
-        let mut sampler =
-            ManyShortRunsSampler::new(osn.clone(), RandomWalkKind::Simple, BurnInConfig::default(), 7);
+        let mut sampler = ManyShortRunsSampler::new(
+            osn.clone(),
+            RandomWalkKind::Simple,
+            BurnInConfig::default(),
+            7,
+        );
         let run = collect_samples(&mut sampler, 5).unwrap();
         assert_eq!(run.len(), 5);
         assert_eq!(sampler.walk_lengths().len(), 5);
@@ -264,7 +283,10 @@ mod tests {
         for w in run.samples.windows(2) {
             assert!(w[1].query_cost >= w[0].query_cost);
         }
-        assert!(run.samples.iter().all(|s| osn.ground_truth().contains(s.node)));
+        assert!(run
+            .samples
+            .iter()
+            .all(|s| osn.ground_truth().contains(s.node)));
         assert_eq!(sampler.name(), "SRW");
         assert_eq!(sampler.target(), TargetDistribution::DegreeProportional);
     }
@@ -275,7 +297,10 @@ mod tests {
         let mut sampler = ManyShortRunsSampler::new(
             osn,
             RandomWalkKind::MetropolisHastings,
-            BurnInConfig { max_steps: 500, ..Default::default() },
+            BurnInConfig {
+                max_steps: 500,
+                ..Default::default()
+            },
             3,
         );
         let run = collect_samples(&mut sampler, 3).unwrap();
@@ -301,14 +326,22 @@ mod tests {
         let count = 20;
 
         let osn_short = SimulatedOsn::new(graph.clone());
-        let mut short =
-            ManyShortRunsSampler::new(osn_short.clone(), RandomWalkKind::Simple, BurnInConfig::default(), 9);
+        let mut short = ManyShortRunsSampler::new(
+            osn_short.clone(),
+            RandomWalkKind::Simple,
+            BurnInConfig::default(),
+            9,
+        );
         collect_samples(&mut short, count).unwrap();
         let short_cost = osn_short.query_cost();
 
         let osn_long = SimulatedOsn::new(graph);
-        let mut long =
-            OneLongRunSampler::new(osn_long.clone(), RandomWalkKind::Simple, BurnInConfig::default(), 9);
+        let mut long = OneLongRunSampler::new(
+            osn_long.clone(),
+            RandomWalkKind::Simple,
+            BurnInConfig::default(),
+            9,
+        );
         let run = collect_samples(&mut long, count).unwrap();
         let long_cost = osn_long.query_cost();
 
@@ -324,7 +357,9 @@ mod tests {
     #[test]
     fn effective_sample_size_behaviour() {
         // Independent-ish alternating values: ESS close to the length.
-        let independent: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let independent: Vec<f64> = (0..200)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(effective_sample_size(&independent) > 150.0);
 
         // Strongly correlated blocks: ESS much smaller than the length.

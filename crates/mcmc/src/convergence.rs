@@ -14,10 +14,8 @@
 //! declaring convergence when `Z` falls below a threshold (0.1 by default,
 //! 0.01 for the stricter runs in Section 2.2.3).
 
-use serde::{Deserialize, Serialize};
-
 /// Decision returned by a convergence check.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GewekeOutcome {
     /// The computed Z score (`f64::INFINITY` when a window is degenerate).
     pub z: f64,
@@ -50,7 +48,10 @@ impl GewekeMonitor {
 
     /// Overrides the window fractions (must be in `(0, 1)` and sum to ≤ 1).
     pub fn with_windows(mut self, first: f64, last: f64) -> Self {
-        assert!(first > 0.0 && last > 0.0 && first + last <= 1.0, "invalid Geweke windows");
+        assert!(
+            first > 0.0 && last > 0.0 && first + last <= 1.0,
+            "invalid Geweke windows"
+        );
         self.first_window_fraction = first;
         self.last_window_fraction = last;
         self
@@ -87,12 +88,18 @@ impl GewekeMonitor {
     pub fn check(&self) -> GewekeOutcome {
         let n = self.values.len();
         if n < self.min_samples {
-            return GewekeOutcome { z: f64::INFINITY, converged: false };
+            return GewekeOutcome {
+                z: f64::INFINITY,
+                converged: false,
+            };
         }
         let first_len = ((n as f64 * self.first_window_fraction).ceil() as usize).max(2);
         let last_len = ((n as f64 * self.last_window_fraction).ceil() as usize).max(2);
         if first_len + last_len > n {
-            return GewekeOutcome { z: f64::INFINITY, converged: false };
+            return GewekeOutcome {
+                z: f64::INFINITY,
+                converged: false,
+            };
         }
         let window_a = &self.values[..first_len];
         let window_b = &self.values[n - last_len..];
@@ -106,7 +113,10 @@ impl GewekeMonitor {
         } else {
             f64::INFINITY
         };
-        GewekeOutcome { z, converged: z <= self.threshold }
+        GewekeOutcome {
+            z,
+            converged: z <= self.threshold,
+        }
     }
 
     /// `observe` + `check` in one call.
@@ -147,7 +157,10 @@ mod tests {
     #[test]
     fn constant_stream_converges_immediately_after_minimum() {
         let mut m = GewekeMonitor::new(0.1).with_min_samples(10);
-        let mut outcome = GewekeOutcome { z: f64::INFINITY, converged: false };
+        let mut outcome = GewekeOutcome {
+            z: f64::INFINITY,
+            converged: false,
+        };
         for _ in 0..10 {
             outcome = m.observe_and_check(3.0);
         }

@@ -45,7 +45,11 @@ impl TransitionMatrix {
             }
             rows.push(row);
         }
-        TransitionMatrix { rows, self_loops, kind }
+        TransitionMatrix {
+            rows,
+            self_loops,
+            kind,
+        }
     }
 
     /// Number of nodes.
@@ -60,15 +64,25 @@ impl TransitionMatrix {
     /// required on bipartite case-study graphs (hypercubes, trees) where a
     /// plain SRW alternates sides forever.
     pub fn lazy(&self, alpha: f64) -> TransitionMatrix {
-        assert!((0.0..1.0).contains(&alpha), "laziness must be in [0, 1), got {alpha}");
+        assert!(
+            (0.0..1.0).contains(&alpha),
+            "laziness must be in [0, 1), got {alpha}"
+        );
         let rows = self
             .rows
             .iter()
             .map(|row| row.iter().map(|&(v, p)| (v, (1.0 - alpha) * p)).collect())
             .collect();
-        let self_loops =
-            self.self_loops.iter().map(|&p| (1.0 - alpha) * p + alpha).collect();
-        TransitionMatrix { rows, self_loops, kind: self.kind }
+        let self_loops = self
+            .self_loops
+            .iter()
+            .map(|&p| (1.0 - alpha) * p + alpha)
+            .collect();
+        TransitionMatrix {
+            rows,
+            self_loops,
+            kind: self.kind,
+        }
     }
 
     /// The walk design this matrix realises.
@@ -138,7 +152,10 @@ impl TransitionMatrix {
             TargetDistribution::Uniform => vec![1.0 / n as f64; n],
             TargetDistribution::DegreeProportional => {
                 let total = 2.0 * graph.edge_count() as f64;
-                graph.nodes().map(|v| graph.degree(v) as f64 / total).collect()
+                graph
+                    .nodes()
+                    .map(|v| graph.degree(v) as f64 / total)
+                    .collect()
             }
         }
     }
@@ -167,12 +184,7 @@ impl TransitionMatrix {
     /// Burn-in length under Definition 3: the smallest `t ≤ max_t` with
     /// `Δ(t) ≤ epsilon`, or `None` if no such `t` exists within the cap.
     pub fn burn_in_length(&self, graph: &Graph, epsilon: f64, max_t: usize) -> Option<usize> {
-        for t in 0..=max_t {
-            if self.relative_pointwise_distance(graph, t) <= epsilon {
-                return Some(t);
-            }
-        }
-        None
+        (0..=max_t).find(|&t| self.relative_pointwise_distance(graph, t) <= epsilon)
     }
 }
 
@@ -180,7 +192,10 @@ impl TransitionMatrix {
 /// `max_v |p(v) − q(v)|`.
 pub fn linf_distance(p: &[f64], q: &[f64]) -> f64 {
     assert_eq!(p.len(), q.len());
-    p.iter().zip(q).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+    p.iter()
+        .zip(q)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
 }
 
 /// Total variation distance: `½ Σ_v |p(v) − q(v)|`.
@@ -220,8 +235,7 @@ mod tests {
         for kind in [RandomWalkKind::Simple, RandomWalkKind::MetropolisHastings] {
             let t = TransitionMatrix::new(&g, kind);
             for u in g.nodes() {
-                let sum: f64 =
-                    t.row(u).iter().map(|&(_, p)| p).sum::<f64>() + t.self_loop(u);
+                let sum: f64 = t.row(u).iter().map(|&(_, p)| p).sum::<f64>() + t.self_loop(u);
                 assert_close(sum, 1.0, 1e-12);
             }
         }
@@ -338,8 +352,7 @@ mod tests {
         assert_eq!(plain[0], 0.0);
         let lazy = t.lazy(0.5);
         for u in g.nodes() {
-            let sum: f64 =
-                lazy.row(u).iter().map(|&(_, p)| p).sum::<f64>() + lazy.self_loop(u);
+            let sum: f64 = lazy.row(u).iter().map(|&(_, p)| p).sum::<f64>() + lazy.self_loop(u);
             assert_close(sum, 1.0, 1e-12);
         }
         let mixed = lazy.distribution_after(NodeId(0), 200);

@@ -13,10 +13,8 @@
 //! their **10th percentile** (Section 6.3.2). A manual threshold is also
 //! supported for the corresponding ablation.
 
-use serde::{Deserialize, Serialize};
-
 /// How the rejection-sampling scaling factor `min_v p(v)/q(v)` is obtained.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ScalingFactorPolicy {
     /// Use the exact minimum of the observed `p(v)/q(v)` ratios. Unbiased as
     /// long as the true minimiser has been observed; conservative (more
@@ -48,7 +46,9 @@ impl ScalingFactorPolicy {
                 .iter()
                 .copied()
                 .filter(|r| r.is_finite() && *r > 0.0)
-                .fold(None, |acc: Option<f64>, r| Some(acc.map_or(r, |a| a.min(r)))),
+                .fold(None, |acc: Option<f64>, r| {
+                    Some(acc.map_or(r, |a| a.min(r)))
+                }),
             ScalingFactorPolicy::Percentile(pct) => {
                 let mut clean: Vec<f64> = observed_ratios
                     .iter()
@@ -103,8 +103,14 @@ mod tests {
         // 10th percentile of 1..=100 lands near 10.9 -> index 10 -> value 11.
         let resolved = policy.resolve(&ratios).unwrap();
         assert!((9.0..=12.0).contains(&resolved), "{resolved}");
-        assert_eq!(ScalingFactorPolicy::Percentile(0.0).resolve(&ratios), Some(1.0));
-        assert_eq!(ScalingFactorPolicy::Percentile(100.0).resolve(&ratios), Some(100.0));
+        assert_eq!(
+            ScalingFactorPolicy::Percentile(0.0).resolve(&ratios),
+            Some(1.0)
+        );
+        assert_eq!(
+            ScalingFactorPolicy::Percentile(100.0).resolve(&ratios),
+            Some(100.0)
+        );
         assert_eq!(policy.resolve(&[]), None);
     }
 

@@ -6,13 +6,12 @@
 //! paper's terms: *what sample quality do you get for a given query cost?*
 
 use crate::transition::TargetDistribution;
-use serde::{Deserialize, Serialize};
 use wnw_access::{AccessError, Result};
 use wnw_graph::NodeId;
 
 /// One sample produced by a sampler, annotated with the cumulative query
 /// cost at the moment it was produced (the x-axis of Figures 6–8 and 11).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SampleRecord {
     /// The sampled node.
     pub node: NodeId,
@@ -25,6 +24,12 @@ pub struct SampleRecord {
 }
 
 /// A node sampler over a restricted-access social network.
+///
+/// The trait is deliberately object-safe: the experiment harness and the
+/// concurrent engine drive heterogeneous samplers through `Box<dyn Sampler>`
+/// built inside each worker thread (no `Send` bound is required because a
+/// sampler never migrates between threads — only its *inputs*, the shared
+/// network handle and configuration, cross thread boundaries).
 pub trait Sampler {
     /// Draws the next sample. Errors are access-layer errors; in particular
     /// [`AccessError::BudgetExhausted`] signals that the query budget ran out
@@ -36,10 +41,16 @@ pub trait Sampler {
 
     /// Short name used in experiment output (e.g. "SRW", "MHRW", "WE(SRW)").
     fn name(&self) -> String;
+
+    /// Publishes any state this sampler batches for a cooperating pool (e.g.
+    /// WALK-ESTIMATE's pending forward-walk history). The concurrent engine
+    /// calls this at its deterministic round barriers; samplers without
+    /// shared state — all the traditional baselines — keep the default no-op.
+    fn flush_shared_state(&mut self) {}
 }
 
 /// Summary of a sampling run produced by [`collect_samples`].
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SamplerRunSummary {
     /// Samples in the order they were produced.
     pub samples: Vec<SampleRecord>,
@@ -121,17 +132,26 @@ mod tests {
 
     #[test]
     fn collect_until_count() {
-        let mut s = FakeSampler { emitted: 0, fail_after: 100 };
+        let mut s = FakeSampler {
+            emitted: 0,
+            fail_after: 100,
+        };
         let run = collect_samples(&mut s, 5).unwrap();
         assert_eq!(run.len(), 5);
         assert!(!run.budget_exhausted);
         assert_eq!(run.final_query_cost(), 15);
-        assert_eq!(run.nodes(), vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4), NodeId(5)]);
+        assert_eq!(
+            run.nodes(),
+            vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4), NodeId(5)]
+        );
     }
 
     #[test]
     fn collect_stops_gracefully_on_budget() {
-        let mut s = FakeSampler { emitted: 0, fail_after: 3 };
+        let mut s = FakeSampler {
+            emitted: 0,
+            fail_after: 3,
+        };
         let run = collect_samples(&mut s, 10).unwrap();
         assert_eq!(run.len(), 3);
         assert!(run.budget_exhausted);

@@ -45,7 +45,11 @@ pub fn spectral_gap_with_iterations(
 ) -> SpectralInfo {
     let n = graph.node_count();
     if n < 2 {
-        return SpectralInfo { second_eigenvalue: 0.0, gap: 1.0, iterations: 0 };
+        return SpectralInfo {
+            second_eigenvalue: 0.0,
+            gap: 1.0,
+            iterations: 0,
+        };
     }
     let t = TransitionMatrix::new(graph, kind);
     let pi = TransitionMatrix::stationary_distribution(graph, kind);
@@ -176,7 +180,10 @@ mod tests {
         let g = cycle(n);
         let info = spectral_gap(&g, RandomWalkKind::Simple, 1e-12);
         let expected = (2.0 * std::f64::consts::PI / n as f64).cos();
-        assert!((info.second_eigenvalue - expected).abs() < 1e-6, "{info:?} vs {expected}");
+        assert!(
+            (info.second_eigenvalue - expected).abs() < 1e-6,
+            "{info:?} vs {expected}"
+        );
     }
 
     #[test]
@@ -187,7 +194,10 @@ mod tests {
         let g = hypercube(k);
         let info = spectral_gap(&g, RandomWalkKind::Simple, 1e-12);
         let expected = 1.0 - 2.0 / k as f64;
-        assert!((info.second_eigenvalue - expected).abs() < 1e-6, "{info:?} vs {expected}");
+        assert!(
+            (info.second_eigenvalue - expected).abs() < 1e-6,
+            "{info:?} vs {expected}"
+        );
     }
 
     #[test]
@@ -204,7 +214,10 @@ mod tests {
     fn larger_cycles_have_smaller_gaps() {
         let small = spectral_gap(&cycle(10), RandomWalkKind::Simple, 1e-10).gap;
         let large = spectral_gap(&cycle(40), RandomWalkKind::Simple, 1e-10).gap;
-        assert!(large < small, "gap should shrink with diameter: {large} vs {small}");
+        assert!(
+            large < small,
+            "gap should shrink with diameter: {large} vs {small}"
+        );
     }
 
     #[test]

@@ -13,10 +13,8 @@
 //! [`RandomWalkKind`] as input and produces samples following the *same*
 //! target distribution, just cheaper.
 
-use serde::{Deserialize, Serialize};
-
 /// The target (stationary) distribution of a random-walk design.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TargetDistribution {
     /// Every node equally likely (MHRW's stationary distribution).
     Uniform,
@@ -49,7 +47,7 @@ impl TargetDistribution {
 }
 
 /// The random-walk designs evaluated in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RandomWalkKind {
     /// Simple Random Walk (Definition 1).
     Simple,
@@ -88,7 +86,10 @@ impl RandomWalkKind {
     /// for non-adjacent distinct nodes by definition.
     #[inline]
     pub fn edge_probability(&self, degree_u: usize, degree_v: usize) -> f64 {
-        debug_assert!(degree_u > 0, "transition from an isolated node is undefined");
+        debug_assert!(
+            degree_u > 0,
+            "transition from an isolated node is undefined"
+        );
         match self {
             RandomWalkKind::Simple => 1.0 / degree_u as f64,
             RandomWalkKind::MetropolisHastings => {
@@ -149,8 +150,10 @@ mod tests {
         let k = RandomWalkKind::MetropolisHastings;
         let neighbor_degrees = [1usize, 2, 8, 3];
         let du = neighbor_degrees.len();
-        let outgoing: f64 =
-            neighbor_degrees.iter().map(|&dv| k.edge_probability(du, dv)).sum();
+        let outgoing: f64 = neighbor_degrees
+            .iter()
+            .map(|&dv| k.edge_probability(du, dv))
+            .sum();
         let self_loop = k.self_loop_probability(du, &neighbor_degrees);
         assert!((outgoing + self_loop - 1.0).abs() < 1e-12);
         // There is a neighbor with a higher degree, so the self-loop is
@@ -185,6 +188,9 @@ mod tests {
         assert_eq!(TargetDistribution::Uniform.weight(17), 1.0);
         assert_eq!(TargetDistribution::DegreeProportional.weight(17), 17.0);
         assert_eq!(TargetDistribution::Uniform.name(), "uniform");
-        assert_eq!(TargetDistribution::DegreeProportional.name(), "degree-proportional");
+        assert_eq!(
+            TargetDistribution::DegreeProportional.name(),
+            "degree-proportional"
+        );
     }
 }

@@ -23,7 +23,10 @@ pub struct ForwardWalk {
 impl ForwardWalk {
     /// The node where the walk currently sits.
     pub fn current(&self) -> NodeId {
-        *self.path.last().expect("a walk always contains its starting node")
+        *self
+            .path
+            .last()
+            .expect("a walk always contains its starting node")
     }
 
     /// Number of steps taken (edges traversed or self-loops).
@@ -110,7 +113,12 @@ mod tests {
         // Every consecutive pair must be an edge of the underlying graph.
         let truth = osn.ground_truth();
         for w in walk.path.windows(2) {
-            assert!(truth.has_edge(w[0], w[1]), "non-edge {:?} -> {:?}", w[0], w[1]);
+            assert!(
+                truth.has_edge(w[0], w[1]),
+                "non-edge {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
         }
     }
 
@@ -119,8 +127,14 @@ mod tests {
         let g = star(20); // hub has degree 19, leaves degree 1: many rejections
         let osn = SimulatedOsn::new(g);
         let mut rng = StdRng::seed_from_u64(2);
-        let walk =
-            random_walk(&osn, RandomWalkKind::MetropolisHastings, NodeId(0), 50, &mut rng).unwrap();
+        let walk = random_walk(
+            &osn,
+            RandomWalkKind::MetropolisHastings,
+            NodeId(0),
+            50,
+            &mut rng,
+        )
+        .unwrap();
         let truth = osn.ground_truth();
         let mut saw_self_loop = false;
         for w in walk.path.windows(2) {
@@ -148,7 +162,10 @@ mod tests {
         let expected = 20_000.0 / n as f64;
         for v in 0..n as u32 {
             let c = *counts.get(&NodeId(v)).unwrap_or(&0) as f64;
-            assert!((c - expected).abs() / expected < 0.15, "node {v}: {c} vs {expected}");
+            assert!(
+                (c - expected).abs() / expected < 0.15,
+                "node {v}: {c} vs {expected}"
+            );
         }
     }
 
@@ -180,8 +197,14 @@ mod tests {
         // self-loops on a cycle.
         let osn = SimulatedOsn::new(cycle(8));
         let mut rng = StdRng::seed_from_u64(6);
-        let walk =
-            random_walk(&osn, RandomWalkKind::MetropolisHastings, NodeId(0), 64, &mut rng).unwrap();
+        let walk = random_walk(
+            &osn,
+            RandomWalkKind::MetropolisHastings,
+            NodeId(0),
+            64,
+            &mut rng,
+        )
+        .unwrap();
         for w in walk.path.windows(2) {
             assert_ne!(w[0], w[1]);
         }

@@ -18,7 +18,11 @@ fn main() {
     let registry = DatasetRegistry::new(ExperimentScale::Quick);
     let dataset = registry.yelp();
     let graph = dataset.graph;
-    let true_stars = graph.attributes().column("stars").expect("stars attribute").mean();
+    let true_stars = graph
+        .attributes()
+        .column("stars")
+        .expect("stars attribute")
+        .mean();
     let true_degree = graph.average_degree();
     println!(
         "Yelp-like review network: {} users, {} edges ({})",
@@ -59,14 +63,27 @@ fn main() {
     };
 
     // Traditional SRW with burn-in.
-    let osn = SimulatedOsn::builder(graph.clone()).budget(QueryBudget(budget)).build();
-    let mut srw =
-        ManyShortRunsSampler::new(osn.clone(), RandomWalkKind::Simple, BurnInConfig::default(), 3);
+    let osn = SimulatedOsn::builder(graph.clone())
+        .budget(QueryBudget(budget))
+        .build();
+    let mut srw = ManyShortRunsSampler::new(
+        osn.clone(),
+        RandomWalkKind::Simple,
+        BurnInConfig::default(),
+        3,
+    );
     let run = collect_samples(&mut srw, 10_000).expect("budget exhaustion handled");
-    report("SRW (burn-in)", run.nodes(), WeightingScheme::InverseDegree, osn.query_cost());
+    report(
+        "SRW (burn-in)",
+        run.nodes(),
+        WeightingScheme::InverseDegree,
+        osn.query_cost(),
+    );
 
     // WALK-ESTIMATE on the same input walk.
-    let osn = SimulatedOsn::builder(graph.clone()).budget(QueryBudget(budget)).build();
+    let osn = SimulatedOsn::builder(graph.clone())
+        .budget(QueryBudget(budget))
+        .build();
     let mut we = WalkEstimateSampler::new(
         osn.clone(),
         RandomWalkKind::Simple,
@@ -75,10 +92,17 @@ fn main() {
     )
     .with_diameter_estimate(6);
     let run = collect_samples(&mut we, 10_000).expect("budget exhaustion handled");
-    report("WE(SRW)", run.nodes(), WeightingScheme::InverseDegree, osn.query_cost());
+    report(
+        "WE(SRW)",
+        run.nodes(),
+        WeightingScheme::InverseDegree,
+        osn.query_cost(),
+    );
 
     // WALK-ESTIMATE targeting the uniform distribution (MHRW input).
-    let osn = SimulatedOsn::builder(graph.clone()).budget(QueryBudget(budget)).build();
+    let osn = SimulatedOsn::builder(graph.clone())
+        .budget(QueryBudget(budget))
+        .build();
     let mut we_uniform = WalkEstimateSampler::new(
         osn.clone(),
         RandomWalkKind::MetropolisHastings,
@@ -87,5 +111,10 @@ fn main() {
     )
     .with_diameter_estimate(6);
     let run = collect_samples(&mut we_uniform, 10_000).expect("budget exhaustion handled");
-    report("WE(MHRW, uniform)", run.nodes(), WeightingScheme::Uniform, osn.query_cost());
+    report(
+        "WE(MHRW, uniform)",
+        run.nodes(),
+        WeightingScheme::Uniform,
+        osn.query_cost(),
+    );
 }

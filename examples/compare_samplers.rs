@@ -27,17 +27,35 @@ fn main() {
         graph.node_count(),
         graph.edge_count()
     );
-    println!("{:<22} {:>10} {:>12} {:>16}", "sampler", "queries", "est. degree", "relative error");
+    println!(
+        "{:<22} {:>10} {:>12} {:>16}",
+        "sampler", "queries", "est. degree", "relative error"
+    );
 
     let samplers = [
         SamplerKind::Srw,
         SamplerKind::Mhrw,
         SamplerKind::SrwOneLongRun,
-        SamplerKind::WalkEstimate { input: RandomWalkKind::Simple, variant: WalkEstimateVariant::None },
-        SamplerKind::WalkEstimate { input: RandomWalkKind::Simple, variant: WalkEstimateVariant::CrawlOnly },
-        SamplerKind::WalkEstimate { input: RandomWalkKind::Simple, variant: WalkEstimateVariant::WeightedOnly },
-        SamplerKind::WalkEstimate { input: RandomWalkKind::Simple, variant: WalkEstimateVariant::Full },
-        SamplerKind::WalkEstimate { input: RandomWalkKind::MetropolisHastings, variant: WalkEstimateVariant::Full },
+        SamplerKind::WalkEstimate {
+            input: RandomWalkKind::Simple,
+            variant: WalkEstimateVariant::None,
+        },
+        SamplerKind::WalkEstimate {
+            input: RandomWalkKind::Simple,
+            variant: WalkEstimateVariant::CrawlOnly,
+        },
+        SamplerKind::WalkEstimate {
+            input: RandomWalkKind::Simple,
+            variant: WalkEstimateVariant::WeightedOnly,
+        },
+        SamplerKind::WalkEstimate {
+            input: RandomWalkKind::Simple,
+            variant: WalkEstimateVariant::Full,
+        },
+        SamplerKind::WalkEstimate {
+            input: RandomWalkKind::MetropolisHastings,
+            variant: WalkEstimateVariant::Full,
+        },
     ];
     for kind in samplers {
         let osn = SimulatedOsn::new(graph.clone());

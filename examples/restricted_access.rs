@@ -58,8 +58,9 @@ fn main() {
         .restriction(NeighborRestriction::RandomSubset { k: 40 })
         .build();
     let node = NodeId(1);
-    let batches: Vec<Vec<NodeId>> =
-        (0..12).map(|_| osn.neighbors(node).expect("node exists")).collect();
+    let batches: Vec<Vec<NodeId>> = (0..12)
+        .map(|_| osn.neighbors(node).expect("node exists"))
+        .collect();
     let estimated = estimate_degree_from_batches(&batches).expect("two or more batches");
     println!(
         "mark-and-recapture: node {} true degree {} — estimated {:.1} from 12 random-40 responses\n",
@@ -70,10 +71,16 @@ fn main() {
 
     // 4. Hard query budgets: the sampler stops cleanly when the budget runs
     //    out, keeping every sample drawn so far.
-    let osn = SimulatedOsn::builder(graph).budget(QueryBudget(150)).build();
-    let mut sampler =
-        WalkEstimateSampler::new(osn.clone(), RandomWalkKind::Simple, WalkEstimateConfig::default(), 2)
-            .with_diameter_estimate(5);
+    let osn = SimulatedOsn::builder(graph)
+        .budget(QueryBudget(150))
+        .build();
+    let mut sampler = WalkEstimateSampler::new(
+        osn.clone(),
+        RandomWalkKind::Simple,
+        WalkEstimateConfig::default(),
+        2,
+    )
+    .with_diameter_estimate(5);
     let run = collect_samples(&mut sampler, 1_000).expect("budget exhaustion is not an error");
     println!(
         "hard budget of 150 queries: obtained {} samples before the budget ran out (budget exhausted: {})",

@@ -21,6 +21,7 @@
 //! | [`access`] | `wnw-access` | restricted OSN interface, budgets, rate limits |
 //! | [`mcmc`] | `wnw-mcmc` | SRW/MHRW, convergence, rejection sampling, baselines |
 //! | [`core`] | `wnw-core` | WALK-ESTIMATE (the paper's contribution) |
+//! | [`engine`] | `wnw-engine` | concurrent, cache-sharing sampling engine |
 //! | [`analytics`] | `wnw-analytics` | Lambert W, statistics, estimators, bias |
 //! | [`experiments`] | `wnw-experiments` | per-figure reproduction drivers |
 //!
@@ -53,15 +54,23 @@
 pub use wnw_access as access;
 pub use wnw_analytics as analytics;
 pub use wnw_core as core;
+pub use wnw_engine as engine;
 pub use wnw_experiments as experiments;
 pub use wnw_graph as graph;
 pub use wnw_mcmc as mcmc;
 
 /// The most commonly used items, for `use walk_not_wait::prelude::*`.
 pub mod prelude {
-    pub use wnw_access::{QueryBudget, SimulatedOsn, SocialNetwork};
-    pub use wnw_analytics::aggregates::{estimate_average, relative_error, SampleValue, WeightingScheme};
-    pub use wnw_core::{WalkEstimateConfig, WalkEstimateSampler, WalkEstimateVariant, WalkLengthPolicy};
+    pub use wnw_access::{
+        CachedNetwork, MeteredNetwork, QueryBudget, SimulatedOsn, SocialNetwork, ThreadedNetwork,
+    };
+    pub use wnw_analytics::aggregates::{
+        estimate_average, relative_error, SampleValue, WeightingScheme,
+    };
+    pub use wnw_core::{
+        WalkEstimateConfig, WalkEstimateSampler, WalkEstimateVariant, WalkLengthPolicy,
+    };
+    pub use wnw_engine::{Engine, HistoryMode, JobReport, SampleJob, SamplerSpec};
     pub use wnw_graph::{Graph, GraphBuilder, NodeId};
     pub use wnw_mcmc::{
         collect_samples, RandomWalkKind, Sampler, ScalingFactorPolicy, TargetDistribution,

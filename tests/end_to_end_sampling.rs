@@ -8,7 +8,11 @@ use walk_not_wait::prelude::*;
 fn sample_values(graph: &Graph, nodes: &[NodeId]) -> Vec<SampleValue> {
     nodes
         .iter()
-        .map(|&v| SampleValue { node: v, value: graph.degree(v) as f64, degree: graph.degree(v) })
+        .map(|&v| SampleValue {
+            node: v,
+            value: graph.degree(v) as f64,
+            degree: graph.degree(v),
+        })
         .collect()
 }
 
@@ -17,8 +21,7 @@ fn walk_estimate_is_cheaper_than_burn_in_for_the_same_sample_count() {
     // The headline claim of the paper, end to end: for the same number of
     // samples and the same target distribution, WALK-ESTIMATE spends fewer
     // queries than the traditional burn-in sampler.
-    let graph =
-        walk_not_wait::graph::generators::random::barabasi_albert(2_000, 5, 11).unwrap();
+    let graph = walk_not_wait::graph::generators::random::barabasi_albert(2_000, 5, 11).unwrap();
     let samples = 30;
 
     let osn_baseline = SimulatedOsn::new(graph.clone());
@@ -52,8 +55,7 @@ fn walk_estimate_is_cheaper_than_burn_in_for_the_same_sample_count() {
 
 #[test]
 fn both_samplers_recover_the_average_degree() {
-    let graph =
-        walk_not_wait::graph::generators::random::barabasi_albert(1_500, 5, 13).unwrap();
+    let graph = walk_not_wait::graph::generators::random::barabasi_albert(1_500, 5, 13).unwrap();
     let truth = graph.average_degree();
     let samples = 150;
 
@@ -62,8 +64,10 @@ fn both_samplers_recover_the_average_degree() {
     let mut srw =
         ManyShortRunsSampler::new(osn, RandomWalkKind::Simple, BurnInConfig::default(), 5);
     let srw_run = collect_samples(&mut srw, samples).unwrap();
-    let srw_estimate =
-        estimate_average(&sample_values(&graph, &srw_run.nodes()), WeightingScheme::InverseDegree);
+    let srw_estimate = estimate_average(
+        &sample_values(&graph, &srw_run.nodes()),
+        WeightingScheme::InverseDegree,
+    );
     assert!(
         relative_error(srw_estimate, truth) < 0.35,
         "SRW estimate {srw_estimate} vs truth {truth}"
@@ -79,8 +83,10 @@ fn both_samplers_recover_the_average_degree() {
     )
     .with_diameter_estimate(5);
     let we_run = collect_samples(&mut we, samples).unwrap();
-    let we_estimate =
-        estimate_average(&sample_values(&graph, &we_run.nodes()), WeightingScheme::Uniform);
+    let we_estimate = estimate_average(
+        &sample_values(&graph, &we_run.nodes()),
+        WeightingScheme::Uniform,
+    );
     assert!(
         relative_error(we_estimate, truth) < 0.35,
         "WE estimate {we_estimate} vs truth {truth}"
@@ -90,10 +96,16 @@ fn both_samplers_recover_the_average_degree() {
 #[test]
 fn budgeted_pipeline_stops_cleanly_and_keeps_partial_results() {
     let graph = walk_not_wait::graph::generators::random::barabasi_albert(800, 4, 17).unwrap();
-    let osn = SimulatedOsn::builder(graph.clone()).budget(QueryBudget(100)).build();
-    let mut sampler =
-        WalkEstimateSampler::new(osn.clone(), RandomWalkKind::Simple, WalkEstimateConfig::default(), 7)
-            .with_diameter_estimate(5);
+    let osn = SimulatedOsn::builder(graph.clone())
+        .budget(QueryBudget(100))
+        .build();
+    let mut sampler = WalkEstimateSampler::new(
+        osn.clone(),
+        RandomWalkKind::Simple,
+        WalkEstimateConfig::default(),
+        7,
+    )
+    .with_diameter_estimate(5);
     let run = collect_samples(&mut sampler, 10_000).unwrap();
     assert!(run.budget_exhausted);
     assert!(osn.query_cost() <= 100);
@@ -136,11 +148,18 @@ fn restrictions_and_rate_limits_compose_with_sampling() {
     let graph = walk_not_wait::graph::generators::random::barabasi_albert(500, 6, 31).unwrap();
     let osn = SimulatedOsn::builder(graph)
         .restriction(NeighborRestriction::Truncated { l: 50 })
-        .rate_limiter(RateLimiter::new(RateLimitPolicy { requests_per_window: 100, window_secs: 60 }))
+        .rate_limiter(RateLimiter::new(RateLimitPolicy {
+            requests_per_window: 100,
+            window_secs: 60,
+        }))
         .build();
-    let mut sampler =
-        WalkEstimateSampler::new(osn.clone(), RandomWalkKind::Simple, WalkEstimateConfig::default(), 37)
-            .with_diameter_estimate(5);
+    let mut sampler = WalkEstimateSampler::new(
+        osn.clone(),
+        RandomWalkKind::Simple,
+        WalkEstimateConfig::default(),
+        37,
+    )
+    .with_diameter_estimate(5);
     let run = collect_samples(&mut sampler, 10).unwrap();
     assert_eq!(run.len(), 10);
     // The rate limiter advanced the simulated clock (many more than 100 calls

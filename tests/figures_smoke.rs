@@ -5,7 +5,10 @@
 use walk_not_wait::experiments::figures;
 use walk_not_wait::experiments::report::{Cell, ExperimentScale, FigureResult};
 
-fn table<'a>(result: &'a FigureResult, name: &str) -> &'a walk_not_wait::experiments::report::Table {
+fn table<'a>(
+    result: &'a FigureResult,
+    name: &str,
+) -> &'a walk_not_wait::experiments::report::Table {
     result
         .tables
         .iter()
@@ -63,7 +66,11 @@ fn figure12_table1_we_closer_to_uniform_than_srw() {
 
 fn mean_error(table: &walk_not_wait::experiments::report::Table, label: &str) -> f64 {
     let sampler_idx = table.columns.iter().position(|c| c == "sampler").unwrap();
-    let err_idx = table.columns.iter().position(|c| c == "relative_error").unwrap();
+    let err_idx = table
+        .columns
+        .iter()
+        .position(|c| c == "relative_error")
+        .unwrap();
     let mut sum = 0.0;
     let mut count = 0;
     for row in &table.rows {

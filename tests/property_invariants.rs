@@ -1,48 +1,59 @@
 //! Cross-crate property-based tests on the core invariants of the
 //! reproduction: graph structure, transition-matrix stochasticity, stationary
 //! distributions, estimator unbiasedness bookkeeping, and sampler validity.
+//!
+//! The offline build has no proptest, so each property runs over a seeded
+//! stream of randomized cases (24 per property, matching the previous
+//! `ProptestConfig::with_cases(24)`).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use walk_not_wait::analytics::bias::EmpiricalDistribution;
 use walk_not_wait::graph::generators::random::{barabasi_albert, erdos_renyi};
 use walk_not_wait::mcmc::distribution::TransitionMatrix;
 use walk_not_wait::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: usize = 24;
 
-    /// Generators always produce simple undirected graphs: symmetric
-    /// adjacency, no self-loops, degree sum equals twice the edge count.
-    #[test]
-    fn prop_generated_graphs_are_simple_and_consistent(
-        n in 5usize..120,
-        m in 1usize..4,
-        seed in 0u64..1_000,
-    ) {
+/// Generators always produce simple undirected graphs: symmetric
+/// adjacency, no self-loops, degree sum equals twice the edge count.
+#[test]
+fn prop_generated_graphs_are_simple_and_consistent() {
+    let mut rng = StdRng::seed_from_u64(0x1A01);
+    for _ in 0..CASES {
+        let n = rng.gen_range(5usize..120);
+        let m = rng.gen_range(1usize..4);
+        let seed = rng.gen_range(0u64..1_000);
         let graph = barabasi_albert(n.max(m + 2), m, seed).unwrap();
         let degree_sum: usize = graph.nodes().map(|v| graph.degree(v)).sum();
-        prop_assert_eq!(degree_sum, 2 * graph.edge_count());
+        assert_eq!(degree_sum, 2 * graph.edge_count());
         for (u, v) in graph.edges() {
-            prop_assert!(u != v, "self-loop {u}");
-            prop_assert!(graph.has_edge(v, u), "missing reverse edge {v}->{u}");
+            assert!(u != v, "self-loop {u}");
+            assert!(graph.has_edge(v, u), "missing reverse edge {v}->{u}");
         }
     }
+}
 
-    /// Transition matrices are row-stochastic and keep their stationary
-    /// distribution fixed, for both walk designs and arbitrary graphs.
-    #[test]
-    fn prop_transition_matrices_are_stochastic_fixed_points(
-        n in 10usize..80,
-        p in 0.05f64..0.4,
-        seed in 0u64..500,
-        mhrw in proptest::bool::ANY,
-    ) {
+/// Transition matrices are row-stochastic and keep their stationary
+/// distribution fixed, for both walk designs and arbitrary graphs.
+#[test]
+fn prop_transition_matrices_are_stochastic_fixed_points() {
+    let mut rng = StdRng::seed_from_u64(0x1A02);
+    for _ in 0..CASES {
+        let n = rng.gen_range(10usize..80);
+        let p = rng.gen_range(0.05..0.4);
+        let seed = rng.gen_range(0u64..500);
+        let mhrw: bool = rng.gen();
         let graph = erdos_renyi(n, p, seed).unwrap();
-        let kind = if mhrw { RandomWalkKind::MetropolisHastings } else { RandomWalkKind::Simple };
+        let kind = if mhrw {
+            RandomWalkKind::MetropolisHastings
+        } else {
+            RandomWalkKind::Simple
+        };
         let matrix = TransitionMatrix::new(&graph, kind);
         for v in graph.nodes() {
             let sum: f64 = matrix.row(v).iter().map(|&(_, p)| p).sum::<f64>() + matrix.self_loop(v);
-            prop_assert!((sum - 1.0).abs() < 1e-9, "row {v} sums to {sum}");
+            assert!((sum - 1.0).abs() < 1e-9, "row {v} sums to {sum}");
         }
         // Restrict the fixed-point check to connected graphs: the closed-form
         // stationary distribution assumes one.
@@ -50,20 +61,22 @@ proptest! {
             let pi = TransitionMatrix::stationary_distribution(&graph, kind);
             let next = matrix.step_distribution(&pi);
             for (a, b) in pi.iter().zip(&next) {
-                prop_assert!((a - b).abs() < 1e-9);
+                assert!((a - b).abs() < 1e-9);
             }
         }
     }
+}
 
-    /// Walk-length policies always resolve to at least one step and scale
-    /// monotonically with the diameter bound.
-    #[test]
-    fn prop_walk_length_policy_is_monotone(
-        multiplier in 1usize..5,
-        offset in 0usize..5,
-        d1 in 1usize..30,
-        d2 in 1usize..30,
-    ) {
+/// Walk-length policies always resolve to at least one step and scale
+/// monotonically with the diameter bound.
+#[test]
+fn prop_walk_length_policy_is_monotone() {
+    let mut rng = StdRng::seed_from_u64(0x1A03);
+    for _ in 0..CASES {
+        let multiplier = rng.gen_range(1usize..5);
+        let offset = rng.gen_range(0usize..5);
+        let d1 = rng.gen_range(1usize..30);
+        let d2 = rng.gen_range(1usize..30);
         let policy = WalkLengthPolicy::DiameterMultiple {
             multiplier,
             offset,
@@ -71,18 +84,20 @@ proptest! {
         };
         let lo = d1.min(d2);
         let hi = d1.max(d2);
-        prop_assert!(policy.resolve(Some(lo)) >= 1);
-        prop_assert!(policy.resolve(Some(hi)) >= policy.resolve(Some(lo)));
+        assert!(policy.resolve(Some(lo)) >= 1);
+        assert!(policy.resolve(Some(hi)) >= policy.resolve(Some(lo)));
     }
+}
 
-    /// Every sample produced by WALK-ESTIMATE is a valid node, query costs
-    /// are monotone across samples, and the empirical distribution of the
-    /// samples is a probability distribution.
-    #[test]
-    fn prop_walk_estimate_samples_are_valid(
-        n in 30usize..150,
-        seed in 0u64..200,
-    ) {
+/// Every sample produced by WALK-ESTIMATE is a valid node, query costs
+/// are monotone across samples, and the empirical distribution of the
+/// samples is a probability distribution.
+#[test]
+fn prop_walk_estimate_samples_are_valid() {
+    let mut rng = StdRng::seed_from_u64(0x1A04);
+    for _ in 0..CASES {
+        let n = rng.gen_range(30usize..150);
+        let seed = rng.gen_range(0u64..200);
         let graph = barabasi_albert(n, 3, seed).unwrap();
         let osn = SimulatedOsn::new(graph.clone());
         let mut sampler = WalkEstimateSampler::new(
@@ -93,35 +108,44 @@ proptest! {
         )
         .with_diameter_estimate(4);
         let run = collect_samples(&mut sampler, 8).unwrap();
-        prop_assert_eq!(run.len(), 8);
+        assert_eq!(run.len(), 8);
         let mut last_cost = 0;
         for s in &run.samples {
-            prop_assert!(graph.contains(s.node));
-            prop_assert!(s.query_cost >= last_cost);
-            prop_assert!(s.attempts >= 1);
+            assert!(graph.contains(s.node));
+            assert!(s.query_cost >= last_cost);
+            assert!(s.attempts >= 1);
             last_cost = s.query_cost;
         }
         let dist = EmpiricalDistribution::from_samples(graph.node_count(), &run.nodes());
         let sum: f64 = dist.probabilities().iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-9);
+        assert!((sum - 1.0).abs() < 1e-9);
     }
+}
 
-    /// Aggregate estimators never produce values outside the range of the
-    /// observed sample values, whichever weighting scheme is used.
-    #[test]
-    fn prop_estimators_stay_within_observed_range(
-        values in proptest::collection::vec((1.0f64..100.0, 1usize..50), 1..40),
-    ) {
+/// Aggregate estimators never produce values outside the range of the
+/// observed sample values, whichever weighting scheme is used.
+#[test]
+fn prop_estimators_stay_within_observed_range() {
+    let mut rng = StdRng::seed_from_u64(0x1A05);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1usize..40);
+        let values: Vec<(f64, usize)> = (0..len)
+            .map(|_| (rng.gen_range(1.0..100.0), rng.gen_range(1usize..50)))
+            .collect();
         let samples: Vec<SampleValue> = values
             .iter()
             .enumerate()
-            .map(|(i, &(v, d))| SampleValue { node: NodeId::new(i), value: v, degree: d })
+            .map(|(i, &(v, d))| SampleValue {
+                node: NodeId::new(i),
+                value: v,
+                degree: d,
+            })
             .collect();
         let lo = values.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
         let hi = values.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
         for scheme in [WeightingScheme::Uniform, WeightingScheme::InverseDegree] {
             let est = estimate_average(&samples, scheme);
-            prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9);
+            assert!(est >= lo - 1e-9 && est <= hi + 1e-9);
         }
     }
 }
