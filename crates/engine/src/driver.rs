@@ -1,0 +1,369 @@
+//! Incremental, round-at-a-time execution of one job's walker pool.
+//!
+//! [`JobDriver`] owns the virtual-walker states of a single [`SampleJob`]
+//! and advances them one **round** at a time: every live walker draws one
+//! sample (reading a frozen shared-history snapshot), then every walker's
+//! pending walks are merged into the shared history.
+//! [`Engine::run`](crate::Engine::run) drives a fresh driver to completion;
+//! the multi-job
+//! scheduler in `wnw-service` instead *interleaves* rounds of many drivers
+//! over one thread pool, which is what makes fair scheduling, streaming
+//! delivery, and mid-job cancellation possible without giving up the
+//! per-job determinism argument (see [`engine`](crate::engine)).
+//!
+//! Determinism of a round: draws touch only (a) the walker's own state and
+//! RNG stream, (b) the cache handle — whose answers are a pure function of
+//! the node asked — and (c) the shared-history snapshot frozen for the
+//! round. The flush phase merges pending walks by *adding* per-(node, step)
+//! counts, which is commutative and associative, so the snapshot for the
+//! next round does not depend on the order walkers flushed in — nor on how
+//! many OS threads carried the draws.
+
+use crate::job::{HistoryMode, SampleJob, SamplerSpec};
+use crate::report::WalkerReport;
+use std::sync::Arc;
+use wnw_access::counter::{QueryBudget, QueryCounter};
+use wnw_access::interface::SocialNetwork;
+use wnw_access::metered::MeteredNetwork;
+use wnw_access::AccessError;
+use wnw_core::history::SharedWalkHistory;
+use wnw_core::sampler::WalkEstimateSampler;
+use wnw_mcmc::burn_in::{ManyShortRunsSampler, OneLongRunSampler};
+use wnw_mcmc::sampler::{SampleRecord, Sampler};
+
+/// Per-walker execution state.
+struct WalkerState<'a> {
+    walker: usize,
+    quota: usize,
+    sampler: Box<dyn Sampler + Send + 'a>,
+    counter: Arc<QueryCounter>,
+    produced: Vec<SampleRecord>,
+    /// How many of `produced` a streaming consumer has already drained
+    /// (see [`JobDriver::drain_new_samples`]).
+    streamed: usize,
+    budget_exhausted: bool,
+    fatal: Option<AccessError>,
+    /// A panic payload caught from this walker's sampler, held until the
+    /// caller decides how to surface it (the engine resumes it; the service
+    /// converts it into a failed job).
+    panicked: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl WalkerState<'_> {
+    fn live(&self) -> bool {
+        self.produced.len() < self.quota
+            && !self.budget_exhausted
+            && self.fatal.is_none()
+            && self.panicked.is_none()
+    }
+
+    fn draw_once(&mut self) {
+        // Contain panics so one exploding walker cannot take down the
+        // others mid-round. The shared structures are poison-robust and
+        // additive, so a half-recorded walk cannot corrupt them.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.sampler.draw()));
+        match outcome {
+            Ok(Ok(record)) => self.produced.push(record),
+            Ok(Err(AccessError::BudgetExhausted { .. })) => self.budget_exhausted = true,
+            Ok(Err(other)) => self.fatal = Some(other),
+            Err(payload) => self.panicked = Some(payload),
+        }
+    }
+
+    fn flush_once(&mut self) {
+        if self.panicked.is_none() {
+            if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.sampler.flush_shared_state()
+            })) {
+                self.panicked = Some(payload);
+            }
+        }
+    }
+}
+
+/// One job's walker pool, steppable round by round.
+///
+/// The lifetime `'a` bounds the cache handle the walkers read through:
+/// [`Engine::run`](crate::Engine::run) uses a scope-local borrowed cache,
+/// while a long-lived service passes an owned (`'static`) handle such as
+/// `MeteredNetwork<Arc<CachedNetwork<…>>>`.
+pub struct JobDriver<'a> {
+    walkers: Vec<WalkerState<'a>>,
+    rounds: usize,
+    requested: usize,
+}
+
+impl<'a> JobDriver<'a> {
+    /// Builds the walker stacks of `job` over `cache`: each walker gets its
+    /// own clone of the handle, wrapped in a budget-enforcing
+    /// [`MeteredNetwork`] view, with the sampler the job's spec names on
+    /// top, seeded from the walker's RNG stream. Cooperative history (when
+    /// the spec profits from it) is created per job — never shared across
+    /// jobs, which would make one request's samples depend on what else is
+    /// running.
+    pub fn new<C>(cache: C, job: &SampleJob) -> Self
+    where
+        C: SocialNetwork + Clone + Send + 'a,
+    {
+        let shared_history = (job.history == HistoryMode::Cooperative
+            && job.spec.uses_shared_history())
+        .then(SharedWalkHistory::shared);
+        let walkers = (0..job.walkers)
+            .map(|w| build_walker(cache.clone(), job, shared_history.clone(), w))
+            .collect();
+        JobDriver {
+            walkers,
+            rounds: 0,
+            requested: job.samples,
+        }
+    }
+
+    /// Whether every walker is finished (quota met, budget out, failed, or
+    /// panicked).
+    pub fn is_done(&self) -> bool {
+        self.walkers.iter().all(|w| !w.live())
+    }
+
+    /// Whether any walker hit a fatal (non-budget) error or panicked. The
+    /// job is doomed either way — the engine fails it and the service
+    /// reports it `Failed`/`Panicked` — so callers stop scheduling rounds
+    /// at this point instead of running the healthy walkers to completion
+    /// for a result that will be discarded.
+    pub fn poisoned(&self) -> bool {
+        self.walkers
+            .iter()
+            .any(|w| w.fatal.is_some() || w.panicked.is_some())
+    }
+
+    /// Rounds completed so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Walkers still drawing.
+    pub fn live_walkers(&self) -> usize {
+        self.walkers.iter().filter(|w| w.live()).count()
+    }
+
+    /// Number of virtual walkers (live or not).
+    pub fn walker_count(&self) -> usize {
+        self.walkers.len()
+    }
+
+    /// Samples the job asked for.
+    pub fn requested(&self) -> usize {
+        self.requested
+    }
+
+    /// Samples accepted so far, across all walkers.
+    pub fn samples_collected(&self) -> usize {
+        self.walkers.iter().map(|w| w.produced.len()).sum()
+    }
+
+    /// Sum of the walkers' own unique-node charges so far.
+    pub fn budget_consumed(&self) -> u64 {
+        self.walkers
+            .iter()
+            .map(|w| w.counter.stats().unique_nodes)
+            .sum()
+    }
+
+    /// The samples walker `w` has produced so far.
+    pub fn walker_samples(&self, walker: usize) -> &[SampleRecord] {
+        &self.walkers[walker].produced
+    }
+
+    /// Visits every sample produced since the last call (walker order, then
+    /// production order within a walker) — the single streaming-delivery
+    /// primitive shared by [`Engine::run_observed`](crate::Engine::run_observed)
+    /// and the `wnw-service` scheduler, so the delivered-watermark invariant
+    /// lives in one place.
+    pub fn drain_new_samples(&mut self, mut visit: impl FnMut(usize, &SampleRecord)) {
+        for state in &mut self.walkers {
+            for record in &state.produced[state.streamed..] {
+                visit(state.walker, record);
+            }
+            state.streamed = state.produced.len();
+        }
+    }
+
+    /// Runs one round: every live walker draws once, fanned over up to
+    /// `threads` OS threads, then all walkers flush pending shared state
+    /// (sequentially, in walker order — the merges are additive, so this
+    /// choice is invisible to the result). No-op when the job is done.
+    pub fn step_round(&mut self, threads: usize) {
+        {
+            let mut live: Vec<&mut WalkerState<'a>> =
+                self.walkers.iter_mut().filter(|s| s.live()).collect();
+            if live.is_empty() {
+                return;
+            }
+            // Spawn only as many threads as there are live walkers — a job
+            // winding down (or a 1-walker job) draws inline, paying no
+            // per-round spawn cost.
+            let threads = threads.clamp(1, live.len());
+            if threads == 1 {
+                for state in live.iter_mut() {
+                    state.draw_once();
+                }
+            } else {
+                // Partition live walkers round-robin across the pool.
+                // `scope` joins every spawned thread before returning,
+                // which is the round's draw barrier; per-walker
+                // catch_unwind keeps a panicking sampler from unwinding
+                // through the scope.
+                let mut buckets: Vec<Vec<&mut WalkerState<'a>>> =
+                    (0..threads).map(|_| Vec::new()).collect();
+                for (i, state) in live.into_iter().enumerate() {
+                    buckets[i % threads].push(state);
+                }
+                std::thread::scope(|scope| {
+                    for bucket in buckets {
+                        scope.spawn(move || {
+                            for state in bucket {
+                                state.draw_once();
+                            }
+                        });
+                    }
+                });
+            }
+        }
+        for state in &mut self.walkers {
+            state.flush_once();
+        }
+        self.rounds += 1;
+    }
+
+    /// Tears the pool down into per-walker reports plus the panic payload of
+    /// the lowest-numbered panicking walker (lowest for determinism), if any.
+    pub fn finish(self) -> (Vec<WalkerReport>, Option<Box<dyn std::any::Any + Send>>) {
+        let mut panic_payload: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+        let mut reports = Vec::with_capacity(self.walkers.len());
+        for mut state in self.walkers {
+            if let Some(payload) = state.panicked.take() {
+                if panic_payload.is_none() {
+                    panic_payload = Some((state.walker, payload));
+                }
+            }
+            reports.push(WalkerReport {
+                walker: state.walker,
+                samples: state.produced,
+                stats: state.counter.stats(),
+                budget_exhausted: state.budget_exhausted,
+                fatal: state.fatal,
+            });
+        }
+        (reports, panic_payload.map(|(_, payload)| payload))
+    }
+}
+
+impl std::fmt::Debug for JobDriver<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobDriver")
+            .field("walkers", &self.walkers.len())
+            .field("live", &self.live_walkers())
+            .field("rounds", &self.rounds)
+            .field("samples", &self.samples_collected())
+            .field("requested", &self.requested)
+            .finish()
+    }
+}
+
+/// Builds the sampler stack of one virtual walker: a per-walker metered
+/// (and budgeted) view over the shared cache handle, the spec'd sampler on
+/// top, seeded with the walker's own RNG stream.
+fn build_walker<'a, C>(
+    cache: C,
+    job: &SampleJob,
+    shared_history: Option<Arc<SharedWalkHistory>>,
+    walker: usize,
+) -> WalkerState<'a>
+where
+    C: SocialNetwork + Clone + Send + 'a,
+{
+    let budget = job
+        .budget_of(walker)
+        .map(QueryBudget)
+        .unwrap_or(QueryBudget::UNLIMITED);
+    let metered = MeteredNetwork::with_budget(cache, budget);
+    let counter = metered.counter_handle();
+    let seed = job.seed_of(walker);
+    let sampler: Box<dyn Sampler + Send + 'a> = match job.spec {
+        SamplerSpec::WalkEstimate { input, config } => {
+            let mut sampler = WalkEstimateSampler::new(metered, input, config, seed);
+            if let Some(diameter) = job.diameter_estimate {
+                sampler = sampler.with_diameter_estimate(diameter);
+            }
+            if let Some(shared) = shared_history {
+                sampler = sampler.with_shared_history(shared);
+            }
+            Box::new(sampler)
+        }
+        SamplerSpec::ManyShortRuns { input, config } => {
+            Box::new(ManyShortRunsSampler::new(metered, input, config, seed))
+        }
+        SamplerSpec::OneLongRun { input, config } => {
+            Box::new(OneLongRunSampler::new(metered, input, config, seed))
+        }
+    };
+    WalkerState {
+        walker,
+        quota: job.quota_of(walker),
+        sampler,
+        counter,
+        produced: Vec::new(),
+        streamed: 0,
+        budget_exhausted: false,
+        fatal: None,
+        panicked: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wnw_access::SimulatedOsn;
+    use wnw_graph::generators::random::barabasi_albert;
+    use wnw_mcmc::RandomWalkKind;
+
+    #[test]
+    fn stepping_to_completion_matches_quota() {
+        let osn = SimulatedOsn::new(barabasi_albert(200, 3, 1).unwrap());
+        let job = SampleJob::walk_estimate(RandomWalkKind::Simple, 9, 5)
+            .with_walkers(3)
+            .with_diameter_estimate(4);
+        let mut driver = JobDriver::new(&osn, &job);
+        assert_eq!(driver.walker_count(), 3);
+        assert_eq!(driver.requested(), 9);
+        let mut rounds = 0;
+        while !driver.is_done() {
+            driver.step_round(2);
+            rounds += 1;
+            assert!(rounds <= 9, "driver failed to converge");
+        }
+        assert_eq!(driver.rounds(), rounds);
+        assert_eq!(driver.samples_collected(), 9);
+        assert_eq!(driver.live_walkers(), 0);
+        assert!(driver.budget_consumed() > 0);
+        let (reports, panic_payload) = driver.finish();
+        assert!(panic_payload.is_none());
+        assert_eq!(reports.iter().map(|r| r.samples.len()).sum::<usize>(), 9);
+    }
+
+    #[test]
+    fn step_round_after_done_is_a_noop() {
+        let osn = SimulatedOsn::new(barabasi_albert(150, 3, 2).unwrap());
+        let job = SampleJob::walk_estimate(RandomWalkKind::Simple, 2, 3)
+            .with_walkers(2)
+            .with_diameter_estimate(4);
+        let mut driver = JobDriver::new(&osn, &job);
+        while !driver.is_done() {
+            driver.step_round(1);
+        }
+        let rounds = driver.rounds();
+        driver.step_round(4);
+        assert_eq!(driver.rounds(), rounds);
+        assert_eq!(driver.samples_collected(), 2);
+    }
+}

@@ -1,15 +1,14 @@
 //! The worker-pool scheduler.
 //!
 //! [`Engine::run`] fans a [`SampleJob`] out across a pool of OS threads,
-//! each driving a disjoint set of the job's virtual walkers against one
-//! shared, lock-striped [`CachedNetwork`]. The schedule is a sequence of
-//! **rounds** with two barriers each:
+//! each carrying a share of the job's virtual walkers against one shared,
+//! lock-striped [`CachedNetwork`]. The schedule is a sequence of **rounds**
+//! with two phases each:
 //!
 //! ```text
 //! round r:  every live walker draws one sample     (reads frozen history)
-//!           ── barrier ──
+//!           ── join barrier ──
 //!           every walker publishes its new walks   (additive merges)
-//!           ── barrier ──
 //! ```
 //!
 //! Determinism argument, for any thread count:
@@ -17,32 +16,31 @@
 //! * each walker's RNG stream is a pure function of `job.seed ^ walker_id`;
 //! * during a round, a walker reads only (a) the immutable graph through the
 //!   cache — a pure function of the node asked, (b) the shared history
-//!   *snapshot*, which no one writes between barriers, and (c) its own
-//!   pending walks;
-//! * between barriers, pending walks are merged into the shared history by
-//!   adding per-(node, step) counts — commutative and associative, so the
-//!   snapshot for round `r + 1` is the same whatever order threads flushed
-//!   in;
+//!   *snapshot*, which no one writes until every draw of the round has
+//!   joined, and (c) its own pending walks;
+//! * after the join barrier, pending walks are merged into the shared
+//!   history by adding per-(node, step) counts — commutative and
+//!   associative, so the snapshot for round `r + 1` is the same whatever
+//!   order walkers flushed in;
 //! * budgets are enforced per walker against the walker's own metered view,
 //!   so exhaustion is a property of the walker's deterministic query
 //!   sequence, not of scheduling.
 //!
 //! The accepted-sample multiset is therefore identical at 1, 2, or 64
-//! threads — only the wall-clock changes.
+//! threads — only the wall-clock changes. The round loop itself lives in
+//! [`JobDriver`] so the multi-job scheduler of
+//! `wnw-service` can interleave rounds of many jobs over one pool;
+//! [`Engine::run_observed`] adds per-round progress hooks and a cooperative
+//! cancellation check on top (see [`EngineObserver`]).
 
-use crate::job::{HistoryMode, SampleJob, SamplerSpec};
-use crate::report::{JobReport, WalkerReport};
-use std::sync::{Arc, Barrier};
+use crate::driver::JobDriver;
+use crate::job::SampleJob;
+use crate::observer::{EngineObserver, NoopObserver, RoundProgress};
+use crate::report::JobReport;
 use std::time::Instant;
 use wnw_access::cached::CachedNetwork;
-use wnw_access::counter::{QueryBudget, QueryCounter};
 use wnw_access::interface::ThreadedNetwork;
-use wnw_access::metered::MeteredNetwork;
-use wnw_access::{AccessError, Result};
-use wnw_core::history::SharedWalkHistory;
-use wnw_core::sampler::WalkEstimateSampler;
-use wnw_mcmc::burn_in::{ManyShortRunsSampler, OneLongRunSampler};
-use wnw_mcmc::sampler::{SampleRecord, Sampler};
+use wnw_access::Result;
 
 /// A pool of worker threads executing [`SampleJob`]s.
 #[derive(Debug, Clone)]
@@ -56,31 +54,6 @@ impl Default for Engine {
     }
 }
 
-/// Per-walker execution state inside a worker thread.
-struct WalkerState<'a> {
-    walker: usize,
-    quota: usize,
-    sampler: Box<dyn Sampler + 'a>,
-    counter: Arc<QueryCounter>,
-    produced: Vec<SampleRecord>,
-    budget_exhausted: bool,
-    fatal: Option<AccessError>,
-    /// A panic payload caught from this walker's sampler. Held until every
-    /// thread has left the barrier protocol, then resumed on the caller —
-    /// letting it escape mid-round would leave the other threads blocked on
-    /// the fixed-count [`Barrier`] forever.
-    panicked: Option<Box<dyn std::any::Any + Send>>,
-}
-
-impl WalkerState<'_> {
-    fn live(&self) -> bool {
-        self.produced.len() < self.quota
-            && !self.budget_exhausted
-            && self.fatal.is_none()
-            && self.panicked.is_none()
-    }
-}
-
 impl Engine {
     /// An engine using all available hardware parallelism.
     pub fn new() -> Self {
@@ -90,8 +63,8 @@ impl Engine {
         Engine { threads }
     }
 
-    /// An engine with a fixed thread count (1 runs the whole job inline on
-    /// one spawned worker — useful as the reproducibility baseline).
+    /// An engine with a fixed thread count (1 runs the whole job inline —
+    /// useful as the reproducibility baseline).
     pub fn with_threads(threads: usize) -> Self {
         Engine {
             threads: threads.max(1),
@@ -110,93 +83,49 @@ impl Engine {
     /// walker normally) abort the job and are returned — deterministically,
     /// the fatal error of the lowest-numbered failing walker.
     pub fn run<N: ThreadedNetwork>(&self, network: &N, job: &SampleJob) -> Result<JobReport> {
+        self.run_observed(network, job, &mut NoopObserver)
+    }
+
+    /// Like [`run`](Self::run), with job-level hooks: `observer` receives
+    /// every accepted sample and a consistent progress snapshot per round,
+    /// and can stop the job at the next round boundary by returning `true`
+    /// from [`cancel_requested`](EngineObserver::cancel_requested) — the
+    /// partial report then comes back with
+    /// [`cancelled`](JobReport::cancelled) set.
+    pub fn run_observed<N: ThreadedNetwork>(
+        &self,
+        network: &N,
+        job: &SampleJob,
+        observer: &mut dyn EngineObserver,
+    ) -> Result<JobReport> {
         let started = Instant::now();
         let cache = CachedNetwork::new(network);
         let threads = self.threads.min(job.walkers.max(1));
-        let shared_history = (job.history == HistoryMode::Cooperative
-            && job.spec.uses_shared_history())
-        .then(SharedWalkHistory::shared);
-        let rounds = (0..job.walkers).map(|w| job.quota_of(w)).max().unwrap_or(0);
-        let barrier = Barrier::new(threads);
-
-        let mut per_thread: Vec<Vec<FinishedWalker>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    let cache = &cache;
-                    let barrier = &barrier;
-                    let shared_history = shared_history.clone();
-                    scope.spawn(move || {
-                        let mut states: Vec<WalkerState<'_>> = (t..job.walkers)
-                            .step_by(threads)
-                            .map(|w| build_walker(cache, job, shared_history.clone(), w))
-                            .collect();
-                        for _round in 0..rounds {
-                            for state in states.iter_mut().filter(|s| s.live()) {
-                                // Contain panics: an unwinding thread would
-                                // strand the others on the barrier. The
-                                // shared structures are poison-robust and
-                                // additive, so a half-recorded walk cannot
-                                // corrupt them.
-                                let outcome =
-                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                        state.sampler.draw()
-                                    }));
-                                match outcome {
-                                    Ok(Ok(record)) => state.produced.push(record),
-                                    Ok(Err(AccessError::BudgetExhausted { .. })) => {
-                                        state.budget_exhausted = true;
-                                    }
-                                    Ok(Err(other)) => state.fatal = Some(other),
-                                    Err(payload) => state.panicked = Some(payload),
-                                }
-                            }
-                            barrier.wait();
-                            for state in &mut states {
-                                if state.panicked.is_none() {
-                                    if let Err(payload) =
-                                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                                            || state.sampler.flush_shared_state(),
-                                        ))
-                                    {
-                                        state.panicked = Some(payload);
-                                    }
-                                }
-                            }
-                            barrier.wait();
-                        }
-                        states.into_iter().map(finish_walker).collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panics are contained per walker"))
-                .collect()
-        });
-
-        // Reassemble in walker order (thread t owned walkers t, t+T, ...).
-        let mut walkers: Vec<Option<WalkerReport>> = (0..job.walkers).map(|_| None).collect();
-        let mut panics: Vec<(usize, Box<dyn std::any::Any + Send>)> = Vec::new();
-        for reports in per_thread.drain(..) {
-            for (report, panicked) in reports {
-                let slot = report.walker;
-                if let Some(payload) = panicked {
-                    panics.push((slot, payload));
-                }
-                walkers[slot] = Some(report);
+        let mut driver = JobDriver::new(&cache, job);
+        let mut cancelled = false;
+        while !driver.is_done() && !driver.poisoned() {
+            if observer.cancel_requested() {
+                cancelled = true;
+                break;
             }
+            driver.step_round(threads);
+            driver.drain_new_samples(|walker, record| observer.on_sample(walker, record));
+            observer.on_round(&RoundProgress {
+                rounds: driver.rounds(),
+                live_walkers: driver.live_walkers(),
+                samples: driver.samples_collected(),
+                requested: driver.requested(),
+                budget_consumed: driver.budget_consumed(),
+                pool: wnw_access::SocialNetwork::query_stats(&cache),
+            });
         }
-        // Now that every thread has left the barrier protocol, a contained
-        // walker panic can be surfaced as the caller's panic — the one of
-        // the lowest-numbered walker, for determinism.
-        if let Some((_, payload)) = panics.into_iter().min_by_key(|(w, _)| *w) {
+
+        let (walkers, panic_payload) = driver.finish();
+        // A contained walker panic surfaces as the caller's panic — the one
+        // of the lowest-numbered walker, for determinism.
+        if let Some(payload) = panic_payload {
             std::panic::resume_unwind(payload);
         }
-        let walkers: Vec<WalkerReport> = walkers
-            .into_iter()
-            .map(|w| w.expect("every walker reports"))
-            .collect();
-
         // A fatal (non-budget) error in any walker fails the job.
         for report in &walkers {
             if let Some(err) = &report.fatal {
@@ -214,67 +143,7 @@ impl Engine {
             pool_stats: wnw_access::SocialNetwork::query_stats(&cache),
             elapsed: started.elapsed(),
             threads,
+            cancelled,
         })
     }
-}
-
-/// Builds the sampler stack of one virtual walker: a per-walker metered
-/// (and budgeted) view over the shared cache, the spec'd sampler on top,
-/// seeded with the walker's own RNG stream.
-fn build_walker<'a, N: ThreadedNetwork>(
-    cache: &'a CachedNetwork<&'a N>,
-    job: &SampleJob,
-    shared_history: Option<Arc<SharedWalkHistory>>,
-    walker: usize,
-) -> WalkerState<'a> {
-    let budget = job
-        .budget_of(walker)
-        .map(QueryBudget)
-        .unwrap_or(QueryBudget::UNLIMITED);
-    let metered = MeteredNetwork::with_budget(cache, budget);
-    let counter = metered.counter_handle();
-    let seed = job.seed_of(walker);
-    let sampler: Box<dyn Sampler + 'a> = match job.spec {
-        SamplerSpec::WalkEstimate { input, config } => {
-            let mut sampler = WalkEstimateSampler::new(metered, input, config, seed);
-            if let Some(diameter) = job.diameter_estimate {
-                sampler = sampler.with_diameter_estimate(diameter);
-            }
-            if let Some(shared) = shared_history {
-                sampler = sampler.with_shared_history(shared);
-            }
-            Box::new(sampler)
-        }
-        SamplerSpec::ManyShortRuns { input, config } => {
-            Box::new(ManyShortRunsSampler::new(metered, input, config, seed))
-        }
-        SamplerSpec::OneLongRun { input, config } => {
-            Box::new(OneLongRunSampler::new(metered, input, config, seed))
-        }
-    };
-    WalkerState {
-        walker,
-        quota: job.quota_of(walker),
-        sampler,
-        counter,
-        produced: Vec::new(),
-        budget_exhausted: false,
-        fatal: None,
-        panicked: None,
-    }
-}
-
-type FinishedWalker = (WalkerReport, Option<Box<dyn std::any::Any + Send>>);
-
-fn finish_walker(state: WalkerState<'_>) -> FinishedWalker {
-    (
-        WalkerReport {
-            walker: state.walker,
-            samples: state.produced,
-            stats: state.counter.stats(),
-            budget_exhausted: state.budget_exhausted,
-            fatal: state.fatal,
-        },
-        state.panicked,
-    )
 }

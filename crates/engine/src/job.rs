@@ -171,12 +171,27 @@ impl SampleJob {
         self.samples / self.walkers + usize::from(walker < self.samples % self.walkers)
     }
 
-    /// Budget share of walker `w` (`None` when the job is unbudgeted):
-    /// an even split, with the remainder going to the first walkers.
+    /// Walkers with a nonzero sample quota — the only ones that ever issue
+    /// queries. When a job requests fewer samples than it has walkers, the
+    /// surplus walkers are idle and must not hold budget shares.
+    pub fn active_walkers(&self) -> usize {
+        self.walkers.min(self.samples)
+    }
+
+    /// Budget share of walker `w` (`None` when the job is unbudgeted): an
+    /// even split across the *active* walkers, with the remainder going to
+    /// the first of them. Idle walkers (quota 0) get a zero share, so no
+    /// budget is stranded on walkers that never draw; the shares of the
+    /// active walkers always sum exactly to the job budget.
     pub fn budget_of(&self, walker: usize) -> Option<u64> {
         debug_assert!(walker < self.walkers);
-        self.budget
-            .map(|b| b / self.walkers as u64 + u64::from((walker as u64) < b % self.walkers as u64))
+        let active = self.active_walkers() as u64;
+        self.budget.map(|b| {
+            if walker as u64 >= active {
+                return 0;
+            }
+            b / active + u64::from((walker as u64) < b % active)
+        })
     }
 
     /// RNG seed of walker `w`.
@@ -200,6 +215,36 @@ mod tests {
         assert_eq!(job.quota_of(2), 2);
         let budget: u64 = (0..4).map(|w| job.budget_of(w).unwrap()).sum();
         assert_eq!(budget, 1003);
+    }
+
+    #[test]
+    fn idle_walkers_hold_no_budget() {
+        // 2 samples across 4 walkers: walkers 2 and 3 never draw, so the
+        // whole budget must land on the two active walkers (the old even
+        // split stranded half of it on idle walkers).
+        let job = SampleJob::walk_estimate(RandomWalkKind::Simple, 2, 1)
+            .with_walkers(4)
+            .with_budget(101);
+        assert_eq!(job.active_walkers(), 2);
+        assert_eq!(job.quota_of(2), 0);
+        assert_eq!(job.budget_of(0), Some(51));
+        assert_eq!(job.budget_of(1), Some(50));
+        assert_eq!(job.budget_of(2), Some(0));
+        assert_eq!(job.budget_of(3), Some(0));
+        let total: u64 = (0..4).map(|w| job.budget_of(w).unwrap()).sum();
+        assert_eq!(total, 101, "no budget may be lost to rounding");
+    }
+
+    #[test]
+    fn zero_sample_jobs_split_safely() {
+        let job = SampleJob::walk_estimate(RandomWalkKind::Simple, 0, 1)
+            .with_walkers(3)
+            .with_budget(10);
+        assert_eq!(job.active_walkers(), 0);
+        for w in 0..3 {
+            assert_eq!(job.quota_of(w), 0);
+            assert_eq!(job.budget_of(w), Some(0));
+        }
     }
 
     #[test]

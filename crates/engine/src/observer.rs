@@ -1,0 +1,117 @@
+//! Job-level progress hooks and cooperative cancellation.
+//!
+//! An [`EngineObserver`] rides along with a running job: the engine (and the
+//! multi-job scheduler in `wnw-service`) invokes it on the coordinating
+//! thread at every round barrier — after all of the round's draws have
+//! landed and the shared history has been flushed — so observers see a
+//! consistent snapshot and never need internal synchronisation.
+//!
+//! Observer callbacks are *outside* the determinism boundary: they can
+//! stream samples to a consumer, export metrics, or request cancellation,
+//! but nothing they do can change which samples the walkers produce.
+//! Cancellation is cooperative and round-granular: the engine polls
+//! [`cancel_requested`](EngineObserver::cancel_requested) before each round
+//! and, when it returns `true`, stops scheduling further rounds and returns
+//! the partial [`JobReport`](crate::JobReport) with
+//! [`cancelled`](crate::JobReport::cancelled) set.
+
+use wnw_access::counter::QueryStats;
+use wnw_mcmc::sampler::SampleRecord;
+
+/// A consistent job-progress snapshot taken at a round barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundProgress {
+    /// Rounds completed so far (1 after the first round).
+    pub rounds: usize,
+    /// Walkers still drawing (quota unmet, budget left, no error).
+    pub live_walkers: usize,
+    /// Samples accepted so far, across all walkers.
+    pub samples: usize,
+    /// Samples the job asked for.
+    pub requested: usize,
+    /// Query budget consumed so far: the sum of the walkers' own unique-node
+    /// charges (each walker's budget share is enforced against this).
+    pub budget_consumed: u64,
+    /// The shared pool cache's counters at the barrier — `unique_nodes` is
+    /// the pool's true query cost, and `cache_hits / api_calls` its hit rate.
+    pub pool: QueryStats,
+}
+
+impl RoundProgress {
+    /// Fraction of calls against the pool cache served locally (0.0 when no
+    /// calls were made yet).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.pool.api_calls == 0 {
+            0.0
+        } else {
+            self.pool.cache_hits as f64 / self.pool.api_calls as f64
+        }
+    }
+}
+
+/// Hooks invoked by the engine while a job runs.
+///
+/// All methods are called from the thread driving the job (never from worker
+/// threads), strictly between rounds. Every method has a no-op default so
+/// observers implement only what they need.
+pub trait EngineObserver {
+    /// Called once per accepted sample, in walker order within each round,
+    /// before [`on_round`](Self::on_round) for that round.
+    fn on_sample(&mut self, walker: usize, record: &SampleRecord) {
+        let _ = (walker, record);
+    }
+
+    /// Called after each round's flush barrier with a consistent snapshot.
+    /// `progress.samples` is monotone non-decreasing across calls and its
+    /// final value equals the job report's sample count.
+    fn on_round(&mut self, progress: &RoundProgress) {
+        let _ = progress;
+    }
+
+    /// Polled before each round; returning `true` stops the job at the next
+    /// round boundary (samples already accepted are kept and reported).
+    fn cancel_requested(&mut self) -> bool {
+        false
+    }
+}
+
+/// The default observer: no hooks, never cancels.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl EngineObserver for NoopObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_empty_and_mixed() {
+        let mut progress = RoundProgress {
+            rounds: 0,
+            live_walkers: 0,
+            samples: 0,
+            requested: 0,
+            budget_consumed: 0,
+            pool: QueryStats::default(),
+        };
+        assert_eq!(progress.cache_hit_rate(), 0.0);
+        progress.pool.api_calls = 8;
+        progress.pool.cache_hits = 2;
+        assert!((progress.cache_hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noop_observer_defaults() {
+        let mut obs = NoopObserver;
+        assert!(!obs.cancel_requested());
+        obs.on_sample(
+            0,
+            &SampleRecord {
+                node: wnw_graph::NodeId(1),
+                query_cost: 0,
+                attempts: 1,
+            },
+        );
+    }
+}

@@ -41,6 +41,11 @@ pub struct JobReport {
     pub elapsed: Duration,
     /// OS threads the engine actually used.
     pub threads: usize,
+    /// Whether the job was stopped early by a cooperative cancellation
+    /// request (see
+    /// [`EngineObserver::cancel_requested`](crate::EngineObserver::cancel_requested)).
+    /// Samples accepted before the stop are kept.
+    pub cancelled: bool,
 }
 
 impl JobReport {

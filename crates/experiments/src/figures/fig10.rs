@@ -19,12 +19,15 @@ pub fn run(scale: ExperimentScale) -> FigureResult {
     let dataset = registry.google_plus();
     let sample_counts = registry.sample_count_grid();
     let repetitions = scale.repetitions();
-    let bench = Workbench::new(dataset.graph, google_plus_config());
+    // Each repetition draws its samples through the pooled engine: two
+    // virtual walkers with cooperative history over one shared cache.
+    let bench = Workbench::new(dataset.graph, google_plus_config()).with_pooled_walkers(2);
 
     let mut result = FigureResult::new(
         "fig10",
         "Google Plus (surrogate): relative error of AVG estimations vs number of samples",
     );
+    result.push_note("repetitions run through the pooled engine (2 virtual walkers, shared cache)");
     let panels: [(&str, SamplerKind, Aggregate); 4] = [
         ("a_avg_degree_srw", SamplerKind::Srw, Aggregate::Degree),
         (

@@ -153,6 +153,12 @@ pub struct Workbench {
     /// averaged in repetition order, so they are identical at any thread
     /// count.
     pub threads: usize,
+    /// When set, [`error_vs_cost`] and [`error_vs_samples`] run each
+    /// repetition through the pooled engine — this many virtual walkers
+    /// over one shared per-repetition cache, budgets split at the job level
+    /// — instead of a single-walker sampler loop. Results stay
+    /// deterministic for a fixed seed (the engine guarantee).
+    pub pooled_walkers: Option<usize>,
 }
 
 impl Workbench {
@@ -170,12 +176,20 @@ impl Workbench {
             diameter,
             config,
             threads,
+            pooled_walkers: None,
         }
     }
 
     /// Overrides the repetition-dispatch thread count (1 = sequential).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Routes each repetition through the pooled engine with `walkers`
+    /// virtual walkers (cooperative history, shared per-repetition cache).
+    pub fn with_pooled_walkers(mut self, walkers: usize) -> Self {
+        self.pooled_walkers = Some(walkers.max(1));
         self
     }
 
@@ -196,7 +210,15 @@ impl Workbench {
         run: &SamplerRunSummary,
         aggregate: &Aggregate,
     ) -> Vec<SampleValue> {
-        run.samples
+        self.records_to_values(&run.samples, aggregate)
+    }
+
+    fn records_to_values(
+        &self,
+        samples: &[wnw_mcmc::sampler::SampleRecord],
+        aggregate: &Aggregate,
+    ) -> Vec<SampleValue> {
+        samples
             .iter()
             .map(|s| SampleValue {
                 node: s.node,
@@ -205,6 +227,40 @@ impl Workbench {
             })
             .collect()
     }
+}
+
+/// One repetition through the pooled engine: `walkers` virtual walkers over
+/// one shared per-repetition cache (cooperative history), an optional query
+/// budget split across the *active* walkers at the job level (see
+/// [`SampleJob::budget_of`](wnw_engine::SampleJob::budget_of) — no share is
+/// stranded on idle walkers, and the shares sum exactly to the budget,
+/// matching the budget semantics every `SamplerKind` gets through
+/// [`SamplerKind::spec`]). Runs on one OS thread so it composes with the
+/// repetition-level [`scatter_map`](wnw_engine::scatter_map) fan-out without
+/// oversubscription; the engine's determinism guarantee makes the thread
+/// choice invisible to the result.
+fn pooled_repetition(
+    bench: &Workbench,
+    kind: SamplerKind,
+    walkers: usize,
+    start: NodeId,
+    budget: Option<u64>,
+    samples: usize,
+    seed: u64,
+) -> wnw_engine::JobReport {
+    let osn = bench.osn(None, start);
+    let job = wnw_engine::SampleJob {
+        spec: kind.spec(&bench.config),
+        samples,
+        walkers: walkers.max(1),
+        seed,
+        budget,
+        history: wnw_engine::HistoryMode::Cooperative,
+        diameter_estimate: Some(bench.diameter),
+    };
+    wnw_engine::Engine::with_threads(1)
+        .run(&osn, &job)
+        .expect("budget exhaustion ends walkers normally; the simulator raises nothing else")
 }
 
 /// One point of an error-vs-query-cost curve.
@@ -242,13 +298,31 @@ pub fn error_vs_cost(
                 .map(|_| bench.random_start(&mut rng))
                 .collect();
             let outcomes = wnw_engine::scatter_map(bench.threads, starts, |rep, start| {
+                let seed = base_seed ^ (rep as u64) << 8 ^ budget;
+                if let Some(walkers) = bench.pooled_walkers {
+                    // Pooled path: the budget is enforced as per-walker
+                    // shares inside the engine, the x-axis cost is the
+                    // pool's unique-node count (each node charged once,
+                    // however many walkers touched it).
+                    let report = pooled_repetition(
+                        bench,
+                        kind,
+                        walkers,
+                        start,
+                        Some(budget),
+                        usize::MAX >> 1,
+                        seed,
+                    );
+                    let values = bench.records_to_values(&report.samples, aggregate);
+                    let estimate = estimate_average(&values, kind.weighting());
+                    return (
+                        relative_error(estimate, truth),
+                        report.query_cost() as f64,
+                        report.len() as f64,
+                    );
+                }
                 let osn = bench.osn(Some(budget), start);
-                let mut sampler = kind.build(
-                    osn.clone(),
-                    bench.diameter,
-                    &bench.config,
-                    base_seed ^ (rep as u64) << 8 ^ budget,
-                );
+                let mut sampler = kind.build(osn.clone(), bench.diameter, &bench.config, seed);
                 let run = collect_samples(sampler.as_mut(), usize::MAX >> 1)
                     .expect("budget exhaustion is handled internally");
                 let values = bench.samples_to_values(&run, aggregate);
@@ -307,13 +381,15 @@ pub fn error_vs_samples(
                 .map(|_| bench.random_start(&mut rng))
                 .collect();
             let outcomes = wnw_engine::scatter_map(bench.threads, starts, |rep, start| {
+                let seed = base_seed ^ (rep as u64) << 8 ^ count as u64;
+                if let Some(walkers) = bench.pooled_walkers {
+                    let report = pooled_repetition(bench, kind, walkers, start, None, count, seed);
+                    let values = bench.records_to_values(&report.samples, aggregate);
+                    let estimate = estimate_average(&values, kind.weighting());
+                    return (relative_error(estimate, truth), report.query_cost() as f64);
+                }
                 let osn = bench.osn(None, start);
-                let mut sampler = kind.build(
-                    osn.clone(),
-                    bench.diameter,
-                    &bench.config,
-                    base_seed ^ (rep as u64) << 8 ^ count as u64,
-                );
+                let mut sampler = kind.build(osn.clone(), bench.diameter, &bench.config, seed);
                 let run = collect_samples(sampler.as_mut(), count)
                     .expect("unlimited budget cannot be exhausted");
                 let values = bench.samples_to_values(&run, aggregate);
@@ -504,6 +580,74 @@ mod tests {
         assert_eq!(sequential.len(), 9);
         assert_eq!(sequential, parallel);
         assert!(sequential.iter().all(|&v| bench.graph.contains(v)));
+    }
+
+    #[test]
+    fn pooled_error_vs_cost_respects_budgets_and_is_invariant() {
+        let bench = bench().with_pooled_walkers(2);
+        for kind in [
+            SamplerKind::Srw,
+            SamplerKind::WalkEstimate {
+                input: RandomWalkKind::Simple,
+                variant: WalkEstimateVariant::Full,
+            },
+        ] {
+            let points = error_vs_cost(&bench, kind, &Aggregate::Degree, &[80, 160], 2, 31);
+            assert_eq!(points.len(), 2);
+            for p in &points {
+                // The pool's unique-node cost respects the job budget: each
+                // walker's share is enforced on its own metered view, and
+                // shared-cache hits can only push the pool cost *below* the
+                // sum of shares.
+                assert!(
+                    p.query_cost <= p.budget as f64 + 1.0,
+                    "{} pool cost {} exceeded budget {}",
+                    kind.label(),
+                    p.query_cost,
+                    p.budget
+                );
+                assert!(p.relative_error.is_finite());
+            }
+        }
+        // Thread-count invariance holds on the pooled path too.
+        let seq = error_vs_cost(
+            &bench.clone().with_threads(1),
+            SamplerKind::Srw,
+            &Aggregate::Degree,
+            &[80, 160],
+            3,
+            37,
+        );
+        let par = error_vs_cost(
+            &bench.clone().with_threads(8),
+            SamplerKind::Srw,
+            &Aggregate::Degree,
+            &[80, 160],
+            3,
+            37,
+        );
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn pooled_error_vs_samples_reaches_requested_counts() {
+        let bench = bench().with_pooled_walkers(2);
+        let points = error_vs_samples(
+            &bench,
+            SamplerKind::WalkEstimate {
+                input: RandomWalkKind::Simple,
+                variant: WalkEstimateVariant::Full,
+            },
+            &Aggregate::Degree,
+            &[4, 12],
+            2,
+            41,
+        );
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.relative_error.is_finite());
+            assert!(p.query_cost > 0.0);
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! Generators and file loaders accumulate edges into a [`GraphBuilder`],
 //! which deduplicates parallel edges and drops self-loops before freezing the
-//! edge set into the CSR [`Graph`](crate::Graph). The paper's graph model is a
+//! edge set into the CSR [`Graph`]. The paper's graph model is a
 //! simple undirected graph (Section 2.1), so both choices are deliberate.
 
 use crate::graph::Graph;

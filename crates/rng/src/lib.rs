@@ -5,12 +5,13 @@
 //! this drop-in: the dependency is declared as
 //! `rand = { package = "wnw-rand", path = "crates/rng" }`, which lets every
 //! crate keep writing `use rand::Rng` unchanged. The surface is deliberately
-//! small — [`StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen`],
+//! small — [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen`],
 //! [`Rng::gen_range`], [`Rng::gen_bool`], and [`seq::SliceRandom`] — and the
 //! semantics match the real crate (half-open ranges, unbiased integer
 //! sampling, 53-bit uniform floats, Fisher–Yates shuffling).
 //!
-//! The generator behind [`StdRng`] is xoshiro256++ seeded through SplitMix64,
+//! The generator behind [`rngs::StdRng`] is xoshiro256++ seeded through
+//! SplitMix64,
 //! a well-studied combination with 256 bits of state that passes BigCrush.
 //! Streams seeded from different `u64` values are decorrelated, which is what
 //! the sampling engine's per-walker `seed ⊕ walker_id` scheme relies on.

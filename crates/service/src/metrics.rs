@@ -1,0 +1,245 @@
+//! Live service-level metrics.
+//!
+//! [`ServiceMetrics`] is a lock-free bundle of atomic counters updated by
+//! the submit path and the scheduler; [`ServiceMetricsSnapshot`] is the
+//! consistent-enough copy handed to callers (and shaped for a future HTTP
+//! `/metrics` frontend: every field is a plain integer gauge/counter plus
+//! the pool's [`QueryStats`]).
+
+use crate::stream::{JobOutcome, JobStatus};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use wnw_access::counter::QueryStats;
+
+/// Atomic counters describing the service's lifetime so far.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Queued + running, maintained as its own counter so admission is a
+    /// single atomic reserve (a sum of two gauges would race against
+    /// concurrent `submit` calls and transiently undercount mid-promotion).
+    in_flight: AtomicU64,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    queued: AtomicU64,
+    running: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    expired: AtomicU64,
+    failed: AtomicU64,
+    samples_delivered: AtomicU64,
+    isolated_query_cost: AtomicU64,
+    budget_refunded: AtomicU64,
+    latency_micros: AtomicU64,
+    finished: AtomicU64,
+}
+
+impl ServiceMetrics {
+    /// Atomically reserves an in-flight slot: succeeds only while the count
+    /// is below `limit` (no check-then-act window between concurrent
+    /// submitters). On failure, returns the count that blocked admission.
+    pub(crate) fn try_admit(&self, limit: u64) -> Result<(), u64> {
+        self.in_flight
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n < limit).then_some(n + 1)
+            })
+            .map(|_| ())
+    }
+
+    /// Completes a successful [`try_admit`](Self::try_admit) reservation.
+    pub(crate) fn on_submit(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.queued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_reject(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Rolls a [`try_admit`](Self::try_admit) + [`on_submit`](Self::on_submit)
+    /// back when the submission could not be handed to the scheduler after
+    /// all.
+    pub(crate) fn on_submit_undone(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.submitted.fetch_sub(1, Ordering::Relaxed);
+        self.queued.fetch_sub(1, Ordering::Relaxed);
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_start(&self) {
+        self.queued.fetch_sub(1, Ordering::Relaxed);
+        self.running.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a terminal job and returns its 0-based finish index.
+    /// `delivered` is the number of samples that actually reached the
+    /// consumer's channel — less than `outcome.samples` when the consumer
+    /// hung up mid-job.
+    pub(crate) fn on_finish(&self, outcome: &JobOutcome, delivered: u64) -> u64 {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.running.fetch_sub(1, Ordering::Relaxed);
+        let bucket = match outcome.status {
+            JobStatus::Completed => &self.completed,
+            JobStatus::Cancelled => &self.cancelled,
+            JobStatus::DeadlineExpired => &self.expired,
+            JobStatus::Failed(_) | JobStatus::Panicked(_) => &self.failed,
+        };
+        bucket.fetch_add(1, Ordering::Relaxed);
+        self.samples_delivered
+            .fetch_add(delivered, Ordering::Relaxed);
+        self.isolated_query_cost
+            .fetch_add(outcome.query_cost, Ordering::Relaxed);
+        self.budget_refunded
+            .fetch_add(outcome.budget_refunded, Ordering::Relaxed);
+        self.latency_micros
+            .fetch_add(outcome.latency.as_micros() as u64, Ordering::Relaxed);
+        self.finished.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Jobs currently queued or running (the admission-control measure;
+    /// production code reserves through [`try_admit`](Self::try_admit)).
+    #[cfg(test)]
+    pub(crate) fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// A copy of every counter, combined with the shared pool cache's stats.
+    pub(crate) fn snapshot(&self, pool: QueryStats) -> ServiceMetricsSnapshot {
+        let finished = self.finished.load(Ordering::Relaxed);
+        let latency_micros = self.latency_micros.load(Ordering::Relaxed);
+        ServiceMetricsSnapshot {
+            jobs_submitted: self.submitted.load(Ordering::Relaxed),
+            jobs_rejected: self.rejected.load(Ordering::Relaxed),
+            jobs_queued: self.queued.load(Ordering::Relaxed),
+            jobs_running: self.running.load(Ordering::Relaxed),
+            jobs_completed: self.completed.load(Ordering::Relaxed),
+            jobs_cancelled: self.cancelled.load(Ordering::Relaxed),
+            jobs_expired: self.expired.load(Ordering::Relaxed),
+            jobs_failed: self.failed.load(Ordering::Relaxed),
+            jobs_finished: finished,
+            samples_delivered: self.samples_delivered.load(Ordering::Relaxed),
+            aggregate_query_cost: pool.unique_nodes,
+            isolated_query_cost: self.isolated_query_cost.load(Ordering::Relaxed),
+            budget_refunded: self.budget_refunded.load(Ordering::Relaxed),
+            mean_latency: latency_micros
+                .checked_div(finished)
+                .map_or(Duration::ZERO, Duration::from_micros),
+            pool,
+        }
+    }
+}
+
+/// A point-in-time copy of the service's metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceMetricsSnapshot {
+    /// Requests admitted (lifetime).
+    pub jobs_submitted: u64,
+    /// Requests refused at the door (lifetime).
+    pub jobs_rejected: u64,
+    /// Jobs admitted but not yet scheduled (gauge).
+    pub jobs_queued: u64,
+    /// Jobs currently holding walker slots (gauge).
+    pub jobs_running: u64,
+    /// Jobs that met their quota or ran their budget out (lifetime).
+    pub jobs_completed: u64,
+    /// Jobs cancelled by the caller or a dropped stream (lifetime).
+    pub jobs_cancelled: u64,
+    /// Jobs stopped at their deadline (lifetime).
+    pub jobs_expired: u64,
+    /// Jobs stopped by an access error or sampler panic (lifetime).
+    pub jobs_failed: u64,
+    /// Total terminal jobs (= completed + cancelled + expired + failed).
+    pub jobs_finished: u64,
+    /// Samples streamed to consumers (lifetime).
+    pub samples_delivered: u64,
+    /// Distinct nodes the *service* paid for, across all jobs — the shared
+    /// cache charges each node once no matter how many jobs touch it.
+    pub aggregate_query_cost: u64,
+    /// Sum of the finished jobs' own unique-node costs — what the same
+    /// requests would have paid as isolated runs. The difference to
+    /// [`aggregate_query_cost`](Self::aggregate_query_cost) is the
+    /// cross-job shared-cache saving.
+    pub isolated_query_cost: u64,
+    /// Unused budget returned by early-stopped jobs (lifetime).
+    pub budget_refunded: u64,
+    /// Mean submit-to-done latency over finished jobs.
+    pub mean_latency: Duration,
+    /// The shared pool cache's raw counters.
+    pub pool: QueryStats,
+}
+
+impl ServiceMetricsSnapshot {
+    /// Unique-node queries saved by cross-job cache sharing, relative to
+    /// isolated runs of the same finished jobs.
+    pub fn shared_cache_savings(&self) -> u64 {
+        self.isolated_query_cost
+            .saturating_sub(self.aggregate_query_cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::JobId;
+
+    fn outcome(status: JobStatus, samples: usize, cost: u64) -> JobOutcome {
+        JobOutcome {
+            id: JobId(0),
+            status,
+            samples,
+            requested: samples,
+            query_cost: cost,
+            budget_consumed: cost,
+            budget_refunded: 3,
+            budget_exhausted: false,
+            rounds: 1,
+            latency: Duration::from_micros(500),
+            finish_index: 0,
+        }
+    }
+
+    #[test]
+    fn lifecycle_counters_balance() {
+        let metrics = ServiceMetrics::default();
+        metrics.try_admit(2).unwrap();
+        metrics.on_submit();
+        metrics.try_admit(2).unwrap();
+        metrics.on_submit();
+        assert_eq!(metrics.try_admit(2), Err(2), "cap reached atomically");
+        metrics.on_reject();
+        assert_eq!(metrics.in_flight(), 2);
+        metrics.on_start();
+        assert_eq!(metrics.in_flight(), 2);
+        let first = metrics.on_finish(&outcome(JobStatus::Completed, 10, 40), 10);
+        assert_eq!(first, 0);
+        metrics.on_start();
+        let second = metrics.on_finish(&outcome(JobStatus::Cancelled, 2, 5), 2);
+        assert_eq!(second, 1);
+        assert_eq!(metrics.in_flight(), 0, "finishes release admission slots");
+
+        let snap = metrics.snapshot(QueryStats {
+            unique_nodes: 30,
+            ..QueryStats::default()
+        });
+        assert_eq!(snap.jobs_submitted, 2);
+        assert_eq!(snap.jobs_rejected, 1);
+        assert_eq!(snap.jobs_queued, 0);
+        assert_eq!(snap.jobs_running, 0);
+        assert_eq!(snap.jobs_completed, 1);
+        assert_eq!(snap.jobs_cancelled, 1);
+        assert_eq!(snap.jobs_finished, 2);
+        assert_eq!(snap.samples_delivered, 12);
+        assert_eq!(snap.isolated_query_cost, 45);
+        assert_eq!(snap.aggregate_query_cost, 30);
+        assert_eq!(snap.shared_cache_savings(), 15);
+        assert_eq!(snap.budget_refunded, 6);
+        assert_eq!(snap.mean_latency, Duration::from_micros(500));
+    }
+
+    #[test]
+    fn empty_snapshot_has_zero_latency() {
+        let metrics = ServiceMetrics::default();
+        let snap = metrics.snapshot(QueryStats::default());
+        assert_eq!(snap.mean_latency, Duration::ZERO);
+        assert_eq!(snap.shared_cache_savings(), 0);
+    }
+}

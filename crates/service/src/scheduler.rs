@@ -1,0 +1,404 @@
+//! The batched multi-job scheduler.
+//!
+//! One scheduler thread owns every admitted job and advances them in
+//! **scheduling cycles**: each cycle walks the active set in admission
+//! order and hands every job [`Priority::weight`] rounds, where one round
+//! moves every live walker of that job one sample forward on the shared
+//! worker pool (see [`JobDriver::step_round`]). Round interleaving is what
+//! keeps the service fair — a 10 000-sample job advances one round, then a
+//! 10-sample job advances one round — and priority weights tilt the ratio
+//! without ever starving anyone.
+//!
+//! Determinism: the scheduler decides only *when* a job's walkers run,
+//! never what they compute. A walker's draws depend on its own RNG stream,
+//! its own metered budget view, and cache answers that are pure functions
+//! of the node asked — so a request's accepted-sample multiset is the same
+//! at any pool width and under any co-load. Cross-job state is shared only
+//! where sharing is free of interference: the neighbor cache (each node
+//! paid for once, service-wide) and the underlying network handle. Walk
+//! history is cooperative *within* a job, never across jobs.
+//!
+//! Cancellation (explicit, deadline, or the consumer dropping its stream)
+//! is checked before every round; a stopped job keeps the samples it
+//! already delivered and refunds its unused budget in the outcome.
+
+use crate::metrics::ServiceMetrics;
+use crate::request::{JobId, Priority, SampleRequest};
+use crate::stream::{JobOutcome, JobStatus, ProgressUpdate, SampleEvent};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wnw_access::cached::CachedNetwork;
+use wnw_access::counter::QueryCounter;
+use wnw_access::interface::{SocialNetwork, ThreadedNetwork};
+use wnw_access::metered::MeteredNetwork;
+use wnw_engine::JobDriver;
+
+/// An admitted request on its way to the scheduler thread.
+pub(crate) struct Submission {
+    pub id: JobId,
+    pub request: SampleRequest,
+    pub events: Sender<SampleEvent>,
+    pub cancel: Arc<AtomicBool>,
+    pub submitted_at: Instant,
+}
+
+impl Submission {
+    /// Absolute deadline, if one fits on the clock. A deadline so far out
+    /// that `Instant + Duration` overflows (e.g. `Duration::MAX`) is
+    /// treated as "no deadline" instead of panicking the scheduler thread.
+    fn deadline_at(&self) -> Option<Instant> {
+        self.request
+            .deadline
+            .and_then(|d| self.submitted_at.checked_add(d))
+    }
+}
+
+/// Every this-many-th promotion takes the oldest pending submission
+/// regardless of priority (queue aging — bounds how long a low-priority
+/// job can be passed over by later high-priority arrivals).
+const AGED_PROMOTION_STRIDE: u64 = 4;
+
+/// How long a gated (paused) scheduler parks between wake-ups — also the
+/// worst-case latency for noticing a resume.
+const PAUSE_POLL: Duration = Duration::from_millis(25);
+
+/// Scheduler-side tuning knobs (a copy of the service config).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SchedulerConfig {
+    /// OS threads a round's draws are fanned over.
+    pub pool_threads: usize,
+    /// Jobs interleaved concurrently; admitted jobs beyond this wait queued.
+    pub max_active: usize,
+}
+
+/// One job holding walker slots.
+struct ActiveJob {
+    id: JobId,
+    driver: JobDriver<'static>,
+    /// Job-level metering view over the shared cache: `unique_nodes` is
+    /// what this request would have cost in isolation.
+    job_counter: Arc<QueryCounter>,
+    events: Sender<SampleEvent>,
+    cancel: Arc<AtomicBool>,
+    priority: Priority,
+    deadline: Option<Instant>,
+    submitted_at: Instant,
+    budget: Option<u64>,
+    requested: usize,
+    /// Samples actually handed to the consumer's channel (what the
+    /// service-level `samples_delivered` counter reports — a hung-up
+    /// consumer stops this short of the samples the job produced).
+    delivered: u64,
+    /// Early-terminal state (cancelled / deadline / consumer hang-up); the
+    /// normal completion and failure states are decided at finalization.
+    status: Option<JobStatus>,
+}
+
+impl ActiveJob {
+    fn terminal(&self) -> bool {
+        // A poisoned driver (fatal walker error or panic) ends the job at
+        // the next round boundary — the remaining healthy walkers' output
+        // would be discarded anyway, so their rounds are not worth running.
+        self.status.is_some() || self.driver.is_done() || self.driver.poisoned()
+    }
+
+    /// Polls the cooperative stop conditions (round-boundary granularity).
+    fn check_interrupts(&mut self) {
+        if self.status.is_some() {
+            return;
+        }
+        if self.cancel.load(Ordering::Relaxed) {
+            self.status = Some(JobStatus::Cancelled);
+        } else if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.status = Some(JobStatus::DeadlineExpired);
+        }
+    }
+
+    /// Streams the samples the last round produced (walker order) plus a
+    /// progress snapshot. A closed channel means the consumer hung up: the
+    /// job is cancelled so its walker slots and budget are released.
+    fn pump(&mut self, pool: wnw_access::counter::QueryStats) {
+        let mut hung_up = false;
+        let events = &self.events;
+        let delivered = &mut self.delivered;
+        self.driver.drain_new_samples(|walker, record| {
+            let sent = events
+                .send(SampleEvent::Sample {
+                    walker,
+                    record: *record,
+                })
+                .is_ok();
+            hung_up |= !sent;
+            *delivered += u64::from(sent);
+        });
+        let update = ProgressUpdate {
+            rounds: self.driver.rounds(),
+            samples: self.driver.samples_collected(),
+            requested: self.requested,
+            live_walkers: self.driver.live_walkers(),
+            budget_consumed: self.driver.budget_consumed(),
+            query_cost: self.job_counter.stats().unique_nodes,
+            pool,
+        };
+        hung_up |= self.events.send(SampleEvent::Progress(update)).is_err();
+        if hung_up && self.status.is_none() {
+            self.status = Some(JobStatus::Cancelled);
+        }
+    }
+}
+
+/// The scheduler: owns the submission queue and the active set, runs on a
+/// dedicated thread until the service is dropped and every job has drained.
+pub(crate) struct Scheduler<N: ThreadedNetwork + 'static> {
+    cache: Arc<CachedNetwork<Arc<N>>>,
+    metrics: Arc<ServiceMetrics>,
+    config: SchedulerConfig,
+    paused: Arc<AtomicBool>,
+    rx: Receiver<Submission>,
+    rx_open: bool,
+    pending: VecDeque<Submission>,
+    active: Vec<ActiveJob>,
+    /// Lifetime promotion count, driving the queue-aging stride.
+    promotions: u64,
+}
+
+impl<N: ThreadedNetwork + 'static> Scheduler<N> {
+    pub fn new(
+        cache: Arc<CachedNetwork<Arc<N>>>,
+        metrics: Arc<ServiceMetrics>,
+        config: SchedulerConfig,
+        paused: Arc<AtomicBool>,
+        rx: Receiver<Submission>,
+    ) -> Self {
+        Scheduler {
+            cache,
+            metrics,
+            config,
+            paused,
+            rx,
+            rx_open: true,
+            pending: VecDeque::new(),
+            active: Vec::new(),
+            promotions: 0,
+        }
+    }
+
+    /// Runs until the submission channel is closed *and* every admitted job
+    /// has reached a terminal state (graceful drain).
+    pub fn run(mut self) {
+        loop {
+            self.ingest();
+            self.reap_pending();
+            if self.paused.load(Ordering::Relaxed) {
+                if !self.rx_open && self.pending.is_empty() && self.active.is_empty() {
+                    break;
+                }
+                // Gated: park on the submission channel (or sleep, once it
+                // is closed) instead of busy-spinning; the bound is also
+                // the worst-case latency for noticing a resume.
+                if self.rx_open {
+                    match self.rx.recv_timeout(PAUSE_POLL) {
+                        Ok(submission) => self.pending.push_back(submission),
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => self.rx_open = false,
+                    }
+                } else {
+                    std::thread::sleep(PAUSE_POLL);
+                }
+                continue;
+            }
+            self.promote();
+            if self.active.is_empty() {
+                if self.pending.is_empty() {
+                    if !self.rx_open {
+                        break;
+                    }
+                    // Idle: block until the next submission (or shutdown).
+                    match self.rx.recv() {
+                        Ok(submission) => self.pending.push_back(submission),
+                        Err(_) => self.rx_open = false,
+                    }
+                }
+                continue;
+            }
+            self.cycle();
+        }
+    }
+
+    /// Drains buffered submissions without blocking.
+    fn ingest(&mut self) {
+        while self.rx_open {
+            match self.rx.try_recv() {
+                Ok(submission) => self.pending.push_back(submission),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => self.rx_open = false,
+            }
+        }
+    }
+
+    /// Retires queued jobs that died before reaching a walker slot —
+    /// cancelled by the caller or past their deadline — so they release
+    /// their admission capacity immediately instead of holding it until a
+    /// scheduler slot frees up, and never pay for a walker-pool build.
+    fn reap_pending(&mut self) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            let submission = &self.pending[i];
+            let status = if submission.cancel.load(Ordering::Relaxed) {
+                Some(JobStatus::Cancelled)
+            } else if submission
+                .deadline_at()
+                .is_some_and(|d| Instant::now() >= d)
+            {
+                Some(JobStatus::DeadlineExpired)
+            } else {
+                None
+            };
+            let Some(status) = status else {
+                i += 1;
+                continue;
+            };
+            let submission = self.pending.remove(i).expect("index in bounds");
+            // Pair the gauges exactly like a scheduled job's lifecycle.
+            self.metrics.on_start();
+            let mut outcome = JobOutcome {
+                id: submission.id,
+                status,
+                samples: 0,
+                requested: submission.request.job.samples,
+                query_cost: 0,
+                budget_consumed: 0,
+                budget_refunded: submission.request.job.budget.unwrap_or(0),
+                budget_exhausted: false,
+                rounds: 0,
+                latency: submission.submitted_at.elapsed(),
+                finish_index: 0,
+            };
+            outcome.finish_index = self.metrics.on_finish(&outcome, 0);
+            let _ = submission.events.send(SampleEvent::Done(outcome));
+        }
+    }
+
+    /// Moves queued jobs into the active set while slots are free — highest
+    /// priority first, arrival order within a priority, with **aging**:
+    /// every [`AGED_PROMOTION_STRIDE`]-th promotion takes the oldest
+    /// pending submission regardless of priority, so a low-priority job's
+    /// wait in the queue is bounded even under a sustained stream of
+    /// higher-priority arrivals.
+    fn promote(&mut self) {
+        while self.active.len() < self.config.max_active.max(1) && !self.pending.is_empty() {
+            let aged = self.promotions % AGED_PROMOTION_STRIDE == AGED_PROMOTION_STRIDE - 1;
+            let best = if aged {
+                0
+            } else {
+                self.pending
+                    .iter()
+                    .enumerate()
+                    .max_by(|(ia, a), (ib, b)| {
+                        (a.request.priority, std::cmp::Reverse(ia))
+                            .cmp(&(b.request.priority, std::cmp::Reverse(ib)))
+                    })
+                    .map(|(i, _)| i)
+                    .expect("pending is non-empty")
+            };
+            let submission = self.pending.remove(best).expect("index in bounds");
+            self.promotions += 1;
+            self.metrics.on_start();
+            let job = self.admit(submission);
+            self.active.push(job);
+        }
+    }
+
+    /// Builds the walker pool of an admitted job over the shared cache,
+    /// behind a fresh job-level metering view (per-request cost isolation
+    /// over pool-wide sharing).
+    fn admit(&self, submission: Submission) -> ActiveJob {
+        let job_view = MeteredNetwork::new(Arc::clone(&self.cache));
+        let job_counter = job_view.counter_handle();
+        let driver = JobDriver::new(job_view, &submission.request.job);
+        let deadline = submission.deadline_at();
+        ActiveJob {
+            id: submission.id,
+            driver,
+            job_counter,
+            delivered: 0,
+            events: submission.events,
+            cancel: submission.cancel,
+            priority: submission.request.priority,
+            deadline,
+            submitted_at: submission.submitted_at,
+            budget: submission.request.job.budget,
+            requested: submission.request.job.samples,
+            status: None,
+        }
+    }
+
+    /// One scheduling cycle: every active job advances up to its priority
+    /// weight in rounds, then terminal jobs are finalized and retired.
+    fn cycle(&mut self) {
+        for job in &mut self.active {
+            for _ in 0..job.priority.weight() {
+                job.check_interrupts();
+                if job.terminal() {
+                    break;
+                }
+                job.driver.step_round(self.config.pool_threads);
+                job.pump(self.cache.query_stats());
+            }
+        }
+        let jobs = std::mem::take(&mut self.active);
+        for job in jobs {
+            if job.terminal() {
+                self.finalize(job);
+            } else {
+                self.active.push(job);
+            }
+        }
+    }
+
+    /// Tears a terminal job down: resolves its status, sends the `Done`
+    /// event, and records the outcome in the service metrics.
+    fn finalize(&self, mut job: ActiveJob) {
+        let rounds = job.driver.rounds();
+        let latency = job.submitted_at.elapsed();
+        let (reports, panic_payload) = job.driver.finish();
+
+        let status = if let Some(payload) = panic_payload {
+            JobStatus::Panicked(panic_message(payload.as_ref()))
+        } else if let Some(err) = reports.iter().find_map(|r| r.fatal.clone()) {
+            JobStatus::Failed(err)
+        } else {
+            job.status.take().unwrap_or(JobStatus::Completed)
+        };
+
+        let samples: usize = reports.iter().map(|r| r.samples.len()).sum();
+        let budget_consumed: u64 = reports.iter().map(|r| r.stats.unique_nodes).sum();
+        let mut outcome = JobOutcome {
+            id: job.id,
+            status,
+            samples,
+            requested: job.requested,
+            query_cost: job.job_counter.stats().unique_nodes,
+            budget_consumed,
+            budget_refunded: job.budget.map_or(0, |b| b.saturating_sub(budget_consumed)),
+            budget_exhausted: reports.iter().any(|r| r.budget_exhausted),
+            rounds,
+            latency,
+            finish_index: 0,
+        };
+        outcome.finish_index = self.metrics.on_finish(&outcome, job.delivered);
+        let _ = job.events.send(SampleEvent::Done(outcome));
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "sampler panicked".to_string())
+}

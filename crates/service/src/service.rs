@@ -1,0 +1,268 @@
+//! The long-lived [`SamplingService`]: admission control at the front,
+//! the multi-job scheduler behind it.
+
+use crate::metrics::{ServiceMetrics, ServiceMetricsSnapshot};
+use crate::request::{AdmissionError, JobId, SampleRequest};
+use crate::scheduler::{Scheduler, SchedulerConfig, Submission};
+use crate::stream::{JobHandle, JobTicket, SampleStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+use wnw_access::cached::CachedNetwork;
+use wnw_access::counter::QueryStats;
+use wnw_access::interface::{SocialNetwork, ThreadedNetwork};
+
+/// Tuning knobs of a [`SamplingService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// OS threads each round's walker draws are fanned over (the service's
+    /// single worker pool). Defaults to the available hardware parallelism.
+    pub pool_threads: usize,
+    /// Jobs interleaved concurrently by the scheduler; admitted jobs beyond
+    /// this wait in the queue. Default 4.
+    pub max_active: usize,
+    /// Admission limit: submissions are rejected with
+    /// [`AdmissionError::Saturated`] while this many jobs are queued or
+    /// running. Default 64.
+    pub max_in_flight: usize,
+    /// Start with the scheduler gated: admitted jobs queue up but no round
+    /// runs until [`SamplingService::resume`] — useful for tests and for
+    /// staging a burst of submissions. Default off.
+    pub start_paused: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            pool_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            max_active: 4,
+            max_in_flight: 64,
+            start_paused: false,
+        }
+    }
+}
+
+/// Builder for a [`SamplingService`].
+#[derive(Debug)]
+pub struct ServiceBuilder<N> {
+    network: N,
+    config: ServiceConfig,
+}
+
+impl<N: ThreadedNetwork + 'static> ServiceBuilder<N> {
+    /// Sets the worker-pool width.
+    pub fn pool_threads(mut self, threads: usize) -> Self {
+        self.config.pool_threads = threads.max(1);
+        self
+    }
+
+    /// Sets how many jobs the scheduler interleaves concurrently.
+    pub fn max_active(mut self, jobs: usize) -> Self {
+        self.config.max_active = jobs.max(1);
+        self
+    }
+
+    /// Sets the admission limit (queued + running jobs).
+    pub fn max_in_flight(mut self, jobs: usize) -> Self {
+        self.config.max_in_flight = jobs.max(1);
+        self
+    }
+
+    /// Starts the service gated; call [`SamplingService::resume`] to begin
+    /// scheduling.
+    pub fn start_paused(mut self) -> Self {
+        self.config.start_paused = true;
+        self
+    }
+
+    /// Spawns the scheduler thread and returns the running service.
+    pub fn build(self) -> SamplingService<N> {
+        let cache = Arc::new(CachedNetwork::new(Arc::new(self.network)));
+        let metrics = Arc::new(ServiceMetrics::default());
+        let paused = Arc::new(AtomicBool::new(self.config.start_paused));
+        let (tx, rx) = channel();
+        let scheduler = Scheduler::new(
+            Arc::clone(&cache),
+            Arc::clone(&metrics),
+            SchedulerConfig {
+                pool_threads: self.config.pool_threads,
+                max_active: self.config.max_active,
+            },
+            Arc::clone(&paused),
+            rx,
+        );
+        let handle = std::thread::Builder::new()
+            .name("wnw-service-scheduler".into())
+            .spawn(move || scheduler.run())
+            .expect("spawn scheduler thread");
+        SamplingService {
+            cache,
+            metrics,
+            paused,
+            tx: Some(tx),
+            scheduler: Some(handle),
+            next_id: AtomicU64::new(0),
+            config: self.config,
+        }
+    }
+}
+
+/// A long-lived sampling service: many concurrent [`SampleRequest`]s against
+/// one shared network handle, scheduled fairly over one worker pool, results
+/// streamed back as they land.
+///
+/// See the [crate docs](crate) for the full model; in short:
+///
+/// * **admission control** — requests beyond `max_in_flight` are rejected at
+///   the door rather than queued unboundedly;
+/// * **fair, priority-weighted scheduling** — jobs advance round by round,
+///   interleaved, so a huge job cannot starve a small one;
+/// * **streaming delivery** — a [`SampleStream`] yields
+///   `Sample`/`Progress`/`Done` events, not one end-of-job report;
+/// * **shared cache, isolated budgets** — all jobs ride one
+///   [`CachedNetwork`] (each node paid for once, service-wide) while every
+///   request meters and budgets its own traffic;
+/// * **reproducibility** — a request's accepted-sample multiset depends
+///   only on its job (spec, seed, walkers, budget), not on the pool width
+///   or the co-load.
+#[derive(Debug)]
+pub struct SamplingService<N: ThreadedNetwork + 'static> {
+    cache: Arc<CachedNetwork<Arc<N>>>,
+    metrics: Arc<ServiceMetrics>,
+    paused: Arc<AtomicBool>,
+    tx: Option<Sender<Submission>>,
+    scheduler: Option<JoinHandle<()>>,
+    next_id: AtomicU64,
+    config: ServiceConfig,
+}
+
+impl<N: ThreadedNetwork + 'static> SamplingService<N> {
+    /// A service over `network` with the default configuration.
+    pub fn new(network: N) -> Self {
+        Self::builder(network).build()
+    }
+
+    /// A configurable service builder over `network`.
+    pub fn builder(network: N) -> ServiceBuilder<N> {
+        ServiceBuilder {
+            network,
+            config: ServiceConfig::default(),
+        }
+    }
+
+    /// The configuration the service was built with.
+    pub fn config(&self) -> ServiceConfig {
+        self.config
+    }
+
+    /// The wrapped network handle.
+    pub fn network(&self) -> &N {
+        self.cache.inner()
+    }
+
+    /// Submits a request. On admission, returns the job's id, its event
+    /// stream, and a cancellation handle; the scheduler starts (or queues)
+    /// the job immediately.
+    pub fn submit(&self, request: SampleRequest) -> Result<JobTicket, AdmissionError> {
+        if request.job.samples == 0 {
+            self.metrics.on_reject();
+            return Err(AdmissionError::Invalid("request asks for zero samples"));
+        }
+        if request.job.walkers == 0 {
+            self.metrics.on_reject();
+            return Err(AdmissionError::Invalid("request has zero walkers"));
+        }
+        // Reserve an in-flight slot atomically — concurrent submitters
+        // cannot race past the cap between a check and an increment.
+        if let Err(in_flight) = self.metrics.try_admit(self.config.max_in_flight as u64) {
+            self.metrics.on_reject();
+            return Err(AdmissionError::Saturated {
+                in_flight: in_flight as usize,
+                limit: self.config.max_in_flight,
+            });
+        }
+        self.metrics.on_submit();
+        let tx = match self.tx.as_ref() {
+            Some(tx) => tx,
+            None => {
+                self.metrics.on_submit_undone();
+                return Err(AdmissionError::ShuttingDown);
+            }
+        };
+
+        let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let (events, rx) = channel();
+        let cancel = Arc::new(AtomicBool::new(false));
+        if tx
+            .send(Submission {
+                id,
+                request,
+                events,
+                cancel: Arc::clone(&cancel),
+                submitted_at: Instant::now(),
+            })
+            .is_err()
+        {
+            // The scheduler thread is gone (it only exits when the service
+            // is torn down, or after a scheduler bug); undo the accounting.
+            self.metrics.on_submit_undone();
+            return Err(AdmissionError::ShuttingDown);
+        }
+        Ok(JobTicket {
+            id,
+            stream: SampleStream::new(rx),
+            handle: JobHandle::new(id, cancel),
+        })
+    }
+
+    /// A live snapshot of the service metrics (lock-free reads).
+    pub fn metrics(&self) -> ServiceMetricsSnapshot {
+        self.metrics.snapshot(self.cache.query_stats())
+    }
+
+    /// The shared pool cache's raw counters: `unique_nodes` is the
+    /// aggregate query cost the service has paid across all jobs.
+    pub fn pool_stats(&self) -> QueryStats {
+        self.cache.query_stats()
+    }
+
+    /// Releases a [`start_paused`](ServiceBuilder::start_paused) gate (and
+    /// is harmless otherwise).
+    pub fn resume(&self) {
+        self.paused.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether the scheduler gate is currently closed.
+    pub fn is_paused(&self) -> bool {
+        self.paused.load(Ordering::Relaxed)
+    }
+
+    /// Shuts the service down gracefully: no further submissions are
+    /// accepted, every in-flight job runs (or cancels) to its terminal
+    /// event, and the final metrics snapshot is returned.
+    pub fn shutdown(mut self) -> ServiceMetricsSnapshot {
+        self.teardown();
+        self.metrics.snapshot(self.cache.query_stats())
+    }
+
+    fn teardown(&mut self) {
+        // A paused scheduler would never drain; release the gate first.
+        self.paused.store(false, Ordering::Relaxed);
+        drop(self.tx.take());
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<N: ThreadedNetwork + 'static> Drop for SamplingService<N> {
+    /// Dropping the service drains in-flight jobs like
+    /// [`shutdown`](Self::shutdown) (cancel jobs first for a fast exit).
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}

@@ -1,0 +1,281 @@
+//! Streaming result delivery.
+//!
+//! A submitted request is answered with a [`SampleStream`]: a blocking
+//! iterator over [`SampleEvent`]s that yields each accepted sample **as the
+//! scheduler lands it** — round by round, not as one merged end-of-job
+//! report. The event protocol is:
+//!
+//! ```text
+//! Sample* (Progress Sample*)* Done      — every sample precedes Done,
+//!                                         Progress totals are monotone
+//! ```
+//!
+//! Dropping the stream mid-job is the consumer hanging up: the scheduler
+//! notices the closed channel at the next delivery, cancels the job, and
+//! releases its walker slots and unused budget.
+//!
+//! **Memory contract.** Events are buffered in an in-process channel the
+//! scheduler never blocks on, so a consumer slower than the scheduler
+//! buffers at most the job's own output: one `Sample` per requested sample
+//! plus one `Progress` per round (rounds ≤ the largest walker quota) plus
+//! one `Done` — O(`job.samples`), fixed at admission time, never unbounded.
+//! Callers admitting huge jobs on behalf of slow consumers should size
+//! `max_in_flight` (and their requests) with that per-job buffer in mind,
+//! or drop the stream to cancel.
+
+use crate::request::JobId;
+use std::sync::mpsc::Receiver;
+use std::time::Duration;
+use wnw_access::counter::QueryStats;
+use wnw_access::AccessError;
+use wnw_mcmc::sampler::SampleRecord;
+
+/// One message of a request's result stream.
+#[derive(Debug, Clone)]
+pub enum SampleEvent {
+    /// A walker accepted a sample.
+    Sample {
+        /// Virtual walker that produced it (its RNG stream index).
+        walker: usize,
+        /// The sample, with the walker's own query cost at that moment.
+        record: SampleRecord,
+    },
+    /// A consistent progress snapshot, emitted after each round the job ran.
+    Progress(ProgressUpdate),
+    /// The job reached a terminal state; no further events follow.
+    Done(JobOutcome),
+}
+
+/// Progress at a round boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressUpdate {
+    /// Rounds the job has run.
+    pub rounds: usize,
+    /// Samples delivered so far (monotone; equals the outcome's `samples`
+    /// in the final update).
+    pub samples: usize,
+    /// Samples the request asked for.
+    pub requested: usize,
+    /// Walkers still drawing.
+    pub live_walkers: usize,
+    /// Sum of the walkers' own unique-node charges (what budget enforcement
+    /// sees).
+    pub budget_consumed: u64,
+    /// Distinct nodes this *job* touched, through its job-level metering
+    /// view — the cost an isolated run would have paid.
+    pub query_cost: u64,
+    /// Service-wide shared-cache counters at this instant.
+    pub pool: QueryStats,
+}
+
+/// How a job ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Quota met, or every walker stopped normally (budget exhausted).
+    Completed,
+    /// Stopped by [`JobHandle::cancel`](crate::JobHandle::cancel) or by the
+    /// consumer dropping the stream.
+    Cancelled,
+    /// Stopped because the request's deadline passed.
+    DeadlineExpired,
+    /// A walker hit a non-budget access error.
+    Failed(AccessError),
+    /// A walker's sampler panicked; the message is the panic payload.
+    Panicked(String),
+}
+
+/// Terminal accounting for one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobOutcome {
+    /// The id assigned at submission.
+    pub id: JobId,
+    /// Terminal state.
+    pub status: JobStatus,
+    /// Samples delivered before the stop.
+    pub samples: usize,
+    /// Samples the request asked for.
+    pub requested: usize,
+    /// Distinct nodes the job touched through its own metering view — what
+    /// the same request would have cost run in isolation. The service-wide
+    /// pool typically paid less (shared cache).
+    pub query_cost: u64,
+    /// Sum of the walkers' unique-node charges (budget accounting).
+    pub budget_consumed: u64,
+    /// Unused query budget returned to the caller (0 for unbudgeted jobs).
+    pub budget_refunded: u64,
+    /// Whether any walker stopped on budget exhaustion.
+    pub budget_exhausted: bool,
+    /// Rounds the job ran.
+    pub rounds: usize,
+    /// Submit-to-done wall-clock latency.
+    pub latency: Duration,
+    /// 0-based position in the service's completion order (the first job to
+    /// finish has index 0) — what the priority tests assert on.
+    pub finish_index: u64,
+}
+
+/// Blocking iterator over a job's [`SampleEvent`]s.
+///
+/// Iteration ends after the [`Done`](SampleEvent::Done) event (or
+/// immediately, if the service was torn down without delivering one).
+#[derive(Debug)]
+pub struct SampleStream {
+    rx: Receiver<SampleEvent>,
+    finished: bool,
+}
+
+impl SampleStream {
+    pub(crate) fn new(rx: Receiver<SampleEvent>) -> Self {
+        SampleStream {
+            rx,
+            finished: false,
+        }
+    }
+
+    /// Blocks until the job is done, discarding per-sample events, and
+    /// returns the outcome. `None` only if the service vanished without
+    /// sending one (e.g. its scheduler thread was killed).
+    pub fn wait(self) -> Option<JobOutcome> {
+        let mut outcome = None;
+        for event in self {
+            if let SampleEvent::Done(done) = event {
+                outcome = Some(done);
+            }
+        }
+        outcome
+    }
+
+    /// Blocks until the job is done and returns every sample (in delivery
+    /// order: walker order within each round) plus the outcome.
+    pub fn collect_all(self) -> (Vec<SampleRecord>, Option<JobOutcome>) {
+        let mut samples = Vec::new();
+        let mut outcome = None;
+        for event in self {
+            match event {
+                SampleEvent::Sample { record, .. } => samples.push(record),
+                SampleEvent::Progress(_) => {}
+                SampleEvent::Done(done) => outcome = Some(done),
+            }
+        }
+        (samples, outcome)
+    }
+}
+
+impl Iterator for SampleStream {
+    type Item = SampleEvent;
+
+    fn next(&mut self) -> Option<SampleEvent> {
+        if self.finished {
+            return None;
+        }
+        match self.rx.recv() {
+            Ok(event) => {
+                if matches!(event, SampleEvent::Done(_)) {
+                    self.finished = true;
+                }
+                Some(event)
+            }
+            Err(_) => {
+                self.finished = true;
+                None
+            }
+        }
+    }
+}
+
+/// Cancellation handle for a submitted job (cheap to clone, safe to use
+/// from any thread).
+#[derive(Debug, Clone)]
+pub struct JobHandle {
+    id: JobId,
+    cancel: std::sync::Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl JobHandle {
+    pub(crate) fn new(id: JobId, cancel: std::sync::Arc<std::sync::atomic::AtomicBool>) -> Self {
+        JobHandle { id, cancel }
+    }
+
+    /// The job's id.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// Requests cooperative cancellation: the scheduler stops the job at
+    /// the next round boundary, delivers the samples accepted so far, and
+    /// refunds the unused budget in the outcome.
+    pub fn cancel(&self) {
+        self.cancel
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+/// Everything [`submit`](crate::SamplingService::submit) hands back for an
+/// admitted request.
+#[derive(Debug)]
+pub struct JobTicket {
+    /// The id the service assigned.
+    pub id: JobId,
+    /// The result stream.
+    pub stream: SampleStream,
+    /// Cancellation handle.
+    pub handle: JobHandle,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn outcome(id: u64) -> JobOutcome {
+        JobOutcome {
+            id: JobId(id),
+            status: JobStatus::Completed,
+            samples: 0,
+            requested: 0,
+            query_cost: 0,
+            budget_consumed: 0,
+            budget_refunded: 0,
+            budget_exhausted: false,
+            rounds: 0,
+            latency: Duration::ZERO,
+            finish_index: 0,
+        }
+    }
+
+    #[test]
+    fn stream_ends_after_done() {
+        let (tx, rx) = channel();
+        tx.send(SampleEvent::Done(outcome(1))).unwrap();
+        // Events after Done are never delivered.
+        tx.send(SampleEvent::Done(outcome(2))).unwrap();
+        let mut stream = SampleStream::new(rx);
+        assert!(matches!(stream.next(), Some(SampleEvent::Done(o)) if o.id == JobId(1)));
+        assert!(stream.next().is_none());
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn stream_ends_on_disconnect_without_done() {
+        let (tx, rx) = channel::<SampleEvent>();
+        drop(tx);
+        let stream = SampleStream::new(rx);
+        assert!(stream.wait().is_none());
+    }
+
+    #[test]
+    fn handle_cancel_roundtrip() {
+        let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let handle = JobHandle::new(JobId(7), flag.clone());
+        assert_eq!(handle.id(), JobId(7));
+        assert!(!handle.is_cancelled());
+        handle.clone().cancel();
+        assert!(handle.is_cancelled());
+        assert!(flag.load(std::sync::atomic::Ordering::Relaxed));
+    }
+}

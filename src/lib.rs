@@ -22,6 +22,7 @@
 //! | [`mcmc`] | `wnw-mcmc` | SRW/MHRW, convergence, rejection sampling, baselines |
 //! | [`core`] | `wnw-core` | WALK-ESTIMATE (the paper's contribution) |
 //! | [`engine`] | `wnw-engine` | concurrent, cache-sharing sampling engine |
+//! | [`service`] | `wnw-service` | multi-job sampling service: scheduling, streaming, metrics |
 //! | [`analytics`] | `wnw-analytics` | Lambert W, statistics, estimators, bias |
 //! | [`experiments`] | `wnw-experiments` | per-figure reproduction drivers |
 //!
@@ -58,6 +59,7 @@ pub use wnw_engine as engine;
 pub use wnw_experiments as experiments;
 pub use wnw_graph as graph;
 pub use wnw_mcmc as mcmc;
+pub use wnw_service as service;
 
 /// The most commonly used items, for `use walk_not_wait::prelude::*`.
 pub mod prelude {
@@ -70,10 +72,16 @@ pub mod prelude {
     pub use wnw_core::{
         WalkEstimateConfig, WalkEstimateSampler, WalkEstimateVariant, WalkLengthPolicy,
     };
-    pub use wnw_engine::{Engine, HistoryMode, JobReport, SampleJob, SamplerSpec};
+    pub use wnw_engine::{
+        Engine, EngineObserver, HistoryMode, JobReport, RoundProgress, SampleJob, SamplerSpec,
+    };
     pub use wnw_graph::{Graph, GraphBuilder, NodeId};
     pub use wnw_mcmc::{
         collect_samples, RandomWalkKind, Sampler, ScalingFactorPolicy, TargetDistribution,
+    };
+    pub use wnw_service::{
+        AdmissionError, JobOutcome, JobStatus, Priority, SampleEvent, SampleRequest,
+        SamplingService, ServiceMetricsSnapshot,
     };
 }
 
