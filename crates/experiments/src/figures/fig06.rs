@@ -33,12 +33,16 @@ pub fn run(scale: ExperimentScale) -> FigureResult {
     let dataset = registry.google_plus();
     let budgets = registry.query_budget_grid(dataset.graph.node_count());
     let repetitions = scale.repetitions();
-    let bench = Workbench::new(dataset.graph, google_plus_config());
+    // Each repetition runs through the pooled engine: two virtual walkers
+    // over one shared cache, the repetition's budget split between them at
+    // the job level (same semantics for the baselines and for WE).
+    let bench = Workbench::new(dataset.graph, google_plus_config()).with_pooled_walkers(2);
 
     let mut result = FigureResult::new(
         "fig06",
         "Google Plus (surrogate): relative error of AVG estimations vs query cost",
     );
+    result.push_note("repetitions run through the pooled engine (2 virtual walkers, shared cache, job-level budget split)");
     let panels: [(&str, SamplerKind, Aggregate); 4] = [
         ("a_avg_degree_srw", SamplerKind::Srw, Aggregate::Degree),
         (

@@ -31,12 +31,16 @@ pub fn run(scale: ExperimentScale) -> FigureResult {
     let config = WalkEstimateConfig::default()
         .with_walk_length(WalkLengthPolicy::default())
         .with_crawl_depth(crawl_depth);
-    let bench = Workbench::new(dataset.graph, config);
+    // Each repetition runs through the pooled engine: two virtual walkers
+    // over one shared cache, the repetition's budget split between them at
+    // the job level (same semantics for the SRW baseline and for WE).
+    let bench = Workbench::new(dataset.graph, config).with_pooled_walkers(2);
 
     let mut result = FigureResult::new(
         "fig07",
         "Yelp (surrogate): relative error of AVG estimations vs query cost (SRW vs WE)",
     );
+    result.push_note("repetitions run through the pooled engine (2 virtual walkers, shared cache, job-level budget split)");
     let panels: [(&str, Aggregate); 4] = [
         ("a_avg_degree", Aggregate::Degree),
         (

@@ -1,0 +1,331 @@
+//! A minimal blocking HTTP/1.1 client for the gateway's wire format.
+//!
+//! Exists so the integration tests and `examples/http_gateway.rs` can drive
+//! the server over real loopback sockets without external dependencies. It
+//! speaks exactly what the gateway serves: fixed-length JSON responses
+//! ([`get`] / [`post`] / [`delete`], or [`Connection`] for keep-alive
+//! reuse) and chunked NDJSON event streams ([`open_stream`]).
+
+use crate::http::status_reason;
+use crate::json::{self, Json, JsonError};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Timeouts applied to every client socket: generous enough for a busy
+/// loopback test machine, bounded enough that a hung server fails tests
+/// instead of wedging them.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A complete (non-streaming) HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The response body (chunked bodies arrive de-chunked).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body parsed as JSON.
+    pub fn json(&self) -> Result<Json, JsonError> {
+        json::parse(std::str::from_utf8(&self.body).map_err(|_| JsonError {
+            offset: 0,
+            message: "body is not UTF-8",
+        })?)
+    }
+}
+
+/// One-shot `GET` (the connection is closed after the response).
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<Response> {
+    request(addr, "GET", path, None)
+}
+
+/// One-shot `POST` with a JSON body.
+pub fn post(addr: SocketAddr, path: &str, body: &Json) -> io::Result<Response> {
+    request(addr, "POST", path, Some(body.encode().as_bytes()))
+}
+
+/// One-shot `DELETE`.
+pub fn delete(addr: SocketAddr, path: &str) -> io::Result<Response> {
+    request(addr, "DELETE", path, None)
+}
+
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> io::Result<Response> {
+    let mut conn = Connection::connect(addr)?;
+    conn.request_with(method, path, body, true)
+}
+
+/// A keep-alive client connection: sequential requests over one socket.
+#[derive(Debug)]
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    addr: SocketAddr,
+}
+
+impl Connection {
+    /// Opens a connection to the gateway.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+        stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+        stream.set_nodelay(true)?;
+        Ok(Connection {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            addr,
+        })
+    }
+
+    /// The server address this connection talks to.
+    pub fn peer(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sends a `GET` and reads the response, keeping the connection open.
+    pub fn get(&mut self, path: &str) -> io::Result<Response> {
+        self.request_with("GET", path, None, false)
+    }
+
+    /// Sends a `POST` with a JSON body, keeping the connection open.
+    pub fn post(&mut self, path: &str, body: &Json) -> io::Result<Response> {
+        self.request_with("POST", path, Some(body.encode().as_bytes()), false)
+    }
+
+    fn request_with(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+        close: bool,
+    ) -> io::Result<Response> {
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nConnection: {}\r\n",
+            self.addr,
+            if close { "close" } else { "keep-alive" },
+        )?;
+        if let Some(body) = body {
+            write!(
+                self.writer,
+                "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            )?;
+            self.writer.write_all(body)?;
+        } else {
+            self.writer.write_all(b"\r\n")?;
+        }
+        self.writer.flush()?;
+        let (status, headers) = read_head(&mut self.reader)?;
+        let body = read_body(&mut self.reader, &headers)?;
+        Ok(Response {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+/// Reads `HTTP/1.x STATUS REASON` plus headers up to the blank line.
+fn read_head(reader: &mut BufReader<TcpStream>) -> io::Result<(u16, Vec<(String, String)>)> {
+    let status_line = read_line(reader)?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or_default();
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid(format!("bad status line: {status_line:?}")));
+    }
+    let status = parts
+        .next()
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| invalid(format!("bad status code in {status_line:?}")))?;
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    Ok((status, headers))
+}
+
+fn read_body(
+    reader: &mut BufReader<TcpStream>,
+    headers: &[(String, String)],
+) -> io::Result<Vec<u8>> {
+    let header = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    if header("transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked")) {
+        let mut body = Vec::new();
+        while let Some(chunk) = read_chunk(reader)? {
+            body.extend_from_slice(&chunk);
+        }
+        return Ok(body);
+    }
+    match header("content-length") {
+        Some(v) => {
+            let length = v
+                .parse::<usize>()
+                .map_err(|_| invalid(format!("bad Content-Length {v:?}")))?;
+            let mut body = vec![0u8; length];
+            reader.read_exact(&mut body)?;
+            Ok(body)
+        }
+        None => {
+            let mut body = Vec::new();
+            reader.read_to_end(&mut body)?;
+            Ok(body)
+        }
+    }
+}
+
+/// Reads one chunk of a chunked body; `None` is the terminating zero chunk.
+fn read_chunk(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Vec<u8>>> {
+    let size_line = read_line(reader)?;
+    let size = usize::from_str_radix(size_line.split(';').next().unwrap_or("").trim(), 16)
+        .map_err(|_| invalid(format!("bad chunk size {size_line:?}")))?;
+    if size == 0 {
+        // Trailer section (we send none) ends with a blank line.
+        loop {
+            if read_line(reader)?.is_empty() {
+                break;
+            }
+        }
+        return Ok(None);
+    }
+    let mut chunk = vec![0u8; size];
+    reader.read_exact(&mut chunk)?;
+    let mut crlf = [0u8; 2];
+    reader.read_exact(&mut crlf)?;
+    if &crlf != b"\r\n" {
+        return Err(invalid("chunk not CRLF-terminated".to_string()));
+    }
+    Ok(Some(chunk))
+}
+
+fn read_line(reader: &mut impl BufRead) -> io::Result<String> {
+    let mut raw = Vec::new();
+    let read = reader.read_until(b'\n', &mut raw)?;
+    if read == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-response",
+        ));
+    }
+    while matches!(raw.last(), Some(b'\n' | b'\r')) {
+        raw.pop();
+    }
+    String::from_utf8(raw).map_err(|_| invalid("non-UTF-8 response bytes".to_string()))
+}
+
+fn invalid(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+/// Opens `GET {path}` and returns the NDJSON event stream. Fails with
+/// [`io::ErrorKind::Other`] when the server answers non-200 (the error
+/// message carries the status and body).
+pub fn open_stream(addr: SocketAddr, path: &str) -> io::Result<EventStream> {
+    let mut conn = Connection::connect(addr)?;
+    write!(
+        conn.writer,
+        "GET {path} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+        conn.addr
+    )?;
+    conn.writer.flush()?;
+    let (status, headers) = read_head(&mut conn.reader)?;
+    if status != 200 {
+        let body = read_body(&mut conn.reader, &headers)?;
+        return Err(io::Error::other(format!(
+            "{} {}: {}",
+            status,
+            status_reason(status),
+            String::from_utf8_lossy(&body),
+        )));
+    }
+    Ok(EventStream {
+        reader: conn.reader,
+        pending: Vec::new(),
+        done: false,
+    })
+}
+
+/// A live NDJSON event stream: iterates parsed JSON objects, one per line,
+/// as the server flushes them. Dropping it mid-stream closes the socket —
+/// which the gateway treats as a client hang-up, cancelling the job.
+#[derive(Debug)]
+pub struct EventStream {
+    reader: BufReader<TcpStream>,
+    /// De-chunked bytes not yet consumed as complete lines.
+    pending: Vec<u8>,
+    done: bool,
+}
+
+impl EventStream {
+    /// The next complete NDJSON line, across chunk boundaries.
+    fn next_line(&mut self) -> io::Result<Option<String>> {
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let rest = self.pending.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.pending, rest);
+                line.pop(); // the newline
+                let line = String::from_utf8(line)
+                    .map_err(|_| invalid("non-UTF-8 stream bytes".to_string()))?;
+                return Ok(Some(line));
+            }
+            match read_chunk(&mut self.reader)? {
+                Some(chunk) => self.pending.extend_from_slice(&chunk),
+                None => {
+                    // End of body; a final unterminated line would be a
+                    // server bug (every event is newline-terminated).
+                    return Ok(None);
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for EventStream {
+    type Item = io::Result<Json>;
+
+    fn next(&mut self) -> Option<io::Result<Json>> {
+        if self.done {
+            return None;
+        }
+        match self.next_line() {
+            Ok(Some(line)) => Some(
+                json::parse(&line).map_err(|e| invalid(format!("bad event line {line:?}: {e}"))),
+            ),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! Hand-rolled HTTP/1.1 wire handling: request parsing and response
+//! writing.
+//!
+//! The gateway speaks the small, boring subset of HTTP/1.1 that a sampling
+//! frontend needs — request line + headers + `Content-Length` bodies on the
+//! way in; fixed-length or `Transfer-Encoding: chunked` responses on the
+//! way out; keep-alive connection reuse. Everything is bounded: header
+//! block, header count, and body size all have hard caps so a misbehaving
+//! client cannot balloon a worker's memory.
+
+use crate::json::Json;
+use std::io::{self, BufRead, Read, Write};
+
+/// Maximum bytes accepted for the request line plus all headers.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Maximum number of request headers.
+pub const MAX_HEADERS: usize = 64;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, uppercase as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the request target (query string stripped).
+    pub path: String,
+    /// Header `(name, value)` pairs; names are lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless a `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the request was HTTP/1.0 (changes the keep-alive default).
+    pub http10: bool,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after the response
+    /// (`Connection` header, falling back to the HTTP-version default).
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection").map(str::to_ascii_lowercase) {
+            Some(v) if v.contains("close") => false,
+            Some(v) if v.contains("keep-alive") => true,
+            _ => !self.http10,
+        }
+    }
+
+    /// The path split into non-empty `/`-separated segments.
+    pub fn path_segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The peer closed the connection cleanly before sending a request —
+    /// the normal end of a keep-alive connection, not an error to report.
+    Closed,
+    /// The bytes on the wire are not a well-formed HTTP/1.x request.
+    Malformed(&'static str),
+    /// The request exceeded a size bound (header block or body).
+    TooLarge(&'static str),
+    /// The socket failed mid-request (includes read timeouts).
+    Io(io::Error),
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> Self {
+        RequestError::Io(e)
+    }
+}
+
+/// Reads one request from `reader`. Bodies larger than `max_body` are
+/// rejected with [`RequestError::TooLarge`] without being read.
+pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Request, RequestError> {
+    let mut header_budget = MAX_HEADER_BYTES;
+
+    // Request line; tolerate (bounded) stray CRLFs between keep-alive
+    // requests, as RFC 9112 recommends.
+    let mut line = String::new();
+    for _ in 0..4 {
+        line = read_line(reader, &mut header_budget)?;
+        if line.is_empty() && header_budget == MAX_HEADER_BYTES {
+            return Err(RequestError::Closed);
+        }
+        if !line.is_empty() {
+            break;
+        }
+    }
+    if line.is_empty() {
+        return Err(RequestError::Malformed("empty request line"));
+    }
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let method = parts
+        .next()
+        .ok_or(RequestError::Malformed("missing method"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or(RequestError::Malformed("missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or(RequestError::Malformed("missing HTTP version"))?;
+    if parts.next().is_some() {
+        return Err(RequestError::Malformed("malformed request line"));
+    }
+    let http10 = match version {
+        "HTTP/1.1" => false,
+        "HTTP/1.0" => true,
+        _ => return Err(RequestError::Malformed("unsupported HTTP version")),
+    };
+    if !method.chars().all(|c| c.is_ascii_alphabetic()) {
+        return Err(RequestError::Malformed("invalid method"));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    if !path.starts_with('/') {
+        return Err(RequestError::Malformed("request target must be a path"));
+    }
+
+    // Headers until the blank line.
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, &mut header_budget)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(RequestError::TooLarge("too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(RequestError::Malformed("header without ':'"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(RequestError::Malformed("invalid header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let request = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+        http10,
+    };
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(RequestError::Malformed(
+            "chunked request bodies are not supported",
+        ));
+    }
+    let length = match request.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| RequestError::Malformed("invalid Content-Length"))?,
+    };
+    if length > max_body {
+        return Err(RequestError::TooLarge("request body too large"));
+    }
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body)?;
+    Ok(Request { body, ..request })
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, charging `budget`.
+fn read_line<R: BufRead>(reader: &mut R, budget: &mut usize) -> Result<String, RequestError> {
+    let mut raw = Vec::new();
+    let read = reader
+        .by_ref()
+        .take(*budget as u64 + 1)
+        .read_until(b'\n', &mut raw)?;
+    if read > *budget {
+        return Err(RequestError::TooLarge("header block too large"));
+    }
+    *budget -= read;
+    if read == 0 {
+        // EOF: report as an empty line; the caller decides whether that is
+        // a clean close (before a request) or a truncation (inside one).
+        return Ok(String::new());
+    }
+    while matches!(raw.last(), Some(b'\n' | b'\r')) {
+        raw.pop();
+    }
+    String::from_utf8(raw).map_err(|_| RequestError::Malformed("non-UTF-8 header bytes"))
+}
+
+/// Canonical reason phrase for the status codes the gateway emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Content Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "",
+    }
+}
+
+/// Writes a complete fixed-length response.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        status_reason(status),
+        content_type,
+        body.len(),
+        if close { "close" } else { "keep-alive" },
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Writes a JSON response.
+pub fn write_json(w: &mut impl Write, status: u16, body: &Json, close: bool) -> io::Result<()> {
+    write_response(
+        w,
+        status,
+        "application/json",
+        body.encode().as_bytes(),
+        close,
+    )
+}
+
+/// Writes a JSON error body `{"error": message}`.
+pub fn write_error(w: &mut impl Write, status: u16, message: &str, close: bool) -> io::Result<()> {
+    write_json(
+        w,
+        status,
+        &Json::obj(vec![("error", Json::str(message))]),
+        close,
+    )
+}
+
+/// A `Transfer-Encoding: chunked` response body in progress.
+///
+/// Every chunk is flushed to the socket immediately — the whole point of
+/// the streaming endpoint is that the client sees each sample as the
+/// scheduler lands it, not a buffered batch at job end.
+#[derive(Debug)]
+pub struct ChunkedWriter<W: Write> {
+    w: W,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Writes the response head and returns the body writer. Streaming
+    /// responses always close the connection when done.
+    pub fn begin(mut w: W, status: u16, content_type: &str) -> io::Result<Self> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            status,
+            status_reason(status),
+            content_type,
+        )?;
+        w.flush()?;
+        Ok(ChunkedWriter { w })
+    }
+
+    /// Writes one chunk (non-empty; an empty chunk would terminate the
+    /// body) and flushes it.
+    pub fn write_chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        debug_assert!(!data.is_empty(), "empty chunks terminate the stream");
+        write!(self.w, "{:x}\r\n", data.len())?;
+        self.w.write_all(data)?;
+        self.w.write_all(b"\r\n")?;
+        self.w.flush()
+    }
+
+    /// Terminates the body (zero-length chunk, no trailers).
+    pub fn finish(mut self) -> io::Result<()> {
+        self.w.write_all(b"0\r\n\r\n")?;
+        self.w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(bytes: &[u8]) -> Result<Request, RequestError> {
+        read_request(&mut Cursor::new(bytes.to_vec()), 1024)
+    }
+
+    #[test]
+    fn parses_a_get_request() {
+        let req =
+            parse(b"GET /v1/metrics?verbose=1 HTTP/1.1\r\nHost: localhost\r\nAccept: */*\r\n\r\n")
+                .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/metrics");
+        assert_eq!(req.path_segments(), vec!["v1", "metrics"]);
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert!(req.body.is_empty());
+        assert!(req.keep_alive(), "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn parses_a_post_body_by_content_length() {
+        let req =
+            parse(b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 11\r\n\r\n{\"seed\":42}").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"seed\":42}");
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        let close = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!close.keep_alive());
+        let old = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!old.keep_alive(), "HTTP/1.0 defaults to close");
+        let old_keep = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(old_keep.keep_alive());
+    }
+
+    #[test]
+    fn keep_alive_sequences_parse_back_to_back() {
+        let mut cursor = Cursor::new(
+            b"GET /healthz HTTP/1.1\r\n\r\n\r\nDELETE /v1/jobs/3 HTTP/1.1\r\n\r\n".to_vec(),
+        );
+        let first = read_request(&mut cursor, 1024).unwrap();
+        assert_eq!(first.path, "/healthz");
+        // The stray CRLF between requests is tolerated.
+        let second = read_request(&mut cursor, 1024).unwrap();
+        assert_eq!(second.method, "DELETE");
+        assert_eq!(second.path_segments(), vec!["v1", "jobs", "3"]);
+        // Clean EOF afterwards.
+        assert!(matches!(
+            read_request(&mut cursor, 1024),
+            Err(RequestError::Closed)
+        ));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for (bytes, what) in [
+            (&b"GARBAGE\r\n\r\n"[..], "no target"),
+            (b"GET /x HTTP/2\r\n\r\n", "bad version"),
+            (b"GET x HTTP/1.1\r\n\r\n", "non-path target"),
+            (b"G@T /x HTTP/1.1\r\n\r\n", "bad method"),
+            (b"GET /x HTTP/1.1\r\nNoColonHere\r\n\r\n", "bad header"),
+            (
+                b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+                "bad length",
+            ),
+            (
+                b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                "chunked body",
+            ),
+        ] {
+            assert!(
+                matches!(parse(bytes), Err(RequestError::Malformed(_))),
+                "{what} should be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn size_bounds_are_enforced() {
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 9999\r\n\r\n"),
+            Err(RequestError::TooLarge(_))
+        ));
+        let huge = format!(
+            "GET /x HTTP/1.1\r\nA: {}\r\n\r\n",
+            "y".repeat(MAX_HEADER_BYTES)
+        );
+        assert!(matches!(
+            parse(huge.as_bytes()),
+            Err(RequestError::TooLarge(_))
+        ));
+        let many = format!(
+            "GET /x HTTP/1.1\r\n{}\r\n",
+            "A: b\r\n".repeat(MAX_HEADERS + 1)
+        );
+        assert!(matches!(
+            parse(many.as_bytes()),
+            Err(RequestError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_bodies_surface_as_io_errors() {
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(RequestError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn responses_have_the_expected_shape() {
+        let mut out = Vec::new();
+        write_json(
+            &mut out,
+            200,
+            &Json::obj(vec![("ok", Json::Bool(true))]),
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+
+        let mut out = Vec::new();
+        write_error(&mut out, 404, "unknown job", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"error\":\"unknown job\"}"));
+    }
+
+    #[test]
+    fn chunked_writer_frames_chunks() {
+        let mut out = Vec::new();
+        let mut body = ChunkedWriter::begin(&mut out, 200, "application/x-ndjson").unwrap();
+        body.write_chunk(b"{\"a\":1}\n").unwrap();
+        body.write_chunk(b"{\"b\":2}\n").unwrap();
+        body.finish().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(text.ends_with("8\r\n{\"a\":1}\n\r\n8\r\n{\"b\":2}\n\r\n0\r\n\r\n"));
+    }
+}

@@ -1,0 +1,590 @@
+//! A tiny, dependency-free JSON encoder/decoder.
+//!
+//! The workspace builds offline with std only (serde was dropped in the
+//! build-system PR), so the gateway carries its own minimal JSON module:
+//! a [`Json`] value tree, an encoder, and a recursive-descent parser.
+//!
+//! One deliberate departure from "numbers are f64": integer tokens are kept
+//! as exact [`Json::UInt`] / [`Json::Int`] values. Sampling seeds and query
+//! budgets are `u64`s, and the service's reproducibility contract keys on
+//! the exact seed — routing it through an `f64` would silently corrupt any
+//! seed above 2^53.
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer token (exact).
+    UInt(u64),
+    /// A negative integer token (exact).
+    Int(i64),
+    /// Any other number (fractions, exponents).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Key order is preserved (insertion order when built, file
+    /// order when parsed); duplicate keys keep the first occurrence on
+    /// [`get`](Json::get).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object from `(key, value)` pairs.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Member of an object by key (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer (exact; a
+    /// fractional or negative number is `None`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::UInt(n) => Some(n),
+            Json::Int(n) => u64::try_from(n).ok(),
+            // Strict `<`: `u64::MAX as f64` rounds up to 2^64, which does
+            // not fit — a `<=` would let the cast saturate and silently
+            // corrupt the value.
+            Json::Num(n) if n >= 0.0 && n.fract() == 0.0 && n < u64::MAX as f64 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::UInt(n) => Some(n as f64),
+            Json::Int(n) => Some(n as f64),
+            Json::Num(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Serializes the value to compact JSON text.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::UInt(n) => out.push_str(&n.to_string()),
+            Json::Int(n) => out.push_str(&n.to_string()),
+            Json::Num(n) => {
+                // JSON has no NaN/Infinity; encode them as null.
+                if n.is_finite() {
+                    out.push_str(&n.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure: byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON value from `input` (surrounding whitespace allowed,
+/// trailing garbage rejected).
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the value"));
+    }
+    Ok(value)
+}
+
+/// Nesting depth cap — malicious inputs must not overflow the stack.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &'static str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, expected: u8, message: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.eat(b'{', "expected '{'")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                // High surrogate: a \uXXXX low surrogate must
+                                // follow to form one code point.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.eat(b'u', "expected low surrogate escape")?;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&low) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let cp = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(cp)
+                                } else {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&unit) {
+                                return Err(self.err("unpaired surrogate"));
+                            } else {
+                                char::from_u32(unit)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid unicode escape"))?);
+                        }
+                        _ => return Err(self.err("invalid escape character")),
+                    }
+                }
+                // Raw control characters are not valid inside JSON strings.
+                b if b < 0x20 => return Err(self.err("raw control character in string")),
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: the input is a &str, so the sequence
+                    // is known-valid; copy it through.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    if end > self.bytes.len() {
+                        return Err(self.err("truncated UTF-8 sequence"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.peek() else {
+                return Err(self.err("truncated unicode escape"));
+            };
+            let digit = match b {
+                b'0'..=b'9' => b - b'0',
+                b'a'..=b'f' => b - b'a' + 10,
+                b'A'..=b'F' => b - b'A' + 10,
+                _ => return Err(self.err("invalid hex digit in unicode escape")),
+            };
+            value = value * 16 + u32::from(digit);
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let token =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number tokens are ASCII");
+        if !fractional {
+            if let Some(rest) = token.strip_prefix('-') {
+                if rest.parse::<u64>().is_ok() {
+                    // Negative integer; keep exact when it fits i64.
+                    if let Ok(n) = token.parse::<i64>() {
+                        return Ok(Json::Int(n));
+                    }
+                }
+            } else if let Ok(n) = token.parse::<u64>() {
+                return Ok(Json::UInt(n));
+            }
+        }
+        match token.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            _ => {
+                self.pos = start;
+                Err(self.err("invalid number"))
+            }
+        }
+    }
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(text: &str) -> Json {
+        let value = parse(text).unwrap();
+        assert_eq!(parse(&value.encode()).unwrap(), value);
+        value
+    }
+
+    #[test]
+    fn scalars_parse_and_encode() {
+        assert_eq!(roundtrip("null"), Json::Null);
+        assert_eq!(roundtrip("true"), Json::Bool(true));
+        assert_eq!(roundtrip("false"), Json::Bool(false));
+        assert_eq!(roundtrip("42"), Json::UInt(42));
+        assert_eq!(roundtrip("-7"), Json::Int(-7));
+        assert_eq!(roundtrip("2.5"), Json::Num(2.5));
+        // `1e3` parses as a float; it re-encodes as the integer `1000`, so
+        // it is value- but not variant-stable across a roundtrip.
+        assert_eq!(parse("1e3").unwrap(), Json::Num(1000.0));
+        assert_eq!(roundtrip("\"hi\""), Json::str("hi"));
+    }
+
+    #[test]
+    fn u64_seeds_survive_exactly() {
+        // 2^63 + 27 is not representable as f64; an f64-only parser would
+        // silently change the seed and break reproducibility.
+        let seed = (1u64 << 63) + 27;
+        let text = format!("{{\"seed\":{seed}}}");
+        let value = parse(&text).unwrap();
+        assert_eq!(value.get("seed").unwrap().as_u64(), Some(seed));
+        assert_eq!(value.encode(), text);
+        assert_eq!(
+            parse(&u64::MAX.to_string()).unwrap().as_u64(),
+            Some(u64::MAX)
+        );
+        // 2^64 overflows u64 parsing, falls back to a float, and must be
+        // rejected by as_u64 rather than saturating to u64::MAX.
+        let overflow = parse("18446744073709551616").unwrap();
+        assert!(matches!(overflow, Json::Num(_)));
+        assert_eq!(overflow.as_u64(), None);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let value = roundtrip(r#"{"a":[1,2,{"b":null}],"c":{"d":[true,false]},"e":""}"#);
+        assert_eq!(
+            value.get("a").unwrap().as_array().unwrap()[2].get("b"),
+            Some(&Json::Null)
+        );
+        assert_eq!(value.get("e").unwrap().as_str(), Some(""));
+        assert!(value.get("missing").is_none());
+        assert_eq!(roundtrip("[]"), Json::Arr(vec![]));
+        assert_eq!(roundtrip("{}"), Json::Obj(vec![]));
+        assert_eq!(
+            roundtrip(" [ 1 , 2 ] "),
+            Json::Arr(vec![Json::UInt(1), Json::UInt(2)])
+        );
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let value = roundtrip(r#""line\nquote\"backslash\\tab\tunicode\u00e9""#);
+        assert_eq!(
+            value.as_str(),
+            Some("line\nquote\"backslash\\tab\tunicodeé")
+        );
+        // Surrogate pair (emoji) and raw UTF-8 both survive.
+        assert_eq!(parse(r#""\ud83d\ude00""#).unwrap().as_str(), Some("😀"));
+        assert_eq!(roundtrip("\"héllo 😀\"").as_str(), Some("héllo 😀"));
+        // Control characters are escaped on encode.
+        assert_eq!(Json::str("a\u{0001}b").encode(), r#""a\u0001b""#);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected_with_offsets() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "nul",
+            "[1]]",
+            "{\"a\":1,}",
+            "\"\\q\"",
+            "\"\\ud800\"",
+            "01x",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+        let err = parse("[nope]").unwrap_err();
+        assert!(err.offset > 0);
+        assert!(err.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep = "[".repeat(1000) + &"]".repeat(1000);
+        assert!(parse(&deep).is_err(), "pathological nesting must not crash");
+    }
+
+    #[test]
+    fn accessors_convert_sensibly() {
+        assert_eq!(Json::UInt(5).as_f64(), Some(5.0));
+        assert_eq!(Json::Int(-5).as_u64(), None);
+        assert_eq!(Json::Num(5.0).as_u64(), Some(5));
+        assert_eq!(Json::Num(5.5).as_u64(), None);
+        assert_eq!(Json::Bool(true).as_u64(), None);
+        assert_eq!(Json::Bool(true).as_bool(), Some(true));
+        assert!(Json::Null.is_null());
+        assert_eq!(
+            Json::obj(vec![("k", Json::UInt(1))]).get("k"),
+            Some(&Json::UInt(1))
+        );
+    }
+}

@@ -1,0 +1,668 @@
+//! The gateway server: a `TcpListener` accept loop feeding a bounded worker
+//! pool, routing requests over one [`SamplingService`].
+//!
+//! Concurrency model: one accept thread plus `workers` connection-serving
+//! threads, joined by a bounded hand-off queue. A worker owns a connection
+//! for its whole life (keep-alive requests are served back to back; a
+//! streaming response occupies its worker until the job's `Done` event), so
+//! `workers` bounds the number of concurrently served connections and the
+//! queue bounds how many accepted connections may wait — beyond that, the
+//! accept loop sheds load with `503` instead of queueing unboundedly, the
+//! same philosophy as the service's admission control.
+//!
+//! Client disconnects during a stream surface as write errors; the handler
+//! drops its claimed [`SampleStream`](wnw_service::SampleStream), which is
+//! the service's consumer-hang-up signal: the scheduler cancels the job at
+//! the next delivery and refunds its unused budget.
+
+use crate::http::{read_request, write_error, write_json, ChunkedWriter, Request, RequestError};
+use crate::json::{self, Json};
+use crate::wire;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use wnw_access::interface::ThreadedNetwork;
+use wnw_service::{
+    AdmissionError, ClaimError, JobId, JobRegistry, SamplingService, ServiceMetricsSnapshot,
+};
+
+/// Tuning knobs of a [`GatewayServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct GatewayConfig {
+    /// Connection-serving threads. Each streaming client occupies one for
+    /// its job's whole life, so size this at least to the expected number
+    /// of concurrent streams. Default 4.
+    pub workers: usize,
+    /// Accepted connections that may wait for a free worker before the
+    /// accept loop starts shedding load with `503`. Default 8.
+    pub backlog: usize,
+    /// Largest accepted request body. Default 64 KiB.
+    pub max_body_bytes: usize,
+    /// Idle read timeout on a keep-alive connection; also the worst-case
+    /// time a worker lingers on a silent client. Default 5 s.
+    pub read_timeout: Duration,
+    /// Write timeout towards slow or dead clients. Default 5 s.
+    pub write_timeout: Duration,
+    /// How long a submitted job's stream may sit unclaimed before the
+    /// gateway reaps it (cancelling the job and refunding its budget, via
+    /// [`JobRegistry::sweep_unclaimed`]). Bounds the memory and query
+    /// budget a fire-and-forget submitter can burn. Default 60 s.
+    pub claim_ttl: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            workers: 4,
+            backlog: 8,
+            max_body_bytes: 64 * 1024,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            claim_ttl: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Shared state of all gateway threads.
+struct State<N: ThreadedNetwork + 'static> {
+    service: SamplingService<N>,
+    registry: JobRegistry,
+    config: GatewayConfig,
+    shutdown: AtomicBool,
+}
+
+/// An HTTP/1.1 frontend over a [`SamplingService`], bound to a loopback (or
+/// any TCP) address.
+///
+/// | Route | Meaning |
+/// |---|---|
+/// | `POST /v1/jobs` | submit a sampling request (JSON body) |
+/// | `GET /v1/jobs/{id}/stream` | chunked NDJSON event stream of the job |
+/// | `DELETE /v1/jobs/{id}` | cooperative cancel |
+/// | `GET /v1/metrics` | service metrics snapshot (JSON) |
+/// | `GET /healthz` | liveness probe |
+///
+/// See the [crate docs](crate) for the wire format and a walkthrough.
+#[derive(Debug)]
+pub struct GatewayServer<N: ThreadedNetwork + 'static> {
+    addr: SocketAddr,
+    /// `None` only transiently inside [`shutdown`](Self::shutdown), after
+    /// the threads are joined (defuses the `Drop` teardown).
+    state: Option<Arc<State<N>>>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+// Manual Debug for State would drag N: Debug bounds around; the server's
+// Debug only needs the address.
+impl<N: ThreadedNetwork + 'static> std::fmt::Debug for State<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("State")
+            .field("registry_len", &self.registry.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<N: ThreadedNetwork + 'static> GatewayServer<N> {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral loopback port)
+    /// and starts serving `service` with the default configuration.
+    pub fn bind(service: SamplingService<N>, addr: &str) -> io::Result<Self> {
+        Self::bind_with(service, addr, GatewayConfig::default())
+    }
+
+    /// Binds `addr` with an explicit configuration.
+    pub fn bind_with(
+        service: SamplingService<N>,
+        addr: &str,
+        config: GatewayConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(State {
+            service,
+            registry: JobRegistry::default(),
+            config,
+            shutdown: AtomicBool::new(false),
+        });
+
+        let workers = config.workers.max(1);
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.backlog.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let state = Arc::clone(&state);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("wnw-gateway-worker-{i}"))
+                    .spawn(move || worker_loop(state, rx))
+                    .expect("spawn gateway worker")
+            })
+            .collect();
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::Builder::new()
+            .name("wnw-gateway-accept".into())
+            .spawn(move || accept_loop(listener, accept_state, tx))
+            .expect("spawn gateway accept thread");
+
+        Ok(GatewayServer {
+            addr,
+            state: Some(state),
+            accept: Some(accept),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A live snapshot of the underlying service's metrics.
+    pub fn metrics(&self) -> ServiceMetricsSnapshot {
+        self.state
+            .as_ref()
+            .expect("state present until shutdown")
+            .service
+            .metrics()
+    }
+
+    /// Stops accepting, cancels every registered job so in-flight streams
+    /// reach their `Done` event promptly, drains the workers, shuts the
+    /// service down, and returns its final metrics snapshot.
+    pub fn shutdown(mut self) -> ServiceMetricsSnapshot {
+        self.stop_threads();
+        let state = self.state.take().expect("shutdown runs once");
+        match Arc::try_unwrap(state) {
+            Ok(state) => state.service.shutdown(),
+            // All threads were joined, so this Arc is unique; if that ever
+            // stops holding, the service still drains when the last clone
+            // drops — return the best snapshot available.
+            Err(state) => state.service.metrics(),
+        }
+    }
+
+    fn stop_threads(&mut self) {
+        let Some(state) = self.state.as_ref() else {
+            return;
+        };
+        state.shutdown.store(true, Ordering::SeqCst);
+        // Streams held by workers end once their jobs go terminal.
+        state.registry.cancel_all();
+        // Unblock the accept() call; the errorless connect also drains fine
+        // if a worker picks it up first.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // A worker may have been mid-submit when the first cancel_all ran,
+        // registering its job just after. Now that every worker is joined
+        // the registry is quiescent; cancel again so the service drain
+        // below never waits on a straggler job running to completion.
+        state.registry.cancel_all();
+    }
+}
+
+impl<N: ThreadedNetwork + 'static> Drop for GatewayServer<N> {
+    /// Dropping the server tears the HTTP threads down and drains the
+    /// service like [`shutdown`](Self::shutdown), discarding the snapshot.
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+fn accept_loop<N: ThreadedNetwork + 'static>(
+    listener: TcpListener,
+    state: Arc<State<N>>,
+    tx: SyncSender<TcpStream>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if state.shutdown.load(Ordering::SeqCst) {
+            return; // tx drops; workers drain the queue, then exit.
+        }
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) => {
+                // Every worker is busy and the wait queue is full: shed
+                // load at the door rather than queueing unboundedly.
+                let _ = stream.set_write_timeout(Some(state.config.write_timeout));
+                let _ = write_error(&mut stream, 503, "gateway at capacity; retry later", true);
+            }
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+}
+
+fn worker_loop<N: ThreadedNetwork + 'static>(
+    state: Arc<State<N>>,
+    rx: Arc<Mutex<Receiver<TcpStream>>>,
+) {
+    loop {
+        let next = rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
+        match next {
+            Ok(stream) => {
+                let _ = serve_connection(&state, stream);
+            }
+            Err(_) => return, // accept loop gone: shutdown.
+        }
+    }
+}
+
+/// Serves one connection: keep-alive loop of parse → route → respond.
+fn serve_connection<N: ThreadedNetwork + 'static>(
+    state: &State<N>,
+    stream: TcpStream,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(state.config.read_timeout))?;
+    stream.set_write_timeout(Some(state.config.write_timeout))?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let request = match read_request(&mut reader, state.config.max_body_bytes) {
+            Ok(request) => request,
+            Err(RequestError::Closed) | Err(RequestError::Io(_)) => return Ok(()),
+            Err(RequestError::Malformed(message)) => {
+                let _ = write_error(&mut writer, 400, message, true);
+                return Ok(());
+            }
+            Err(RequestError::TooLarge(message)) => {
+                let _ = write_error(&mut writer, 413, message, true);
+                return Ok(());
+            }
+        };
+        // During shutdown, answer the in-flight request but stop reusing
+        // the connection so the worker can exit.
+        let keep_alive = request.keep_alive() && !state.shutdown.load(Ordering::SeqCst);
+        let keep_alive = respond(state, &request, &mut writer, keep_alive)?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+/// Routes one request. Returns whether the connection may be reused.
+fn respond<N: ThreadedNetwork + 'static>(
+    state: &State<N>,
+    request: &Request,
+    writer: &mut TcpStream,
+    keep_alive: bool,
+) -> io::Result<bool> {
+    let segments = request.path_segments();
+    let method = request.method.as_str();
+    match (method, segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            let body = Json::obj(vec![("status", Json::str("ok"))]);
+            write_json(writer, 200, &body, !keep_alive)?;
+        }
+        ("GET", ["v1", "metrics"]) => {
+            let body = wire::metrics_to_json(&state.service.metrics());
+            write_json(writer, 200, &body, !keep_alive)?;
+        }
+        ("POST", ["v1", "jobs"]) => return submit(state, request, writer, keep_alive),
+        ("GET", ["v1", "jobs", id, "stream"]) => return stream_job(state, id, writer),
+        ("DELETE", ["v1", "jobs", id]) => match parse_id(id) {
+            Some(id) if state.registry.cancel(id) => {
+                let body = Json::obj(vec![
+                    ("job_id", Json::UInt(id.0)),
+                    ("cancelled", Json::Bool(true)),
+                ]);
+                write_json(writer, 200, &body, !keep_alive)?;
+            }
+            _ => write_error(writer, 404, "unknown job", !keep_alive)?,
+        },
+        // Known paths under the wrong method get a 405, unknown paths 404.
+        (_, ["healthz"])
+        | (_, ["v1", "metrics"])
+        | (_, ["v1", "jobs"])
+        | (_, ["v1", "jobs", _, "stream"])
+        | (_, ["v1", "jobs", _]) => {
+            write_error(writer, 405, "method not allowed", !keep_alive)?;
+        }
+        _ => write_error(writer, 404, "no such route", !keep_alive)?,
+    }
+    Ok(keep_alive)
+}
+
+/// `POST /v1/jobs`: parse, submit, register, answer `202` with the id.
+fn submit<N: ThreadedNetwork + 'static>(
+    state: &State<N>,
+    request: &Request,
+    writer: &mut TcpStream,
+    keep_alive: bool,
+) -> io::Result<bool> {
+    // Reap fire-and-forget jobs whose streams were never claimed: they are
+    // still burning query budget and buffering events. Sweeping on every
+    // submission bounds the unclaimed population by the submission rate
+    // within one TTL window.
+    state.registry.sweep_unclaimed(state.config.claim_ttl);
+    let body = match std::str::from_utf8(&request.body)
+        .map_err(|_| "request body is not UTF-8".to_string())
+        .and_then(|text| json::parse(text).map_err(|e| e.to_string()))
+        .and_then(|json| wire::sample_request_from_json(&json))
+    {
+        Ok(sample_request) => sample_request,
+        Err(message) => {
+            write_error(writer, 400, &message, !keep_alive)?;
+            return Ok(keep_alive);
+        }
+    };
+    match state.service.submit(body) {
+        Ok(ticket) => {
+            let id = state.registry.register(ticket);
+            let body = Json::obj(vec![
+                ("job_id", Json::UInt(id.0)),
+                ("stream", Json::Str(format!("/v1/jobs/{}/stream", id.0))),
+            ]);
+            write_json(writer, 202, &body, !keep_alive)?;
+        }
+        Err(err @ AdmissionError::Invalid(_)) => {
+            write_error(writer, 400, &err.to_string(), !keep_alive)?;
+        }
+        Err(err @ (AdmissionError::Saturated { .. } | AdmissionError::ShuttingDown)) => {
+            write_error(writer, 503, &err.to_string(), !keep_alive)?;
+        }
+    }
+    Ok(keep_alive)
+}
+
+/// `GET /v1/jobs/{id}/stream`: chunked NDJSON of the job's events. The
+/// connection is never reused afterwards; a mid-stream client disconnect
+/// drops the claimed stream, which cancels the job and refunds its budget
+/// (the service's hang-up path).
+fn stream_job<N: ThreadedNetwork + 'static>(
+    state: &State<N>,
+    id: &str,
+    writer: &mut TcpStream,
+) -> io::Result<bool> {
+    let Some(id) = parse_id(id) else {
+        write_error(writer, 404, "unknown job", true)?;
+        return Ok(false);
+    };
+    let events = match state.registry.claim_stream(id) {
+        Ok(events) => events,
+        Err(ClaimError::Unknown) => {
+            write_error(writer, 404, "unknown job", true)?;
+            return Ok(false);
+        }
+        Err(ClaimError::AlreadyClaimed) => {
+            write_error(writer, 409, "stream already claimed", true)?;
+            return Ok(false);
+        }
+    };
+    let mut body = match ChunkedWriter::begin(&mut *writer, 200, "application/x-ndjson") {
+        Ok(body) => body,
+        Err(_) => {
+            // The client died before the response head went out. The entry
+            // must not linger half-claimed: discard it (dropping the claimed
+            // stream already cancelled the job).
+            state.registry.discard(id);
+            return Ok(false);
+        }
+    };
+    let mut line = String::new();
+    for event in events {
+        line.clear();
+        line.push_str(&wire::event_to_json(&event).encode());
+        line.push('\n');
+        // A write failure here is the client hanging up: stop consuming,
+        // drop `events` (→ cooperative cancel + budget refund), clean the
+        // registry entry, and give the connection up.
+        if body.write_chunk(line.as_bytes()).is_err() {
+            state.registry.discard(id);
+            return Ok(false);
+        }
+    }
+    // Discard before the terminal chunk: a client that observes the end of
+    // the stream must find the registry entry already gone (404, not 409).
+    state.registry.discard(id);
+    let _ = body.finish();
+    Ok(false)
+}
+
+fn parse_id(text: &str) -> Option<JobId> {
+    text.parse::<u64>().ok().map(JobId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use wnw_access::SimulatedOsn;
+    use wnw_graph::generators::random::barabasi_albert;
+
+    fn server() -> GatewayServer<SimulatedOsn> {
+        let osn = SimulatedOsn::new(barabasi_albert(400, 3, 5).unwrap());
+        let service = SamplingService::builder(osn).pool_threads(1).build();
+        GatewayServer::bind(service, "127.0.0.1:0").expect("bind loopback")
+    }
+
+    #[test]
+    fn health_metrics_and_unknown_routes() {
+        let server = server();
+        let addr = server.local_addr();
+        let health = client::get(addr, "/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        assert_eq!(
+            health.json().unwrap().get("status").unwrap().as_str(),
+            Some("ok")
+        );
+
+        let metrics = client::get(addr, "/v1/metrics").unwrap();
+        assert_eq!(metrics.status, 200);
+        let doc = metrics.json().unwrap();
+        assert_eq!(doc.get("jobs_submitted").unwrap().as_u64(), Some(0));
+        assert!(doc.get("shared_cache_savings").is_some());
+        assert!(doc.get("max_queue_wait_ms").is_some());
+        assert!(doc.get("pool").unwrap().get("unique_nodes").is_some());
+
+        assert_eq!(client::get(addr, "/nope").unwrap().status, 404);
+        assert_eq!(
+            client::get(addr, "/v1/jobs/xyz/stream").unwrap().status,
+            404
+        );
+        assert_eq!(client::delete(addr, "/v1/jobs/99").unwrap().status, 404);
+        // Wrong method on a known path.
+        assert_eq!(client::delete(addr, "/healthz").unwrap().status, 405);
+        assert_eq!(client::get(addr, "/v1/jobs").unwrap().status, 405);
+        server.shutdown();
+    }
+
+    #[test]
+    fn submit_stream_and_delete_lifecycle() {
+        let server = server();
+        let addr = server.local_addr();
+        let body =
+            json::parse(r#"{"samples": 6, "seed": 11, "walkers": 2, "diameter_estimate": 4}"#)
+                .unwrap();
+        let resp = client::post(addr, "/v1/jobs", &body).unwrap();
+        assert_eq!(resp.status, 202);
+        let doc = resp.json().unwrap();
+        let id = doc.get("job_id").unwrap().as_u64().unwrap();
+        let path = doc.get("stream").unwrap().as_str().unwrap().to_string();
+        assert_eq!(path, format!("/v1/jobs/{id}/stream"));
+
+        let mut samples = 0;
+        let mut done = None;
+        for line in client::open_stream(addr, &path).unwrap() {
+            let event = line.unwrap();
+            match event.get("event").unwrap().as_str().unwrap() {
+                "sample" => samples += 1,
+                "done" => done = Some(event.clone()),
+                _ => {}
+            }
+        }
+        assert_eq!(samples, 6);
+        let done = done.expect("stream ends with done");
+        assert_eq!(done.get("status").unwrap().as_str(), Some("completed"));
+        assert_eq!(done.get("samples").unwrap().as_u64(), Some(6));
+
+        // The registry entry is gone once the stream was served.
+        assert_eq!(
+            client::get(addr, &path).unwrap().status,
+            404,
+            "served streams are discarded"
+        );
+        let metrics = server.shutdown();
+        assert_eq!(metrics.jobs_completed, 1);
+        assert_eq!(metrics.samples_delivered, 6);
+    }
+
+    #[test]
+    fn second_stream_claim_conflicts() {
+        let server = server();
+        let addr = server.local_addr();
+        // A large job keeps the first stream open while we try the second.
+        let body = json::parse(r#"{"samples": 100000, "seed": 3, "walkers": 2}"#).unwrap();
+        let id = client::post(addr, "/v1/jobs", &body)
+            .unwrap()
+            .json()
+            .unwrap()
+            .get("job_id")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        let path = format!("/v1/jobs/{id}/stream");
+        let mut first = client::open_stream(addr, &path).unwrap();
+        assert!(first.next().is_some(), "first claim streams events");
+        let second = client::get(addr, &path).unwrap();
+        assert_eq!(second.status, 409, "stream is single-consumer");
+        drop(first);
+        server.shutdown();
+    }
+
+    #[test]
+    fn invalid_bodies_are_rejected_with_400() {
+        let server = server();
+        let addr = server.local_addr();
+        let resp = client::post(addr, "/v1/jobs", &Json::str("not an object")).unwrap();
+        assert_eq!(resp.status, 400);
+        let resp = client::post(addr, "/v1/jobs", &json::parse(r#"{"seed": 1}"#).unwrap()).unwrap();
+        assert_eq!(resp.status, 400);
+        assert!(resp
+            .json()
+            .unwrap()
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("samples"));
+        // Zero samples passes wire parsing but fails service admission.
+        let resp = client::post(
+            addr,
+            "/v1/jobs",
+            &json::parse(r#"{"samples": 0, "seed": 1}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 400);
+        let metrics = server.shutdown();
+        assert_eq!(metrics.jobs_rejected, 1);
+        assert_eq!(metrics.jobs_submitted, 0);
+    }
+
+    #[test]
+    fn delete_cancels_a_registered_job() {
+        let server = server();
+        let addr = server.local_addr();
+        let body = json::parse(r#"{"samples": 1000000, "seed": 9, "walkers": 2}"#).unwrap();
+        let id = client::post(addr, "/v1/jobs", &body)
+            .unwrap()
+            .json()
+            .unwrap()
+            .get("job_id")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        let resp = client::delete(addr, &format!("/v1/jobs/{id}")).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.json().unwrap().get("cancelled").unwrap().as_bool(),
+            Some(true)
+        );
+        // The stream is still claimable and ends with a cancelled outcome.
+        let done = client::open_stream(addr, &format!("/v1/jobs/{id}/stream"))
+            .unwrap()
+            .filter_map(Result::ok)
+            .find(|e| e.get("event").unwrap().as_str() == Some("done"))
+            .expect("done event");
+        assert_eq!(done.get("status").unwrap().as_str(), Some("cancelled"));
+        let metrics = server.shutdown();
+        assert_eq!(metrics.jobs_cancelled, 1);
+    }
+
+    #[test]
+    fn fire_and_forget_jobs_are_reaped_after_the_claim_ttl() {
+        let osn = SimulatedOsn::new(barabasi_albert(400, 3, 5).unwrap());
+        let service = SamplingService::builder(osn).pool_threads(1).build();
+        let config = GatewayConfig {
+            claim_ttl: Duration::ZERO,
+            ..GatewayConfig::default()
+        };
+        let server = GatewayServer::bind_with(service, "127.0.0.1:0", config).unwrap();
+        let addr = server.local_addr();
+
+        // Fire-and-forget: submit a huge job and never open its stream.
+        let abandoned = json::parse(r#"{"samples": 1000000, "seed": 4, "walkers": 2}"#).unwrap();
+        let id = client::post(addr, "/v1/jobs", &abandoned)
+            .unwrap()
+            .json()
+            .unwrap()
+            .get("job_id")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        // The next submission sweeps it (TTL zero): the job is cancelled
+        // and its registry entry is gone.
+        let small = json::parse(r#"{"samples": 3, "seed": 5, "walkers": 2}"#).unwrap();
+        let resp = client::post(addr, "/v1/jobs", &small).unwrap();
+        assert_eq!(resp.status, 202);
+        let small_path = resp
+            .json()
+            .unwrap()
+            .get("stream")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        assert_eq!(
+            client::get(addr, &format!("/v1/jobs/{id}/stream"))
+                .unwrap()
+                .status,
+            404,
+            "the reaped job's entry must be gone"
+        );
+        // The swept job released its slot: the small one completes.
+        let done = client::open_stream(addr, &small_path)
+            .unwrap()
+            .filter_map(Result::ok)
+            .find(|e| e.get("event").unwrap().as_str() == Some("done"))
+            .unwrap();
+        assert_eq!(done.get("status").unwrap().as_str(), Some("completed"));
+        let metrics = server.shutdown();
+        assert_eq!(metrics.jobs_cancelled, 1, "abandoned job was cancelled");
+        assert_eq!(metrics.jobs_completed, 1);
+    }
+
+    #[test]
+    fn keep_alive_serves_sequential_requests_on_one_connection() {
+        let server = server();
+        let addr = server.local_addr();
+        let mut conn = client::Connection::connect(addr).unwrap();
+        for _ in 0..3 {
+            let resp = conn.get("/healthz").unwrap();
+            assert_eq!(resp.status, 200);
+        }
+        drop(conn);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,419 @@
+//! Wire mapping between the gateway's JSON bodies and the service's
+//! request/event/metrics types.
+//!
+//! The submit body mirrors [`SampleJob`] plus the service-level knobs of a
+//! [`SampleRequest`]:
+//!
+//! ```json
+//! {
+//!   "sampler": "walk_estimate",        // | "many_short_runs" | "one_long_run"
+//!   "input": "srw",                    // | "mhrw"
+//!   "samples": 200,                    // required
+//!   "seed": 42,                        // required (u64-exact)
+//!   "walkers": 4,                      // optional
+//!   "budget": 10000,                   // optional (unique-node queries)
+//!   "diameter_estimate": 5,            // optional
+//!   "history": "cooperative",          // | "independent"
+//!   "priority": "normal",              // | "low" | "high"
+//!   "deadline_ms": 30000               // optional
+//! }
+//! ```
+//!
+//! Events stream back as NDJSON, one object per line, discriminated by an
+//! `"event"` field (`sample` / `progress` / `done`) — the JSON shadows of
+//! [`SampleEvent`]'s variants.
+
+use crate::json::Json;
+use std::time::Duration;
+use wnw_engine::{HistoryMode, SampleJob, SamplerSpec};
+use wnw_mcmc::burn_in::BurnInConfig;
+use wnw_mcmc::RandomWalkKind;
+use wnw_service::{
+    JobOutcome, JobStatus, Priority, ProgressUpdate, SampleEvent, SampleRequest,
+    ServiceMetricsSnapshot,
+};
+
+/// Parses a submit body into a [`SampleRequest`]. Messages are phrased for
+/// the remote client (they end up in a 400 response body).
+pub fn sample_request_from_json(body: &Json) -> Result<SampleRequest, String> {
+    let Json::Obj(fields) = body else {
+        return Err("request body must be a JSON object".to_string());
+    };
+    for (key, _) in fields {
+        if !matches!(
+            key.as_str(),
+            "sampler"
+                | "input"
+                | "samples"
+                | "seed"
+                | "walkers"
+                | "budget"
+                | "diameter_estimate"
+                | "history"
+                | "priority"
+                | "deadline_ms"
+        ) {
+            return Err(format!("unknown field `{key}`"));
+        }
+    }
+
+    let samples = required_u64(body, "samples")? as usize;
+    let seed = required_u64(body, "seed")?;
+    let input = match optional_str(body, "input")?.unwrap_or("srw") {
+        "srw" | "simple" => RandomWalkKind::Simple,
+        "mhrw" | "metropolis_hastings" => RandomWalkKind::MetropolisHastings,
+        other => return Err(format!("unknown input walk `{other}` (srw|mhrw)")),
+    };
+    let mut job = match optional_str(body, "sampler")?.unwrap_or("walk_estimate") {
+        "walk_estimate" => SampleJob::walk_estimate(input, samples, seed),
+        "many_short_runs" | "baseline" => SampleJob::baseline(input, samples, seed),
+        "one_long_run" => {
+            SampleJob::baseline(input, samples, seed).with_spec(SamplerSpec::OneLongRun {
+                input,
+                config: BurnInConfig::default(),
+            })
+        }
+        other => {
+            return Err(format!(
+                "unknown sampler `{other}` (walk_estimate|many_short_runs|one_long_run)"
+            ))
+        }
+    };
+    if let Some(walkers) = optional_u64(body, "walkers")? {
+        job = job.with_walkers(walkers as usize);
+    }
+    if let Some(budget) = optional_u64(body, "budget")? {
+        job = job.with_budget(budget);
+    }
+    if let Some(diameter) = optional_u64(body, "diameter_estimate")? {
+        job = job.with_diameter_estimate(diameter as usize);
+    }
+    if let Some(history) = optional_str(body, "history")? {
+        job = job.with_history(match history {
+            "cooperative" => HistoryMode::Cooperative,
+            "independent" => HistoryMode::Independent,
+            other => {
+                return Err(format!(
+                    "unknown history mode `{other}` (cooperative|independent)"
+                ))
+            }
+        });
+    }
+
+    let mut request = SampleRequest::new(job);
+    if let Some(priority) = optional_str(body, "priority")? {
+        request = request.with_priority(match priority {
+            "low" => Priority::Low,
+            "normal" => Priority::Normal,
+            "high" => Priority::High,
+            other => return Err(format!("unknown priority `{other}` (low|normal|high)")),
+        });
+    }
+    if let Some(deadline_ms) = optional_u64(body, "deadline_ms")? {
+        request = request.with_deadline(Duration::from_millis(deadline_ms));
+    }
+    Ok(request)
+}
+
+fn required_u64(body: &Json, key: &str) -> Result<u64, String> {
+    optional_u64(body, key)?.ok_or_else(|| format!("missing required field `{key}`"))
+}
+
+fn optional_u64(body: &Json, key: &str) -> Result<Option<u64>, String> {
+    match body.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(value) => value
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` must be a non-negative integer")),
+    }
+}
+
+fn optional_str<'a>(body: &'a Json, key: &str) -> Result<Option<&'a str>, String> {
+    match body.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(value) => value
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` must be a string")),
+    }
+}
+
+/// The wire label of a terminal status.
+pub fn status_label(status: &JobStatus) -> &'static str {
+    match status {
+        JobStatus::Completed => "completed",
+        JobStatus::Cancelled => "cancelled",
+        JobStatus::DeadlineExpired => "deadline_expired",
+        JobStatus::Failed(_) => "failed",
+        JobStatus::Panicked(_) => "panicked",
+    }
+}
+
+/// One stream event as its NDJSON object.
+pub fn event_to_json(event: &SampleEvent) -> Json {
+    match event {
+        SampleEvent::Sample { walker, record } => Json::obj(vec![
+            ("event", Json::str("sample")),
+            ("walker", Json::UInt(*walker as u64)),
+            ("node", Json::UInt(u64::from(record.node.0))),
+            ("query_cost", Json::UInt(record.query_cost)),
+            ("attempts", Json::UInt(u64::from(record.attempts))),
+        ]),
+        SampleEvent::Progress(update) => progress_to_json(update),
+        SampleEvent::Done(outcome) => outcome_to_json(outcome),
+    }
+}
+
+fn progress_to_json(update: &ProgressUpdate) -> Json {
+    Json::obj(vec![
+        ("event", Json::str("progress")),
+        ("rounds", Json::UInt(update.rounds as u64)),
+        ("samples", Json::UInt(update.samples as u64)),
+        ("requested", Json::UInt(update.requested as u64)),
+        ("live_walkers", Json::UInt(update.live_walkers as u64)),
+        ("budget_consumed", Json::UInt(update.budget_consumed)),
+        ("query_cost", Json::UInt(update.query_cost)),
+        ("pool_unique_nodes", Json::UInt(update.pool.unique_nodes)),
+    ])
+}
+
+/// A terminal outcome as its NDJSON `done` object.
+pub fn outcome_to_json(outcome: &JobOutcome) -> Json {
+    let mut fields = vec![
+        ("event", Json::str("done")),
+        ("job_id", Json::UInt(outcome.id.0)),
+        ("status", Json::str(status_label(&outcome.status))),
+        ("samples", Json::UInt(outcome.samples as u64)),
+        ("requested", Json::UInt(outcome.requested as u64)),
+        ("query_cost", Json::UInt(outcome.query_cost)),
+        ("budget_consumed", Json::UInt(outcome.budget_consumed)),
+        ("budget_refunded", Json::UInt(outcome.budget_refunded)),
+        ("budget_exhausted", Json::Bool(outcome.budget_exhausted)),
+        ("rounds", Json::UInt(outcome.rounds as u64)),
+        ("latency_ms", Json::Num(duration_ms(outcome.latency))),
+        ("queue_wait_ms", Json::Num(duration_ms(outcome.queue_wait))),
+        ("finish_index", Json::UInt(outcome.finish_index)),
+    ];
+    match &outcome.status {
+        JobStatus::Failed(err) => fields.push(("error", Json::Str(err.to_string()))),
+        JobStatus::Panicked(message) => fields.push(("error", Json::str(message.clone()))),
+        _ => {}
+    }
+    Json::obj(fields)
+}
+
+/// The `/v1/metrics` document: every snapshot counter, the derived
+/// shared-cache saving, the queue-wait aggregates, and the raw pool stats.
+pub fn metrics_to_json(snapshot: &ServiceMetricsSnapshot) -> Json {
+    Json::obj(vec![
+        ("jobs_submitted", Json::UInt(snapshot.jobs_submitted)),
+        ("jobs_rejected", Json::UInt(snapshot.jobs_rejected)),
+        ("jobs_queued", Json::UInt(snapshot.jobs_queued)),
+        ("jobs_running", Json::UInt(snapshot.jobs_running)),
+        ("jobs_completed", Json::UInt(snapshot.jobs_completed)),
+        ("jobs_cancelled", Json::UInt(snapshot.jobs_cancelled)),
+        ("jobs_expired", Json::UInt(snapshot.jobs_expired)),
+        ("jobs_failed", Json::UInt(snapshot.jobs_failed)),
+        ("jobs_finished", Json::UInt(snapshot.jobs_finished)),
+        ("jobs_started", Json::UInt(snapshot.jobs_started)),
+        ("samples_delivered", Json::UInt(snapshot.samples_delivered)),
+        (
+            "aggregate_query_cost",
+            Json::UInt(snapshot.aggregate_query_cost),
+        ),
+        (
+            "isolated_query_cost",
+            Json::UInt(snapshot.isolated_query_cost),
+        ),
+        (
+            "shared_cache_savings",
+            Json::UInt(snapshot.shared_cache_savings()),
+        ),
+        ("budget_refunded", Json::UInt(snapshot.budget_refunded)),
+        (
+            "mean_latency_ms",
+            Json::Num(duration_ms(snapshot.mean_latency)),
+        ),
+        (
+            "mean_queue_wait_ms",
+            Json::Num(duration_ms(snapshot.mean_queue_wait)),
+        ),
+        (
+            "max_queue_wait_ms",
+            Json::Num(duration_ms(snapshot.max_queue_wait)),
+        ),
+        (
+            "pool",
+            Json::obj(vec![
+                ("unique_nodes", Json::UInt(snapshot.pool.unique_nodes)),
+                ("api_calls", Json::UInt(snapshot.pool.api_calls)),
+                ("cache_hits", Json::UInt(snapshot.pool.cache_hits)),
+                ("attribute_reads", Json::UInt(snapshot.pool.attribute_reads)),
+            ]),
+        ),
+    ])
+}
+
+fn duration_ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use wnw_service::JobId;
+
+    fn request(text: &str) -> Result<SampleRequest, String> {
+        sample_request_from_json(&parse(text).unwrap())
+    }
+
+    #[test]
+    fn minimal_request_uses_defaults() {
+        let req = request(r#"{"samples": 10, "seed": 7}"#).unwrap();
+        assert_eq!(req.job.samples, 10);
+        assert_eq!(req.job.seed, 7);
+        assert_eq!(req.job.walkers, 4, "SampleJob default");
+        assert_eq!(req.job.budget, None);
+        assert_eq!(req.priority, Priority::Normal);
+        assert_eq!(req.deadline, None);
+        assert!(matches!(
+            req.job.spec,
+            SamplerSpec::WalkEstimate {
+                input: RandomWalkKind::Simple,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn full_request_parses_every_field() {
+        let req = request(
+            r#"{
+                "sampler": "walk_estimate", "input": "mhrw", "samples": 50,
+                "seed": 9007199254740993, "walkers": 3, "budget": 1234,
+                "diameter_estimate": 6, "history": "independent",
+                "priority": "high", "deadline_ms": 2500
+            }"#,
+        )
+        .unwrap();
+        // 2^53 + 1: survives only because integers bypass f64.
+        assert_eq!(req.job.seed, 9_007_199_254_740_993);
+        assert_eq!(req.job.walkers, 3);
+        assert_eq!(req.job.budget, Some(1234));
+        assert_eq!(req.job.diameter_estimate, Some(6));
+        assert_eq!(req.job.history, HistoryMode::Independent);
+        assert_eq!(req.priority, Priority::High);
+        assert_eq!(req.deadline, Some(Duration::from_millis(2500)));
+        assert!(matches!(
+            req.job.spec,
+            SamplerSpec::WalkEstimate {
+                input: RandomWalkKind::MetropolisHastings,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn baseline_samplers_parse() {
+        let many = request(r#"{"sampler": "many_short_runs", "samples": 5, "seed": 1}"#).unwrap();
+        assert!(matches!(many.job.spec, SamplerSpec::ManyShortRuns { .. }));
+        let one = request(r#"{"sampler": "one_long_run", "samples": 5, "seed": 1}"#).unwrap();
+        assert!(matches!(one.job.spec, SamplerSpec::OneLongRun { .. }));
+    }
+
+    #[test]
+    fn bad_requests_get_actionable_messages() {
+        for (text, needle) in [
+            (r#"[1,2]"#, "object"),
+            (r#"{"seed": 1}"#, "samples"),
+            (r#"{"samples": 5}"#, "seed"),
+            (r#"{"samples": 5, "seed": -1}"#, "non-negative"),
+            (
+                r#"{"samples": 5, "seed": 1, "sampler": "magic"}"#,
+                "sampler",
+            ),
+            (r#"{"samples": 5, "seed": 1, "input": "levy"}"#, "input"),
+            (
+                r#"{"samples": 5, "seed": 1, "priority": "max"}"#,
+                "priority",
+            ),
+            (
+                r#"{"samples": 5, "seed": 1, "history": "psychic"}"#,
+                "history",
+            ),
+            (r#"{"samples": 5, "seed": 1, "walkers": "four"}"#, "walkers"),
+            (r#"{"samples": 5, "seed": 1, "tyop": true}"#, "tyop"),
+        ] {
+            let err = request(text).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "error for {text} should mention {needle}, got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn events_encode_with_discriminators() {
+        let sample = SampleEvent::Sample {
+            walker: 2,
+            record: wnw_mcmc::sampler::SampleRecord {
+                node: wnw_graph::NodeId(17),
+                query_cost: 80,
+                attempts: 3,
+            },
+        };
+        let json = event_to_json(&sample);
+        assert_eq!(json.get("event").unwrap().as_str(), Some("sample"));
+        assert_eq!(json.get("node").unwrap().as_u64(), Some(17));
+        assert_eq!(json.get("walker").unwrap().as_u64(), Some(2));
+        assert_eq!(json.get("attempts").unwrap().as_u64(), Some(3));
+
+        let outcome = JobOutcome {
+            id: JobId(4),
+            status: JobStatus::Cancelled,
+            samples: 12,
+            requested: 100,
+            query_cost: 500,
+            budget_consumed: 400,
+            budget_refunded: 600,
+            budget_exhausted: false,
+            rounds: 9,
+            latency: Duration::from_millis(15),
+            queue_wait: Duration::from_millis(3),
+            finish_index: 1,
+        };
+        let json = event_to_json(&SampleEvent::Done(outcome));
+        assert_eq!(json.get("event").unwrap().as_str(), Some("done"));
+        assert_eq!(json.get("status").unwrap().as_str(), Some("cancelled"));
+        assert_eq!(json.get("budget_refunded").unwrap().as_u64(), Some(600));
+        assert_eq!(json.get("queue_wait_ms").unwrap().as_f64(), Some(3.0));
+        // Encodes to a single NDJSON-safe line.
+        assert!(!json.encode().contains('\n'));
+    }
+
+    #[test]
+    fn failed_outcomes_carry_the_error() {
+        let outcome = JobOutcome {
+            id: JobId(0),
+            status: JobStatus::Panicked("sampler exploded".to_string()),
+            samples: 0,
+            requested: 1,
+            query_cost: 0,
+            budget_consumed: 0,
+            budget_refunded: 0,
+            budget_exhausted: false,
+            rounds: 0,
+            latency: Duration::ZERO,
+            queue_wait: Duration::ZERO,
+            finish_index: 0,
+        };
+        let json = outcome_to_json(&outcome);
+        assert_eq!(json.get("status").unwrap().as_str(), Some("panicked"));
+        assert_eq!(
+            json.get("error").unwrap().as_str(),
+            Some("sampler exploded")
+        );
+    }
+}

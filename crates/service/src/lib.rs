@@ -33,6 +33,12 @@
 //!   identical at any pool width and no matter what else the service is
 //!   running. Walk history is cooperative *within* a job, never shared
 //!   across jobs — cross-job history would couple results to scheduling.
+//! * **Frontend support.** A [`JobRegistry`] maps [`JobId`]s back to their
+//!   streams and cancellation handles, so frontends (like the HTTP gateway
+//!   in `wnw-gateway`) can serve remote clients that return later holding
+//!   nothing but the id; queue-wait aggregates in
+//!   [`ServiceMetricsSnapshot`] expose scheduling latency alongside the
+//!   query savings.
 //!
 //! ```
 //! use wnw_access::SimulatedOsn;
@@ -74,12 +80,14 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod registry;
 pub mod request;
 mod scheduler;
 pub mod service;
 pub mod stream;
 
 pub use metrics::{ServiceMetrics, ServiceMetricsSnapshot};
+pub use registry::{ClaimError, JobRegistry};
 pub use request::{AdmissionError, JobId, Priority, SampleRequest};
 pub use service::{SamplingService, ServiceBuilder, ServiceConfig};
 pub use stream::{

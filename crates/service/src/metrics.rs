@@ -31,6 +31,12 @@ pub struct ServiceMetrics {
     budget_refunded: AtomicU64,
     latency_micros: AtomicU64,
     finished: AtomicU64,
+    /// Jobs that have left the queue (scheduled onto walker slots, or reaped
+    /// from the queue as cancelled/expired) — the denominator of the mean
+    /// queue wait.
+    started: AtomicU64,
+    queue_wait_micros: AtomicU64,
+    queue_wait_max_micros: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -65,9 +71,18 @@ impl ServiceMetrics {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn on_start(&self) {
+    /// Records a job leaving the queue after `wait` (admission→first-round
+    /// latency: the time between `submit` and the scheduler granting walker
+    /// slots — or, for jobs reaped while still queued, their whole queued
+    /// life).
+    pub(crate) fn on_start(&self, wait: Duration) {
         self.queued.fetch_sub(1, Ordering::Relaxed);
         self.running.fetch_add(1, Ordering::Relaxed);
+        self.started.fetch_add(1, Ordering::Relaxed);
+        let micros = wait.as_micros() as u64;
+        self.queue_wait_micros.fetch_add(micros, Ordering::Relaxed);
+        self.queue_wait_max_micros
+            .fetch_max(micros, Ordering::Relaxed);
     }
 
     /// Records a terminal job and returns its 0-based finish index.
@@ -106,6 +121,8 @@ impl ServiceMetrics {
     pub(crate) fn snapshot(&self, pool: QueryStats) -> ServiceMetricsSnapshot {
         let finished = self.finished.load(Ordering::Relaxed);
         let latency_micros = self.latency_micros.load(Ordering::Relaxed);
+        let started = self.started.load(Ordering::Relaxed);
+        let queue_wait_micros = self.queue_wait_micros.load(Ordering::Relaxed);
         ServiceMetricsSnapshot {
             jobs_submitted: self.submitted.load(Ordering::Relaxed),
             jobs_rejected: self.rejected.load(Ordering::Relaxed),
@@ -123,6 +140,13 @@ impl ServiceMetrics {
             mean_latency: latency_micros
                 .checked_div(finished)
                 .map_or(Duration::ZERO, Duration::from_micros),
+            jobs_started: started,
+            mean_queue_wait: queue_wait_micros
+                .checked_div(started)
+                .map_or(Duration::ZERO, Duration::from_micros),
+            max_queue_wait: Duration::from_micros(
+                self.queue_wait_max_micros.load(Ordering::Relaxed),
+            ),
             pool,
         }
     }
@@ -163,6 +187,16 @@ pub struct ServiceMetricsSnapshot {
     pub budget_refunded: u64,
     /// Mean submit-to-done latency over finished jobs.
     pub mean_latency: Duration,
+    /// Jobs that have left the queue so far (scheduled onto walker slots, or
+    /// reaped from the queue as cancelled/expired) — the population behind
+    /// the queue-wait aggregates below.
+    pub jobs_started: u64,
+    /// Mean admission→first-round wait over [`jobs_started`](Self::jobs_started)
+    /// — how long a job sits admitted before the scheduler grants it walker
+    /// slots (scheduling latency, as opposed to the sampling work itself).
+    pub mean_queue_wait: Duration,
+    /// Worst admission→first-round wait seen so far.
+    pub max_queue_wait: Duration,
     /// The shared pool cache's raw counters.
     pub pool: QueryStats,
 }
@@ -193,6 +227,7 @@ mod tests {
             budget_exhausted: false,
             rounds: 1,
             latency: Duration::from_micros(500),
+            queue_wait: Duration::from_micros(100),
             finish_index: 0,
         }
     }
@@ -207,11 +242,11 @@ mod tests {
         assert_eq!(metrics.try_admit(2), Err(2), "cap reached atomically");
         metrics.on_reject();
         assert_eq!(metrics.in_flight(), 2);
-        metrics.on_start();
+        metrics.on_start(Duration::from_micros(300));
         assert_eq!(metrics.in_flight(), 2);
         let first = metrics.on_finish(&outcome(JobStatus::Completed, 10, 40), 10);
         assert_eq!(first, 0);
-        metrics.on_start();
+        metrics.on_start(Duration::from_micros(100));
         let second = metrics.on_finish(&outcome(JobStatus::Cancelled, 2, 5), 2);
         assert_eq!(second, 1);
         assert_eq!(metrics.in_flight(), 0, "finishes release admission slots");
@@ -233,6 +268,9 @@ mod tests {
         assert_eq!(snap.shared_cache_savings(), 15);
         assert_eq!(snap.budget_refunded, 6);
         assert_eq!(snap.mean_latency, Duration::from_micros(500));
+        assert_eq!(snap.jobs_started, 2);
+        assert_eq!(snap.mean_queue_wait, Duration::from_micros(200));
+        assert_eq!(snap.max_queue_wait, Duration::from_micros(300));
     }
 
     #[test]
@@ -241,5 +279,8 @@ mod tests {
         let snap = metrics.snapshot(QueryStats::default());
         assert_eq!(snap.mean_latency, Duration::ZERO);
         assert_eq!(snap.shared_cache_savings(), 0);
+        assert_eq!(snap.jobs_started, 0);
+        assert_eq!(snap.mean_queue_wait, Duration::ZERO);
+        assert_eq!(snap.max_queue_wait, Duration::ZERO);
     }
 }

@@ -1,0 +1,274 @@
+//! A shared registry of submitted jobs, keyed by [`JobId`].
+//!
+//! A [`JobTicket`] bundles a job's event stream and cancellation handle for
+//! the caller that submitted it. A *frontend* (such as the HTTP gateway in
+//! `wnw-gateway`) cannot hand the ticket to its remote client — the client
+//! comes back later, over a different connection, holding nothing but the
+//! job id. [`JobRegistry`] bridges that gap: the frontend registers every
+//! ticket at submission, then looks jobs up by id to claim the stream
+//! (exactly once), cancel, or discard them.
+//!
+//! Discarding an entry whose stream was never claimed drops the
+//! [`SampleStream`], which is the service's consumer-hang-up path: the
+//! scheduler notices the closed channel at the next delivery, cancels the
+//! job, and refunds its unused budget.
+
+use crate::request::JobId;
+use crate::stream::{JobHandle, JobTicket, SampleStream};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Why a stream claim failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimError {
+    /// No job with this id is registered (never submitted, or already
+    /// discarded).
+    Unknown,
+    /// The stream was already claimed — a [`SampleStream`] is a single
+    /// consumer object, so a second claim would deliver nothing.
+    AlreadyClaimed,
+}
+
+impl fmt::Display for ClaimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClaimError::Unknown => write!(f, "unknown job"),
+            ClaimError::AlreadyClaimed => write!(f, "stream already claimed"),
+        }
+    }
+}
+
+impl std::error::Error for ClaimError {}
+
+#[derive(Debug)]
+struct Entry {
+    /// `None` once claimed.
+    stream: Option<SampleStream>,
+    handle: JobHandle,
+    registered_at: Instant,
+}
+
+/// Thread-safe [`JobId`] → ticket map for frontends serving remote clients.
+///
+/// ```
+/// use wnw_access::SimulatedOsn;
+/// use wnw_engine::SampleJob;
+/// use wnw_graph::generators::random::barabasi_albert;
+/// use wnw_mcmc::RandomWalkKind;
+/// use wnw_service::{JobRegistry, SampleRequest, SamplingService};
+///
+/// let osn = SimulatedOsn::new(barabasi_albert(300, 3, 7).unwrap());
+/// let service = SamplingService::new(osn);
+/// let registry = JobRegistry::default();
+///
+/// let job = SampleJob::walk_estimate(RandomWalkKind::Simple, 5, 1).with_diameter_estimate(4);
+/// let id = registry.register(service.submit(SampleRequest::new(job)).unwrap());
+///
+/// // Later, possibly from another thread, claim the stream by id.
+/// let stream = registry.claim_stream(id).unwrap();
+/// let (samples, outcome) = stream.collect_all();
+/// assert_eq!(samples.len(), 5);
+/// assert_eq!(outcome.unwrap().samples, 5);
+/// assert!(registry.discard(id));
+/// ```
+#[derive(Debug, Default)]
+pub struct JobRegistry {
+    inner: Mutex<HashMap<JobId, Entry>>,
+}
+
+impl JobRegistry {
+    fn entries(&self) -> std::sync::MutexGuard<'_, HashMap<JobId, Entry>> {
+        // Same poison policy as the access layer: a panicking frontend
+        // thread must not take the registry down for every other client.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers an admitted job's ticket and returns its id.
+    pub fn register(&self, ticket: JobTicket) -> JobId {
+        let JobTicket { id, stream, handle } = ticket;
+        self.entries().insert(
+            id,
+            Entry {
+                stream: Some(stream),
+                handle,
+                registered_at: Instant::now(),
+            },
+        );
+        id
+    }
+
+    /// Discards every entry whose stream is still unclaimed after `ttl` —
+    /// a fire-and-forget submitter that never comes back for its results.
+    /// Dropping the unclaimed streams cancels those jobs (the hang-up
+    /// path), stopping them from burning query budget, and frees their
+    /// buffered events. Entries mid-claim (a frontend is streaming them)
+    /// are never touched. Returns how many entries were reaped.
+    ///
+    /// Frontends should call this periodically — the HTTP gateway sweeps on
+    /// every submission, so the registry's unclaimed population is bounded
+    /// by the submission rate within any `ttl` window.
+    pub fn sweep_unclaimed(&self, ttl: Duration) -> usize {
+        let mut entries = self.entries();
+        let before = entries.len();
+        entries.retain(|_, entry| entry.stream.is_none() || entry.registered_at.elapsed() < ttl);
+        before - entries.len()
+    }
+
+    /// Takes the job's event stream. Each stream can be claimed exactly
+    /// once; the entry (with its cancellation handle) stays registered until
+    /// [`discard`](Self::discard).
+    pub fn claim_stream(&self, id: JobId) -> Result<SampleStream, ClaimError> {
+        let mut entries = self.entries();
+        let entry = entries.get_mut(&id).ok_or(ClaimError::Unknown)?;
+        entry.stream.take().ok_or(ClaimError::AlreadyClaimed)
+    }
+
+    /// A clone of the job's cancellation handle, if registered.
+    pub fn handle(&self, id: JobId) -> Option<JobHandle> {
+        self.entries().get(&id).map(|e| e.handle.clone())
+    }
+
+    /// Requests cooperative cancellation of a registered job. Returns
+    /// whether the id was known; the entry stays registered so the (possibly
+    /// already claimed) stream still delivers the terminal `Done` event.
+    pub fn cancel(&self, id: JobId) -> bool {
+        match self.entries().get(&id) {
+            Some(entry) => {
+                entry.handle.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Requests cancellation of every registered job (shutdown path: lets
+    /// in-flight streams reach their `Done` event promptly).
+    pub fn cancel_all(&self) {
+        for entry in self.entries().values() {
+            entry.handle.cancel();
+        }
+    }
+
+    /// Removes a job's entry entirely. Dropping an unclaimed stream is the
+    /// consumer-hang-up path: the scheduler cancels the job and refunds its
+    /// unused budget. Returns whether the id was known.
+    pub fn discard(&self, id: JobId) -> bool {
+        self.entries().remove(&id).is_some()
+    }
+
+    /// Number of registered jobs.
+    pub fn len(&self) -> usize {
+        self.entries().len()
+    }
+
+    /// Whether no jobs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::SampleRequest;
+    use crate::service::SamplingService;
+    use wnw_access::SimulatedOsn;
+    use wnw_engine::SampleJob;
+    use wnw_graph::generators::random::barabasi_albert;
+    use wnw_mcmc::RandomWalkKind;
+
+    fn service() -> SamplingService<SimulatedOsn> {
+        let osn = SimulatedOsn::new(barabasi_albert(300, 3, 11).unwrap());
+        SamplingService::builder(osn).pool_threads(1).build()
+    }
+
+    fn request(samples: usize, seed: u64) -> SampleRequest {
+        SampleRequest::new(
+            SampleJob::walk_estimate(RandomWalkKind::Simple, samples, seed)
+                .with_walkers(2)
+                .with_diameter_estimate(4),
+        )
+    }
+
+    #[test]
+    fn claim_is_exactly_once() {
+        let service = service();
+        let registry = JobRegistry::default();
+        let id = registry.register(service.submit(request(4, 1)).unwrap());
+        assert_eq!(registry.len(), 1);
+        assert!(!registry.is_empty());
+        let stream = registry.claim_stream(id).expect("first claim succeeds");
+        assert!(
+            matches!(registry.claim_stream(id), Err(ClaimError::AlreadyClaimed)),
+            "second claim must fail"
+        );
+        assert_eq!(stream.wait().unwrap().samples, 4);
+        assert!(registry.discard(id));
+        assert!(!registry.discard(id));
+        assert!(matches!(
+            registry.claim_stream(id),
+            Err(ClaimError::Unknown)
+        ));
+    }
+
+    #[test]
+    fn cancel_by_id_reaches_the_job() {
+        let service = service();
+        let registry = JobRegistry::default();
+        let id = registry.register(service.submit(request(1_000_000, 2)).unwrap());
+        assert!(registry.cancel(id));
+        assert!(registry.handle(id).unwrap().is_cancelled());
+        let outcome = registry.claim_stream(id).unwrap().wait().unwrap();
+        assert_eq!(outcome.status, crate::stream::JobStatus::Cancelled);
+        assert!(!registry.cancel(JobId(999)), "unknown ids report false");
+        assert!(registry.handle(JobId(999)).is_none());
+    }
+
+    #[test]
+    fn discarding_an_unclaimed_stream_cancels_via_hangup() {
+        let service = service();
+        let registry = JobRegistry::default();
+        let id = registry.register(service.submit(request(1_000_000, 3)).unwrap());
+        assert!(registry.discard(id));
+        // The dropped stream is the hang-up signal; shutdown drains quickly
+        // instead of sampling a million nodes.
+        let metrics = service.shutdown();
+        assert_eq!(metrics.jobs_cancelled, 1);
+    }
+
+    #[test]
+    fn sweep_reaps_only_stale_unclaimed_entries() {
+        let service = service();
+        let registry = JobRegistry::default();
+        let stale = registry.register(service.submit(request(1_000_000, 6)).unwrap());
+        let claimed = registry.register(service.submit(request(4, 7)).unwrap());
+        let stream = registry.claim_stream(claimed).unwrap();
+        // Nothing has aged past a generous TTL yet.
+        assert_eq!(
+            registry.sweep_unclaimed(std::time::Duration::from_secs(60)),
+            0
+        );
+        // TTL zero: the unclaimed entry is reaped, the claimed one stays.
+        assert_eq!(registry.sweep_unclaimed(std::time::Duration::ZERO), 1);
+        assert!(registry.handle(stale).is_none());
+        assert!(registry.handle(claimed).is_some());
+        assert_eq!(stream.wait().unwrap().samples, 4);
+        let metrics = service.shutdown();
+        assert_eq!(metrics.jobs_cancelled, 1, "reaping cancels via hang-up");
+    }
+
+    #[test]
+    fn cancel_all_stops_every_job() {
+        let service = service();
+        let registry = JobRegistry::default();
+        let a = registry.register(service.submit(request(1_000_000, 4)).unwrap());
+        let b = registry.register(service.submit(request(1_000_000, 5)).unwrap());
+        registry.cancel_all();
+        for id in [a, b] {
+            let outcome = registry.claim_stream(id).unwrap().wait().unwrap();
+            assert_eq!(outcome.status, crate::stream::JobStatus::Cancelled);
+        }
+    }
+}

@@ -86,6 +86,8 @@ struct ActiveJob {
     priority: Priority,
     deadline: Option<Instant>,
     submitted_at: Instant,
+    /// Admission→first-round wait (time spent queued before promotion).
+    queue_wait: Duration,
     budget: Option<u64>,
     requested: usize,
     /// Samples actually handed to the consumer's channel (what the
@@ -262,8 +264,11 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
                 continue;
             };
             let submission = self.pending.remove(i).expect("index in bounds");
-            // Pair the gauges exactly like a scheduled job's lifecycle.
-            self.metrics.on_start();
+            // Pair the gauges exactly like a scheduled job's lifecycle. The
+            // job never reached a walker slot, so its whole queued life is
+            // its queue wait.
+            let queue_wait = submission.submitted_at.elapsed();
+            self.metrics.on_start(queue_wait);
             let mut outcome = JobOutcome {
                 id: submission.id,
                 status,
@@ -275,6 +280,7 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
                 budget_exhausted: false,
                 rounds: 0,
                 latency: submission.submitted_at.elapsed(),
+                queue_wait,
                 finish_index: 0,
             };
             outcome.finish_index = self.metrics.on_finish(&outcome, 0);
@@ -306,8 +312,9 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
             };
             let submission = self.pending.remove(best).expect("index in bounds");
             self.promotions += 1;
-            self.metrics.on_start();
-            let job = self.admit(submission);
+            let queue_wait = submission.submitted_at.elapsed();
+            self.metrics.on_start(queue_wait);
+            let job = self.admit(submission, queue_wait);
             self.active.push(job);
         }
     }
@@ -315,7 +322,7 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
     /// Builds the walker pool of an admitted job over the shared cache,
     /// behind a fresh job-level metering view (per-request cost isolation
     /// over pool-wide sharing).
-    fn admit(&self, submission: Submission) -> ActiveJob {
+    fn admit(&self, submission: Submission, queue_wait: Duration) -> ActiveJob {
         let job_view = MeteredNetwork::new(Arc::clone(&self.cache));
         let job_counter = job_view.counter_handle();
         let driver = JobDriver::new(job_view, &submission.request.job);
@@ -330,6 +337,7 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
             priority: submission.request.priority,
             deadline,
             submitted_at: submission.submitted_at,
+            queue_wait,
             budget: submission.request.job.budget,
             requested: submission.request.job.samples,
             status: None,
@@ -387,6 +395,7 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
             budget_exhausted: reports.iter().any(|r| r.budget_exhausted),
             rounds,
             latency,
+            queue_wait: job.queue_wait,
             finish_index: 0,
         };
         outcome.finish_index = self.metrics.on_finish(&outcome, job.delivered);

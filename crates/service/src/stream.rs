@@ -109,6 +109,11 @@ pub struct JobOutcome {
     pub rounds: usize,
     /// Submit-to-done wall-clock latency.
     pub latency: Duration,
+    /// Admission→first-round wait: how long the job sat in the queue before
+    /// the scheduler granted it walker slots (for jobs cancelled or expired
+    /// while still queued, their whole queued life). The scheduling-latency
+    /// share of [`latency`](Self::latency).
+    pub queue_wait: Duration,
     /// 0-based position in the service's completion order (the first job to
     /// finish has index 0) — what the priority tests assert on.
     pub finish_index: u64,
@@ -244,6 +249,7 @@ mod tests {
             budget_exhausted: false,
             rounds: 0,
             latency: Duration::ZERO,
+            queue_wait: Duration::ZERO,
             finish_index: 0,
         }
     }

@@ -1,0 +1,189 @@
+//! The HTTP gateway end to end on loopback: remote clients submit sampling
+//! jobs, stream NDJSON results, hang up, and read the service metrics —
+//! all over real TCP sockets.
+//!
+//! ```text
+//! cargo run --release --example http_gateway
+//! ```
+//!
+//! Starts a `SamplingService` over a simulated OSN, binds the std-only
+//! HTTP/1.1 gateway to an ephemeral loopback port, then plays four scenes:
+//! a health check, N concurrent streaming clients (each verifying its
+//! sample count), one client that abandons a big budgeted job mid-stream
+//! (the gateway cancels it and the service refunds the budget), and a
+//! final `/v1/metrics` read showing the cross-job shared-cache savings and
+//! the queue-wait aggregates.
+
+use walk_not_wait::access::SimulatedOsn;
+use walk_not_wait::gateway::json::Json;
+use walk_not_wait::gateway::{client, GatewayConfig, GatewayServer};
+use walk_not_wait::graph::generators::random::barabasi_albert;
+use walk_not_wait::prelude::*;
+
+fn job_body(samples: u64, seed: u64, budget: Option<u64>) -> Json {
+    let mut fields = vec![
+        ("samples", Json::UInt(samples)),
+        ("seed", Json::UInt(seed)),
+        ("walkers", Json::UInt(4)),
+        ("diameter_estimate", Json::UInt(5)),
+    ];
+    if let Some(budget) = budget {
+        fields.push(("budget", Json::UInt(budget)));
+    }
+    Json::obj(fields)
+}
+
+fn main() {
+    let nodes = 5_000;
+    let clients = 4;
+    let samples_per_client = 40u64;
+
+    println!("graph:    Barabasi-Albert, {nodes} nodes, m = 3");
+    println!("frontend: std-only HTTP/1.1 gateway on loopback");
+    println!();
+
+    let graph = barabasi_albert(nodes, 3, 42).expect("valid BA parameters");
+    let service = SamplingService::builder(SimulatedOsn::new(graph))
+        .pool_threads(2)
+        .build();
+    let server = GatewayServer::bind_with(
+        service,
+        "127.0.0.1:0",
+        GatewayConfig {
+            workers: clients + 1,
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    println!("listening on http://{addr}");
+
+    // Scene 1: liveness.
+    let health = client::get(addr, "/healthz").expect("GET /healthz");
+    println!(
+        "GET /healthz               -> {} {}",
+        health.status,
+        health.json().unwrap()
+    );
+
+    // Scene 2: concurrent streaming clients.
+    println!();
+    println!("{clients} concurrent clients, {samples_per_client} samples each:");
+    let outcomes: Vec<(u64, usize, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients as u64)
+            .map(|i| {
+                scope.spawn(move || {
+                    let body = job_body(samples_per_client, 0x5E + i, None);
+                    let accepted = client::post(addr, "/v1/jobs", &body)
+                        .expect("POST /v1/jobs")
+                        .json()
+                        .unwrap();
+                    let id = accepted.get("job_id").unwrap().as_u64().unwrap();
+                    let path = accepted
+                        .get("stream")
+                        .unwrap()
+                        .as_str()
+                        .unwrap()
+                        .to_string();
+                    let mut samples = 0usize;
+                    let mut queue_wait_ms = 0.0;
+                    for event in client::open_stream(addr, &path).expect("open stream") {
+                        let event = event.expect("valid NDJSON");
+                        match event.get("event").and_then(Json::as_str) {
+                            Some("sample") => samples += 1,
+                            Some("done") => {
+                                queue_wait_ms =
+                                    event.get("queue_wait_ms").unwrap().as_f64().unwrap();
+                            }
+                            _ => {}
+                        }
+                    }
+                    (id, samples, queue_wait_ms)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (id, samples, queue_wait_ms) in &outcomes {
+        println!("  job {id}: streamed {samples} samples (queue wait {queue_wait_ms:.2} ms)");
+        assert_eq!(*samples as u64, samples_per_client);
+    }
+
+    // Scene 3: a client abandons a big budgeted job mid-stream.
+    println!();
+    let body = job_body(1_000_000, 0x77, Some(100_000));
+    let accepted = client::post(addr, "/v1/jobs", &body)
+        .expect("POST /v1/jobs")
+        .json()
+        .unwrap();
+    let path = accepted
+        .get("stream")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    let mut stream = client::open_stream(addr, &path).expect("open stream");
+    let mut streamed = 0;
+    for event in stream.by_ref() {
+        if event.unwrap().get("event").unwrap().as_str() == Some("sample") {
+            streamed += 1;
+            if streamed >= 5 {
+                break;
+            }
+        }
+    }
+    drop(stream); // kill the connection mid-stream
+    println!("abandoned a 1M-sample budgeted job after {streamed} samples;");
+    print!("waiting for the hang-up cancel");
+    loop {
+        let metrics = client::get(addr, "/v1/metrics").unwrap().json().unwrap();
+        if metrics.get("jobs_cancelled").unwrap().as_u64() == Some(1) {
+            let refunded = metrics.get("budget_refunded").unwrap().as_u64().unwrap();
+            println!(" -> job cancelled, {refunded} of 100000 budget refunded");
+            assert!(refunded > 0);
+            break;
+        }
+        print!(".");
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+
+    // Scene 4: the metrics document.
+    println!();
+    let metrics = client::get(addr, "/v1/metrics").unwrap().json().unwrap();
+    println!("GET /v1/metrics:");
+    for key in [
+        "jobs_completed",
+        "jobs_cancelled",
+        "samples_delivered",
+        "aggregate_query_cost",
+        "isolated_query_cost",
+        "shared_cache_savings",
+        "budget_refunded",
+    ] {
+        println!("  {key:>22}: {}", metrics.get(key).unwrap());
+    }
+    println!(
+        "  {:>22}: {:.2} / {:.2}",
+        "queue wait mean/max ms",
+        metrics.get("mean_queue_wait_ms").unwrap().as_f64().unwrap(),
+        metrics.get("max_queue_wait_ms").unwrap().as_f64().unwrap(),
+    );
+    let savings = metrics
+        .get("shared_cache_savings")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert!(
+        savings > 0,
+        "concurrent jobs over one cache must save queries"
+    );
+
+    let snapshot = server.shutdown();
+    println!();
+    println!(
+        "shutdown: {} jobs finished, {} samples delivered, {} unique-node queries saved by the shared cache",
+        snapshot.jobs_finished,
+        snapshot.samples_delivered,
+        snapshot.shared_cache_savings(),
+    );
+}

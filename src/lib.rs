@@ -23,6 +23,7 @@
 //! | [`core`] | `wnw-core` | WALK-ESTIMATE (the paper's contribution) |
 //! | [`engine`] | `wnw-engine` | concurrent, cache-sharing sampling engine |
 //! | [`service`] | `wnw-service` | multi-job sampling service: scheduling, streaming, metrics |
+//! | [`gateway`] | `wnw-gateway` | std-only HTTP/1.1 streaming frontend over the service |
 //! | [`analytics`] | `wnw-analytics` | Lambert W, statistics, estimators, bias |
 //! | [`experiments`] | `wnw-experiments` | per-figure reproduction drivers |
 //!
@@ -57,6 +58,7 @@ pub use wnw_analytics as analytics;
 pub use wnw_core as core;
 pub use wnw_engine as engine;
 pub use wnw_experiments as experiments;
+pub use wnw_gateway as gateway;
 pub use wnw_graph as graph;
 pub use wnw_mcmc as mcmc;
 pub use wnw_service as service;
@@ -75,12 +77,13 @@ pub mod prelude {
     pub use wnw_engine::{
         Engine, EngineObserver, HistoryMode, JobReport, RoundProgress, SampleJob, SamplerSpec,
     };
+    pub use wnw_gateway::{GatewayConfig, GatewayServer};
     pub use wnw_graph::{Graph, GraphBuilder, NodeId};
     pub use wnw_mcmc::{
         collect_samples, RandomWalkKind, Sampler, ScalingFactorPolicy, TargetDistribution,
     };
     pub use wnw_service::{
-        AdmissionError, JobOutcome, JobStatus, Priority, SampleEvent, SampleRequest,
+        AdmissionError, JobOutcome, JobRegistry, JobStatus, Priority, SampleEvent, SampleRequest,
         SamplingService, ServiceMetricsSnapshot,
     };
 }

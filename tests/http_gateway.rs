@@ -1,0 +1,286 @@
+//! Loopback acceptance bar of the `wnw-gateway` HTTP frontend:
+//!
+//! * two concurrent HTTP clients submit jobs and stream NDJSON samples, and
+//!   each client's sample multiset is identical to a direct
+//!   `SamplingService` run of the same request (any pool width, under
+//!   co-load);
+//! * `/v1/metrics` reflects nonzero `shared_cache_savings` and exposes the
+//!   queue-wait aggregates;
+//! * a killed connection cancels its job and refunds its unused budget —
+//!   the HTTP twin of the drop-stream regression in
+//!   `tests/service_concurrency.rs`.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+use walk_not_wait::gateway::json::Json;
+use walk_not_wait::gateway::{client, GatewayConfig, GatewayServer};
+use walk_not_wait::graph::generators::random::barabasi_albert;
+use walk_not_wait::graph::Graph;
+use walk_not_wait::prelude::*;
+
+fn graph(n: usize, seed: u64) -> Graph {
+    barabasi_albert(n, 3, seed).unwrap()
+}
+
+/// The two requests the concurrent clients submit. Same graph region, so
+/// the shared cache has something to share.
+fn job(samples: usize, seed: u64) -> SampleJob {
+    SampleJob::walk_estimate(RandomWalkKind::Simple, samples, seed)
+        .with_walkers(3)
+        .with_diameter_estimate(5)
+}
+
+fn job_body(samples: usize, seed: u64) -> Json {
+    Json::obj(vec![
+        ("samples", Json::UInt(samples as u64)),
+        ("seed", Json::UInt(seed)),
+        ("walkers", Json::UInt(3)),
+        ("diameter_estimate", Json::UInt(5)),
+    ])
+}
+
+/// Submits `body` and streams the job to completion, returning the sorted
+/// sample-node multiset and the `done` event.
+fn submit_and_stream(addr: SocketAddr, body: &Json) -> (Vec<u32>, Json) {
+    let accepted = client::post(addr, "/v1/jobs", body).expect("POST /v1/jobs");
+    assert_eq!(accepted.status, 202);
+    let doc = accepted.json().unwrap();
+    let path = doc.get("stream").unwrap().as_str().unwrap().to_string();
+    let mut nodes = Vec::new();
+    let mut done = None;
+    for event in client::open_stream(addr, &path).expect("open stream") {
+        let event = event.expect("well-formed NDJSON event");
+        match event.get("event").and_then(Json::as_str) {
+            Some("sample") => nodes.push(event.get("node").unwrap().as_u64().unwrap() as u32),
+            Some("done") => done = Some(event.clone()),
+            _ => {}
+        }
+    }
+    nodes.sort_unstable();
+    (nodes, done.expect("stream ends with a done event"))
+}
+
+/// Acceptance test: two concurrent HTTP clients, multiset equality against
+/// direct service runs, and nonzero shared-cache savings in `/v1/metrics`.
+#[test]
+fn concurrent_http_clients_match_direct_runs_and_share_the_cache() {
+    let jobs = [(40usize, 0xAA11u64), (28, 0xBB22)];
+
+    // Reference: each request alone on a direct service (pool width 1).
+    let mut direct = Vec::new();
+    for &(samples, seed) in &jobs {
+        let service = SamplingService::builder(SimulatedOsn::new(graph(1_000, 77)))
+            .pool_threads(1)
+            .build();
+        let ticket = service
+            .submit(SampleRequest::new(job(samples, seed)))
+            .unwrap();
+        let (records, outcome) = ticket.stream.collect_all();
+        assert_eq!(outcome.unwrap().samples, samples);
+        let mut nodes: Vec<u32> = records.iter().map(|r| r.node.0).collect();
+        nodes.sort_unstable();
+        direct.push(nodes);
+    }
+
+    // The gateway: same requests, submitted and streamed by two concurrent
+    // HTTP clients against one service at a different pool width.
+    let service = SamplingService::builder(SimulatedOsn::new(graph(1_000, 77)))
+        .pool_threads(2)
+        .build();
+    let server = GatewayServer::bind(service, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+
+    let via_http: Vec<(Vec<u32>, Json)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|&(samples, seed)| {
+                scope.spawn(move || submit_and_stream(addr, &job_body(samples, seed)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (i, ((nodes, done), reference)) in via_http.iter().zip(&direct).enumerate() {
+        assert_eq!(
+            done.get("status").unwrap().as_str(),
+            Some("completed"),
+            "job {i} must complete"
+        );
+        assert_eq!(
+            done.get("samples").unwrap().as_u64().unwrap() as usize,
+            jobs[i].0
+        );
+        assert_eq!(
+            nodes, reference,
+            "HTTP client {i}'s sample multiset diverged from the direct run"
+        );
+    }
+
+    // The metrics endpoint shows the cross-job cache effect and queue-wait
+    // aggregates.
+    let metrics = client::get(addr, "/v1/metrics").unwrap().json().unwrap();
+    assert_eq!(metrics.get("jobs_completed").unwrap().as_u64(), Some(2));
+    assert_eq!(
+        metrics.get("samples_delivered").unwrap().as_u64(),
+        Some((jobs[0].0 + jobs[1].0) as u64)
+    );
+    let savings = metrics
+        .get("shared_cache_savings")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert!(
+        savings > 0,
+        "two jobs over one cache must save unique-node queries"
+    );
+    assert_eq!(metrics.get("jobs_started").unwrap().as_u64(), Some(2));
+    assert!(metrics
+        .get("mean_queue_wait_ms")
+        .unwrap()
+        .as_f64()
+        .is_some());
+    assert!(
+        metrics.get("max_queue_wait_ms").unwrap().as_f64().unwrap()
+            >= metrics.get("mean_queue_wait_ms").unwrap().as_f64().unwrap()
+    );
+
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.jobs_finished, 2);
+    assert_eq!(snapshot.shared_cache_savings(), savings);
+}
+
+/// Killing the TCP connection mid-stream must cancel the job and refund its
+/// unused budget through the same drop-hangup path the direct API uses.
+#[test]
+fn killed_connection_cancels_the_job_and_refunds_budget() {
+    let service = SamplingService::builder(SimulatedOsn::new(graph(800, 23)))
+        .pool_threads(1)
+        .build();
+    let server = GatewayServer::bind(service, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+
+    let body = Json::obj(vec![
+        ("samples", Json::UInt(1_000_000)),
+        ("seed", Json::UInt(0x41)),
+        ("walkers", Json::UInt(4)),
+        ("budget", Json::UInt(50_000)),
+        ("diameter_estimate", Json::UInt(5)),
+    ]);
+    let accepted = client::post(addr, "/v1/jobs", &body)
+        .unwrap()
+        .json()
+        .unwrap();
+    let path = accepted
+        .get("stream")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+
+    // Stream a few events to prove the job is mid-flight, then kill the
+    // connection without closing the stream politely.
+    let mut stream = client::open_stream(addr, &path).unwrap();
+    let mut samples_seen = 0;
+    for event in stream.by_ref() {
+        if event.unwrap().get("event").unwrap().as_str() == Some("sample") {
+            samples_seen += 1;
+            if samples_seen >= 3 {
+                break;
+            }
+        }
+    }
+    assert_eq!(samples_seen, 3);
+    drop(stream); // closes the socket with data in flight
+
+    // The gateway notices the dead client at the next write, drops the
+    // claimed stream, and the scheduler cancels + refunds. Poll the metrics
+    // endpoint until that happens.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let final_metrics = loop {
+        let metrics = client::get(addr, "/v1/metrics").unwrap().json().unwrap();
+        if metrics.get("jobs_cancelled").unwrap().as_u64() == Some(1) {
+            break metrics;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "gateway never cancelled the abandoned job; metrics: {metrics}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    let refunded = final_metrics
+        .get("budget_refunded")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert!(refunded > 0, "unused budget must be refunded");
+    assert!(
+        refunded >= 50_000 - 4 * 800,
+        "at most walkers x nodes of the budget can have been spent (got {refunded})"
+    );
+
+    // The walker slots are free again: a follow-up job completes.
+    let (nodes, done) = submit_and_stream(addr, &job_body(6, 0x42));
+    assert_eq!(done.get("status").unwrap().as_str(), Some("completed"));
+    assert_eq!(nodes.len(), 6);
+    assert!(nodes.iter().all(|&n| (n as usize) < 800));
+
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.jobs_cancelled, 1);
+    assert_eq!(snapshot.jobs_completed, 1);
+    assert_eq!(snapshot.jobs_running, 0);
+    assert_eq!(snapshot.budget_refunded, refunded);
+}
+
+/// The full route surface responds sensibly from the facade crate's
+/// prelude types (gateway config knobs included).
+#[test]
+fn gateway_routes_respond_through_the_facade() {
+    let service = SamplingService::builder(SimulatedOsn::new(graph(300, 9)))
+        .pool_threads(1)
+        .build();
+    let config = GatewayConfig {
+        workers: 2,
+        ..GatewayConfig::default()
+    };
+    let server = GatewayServer::bind_with(service, "127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+
+    assert_eq!(client::get(addr, "/healthz").unwrap().status, 200);
+    assert_eq!(client::get(addr, "/v1/metrics").unwrap().status, 200);
+    assert_eq!(client::get(addr, "/unknown").unwrap().status, 404);
+    assert_eq!(client::delete(addr, "/v1/jobs/7").unwrap().status, 404);
+
+    // Invalid body → 400 with a useful message.
+    let bad = client::post(addr, "/v1/jobs", &Json::obj(vec![("seed", Json::UInt(1))])).unwrap();
+    assert_eq!(bad.status, 400);
+    assert!(bad
+        .json()
+        .unwrap()
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("samples"));
+
+    // Submit + DELETE: cancelled jobs still deliver a terminal event.
+    let accepted = client::post(addr, "/v1/jobs", &job_body(1_000_000, 5))
+        .unwrap()
+        .json()
+        .unwrap();
+    let id = accepted.get("job_id").unwrap().as_u64().unwrap();
+    assert_eq!(
+        client::delete(addr, &format!("/v1/jobs/{id}"))
+            .unwrap()
+            .status,
+        200
+    );
+    let done = client::open_stream(addr, &format!("/v1/jobs/{id}/stream"))
+        .unwrap()
+        .filter_map(Result::ok)
+        .find(|e| e.get("event").unwrap().as_str() == Some("done"))
+        .expect("cancelled job still sends done");
+    assert_eq!(done.get("status").unwrap().as_str(), Some("cancelled"));
+
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.jobs_cancelled, 1);
+}

@@ -272,6 +272,68 @@ fn cancellation_releases_slots_and_refunds_budget() {
     assert_eq!(metrics.budget_refunded, huge_outcome.budget_refunded);
 }
 
+/// Dropping a `SampleStream` mid-job (the consumer hanging up, which is
+/// also what the HTTP gateway does when a client's connection dies) must
+/// release the job's walker slots and refund its unused budget —
+/// `tests/http_gateway.rs` asserts the identical behavior through the HTTP
+/// path.
+#[test]
+fn dropping_the_stream_mid_job_frees_slots_and_refunds_budget() {
+    let service = SamplingService::builder(osn(800, 23))
+        .pool_threads(1)
+        .max_active(1)
+        .start_paused()
+        .build();
+    // The doomed job holds the single active slot; the follower can only
+    // run once the hang-up releases it.
+    let mut doomed = service
+        .submit(SampleRequest::new(
+            we_job(1_000_000, 4, 0x41).with_budget(50_000),
+        ))
+        .unwrap();
+    let follower = service
+        .submit(SampleRequest::new(we_job(6, 2, 0x42)))
+        .unwrap();
+    service.resume();
+
+    // Consume a few samples, then hang up mid-stream.
+    let mut streamed = 0usize;
+    for event in doomed.stream.by_ref() {
+        if let SampleEvent::Sample { .. } = event {
+            streamed += 1;
+            if streamed >= 3 {
+                break;
+            }
+        }
+    }
+    assert_eq!(streamed, 3, "the job was mid-flight when we hung up");
+    drop(doomed.stream);
+
+    // The walker slots are released: the follower completes normally.
+    let follower_outcome = follower.stream.wait().expect("follower reaches Done");
+    assert_eq!(follower_outcome.status, JobStatus::Completed);
+    assert_eq!(follower_outcome.samples, 6);
+    assert!(
+        follower_outcome.queue_wait >= std::time::Duration::ZERO
+            && follower_outcome.queue_wait <= follower_outcome.latency,
+        "queue wait is the scheduling share of the total latency"
+    );
+
+    let metrics = service.shutdown();
+    assert_eq!(metrics.jobs_cancelled, 1, "hang-up cancels the job");
+    assert_eq!(metrics.jobs_completed, 1);
+    assert_eq!(metrics.jobs_running, 0);
+    assert!(
+        metrics.budget_refunded > 0,
+        "the dropped job's unused budget must be refunded"
+    );
+    // Budgets are charged per walker view; even if all 4 walkers touched
+    // every one of the 800 nodes, most of the 50k budget is unspent.
+    assert!(metrics.budget_refunded >= 50_000 - 4 * 800);
+    assert_eq!(metrics.jobs_started, 2, "both jobs left the queue");
+    assert!(metrics.max_queue_wait >= metrics.mean_queue_wait);
+}
+
 /// Priority-weighted fairness: a high-priority small job finishes before a
 /// low-priority large job submitted earlier.
 #[test]
