@@ -30,6 +30,7 @@ use wnw_core::history::SharedWalkHistory;
 use wnw_core::sampler::WalkEstimateSampler;
 use wnw_mcmc::burn_in::{ManyShortRunsSampler, OneLongRunSampler};
 use wnw_mcmc::sampler::{SampleRecord, Sampler};
+use wnw_runtime::WorkerPool;
 
 /// Per-walker execution state.
 struct WalkerState<'a> {
@@ -188,46 +189,27 @@ impl<'a> JobDriver<'a> {
         }
     }
 
-    /// Runs one round: every live walker draws once, fanned over up to
-    /// `threads` OS threads, then all walkers flush pending shared state
-    /// (sequentially, in walker order — the merges are additive, so this
-    /// choice is invisible to the result). No-op when the job is done.
-    pub fn step_round(&mut self, threads: usize) {
+    /// Runs one round: every live walker draws once, fanned over `pool`'s
+    /// lanes, then all walkers flush pending shared state (sequentially, in
+    /// walker order — the merges are additive, so this choice is invisible
+    /// to the result). No-op when the job is done.
+    ///
+    /// The pool's round barrier is the round's draw barrier: every draw has
+    /// finished before any flush starts. Rounds with a single live walker —
+    /// 1-walker jobs, and any job wound down to its last live walker — run
+    /// inline on the caller (the pool's spawnless fast path), so they never
+    /// touch the worker threads; the per-walker `catch_unwind` around every
+    /// draw means a panicking sampler never unwinds into the pool. No OS
+    /// thread is ever spawned here: the pool's workers were spawned once,
+    /// at pool startup.
+    pub fn step_round(&mut self, pool: &WorkerPool) {
         {
             let mut live: Vec<&mut WalkerState<'a>> =
                 self.walkers.iter_mut().filter(|s| s.live()).collect();
             if live.is_empty() {
                 return;
             }
-            // Spawn only as many threads as there are live walkers — a job
-            // winding down (or a 1-walker job) draws inline, paying no
-            // per-round spawn cost.
-            let threads = threads.clamp(1, live.len());
-            if threads == 1 {
-                for state in live.iter_mut() {
-                    state.draw_once();
-                }
-            } else {
-                // Partition live walkers round-robin across the pool.
-                // `scope` joins every spawned thread before returning,
-                // which is the round's draw barrier; per-walker
-                // catch_unwind keeps a panicking sampler from unwinding
-                // through the scope.
-                let mut buckets: Vec<Vec<&mut WalkerState<'a>>> =
-                    (0..threads).map(|_| Vec::new()).collect();
-                for (i, state) in live.into_iter().enumerate() {
-                    buckets[i % threads].push(state);
-                }
-                std::thread::scope(|scope| {
-                    for bucket in buckets {
-                        scope.spawn(move || {
-                            for state in bucket {
-                                state.draw_once();
-                            }
-                        });
-                    }
-                });
-            }
+            pool.round(&mut live, |state| state.draw_once());
         }
         for state in &mut self.walkers {
             state.flush_once();
@@ -333,12 +315,13 @@ mod tests {
         let job = SampleJob::walk_estimate(RandomWalkKind::Simple, 9, 5)
             .with_walkers(3)
             .with_diameter_estimate(4);
+        let pool = WorkerPool::new(2);
         let mut driver = JobDriver::new(&osn, &job);
         assert_eq!(driver.walker_count(), 3);
         assert_eq!(driver.requested(), 9);
         let mut rounds = 0;
         while !driver.is_done() {
-            driver.step_round(2);
+            driver.step_round(&pool);
             rounds += 1;
             assert!(rounds <= 9, "driver failed to converge");
         }
@@ -358,12 +341,19 @@ mod tests {
             .with_walkers(2)
             .with_diameter_estimate(4);
         let mut driver = JobDriver::new(&osn, &job);
+        let inline = WorkerPool::new(1);
         while !driver.is_done() {
-            driver.step_round(1);
+            driver.step_round(&inline);
         }
         let rounds = driver.rounds();
-        driver.step_round(4);
+        let wide = WorkerPool::new(4);
+        driver.step_round(&wide);
         assert_eq!(driver.rounds(), rounds);
+        assert_eq!(
+            wide.stats().rounds_dispatched + wide.stats().spawnless_rounds,
+            0,
+            "a finished job never reaches the pool"
+        );
         assert_eq!(driver.samples_collected(), 2);
     }
 }

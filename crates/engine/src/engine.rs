@@ -1,9 +1,10 @@
 //! The worker-pool scheduler.
 //!
-//! [`Engine::run`] fans a [`SampleJob`] out across a pool of OS threads,
-//! each carrying a share of the job's virtual walkers against one shared,
-//! lock-striped [`CachedNetwork`]. The schedule is a sequence of **rounds**
-//! with two phases each:
+//! [`Engine::run`] fans a [`SampleJob`] out across a persistent
+//! [`WorkerPool`] — threads spawned once at engine construction, parked
+//! between rounds — each lane carrying a share of the job's virtual walkers
+//! against one shared, lock-striped [`CachedNetwork`]. The schedule is a
+//! sequence of **rounds** with two phases each:
 //!
 //! ```text
 //! round r:  every live walker draws one sample     (reads frozen history)
@@ -37,15 +38,22 @@ use crate::driver::JobDriver;
 use crate::job::SampleJob;
 use crate::observer::{EngineObserver, NoopObserver, RoundProgress};
 use crate::report::JobReport;
+use std::sync::Arc;
 use std::time::Instant;
 use wnw_access::cached::CachedNetwork;
 use wnw_access::interface::ThreadedNetwork;
 use wnw_access::Result;
+use wnw_runtime::WorkerPool;
 
-/// A pool of worker threads executing [`SampleJob`]s.
+/// A handle on a persistent [`WorkerPool`] executing [`SampleJob`]s.
+///
+/// The pool's threads are spawned once, when the engine is built; every
+/// round of every subsequent run reuses them (clones share the same pool).
+/// Use [`Engine::with_pool`] to run several engines — or an engine and a
+/// `wnw-service` scheduler — over one pool.
 #[derive(Debug, Clone)]
 pub struct Engine {
-    threads: usize,
+    pool: Arc<WorkerPool>,
 }
 
 impl Default for Engine {
@@ -57,23 +65,34 @@ impl Default for Engine {
 impl Engine {
     /// An engine using all available hardware parallelism.
     pub fn new() -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        Engine { threads }
-    }
-
-    /// An engine with a fixed thread count (1 runs the whole job inline —
-    /// useful as the reproducibility baseline).
-    pub fn with_threads(threads: usize) -> Self {
         Engine {
-            threads: threads.max(1),
+            pool: Arc::new(WorkerPool::with_available_parallelism()),
         }
     }
 
-    /// The configured thread count.
+    /// An engine over a fresh pool of a fixed width (1 spawns no worker
+    /// threads and runs every job inline — useful as the reproducibility
+    /// baseline).
+    pub fn with_threads(threads: usize) -> Self {
+        Engine {
+            pool: Arc::new(WorkerPool::new(threads)),
+        }
+    }
+
+    /// An engine sharing an existing pool.
+    pub fn with_pool(pool: Arc<WorkerPool>) -> Self {
+        Engine { pool }
+    }
+
+    /// The pool width (OS threads a round's draws are fanned over).
     pub fn threads(&self) -> usize {
-        self.threads
+        self.pool.width()
+    }
+
+    /// The engine's worker pool (for stats, or to share with other
+    /// components via [`Engine::with_pool`]).
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
     }
 
     /// Runs `job` against `network`, layering a shared
@@ -100,7 +119,7 @@ impl Engine {
     ) -> Result<JobReport> {
         let started = Instant::now();
         let cache = CachedNetwork::new(network);
-        let threads = self.threads.min(job.walkers.max(1));
+        let threads = self.pool.width().min(job.walkers.max(1));
         let mut driver = JobDriver::new(&cache, job);
         let mut cancelled = false;
         while !driver.is_done() && !driver.poisoned() {
@@ -108,7 +127,7 @@ impl Engine {
                 cancelled = true;
                 break;
             }
-            driver.step_round(threads);
+            driver.step_round(&self.pool);
             driver.drain_new_samples(|walker, record| observer.on_sample(walker, record));
             observer.on_round(&RoundProgress {
                 rounds: driver.rounds(),

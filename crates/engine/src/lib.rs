@@ -54,6 +54,9 @@ pub use job::{HistoryMode, SampleJob, SamplerSpec};
 pub use observer::{EngineObserver, NoopObserver, RoundProgress};
 pub use parallel::scatter_map;
 pub use report::{JobReport, WalkerReport};
+// Round execution runs on the persistent pool of `wnw-runtime`; re-exported
+// so engine users need not name that crate.
+pub use wnw_runtime::{PoolStats, WorkerPool};
 
 #[cfg(test)]
 mod tests {

@@ -1,62 +1,41 @@
 //! Order-preserving parallel map over independent work items.
 //!
 //! The experiment harness runs many independent repetitions (one sampler,
-//! one budget, one start node each); [`scatter_map`] fans them over a fixed
-//! number of threads and returns results **in input order**, so downstream
-//! averaging is bit-for-bit identical to the sequential loop it replaces
-//! (floating-point summation order preserved).
+//! one budget, one start node each); [`scatter_map`] fans them over a
+//! persistent [`WorkerPool`] and returns results **in input order**, so
+//! downstream averaging is bit-for-bit identical to the sequential loop it
+//! replaces (floating-point summation order preserved). The pool's workers
+//! were spawned once, at pool startup — a harness calling `scatter_map` per
+//! budget point pays no per-call thread-creation cost.
 
-/// Applies `f` to every item on up to `threads` threads, returning results
-/// in input order. Items are assigned round-robin by index, and `f` receives
-/// the item's index alongside the item (handy for per-repetition seeds).
+use wnw_runtime::WorkerPool;
+
+/// Applies `f` to every item over `pool`'s lanes, returning results in
+/// input order. `f` receives the item's index alongside the item (handy for
+/// per-repetition seeds); each result lands in its item's slot, so the
+/// output order never depends on the pool width.
 ///
-/// With `threads <= 1` (or a single item) this degenerates to a plain
-/// sequential map on the calling thread.
-pub fn scatter_map<T, U, F>(threads: usize, items: Vec<T>, f: F) -> Vec<U>
+/// On a width-1 pool (or a single item) this degenerates to a plain
+/// sequential map on the calling thread — the pool's spawnless fast path.
+/// If `f` panics, the panic of the lowest-indexed item reaches the caller
+/// (after the round barrier on the dispatched path).
+pub fn scatter_map<T, U, F>(pool: &WorkerPool, items: Vec<T>, f: F) -> Vec<U>
 where
     T: Send,
     U: Send,
     F: Fn(usize, T) -> U + Sync,
 {
-    let threads = threads.min(items.len()).max(1);
-    if threads == 1 {
-        return items
-            .into_iter()
-            .enumerate()
-            .map(|(i, x)| f(i, x))
-            .collect();
-    }
-
-    // Partition into per-thread buckets, remembering original indices.
-    let mut buckets: Vec<Vec<(usize, T)>> = (0..threads).map(|_| Vec::new()).collect();
-    for (i, item) in items.into_iter().enumerate() {
-        buckets[i % threads].push((i, item));
-    }
-
-    let total: usize = buckets.iter().map(Vec::len).sum();
-    let mut slots: Vec<Option<U>> = (0..total).map(|_| None).collect();
-    let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = buckets
-            .into_iter()
-            .map(|bucket| {
-                scope.spawn(move || {
-                    bucket
-                        .into_iter()
-                        .map(|(i, x)| (i, f(i, x)))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (i, result) in handle.join().expect("scatter workers do not panic") {
-                slots[i] = Some(result);
-            }
-        }
+    let mut slots: Vec<(usize, Option<T>, Option<U>)> = items
+        .into_iter()
+        .enumerate()
+        .map(|(i, item)| (i, Some(item), None))
+        .collect();
+    pool.round(&mut slots, |(i, item, out)| {
+        *out = Some(f(*i, item.take().expect("each item consumed once")));
     });
     slots
         .into_iter()
-        .map(|s| s.expect("every index produced"))
+        .map(|(_, _, out)| out.expect("every index produced"))
         .collect()
 }
 
@@ -67,18 +46,21 @@ mod tests {
 
     #[test]
     fn preserves_input_order() {
+        let pool = WorkerPool::new(8);
         let items: Vec<u32> = (0..100).collect();
-        let doubled = scatter_map(8, items, |i, x| {
+        let doubled = scatter_map(&pool, items, |i, x| {
             assert_eq!(i as u32, x);
             x * 2
         });
         assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(pool.stats().rounds_dispatched, 1);
     }
 
     #[test]
     fn runs_every_item_exactly_once() {
+        let pool = WorkerPool::new(3);
         let hits = AtomicUsize::new(0);
-        let results = scatter_map(3, vec!["a", "b", "c", "d", "e"], |_, s| {
+        let results = scatter_map(&pool, vec!["a", "b", "c", "d", "e"], |_, s| {
             hits.fetch_add(1, Ordering::Relaxed);
             s.len()
         });
@@ -88,8 +70,28 @@ mod tests {
 
     #[test]
     fn degenerate_shapes() {
-        assert!(scatter_map(4, Vec::<u8>::new(), |_, x| x).is_empty());
-        assert_eq!(scatter_map(0, vec![7], |_, x| x + 1), vec![8]);
-        assert_eq!(scatter_map(16, vec![1, 2], |_, x| x), vec![1, 2]);
+        let wide = WorkerPool::new(4);
+        assert!(scatter_map(&wide, Vec::<u8>::new(), |_, x| x).is_empty());
+        let narrow = WorkerPool::new(0);
+        assert_eq!(scatter_map(&narrow, vec![7], |_, x| x + 1), vec![8]);
+        let wider_than_items = WorkerPool::new(16);
+        assert_eq!(
+            scatter_map(&wider_than_items, vec![1, 2], |_, x| x),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn pool_width_does_not_change_results() {
+        let items: Vec<u64> = (0..37).collect();
+        let reference: Vec<u64> = items
+            .iter()
+            .map(|&x| x.wrapping_mul(2654435761) >> 7)
+            .collect();
+        for width in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(width);
+            let got = scatter_map(&pool, items.clone(), |_, x| x.wrapping_mul(2654435761) >> 7);
+            assert_eq!(got, reference, "width {width} diverged");
+        }
     }
 }

@@ -43,12 +43,16 @@ pub fn run(scale: ExperimentScale) -> FigureResult {
     let dataset = registry.google_plus();
     let budgets = registry.query_budget_grid(dataset.graph.node_count());
     let repetitions = scale.repetitions();
-    let bench = Workbench::new(dataset.graph, google_plus_config());
+    // Like fig06–08: each repetition runs through the pooled engine — two
+    // virtual walkers over one shared per-repetition cache, the budget
+    // split between them at the job level — for every ablation variant.
+    let bench = Workbench::new(dataset.graph, google_plus_config()).with_pooled_walkers(2);
 
     let mut result = FigureResult::new(
         "fig09",
         "Google Plus (surrogate): variance-reduction ablation — WE vs WE-None / WE-Crawl / WE-Weighted",
     );
+    result.push_note("repetitions run through the pooled engine (2 virtual walkers, shared cache, job-level budget split)");
     let panels: [(&str, RandomWalkKind, Aggregate); 4] = [
         (
             "a_avg_degree_srw",

@@ -47,7 +47,9 @@ pub fn run(scale: ExperimentScale) -> FigureResult {
     ];
     for n in registry.synthetic_sizes() {
         let graph = registry.synthetic(n);
-        let bench = Workbench::new(graph, WalkEstimateConfig::default());
+        // Pooled engine path for both panels, like fig06–10: two virtual
+        // walkers per repetition over one shared per-repetition cache.
+        let bench = Workbench::new(graph, WalkEstimateConfig::default()).with_pooled_walkers(2);
         let budgets = registry.query_budget_grid(n);
         for kind in samplers {
             let points = error_vs_cost(
@@ -90,6 +92,7 @@ pub fn run(scale: ExperimentScale) -> FigureResult {
     result.push_note(
         "WE outperforms SRW at every graph size; larger graphs need more queries for the same error, matching the paper's Figure 11",
     );
+    result.push_note("repetitions run through the pooled engine (2 virtual walkers, shared cache, job-level budget split)");
     result.push_table(cost_table);
     result.push_table(samples_table);
     result

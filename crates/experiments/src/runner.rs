@@ -12,6 +12,9 @@ use wnw_graph::{metrics, Graph, NodeId};
 use wnw_mcmc::burn_in::{BurnInConfig, ManyShortRunsSampler, OneLongRunSampler};
 use wnw_mcmc::sampler::{collect_samples, Sampler, SamplerRunSummary};
 use wnw_mcmc::{RandomWalkKind, TargetDistribution};
+use wnw_runtime::WorkerPool;
+
+use std::sync::{Arc, OnceLock};
 
 /// The samplers compared in the experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,7 +142,8 @@ impl SamplerKind {
 }
 
 /// Fixed experiment environment for one dataset: the graph, its estimated
-/// diameter, and the WE configuration in force.
+/// diameter, the WE configuration in force, and the persistent worker pool
+/// repetitions are fanned over.
 #[derive(Debug, Clone)]
 pub struct Workbench {
     /// The ground-truth graph behind the simulated access layer.
@@ -148,11 +152,16 @@ pub struct Workbench {
     pub diameter: usize,
     /// WALK-ESTIMATE configuration (crawl depth etc.).
     pub config: WalkEstimateConfig,
-    /// Worker threads used to fan independent repetitions out through the
-    /// engine's [`scatter_map`](wnw_engine::scatter_map). Results are
-    /// averaged in repetition order, so they are identical at any thread
-    /// count.
-    pub threads: usize,
+    /// Width of the repetition-dispatch pool (see [`Workbench::pool`]).
+    width: usize,
+    /// The persistent [`WorkerPool`] independent repetitions are fanned
+    /// over through the engine's [`scatter_map`](wnw_engine::scatter_map):
+    /// spawned lazily on first use (so `new(...).with_threads(n)` never
+    /// spawns a pool it immediately discards), then reused by every budget
+    /// point of every figure — no per-call thread creation. Clones taken
+    /// after the first use share the spawned pool. Results are averaged in
+    /// repetition order, so they are identical at any pool width.
+    pool: OnceLock<Arc<WorkerPool>>,
     /// When set, [`error_vs_cost`] and [`error_vs_samples`] run each
     /// repetition through the pooled engine — this many virtual walkers
     /// over one shared per-repetition cache, budgets split at the job level
@@ -163,27 +172,43 @@ pub struct Workbench {
 
 impl Workbench {
     /// Prepares a workbench, estimating the diameter with a double sweep.
-    /// Repetitions are dispatched over all available hardware threads.
+    /// Repetitions are dispatched over a pool as wide as the available
+    /// hardware parallelism.
     pub fn new(graph: Graph, config: WalkEstimateConfig) -> Self {
         let diameter = metrics::double_sweep_diameter_estimate(&graph, 0xD1A)
             .unwrap_or(10)
             .max(2);
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
         Workbench {
             graph,
             diameter,
             config,
-            threads,
+            width: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            pool: OnceLock::new(),
             pooled_walkers: None,
         }
     }
 
-    /// Overrides the repetition-dispatch thread count (1 = sequential).
+    /// Sets the repetition-dispatch pool width (1 = sequential: no worker
+    /// threads at all). Any already-spawned pool is released; the next use
+    /// spawns one at the new width.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.width = threads.max(1);
+        self.pool = OnceLock::new();
         self
+    }
+
+    /// The repetition-dispatch pool's width.
+    pub fn threads(&self) -> usize {
+        self.width
+    }
+
+    /// The persistent pool repetitions are fanned over, spawned on first
+    /// use (and shared by clones taken after that).
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        self.pool
+            .get_or_init(|| Arc::new(WorkerPool::new(self.width)))
     }
 
     /// Routes each repetition through the pooled engine with `walkers`
@@ -235,10 +260,12 @@ impl Workbench {
 /// [`SampleJob::budget_of`](wnw_engine::SampleJob::budget_of) — no share is
 /// stranded on idle walkers, and the shares sum exactly to the budget,
 /// matching the budget semantics every `SamplerKind` gets through
-/// [`SamplerKind::spec`]). Runs on one OS thread so it composes with the
-/// repetition-level [`scatter_map`](wnw_engine::scatter_map) fan-out without
-/// oversubscription; the engine's determinism guarantee makes the thread
-/// choice invisible to the result.
+/// [`SamplerKind::spec`]). Runs on a width-1 (inline, zero-worker) engine
+/// pool so it composes with the repetition-level
+/// [`scatter_map`](wnw_engine::scatter_map) fan-out without oversubscription
+/// — and without nesting rounds inside the workbench pool's own round,
+/// which the pool forbids; the engine's determinism guarantee makes the
+/// thread choice invisible to the result.
 fn pooled_repetition(
     bench: &Workbench,
     kind: SamplerKind,
@@ -297,7 +324,7 @@ pub fn error_vs_cost(
             let starts: Vec<NodeId> = (0..repetitions)
                 .map(|_| bench.random_start(&mut rng))
                 .collect();
-            let outcomes = wnw_engine::scatter_map(bench.threads, starts, |rep, start| {
+            let outcomes = wnw_engine::scatter_map(bench.pool(), starts, |rep, start| {
                 let seed = base_seed ^ (rep as u64) << 8 ^ budget;
                 if let Some(walkers) = bench.pooled_walkers {
                     // Pooled path: the budget is enforced as per-walker
@@ -380,7 +407,7 @@ pub fn error_vs_samples(
             let starts: Vec<NodeId> = (0..repetitions)
                 .map(|_| bench.random_start(&mut rng))
                 .collect();
-            let outcomes = wnw_engine::scatter_map(bench.threads, starts, |rep, start| {
+            let outcomes = wnw_engine::scatter_map(bench.pool(), starts, |rep, start| {
                 let seed = base_seed ^ (rep as u64) << 8 ^ count as u64;
                 if let Some(walkers) = bench.pooled_walkers {
                     let report = pooled_repetition(bench, kind, walkers, start, None, count, seed);
@@ -424,7 +451,7 @@ pub fn api_calls_per_sample(
     let starts: Vec<NodeId> = (0..repetitions)
         .map(|_| bench.random_start(&mut rng))
         .collect();
-    let per_rep = wnw_engine::scatter_map(bench.threads, starts, |rep, start| {
+    let per_rep = wnw_engine::scatter_map(bench.pool(), starts, |rep, start| {
         let osn = bench.osn(None, start);
         let mut sampler = kind.build(
             osn.clone(),
@@ -449,8 +476,8 @@ pub fn draw_nodes(bench: &Workbench, kind: SamplerKind, count: usize, seed: u64)
 }
 
 /// Draws `count` samples through the concurrent engine: a pool of `walkers`
-/// virtual walkers over one shared cache, run on the workbench's thread
-/// count. Deterministic for a fixed seed at any thread count.
+/// virtual walkers over one shared cache, run on the workbench's own
+/// persistent worker pool. Deterministic for a fixed seed at any pool width.
 pub fn pooled_draw_nodes(
     bench: &Workbench,
     kind: SamplerKind,
@@ -468,7 +495,7 @@ pub fn pooled_draw_nodes(
         history: wnw_engine::HistoryMode::Cooperative,
         diameter_estimate: Some(bench.diameter),
     };
-    let report = wnw_engine::Engine::with_threads(bench.threads)
+    let report = wnw_engine::Engine::with_pool(Arc::clone(bench.pool()))
         .run(&osn, &job)
         .expect("unlimited budget");
     report.nodes()

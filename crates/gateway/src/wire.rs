@@ -204,7 +204,8 @@ pub fn outcome_to_json(outcome: &JobOutcome) -> Json {
 }
 
 /// The `/v1/metrics` document: every snapshot counter, the derived
-/// shared-cache saving, the queue-wait aggregates, and the raw pool stats.
+/// shared-cache saving, the queue-wait aggregates, the raw pool cache
+/// stats, and the persistent worker pool's round-dispatch counters.
 pub fn metrics_to_json(snapshot: &ServiceMetricsSnapshot) -> Json {
     Json::obj(vec![
         ("jobs_submitted", Json::UInt(snapshot.jobs_submitted)),
@@ -250,6 +251,24 @@ pub fn metrics_to_json(snapshot: &ServiceMetricsSnapshot) -> Json {
                 ("api_calls", Json::UInt(snapshot.pool.api_calls)),
                 ("cache_hits", Json::UInt(snapshot.pool.cache_hits)),
                 ("attribute_reads", Json::UInt(snapshot.pool.attribute_reads)),
+            ]),
+        ),
+        (
+            "worker_pool",
+            Json::obj(vec![
+                ("workers", Json::UInt(snapshot.worker_pool.workers)),
+                (
+                    "rounds_dispatched",
+                    Json::UInt(snapshot.worker_pool.rounds_dispatched),
+                ),
+                (
+                    "spawnless_rounds",
+                    Json::UInt(snapshot.worker_pool.spawnless_rounds),
+                ),
+                (
+                    "worker_wakeups",
+                    Json::UInt(snapshot.worker_pool.worker_wakeups),
+                ),
             ]),
         ),
     ])
@@ -391,6 +410,58 @@ mod tests {
         assert_eq!(json.get("queue_wait_ms").unwrap().as_f64(), Some(3.0));
         // Encodes to a single NDJSON-safe line.
         assert!(!json.encode().contains('\n'));
+    }
+
+    #[test]
+    fn metrics_document_carries_worker_pool_counters() {
+        use wnw_access::counter::QueryStats;
+        use wnw_service::PoolStats;
+
+        let snapshot = ServiceMetricsSnapshot {
+            jobs_submitted: 4,
+            jobs_rejected: 1,
+            jobs_queued: 0,
+            jobs_running: 1,
+            jobs_completed: 2,
+            jobs_cancelled: 1,
+            jobs_expired: 0,
+            jobs_failed: 0,
+            jobs_finished: 3,
+            samples_delivered: 40,
+            aggregate_query_cost: 100,
+            isolated_query_cost: 160,
+            budget_refunded: 5,
+            mean_latency: Duration::from_millis(2),
+            jobs_started: 4,
+            mean_queue_wait: Duration::from_millis(1),
+            max_queue_wait: Duration::from_millis(3),
+            pool: QueryStats {
+                unique_nodes: 100,
+                ..QueryStats::default()
+            },
+            worker_pool: PoolStats {
+                workers: 3,
+                rounds_dispatched: 17,
+                spawnless_rounds: 9,
+                worker_wakeups: 41,
+            },
+        };
+        let json = metrics_to_json(&snapshot);
+        let worker_pool = json.get("worker_pool").expect("worker_pool object");
+        assert_eq!(worker_pool.get("workers").unwrap().as_u64(), Some(3));
+        assert_eq!(
+            worker_pool.get("rounds_dispatched").unwrap().as_u64(),
+            Some(17)
+        );
+        assert_eq!(
+            worker_pool.get("spawnless_rounds").unwrap().as_u64(),
+            Some(9)
+        );
+        assert_eq!(
+            worker_pool.get("worker_wakeups").unwrap().as_u64(),
+            Some(41)
+        );
+        assert_eq!(json.get("shared_cache_savings").unwrap().as_u64(), Some(60));
     }
 
     #[test]

@@ -9,11 +9,17 @@
 //! * **Admission control.** Requests are validated and capacity-checked at
 //!   the door ([`AdmissionError`]); beyond `max_in_flight` jobs the service
 //!   sheds load instead of queueing unboundedly.
-//! * **Batched multi-job scheduling.** One scheduler thread interleaves all
-//!   active jobs **round by round** over one worker pool, weighted by
-//!   [`Priority`] — a 10 000-sample job advances one round, then a
-//!   10-sample job advances one round, so big jobs never starve small ones
-//!   and high-priority jobs simply advance more rounds per cycle.
+//! * **Batched multi-job scheduling on one persistent pool.** One scheduler
+//!   thread interleaves all active jobs **round by round** over one
+//!   persistent [`wnw_runtime::WorkerPool`] spawned at service startup —
+//!   after that, no round ever spawns an OS thread (the pool's counters in
+//!   [`ServiceMetricsSnapshot::worker_pool`] make this observable).
+//!   Interleaving is weighted by [`Priority`] and normalized by each job's
+//!   *measured per-round query cost*: a job whose rounds cost `k×` the
+//!   cheapest active job's gets `weight / k` rounds per cycle (never less
+//!   than one), so heterogeneous jobs share the pool by work done, big jobs
+//!   never starve small ones, and high-priority jobs simply advance more
+//!   rounds per cycle.
 //! * **Streaming delivery.** A [`SampleStream`] yields
 //!   [`SampleEvent::Sample`] as walkers land samples, interleaved with
 //!   monotone [`SampleEvent::Progress`] snapshots, terminated by one
@@ -93,6 +99,9 @@ pub use service::{SamplingService, ServiceBuilder, ServiceConfig};
 pub use stream::{
     JobHandle, JobOutcome, JobStatus, JobTicket, ProgressUpdate, SampleEvent, SampleStream,
 };
+// The persistent worker pool the scheduler runs rounds on; re-exported so
+// frontends can name its stats type without depending on `wnw-runtime`.
+pub use wnw_runtime::{PoolStats, WorkerPool};
 
 #[cfg(test)]
 mod tests {

@@ -10,6 +10,7 @@ use crate::stream::{JobOutcome, JobStatus};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use wnw_access::counter::QueryStats;
+use wnw_runtime::PoolStats;
 
 /// Atomic counters describing the service's lifetime so far.
 #[derive(Debug, Default)]
@@ -117,8 +118,13 @@ impl ServiceMetrics {
         self.in_flight.load(Ordering::Relaxed)
     }
 
-    /// A copy of every counter, combined with the shared pool cache's stats.
-    pub(crate) fn snapshot(&self, pool: QueryStats) -> ServiceMetricsSnapshot {
+    /// A copy of every counter, combined with the shared pool cache's stats
+    /// and the persistent worker pool's round-dispatch counters.
+    pub(crate) fn snapshot(
+        &self,
+        pool: QueryStats,
+        worker_pool: PoolStats,
+    ) -> ServiceMetricsSnapshot {
         let finished = self.finished.load(Ordering::Relaxed);
         let latency_micros = self.latency_micros.load(Ordering::Relaxed);
         let started = self.started.load(Ordering::Relaxed);
@@ -148,6 +154,7 @@ impl ServiceMetrics {
                 self.queue_wait_max_micros.load(Ordering::Relaxed),
             ),
             pool,
+            worker_pool,
         }
     }
 }
@@ -199,6 +206,14 @@ pub struct ServiceMetricsSnapshot {
     pub max_queue_wait: Duration,
     /// The shared pool cache's raw counters.
     pub pool: QueryStats,
+    /// The persistent worker pool's round-dispatch counters:
+    /// `rounds_dispatched` (rounds fanned over the parked workers),
+    /// `spawnless_rounds` (rounds run inline on the scheduler thread —
+    /// 1-walker jobs, wound-down jobs, width-1 pools), `worker_wakeups`
+    /// (times a parked worker woke and found work), and `workers` (threads
+    /// spawned at pool startup — constant for the service's whole life:
+    /// the zero-spawn guarantee made observable).
+    pub worker_pool: PoolStats,
 }
 
 impl ServiceMetricsSnapshot {
@@ -251,10 +266,18 @@ mod tests {
         assert_eq!(second, 1);
         assert_eq!(metrics.in_flight(), 0, "finishes release admission slots");
 
-        let snap = metrics.snapshot(QueryStats {
-            unique_nodes: 30,
-            ..QueryStats::default()
-        });
+        let snap = metrics.snapshot(
+            QueryStats {
+                unique_nodes: 30,
+                ..QueryStats::default()
+            },
+            PoolStats {
+                workers: 3,
+                rounds_dispatched: 12,
+                spawnless_rounds: 5,
+                worker_wakeups: 30,
+            },
+        );
         assert_eq!(snap.jobs_submitted, 2);
         assert_eq!(snap.jobs_rejected, 1);
         assert_eq!(snap.jobs_queued, 0);
@@ -271,16 +294,21 @@ mod tests {
         assert_eq!(snap.jobs_started, 2);
         assert_eq!(snap.mean_queue_wait, Duration::from_micros(200));
         assert_eq!(snap.max_queue_wait, Duration::from_micros(300));
+        assert_eq!(snap.worker_pool.rounds_dispatched, 12);
+        assert_eq!(snap.worker_pool.spawnless_rounds, 5);
+        assert_eq!(snap.worker_pool.worker_wakeups, 30);
+        assert_eq!(snap.worker_pool.workers, 3);
     }
 
     #[test]
     fn empty_snapshot_has_zero_latency() {
         let metrics = ServiceMetrics::default();
-        let snap = metrics.snapshot(QueryStats::default());
+        let snap = metrics.snapshot(QueryStats::default(), PoolStats::default());
         assert_eq!(snap.mean_latency, Duration::ZERO);
         assert_eq!(snap.shared_cache_savings(), 0);
         assert_eq!(snap.jobs_started, 0);
         assert_eq!(snap.mean_queue_wait, Duration::ZERO);
         assert_eq!(snap.max_queue_wait, Duration::ZERO);
+        assert_eq!(snap.worker_pool, PoolStats::default());
     }
 }

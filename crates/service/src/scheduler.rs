@@ -2,12 +2,25 @@
 //!
 //! One scheduler thread owns every admitted job and advances them in
 //! **scheduling cycles**: each cycle walks the active set in admission
-//! order and hands every job [`Priority::weight`] rounds, where one round
-//! moves every live walker of that job one sample forward on the shared
-//! worker pool (see [`JobDriver::step_round`]). Round interleaving is what
-//! keeps the service fair — a 10 000-sample job advances one round, then a
-//! 10-sample job advances one round — and priority weights tilt the ratio
-//! without ever starving anyone.
+//! order and hands every job up to [`Priority::weight`] rounds, where one
+//! round moves every live walker of that job one sample forward on the
+//! service's shared, persistent [`WorkerPool`] (see
+//! [`JobDriver::step_round`]) — one pool serves every in-flight job, so no
+//! round ever spawns an OS thread. Round interleaving is what keeps the
+//! service fair — a 10 000-sample job advances one round, then a 10-sample
+//! job advances one round — and priority weights tilt the ratio without
+//! ever starving anyone.
+//!
+//! **Cost-weighted fairness.** Rounds are not equal: a 16-walker crawl of a
+//! hub-heavy region spends far more queries per round than a 1-walker job.
+//! Each cycle therefore scales a job's round allotment by the ratio of the
+//! *cheapest* active job's measured per-round query cost to its own (see
+//! [`cost_weighted_rounds`]): the cheapest job keeps its full priority
+//! weight while proportionally costlier jobs are throttled toward one round
+//! per cycle, so heterogeneous jobs share the pool by measured work, not by
+//! round count. Every active job still advances at least one round per
+//! cycle — fairness never becomes starvation — and the weighting only
+//! re-times rounds, so it cannot change any job's sample multiset.
 //!
 //! Determinism: the scheduler decides only *when* a job's walkers run,
 //! never what they compute. A walker's draws depend on its own RNG stream,
@@ -35,6 +48,7 @@ use wnw_access::counter::QueryCounter;
 use wnw_access::interface::{SocialNetwork, ThreadedNetwork};
 use wnw_access::metered::MeteredNetwork;
 use wnw_engine::JobDriver;
+use wnw_runtime::WorkerPool;
 
 /// An admitted request on its way to the scheduler thread.
 pub(crate) struct Submission {
@@ -68,8 +82,6 @@ const PAUSE_POLL: Duration = Duration::from_millis(25);
 /// Scheduler-side tuning knobs (a copy of the service config).
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct SchedulerConfig {
-    /// OS threads a round's draws are fanned over.
-    pub pool_threads: usize,
     /// Jobs interleaved concurrently; admitted jobs beyond this wait queued.
     pub max_active: usize,
 }
@@ -100,6 +112,19 @@ struct ActiveJob {
 }
 
 impl ActiveJob {
+    /// Measured query cost per completed round (unique nodes this job's
+    /// metered view has paid, averaged over its rounds), floored at one so
+    /// cache-riding jobs cannot divide the weighting by zero. `None` until
+    /// the job has completed a round — a fresh job has no measurement yet
+    /// and keeps its full priority weight.
+    fn mean_round_cost(&self) -> Option<f64> {
+        let rounds = self.driver.rounds();
+        if rounds == 0 {
+            return None;
+        }
+        Some((self.job_counter.stats().unique_nodes as f64 / rounds as f64).max(1.0))
+    }
+
     fn terminal(&self) -> bool {
         // A poisoned driver (fatal walker error or panic) ends the job at
         // the next round boundary — the remaining healthy walkers' output
@@ -158,6 +183,9 @@ pub(crate) struct Scheduler<N: ThreadedNetwork + 'static> {
     cache: Arc<CachedNetwork<Arc<N>>>,
     metrics: Arc<ServiceMetrics>,
     config: SchedulerConfig,
+    /// The service's one persistent worker pool: every round of every
+    /// in-flight job executes on it, so no round spawns an OS thread.
+    pool: Arc<WorkerPool>,
     paused: Arc<AtomicBool>,
     rx: Receiver<Submission>,
     rx_open: bool,
@@ -172,6 +200,7 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
         cache: Arc<CachedNetwork<Arc<N>>>,
         metrics: Arc<ServiceMetrics>,
         config: SchedulerConfig,
+        pool: Arc<WorkerPool>,
         paused: Arc<AtomicBool>,
         rx: Receiver<Submission>,
     ) -> Self {
@@ -179,6 +208,7 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
             cache,
             metrics,
             config,
+            pool,
             paused,
             rx,
             rx_open: true,
@@ -344,16 +374,29 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
         }
     }
 
-    /// One scheduling cycle: every active job advances up to its priority
-    /// weight in rounds, then terminal jobs are finalized and retired.
+    /// One scheduling cycle: every active job advances up to its
+    /// cost-weighted round allotment (priority weight, normalized by the
+    /// job's measured per-round query cost — see [`cost_weighted_rounds`]),
+    /// then terminal jobs are finalized and retired.
     fn cycle(&mut self) {
+        // The cheapest measured per-round cost in this cycle's active set
+        // is the normalization baseline: that job keeps its full weight.
+        let cheapest = self
+            .active
+            .iter()
+            .filter_map(ActiveJob::mean_round_cost)
+            .fold(None, |best: Option<f64>, cost| {
+                Some(best.map_or(cost, |b| b.min(cost)))
+            });
         for job in &mut self.active {
-            for _ in 0..job.priority.weight() {
+            let allotment =
+                cost_weighted_rounds(job.priority.weight(), job.mean_round_cost(), cheapest);
+            for _ in 0..allotment {
                 job.check_interrupts();
                 if job.terminal() {
                     break;
                 }
-                job.driver.step_round(self.config.pool_threads);
+                job.driver.step_round(&self.pool);
                 job.pump(self.cache.query_stats());
             }
         }
@@ -410,4 +453,70 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         .map(|s| s.to_string())
         .or_else(|| payload.downcast_ref::<String>().cloned())
         .unwrap_or_else(|| "sampler panicked".to_string())
+}
+
+/// Rounds a job receives this cycle: its [`Priority::weight`], scaled down
+/// by how much costlier its rounds are than the cheapest active job's
+/// (`cheapest / cost`, both measured in unique-node queries per round).
+///
+/// * A job with no measurement yet (`cost == None`: it has not completed a
+///   round) keeps its full weight — there is nothing to normalize by.
+/// * The cheapest job keeps its full weight (ratio 1); a job whose rounds
+///   cost `k×` the cheapest gets `weight / k` rounds, rounded, so both
+///   consume roughly the same query budget per cycle at equal priority.
+/// * The result is clamped to `[1, weight]`: cost weighting throttles, it
+///   never starves (min 1) and never out-privileges priority (max weight).
+///
+/// Scheduling-only: the allotment changes *when* a job's rounds run, never
+/// what they compute, so sample multisets stay invariant under it.
+fn cost_weighted_rounds(weight: usize, cost: Option<f64>, cheapest: Option<f64>) -> usize {
+    let (Some(cost), Some(cheapest)) = (cost, cheapest) else {
+        return weight.max(1);
+    };
+    let scaled = (weight as f64 * (cheapest / cost)).round() as usize;
+    scaled.clamp(1, weight.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::cost_weighted_rounds;
+
+    #[test]
+    fn equal_costs_keep_full_priority_weights() {
+        for weight in [1, 2, 4] {
+            assert_eq!(cost_weighted_rounds(weight, Some(10.0), Some(10.0)), weight);
+        }
+    }
+
+    #[test]
+    fn costlier_jobs_are_throttled_proportionally() {
+        // 4× the cheapest job's per-round cost → a quarter of the rounds.
+        assert_eq!(cost_weighted_rounds(4, Some(40.0), Some(10.0)), 1);
+        // 2× → half.
+        assert_eq!(cost_weighted_rounds(4, Some(20.0), Some(10.0)), 2);
+        // The cheapest job itself keeps its weight.
+        assert_eq!(cost_weighted_rounds(4, Some(10.0), Some(10.0)), 4);
+    }
+
+    #[test]
+    fn throttling_never_starves_or_out_privileges() {
+        // Extremely expensive job: still at least one round per cycle.
+        assert_eq!(cost_weighted_rounds(4, Some(1e9), Some(1.0)), 1);
+        // The ratio can never push a job above its priority weight (the
+        // baseline is the minimum, so the ratio is ≤ 1 by construction —
+        // clamp anyway against future baseline changes).
+        assert_eq!(cost_weighted_rounds(2, Some(1.0), Some(50.0)), 2);
+        // Weight-1 (low priority) jobs are untouched by the weighting.
+        assert_eq!(cost_weighted_rounds(1, Some(500.0), Some(1.0)), 1);
+    }
+
+    #[test]
+    fn unmeasured_jobs_keep_their_weight() {
+        assert_eq!(cost_weighted_rounds(4, None, Some(3.0)), 4);
+        assert_eq!(cost_weighted_rounds(2, Some(3.0), None), 2);
+        assert_eq!(cost_weighted_rounds(2, None, None), 2);
+        // Degenerate zero weight is still at least one round.
+        assert_eq!(cost_weighted_rounds(0, None, None), 1);
+        assert_eq!(cost_weighted_rounds(0, Some(2.0), Some(1.0)), 1);
+    }
 }

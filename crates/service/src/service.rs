@@ -13,12 +13,16 @@ use std::time::Instant;
 use wnw_access::cached::CachedNetwork;
 use wnw_access::counter::QueryStats;
 use wnw_access::interface::{SocialNetwork, ThreadedNetwork};
+use wnw_runtime::{PoolStats, WorkerPool};
 
 /// Tuning knobs of a [`SamplingService`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
-    /// OS threads each round's walker draws are fanned over (the service's
-    /// single worker pool). Defaults to the available hardware parallelism.
+    /// Width of the service's one persistent [`WorkerPool`]: each round's
+    /// walker draws are fanned over this many lanes (`pool_threads - 1`
+    /// parked workers plus the scheduler thread). The pool is spawned once
+    /// at [`ServiceBuilder::build`]; no round ever spawns a thread after
+    /// that. Defaults to the available hardware parallelism.
     pub pool_threads: usize,
     /// Jobs interleaved concurrently by the scheduler; admitted jobs beyond
     /// this wait in the queue. Default 4.
@@ -79,19 +83,22 @@ impl<N: ThreadedNetwork + 'static> ServiceBuilder<N> {
         self
     }
 
-    /// Spawns the scheduler thread and returns the running service.
+    /// Spawns the worker pool and the scheduler thread, and returns the
+    /// running service. These are the service's only thread spawns: every
+    /// round of every future job reuses the pool built here.
     pub fn build(self) -> SamplingService<N> {
         let cache = Arc::new(CachedNetwork::new(Arc::new(self.network)));
         let metrics = Arc::new(ServiceMetrics::default());
         let paused = Arc::new(AtomicBool::new(self.config.start_paused));
+        let pool = Arc::new(WorkerPool::new(self.config.pool_threads));
         let (tx, rx) = channel();
         let scheduler = Scheduler::new(
             Arc::clone(&cache),
             Arc::clone(&metrics),
             SchedulerConfig {
-                pool_threads: self.config.pool_threads,
                 max_active: self.config.max_active,
             },
+            Arc::clone(&pool),
             Arc::clone(&paused),
             rx,
         );
@@ -102,6 +109,7 @@ impl<N: ThreadedNetwork + 'static> ServiceBuilder<N> {
         SamplingService {
             cache,
             metrics,
+            pool,
             paused,
             tx: Some(tx),
             scheduler: Some(handle),
@@ -133,6 +141,9 @@ impl<N: ThreadedNetwork + 'static> ServiceBuilder<N> {
 pub struct SamplingService<N: ThreadedNetwork + 'static> {
     cache: Arc<CachedNetwork<Arc<N>>>,
     metrics: Arc<ServiceMetrics>,
+    /// The one persistent worker pool every job's rounds execute on
+    /// (shared with the scheduler thread; kept here for stats snapshots).
+    pool: Arc<WorkerPool>,
     paused: Arc<AtomicBool>,
     tx: Option<Sender<Submission>>,
     scheduler: Option<JoinHandle<()>>,
@@ -221,13 +232,22 @@ impl<N: ThreadedNetwork + 'static> SamplingService<N> {
 
     /// A live snapshot of the service metrics (lock-free reads).
     pub fn metrics(&self) -> ServiceMetricsSnapshot {
-        self.metrics.snapshot(self.cache.query_stats())
+        self.metrics
+            .snapshot(self.cache.query_stats(), self.pool.stats())
     }
 
     /// The shared pool cache's raw counters: `unique_nodes` is the
     /// aggregate query cost the service has paid across all jobs.
     pub fn pool_stats(&self) -> QueryStats {
         self.cache.query_stats()
+    }
+
+    /// The persistent worker pool's round-dispatch counters (see
+    /// [`PoolStats`]): how many rounds were fanned over the parked workers,
+    /// how many ran spawnless on the scheduler thread, and how often a
+    /// worker woke for work.
+    pub fn worker_pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// Releases a [`start_paused`](ServiceBuilder::start_paused) gate (and
@@ -246,7 +266,8 @@ impl<N: ThreadedNetwork + 'static> SamplingService<N> {
     /// event, and the final metrics snapshot is returned.
     pub fn shutdown(mut self) -> ServiceMetricsSnapshot {
         self.teardown();
-        self.metrics.snapshot(self.cache.query_stats())
+        self.metrics
+            .snapshot(self.cache.query_stats(), self.pool.stats())
     }
 
     fn teardown(&mut self) {

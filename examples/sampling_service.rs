@@ -41,15 +41,14 @@ fn main() {
         })
         .collect();
 
-    // Baseline: each job as an isolated engine run with its own cache.
+    // Baseline: each job as an isolated engine run with its own cache (one
+    // engine — and so one worker pool — reused across the runs).
+    let engine = Engine::new();
     let isolated_costs: Vec<u64> = requests
         .iter()
         .map(|(job, _)| {
             let network = SimulatedOsn::new(graph.clone());
-            Engine::new()
-                .run(&network, job)
-                .expect("unbudgeted")
-                .query_cost()
+            engine.run(&network, job).expect("unbudgeted").query_cost()
         })
         .collect();
     let isolated_total: u64 = isolated_costs.iter().sum();

@@ -21,6 +21,7 @@
 //! | [`access`] | `wnw-access` | restricted OSN interface, budgets, rate limits |
 //! | [`mcmc`] | `wnw-mcmc` | SRW/MHRW, convergence, rejection sampling, baselines |
 //! | [`core`] | `wnw-core` | WALK-ESTIMATE (the paper's contribution) |
+//! | [`runtime`] | `wnw-runtime` | persistent round-barrier worker pool (zero-spawn rounds) |
 //! | [`engine`] | `wnw-engine` | concurrent, cache-sharing sampling engine |
 //! | [`service`] | `wnw-service` | multi-job sampling service: scheduling, streaming, metrics |
 //! | [`gateway`] | `wnw-gateway` | std-only HTTP/1.1 streaming frontend over the service |
@@ -61,6 +62,7 @@ pub use wnw_experiments as experiments;
 pub use wnw_gateway as gateway;
 pub use wnw_graph as graph;
 pub use wnw_mcmc as mcmc;
+pub use wnw_runtime as runtime;
 pub use wnw_service as service;
 
 /// The most commonly used items, for `use walk_not_wait::prelude::*`.
@@ -82,6 +84,7 @@ pub mod prelude {
     pub use wnw_mcmc::{
         collect_samples, RandomWalkKind, Sampler, ScalingFactorPolicy, TargetDistribution,
     };
+    pub use wnw_runtime::{PoolStats, WorkerPool};
     pub use wnw_service::{
         AdmissionError, JobOutcome, JobRegistry, JobStatus, Priority, SampleEvent, SampleRequest,
         SamplingService, ServiceMetricsSnapshot,

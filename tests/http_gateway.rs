@@ -5,7 +5,8 @@
 //!   `SamplingService` run of the same request (any pool width, under
 //!   co-load);
 //! * `/v1/metrics` reflects nonzero `shared_cache_savings` and exposes the
-//!   queue-wait aggregates;
+//!   queue-wait aggregates and the persistent worker pool's round-dispatch
+//!   counters;
 //! * a killed connection cancels its job and refunds its unused budget —
 //!   the HTTP twin of the drop-stream regression in
 //!   `tests/service_concurrency.rs`.
@@ -143,6 +144,30 @@ fn concurrent_http_clients_match_direct_runs_and_share_the_cache() {
         metrics.get("max_queue_wait_ms").unwrap().as_f64().unwrap()
             >= metrics.get("mean_queue_wait_ms").unwrap().as_f64().unwrap()
     );
+    // The persistent worker pool's round-dispatch counters cross the wire:
+    // width-2 pool → one parked worker, and with 2-walker jobs every round
+    // either fanned out or (wind-down) ran spawnless — never zero of both.
+    let worker_pool = metrics.get("worker_pool").expect("worker_pool object");
+    assert_eq!(worker_pool.get("workers").unwrap().as_u64(), Some(1));
+    let dispatched = worker_pool
+        .get("rounds_dispatched")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    let spawnless = worker_pool
+        .get("spawnless_rounds")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert!(
+        dispatched + spawnless > 0,
+        "completed jobs must have run rounds on the pool"
+    );
+    assert!(worker_pool
+        .get("worker_wakeups")
+        .unwrap()
+        .as_u64()
+        .is_some());
 
     let snapshot = server.shutdown();
     assert_eq!(snapshot.jobs_finished, 2);
