@@ -59,7 +59,10 @@ pub mod walk;
 
 pub use config::{WalkEstimateConfig, WalkEstimateVariant};
 pub use estimate::estimator::ProbabilityEstimator;
-pub use history::{HistoryHandle, HistoryView, OverlayHistory, SharedWalkHistory, WalkHistory};
+pub use history::{
+    FrozenHistory, HistoryHandle, HistoryKey, HistoryStore, HistoryStoreStats, HistoryView,
+    OverlayHistory, ReuseCorrection, SharedWalkHistory, WalkHistory,
+};
 pub use ideal::IdealWalkAnalysis;
 pub use long_run::WalkEstimateLongRunSampler;
 pub use sampler::WalkEstimateSampler;

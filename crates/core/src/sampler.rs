@@ -19,7 +19,9 @@
 use crate::config::{WalkEstimateConfig, WalkEstimateVariant};
 use crate::estimate::crawl::InitialCrawl;
 use crate::estimate::estimator::ProbabilityEstimator;
-use crate::history::{HistoryHandle, HistoryView, SharedWalkHistory};
+use crate::history::{
+    FrozenHistory, HistoryHandle, HistoryView, ReuseCorrection, SharedWalkHistory,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -85,6 +87,23 @@ impl<N: SocialNetwork> WalkEstimateSampler<N> {
     /// this only changes variance, never correctness.
     pub fn with_shared_history(mut self, shared: Arc<SharedWalkHistory>) -> Self {
         self.history = HistoryHandle::shared(shared);
+        self
+    }
+
+    /// Like [`with_shared_history`](Self::with_shared_history), additionally
+    /// seeding reads with a frozen cross-job `base` (walks published by
+    /// completed prior jobs, weighted by `correction`). The base is
+    /// read-only: this sampler's own walks still flush to `shared` only, so
+    /// reused history is never republished. Unbiasedness is unaffected —
+    /// the selection distribution keeps its ε floor — richer history only
+    /// focuses backward walks better.
+    pub fn with_seeded_history(
+        mut self,
+        base: Arc<FrozenHistory>,
+        correction: ReuseCorrection,
+        shared: Arc<SharedWalkHistory>,
+    ) -> Self {
+        self.history = HistoryHandle::seeded(base, correction, shared);
         self
     }
 

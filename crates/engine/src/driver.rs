@@ -26,7 +26,7 @@ use wnw_access::counter::{QueryBudget, QueryCounter};
 use wnw_access::interface::SocialNetwork;
 use wnw_access::metered::MeteredNetwork;
 use wnw_access::AccessError;
-use wnw_core::history::SharedWalkHistory;
+use wnw_core::history::{FrozenHistory, ReuseCorrection, SharedWalkHistory, WalkHistory};
 use wnw_core::sampler::WalkEstimateSampler;
 use wnw_mcmc::burn_in::{ManyShortRunsSampler, OneLongRunSampler};
 use wnw_mcmc::sampler::{SampleRecord, Sampler};
@@ -93,6 +93,10 @@ pub struct JobDriver<'a> {
     walkers: Vec<WalkerState<'a>>,
     rounds: usize,
     requested: usize,
+    /// The job's cooperative accumulator (when the spec uses one): what a
+    /// publishing policy exports at reap. Contains only this job's own
+    /// walks — a seeded base is read-only and never lands here.
+    shared_history: Option<Arc<SharedWalkHistory>>,
 }
 
 impl<'a> JobDriver<'a> {
@@ -100,24 +104,63 @@ impl<'a> JobDriver<'a> {
     /// own clone of the handle, wrapped in a budget-enforcing
     /// [`MeteredNetwork`] view, with the sampler the job's spec names on
     /// top, seeded from the walker's RNG stream. Cooperative history (when
-    /// the spec profits from it) is created per job — never shared across
-    /// jobs, which would make one request's samples depend on what else is
-    /// running.
+    /// the spec profits from it) is created per job — live state is never
+    /// shared across jobs, which would make one request's samples depend on
+    /// what else is running (cross-job reuse goes through immutable
+    /// [`FrozenHistory`] snapshots instead; see
+    /// [`with_seed_history`](Self::with_seed_history)).
     pub fn new<C>(cache: C, job: &SampleJob) -> Self
+    where
+        C: SocialNetwork + Clone + Send + 'a,
+    {
+        Self::with_seed_history(cache, job, None)
+    }
+
+    /// Like [`new`](Self::new), additionally seeding every walker's history
+    /// reads with a frozen cross-job snapshot (walks published by completed
+    /// prior jobs, weighted by the given [`ReuseCorrection`]). The snapshot
+    /// is immutable — taken once, at admission, per the store's
+    /// snapshot-on-admit epoch rule — so the job's results are a pure
+    /// function of (job, snapshot) at any thread count. Ignored for jobs
+    /// whose spec or history mode cannot use shared history.
+    pub fn with_seed_history<C>(
+        cache: C,
+        job: &SampleJob,
+        seed_history: Option<(Arc<FrozenHistory>, ReuseCorrection)>,
+    ) -> Self
     where
         C: SocialNetwork + Clone + Send + 'a,
     {
         let shared_history = (job.history == HistoryMode::Cooperative
             && job.spec.uses_shared_history())
         .then(SharedWalkHistory::shared);
+        let seed_history = shared_history.is_some().then_some(seed_history).flatten();
         let walkers = (0..job.walkers)
-            .map(|w| build_walker(cache.clone(), job, shared_history.clone(), w))
+            .map(|w| {
+                build_walker(
+                    cache.clone(),
+                    job,
+                    shared_history.clone(),
+                    seed_history.clone(),
+                    w,
+                )
+            })
             .collect();
         JobDriver {
             walkers,
             rounds: 0,
             requested: job.samples,
+            shared_history,
         }
+    }
+
+    /// The job's own merged walk history — what a publishing policy hands
+    /// to the [`HistoryStore`](wnw_core::HistoryStore) at reap. `None` for
+    /// jobs without a cooperative accumulator (baselines,
+    /// independent-history jobs), `Some` (possibly empty) otherwise; callers
+    /// should publish only non-empty exports.
+    pub fn export_shared_history(&self) -> Option<WalkHistory> {
+        self.shared_history.as_ref().map(|shared| shared.export())
     }
 
     /// Whether every walker is finished (quota met, budget out, failed, or
@@ -259,6 +302,7 @@ fn build_walker<'a, C>(
     cache: C,
     job: &SampleJob,
     shared_history: Option<Arc<SharedWalkHistory>>,
+    seed_history: Option<(Arc<FrozenHistory>, ReuseCorrection)>,
     walker: usize,
 ) -> WalkerState<'a>
 where
@@ -277,8 +321,14 @@ where
             if let Some(diameter) = job.diameter_estimate {
                 sampler = sampler.with_diameter_estimate(diameter);
             }
-            if let Some(shared) = shared_history {
-                sampler = sampler.with_shared_history(shared);
+            match (shared_history, seed_history) {
+                (Some(shared), Some((base, correction))) => {
+                    sampler = sampler.with_seeded_history(base, correction, shared);
+                }
+                (Some(shared), None) => {
+                    sampler = sampler.with_shared_history(shared);
+                }
+                (None, _) => {}
             }
             Box::new(sampler)
         }

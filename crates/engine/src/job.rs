@@ -51,6 +51,15 @@ impl SamplerSpec {
         }
     }
 
+    /// The input random-walk design the spec runs on.
+    pub fn input_kind(&self) -> RandomWalkKind {
+        match self {
+            SamplerSpec::WalkEstimate { input, .. }
+            | SamplerSpec::ManyShortRuns { input, .. }
+            | SamplerSpec::OneLongRun { input, .. } => *input,
+        }
+    }
+
     /// Whether walkers of this spec profit from a pool-shared walk history.
     pub fn uses_shared_history(&self) -> bool {
         matches!(

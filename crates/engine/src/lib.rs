@@ -47,6 +47,7 @@ pub mod job;
 pub mod observer;
 pub mod parallel;
 pub mod report;
+pub mod reuse;
 
 pub use driver::JobDriver;
 pub use engine::Engine;
@@ -54,6 +55,12 @@ pub use job::{HistoryMode, SampleJob, SamplerSpec};
 pub use observer::{EngineObserver, NoopObserver, RoundProgress};
 pub use parallel::scatter_map;
 pub use report::{JobReport, WalkerReport};
+pub use reuse::{history_key_of, HistoryPolicy};
+// The cross-job history-store types, re-exported so service/gateway code can
+// name them without depending on `wnw-core` directly.
+pub use wnw_core::history::{
+    FrozenHistory, HistoryKey, HistoryStore, HistoryStoreStats, ReuseCorrection,
+};
 // Round execution runs on the persistent pool of `wnw-runtime`; re-exported
 // so engine users need not name that crate.
 pub use wnw_runtime::{PoolStats, WorkerPool};

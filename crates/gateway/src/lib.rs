@@ -19,8 +19,15 @@
 //! | `POST /v1/jobs` | submit a sampling request (JSON body) → `202` with `job_id` |
 //! | `GET /v1/jobs/{id}/stream` | chunked NDJSON stream of `sample`/`progress`/`done` events |
 //! | `DELETE /v1/jobs/{id}` | cooperative cancel (stream still delivers `done`) |
-//! | `GET /v1/metrics` | service metrics snapshot, incl. `shared_cache_savings` and queue waits |
+//! | `GET /v1/metrics` | service metrics snapshot, incl. `shared_cache_savings`, queue waits, and the cross-job `history` reuse counters |
 //! | `GET /healthz` | liveness probe |
+//!
+//! The submit body's optional `"history_policy"` field
+//! (`"isolated"` (default) \| `"shared_read"` \| `"shared_publish"`) plugs a
+//! job into the service's cross-job
+//! [`HistoryStore`](wnw_service::HistoryStore), and `"reuse_correction"`
+//! (`"reweighted"` (default) \| `"raw"`) picks the bias-correction mode for
+//! reused walk counts — see [`wire`] for the full body schema.
 //!
 //! Streaming is the service's own [`SampleStream`](wnw_service::SampleStream)
 //! carried over chunked transfer encoding: every event is flushed as one

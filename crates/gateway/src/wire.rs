@@ -13,7 +13,9 @@
 //!   "walkers": 4,                      // optional
 //!   "budget": 10000,                   // optional (unique-node queries)
 //!   "diameter_estimate": 5,            // optional
-//!   "history": "cooperative",          // | "independent"
+//!   "history": "cooperative",          // | "independent"   (within the job)
+//!   "history_policy": "isolated",      // | "shared_read" | "shared_publish"
+//!   "reuse_correction": "reweighted",  // | "raw"
 //!   "priority": "normal",              // | "low" | "high"
 //!   "deadline_ms": 30000               // optional
 //! }
@@ -29,8 +31,8 @@ use wnw_engine::{HistoryMode, SampleJob, SamplerSpec};
 use wnw_mcmc::burn_in::BurnInConfig;
 use wnw_mcmc::RandomWalkKind;
 use wnw_service::{
-    JobOutcome, JobStatus, Priority, ProgressUpdate, SampleEvent, SampleRequest,
-    ServiceMetricsSnapshot,
+    HistoryPolicy, JobOutcome, JobStatus, Priority, ProgressUpdate, ReuseCorrection, SampleEvent,
+    SampleRequest, ServiceMetricsSnapshot,
 };
 
 /// Parses a submit body into a [`SampleRequest`]. Messages are phrased for
@@ -50,6 +52,8 @@ pub fn sample_request_from_json(body: &Json) -> Result<SampleRequest, String> {
                 | "budget"
                 | "diameter_estimate"
                 | "history"
+                | "history_policy"
+                | "reuse_correction"
                 | "priority"
                 | "deadline_ms"
         ) {
@@ -101,6 +105,48 @@ pub fn sample_request_from_json(body: &Json) -> Result<SampleRequest, String> {
     }
 
     let mut request = SampleRequest::new(job);
+    if let Some(policy) = optional_str(body, "history_policy")? {
+        // Parse against the types' own wire labels so the vocabulary has a
+        // single source of truth.
+        let parsed = [
+            HistoryPolicy::Isolated,
+            HistoryPolicy::SharedReadOnly,
+            HistoryPolicy::SharedPublish,
+        ]
+        .into_iter()
+        .find(|p| p.label() == policy)
+        .ok_or_else(|| {
+            format!("unknown history_policy `{policy}` (isolated|shared_read|shared_publish)")
+        })?;
+        // A shared policy on a job that keeps walker-private histories
+        // (independent mode, baseline samplers) would be a silent no-op —
+        // surface the contradiction to the client instead.
+        if parsed != HistoryPolicy::Isolated
+            && !(request.job.history == HistoryMode::Cooperative
+                && request.job.spec.uses_shared_history())
+        {
+            return Err(format!(
+                "history_policy `{policy}` requires a walk_estimate job with cooperative history"
+            ));
+        }
+        request = request.with_history_policy(parsed);
+    }
+    if let Some(correction) = optional_str(body, "reuse_correction")? {
+        let parsed = [ReuseCorrection::Reweighted, ReuseCorrection::Raw]
+            .into_iter()
+            .find(|c| c.label() == correction)
+            .ok_or_else(|| format!("unknown reuse_correction `{correction}` (reweighted|raw)"))?;
+        // The correction only applies to reused history; without a reading
+        // policy it would be a silent no-op, so reject the contradiction
+        // like the history_policy check above.
+        if !request.history_policy.reads() {
+            return Err(format!(
+                "reuse_correction `{correction}` requires history_policy shared_read or \
+                 shared_publish"
+            ));
+        }
+        request = request.with_reuse_correction(parsed);
+    }
     if let Some(priority) = optional_str(body, "priority")? {
         request = request.with_priority(match priority {
             "low" => Priority::Low,
@@ -271,6 +317,21 @@ pub fn metrics_to_json(snapshot: &ServiceMetricsSnapshot) -> Json {
                 ),
             ]),
         ),
+        (
+            "history",
+            Json::obj(vec![
+                ("hits", Json::UInt(snapshot.history.hits)),
+                ("misses", Json::UInt(snapshot.history.misses)),
+                ("publications", Json::UInt(snapshot.history.publications)),
+                (
+                    "published_walks",
+                    Json::UInt(snapshot.history.published_walks),
+                ),
+                ("reused_walks", Json::UInt(snapshot.history.reused_walks)),
+                ("reuse_savings", Json::UInt(snapshot.history.reuse_savings)),
+                ("epoch", Json::UInt(snapshot.history.epoch)),
+            ]),
+        ),
     ])
 }
 
@@ -312,7 +373,8 @@ mod tests {
             r#"{
                 "sampler": "walk_estimate", "input": "mhrw", "samples": 50,
                 "seed": 9007199254740993, "walkers": 3, "budget": 1234,
-                "diameter_estimate": 6, "history": "independent",
+                "diameter_estimate": 6, "history": "cooperative",
+                "history_policy": "shared_publish", "reuse_correction": "raw",
                 "priority": "high", "deadline_ms": 2500
             }"#,
         )
@@ -322,7 +384,9 @@ mod tests {
         assert_eq!(req.job.walkers, 3);
         assert_eq!(req.job.budget, Some(1234));
         assert_eq!(req.job.diameter_estimate, Some(6));
-        assert_eq!(req.job.history, HistoryMode::Independent);
+        assert_eq!(req.job.history, HistoryMode::Cooperative);
+        assert_eq!(req.history_policy, HistoryPolicy::SharedPublish);
+        assert_eq!(req.reuse_correction, ReuseCorrection::Raw);
         assert_eq!(req.priority, Priority::High);
         assert_eq!(req.deadline, Some(Duration::from_millis(2500)));
         assert!(matches!(
@@ -332,6 +396,17 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn independent_history_parses_with_isolated_policy() {
+        let req = request(
+            r#"{"samples": 5, "seed": 1, "history": "independent",
+                "history_policy": "isolated"}"#,
+        )
+        .unwrap();
+        assert_eq!(req.job.history, HistoryMode::Independent);
+        assert_eq!(req.history_policy, HistoryPolicy::Isolated);
     }
 
     #[test]
@@ -361,6 +436,31 @@ mod tests {
             (
                 r#"{"samples": 5, "seed": 1, "history": "psychic"}"#,
                 "history",
+            ),
+            (
+                r#"{"samples": 5, "seed": 1, "history_policy": "gossip"}"#,
+                "history_policy",
+            ),
+            (
+                r#"{"samples": 5, "seed": 1, "reuse_correction": "vibes"}"#,
+                "reuse_correction",
+            ),
+            // A shared policy on a job that cannot exchange history would
+            // be a silent no-op — it must be rejected, not accepted.
+            (
+                r#"{"samples": 5, "seed": 1, "history": "independent",
+                    "history_policy": "shared_publish"}"#,
+                "cooperative",
+            ),
+            (
+                r#"{"samples": 5, "seed": 1, "sampler": "many_short_runs",
+                    "history_policy": "shared_read"}"#,
+                "cooperative",
+            ),
+            // A correction without a reading policy would be a no-op too.
+            (
+                r#"{"samples": 5, "seed": 1, "reuse_correction": "raw"}"#,
+                "shared_read",
             ),
             (r#"{"samples": 5, "seed": 1, "walkers": "four"}"#, "walkers"),
             (r#"{"samples": 5, "seed": 1, "tyop": true}"#, "tyop"),
@@ -415,7 +515,7 @@ mod tests {
     #[test]
     fn metrics_document_carries_worker_pool_counters() {
         use wnw_access::counter::QueryStats;
-        use wnw_service::PoolStats;
+        use wnw_service::{HistoryStoreStats, PoolStats};
 
         let snapshot = ServiceMetricsSnapshot {
             jobs_submitted: 4,
@@ -445,6 +545,15 @@ mod tests {
                 spawnless_rounds: 9,
                 worker_wakeups: 41,
             },
+            history: HistoryStoreStats {
+                hits: 2,
+                misses: 1,
+                publications: 3,
+                published_walks: 120,
+                reused_walks: 80,
+                reuse_savings: 55,
+                epoch: 3,
+            },
         };
         let json = metrics_to_json(&snapshot);
         let worker_pool = json.get("worker_pool").expect("worker_pool object");
@@ -462,6 +571,14 @@ mod tests {
             Some(41)
         );
         assert_eq!(json.get("shared_cache_savings").unwrap().as_u64(), Some(60));
+        let history = json.get("history").expect("history object");
+        assert_eq!(history.get("hits").unwrap().as_u64(), Some(2));
+        assert_eq!(history.get("misses").unwrap().as_u64(), Some(1));
+        assert_eq!(history.get("publications").unwrap().as_u64(), Some(3));
+        assert_eq!(history.get("published_walks").unwrap().as_u64(), Some(120));
+        assert_eq!(history.get("reused_walks").unwrap().as_u64(), Some(80));
+        assert_eq!(history.get("reuse_savings").unwrap().as_u64(), Some(55));
+        assert_eq!(history.get("epoch").unwrap().as_u64(), Some(3));
     }
 
     #[test]

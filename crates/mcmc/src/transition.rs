@@ -47,7 +47,7 @@ impl TargetDistribution {
 }
 
 /// The random-walk designs evaluated in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RandomWalkKind {
     /// Simple Random Walk (Definition 1).
     Simple,

@@ -37,8 +37,19 @@
 //! * **Reproducibility under co-load.** A request's accepted-sample
 //!   multiset is a pure function of its job (spec, seed, walkers, budget):
 //!   identical at any pool width and no matter what else the service is
-//!   running. Walk history is cooperative *within* a job, never shared
-//!   across jobs — cross-job history would couple results to scheduling.
+//!   running. Walk history is cooperative *within* a job by default.
+//! * **Cross-job history reuse (opt-in).** A request's
+//!   [`HistoryPolicy`] can plug it into the
+//!   service-scoped, epoch-versioned [`HistoryStore`]:
+//!   `SharedReadOnly`/`SharedPublish` jobs read an immutable snapshot of
+//!   the walks *completed prior jobs* published (frozen at admission — the
+//!   snapshot-on-admit epoch rule, so mid-job publications are never
+//!   observed) and `SharedPublish` jobs publish their own merged walks at
+//!   reap. Reused counts are discounted by a
+//!   [`ReuseCorrection`]; the backward
+//!   estimator stays unbiased either way, so reuse only reduces variance
+//!   and query cost. [`ServiceMetricsSnapshot::history`] quantifies the
+//!   hits, misses, and inherited query savings.
 //! * **Frontend support.** A [`JobRegistry`] maps [`JobId`]s back to their
 //!   streams and cancellation handles, so frontends (like the HTTP gateway
 //!   in `wnw-gateway`) can serve remote clients that return later holding
@@ -102,6 +113,9 @@ pub use stream::{
 // The persistent worker pool the scheduler runs rounds on; re-exported so
 // frontends can name its stats type without depending on `wnw-runtime`.
 pub use wnw_runtime::{PoolStats, WorkerPool};
+// The cross-job history types a frontend needs to express and observe the
+// reuse lever, re-exported from the engine for the same reason.
+pub use wnw_engine::{HistoryPolicy, HistoryStore, HistoryStoreStats, ReuseCorrection};
 
 #[cfg(test)]
 mod tests {

@@ -10,6 +10,7 @@ use crate::stream::{JobOutcome, JobStatus};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use wnw_access::counter::QueryStats;
+use wnw_engine::HistoryStoreStats;
 use wnw_runtime::PoolStats;
 
 /// Atomic counters describing the service's lifetime so far.
@@ -118,12 +119,14 @@ impl ServiceMetrics {
         self.in_flight.load(Ordering::Relaxed)
     }
 
-    /// A copy of every counter, combined with the shared pool cache's stats
-    /// and the persistent worker pool's round-dispatch counters.
+    /// A copy of every counter, combined with the shared pool cache's stats,
+    /// the persistent worker pool's round-dispatch counters, and the
+    /// cross-job history store's reuse counters.
     pub(crate) fn snapshot(
         &self,
         pool: QueryStats,
         worker_pool: PoolStats,
+        history: HistoryStoreStats,
     ) -> ServiceMetricsSnapshot {
         let finished = self.finished.load(Ordering::Relaxed);
         let latency_micros = self.latency_micros.load(Ordering::Relaxed);
@@ -155,6 +158,7 @@ impl ServiceMetrics {
             ),
             pool,
             worker_pool,
+            history,
         }
     }
 }
@@ -214,6 +218,12 @@ pub struct ServiceMetricsSnapshot {
     /// spawned at pool startup — constant for the service's whole life:
     /// the zero-spawn guarantee made observable).
     pub worker_pool: PoolStats,
+    /// The cross-job [`HistoryStore`](wnw_engine::HistoryStore)'s counters:
+    /// snapshot `hits`/`misses`, `publications` (epoch bumps),
+    /// `published_walks`, `reused_walks`, and `reuse_savings` — the
+    /// unique-node query cost of the walk histories reusing jobs inherited
+    /// instead of re-spending.
+    pub history: HistoryStoreStats,
 }
 
 impl ServiceMetricsSnapshot {
@@ -277,6 +287,15 @@ mod tests {
                 spawnless_rounds: 5,
                 worker_wakeups: 30,
             },
+            HistoryStoreStats {
+                hits: 2,
+                misses: 1,
+                publications: 3,
+                published_walks: 90,
+                reused_walks: 60,
+                reuse_savings: 41,
+                epoch: 3,
+            },
         );
         assert_eq!(snap.jobs_submitted, 2);
         assert_eq!(snap.jobs_rejected, 1);
@@ -298,17 +317,25 @@ mod tests {
         assert_eq!(snap.worker_pool.spawnless_rounds, 5);
         assert_eq!(snap.worker_pool.worker_wakeups, 30);
         assert_eq!(snap.worker_pool.workers, 3);
+        assert_eq!(snap.history.hits, 2);
+        assert_eq!(snap.history.reuse_savings, 41);
+        assert_eq!(snap.history.epoch, 3);
     }
 
     #[test]
     fn empty_snapshot_has_zero_latency() {
         let metrics = ServiceMetrics::default();
-        let snap = metrics.snapshot(QueryStats::default(), PoolStats::default());
+        let snap = metrics.snapshot(
+            QueryStats::default(),
+            PoolStats::default(),
+            HistoryStoreStats::default(),
+        );
         assert_eq!(snap.mean_latency, Duration::ZERO);
         assert_eq!(snap.shared_cache_savings(), 0);
         assert_eq!(snap.jobs_started, 0);
         assert_eq!(snap.mean_queue_wait, Duration::ZERO);
         assert_eq!(snap.max_queue_wait, Duration::ZERO);
         assert_eq!(snap.worker_pool, PoolStats::default());
+        assert_eq!(snap.history, HistoryStoreStats::default());
     }
 }

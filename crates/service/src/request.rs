@@ -2,7 +2,7 @@
 
 use std::fmt;
 use std::time::Duration;
-use wnw_engine::SampleJob;
+use wnw_engine::{HistoryPolicy, ReuseCorrection, SampleJob};
 
 /// Identifier assigned by the service to an admitted request, echoed in
 /// every event of the request's stream.
@@ -52,9 +52,13 @@ impl Priority {
 /// budget) plus *how* the service should treat it (priority, deadline).
 ///
 /// Reproducibility contract: for a fixed job (spec, seed, walkers, budget),
-/// the accepted-sample multiset the service delivers is identical at any
-/// pool thread count and regardless of which other requests are running —
-/// the scheduler only decides *when* walkers run, never what they compute.
+/// the accepted-sample multiset the service delivers under the default
+/// [`HistoryPolicy::Isolated`] is identical at any pool thread count and
+/// regardless of which other requests are running — the scheduler only
+/// decides *when* walkers run, never what they compute. Under the shared
+/// history policies the multiset additionally depends on the history-store
+/// snapshot frozen at admission (and on nothing else): deterministic given
+/// an admission order.
 #[derive(Debug, Clone)]
 pub struct SampleRequest {
     /// The sampling work itself.
@@ -66,15 +70,25 @@ pub struct SampleRequest {
     /// round boundary after `submit + deadline`. Samples already accepted
     /// are delivered.
     pub deadline: Option<Duration>,
+    /// Cross-job history coupling: whether this job reads the walk history
+    /// completed prior jobs published, and whether it publishes its own at
+    /// reap. Defaults to [`HistoryPolicy::Isolated`].
+    pub history_policy: HistoryPolicy,
+    /// How reused (prior-job) walk counts are weighted against the job's
+    /// own under a shared policy. Defaults to
+    /// [`ReuseCorrection::Reweighted`].
+    pub reuse_correction: ReuseCorrection,
 }
 
 impl SampleRequest {
-    /// A request with default priority and no deadline.
+    /// A request with default priority, no deadline, and isolated history.
     pub fn new(job: SampleJob) -> Self {
         SampleRequest {
             job,
             priority: Priority::default(),
             deadline: None,
+            history_policy: HistoryPolicy::default(),
+            reuse_correction: ReuseCorrection::default(),
         }
     }
 
@@ -87,6 +101,18 @@ impl SampleRequest {
     /// Sets a relative deadline.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the cross-job history policy.
+    pub fn with_history_policy(mut self, policy: HistoryPolicy) -> Self {
+        self.history_policy = policy;
+        self
+    }
+
+    /// Sets the reuse bias-correction mode.
+    pub fn with_reuse_correction(mut self, correction: ReuseCorrection) -> Self {
+        self.reuse_correction = correction;
         self
     }
 }
@@ -142,9 +168,20 @@ mod tests {
         let job = SampleJob::walk_estimate(RandomWalkKind::Simple, 5, 1);
         let request = SampleRequest::new(job)
             .with_priority(Priority::High)
-            .with_deadline(Duration::from_secs(3));
+            .with_deadline(Duration::from_secs(3))
+            .with_history_policy(HistoryPolicy::SharedPublish)
+            .with_reuse_correction(ReuseCorrection::Raw);
         assert_eq!(request.priority, Priority::High);
         assert_eq!(request.deadline, Some(Duration::from_secs(3)));
+        assert_eq!(request.history_policy, HistoryPolicy::SharedPublish);
+        assert_eq!(request.reuse_correction, ReuseCorrection::Raw);
+    }
+
+    #[test]
+    fn requests_default_to_isolated_history() {
+        let request = SampleRequest::new(SampleJob::walk_estimate(RandomWalkKind::Simple, 5, 1));
+        assert_eq!(request.history_policy, HistoryPolicy::Isolated);
+        assert_eq!(request.reuse_correction, ReuseCorrection::Reweighted);
     }
 
     #[test]

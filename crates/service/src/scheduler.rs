@@ -29,7 +29,13 @@
 //! at any pool width and under any co-load. Cross-job state is shared only
 //! where sharing is free of interference: the neighbor cache (each node
 //! paid for once, service-wide) and the underlying network handle. Walk
-//! history is cooperative *within* a job, never across jobs.
+//! history crosses jobs only through the epoch-versioned
+//! [`HistoryStore`]: a job under a shared [`history
+//! policy`](crate::SampleRequest::history_policy) reads an *immutable*
+//! snapshot frozen at admission and publishes its own walks only at reap,
+//! so a running job never observes mid-job publications — results under
+//! shared policies are deterministic given an admission order, and the
+//! default isolated policy keeps today's co-load invariance untouched.
 //!
 //! Cancellation (explicit, deadline, or the consumer dropping its stream)
 //! is checked before every round; a stopped job keeps the samples it
@@ -47,7 +53,8 @@ use wnw_access::cached::CachedNetwork;
 use wnw_access::counter::QueryCounter;
 use wnw_access::interface::{SocialNetwork, ThreadedNetwork};
 use wnw_access::metered::MeteredNetwork;
-use wnw_engine::JobDriver;
+use wnw_engine::{history_key_of, HistoryKey, HistoryStore, JobDriver};
+use wnw_graph::NodeId;
 use wnw_runtime::WorkerPool;
 
 /// An admitted request on its way to the scheduler thread.
@@ -102,6 +109,10 @@ struct ActiveJob {
     queue_wait: Duration,
     budget: Option<u64>,
     requested: usize,
+    /// Where to publish the job's merged walk history at reap (`Some` only
+    /// for [`wnw_engine::HistoryPolicy::SharedPublish`] jobs whose spec can
+    /// exchange history).
+    publish_key: Option<HistoryKey>,
     /// Samples actually handed to the consumer's channel (what the
     /// service-level `samples_delivered` counter reports — a hung-up
     /// consumer stops this short of the samples the job produced).
@@ -186,6 +197,12 @@ pub(crate) struct Scheduler<N: ThreadedNetwork + 'static> {
     /// The service's one persistent worker pool: every round of every
     /// in-flight job executes on it, so no round spawns an OS thread.
     pool: Arc<WorkerPool>,
+    /// The service-scoped cross-job history store: shared-policy jobs
+    /// snapshot it at admission and publish into it at reap.
+    history: Arc<HistoryStore>,
+    /// The network's seed node (every walker's start), resolved once — the
+    /// start component of every job's [`HistoryKey`].
+    seed_node: NodeId,
     paused: Arc<AtomicBool>,
     rx: Receiver<Submission>,
     rx_open: bool,
@@ -201,14 +218,18 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
         metrics: Arc<ServiceMetrics>,
         config: SchedulerConfig,
         pool: Arc<WorkerPool>,
+        history: Arc<HistoryStore>,
         paused: Arc<AtomicBool>,
         rx: Receiver<Submission>,
     ) -> Self {
+        let seed_node = cache.seed_node();
         Scheduler {
             cache,
             metrics,
             config,
             pool,
+            history,
+            seed_node,
             paused,
             rx,
             rx_open: true,
@@ -352,10 +373,23 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
     /// Builds the walker pool of an admitted job over the shared cache,
     /// behind a fresh job-level metering view (per-request cost isolation
     /// over pool-wide sharing).
+    ///
+    /// This is also the **snapshot-on-admit** point of the cross-job
+    /// history epoch rule: a job under a reading policy takes its frozen
+    /// [`wnw_engine::FrozenHistory`] here, exactly once — publications that
+    /// land while it runs are never observed, so its results are a pure
+    /// function of (job, snapshot).
     fn admit(&self, submission: Submission, queue_wait: Duration) -> ActiveJob {
         let job_view = MeteredNetwork::new(Arc::clone(&self.cache));
         let job_counter = job_view.counter_handle();
-        let driver = JobDriver::new(job_view, &submission.request.job);
+        let policy = submission.request.history_policy;
+        let key = history_key_of(self.seed_node, &submission.request.job);
+        let seed_history = (policy.reads())
+            .then_some(key.as_ref())
+            .flatten()
+            .and_then(|key| self.history.snapshot(key))
+            .map(|frozen| (frozen, submission.request.reuse_correction));
+        let driver = JobDriver::with_seed_history(job_view, &submission.request.job, seed_history);
         let deadline = submission.deadline_at();
         ActiveJob {
             id: submission.id,
@@ -370,6 +404,7 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
             queue_wait,
             budget: submission.request.job.budget,
             requested: submission.request.job.samples,
+            publish_key: policy.publishes().then_some(key).flatten(),
             status: None,
         }
     }
@@ -411,10 +446,20 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
     }
 
     /// Tears a terminal job down: resolves its status, sends the `Done`
-    /// event, and records the outcome in the service metrics.
+    /// event, and records the outcome in the service metrics. This is the
+    /// **publication** point of the cross-job history lever: a
+    /// `SharedPublish` job's merged walks land in the store here, whatever
+    /// its terminal status — a cancelled or expired job's partial history
+    /// is still evidence future jobs can reuse.
     fn finalize(&self, mut job: ActiveJob) {
         let rounds = job.driver.rounds();
         let latency = job.submitted_at.elapsed();
+        if let Some(key) = job.publish_key {
+            if let Some(export) = job.driver.export_shared_history() {
+                self.history
+                    .publish(key, &export, job.job_counter.stats().unique_nodes);
+            }
+        }
         let (reports, panic_payload) = job.driver.finish();
 
         let status = if let Some(payload) = panic_payload {

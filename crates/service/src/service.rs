@@ -13,6 +13,7 @@ use std::time::Instant;
 use wnw_access::cached::CachedNetwork;
 use wnw_access::counter::QueryStats;
 use wnw_access::interface::{SocialNetwork, ThreadedNetwork};
+use wnw_engine::{HistoryStore, HistoryStoreStats};
 use wnw_runtime::{PoolStats, WorkerPool};
 
 /// Tuning knobs of a [`SamplingService`].
@@ -35,6 +36,11 @@ pub struct ServiceConfig {
     /// runs until [`SamplingService::resume`] — useful for tests and for
     /// staging a burst of submissions. Default off.
     pub start_paused: bool,
+    /// Per-key walk cap of the cross-job [`HistoryStore`]: publications are
+    /// refused once a key holds this many walks (0 = unlimited). Bounds the
+    /// store's memory under sustained publishing traffic. Default
+    /// [`wnw_core::history::DEFAULT_MAX_WALKS_PER_KEY`].
+    pub history_max_walks: u64,
 }
 
 impl Default for ServiceConfig {
@@ -46,6 +52,7 @@ impl Default for ServiceConfig {
             max_active: 4,
             max_in_flight: 64,
             start_paused: false,
+            history_max_walks: wnw_core::history::DEFAULT_MAX_WALKS_PER_KEY,
         }
     }
 }
@@ -83,6 +90,12 @@ impl<N: ThreadedNetwork + 'static> ServiceBuilder<N> {
         self
     }
 
+    /// Sets the cross-job history store's per-key walk cap (0 = unlimited).
+    pub fn history_max_walks(mut self, walks: u64) -> Self {
+        self.config.history_max_walks = walks;
+        self
+    }
+
     /// Spawns the worker pool and the scheduler thread, and returns the
     /// running service. These are the service's only thread spawns: every
     /// round of every future job reuses the pool built here.
@@ -91,6 +104,7 @@ impl<N: ThreadedNetwork + 'static> ServiceBuilder<N> {
         let metrics = Arc::new(ServiceMetrics::default());
         let paused = Arc::new(AtomicBool::new(self.config.start_paused));
         let pool = Arc::new(WorkerPool::new(self.config.pool_threads));
+        let history = Arc::new(HistoryStore::with_max_walks(self.config.history_max_walks));
         let (tx, rx) = channel();
         let scheduler = Scheduler::new(
             Arc::clone(&cache),
@@ -99,6 +113,7 @@ impl<N: ThreadedNetwork + 'static> ServiceBuilder<N> {
                 max_active: self.config.max_active,
             },
             Arc::clone(&pool),
+            Arc::clone(&history),
             Arc::clone(&paused),
             rx,
         );
@@ -110,6 +125,7 @@ impl<N: ThreadedNetwork + 'static> ServiceBuilder<N> {
             cache,
             metrics,
             pool,
+            history,
             paused,
             tx: Some(tx),
             scheduler: Some(handle),
@@ -144,6 +160,9 @@ pub struct SamplingService<N: ThreadedNetwork + 'static> {
     /// The one persistent worker pool every job's rounds execute on
     /// (shared with the scheduler thread; kept here for stats snapshots).
     pool: Arc<WorkerPool>,
+    /// The service-scoped cross-job history store (shared with the
+    /// scheduler thread; kept here for stats snapshots).
+    history: Arc<HistoryStore>,
     paused: Arc<AtomicBool>,
     tx: Option<Sender<Submission>>,
     scheduler: Option<JoinHandle<()>>,
@@ -232,8 +251,18 @@ impl<N: ThreadedNetwork + 'static> SamplingService<N> {
 
     /// A live snapshot of the service metrics (lock-free reads).
     pub fn metrics(&self) -> ServiceMetricsSnapshot {
-        self.metrics
-            .snapshot(self.cache.query_stats(), self.pool.stats())
+        self.metrics.snapshot(
+            self.cache.query_stats(),
+            self.pool.stats(),
+            self.history.stats(),
+        )
+    }
+
+    /// The cross-job history store's counters (also embedded in
+    /// [`metrics`](Self::metrics) as
+    /// [`ServiceMetricsSnapshot::history`]).
+    pub fn history_stats(&self) -> HistoryStoreStats {
+        self.history.stats()
     }
 
     /// The shared pool cache's raw counters: `unique_nodes` is the
@@ -266,8 +295,7 @@ impl<N: ThreadedNetwork + 'static> SamplingService<N> {
     /// event, and the final metrics snapshot is returned.
     pub fn shutdown(mut self) -> ServiceMetricsSnapshot {
         self.teardown();
-        self.metrics
-            .snapshot(self.cache.query_stats(), self.pool.stats())
+        self.metrics()
     }
 
     fn teardown(&mut self) {

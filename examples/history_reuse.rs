@@ -1,0 +1,103 @@
+//! Cross-job walk-history reuse: a second identical job rides the first
+//! job's published forward walks.
+//!
+//! ```text
+//! cargo run --release --example history_reuse
+//! ```
+//!
+//! Runs the same WALK-ESTIMATE request three times against one service:
+//!
+//! 1. under the default `Isolated` policy — the reproducibility baseline;
+//! 2. under `SharedPublish` — identical multiset (the store was empty at
+//!    its admission), but its merged walk history is published at reap;
+//! 3. under `SharedReadOnly` — admitted after the publication, it reads the
+//!    frozen epoch-1 snapshot, so its backward walks start from the
+//!    evidence job 2 already paid for.
+//!
+//! The `history` block of the service metrics shows the hit, the reused
+//! walks, and the reuse savings (the unique-node queries job 2 spent
+//! building the history job 3 inherited for free).
+
+use walk_not_wait::access::SimulatedOsn;
+use walk_not_wait::graph::generators::random::barabasi_albert;
+use walk_not_wait::graph::NodeId;
+use walk_not_wait::mcmc::RandomWalkKind;
+use walk_not_wait::prelude::*;
+
+fn main() {
+    let nodes = 3_000;
+    let samples = 80;
+    println!("graph:   Barabasi-Albert, {nodes} nodes, m = 3");
+    println!("request: WALK-ESTIMATE(SRW), {samples} samples, 4 walkers, run 3x");
+    println!();
+
+    let graph = barabasi_albert(nodes, 3, 42).expect("valid BA parameters");
+    let service = SamplingService::new(SimulatedOsn::new(graph));
+    let job = || {
+        SampleJob::walk_estimate(RandomWalkKind::Simple, samples, 0xABCD)
+            .with_walkers(4)
+            .with_diameter_estimate(5)
+    };
+
+    let run = |label: &str, policy: HistoryPolicy| -> (Vec<NodeId>, JobOutcome) {
+        let ticket = service
+            .submit(SampleRequest::new(job()).with_history_policy(policy))
+            .expect("service has capacity");
+        let (records, outcome) = ticket.stream.collect_all();
+        let outcome = outcome.expect("service delivers Done");
+        assert_eq!(outcome.status, JobStatus::Completed);
+        let stats = service.history_stats();
+        println!(
+            "{label:<22} cost {:>5} queries | store: epoch {} hits {} publications {}",
+            outcome.query_cost, stats.epoch, stats.hits, stats.publications,
+        );
+        let mut nodes: Vec<NodeId> = records.iter().map(|r| r.node).collect();
+        nodes.sort_unstable();
+        (nodes, outcome)
+    };
+
+    let (isolated, _) = run("isolated:", HistoryPolicy::Isolated);
+    let (publisher, publisher_outcome) = run("shared_publish:", HistoryPolicy::SharedPublish);
+    let (reuser, reuser_outcome) = run("shared_read (after):", HistoryPolicy::SharedReadOnly);
+
+    // The publisher was admitted against an empty store, so opting in
+    // changed nothing about its results; the reuser was admitted at epoch 1
+    // and its multiset reflects the inherited history.
+    assert_eq!(
+        isolated, publisher,
+        "empty-store shared job must reproduce the isolated multiset"
+    );
+    assert_eq!(reuser.len(), samples);
+
+    let metrics = service.shutdown();
+    println!();
+    println!(
+        "published walks:  {} (epoch {})",
+        metrics.history.published_walks, metrics.history.epoch
+    );
+    println!(
+        "reused walks:     {} across {} snapshot hit(s)",
+        metrics.history.reused_walks, metrics.history.hits
+    );
+    println!(
+        "reuse savings:    {} unique-node queries inherited instead of re-spent",
+        metrics.history.reuse_savings
+    );
+    if reuser_outcome.query_cost < publisher_outcome.query_cost {
+        println!(
+            "direct effect:    the reusing job's own cost fell {} -> {} queries \
+             (better-focused backward walks)",
+            publisher_outcome.query_cost, reuser_outcome.query_cost
+        );
+    }
+
+    assert_eq!(metrics.history.publications, 1);
+    assert_eq!(metrics.history.hits, 1);
+    assert!(
+        metrics.history.reuse_savings > 0,
+        "a second identical job must show measurable reuse savings"
+    );
+    assert_eq!(metrics.history.reuse_savings, publisher_outcome.query_cost);
+    println!();
+    println!("second identical job reused the first job's history: yes");
+}

@@ -77,7 +77,8 @@ pub mod prelude {
         WalkEstimateConfig, WalkEstimateSampler, WalkEstimateVariant, WalkLengthPolicy,
     };
     pub use wnw_engine::{
-        Engine, EngineObserver, HistoryMode, JobReport, RoundProgress, SampleJob, SamplerSpec,
+        Engine, EngineObserver, HistoryMode, HistoryPolicy, HistoryStore, HistoryStoreStats,
+        JobReport, ReuseCorrection, RoundProgress, SampleJob, SamplerSpec,
     };
     pub use wnw_gateway::{GatewayConfig, GatewayServer};
     pub use wnw_graph::{Graph, GraphBuilder, NodeId};

@@ -1,0 +1,216 @@
+//! Gateway wire-protocol conformance:
+//!
+//! * **Stream invariants** over the chunked NDJSON protocol, for isolated
+//!   and shared-history jobs alike: `progress` totals are monotone
+//!   non-decreasing, exactly one terminal `done` event is delivered, and no
+//!   event ever follows it;
+//! * **Registry TTL sweep end to end**: an unclaimed fire-and-forget job is
+//!   reaped after the claim TTL, its (partial) walk history is still
+//!   published to the cross-job store, and a `DELETE` after the reap
+//!   answers `404`.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+use walk_not_wait::gateway::json::Json;
+use walk_not_wait::gateway::{client, GatewayConfig, GatewayServer};
+use walk_not_wait::graph::generators::random::barabasi_albert;
+use walk_not_wait::prelude::*;
+
+fn server_with(claim_ttl: Duration) -> GatewayServer<SimulatedOsn> {
+    let osn = SimulatedOsn::new(barabasi_albert(500, 3, 13).unwrap());
+    let service = SamplingService::builder(osn).pool_threads(2).build();
+    let config = GatewayConfig {
+        claim_ttl,
+        ..GatewayConfig::default()
+    };
+    GatewayServer::bind_with(service, "127.0.0.1:0", config).expect("bind loopback")
+}
+
+fn submit(addr: SocketAddr, body: &Json) -> (u64, String) {
+    let resp = client::post(addr, "/v1/jobs", body).expect("POST /v1/jobs");
+    assert_eq!(resp.status, 202);
+    let doc = resp.json().unwrap();
+    (
+        doc.get("job_id").unwrap().as_u64().unwrap(),
+        doc.get("stream").unwrap().as_str().unwrap().to_string(),
+    )
+}
+
+fn job_body(samples: u64, seed: u64, history_policy: Option<&str>) -> Json {
+    let mut fields = vec![
+        ("samples", Json::UInt(samples)),
+        ("seed", Json::UInt(seed)),
+        ("walkers", Json::UInt(3)),
+        ("diameter_estimate", Json::UInt(4)),
+    ];
+    if let Some(policy) = history_policy {
+        fields.push(("history_policy", Json::str(policy)));
+    }
+    Json::obj(fields)
+}
+
+/// Walks one job's NDJSON stream asserting every protocol invariant, and
+/// returns how many samples were streamed.
+fn assert_stream_conformance(addr: SocketAddr, path: &str, requested: u64) -> u64 {
+    let mut samples = 0u64;
+    let mut done_events = 0u64;
+    let mut events_after_done = 0u64;
+    let mut last_progress_samples = 0u64;
+    let mut last_progress_rounds = 0u64;
+    let mut last_query_cost = 0u64;
+    for event in client::open_stream(addr, path).expect("open stream") {
+        let event = event.expect("well-formed NDJSON line");
+        if done_events > 0 {
+            events_after_done += 1;
+            continue;
+        }
+        match event.get("event").and_then(Json::as_str) {
+            Some("sample") => samples += 1,
+            Some("progress") => {
+                let progress_samples = event.get("samples").unwrap().as_u64().unwrap();
+                let rounds = event.get("rounds").unwrap().as_u64().unwrap();
+                let query_cost = event.get("query_cost").unwrap().as_u64().unwrap();
+                assert!(
+                    progress_samples >= last_progress_samples,
+                    "progress samples regressed: {progress_samples} < {last_progress_samples}"
+                );
+                assert!(
+                    rounds > last_progress_rounds,
+                    "progress rounds must strictly advance"
+                );
+                assert!(query_cost >= last_query_cost, "query cost regressed");
+                assert_eq!(
+                    progress_samples, samples,
+                    "progress must count exactly the samples already streamed"
+                );
+                assert_eq!(event.get("requested").unwrap().as_u64(), Some(requested));
+                last_progress_samples = progress_samples;
+                last_progress_rounds = rounds;
+                last_query_cost = query_cost;
+            }
+            Some("done") => {
+                done_events += 1;
+                assert_eq!(event.get("status").unwrap().as_str(), Some("completed"));
+                assert_eq!(event.get("samples").unwrap().as_u64(), Some(samples));
+                assert_eq!(event.get("requested").unwrap().as_u64(), Some(requested));
+            }
+            other => panic!("unknown event discriminator {other:?}"),
+        }
+    }
+    assert_eq!(done_events, 1, "exactly one terminal done event");
+    assert_eq!(events_after_done, 0, "no events after done");
+    assert_eq!(samples, requested);
+    samples
+}
+
+/// Stream invariants hold for an isolated job, a publishing job, and a
+/// reusing job admitted after the publication — the shared-history path
+/// changes what walkers compute, never the event protocol.
+#[test]
+fn ndjson_streams_conform_for_isolated_and_shared_jobs() {
+    let server = server_with(Duration::from_secs(60));
+    let addr = server.local_addr();
+
+    let (_, isolated_path) = submit(addr, &job_body(17, 0x10, None));
+    assert_stream_conformance(addr, &isolated_path, 17);
+
+    let (_, publish_path) = submit(addr, &job_body(20, 0x11, Some("shared_publish")));
+    assert_stream_conformance(addr, &publish_path, 20);
+
+    // Admitted after the publisher's Done: snapshots epoch 1 and reuses.
+    let (_, reuse_path) = submit(addr, &job_body(14, 0x12, Some("shared_read")));
+    assert_stream_conformance(addr, &reuse_path, 14);
+
+    let metrics = client::get(addr, "/v1/metrics").unwrap().json().unwrap();
+    let history = metrics.get("history").expect("history object");
+    assert_eq!(history.get("publications").unwrap().as_u64(), Some(1));
+    assert_eq!(history.get("hits").unwrap().as_u64(), Some(1));
+    assert!(history.get("reuse_savings").unwrap().as_u64().unwrap() > 0);
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.jobs_completed, 3);
+}
+
+/// End-to-end registry TTL sweep: a fire-and-forget `shared_publish` job
+/// whose stream is never claimed is reaped on the next submission (TTL 0),
+/// its partial history still lands in the store, and both `DELETE` and the
+/// stream route answer `404` afterwards.
+#[test]
+fn ttl_sweep_reaps_unclaimed_job_but_still_publishes_its_history() {
+    let server = server_with(Duration::ZERO);
+    let addr = server.local_addr();
+
+    // Fire and forget: a huge publishing job nobody ever streams.
+    let (abandoned_id, abandoned_path) =
+        submit(addr, &job_body(1_000_000, 0x21, Some("shared_publish")));
+
+    // Give the scheduler time to run at least one round so the abandoned
+    // job has recorded walks to publish when it is reaped.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let metrics = client::get(addr, "/v1/metrics").unwrap().json().unwrap();
+        if metrics
+            .get("pool")
+            .unwrap()
+            .get("unique_nodes")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            > 0
+        {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job never started sampling");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The next submission sweeps the unclaimed entry (TTL zero): the
+    // abandoned job is cancelled via the hang-up path and reaped.
+    let (_, small_path) = submit(addr, &job_body(5, 0x22, None));
+    assert_stream_conformance(addr, &small_path, 5);
+
+    // The reap cancelled the job and its partial history was published.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let metrics = loop {
+        let metrics = client::get(addr, "/v1/metrics").unwrap().json().unwrap();
+        if metrics.get("jobs_cancelled").unwrap().as_u64() == Some(1) {
+            break metrics;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "abandoned job was never reaped; metrics: {metrics}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    let history = metrics.get("history").expect("history object");
+    assert_eq!(
+        history.get("publications").unwrap().as_u64(),
+        Some(1),
+        "the reaped job's partial history must still be published"
+    );
+    assert!(history.get("published_walks").unwrap().as_u64().unwrap() > 0);
+
+    // After the reap, the registry entry is gone: DELETE and the stream
+    // route both answer 404.
+    assert_eq!(
+        client::delete(addr, &format!("/v1/jobs/{abandoned_id}"))
+            .unwrap()
+            .status,
+        404,
+        "DELETE after reap must be 404"
+    );
+    assert_eq!(client::get(addr, &abandoned_path).unwrap().status, 404);
+
+    // A later publishing job is admitted at the bumped epoch and reuses the
+    // reaped job's walks: cross-job savings survive abandonment.
+    let (_, follow_path) = submit(addr, &job_body(6, 0x23, Some("shared_read")));
+    assert_stream_conformance(addr, &follow_path, 6);
+    let metrics = client::get(addr, "/v1/metrics").unwrap().json().unwrap();
+    let history = metrics.get("history").expect("history object");
+    assert_eq!(history.get("hits").unwrap().as_u64(), Some(1));
+    assert!(history.get("reuse_savings").unwrap().as_u64().unwrap() > 0);
+
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.jobs_cancelled, 1);
+    assert_eq!(snapshot.jobs_completed, 2);
+    assert_eq!(snapshot.history.publications, 1);
+}

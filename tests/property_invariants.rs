@@ -122,6 +122,116 @@ fn prop_walk_estimate_samples_are_valid() {
     }
 }
 
+/// Shared/overlay history merging is order-independent: merging a random
+/// set of per-walker histories into a `SharedWalkHistory` from 1, 2, or 4
+/// threads (arbitrary arrival orders) always reproduces the counts of a
+/// sequential width-1 oracle, and an overlay (shared + pending) is always
+/// the exact sum of its layers.
+#[test]
+fn prop_shared_history_merge_is_order_independent_at_any_width() {
+    use std::sync::Arc;
+    use walk_not_wait::core::{HistoryView, OverlayHistory, SharedWalkHistory, WalkHistory};
+
+    let mut rng = StdRng::seed_from_u64(0x1A06);
+    for _ in 0..CASES {
+        let walkers = rng.gen_range(2usize..6);
+        // Each walker's batch of forward walks, with random lengths/nodes.
+        let batches: Vec<Vec<Vec<NodeId>>> = (0..walkers)
+            .map(|_| {
+                (0..rng.gen_range(1usize..8))
+                    .map(|_| {
+                        (0..rng.gen_range(1usize..7))
+                            .map(|_| NodeId(rng.gen_range(0u32..25)))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Width-1 oracle: one private history records everything in order.
+        let mut oracle = WalkHistory::new();
+        for batch in &batches {
+            for walk in batch {
+                oracle.record_walk(walk);
+            }
+        }
+
+        for width in [1usize, 2, 4] {
+            let shared = Arc::new(SharedWalkHistory::new());
+            std::thread::scope(|scope| {
+                for chunk in batches.chunks(batches.len().div_ceil(width)) {
+                    let shared = Arc::clone(&shared);
+                    scope.spawn(move || {
+                        for batch in chunk {
+                            let mut local = WalkHistory::new();
+                            for walk in batch {
+                                local.record_walk(walk);
+                            }
+                            shared.merge(&local);
+                        }
+                    });
+                }
+            });
+            assert_eq!(HistoryView::walk_count(&*shared), oracle.walk_count());
+            for step in 0..oracle.max_recorded_length() + 1 {
+                for node in 0..25u32 {
+                    assert_eq!(
+                        HistoryView::count_at(&*shared, NodeId(node), step),
+                        oracle.count_at(NodeId(node), step),
+                        "width {width} diverged at ({node}, {step})"
+                    );
+                }
+            }
+            // The export round-trips the same counts.
+            let export = shared.export();
+            assert_eq!(export.walk_count(), oracle.walk_count());
+            assert_eq!(export.max_recorded_length(), oracle.max_recorded_length());
+
+            // Overlay = shared + pending, exactly.
+            let mut pending = WalkHistory::new();
+            pending.record_walk(&[NodeId(rng.gen_range(0u32..25))]);
+            let overlay = OverlayHistory::new(&shared, &pending);
+            for node in 0..25u32 {
+                assert_eq!(
+                    overlay.count_at(NodeId(node), 0),
+                    HistoryView::count_at(&*shared, NodeId(node), 0)
+                        + pending.count_at(NodeId(node), 0)
+                );
+            }
+        }
+    }
+}
+
+/// A cooperative engine job's accepted-node multiset is pinned to the
+/// width-1 oracle at pool widths 1, 2, and 4 — the engine-level face of the
+/// merge-order independence above.
+#[test]
+fn prop_cooperative_jobs_match_width_one_oracle_at_widths_1_2_4() {
+    let mut rng = StdRng::seed_from_u64(0x1A07);
+    for _ in 0..4 {
+        let n = rng.gen_range(150usize..400);
+        let graph_seed = rng.gen_range(0u64..500);
+        let samples = rng.gen_range(6usize..16);
+        let walkers = rng.gen_range(2usize..5);
+        let job_seed = rng.gen_range(0u64..1_000);
+        let osn = SimulatedOsn::new(barabasi_albert(n, 3, graph_seed).unwrap());
+        let job = SampleJob::walk_estimate(RandomWalkKind::Simple, samples, job_seed)
+            .with_walkers(walkers)
+            .with_history(HistoryMode::Cooperative)
+            .with_diameter_estimate(4);
+        let oracle = Engine::with_threads(1).run(&osn, &job).unwrap();
+        for width in [2usize, 4] {
+            osn.reset_counters();
+            let run = Engine::with_threads(width).run(&osn, &job).unwrap();
+            assert_eq!(
+                oracle.sorted_nodes(),
+                run.sorted_nodes(),
+                "width {width} diverged for (n={n}, samples={samples}, walkers={walkers})"
+            );
+        }
+    }
+}
+
 /// Aggregate estimators never produce values outside the range of the
 /// observed sample values, whichever weighting scheme is used.
 #[test]
