@@ -52,7 +52,7 @@ pub mod reuse;
 pub use driver::JobDriver;
 pub use engine::Engine;
 pub use job::{HistoryMode, SampleJob, SamplerSpec};
-pub use observer::{EngineObserver, NoopObserver, RoundProgress};
+pub use observer::{EngineObserver, NoopObserver, RoundProgress, TelemetryObserver};
 pub use parallel::scatter_map;
 pub use report::{JobReport, WalkerReport};
 pub use reuse::{history_key_of, HistoryPolicy};

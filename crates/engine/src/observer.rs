@@ -15,8 +15,11 @@
 //! the partial [`JobReport`](crate::JobReport) with
 //! [`cancelled`](crate::JobReport::cancelled) set.
 
+use std::sync::Arc;
+use std::time::Instant;
 use wnw_access::counter::QueryStats;
 use wnw_mcmc::sampler::SampleRecord;
+use wnw_telemetry::{Histogram, TraceEventKind, TraceLog};
 
 /// A consistent job-progress snapshot taken at a round barrier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +84,77 @@ pub struct NoopObserver;
 
 impl EngineObserver for NoopObserver {}
 
+/// An observer that feeds round timings into a [`Histogram`] and, when a
+/// [`TraceLog`] is attached, records the job's lifecycle events.
+///
+/// Wall-clock time between round barriers goes into the histogram in
+/// saturating microseconds; the trace (if any) receives one `FirstRound`
+/// before the first barrier's `RoundCompleted`, a `RoundCompleted` per
+/// barrier carrying the round's unique-node query delta, and a single
+/// `SamplePublished` for the first accepted sample. Timing happens on the
+/// coordinating thread between rounds, so it adds two `Instant` reads per
+/// round to the job — nothing to the workers' draw loop.
+#[derive(Debug)]
+pub struct TelemetryObserver {
+    rounds: Arc<Histogram>,
+    trace: Option<(Arc<TraceLog>, u64)>,
+    last_barrier: Instant,
+    prev_budget: u64,
+    first_round_seen: bool,
+    first_sample_seen: bool,
+}
+
+impl TelemetryObserver {
+    /// An observer recording round durations into `rounds` (microseconds).
+    pub fn new(rounds: Arc<Histogram>) -> Self {
+        TelemetryObserver {
+            rounds,
+            trace: None,
+            last_barrier: Instant::now(),
+            prev_budget: 0,
+            first_round_seen: false,
+            first_sample_seen: false,
+        }
+    }
+
+    /// Additionally records lifecycle events for `job` into `trace`.
+    pub fn with_trace(mut self, trace: Arc<TraceLog>, job: u64) -> Self {
+        self.trace = Some((trace, job));
+        self
+    }
+
+    /// Restarts the round clock (call right before the job's first round if
+    /// the observer was built earlier, e.g. while the job sat in a queue).
+    pub fn mark_round_start(&mut self) {
+        self.last_barrier = Instant::now();
+    }
+}
+
+impl EngineObserver for TelemetryObserver {
+    fn on_sample(&mut self, _walker: usize, _record: &SampleRecord) {
+        if !self.first_sample_seen {
+            self.first_sample_seen = true;
+            if let Some((trace, job)) = &self.trace {
+                trace.record(*job, TraceEventKind::SamplePublished);
+            }
+        }
+    }
+
+    fn on_round(&mut self, progress: &RoundProgress) {
+        self.rounds.record_duration(self.last_barrier.elapsed());
+        self.last_barrier = Instant::now();
+        if let Some((trace, job)) = &self.trace {
+            if !self.first_round_seen {
+                self.first_round_seen = true;
+                trace.record(*job, TraceEventKind::FirstRound);
+            }
+            let queries = progress.budget_consumed.saturating_sub(self.prev_budget);
+            trace.record(*job, TraceEventKind::RoundCompleted { queries });
+        }
+        self.prev_budget = progress.budget_consumed;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +173,71 @@ mod tests {
         progress.pool.api_calls = 8;
         progress.pool.cache_hits = 2;
         assert!((progress.cache_hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn telemetry_observer_records_rounds_and_trace() {
+        let rounds = Arc::new(Histogram::new());
+        let trace = Arc::new(TraceLog::new(1024));
+        let mut obs = TelemetryObserver::new(Arc::clone(&rounds)).with_trace(Arc::clone(&trace), 9);
+        obs.mark_round_start();
+        let record = SampleRecord {
+            node: wnw_graph::NodeId(1),
+            query_cost: 2,
+            attempts: 1,
+        };
+        obs.on_sample(0, &record);
+        obs.on_sample(1, &record); // only the first sample is traced
+        let mut progress = RoundProgress {
+            rounds: 1,
+            live_walkers: 2,
+            samples: 2,
+            requested: 4,
+            budget_consumed: 7,
+            pool: QueryStats::default(),
+        };
+        obs.on_round(&progress);
+        progress.rounds = 2;
+        progress.budget_consumed = 12;
+        obs.on_round(&progress);
+        assert_eq!(rounds.count(), 2, "one duration per barrier");
+        let labels: Vec<&str> = trace.events_for(9).iter().map(|e| e.kind.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "sample_published",
+                "first_round",
+                "round_completed",
+                "round_completed"
+            ]
+        );
+        let events = trace.events_for(9);
+        assert_eq!(
+            events[2].kind,
+            TraceEventKind::RoundCompleted { queries: 7 },
+            "first barrier charges the full budget so far"
+        );
+        assert_eq!(
+            events[3].kind,
+            TraceEventKind::RoundCompleted { queries: 5 },
+            "later barriers charge the delta"
+        );
+        assert!(!obs.cancel_requested());
+    }
+
+    #[test]
+    fn telemetry_observer_without_trace_only_times() {
+        let rounds = Arc::new(Histogram::new());
+        let mut obs = TelemetryObserver::new(Arc::clone(&rounds));
+        obs.on_round(&RoundProgress {
+            rounds: 1,
+            live_walkers: 1,
+            samples: 0,
+            requested: 1,
+            budget_consumed: 3,
+            pool: QueryStats::default(),
+        });
+        assert_eq!(rounds.count(), 1);
     }
 
     #[test]

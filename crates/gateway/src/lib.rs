@@ -19,8 +19,10 @@
 //! | `POST /v1/jobs` | submit a sampling request (JSON body) → `202` with `job_id` |
 //! | `GET /v1/jobs/{id}/stream` | chunked NDJSON stream of `sample`/`progress`/`done` events |
 //! | `DELETE /v1/jobs/{id}` | cooperative cancel (stream still delivers `done`) |
-//! | `GET /v1/metrics` | service metrics snapshot, incl. `shared_cache_savings`, queue waits, and the cross-job `history` reuse counters |
-//! | `GET /healthz` | liveness probe |
+//! | `GET /v1/metrics` | service metrics snapshot, incl. `shared_cache_savings`, queue waits, the cross-job `history` reuse counters, and the latency histograms |
+//! | `GET /v1/metrics/prometheus` | the same snapshot as Prometheus text exposition (`wnw_*` series, see [`prom`]) |
+//! | `GET /v1/jobs/{id}/trace` | the job's lifecycle trace as a JSON array (404 once evicted or with telemetry off) |
+//! | `GET /healthz` | liveness probe: `status`, `version`, `uptime_seconds` |
 //!
 //! The submit body's optional `"history_policy"` field
 //! (`"isolated"` (default) \| `"shared_read"` \| `"shared_publish"`) plugs a
@@ -77,6 +79,7 @@
 pub mod client;
 pub mod http;
 pub mod json;
+pub mod prom;
 pub mod server;
 pub mod wire;
 

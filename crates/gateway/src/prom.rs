@@ -1,0 +1,313 @@
+//! Prometheus text exposition of the service metrics snapshot.
+//!
+//! Maps every [`ServiceMetricsSnapshot`] field onto a `wnw_*`-prefixed
+//! family in the text format Prometheus scrapes (see
+//! [`wnw_telemetry::prometheus`] for the renderer and the grammar
+//! validator). Lifetime totals become counters (`_total` suffix), live
+//! populations become gauges, and the snapshot's embedded
+//! [`HistogramSnapshot`](wnw_telemetry::HistogramSnapshot)s become
+//! cumulative-bucket histogram families. The naming table lives in the
+//! [`wnw_telemetry`] crate docs so the vocabulary has one home.
+
+use wnw_service::ServiceMetricsSnapshot;
+use wnw_telemetry::prometheus::Exposition;
+
+/// A gauge value for the exposition builder (`u64` populations are far
+/// below `i64::MAX`; saturate rather than wrap if that ever changes).
+fn gauge(value: u64) -> i64 {
+    i64::try_from(value).unwrap_or(i64::MAX)
+}
+
+/// Renders `snapshot` as a complete Prometheus text-exposition document —
+/// the body of `GET /v1/metrics/prometheus`.
+pub fn exposition(snapshot: &ServiceMetricsSnapshot) -> String {
+    let mut exp = Exposition::new();
+
+    // Job lifecycle: lifetime counters plus the two live populations.
+    exp.counter(
+        "wnw_jobs_submitted_total",
+        "requests admitted",
+        snapshot.jobs_submitted,
+    );
+    exp.counter(
+        "wnw_jobs_rejected_total",
+        "requests refused at the door",
+        snapshot.jobs_rejected,
+    );
+    exp.gauge(
+        "wnw_jobs_queued",
+        "jobs admitted but not yet scheduled",
+        gauge(snapshot.jobs_queued),
+    );
+    exp.gauge(
+        "wnw_jobs_running",
+        "jobs currently holding walker slots",
+        gauge(snapshot.jobs_running),
+    );
+    exp.counter(
+        "wnw_jobs_started_total",
+        "jobs that left the queue",
+        snapshot.jobs_started,
+    );
+    exp.counter(
+        "wnw_jobs_completed_total",
+        "jobs that met their quota or ran their budget out",
+        snapshot.jobs_completed,
+    );
+    exp.counter(
+        "wnw_jobs_cancelled_total",
+        "jobs cancelled by the caller or a dropped stream",
+        snapshot.jobs_cancelled,
+    );
+    exp.counter(
+        "wnw_jobs_expired_total",
+        "jobs stopped at their deadline",
+        snapshot.jobs_expired,
+    );
+    exp.counter(
+        "wnw_jobs_failed_total",
+        "jobs stopped by an access error or sampler panic",
+        snapshot.jobs_failed,
+    );
+    exp.counter(
+        "wnw_jobs_finished_total",
+        "total terminal jobs",
+        snapshot.jobs_finished,
+    );
+
+    // Delivery and the paper's query-cost ledger.
+    exp.counter(
+        "wnw_samples_delivered_total",
+        "samples streamed to consumers",
+        snapshot.samples_delivered,
+    );
+    exp.counter(
+        "wnw_budget_refunded_total",
+        "unused query budget returned by early-stopped jobs",
+        snapshot.budget_refunded,
+    );
+    exp.counter(
+        "wnw_aggregate_query_cost_total",
+        "distinct nodes the service paid for across all jobs",
+        snapshot.aggregate_query_cost,
+    );
+    exp.counter(
+        "wnw_isolated_query_cost_total",
+        "what the finished jobs would have paid as isolated runs",
+        snapshot.isolated_query_cost,
+    );
+    exp.gauge(
+        "wnw_shared_cache_savings",
+        "unique-node queries saved by cross-job cache sharing",
+        gauge(snapshot.shared_cache_savings()),
+    );
+
+    // Shared neighbor-cache counters.
+    exp.counter(
+        "wnw_pool_unique_nodes_total",
+        "distinct nodes charged by the shared pool cache",
+        snapshot.pool.unique_nodes,
+    );
+    exp.counter(
+        "wnw_pool_api_calls_total",
+        "neighbor-list fetches that went to the network",
+        snapshot.pool.api_calls,
+    );
+    exp.counter(
+        "wnw_pool_cache_hits_total",
+        "neighbor-list fetches served from the shared cache",
+        snapshot.pool.cache_hits,
+    );
+    exp.counter(
+        "wnw_pool_attribute_reads_total",
+        "node attribute reads",
+        snapshot.pool.attribute_reads,
+    );
+
+    // Persistent worker-pool round dispatch.
+    exp.gauge(
+        "wnw_worker_pool_workers",
+        "threads spawned at pool startup (constant: the zero-spawn guarantee)",
+        gauge(snapshot.worker_pool.workers),
+    );
+    exp.counter(
+        "wnw_worker_pool_rounds_dispatched_total",
+        "rounds fanned over the parked workers",
+        snapshot.worker_pool.rounds_dispatched,
+    );
+    exp.counter(
+        "wnw_worker_pool_spawnless_rounds_total",
+        "rounds run inline on the scheduler thread",
+        snapshot.worker_pool.spawnless_rounds,
+    );
+    exp.counter(
+        "wnw_worker_pool_worker_wakeups_total",
+        "times a parked worker woke and found work",
+        snapshot.worker_pool.worker_wakeups,
+    );
+
+    // Cross-job history-store reuse.
+    exp.counter(
+        "wnw_history_hits_total",
+        "admissions that found a published walk history",
+        snapshot.history.hits,
+    );
+    exp.counter(
+        "wnw_history_misses_total",
+        "admissions that looked for a history and found none",
+        snapshot.history.misses,
+    );
+    exp.counter(
+        "wnw_history_publications_total",
+        "history publications (epoch bumps)",
+        snapshot.history.publications,
+    );
+    exp.counter(
+        "wnw_history_published_walks_total",
+        "walk entries published to the history store",
+        snapshot.history.published_walks,
+    );
+    exp.counter(
+        "wnw_history_reused_walks_total",
+        "walk entries inherited by reusing jobs",
+        snapshot.history.reused_walks,
+    );
+    exp.counter(
+        "wnw_history_reuse_savings_total",
+        "unique-node query cost inherited instead of re-spent",
+        snapshot.history.reuse_savings,
+    );
+    exp.gauge(
+        "wnw_history_epoch",
+        "current history-store epoch",
+        gauge(snapshot.history.epoch),
+    );
+
+    // Latency and cost distributions.
+    exp.histogram(
+        "wnw_queue_wait_us",
+        "admission-to-first-round queue wait in microseconds",
+        &snapshot.queue_wait_histogram,
+    );
+    exp.histogram(
+        "wnw_job_latency_us",
+        "submit-to-done latency in microseconds over finished jobs",
+        &snapshot.latency_histogram,
+    );
+    exp.histogram(
+        "wnw_time_to_first_sample_us",
+        "submit-to-first-delivered-sample latency in microseconds",
+        &snapshot.first_sample_histogram,
+    );
+    exp.histogram(
+        "wnw_round_duration_us",
+        "scheduler round duration in microseconds (empty with telemetry off)",
+        &snapshot.round_duration_histogram,
+    );
+    exp.histogram(
+        "wnw_job_query_cost",
+        "unique-node queries per finished job",
+        &snapshot.job_cost_histogram,
+    );
+
+    exp.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use wnw_access::counter::QueryStats;
+    use wnw_service::{HistoryStoreStats, PoolStats};
+    use wnw_telemetry::prometheus::validate;
+    use wnw_telemetry::Histogram;
+
+    fn snapshot() -> ServiceMetricsSnapshot {
+        let waits = Histogram::new();
+        waits.record(120);
+        waits.record(4_000);
+        ServiceMetricsSnapshot {
+            jobs_submitted: 9,
+            jobs_rejected: 2,
+            jobs_queued: 1,
+            jobs_running: 2,
+            jobs_completed: 4,
+            jobs_cancelled: 1,
+            jobs_expired: 0,
+            jobs_failed: 1,
+            jobs_finished: 6,
+            samples_delivered: 480,
+            aggregate_query_cost: 700,
+            isolated_query_cost: 1000,
+            budget_refunded: 55,
+            mean_latency: Duration::from_millis(4),
+            jobs_started: 8,
+            mean_queue_wait: Duration::from_micros(2_060),
+            max_queue_wait: Duration::from_micros(4_000),
+            pool: QueryStats {
+                unique_nodes: 700,
+                api_calls: 900,
+                cache_hits: 1_400,
+                attribute_reads: 480,
+            },
+            worker_pool: PoolStats {
+                workers: 3,
+                rounds_dispatched: 40,
+                spawnless_rounds: 11,
+                worker_wakeups: 118,
+            },
+            history: HistoryStoreStats {
+                hits: 2,
+                misses: 3,
+                publications: 2,
+                published_walks: 64,
+                reused_walks: 32,
+                reuse_savings: 29,
+                epoch: 2,
+            },
+            queue_wait_histogram: waits.snapshot(),
+            latency_histogram: Histogram::new().snapshot(),
+            first_sample_histogram: Histogram::new().snapshot(),
+            job_cost_histogram: Histogram::new().snapshot(),
+            round_duration_histogram: Histogram::new().snapshot(),
+        }
+    }
+
+    #[test]
+    fn exposition_is_valid_and_carries_every_family() {
+        let text = exposition(&snapshot());
+        let stats = validate(&text).expect("document validates");
+        assert_eq!(stats.histograms, 5);
+        assert!(
+            stats.series >= 20,
+            "expected a rich scrape, got {} series",
+            stats.series
+        );
+        for needle in [
+            "wnw_jobs_submitted_total 9",
+            "wnw_jobs_queued 1",
+            "wnw_shared_cache_savings 300",
+            "wnw_pool_cache_hits_total 1400",
+            "wnw_worker_pool_workers 3",
+            "wnw_history_reuse_savings_total 29",
+            "wnw_queue_wait_us_count 2",
+            "wnw_queue_wait_us_sum 4120",
+            "wnw_queue_wait_us_bucket{le=\"+Inf\"} 2",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_still_exposes_complete_histogram_families() {
+        let empty = ServiceMetricsSnapshot {
+            queue_wait_histogram: Histogram::new().snapshot(),
+            ..snapshot()
+        };
+        let text = exposition(&empty);
+        validate(&text).expect("empty histograms are still well-formed");
+        assert!(text.contains("wnw_queue_wait_us_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("wnw_queue_wait_us_sum 0"));
+        assert!(text.contains("wnw_queue_wait_us_count 0"));
+    }
+}

@@ -15,16 +15,18 @@
 //! the service's consumer-hang-up signal: the scheduler cancels the job at
 //! the next delivery and refunds its unused budget.
 
-use crate::http::{read_request, write_error, write_json, ChunkedWriter, Request, RequestError};
+use crate::http::{
+    read_request, write_error, write_json, write_response, ChunkedWriter, Request, RequestError,
+};
 use crate::json::{self, Json};
-use crate::wire;
+use crate::{prom, wire};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use wnw_access::interface::ThreadedNetwork;
 use wnw_service::{
     AdmissionError, ClaimError, JobId, JobRegistry, SamplingService, ServiceMetricsSnapshot,
@@ -73,6 +75,8 @@ struct State<N: ThreadedNetwork + 'static> {
     registry: JobRegistry,
     config: GatewayConfig,
     shutdown: AtomicBool,
+    /// When the gateway came up — `/healthz` reports the uptime.
+    started: Instant,
 }
 
 /// An HTTP/1.1 frontend over a [`SamplingService`], bound to a loopback (or
@@ -84,7 +88,9 @@ struct State<N: ThreadedNetwork + 'static> {
 /// | `GET /v1/jobs/{id}/stream` | chunked NDJSON event stream of the job |
 /// | `DELETE /v1/jobs/{id}` | cooperative cancel |
 /// | `GET /v1/metrics` | service metrics snapshot (JSON) |
-/// | `GET /healthz` | liveness probe |
+/// | `GET /v1/metrics/prometheus` | Prometheus text exposition of the same snapshot |
+/// | `GET /v1/jobs/{id}/trace` | the job's lifecycle trace events (JSON array) |
+/// | `GET /healthz` | liveness probe (`status`, `version`, `uptime_seconds`) |
 ///
 /// See the [crate docs](crate) for the wire format and a walkthrough.
 #[derive(Debug)]
@@ -127,6 +133,7 @@ impl<N: ThreadedNetwork + 'static> GatewayServer<N> {
             registry: JobRegistry::default(),
             config,
             shutdown: AtomicBool::new(false),
+            started: Instant::now(),
         });
 
         let workers = config.workers.max(1);
@@ -302,12 +309,39 @@ fn respond<N: ThreadedNetwork + 'static>(
     let method = request.method.as_str();
     match (method, segments.as_slice()) {
         ("GET", ["healthz"]) => {
-            let body = Json::obj(vec![("status", Json::str("ok"))]);
+            let body = Json::obj(vec![
+                ("status", Json::str("ok")),
+                ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+                (
+                    "uptime_seconds",
+                    Json::UInt(state.started.elapsed().as_secs()),
+                ),
+            ]);
             write_json(writer, 200, &body, !keep_alive)?;
         }
         ("GET", ["v1", "metrics"]) => {
             let body = wire::metrics_to_json(&state.service.metrics());
             write_json(writer, 200, &body, !keep_alive)?;
+        }
+        ("GET", ["v1", "metrics", "prometheus"]) => {
+            let body = prom::exposition(&state.service.metrics());
+            write_response(
+                writer,
+                200,
+                "text/plain; version=0.0.4",
+                body.as_bytes(),
+                !keep_alive,
+            )?;
+        }
+        ("GET", ["v1", "jobs", id, "trace"]) => {
+            let events = parse_id(id).map_or_else(Vec::new, |id| state.service.trace_of(id));
+            if events.is_empty() {
+                // Unknown job, tracing off, or the ring already evicted it.
+                write_error(writer, 404, "no trace for job", !keep_alive)?;
+            } else {
+                let body = Json::Arr(events.iter().map(wire::trace_event_to_json).collect());
+                write_json(writer, 200, &body, !keep_alive)?;
+            }
         }
         ("POST", ["v1", "jobs"]) => return submit(state, request, writer, keep_alive),
         ("GET", ["v1", "jobs", id, "stream"]) => return stream_job(state, id, writer),
@@ -324,8 +358,10 @@ fn respond<N: ThreadedNetwork + 'static>(
         // Known paths under the wrong method get a 405, unknown paths 404.
         (_, ["healthz"])
         | (_, ["v1", "metrics"])
+        | (_, ["v1", "metrics", "prometheus"])
         | (_, ["v1", "jobs"])
         | (_, ["v1", "jobs", _, "stream"])
+        | (_, ["v1", "jobs", _, "trace"])
         | (_, ["v1", "jobs", _]) => {
             write_error(writer, 405, "method not allowed", !keep_alive)?;
         }
@@ -453,10 +489,13 @@ mod tests {
         let addr = server.local_addr();
         let health = client::get(addr, "/healthz").unwrap();
         assert_eq!(health.status, 200);
+        let health = health.json().unwrap();
+        assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
         assert_eq!(
-            health.json().unwrap().get("status").unwrap().as_str(),
-            Some("ok")
+            health.get("version").unwrap().as_str(),
+            Some(env!("CARGO_PKG_VERSION"))
         );
+        assert!(health.get("uptime_seconds").unwrap().as_u64().is_some());
 
         let metrics = client::get(addr, "/v1/metrics").unwrap();
         assert_eq!(metrics.status, 200);
@@ -472,9 +511,81 @@ mod tests {
             404
         );
         assert_eq!(client::delete(addr, "/v1/jobs/99").unwrap().status, 404);
+        assert_eq!(client::get(addr, "/v1/jobs/99/trace").unwrap().status, 404);
         // Wrong method on a known path.
         assert_eq!(client::delete(addr, "/healthz").unwrap().status, 405);
         assert_eq!(client::get(addr, "/v1/jobs").unwrap().status, 405);
+        assert_eq!(
+            client::delete(addr, "/v1/metrics/prometheus")
+                .unwrap()
+                .status,
+            405
+        );
+        assert_eq!(
+            client::delete(addr, "/v1/jobs/1/trace").unwrap().status,
+            405
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn prometheus_scrape_validates_and_trace_replays_a_job() {
+        let server = server();
+        let addr = server.local_addr();
+
+        // Run one job to completion so the histograms have mass.
+        let body = json::parse(r#"{"samples": 5, "seed": 21, "walkers": 2}"#).unwrap();
+        let accepted = client::post(addr, "/v1/jobs", &body)
+            .unwrap()
+            .json()
+            .unwrap();
+        let id = accepted.get("job_id").unwrap().as_u64().unwrap();
+        let path = accepted
+            .get("stream")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        let done = client::open_stream(addr, &path)
+            .unwrap()
+            .filter_map(Result::ok)
+            .find(|e| e.get("event").unwrap().as_str() == Some("done"))
+            .expect("done event");
+        assert_eq!(done.get("status").unwrap().as_str(), Some("completed"));
+
+        let scrape = client::get(addr, "/v1/metrics/prometheus").unwrap();
+        assert_eq!(scrape.status, 200);
+        assert!(scrape
+            .header("content-type")
+            .is_some_and(|ct| ct.starts_with("text/plain")));
+        let text = String::from_utf8(scrape.body.clone()).unwrap();
+        let stats = wnw_telemetry::prometheus::validate(&text).expect("scrape validates");
+        assert!(stats.series >= 20, "got only {} series", stats.series);
+        assert_eq!(stats.histograms, 5);
+        assert!(text.contains("wnw_jobs_completed_total 1"));
+        assert!(text.contains("wnw_queue_wait_us_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("wnw_job_latency_us_count 1"));
+        assert!(text.contains("wnw_time_to_first_sample_us_count 1"));
+
+        // The finished job's trace replays its whole life.
+        let trace = client::get(addr, &format!("/v1/jobs/{id}/trace")).unwrap();
+        assert_eq!(trace.status, 200);
+        let Json::Arr(events) = trace.json().unwrap() else {
+            panic!("trace body must be a JSON array");
+        };
+        let labels: Vec<String> = events
+            .iter()
+            .map(|e| e.get("event").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(labels.first().map(String::as_str), Some("submitted"));
+        assert_eq!(labels.last().map(String::as_str), Some("finished"));
+        assert!(labels.iter().any(|l| l == "first_round"));
+        assert!(labels.iter().any(|l| l == "sample_published"));
+        let at: Vec<u64> = events
+            .iter()
+            .map(|e| e.get("at_us").unwrap().as_u64().unwrap())
+            .collect();
+        assert!(at.windows(2).all(|w| w[0] <= w[1]), "monotone timestamps");
         server.shutdown();
     }
 

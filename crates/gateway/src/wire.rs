@@ -31,8 +31,9 @@ use wnw_engine::{HistoryMode, SampleJob, SamplerSpec};
 use wnw_mcmc::burn_in::BurnInConfig;
 use wnw_mcmc::RandomWalkKind;
 use wnw_service::{
-    HistoryPolicy, JobOutcome, JobStatus, Priority, ProgressUpdate, ReuseCorrection, SampleEvent,
-    SampleRequest, ServiceMetricsSnapshot,
+    HistogramSnapshot, HistoryPolicy, JobOutcome, JobStatus, Priority, ProgressUpdate,
+    ReuseCorrection, SampleEvent, SampleRequest, ServiceMetricsSnapshot, TraceEvent,
+    TraceEventKind,
 };
 
 /// Parses a submit body into a [`SampleRequest`]. Messages are phrased for
@@ -185,15 +186,11 @@ fn optional_str<'a>(body: &'a Json, key: &str) -> Result<Option<&'a str>, String
     }
 }
 
-/// The wire label of a terminal status.
+/// The wire label of a terminal status (the status type's own
+/// [`label`](JobStatus::label); kept as a function so the gateway's wire
+/// surface stays in one module).
 pub fn status_label(status: &JobStatus) -> &'static str {
-    match status {
-        JobStatus::Completed => "completed",
-        JobStatus::Cancelled => "cancelled",
-        JobStatus::DeadlineExpired => "deadline_expired",
-        JobStatus::Failed(_) => "failed",
-        JobStatus::Panicked(_) => "panicked",
-    }
+    status.label()
 }
 
 /// One stream event as its NDJSON object.
@@ -332,7 +329,80 @@ pub fn metrics_to_json(snapshot: &ServiceMetricsSnapshot) -> Json {
                 ("epoch", Json::UInt(snapshot.history.epoch)),
             ]),
         ),
+        (
+            "queue_wait_histogram",
+            histogram_to_json(&snapshot.queue_wait_histogram),
+        ),
+        (
+            "latency_histogram",
+            histogram_to_json(&snapshot.latency_histogram),
+        ),
+        (
+            "first_sample_histogram",
+            histogram_to_json(&snapshot.first_sample_histogram),
+        ),
+        (
+            "job_cost_histogram",
+            histogram_to_json(&snapshot.job_cost_histogram),
+        ),
+        (
+            "round_duration_histogram",
+            histogram_to_json(&snapshot.round_duration_histogram),
+        ),
     ])
+}
+
+/// A histogram snapshot as its JSON summary: the aggregates, the standard
+/// quantiles, and the sparse non-empty buckets (each `{le, count}` with the
+/// bucket's inclusive upper bound).
+pub fn histogram_to_json(snapshot: &HistogramSnapshot) -> Json {
+    Json::obj(vec![
+        ("count", Json::UInt(snapshot.count)),
+        ("sum", Json::UInt(snapshot.sum)),
+        ("min", Json::UInt(snapshot.min)),
+        ("max", Json::UInt(snapshot.max)),
+        ("mean", Json::Num(snapshot.mean())),
+        ("p50", Json::UInt(snapshot.quantile(0.5))),
+        ("p90", Json::UInt(snapshot.quantile(0.9))),
+        ("p99", Json::UInt(snapshot.quantile(0.99))),
+        (
+            "buckets",
+            Json::Arr(
+                snapshot
+                    .nonzero_buckets()
+                    .map(|(le, count)| {
+                        Json::obj(vec![("le", Json::UInt(le)), ("count", Json::UInt(count))])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// One trace-log event as its JSON object in the `/v1/jobs/{id}/trace`
+/// array: the `"event"` discriminator is [`TraceEventKind::label`], `at_us`
+/// the event's microsecond offset from service start, plus the
+/// kind-specific payload (`queries` for `round_completed`, `status` for
+/// `finished`).
+pub fn trace_event_to_json(event: &TraceEvent) -> Json {
+    let mut fields = vec![
+        ("event", Json::str(event.kind.label())),
+        ("job_id", Json::UInt(event.job)),
+        (
+            "at_us",
+            Json::UInt(wnw_telemetry::saturating_micros(event.at)),
+        ),
+    ];
+    match event.kind {
+        TraceEventKind::RoundCompleted { queries } => {
+            fields.push(("queries", Json::UInt(queries)));
+        }
+        TraceEventKind::Finished { status } => {
+            fields.push(("status", Json::str(status)));
+        }
+        _ => {}
+    }
+    Json::obj(fields)
 }
 
 fn duration_ms(d: Duration) -> f64 {
@@ -512,12 +582,17 @@ mod tests {
         assert!(!json.encode().contains('\n'));
     }
 
-    #[test]
-    fn metrics_document_carries_worker_pool_counters() {
+    /// A fully populated snapshot shared by the metrics-document tests.
+    fn sample_snapshot() -> ServiceMetricsSnapshot {
         use wnw_access::counter::QueryStats;
-        use wnw_service::{HistoryStoreStats, PoolStats};
+        use wnw_service::{Histogram, HistoryStoreStats, PoolStats};
 
-        let snapshot = ServiceMetricsSnapshot {
+        let queue_wait = Histogram::new();
+        queue_wait.record(1_000);
+        queue_wait.record(3_000);
+        let latency = Histogram::new();
+        latency.record(2_000);
+        ServiceMetricsSnapshot {
             jobs_submitted: 4,
             jobs_rejected: 1,
             jobs_queued: 0,
@@ -554,8 +629,17 @@ mod tests {
                 reuse_savings: 55,
                 epoch: 3,
             },
-        };
-        let json = metrics_to_json(&snapshot);
+            queue_wait_histogram: queue_wait.snapshot(),
+            latency_histogram: latency.snapshot(),
+            first_sample_histogram: HistogramSnapshot::default(),
+            job_cost_histogram: HistogramSnapshot::default(),
+            round_duration_histogram: HistogramSnapshot::default(),
+        }
+    }
+
+    #[test]
+    fn metrics_document_carries_worker_pool_counters() {
+        let json = metrics_to_json(&sample_snapshot());
         let worker_pool = json.get("worker_pool").expect("worker_pool object");
         assert_eq!(worker_pool.get("workers").unwrap().as_u64(), Some(3));
         assert_eq!(
@@ -579,6 +663,159 @@ mod tests {
         assert_eq!(history.get("reused_walks").unwrap().as_u64(), Some(80));
         assert_eq!(history.get("reuse_savings").unwrap().as_u64(), Some(55));
         assert_eq!(history.get("epoch").unwrap().as_u64(), Some(3));
+    }
+
+    /// Wire-drift guard: destructuring the snapshot without `..` makes this
+    /// test fail to compile whenever `ServiceMetricsSnapshot` grows a field,
+    /// and the assertions below then force the `/v1/metrics` document to
+    /// carry it.
+    #[test]
+    fn metrics_document_walks_every_snapshot_field() {
+        let snapshot = sample_snapshot();
+        let json = metrics_to_json(&snapshot);
+        let savings = snapshot.shared_cache_savings();
+        let ServiceMetricsSnapshot {
+            jobs_submitted,
+            jobs_rejected,
+            jobs_queued,
+            jobs_running,
+            jobs_completed,
+            jobs_cancelled,
+            jobs_expired,
+            jobs_failed,
+            jobs_finished,
+            samples_delivered,
+            aggregate_query_cost,
+            isolated_query_cost,
+            budget_refunded,
+            mean_latency,
+            jobs_started,
+            mean_queue_wait,
+            max_queue_wait,
+            pool,
+            worker_pool,
+            history,
+            queue_wait_histogram,
+            latency_histogram,
+            first_sample_histogram,
+            job_cost_histogram,
+            round_duration_histogram,
+        } = snapshot;
+
+        let field = |key: &str| json.get(key).unwrap_or_else(|| panic!("missing `{key}`"));
+        for (key, expected) in [
+            ("jobs_submitted", jobs_submitted),
+            ("jobs_rejected", jobs_rejected),
+            ("jobs_queued", jobs_queued),
+            ("jobs_running", jobs_running),
+            ("jobs_completed", jobs_completed),
+            ("jobs_cancelled", jobs_cancelled),
+            ("jobs_expired", jobs_expired),
+            ("jobs_failed", jobs_failed),
+            ("jobs_finished", jobs_finished),
+            ("jobs_started", jobs_started),
+            ("samples_delivered", samples_delivered),
+            ("aggregate_query_cost", aggregate_query_cost),
+            ("isolated_query_cost", isolated_query_cost),
+            ("budget_refunded", budget_refunded),
+            ("shared_cache_savings", savings),
+        ] {
+            assert_eq!(field(key).as_u64(), Some(expected), "field `{key}`");
+        }
+        for (key, expected) in [
+            ("mean_latency_ms", mean_latency),
+            ("mean_queue_wait_ms", mean_queue_wait),
+            ("max_queue_wait_ms", max_queue_wait),
+        ] {
+            assert_eq!(field(key).as_f64(), Some(duration_ms(expected)));
+        }
+        assert_eq!(
+            field("pool").get("unique_nodes").unwrap().as_u64(),
+            Some(pool.unique_nodes)
+        );
+        assert_eq!(
+            field("worker_pool").get("workers").unwrap().as_u64(),
+            Some(worker_pool.workers)
+        );
+        assert_eq!(
+            field("history").get("hits").unwrap().as_u64(),
+            Some(history.hits)
+        );
+        for (key, expected) in [
+            ("queue_wait_histogram", queue_wait_histogram),
+            ("latency_histogram", latency_histogram),
+            ("first_sample_histogram", first_sample_histogram),
+            ("job_cost_histogram", job_cost_histogram),
+            ("round_duration_histogram", round_duration_histogram),
+        ] {
+            let doc = field(key);
+            assert_eq!(doc.get("count").unwrap().as_u64(), Some(expected.count));
+            assert_eq!(doc.get("sum").unwrap().as_u64(), Some(expected.sum));
+        }
+    }
+
+    #[test]
+    fn histograms_encode_quantiles_and_sparse_buckets() {
+        use wnw_service::Histogram;
+
+        let h = Histogram::new();
+        for v in [100u64, 100, 200, 5_000] {
+            h.record(v);
+        }
+        let json = histogram_to_json(&h.snapshot());
+        assert_eq!(json.get("count").unwrap().as_u64(), Some(4));
+        assert_eq!(json.get("sum").unwrap().as_u64(), Some(5_400));
+        assert_eq!(json.get("min").unwrap().as_u64(), Some(100));
+        assert_eq!(json.get("max").unwrap().as_u64(), Some(5_000));
+        assert_eq!(json.get("mean").unwrap().as_f64(), Some(1_350.0));
+        let p50 = json.get("p50").unwrap().as_u64().unwrap();
+        assert!((100..=200).contains(&p50), "p50 was {p50}");
+        let Json::Arr(buckets) = json.get("buckets").unwrap() else {
+            panic!("buckets must be an array");
+        };
+        assert_eq!(buckets.len(), 3, "three distinct buckets are occupied");
+        let les: Vec<u64> = buckets
+            .iter()
+            .map(|b| b.get("le").unwrap().as_u64().unwrap())
+            .collect();
+        assert!(les.windows(2).all(|w| w[0] < w[1]), "ascending le grid");
+        let total: u64 = buckets
+            .iter()
+            .map(|b| b.get("count").unwrap().as_u64().unwrap())
+            .sum();
+        assert_eq!(total, 4, "bucket counts are per-bucket, not cumulative");
+
+        let empty = histogram_to_json(&HistogramSnapshot::default());
+        assert_eq!(empty.get("count").unwrap().as_u64(), Some(0));
+        assert!(matches!(empty.get("buckets"), Some(Json::Arr(b)) if b.is_empty()));
+    }
+
+    #[test]
+    fn trace_events_encode_with_their_payloads() {
+        let event = |kind| TraceEvent {
+            job: 7,
+            at: Duration::from_micros(1_500),
+            kind,
+        };
+        let submitted = trace_event_to_json(&event(TraceEventKind::Submitted));
+        assert_eq!(submitted.get("event").unwrap().as_str(), Some("submitted"));
+        assert_eq!(submitted.get("job_id").unwrap().as_u64(), Some(7));
+        assert_eq!(submitted.get("at_us").unwrap().as_u64(), Some(1_500));
+        assert!(submitted.get("queries").is_none());
+        assert!(submitted.get("status").is_none());
+
+        let round = trace_event_to_json(&event(TraceEventKind::RoundCompleted { queries: 42 }));
+        assert_eq!(
+            round.get("event").unwrap().as_str(),
+            Some("round_completed")
+        );
+        assert_eq!(round.get("queries").unwrap().as_u64(), Some(42));
+
+        let finished = trace_event_to_json(&event(TraceEventKind::Finished {
+            status: "completed",
+        }));
+        assert_eq!(finished.get("event").unwrap().as_str(), Some("finished"));
+        assert_eq!(finished.get("status").unwrap().as_str(), Some("completed"));
     }
 
     #[test]

@@ -116,6 +116,9 @@ pub use wnw_runtime::{PoolStats, WorkerPool};
 // The cross-job history types a frontend needs to express and observe the
 // reuse lever, re-exported from the engine for the same reason.
 pub use wnw_engine::{HistoryPolicy, HistoryStore, HistoryStoreStats, ReuseCorrection};
+// The telemetry substrate's types a frontend needs to read the metrics
+// snapshot's histograms and the per-job lifecycle trace.
+pub use wnw_telemetry::{Histogram, HistogramSnapshot, TraceEvent, TraceEventKind, TraceLog};
 
 #[cfg(test)]
 mod tests {

@@ -12,6 +12,7 @@ use std::time::Duration;
 use wnw_access::counter::QueryStats;
 use wnw_engine::HistoryStoreStats;
 use wnw_runtime::PoolStats;
+use wnw_telemetry::{saturating_micros, Histogram, HistogramSnapshot};
 
 /// Atomic counters describing the service's lifetime so far.
 #[derive(Debug, Default)]
@@ -39,6 +40,16 @@ pub struct ServiceMetrics {
     started: AtomicU64,
     queue_wait_micros: AtomicU64,
     queue_wait_max_micros: AtomicU64,
+    /// Distribution counterparts of the aggregates above. Recording is a
+    /// handful of relaxed atomics per *job* (or per delivered first sample),
+    /// so these are unconditional; only the per-round duration histogram
+    /// sits on a hot path, and the scheduler gates feeding it behind its
+    /// `telemetry` config flag.
+    queue_wait: Histogram,
+    latency: Histogram,
+    first_sample: Histogram,
+    job_cost: Histogram,
+    round_duration: Histogram,
 }
 
 impl ServiceMetrics {
@@ -81,10 +92,26 @@ impl ServiceMetrics {
         self.queued.fetch_sub(1, Ordering::Relaxed);
         self.running.fetch_add(1, Ordering::Relaxed);
         self.started.fetch_add(1, Ordering::Relaxed);
-        let micros = wait.as_micros() as u64;
+        // Saturating, not `as_micros() as u64`: a Duration can hold ~10^19 µs
+        // and a plain cast keeps only the low 64 bits.
+        let micros = saturating_micros(wait);
         self.queue_wait_micros.fetch_add(micros, Ordering::Relaxed);
         self.queue_wait_max_micros
             .fetch_max(micros, Ordering::Relaxed);
+        self.queue_wait.record(micros);
+    }
+
+    /// Records the submit→first-delivered-sample latency of a job (once per
+    /// job, when its first sample reaches the consumer's channel).
+    pub(crate) fn on_first_sample(&self, elapsed: Duration) {
+        self.first_sample.record_duration(elapsed);
+    }
+
+    /// Records one scheduler round's wall-clock duration. Only called when
+    /// the scheduler's `telemetry` flag is on — this is the one recording
+    /// site on the per-round hot path.
+    pub(crate) fn on_round(&self, duration: Duration) {
+        self.round_duration.record_duration(duration);
     }
 
     /// Records a terminal job and returns its 0-based finish index.
@@ -107,8 +134,11 @@ impl ServiceMetrics {
             .fetch_add(outcome.query_cost, Ordering::Relaxed);
         self.budget_refunded
             .fetch_add(outcome.budget_refunded, Ordering::Relaxed);
+        let latency_micros = saturating_micros(outcome.latency);
         self.latency_micros
-            .fetch_add(outcome.latency.as_micros() as u64, Ordering::Relaxed);
+            .fetch_add(latency_micros, Ordering::Relaxed);
+        self.latency.record(latency_micros);
+        self.job_cost.record(outcome.query_cost);
         self.finished.fetch_add(1, Ordering::Relaxed)
     }
 
@@ -159,6 +189,11 @@ impl ServiceMetrics {
             pool,
             worker_pool,
             history,
+            queue_wait_histogram: self.queue_wait.snapshot(),
+            latency_histogram: self.latency.snapshot(),
+            first_sample_histogram: self.first_sample.snapshot(),
+            job_cost_histogram: self.job_cost.snapshot(),
+            round_duration_histogram: self.round_duration.snapshot(),
         }
     }
 }
@@ -224,6 +259,21 @@ pub struct ServiceMetricsSnapshot {
     /// unique-node query cost of the walk histories reusing jobs inherited
     /// instead of re-spending.
     pub history: HistoryStoreStats,
+    /// Distribution of admission→first-round queue waits (microseconds),
+    /// over the same population as [`mean_queue_wait`](Self::mean_queue_wait).
+    pub queue_wait_histogram: HistogramSnapshot,
+    /// Distribution of submit-to-done latencies (microseconds) over
+    /// finished jobs.
+    pub latency_histogram: HistogramSnapshot,
+    /// Distribution of submit→first-delivered-sample latencies
+    /// (microseconds) — the paper's anytime promise made measurable. Only
+    /// jobs that delivered at least one sample appear.
+    pub first_sample_histogram: HistogramSnapshot,
+    /// Distribution of per-job unique-node query costs over finished jobs.
+    pub job_cost_histogram: HistogramSnapshot,
+    /// Distribution of scheduler round durations (microseconds). Empty when
+    /// the service runs with telemetry off.
+    pub round_duration_histogram: HistogramSnapshot,
 }
 
 impl ServiceMetricsSnapshot {
@@ -320,6 +370,56 @@ mod tests {
         assert_eq!(snap.history.hits, 2);
         assert_eq!(snap.history.reuse_savings, 41);
         assert_eq!(snap.history.epoch, 3);
+        assert_eq!(snap.queue_wait_histogram.count, 2);
+        assert_eq!(snap.queue_wait_histogram.max, 300);
+        assert_eq!(snap.latency_histogram.count, 2);
+        assert_eq!(snap.latency_histogram.min, 500);
+        assert_eq!(snap.job_cost_histogram.count, 2);
+        assert_eq!(snap.job_cost_histogram.sum, 45);
+        assert!(snap.first_sample_histogram.is_empty());
+        assert!(snap.round_duration_histogram.is_empty());
+    }
+
+    #[test]
+    fn first_sample_and_round_histograms_record() {
+        let metrics = ServiceMetrics::default();
+        metrics.on_first_sample(Duration::from_micros(250));
+        metrics.on_round(Duration::from_micros(40));
+        metrics.on_round(Duration::from_micros(60));
+        let snap = metrics.snapshot(
+            QueryStats::default(),
+            PoolStats::default(),
+            HistoryStoreStats::default(),
+        );
+        assert_eq!(snap.first_sample_histogram.count, 1);
+        assert_eq!(snap.first_sample_histogram.max, 250);
+        assert_eq!(snap.round_duration_histogram.count, 2);
+        assert_eq!(snap.round_duration_histogram.sum, 100);
+    }
+
+    #[test]
+    fn over_u64_micros_durations_saturate_instead_of_truncating() {
+        // Duration can hold ~1.8e25 µs; `as_micros() as u64` keeps the low
+        // 64 bits, which for this value would truncate to a *small* number
+        // and silently zero the queue-wait aggregates.
+        let huge = Duration::from_secs(u64::MAX / 1_000_000 + 10);
+        assert!(huge.as_micros() > u128::from(u64::MAX));
+        let metrics = ServiceMetrics::default();
+        metrics.try_admit(1).unwrap();
+        metrics.on_submit();
+        metrics.on_start(huge);
+        let mut big_latency = outcome(JobStatus::Completed, 1, 1);
+        big_latency.latency = huge;
+        metrics.on_finish(&big_latency, 1);
+        let snap = metrics.snapshot(
+            QueryStats::default(),
+            PoolStats::default(),
+            HistoryStoreStats::default(),
+        );
+        assert_eq!(snap.max_queue_wait, Duration::from_micros(u64::MAX));
+        assert_eq!(snap.queue_wait_histogram.max, u64::MAX);
+        assert_eq!(snap.latency_histogram.max, u64::MAX);
+        assert_eq!(snap.mean_latency, Duration::from_micros(u64::MAX));
     }
 
     #[test]
@@ -337,5 +437,10 @@ mod tests {
         assert_eq!(snap.max_queue_wait, Duration::ZERO);
         assert_eq!(snap.worker_pool, PoolStats::default());
         assert_eq!(snap.history, HistoryStoreStats::default());
+        assert!(snap.queue_wait_histogram.is_empty());
+        assert!(snap.latency_histogram.is_empty());
+        assert!(snap.first_sample_histogram.is_empty());
+        assert!(snap.job_cost_histogram.is_empty());
+        assert!(snap.round_duration_histogram.is_empty());
     }
 }

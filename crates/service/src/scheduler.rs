@@ -56,6 +56,7 @@ use wnw_access::metered::MeteredNetwork;
 use wnw_engine::{history_key_of, HistoryKey, HistoryStore, JobDriver};
 use wnw_graph::NodeId;
 use wnw_runtime::WorkerPool;
+use wnw_telemetry::{TraceEventKind, TraceLog};
 
 /// An admitted request on its way to the scheduler thread.
 pub(crate) struct Submission {
@@ -91,6 +92,10 @@ const PAUSE_POLL: Duration = Duration::from_millis(25);
 pub(crate) struct SchedulerConfig {
     /// Jobs interleaved concurrently; admitted jobs beyond this wait queued.
     pub max_active: usize,
+    /// Whether per-round telemetry (the round-duration histogram) is
+    /// recorded. Job-level histograms and counters are always on — only
+    /// this per-round timing sits on the hot path.
+    pub telemetry: bool,
 }
 
 /// One job holding walker slots.
@@ -120,6 +125,9 @@ struct ActiveJob {
     /// Early-terminal state (cancelled / deadline / consumer hang-up); the
     /// normal completion and failure states are decided at finalization.
     status: Option<JobStatus>,
+    /// Unique-node cost at the last pumped round — the per-round query
+    /// delta reported in `RoundCompleted` trace events.
+    last_round_cost: u64,
 }
 
 impl ActiveJob {
@@ -158,10 +166,21 @@ impl ActiveJob {
     /// Streams the samples the last round produced (walker order) plus a
     /// progress snapshot. A closed channel means the consumer hung up: the
     /// job is cancelled so its walker slots and budget are released.
-    fn pump(&mut self, pool: wnw_access::counter::QueryStats) {
+    ///
+    /// Telemetry rides the work already done here: the first sample that
+    /// reaches the consumer stamps the time-to-first-sample histogram and a
+    /// `SamplePublished` trace event, and the round's unique-node query
+    /// delta goes out as a `RoundCompleted` event.
+    fn pump(
+        &mut self,
+        pool: wnw_access::counter::QueryStats,
+        metrics: &ServiceMetrics,
+        trace: &TraceLog,
+    ) {
         let mut hung_up = false;
         let events = &self.events;
         let delivered = &mut self.delivered;
+        let had_delivered = *delivered > 0;
         self.driver.drain_new_samples(|walker, record| {
             let sent = events
                 .send(SampleEvent::Sample {
@@ -172,13 +191,25 @@ impl ActiveJob {
             hung_up |= !sent;
             *delivered += u64::from(sent);
         });
+        if !had_delivered && self.delivered > 0 {
+            metrics.on_first_sample(self.submitted_at.elapsed());
+            trace.record(self.id.0, TraceEventKind::SamplePublished);
+        }
+        let query_cost = self.job_counter.stats().unique_nodes;
+        trace.record(
+            self.id.0,
+            TraceEventKind::RoundCompleted {
+                queries: query_cost.saturating_sub(self.last_round_cost),
+            },
+        );
+        self.last_round_cost = query_cost;
         let update = ProgressUpdate {
             rounds: self.driver.rounds(),
             samples: self.driver.samples_collected(),
             requested: self.requested,
             live_walkers: self.driver.live_walkers(),
             budget_consumed: self.driver.budget_consumed(),
-            query_cost: self.job_counter.stats().unique_nodes,
+            query_cost,
             pool,
         };
         hung_up |= self.events.send(SampleEvent::Progress(update)).is_err();
@@ -200,6 +231,9 @@ pub(crate) struct Scheduler<N: ThreadedNetwork + 'static> {
     /// The service-scoped cross-job history store: shared-policy jobs
     /// snapshot it at admission and publish into it at reap.
     history: Arc<HistoryStore>,
+    /// The service's per-job lifecycle trace ring (capacity 0 when tracing
+    /// is off — every `record` is then a branch-and-return).
+    trace: Arc<TraceLog>,
     /// The network's seed node (every walker's start), resolved once — the
     /// start component of every job's [`HistoryKey`].
     seed_node: NodeId,
@@ -213,12 +247,14 @@ pub(crate) struct Scheduler<N: ThreadedNetwork + 'static> {
 }
 
 impl<N: ThreadedNetwork + 'static> Scheduler<N> {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         cache: Arc<CachedNetwork<Arc<N>>>,
         metrics: Arc<ServiceMetrics>,
         config: SchedulerConfig,
         pool: Arc<WorkerPool>,
         history: Arc<HistoryStore>,
+        trace: Arc<TraceLog>,
         paused: Arc<AtomicBool>,
         rx: Receiver<Submission>,
     ) -> Self {
@@ -229,6 +265,7 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
             config,
             pool,
             history,
+            trace,
             seed_node,
             paused,
             rx,
@@ -335,6 +372,12 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
                 finish_index: 0,
             };
             outcome.finish_index = self.metrics.on_finish(&outcome, 0);
+            self.trace.record(
+                submission.id.0,
+                TraceEventKind::Finished {
+                    status: outcome.status.label(),
+                },
+            );
             let _ = submission.events.send(SampleEvent::Done(outcome));
         }
     }
@@ -380,15 +423,26 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
     /// land while it runs are never observed, so its results are a pure
     /// function of (job, snapshot).
     fn admit(&self, submission: Submission, queue_wait: Duration) -> ActiveJob {
+        self.trace.record(submission.id.0, TraceEventKind::Admitted);
         let job_view = MeteredNetwork::new(Arc::clone(&self.cache));
         let job_counter = job_view.counter_handle();
         let policy = submission.request.history_policy;
         let key = history_key_of(self.seed_node, &submission.request.job);
-        let seed_history = (policy.reads())
-            .then_some(key.as_ref())
-            .flatten()
-            .and_then(|key| self.history.snapshot(key))
-            .map(|frozen| (frozen, submission.request.reuse_correction));
+        let read_key = (policy.reads()).then_some(key.as_ref()).flatten();
+        let frozen = read_key.and_then(|key| self.history.snapshot(key));
+        if read_key.is_some() {
+            // A reading policy either found a published history or it did
+            // not — either way the lookup is a trace-worthy decision point.
+            self.trace.record(
+                submission.id.0,
+                if frozen.is_some() {
+                    TraceEventKind::HistoryHit
+                } else {
+                    TraceEventKind::HistoryMiss
+                },
+            );
+        }
+        let seed_history = frozen.map(|frozen| (frozen, submission.request.reuse_correction));
         let driver = JobDriver::with_seed_history(job_view, &submission.request.job, seed_history);
         let deadline = submission.deadline_at();
         ActiveJob {
@@ -406,6 +460,7 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
             requested: submission.request.job.samples,
             publish_key: policy.publishes().then_some(key).flatten(),
             status: None,
+            last_round_cost: 0,
         }
     }
 
@@ -431,8 +486,18 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
                 if job.terminal() {
                     break;
                 }
+                if job.driver.rounds() == 0 {
+                    self.trace.record(job.id.0, TraceEventKind::FirstRound);
+                }
+                // Per-round timing is the one telemetry cost on the hot
+                // path; it is gated so a latency-critical deployment can
+                // shed the two clock reads per round.
+                let round_start = self.config.telemetry.then(Instant::now);
                 job.driver.step_round(&self.pool);
-                job.pump(self.cache.query_stats());
+                if let Some(start) = round_start {
+                    self.metrics.on_round(start.elapsed());
+                }
+                job.pump(self.cache.query_stats(), &self.metrics, &self.trace);
             }
         }
         let jobs = std::mem::take(&mut self.active);
@@ -487,6 +552,12 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
             finish_index: 0,
         };
         outcome.finish_index = self.metrics.on_finish(&outcome, job.delivered);
+        self.trace.record(
+            job.id.0,
+            TraceEventKind::Finished {
+                status: outcome.status.label(),
+            },
+        );
         let _ = job.events.send(SampleEvent::Done(outcome));
     }
 }

@@ -15,6 +15,7 @@ use wnw_access::counter::QueryStats;
 use wnw_access::interface::{SocialNetwork, ThreadedNetwork};
 use wnw_engine::{HistoryStore, HistoryStoreStats};
 use wnw_runtime::{PoolStats, WorkerPool};
+use wnw_telemetry::{TraceEvent, TraceEventKind, TraceLog, DEFAULT_TRACE_CAPACITY};
 
 /// Tuning knobs of a [`SamplingService`].
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +42,16 @@ pub struct ServiceConfig {
     /// store's memory under sustained publishing traffic. Default
     /// [`wnw_core::history::DEFAULT_MAX_WALKS_PER_KEY`].
     pub history_max_walks: u64,
+    /// Whether per-round telemetry (the round-duration histogram and the
+    /// per-job lifecycle trace) is recorded. Job-level histograms and
+    /// counters are always on; this flag sheds only the per-round costs.
+    /// Default on.
+    pub telemetry: bool,
+    /// Total event capacity of the per-job lifecycle [`TraceLog`] (oldest
+    /// events are evicted beyond it; ignored — treated as 0 — when
+    /// [`telemetry`](Self::telemetry) is off). Default
+    /// [`DEFAULT_TRACE_CAPACITY`].
+    pub trace_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -53,6 +64,8 @@ impl Default for ServiceConfig {
             max_in_flight: 64,
             start_paused: false,
             history_max_walks: wnw_core::history::DEFAULT_MAX_WALKS_PER_KEY,
+            telemetry: true,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 }
@@ -96,6 +109,19 @@ impl<N: ThreadedNetwork + 'static> ServiceBuilder<N> {
         self
     }
 
+    /// Turns per-round telemetry (round-duration histogram + lifecycle
+    /// trace) on or off. Default on.
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.config.telemetry = enabled;
+        self
+    }
+
+    /// Sets the lifecycle trace ring's total event capacity.
+    pub fn trace_capacity(mut self, events: usize) -> Self {
+        self.config.trace_capacity = events;
+        self
+    }
+
     /// Spawns the worker pool and the scheduler thread, and returns the
     /// running service. These are the service's only thread spawns: every
     /// round of every future job reuses the pool built here.
@@ -105,15 +131,22 @@ impl<N: ThreadedNetwork + 'static> ServiceBuilder<N> {
         let paused = Arc::new(AtomicBool::new(self.config.start_paused));
         let pool = Arc::new(WorkerPool::new(self.config.pool_threads));
         let history = Arc::new(HistoryStore::with_max_walks(self.config.history_max_walks));
+        let trace = Arc::new(TraceLog::new(if self.config.telemetry {
+            self.config.trace_capacity
+        } else {
+            0
+        }));
         let (tx, rx) = channel();
         let scheduler = Scheduler::new(
             Arc::clone(&cache),
             Arc::clone(&metrics),
             SchedulerConfig {
                 max_active: self.config.max_active,
+                telemetry: self.config.telemetry,
             },
             Arc::clone(&pool),
             Arc::clone(&history),
+            Arc::clone(&trace),
             Arc::clone(&paused),
             rx,
         );
@@ -126,6 +159,7 @@ impl<N: ThreadedNetwork + 'static> ServiceBuilder<N> {
             metrics,
             pool,
             history,
+            trace,
             paused,
             tx: Some(tx),
             scheduler: Some(handle),
@@ -163,6 +197,9 @@ pub struct SamplingService<N: ThreadedNetwork + 'static> {
     /// The service-scoped cross-job history store (shared with the
     /// scheduler thread; kept here for stats snapshots).
     history: Arc<HistoryStore>,
+    /// The per-job lifecycle trace ring (shared with the scheduler thread;
+    /// disabled — capacity 0 — when the service runs with telemetry off).
+    trace: Arc<TraceLog>,
     paused: Arc<AtomicBool>,
     tx: Option<Sender<Submission>>,
     scheduler: Option<JoinHandle<()>>,
@@ -227,6 +264,10 @@ impl<N: ThreadedNetwork + 'static> SamplingService<N> {
         let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let (events, rx) = channel();
         let cancel = Arc::new(AtomicBool::new(false));
+        // Trace the submission *before* handing it to the scheduler — once
+        // the send lands, the scheduler thread may record `Admitted`
+        // concurrently, and the trace's per-job order is insertion order.
+        self.trace.record(id.0, TraceEventKind::Submitted);
         if tx
             .send(Submission {
                 id,
@@ -239,6 +280,10 @@ impl<N: ThreadedNetwork + 'static> SamplingService<N> {
         {
             // The scheduler thread is gone (it only exits when the service
             // is torn down, or after a scheduler bug); undo the accounting.
+            // Close the trace too: every `Submitted` job gets exactly one
+            // `Finished`, whichever path it dies on.
+            self.trace
+                .record(id.0, TraceEventKind::Finished { status: "failed" });
             self.metrics.on_submit_undone();
             return Err(AdmissionError::ShuttingDown);
         }
@@ -263,6 +308,19 @@ impl<N: ThreadedNetwork + 'static> SamplingService<N> {
     /// [`ServiceMetricsSnapshot::history`]).
     pub fn history_stats(&self) -> HistoryStoreStats {
         self.history.stats()
+    }
+
+    /// The per-job lifecycle trace log (disabled — it records nothing —
+    /// when the service was built with [`ServiceBuilder::telemetry`] off).
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// The retained lifecycle events of one job, oldest first. Empty when
+    /// the job is unknown, its events were evicted from the ring, or
+    /// telemetry is off.
+    pub fn trace_of(&self, id: JobId) -> Vec<TraceEvent> {
+        self.trace.events_for(id.0)
     }
 
     /// The shared pool cache's raw counters: `unique_nodes` is the

@@ -84,6 +84,21 @@ pub enum JobStatus {
     Panicked(String),
 }
 
+impl JobStatus {
+    /// The status's stable wire label — what the gateway's JSON documents
+    /// and the trace log's `Finished` events carry (detail like the failed
+    /// variant's error is reported separately, not in the label).
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobStatus::Completed => "completed",
+            JobStatus::Cancelled => "cancelled",
+            JobStatus::DeadlineExpired => "deadline_expired",
+            JobStatus::Failed(_) => "failed",
+            JobStatus::Panicked(_) => "panicked",
+        }
+    }
+}
+
 /// Terminal accounting for one job.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobOutcome {
@@ -272,6 +287,18 @@ mod tests {
         drop(tx);
         let stream = SampleStream::new(rx);
         assert!(stream.wait().is_none());
+    }
+
+    #[test]
+    fn status_labels_are_stable() {
+        assert_eq!(JobStatus::Completed.label(), "completed");
+        assert_eq!(JobStatus::Cancelled.label(), "cancelled");
+        assert_eq!(JobStatus::DeadlineExpired.label(), "deadline_expired");
+        assert_eq!(
+            JobStatus::Failed(wnw_access::AccessError::BudgetExhausted { budget: 0 }).label(),
+            "failed"
+        );
+        assert_eq!(JobStatus::Panicked("boom".into()).label(), "panicked");
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! # wnw-telemetry — distribution-level observability for the sampling stack
+//!
+//! The service layer's counters answer *how much*; they cannot answer *how
+//! bad the tail is* or *why a slow job was slow*. This crate is the
+//! std-only observability substrate the engine, service, and gateway report
+//! through:
+//!
+//! * [`Histogram`] — a lock-free, fixed-footprint log-bucketed (HDR-style,
+//!   two sub-buckets per power-of-two octave) atomic histogram over `u64`
+//!   values. `record` is a handful of relaxed atomic adds; quantile
+//!   estimates are within one bucket (≤ 25 % relative error) of the exact
+//!   order statistic.
+//! * [`Recorder`] — a named-metric registry bundling counters, gauges, and
+//!   histograms behind one consistent [`snapshot`](Recorder::snapshot).
+//! * [`TraceLog`] — a bounded, lock-striped ring buffer of per-job
+//!   lifecycle [`TraceEvent`]s, each stamped with a monotonic timestamp, so
+//!   a slow job's life (`Submitted` → `Admitted` → rounds → `Finished`) can
+//!   be replayed after the fact.
+//! * [`prometheus`] — hand-rolled Prometheus text exposition (format
+//!   0.0.4): `# TYPE` lines, cumulative `_bucket`/`_sum`/`_count` series,
+//!   plus a grammar [`validator`](prometheus::validate) the integration
+//!   tests machine-check scrapes with.
+//!
+//! ## Metric naming
+//!
+//! The gateway's `GET /v1/metrics/prometheus` endpoint maps the service
+//! snapshot onto `wnw_*`-prefixed series:
+//!
+//! | Series | Kind | Meaning |
+//! |---|---|---|
+//! | `wnw_jobs_submitted_total`, `wnw_jobs_rejected_total`, `wnw_jobs_completed_total`, `wnw_jobs_cancelled_total`, `wnw_jobs_expired_total`, `wnw_jobs_failed_total`, `wnw_jobs_finished_total`, `wnw_jobs_started_total` | counter | job lifecycle counters |
+//! | `wnw_jobs_queued`, `wnw_jobs_running` | gauge | jobs currently queued / holding walker slots |
+//! | `wnw_samples_delivered_total`, `wnw_budget_refunded_total` | counter | delivery and refund totals |
+//! | `wnw_aggregate_query_cost_total`, `wnw_isolated_query_cost_total`, `wnw_shared_cache_savings` | counter / gauge | the paper's query-cost ledger |
+//! | `wnw_pool_*_total` | counter | shared neighbor-cache counters |
+//! | `wnw_worker_pool_*` | counter / gauge | persistent worker-pool round dispatch |
+//! | `wnw_history_*` | counter / gauge | cross-job history-store reuse |
+//! | `wnw_queue_wait_us`, `wnw_job_latency_us`, `wnw_time_to_first_sample_us`, `wnw_round_duration_us` | histogram | microsecond latency distributions |
+//! | `wnw_job_query_cost` | histogram | unique-node queries per finished job |
+//!
+//! ```
+//! use wnw_telemetry::Histogram;
+//!
+//! let h = Histogram::new();
+//! for v in 1..=1000u64 {
+//!     h.record(v);
+//! }
+//! let snap = h.snapshot();
+//! assert_eq!(snap.count, 1000);
+//! let p50 = snap.quantile(0.5);
+//! assert!((p50 as f64 - 500.0).abs() / 500.0 <= 0.25, "p50 was {p50}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod prometheus;
+pub mod recorder;
+pub mod trace;
+
+pub use histogram::{
+    bucket_bounds, bucket_index, saturating_micros, Histogram, HistogramSnapshot, BUCKET_COUNT,
+};
+pub use recorder::{Counter, Gauge, Recorder, RecorderSnapshot};
+pub use trace::{TraceEvent, TraceEventKind, TraceLog, DEFAULT_TRACE_CAPACITY};

@@ -1,0 +1,238 @@
+//! A named-metric registry: counters, gauges, and histograms behind one
+//! consistent snapshot.
+//!
+//! The [`Recorder`] is the *ad-hoc* half of the observability layer: where
+//! the service's `ServiceMetrics` is a fixed struct of known counters, a
+//! recorder lets experiments, examples, and observers register metrics by
+//! name at runtime and still export them uniformly (e.g. through
+//! [`prometheus::Exposition::recorder`](crate::prometheus::Exposition::recorder)).
+//! Registration takes a lock; the returned handles are `Arc`s whose updates
+//! are plain atomics, so hot paths hold no lock.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed atomic gauge (goes up and down).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (negative to decrease).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A registry of named metrics.
+///
+/// Registering the same name twice returns the same underlying metric;
+/// registering a name under a *different* kind panics — that is a coding
+/// bug (two call sites disagreeing about what `"queue_depth"` is), not a
+/// runtime condition to limp through.
+///
+/// ```
+/// use wnw_telemetry::Recorder;
+///
+/// let recorder = Recorder::new();
+/// let requests = recorder.counter("requests");
+/// let latency = recorder.histogram("latency_us");
+/// requests.inc();
+/// latency.record(1200);
+/// let snap = recorder.snapshot();
+/// assert_eq!(snap.counters, vec![("requests".to_string(), 1)]);
+/// assert_eq!(snap.histograms[0].1.count, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Recorder {
+    // BTreeMap so snapshots list metrics in stable (sorted) order.
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn entries(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a gauge or histogram.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut entries = self.entries();
+        match entries
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(counter) => Arc::clone(counter),
+            _ => panic!("metric `{name}` is already registered as a different kind"),
+        }
+    }
+
+    /// The gauge named `name`, created on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a counter or histogram.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut entries = self.entries();
+        match entries
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(gauge) => Arc::clone(gauge),
+            _ => panic!("metric `{name}` is already registered as a different kind"),
+        }
+    }
+
+    /// The histogram named `name`, created on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a counter or gauge.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut entries = self.entries();
+        match entries
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(histogram) => Arc::clone(histogram),
+            _ => panic!("metric `{name}` is already registered as a different kind"),
+        }
+    }
+
+    /// Registered metric names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.entries().keys().cloned().collect()
+    }
+
+    /// A copy of every registered metric's current value, names sorted
+    /// within each kind.
+    pub fn snapshot(&self) -> RecorderSnapshot {
+        let entries = self.entries();
+        let mut snap = RecorderSnapshot::default();
+        for (name, metric) in entries.iter() {
+            match metric {
+                Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        snap
+    }
+}
+
+/// A point-in-time copy of a [`Recorder`]'s metrics.
+#[derive(Debug, Clone, Default)]
+pub struct RecorderSnapshot {
+    /// `(name, value)` of every counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` of every gauge, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` of every histogram, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_same_metric() {
+        let recorder = Recorder::new();
+        recorder.counter("hits").inc();
+        recorder.counter("hits").add(2);
+        assert_eq!(recorder.counter("hits").get(), 3);
+        recorder.gauge("depth").set(5);
+        recorder.gauge("depth").add(-2);
+        assert_eq!(recorder.gauge("depth").get(), 3);
+        recorder.histogram("lat").record(10);
+        assert_eq!(recorder.histogram("lat").count(), 1);
+        assert_eq!(recorder.names(), vec!["depth", "hits", "lat"]);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let recorder = Recorder::new();
+        recorder.counter("b_counter").add(4);
+        recorder.counter("a_counter").add(1);
+        recorder.gauge("queue").set(-7);
+        recorder.histogram("wait").record(100);
+        let snap = recorder.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("a_counter".to_string(), 1), ("b_counter".to_string(), 4)]
+        );
+        assert_eq!(snap.gauges, vec![("queue".to_string(), -7)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].0, "wait");
+        assert_eq!(snap.histograms[0].1.count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let recorder = Recorder::new();
+        recorder.counter("x");
+        recorder.gauge("x");
+    }
+
+    #[test]
+    fn handles_update_without_the_registry_lock() {
+        let recorder = Recorder::new();
+        let counter = recorder.counter("spins");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let counter = Arc::clone(&counter);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        counter.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), 4000);
+    }
+}

@@ -1,0 +1,279 @@
+//! Per-job lifecycle tracing: a bounded, lock-striped ring buffer.
+//!
+//! A [`TraceLog`] answers the question metrics cannot: *why was this job
+//! slow?* Every stage boundary in a job's life — submission, admission,
+//! each round, the first delivered sample, the terminal state — appends a
+//! [`TraceEvent`] stamped with a monotonic timestamp. The log is a fixed
+//! number of stripes, each a mutex-guarded ring; a job's events all land in
+//! one stripe (keyed by `job % stripes`), so reading a job back preserves
+//! insertion order and writers for different jobs rarely contend. When a
+//! stripe is full the oldest event is evicted — the log's footprint is
+//! fixed at construction, never proportional to traffic.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Default total event capacity of a [`TraceLog`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// Stripes in a [`TraceLog`] (events are keyed by `job % STRIPES`).
+const STRIPES: usize = 8;
+
+/// What happened at one point of a job's life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// The request was admitted and handed to the scheduler.
+    Submitted,
+    /// The scheduler promoted the job out of the queue onto walker slots.
+    Admitted,
+    /// The job found a published walk history at admission (shared policy).
+    HistoryHit,
+    /// The job looked for a published walk history and found none.
+    HistoryMiss,
+    /// The job is about to run its first round.
+    FirstRound,
+    /// A round completed; `queries` is the unique-node query cost the round
+    /// added to the job's own metered view.
+    RoundCompleted {
+        /// Unique-node queries this round cost the job.
+        queries: u64,
+    },
+    /// The job's first sample reached the consumer's stream.
+    SamplePublished,
+    /// The job reached a terminal state.
+    Finished {
+        /// The terminal status's wire label (e.g. `"completed"`).
+        status: &'static str,
+    },
+}
+
+impl TraceEventKind {
+    /// The event's wire label (the `"event"` discriminator in JSON).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceEventKind::Submitted => "submitted",
+            TraceEventKind::Admitted => "admitted",
+            TraceEventKind::HistoryHit => "history_hit",
+            TraceEventKind::HistoryMiss => "history_miss",
+            TraceEventKind::FirstRound => "first_round",
+            TraceEventKind::RoundCompleted { .. } => "round_completed",
+            TraceEventKind::SamplePublished => "sample_published",
+            TraceEventKind::Finished { .. } => "finished",
+        }
+    }
+}
+
+/// One timestamped lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The job the event belongs to.
+    pub job: u64,
+    /// Monotonic time since the log was created. Within a job, events are
+    /// non-decreasing in `at` and returned in insertion order.
+    pub at: Duration,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+#[derive(Debug, Default)]
+struct Stripe {
+    events: VecDeque<TraceEvent>,
+    evicted: u64,
+}
+
+/// A bounded, lock-striped ring buffer of [`TraceEvent`]s.
+///
+/// Capacity 0 disables the log entirely: [`record`](Self::record) becomes a
+/// branch-and-return and nothing is ever stored — the service's
+/// telemetry-off mode.
+#[derive(Debug)]
+pub struct TraceLog {
+    started: Instant,
+    stripes: [Mutex<Stripe>; STRIPES],
+    per_stripe: usize,
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        Self::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl TraceLog {
+    /// A log holding up to `capacity` events in total (rounded up to a
+    /// multiple of the stripe count; 0 disables recording).
+    pub fn new(capacity: usize) -> Self {
+        TraceLog {
+            started: Instant::now(),
+            stripes: std::array::from_fn(|_| Mutex::new(Stripe::default())),
+            per_stripe: if capacity == 0 {
+                0
+            } else {
+                capacity.div_ceil(STRIPES)
+            },
+        }
+    }
+
+    /// A log that records nothing (capacity 0).
+    pub fn disabled() -> Self {
+        Self::new(0)
+    }
+
+    /// Whether the log records events at all.
+    pub fn enabled(&self) -> bool {
+        self.per_stripe > 0
+    }
+
+    fn stripe(&self, job: u64) -> std::sync::MutexGuard<'_, Stripe> {
+        // A panicking recorder cannot corrupt a VecDeque of Copy events;
+        // keep serving the remaining threads instead of poisoning tracing.
+        self.stripes[(job % STRIPES as u64) as usize]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Appends an event for `job`, evicting the stripe's oldest event when
+    /// full. The timestamp is taken inside the stripe lock, so a job's
+    /// events are monotone in insertion order.
+    pub fn record(&self, job: u64, kind: TraceEventKind) {
+        if self.per_stripe == 0 {
+            return;
+        }
+        let mut stripe = self.stripe(job);
+        let at = self.started.elapsed();
+        if stripe.events.len() >= self.per_stripe {
+            stripe.events.pop_front();
+            stripe.evicted += 1;
+        }
+        stripe.events.push_back(TraceEvent { job, at, kind });
+    }
+
+    /// Every retained event of `job`, oldest first. Empty when the job is
+    /// unknown, its events were evicted, or the log is disabled.
+    pub fn events_for(&self, job: u64) -> Vec<TraceEvent> {
+        if self.per_stripe == 0 {
+            return Vec::new();
+        }
+        self.stripe(job)
+            .events
+            .iter()
+            .filter(|e| e.job == job)
+            .copied()
+            .collect()
+    }
+
+    /// Events currently retained, across all jobs.
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .events
+                    .len()
+            })
+            .sum()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted by ring overflow so far (lifetime).
+    pub fn evicted(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).evicted)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_come_back_in_insertion_order_with_monotone_times() {
+        let log = TraceLog::new(1024);
+        assert!(log.enabled());
+        log.record(7, TraceEventKind::Submitted);
+        log.record(7, TraceEventKind::Admitted);
+        log.record(15, TraceEventKind::Submitted); // same stripe as 7
+        log.record(7, TraceEventKind::RoundCompleted { queries: 12 });
+        log.record(
+            7,
+            TraceEventKind::Finished {
+                status: "completed",
+            },
+        );
+        let events = log.events_for(7);
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].kind, TraceEventKind::Submitted);
+        assert_eq!(events[1].kind, TraceEventKind::Admitted);
+        assert_eq!(
+            events[2].kind,
+            TraceEventKind::RoundCompleted { queries: 12 }
+        );
+        assert_eq!(events[3].kind.label(), "finished");
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(log.events_for(15).len(), 1, "other jobs are filtered out");
+        assert_eq!(log.events_for(999), vec![], "unknown jobs are empty");
+        assert_eq!(log.len(), 5);
+        assert!(!log.is_empty());
+        assert_eq!(log.evicted(), 0);
+    }
+
+    #[test]
+    fn full_stripes_evict_oldest_first() {
+        // Total capacity 8 → one slot per stripe: the second event for a
+        // stripe evicts the first.
+        let log = TraceLog::new(8);
+        log.record(0, TraceEventKind::Submitted);
+        log.record(0, TraceEventKind::Admitted);
+        let events = log.events_for(0);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, TraceEventKind::Admitted);
+        assert_eq!(log.evicted(), 1);
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let log = TraceLog::disabled();
+        assert!(!log.enabled());
+        log.record(1, TraceEventKind::Submitted);
+        assert!(log.events_for(1).is_empty());
+        assert!(log.is_empty());
+        assert_eq!(log.evicted(), 0);
+    }
+
+    #[test]
+    fn concurrent_writers_keep_per_job_order() {
+        let log = std::sync::Arc::new(TraceLog::new(100_000));
+        std::thread::scope(|scope| {
+            for job in 0..8u64 {
+                let log = std::sync::Arc::clone(&log);
+                scope.spawn(move || {
+                    log.record(job, TraceEventKind::Submitted);
+                    for q in 0..100 {
+                        log.record(job, TraceEventKind::RoundCompleted { queries: q });
+                    }
+                    log.record(
+                        job,
+                        TraceEventKind::Finished {
+                            status: "completed",
+                        },
+                    );
+                });
+            }
+        });
+        for job in 0..8u64 {
+            let events = log.events_for(job);
+            assert_eq!(events.len(), 102);
+            assert_eq!(events[0].kind, TraceEventKind::Submitted);
+            assert_eq!(events[101].kind.label(), "finished");
+            assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+        }
+    }
+}

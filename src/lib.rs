@@ -25,6 +25,7 @@
 //! | [`engine`] | `wnw-engine` | concurrent, cache-sharing sampling engine |
 //! | [`service`] | `wnw-service` | multi-job sampling service: scheduling, streaming, metrics |
 //! | [`gateway`] | `wnw-gateway` | std-only HTTP/1.1 streaming frontend over the service |
+//! | [`telemetry`] | `wnw-telemetry` | quantile histograms, lifecycle tracing, Prometheus exposition |
 //! | [`analytics`] | `wnw-analytics` | Lambert W, statistics, estimators, bias |
 //! | [`experiments`] | `wnw-experiments` | per-figure reproduction drivers |
 //!
@@ -64,6 +65,7 @@ pub use wnw_graph as graph;
 pub use wnw_mcmc as mcmc;
 pub use wnw_runtime as runtime;
 pub use wnw_service as service;
+pub use wnw_telemetry as telemetry;
 
 /// The most commonly used items, for `use walk_not_wait::prelude::*`.
 pub mod prelude {
@@ -90,6 +92,7 @@ pub mod prelude {
         AdmissionError, JobOutcome, JobRegistry, JobStatus, Priority, SampleEvent, SampleRequest,
         SamplingService, ServiceMetricsSnapshot,
     };
+    pub use wnw_telemetry::{Histogram, HistogramSnapshot, TraceEvent, TraceEventKind, TraceLog};
 }
 
 #[cfg(test)]

@@ -214,3 +214,63 @@ fn ttl_sweep_reaps_unclaimed_job_but_still_publishes_its_history() {
     assert_eq!(snapshot.jobs_completed, 2);
     assert_eq!(snapshot.history.publications, 1);
 }
+
+/// `/healthz` is a structured liveness document, not a bare 200: probes
+/// can log the build version and detect counter resets via the uptime.
+#[test]
+fn healthz_reports_status_version_and_uptime() {
+    let server = server_with(Duration::from_secs(60));
+    let addr = server.local_addr();
+    let resp = client::get(addr, "/healthz").unwrap();
+    assert_eq!(resp.status, 200);
+    let doc = resp.json().unwrap();
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+    let version = doc.get("version").unwrap().as_str().unwrap();
+    assert!(
+        !version.is_empty() && version.split('.').count() == 3,
+        "semver-shaped version, got {version:?}"
+    );
+    let uptime = doc.get("uptime_seconds").unwrap().as_u64().unwrap();
+    assert!(uptime < 3600, "a fresh server reports a fresh uptime");
+    server.shutdown();
+}
+
+/// A completed job's lifecycle replays over the wire: one `submitted`, one
+/// `finished`, monotone microsecond timestamps in between.
+#[test]
+fn trace_endpoint_replays_a_completed_job() {
+    let server = server_with(Duration::from_secs(60));
+    let addr = server.local_addr();
+    let (id, path) = submit(addr, &job_body(5, 0x31, None));
+    assert_stream_conformance(addr, &path, 5);
+
+    let resp = client::get(addr, &format!("/v1/jobs/{id}/trace")).unwrap();
+    assert_eq!(resp.status, 200);
+    let Json::Arr(events) = resp.json().unwrap() else {
+        panic!("trace body must be a JSON array");
+    };
+    let labels: Vec<String> = events
+        .iter()
+        .map(|e| e.get("event").unwrap().as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(labels.iter().filter(|l| *l == "submitted").count(), 1);
+    assert_eq!(labels.iter().filter(|l| *l == "finished").count(), 1);
+    assert_eq!(labels.first().map(String::as_str), Some("submitted"));
+    assert_eq!(labels.last().map(String::as_str), Some("finished"));
+    let stamps: Vec<u64> = events
+        .iter()
+        .map(|e| e.get("at_us").unwrap().as_u64().unwrap())
+        .collect();
+    assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
+    // Every round_completed event carries its query charge.
+    assert!(events
+        .iter()
+        .filter(|e| e.get("event").unwrap().as_str() == Some("round_completed"))
+        .all(|e| e.get("queries").unwrap().as_u64().is_some()));
+    assert_eq!(
+        client::get(addr, "/v1/jobs/424242/trace").unwrap().status,
+        404,
+        "unknown jobs have no trace"
+    );
+    server.shutdown();
+}

@@ -168,6 +168,40 @@ fn concurrent_http_clients_match_direct_runs_and_share_the_cache() {
         .unwrap()
         .as_u64()
         .is_some());
+    // The latency distributions ride along in the same document.
+    let latency = metrics.get("latency_histogram").expect("latency histogram");
+    assert_eq!(latency.get("count").unwrap().as_u64(), Some(2));
+    assert!(latency.get("p99").unwrap().as_u64().is_some());
+    assert_eq!(
+        metrics
+            .get("first_sample_histogram")
+            .unwrap()
+            .get("count")
+            .unwrap()
+            .as_u64(),
+        Some(2)
+    );
+
+    // The same snapshot as a Prometheus scrape: machine-validated grammar,
+    // with the three latency histogram families the dashboards key on.
+    let scrape = client::get(addr, "/v1/metrics/prometheus").unwrap();
+    assert_eq!(scrape.status, 200);
+    let text = String::from_utf8(scrape.body.clone()).unwrap();
+    let stats =
+        walk_not_wait::telemetry::prometheus::validate(&text).expect("valid exposition document");
+    assert!(stats.series >= 20, "got only {} series", stats.series);
+    for family in [
+        "wnw_queue_wait_us",
+        "wnw_job_latency_us",
+        "wnw_time_to_first_sample_us",
+    ] {
+        for suffix in ["_bucket{le=\"+Inf\"} 2", "_count 2"] {
+            assert!(
+                text.contains(&format!("{family}{suffix}")),
+                "missing {family}{suffix} in scrape:\n{text}"
+            );
+        }
+    }
 
     let snapshot = server.shutdown();
     assert_eq!(snapshot.jobs_finished, 2);
