@@ -42,6 +42,7 @@ pub mod error;
 pub mod interface;
 pub mod metered;
 pub mod rate_limit;
+pub mod rebased;
 pub mod restrictions;
 pub mod simulated;
 pub mod sync;
@@ -52,6 +53,7 @@ pub use error::AccessError;
 pub use interface::{SocialNetwork, ThreadedNetwork};
 pub use metered::MeteredNetwork;
 pub use rate_limit::{RateLimitPolicy, RateLimiter};
+pub use rebased::Rebased;
 pub use restrictions::NeighborRestriction;
 pub use simulated::SimulatedOsn;
 

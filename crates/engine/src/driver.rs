@@ -25,6 +25,7 @@ use std::sync::Arc;
 use wnw_access::counter::{QueryBudget, QueryCounter};
 use wnw_access::interface::SocialNetwork;
 use wnw_access::metered::MeteredNetwork;
+use wnw_access::rebased::Rebased;
 use wnw_access::AccessError;
 use wnw_core::history::{FrozenHistory, ReuseCorrection, SharedWalkHistory, WalkHistory};
 use wnw_core::sampler::WalkEstimateSampler;
@@ -312,7 +313,9 @@ where
         .budget_of(walker)
         .map(QueryBudget)
         .unwrap_or(QueryBudget::UNLIMITED);
-    let metered = MeteredNetwork::with_budget(cache, budget);
+    // Rebase unconditionally: with `start_node: None` the view passes the
+    // network's own seed node through, so the default path is unchanged.
+    let metered = MeteredNetwork::with_budget(Rebased::new(cache, job.start_node), budget);
     let counter = metered.counter_handle();
     let seed = job.seed_of(walker);
     let sampler: Box<dyn Sampler + Send + 'a> = match job.spec {
@@ -382,6 +385,34 @@ mod tests {
         let (reports, panic_payload) = driver.finish();
         assert!(panic_payload.is_none());
         assert_eq!(reports.iter().map(|r| r.samples.len()).sum::<usize>(), 9);
+    }
+
+    #[test]
+    fn rebased_jobs_complete_and_stay_deterministic() {
+        let osn = SimulatedOsn::new(barabasi_albert(200, 3, 1).unwrap());
+        let job = SampleJob::walk_estimate(RandomWalkKind::Simple, 6, 5)
+            .with_walkers(2)
+            .with_diameter_estimate(4)
+            .with_start_node(wnw_graph::NodeId(150));
+        let pool = WorkerPool::new(1);
+        let run = |job: &SampleJob| {
+            let mut driver = JobDriver::new(&osn, job);
+            while !driver.is_done() {
+                driver.step_round(&pool);
+            }
+            let (reports, payload) = driver.finish();
+            assert!(payload.is_none());
+            let mut nodes: Vec<u32> = reports
+                .iter()
+                .flat_map(|r| r.samples.iter().map(|s| s.node.0))
+                .collect();
+            nodes.sort_unstable();
+            nodes
+        };
+        let a = run(&job);
+        let b = run(&job);
+        assert_eq!(a.len(), 6);
+        assert_eq!(a, b, "same job + same start node => same multiset");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! depends only on the job, never on the thread count.
 
 use wnw_core::config::WalkEstimateConfig;
+use wnw_graph::NodeId;
 use wnw_mcmc::burn_in::BurnInConfig;
 use wnw_mcmc::transition::{RandomWalkKind, TargetDistribution};
 
@@ -108,6 +109,12 @@ pub struct SampleJob {
     pub history: HistoryMode,
     /// Diameter estimate handed to WALK-ESTIMATE's walk-length policy.
     pub diameter_estimate: Option<usize>,
+    /// Start node of every walker's walks. `None` (the default) starts from
+    /// the network's own [`seed_node`](wnw_access::SocialNetwork::seed_node);
+    /// `Some` rebases the job onto the given node — which also becomes the
+    /// `start` component of the job's cross-job history key, so jobs rebased
+    /// onto the same hot node exchange history while jobs elsewhere never do.
+    pub start_node: Option<NodeId>,
 }
 
 impl SampleJob {
@@ -125,6 +132,7 @@ impl SampleJob {
             budget: None,
             history: HistoryMode::default(),
             diameter_estimate: None,
+            start_node: None,
         }
     }
 
@@ -141,6 +149,7 @@ impl SampleJob {
             budget: None,
             history: HistoryMode::Independent,
             diameter_estimate: None,
+            start_node: None,
         }
     }
 
@@ -165,6 +174,13 @@ impl SampleJob {
     /// Sets the diameter estimate for the walk-length policy.
     pub fn with_diameter_estimate(mut self, diameter: usize) -> Self {
         self.diameter_estimate = Some(diameter);
+        self
+    }
+
+    /// Rebases every walker's walks onto `start` instead of the network's
+    /// seed node.
+    pub fn with_start_node(mut self, start: NodeId) -> Self {
+        self.start_node = Some(start);
         self
     }
 

@@ -284,6 +284,7 @@ fn pooled_repetition(
         budget,
         history: wnw_engine::HistoryMode::Cooperative,
         diameter_estimate: Some(bench.diameter),
+        start_node: None,
     };
     wnw_engine::Engine::with_threads(1)
         .run(&osn, &job)
@@ -494,6 +495,7 @@ pub fn pooled_draw_nodes(
         budget: None,
         history: wnw_engine::HistoryMode::Cooperative,
         diameter_estimate: Some(bench.diameter),
+        start_node: None,
     };
     let report = wnw_engine::Engine::with_pool(Arc::clone(bench.pool()))
         .run(&osn, &job)

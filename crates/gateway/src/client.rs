@@ -12,10 +12,13 @@ use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-/// Timeouts applied to every client socket: generous enough for a busy
-/// loopback test machine, bounded enough that a hung server fails tests
-/// instead of wedging them.
-const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+/// Default timeout applied to every client socket: generous enough for a
+/// busy loopback test machine, bounded enough that a hung server fails
+/// tests instead of wedging them. Deliberately slow readers (load-test
+/// stall profiles) override it per connection via
+/// [`Connection::connect_with_timeout`] / [`open_stream_with_timeout`] so
+/// their own stalls don't kill their streams.
+pub const DEFAULT_CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// A complete (non-streaming) HTTP response.
 #[derive(Debug, Clone)]
@@ -80,11 +83,17 @@ pub struct Connection {
 }
 
 impl Connection {
-    /// Opens a connection to the gateway.
+    /// Opens a connection to the gateway with the
+    /// [`DEFAULT_CLIENT_TIMEOUT`].
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        Self::connect_with_timeout(addr, DEFAULT_CLIENT_TIMEOUT)
+    }
+
+    /// Opens a connection with an explicit read/write timeout.
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
-        stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
         Ok(Connection {
             reader: BufReader::new(stream.try_clone()?),
@@ -248,7 +257,18 @@ fn invalid(message: impl Into<String>) -> io::Error {
 /// [`io::ErrorKind::Other`] when the server answers non-200 (the error
 /// message carries the status and body).
 pub fn open_stream(addr: SocketAddr, path: &str) -> io::Result<EventStream> {
-    let mut conn = Connection::connect(addr)?;
+    open_stream_with_timeout(addr, path, DEFAULT_CLIENT_TIMEOUT)
+}
+
+/// Like [`open_stream`] with an explicit socket timeout — a slow-reading
+/// client that deliberately stalls between events longer than the default
+/// timeout must widen it, or its own stall kills the stream.
+pub fn open_stream_with_timeout(
+    addr: SocketAddr,
+    path: &str,
+    timeout: Duration,
+) -> io::Result<EventStream> {
+    let mut conn = Connection::connect_with_timeout(addr, timeout)?;
     write!(
         conn.writer,
         "GET {path} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",

@@ -13,6 +13,7 @@
 //!   "walkers": 4,                      // optional
 //!   "budget": 10000,                   // optional (unique-node queries)
 //!   "diameter_estimate": 5,            // optional
+//!   "start_node": 17,                  // optional (walks start here; default: the network's seed node)
 //!   "history": "cooperative",          // | "independent"   (within the job)
 //!   "history_policy": "isolated",      // | "shared_read" | "shared_publish"
 //!   "reuse_correction": "reweighted",  // | "raw"
@@ -52,6 +53,7 @@ pub fn sample_request_from_json(body: &Json) -> Result<SampleRequest, String> {
                 | "walkers"
                 | "budget"
                 | "diameter_estimate"
+                | "start_node"
                 | "history"
                 | "history_policy"
                 | "reuse_correction"
@@ -92,6 +94,11 @@ pub fn sample_request_from_json(body: &Json) -> Result<SampleRequest, String> {
     }
     if let Some(diameter) = optional_u64(body, "diameter_estimate")? {
         job = job.with_diameter_estimate(diameter as usize);
+    }
+    if let Some(start) = optional_u64(body, "start_node")? {
+        let start = u32::try_from(start)
+            .map_err(|_| "field `start_node` must fit a 32-bit node id".to_string())?;
+        job = job.with_start_node(wnw_graph::NodeId(start));
     }
     if let Some(history) = optional_str(body, "history")? {
         job = job.with_history(match history {
@@ -365,6 +372,7 @@ pub fn histogram_to_json(snapshot: &HistogramSnapshot) -> Json {
         ("p50", Json::UInt(snapshot.quantile(0.5))),
         ("p90", Json::UInt(snapshot.quantile(0.9))),
         ("p99", Json::UInt(snapshot.quantile(0.99))),
+        ("p999", Json::UInt(snapshot.quantile(0.999))),
         (
             "buckets",
             Json::Arr(
@@ -466,6 +474,16 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn start_node_parses_and_rejects_oversized_ids() {
+        let req = request(r#"{"samples": 5, "seed": 1, "start_node": 17}"#).unwrap();
+        assert_eq!(req.job.start_node, Some(wnw_graph::NodeId(17)));
+        let default = request(r#"{"samples": 5, "seed": 1}"#).unwrap();
+        assert_eq!(default.job.start_node, None);
+        let err = request(r#"{"samples": 5, "seed": 1, "start_node": 4294967296}"#).unwrap_err();
+        assert!(err.contains("start_node"), "got: {err}");
     }
 
     #[test]
@@ -770,6 +788,9 @@ mod tests {
         assert_eq!(json.get("mean").unwrap().as_f64(), Some(1_350.0));
         let p50 = json.get("p50").unwrap().as_u64().unwrap();
         assert!((100..=200).contains(&p50), "p50 was {p50}");
+        // The tail quantile the SLO evaluator reads: at 4 observations it
+        // collapses to the exact max.
+        assert_eq!(json.get("p999").unwrap().as_u64(), Some(5_000));
         let Json::Arr(buckets) = json.get("buckets").unwrap() else {
             panic!("buckets must be an array");
         };

@@ -1,0 +1,332 @@
+//! The open-loop client driver: dispatches a [`WorkPlan`] against a live
+//! gateway over real loopback sockets and reduces what every client saw
+//! into a [`ScenarioReport`].
+//!
+//! [`WorkPlan`]: crate::scenario::WorkPlan
+//!
+//! Open-loop means the dispatcher sleeps to each request's *pre-scheduled*
+//! offset and then hands the request to its own thread, no matter how many
+//! earlier requests are still in flight. A saturated service therefore
+//! sheds load or grows its queue-wait tail — it cannot quietly slow the
+//! arrival stream down, which is exactly the failure mode a closed-loop
+//! driver hides (coordinated omission).
+
+use crate::report::{LatencySummary, ScenarioReport, ServerSummary};
+use crate::scenario::{PlannedRequest, Scenario};
+use crate::slo::Observed;
+use std::io;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+use wnw_gateway::client::{self, DEFAULT_CLIENT_TIMEOUT};
+use wnw_gateway::json::Json;
+
+/// Diameter estimate submitted with every job: keeps burn-in, and with it
+/// each job's life, short — load scenarios stress the *service*, not the
+/// walk length.
+const DIAMETER_ESTIMATE: u64 = 4;
+
+/// Stream-open attempts before a request is recorded as failed (the open
+/// itself can be shed by the accept loop under burst load).
+const STREAM_OPEN_ATTEMPTS: usize = 3;
+
+/// What one scripted client observed for its request.
+#[derive(Debug, Clone, Default)]
+pub struct Observation {
+    /// The gateway answered the submit with `503`.
+    pub shed: bool,
+    /// The submit failed some other way (socket error, non-202).
+    pub submit_error: bool,
+    /// Terminal `done` status label, when a stream delivered one.
+    pub status: Option<String>,
+    /// The stream errored or ended without a terminal event.
+    pub stream_error: bool,
+    /// Server-reported queue wait from the `done` event (ms).
+    pub queue_wait_ms: Option<f64>,
+    /// Dispatch → terminal event, client clock (ms).
+    pub e2e_ms: Option<f64>,
+    /// Dispatch → first `sample` event, client clock (ms).
+    pub ttfs_ms: Option<f64>,
+    /// Sample events this client received.
+    pub samples: u64,
+}
+
+/// The raw result of driving one plan: per-request observations plus the
+/// run's wall clock (first dispatch until the last stream drained).
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// One entry per planned request, in plan order.
+    pub observations: Vec<Observation>,
+    /// First dispatch → last stream drained.
+    pub wall_clock: Duration,
+}
+
+/// Drives `plan` against the gateway at `addr`, open-loop.
+pub fn run_plan(addr: SocketAddr, requests: &[PlannedRequest]) -> RunOutcome {
+    let started = Instant::now();
+    let observations: Vec<Observation> = std::thread::scope(|scope| {
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|request| {
+                // Open loop: sleep to the request's offset, then hand it to
+                // its own thread regardless of what is still in flight.
+                let target = started + request.at;
+                if let Some(wait) = target.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+                scope.spawn(move || drive_one(addr, request))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    RunOutcome {
+        observations,
+        wall_clock: started.elapsed(),
+    }
+}
+
+/// One scripted client: submit, stream, optionally stall and cancel.
+fn drive_one(addr: SocketAddr, request: &PlannedRequest) -> Observation {
+    let mut obs = Observation::default();
+    let t0 = Instant::now();
+
+    let mut body = vec![
+        ("samples", Json::UInt(request.samples as u64)),
+        ("seed", Json::UInt(request.seed)),
+        ("walkers", Json::UInt(request.walkers as u64)),
+        ("diameter_estimate", Json::UInt(DIAMETER_ESTIMATE)),
+        ("start_node", Json::UInt(u64::from(request.start_node))),
+        ("priority", Json::str(request.priority)),
+        ("history_policy", Json::str(request.history_policy)),
+    ];
+    if let Some(budget) = request.budget {
+        body.push(("budget", Json::UInt(budget)));
+    }
+
+    let accepted = match client::post(addr, "/v1/jobs", &Json::obj(body)) {
+        Ok(response) if response.status == 202 => response,
+        Ok(response) if response.status == 503 => {
+            obs.shed = true;
+            return obs;
+        }
+        _ => {
+            obs.submit_error = true;
+            return obs;
+        }
+    };
+    let Some(stream_path) = accepted
+        .json()
+        .ok()
+        .and_then(|doc| doc.get("stream").and_then(Json::as_str).map(String::from))
+    else {
+        obs.submit_error = true;
+        return obs;
+    };
+    // `/v1/jobs/{id}/stream` minus the suffix is the job resource path.
+    let job_path = stream_path
+        .strip_suffix("/stream")
+        .unwrap_or(&stream_path)
+        .to_string();
+
+    let mut stream = None;
+    for attempt in 0..STREAM_OPEN_ATTEMPTS {
+        match client::open_stream_with_timeout(addr, &stream_path, DEFAULT_CLIENT_TIMEOUT) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(_) if attempt + 1 < STREAM_OPEN_ATTEMPTS => {
+                std::thread::sleep(Duration::from_millis(15));
+            }
+            Err(_) => {}
+        }
+    }
+    let Some(stream) = stream else {
+        obs.stream_error = true;
+        return obs;
+    };
+
+    let mut events_seen = 0usize;
+    let mut cancel_sent = false;
+    for event in stream {
+        let Ok(event) = event else {
+            obs.stream_error = true;
+            break;
+        };
+        events_seen += 1;
+        match event.get("event").and_then(Json::as_str) {
+            Some("sample") => {
+                obs.samples += 1;
+                if obs.ttfs_ms.is_none() {
+                    obs.ttfs_ms = Some(ms(t0.elapsed()));
+                }
+            }
+            Some("done") => {
+                obs.status = event.get("status").and_then(Json::as_str).map(String::from);
+                obs.queue_wait_ms = event.get("queue_wait_ms").and_then(Json::as_f64);
+                obs.e2e_ms = Some(ms(t0.elapsed()));
+            }
+            _ => {}
+        }
+        if let Some(after) = request.cancel_after_events {
+            if !cancel_sent && events_seen >= after {
+                cancel_sent = true;
+                // Cooperative cancel; the stream still ends with `done`.
+                let _ = client::delete(addr, &job_path);
+            }
+        }
+        if let Some(stall) = request.stall {
+            if events_seen.is_multiple_of(stall.every_events.max(1)) {
+                std::thread::sleep(stall.pause);
+            }
+        }
+    }
+    if obs.status.is_none() && !obs.stream_error {
+        // Stream drained without a terminal event — a server bug from the
+        // client's point of view.
+        obs.stream_error = true;
+    }
+    obs
+}
+
+fn ms(duration: Duration) -> f64 {
+    duration.as_secs_f64() * 1_000.0
+}
+
+/// Scrapes `/v1/metrics` and `/v1/metrics/prometheus` after a run drains
+/// and cross-checks the two: the exposition must validate and its job
+/// lifecycle counters must agree with the JSON document.
+pub fn scrape_server(addr: SocketAddr) -> io::Result<ServerSummary> {
+    let metrics = client::get(addr, "/v1/metrics")?
+        .json()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("metrics JSON: {e}")))?;
+    let counter = |key: &str| metrics.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let nested = |outer: &str, key: &str| {
+        metrics
+            .get(outer)
+            .and_then(|o| o.get(key))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+
+    let mut summary = ServerSummary {
+        jobs_submitted: counter("jobs_submitted"),
+        jobs_completed: counter("jobs_completed"),
+        jobs_cancelled: counter("jobs_cancelled"),
+        jobs_rejected: counter("jobs_rejected"),
+        shared_cache_savings: counter("shared_cache_savings"),
+        history_hits: nested("history", "hits"),
+        history_reused_walks: nested("history", "reused_walks"),
+        history_reuse_savings: nested("history", "reuse_savings"),
+        budget_refunded: counter("budget_refunded"),
+        prometheus_series: 0,
+        prometheus_consistent: false,
+    };
+
+    let scrape = client::get(addr, "/v1/metrics/prometheus")?;
+    let text = String::from_utf8_lossy(&scrape.body).into_owned();
+    if let Ok(stats) = wnw_telemetry::prometheus::validate(&text) {
+        summary.prometheus_series = stats.series as u64;
+        let prom = |name: &str| prometheus_value(&text, name);
+        // Counters are monotone and the run has drained, so the scrape
+        // (taken after the JSON document) must agree exactly.
+        summary.prometheus_consistent = prom("wnw_jobs_submitted_total")
+            == Some(summary.jobs_submitted)
+            && prom("wnw_jobs_completed_total") == Some(summary.jobs_completed)
+            && prom("wnw_jobs_cancelled_total") == Some(summary.jobs_cancelled);
+    }
+    Ok(summary)
+}
+
+/// The value of an unlabelled sample line, as an integer.
+fn prometheus_value(text: &str, name: &str) -> Option<u64> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.trim().parse::<f64>().ok().map(|v| v as u64)
+    })
+}
+
+/// Runs `scenario` against the gateway at `addr`: plan → open-loop drive →
+/// server scrape → SLO verdict, reduced to the scenario's report row.
+pub fn run_scenario_on(addr: SocketAddr, scenario: &Scenario) -> io::Result<ScenarioReport> {
+    let plan = scenario.plan();
+    let outcome = run_plan(addr, &plan.requests);
+    let server = scrape_server(addr)?;
+    Ok(summarize(scenario, plan.fingerprint(), &outcome, server))
+}
+
+/// Reduces a run to its report row and SLO verdict.
+pub fn summarize(
+    scenario: &Scenario,
+    plan_fingerprint: u64,
+    outcome: &RunOutcome,
+    server: ServerSummary,
+) -> ScenarioReport {
+    let obs = &outcome.observations;
+    let offered = obs.len();
+    let shed = obs.iter().filter(|o| o.shed).count();
+    let submit_errors = obs.iter().filter(|o| o.submit_error).count();
+    let submitted = offered - shed - submit_errors;
+    let status_count = |label: &str| {
+        obs.iter()
+            .filter(|o| o.status.as_deref() == Some(label))
+            .count()
+    };
+    let completed = status_count("completed");
+    let cancelled = status_count("cancelled");
+    let failed = submitted - completed - cancelled;
+
+    let collect = |f: fn(&Observation) -> Option<f64>| {
+        LatencySummary::from_ms(obs.iter().filter_map(f).collect())
+    };
+    let queue_wait_ms = collect(|o| o.queue_wait_ms);
+    let e2e_ms = collect(|o| o.e2e_ms);
+    let ttfs_ms = collect(|o| o.ttfs_ms);
+
+    let wall_clock_s = outcome.wall_clock.as_secs_f64();
+    let throughput_rps = if wall_clock_s > 0.0 {
+        completed as f64 / wall_clock_s
+    } else {
+        0.0
+    };
+    let shed_rate = if offered > 0 {
+        shed as f64 / offered as f64
+    } else {
+        0.0
+    };
+
+    // Empty series mean the SLO's latency bounds were never exercised —
+    // that is a failure (NaN never passes), not a vacuous pass.
+    let p99_or_nan = |s: &LatencySummary| if s.count == 0 { f64::NAN } else { s.p99 };
+    let slo = scenario.slo.evaluate(&Observed {
+        throughput_rps,
+        shed_rate,
+        queue_wait_p99_ms: p99_or_nan(&queue_wait_ms),
+        e2e_p99_ms: p99_or_nan(&e2e_ms),
+        ttfs_p99_ms: p99_or_nan(&ttfs_ms),
+    });
+
+    ScenarioReport {
+        scenario: scenario.name.to_string(),
+        plan_fingerprint,
+        offered,
+        submitted,
+        shed,
+        submit_errors,
+        completed,
+        cancelled,
+        failed,
+        wall_clock_s,
+        throughput_rps,
+        shed_rate,
+        samples_delivered: obs.iter().map(|o| o.samples).sum(),
+        queue_wait_ms,
+        e2e_ms,
+        ttfs_ms,
+        server,
+        slo,
+    }
+}

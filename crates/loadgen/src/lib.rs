@@ -1,0 +1,77 @@
+//! # wnw-loadgen — deterministic open-loop load generation with SLOs
+//!
+//! A workload-replay harness for the `wnw-gateway` HTTP service. It
+//! answers the operational question behind *Walk, Not Wait*: does the
+//! sampling service keep its latency promises — time-to-first-sample
+//! above all — when real, messy traffic hits it over real sockets?
+//!
+//! The pieces, in pipeline order:
+//!
+//! | Module | Role |
+//! |---|---|
+//! | [`arrival`] | seeded Poisson / on-off burst arrival schedules |
+//! | [`scenario`] | [`Scenario`] specs, the four named presets, and deterministic [`WorkPlan`] expansion |
+//! | [`testbed`] | fresh simulated-OSN + service + loopback gateway per run |
+//! | [`driver`] | the open-loop client driver and the server-metrics cross-check |
+//! | [`slo`] | SLO thresholds and verdicts |
+//! | [`report`] | per-scenario reports and `BENCH_service_load.json` emission |
+//!
+//! Two properties carry the weight:
+//!
+//! * **Open loop.** Every request's dispatch time is fixed before the run
+//!   starts, so a slow service sheds load and grows queue-wait tails —
+//!   it cannot thin the offered load by back-pressuring the generator
+//!   (the coordinated-omission trap).
+//! * **Determinism.** A scenario's seed fixes the arrival offsets, start
+//!   nodes (Zipf-skewed), priorities, history policies, cancels, and
+//!   slow-reader scripts. [`WorkPlan::fingerprint`] digests the request
+//!   multiset and lands in the report, so "same seed, same workload" is
+//!   checkable from the artifact alone.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use wnw_loadgen::{scenario, testbed};
+//!
+//! let steady = scenario::steady(scenario::Scale::Smoke);
+//! let report = testbed::run_scenario(&steady).unwrap();
+//! assert!(report.slo.pass, "steady smoke run must meet its SLO");
+//! ```
+//!
+//! `cargo run --release --example load_replay` runs the full preset suite
+//! and writes `BENCH_service_load.json` at the repository root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod driver;
+pub mod report;
+pub mod scenario;
+pub mod slo;
+pub mod testbed;
+
+pub use arrival::ArrivalProcess;
+pub use report::{LatencySummary, ScenarioReport, ServerSummary};
+pub use scenario::{presets, Scale, Scenario, WorkPlan};
+pub use slo::{Slo, SloReport};
+
+use std::io;
+
+/// Runs the four named presets at `scale`, each against its own fresh
+/// testbed, in suite order.
+pub fn run_preset_suite(scale: Scale) -> io::Result<Vec<ScenarioReport>> {
+    scenario::presets(scale)
+        .iter()
+        .map(testbed::run_scenario)
+        .collect()
+}
+
+/// The suite serialised as the `BENCH_service_load.json` document.
+pub fn suite_json(scale: Scale, reports: &[ScenarioReport]) -> String {
+    let mode = match scale {
+        Scale::Smoke => "smoke",
+        Scale::Full => "full",
+    };
+    report::suite_to_json(mode, reports).encode()
+}

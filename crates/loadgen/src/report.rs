@@ -1,0 +1,272 @@
+//! Per-scenario run reports and the `BENCH_service_load.json` emission.
+//!
+//! The driver reduces its per-request observations to a
+//! [`ScenarioReport`]: client-observed latency summaries (exact quantiles
+//! over every request, not histogram approximations), lifecycle counts,
+//! the server-side metrics cross-check, and the SLO verdict. The report
+//! serialises through the gateway's own [`Json`] codec so the bench
+//! artifact and the wire format share one encoder.
+
+use crate::slo::SloReport;
+use wnw_gateway::json::Json;
+
+/// Exact quantile summary over one client-observed latency series (ms).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// Summarises a series of millisecond observations. Quantiles are
+    /// exact (nearest-rank over the sorted series); an empty series
+    /// yields the all-zero summary with `count == 0`.
+    pub fn from_ms(mut values: Vec<f64>) -> Self {
+        values.retain(|v| v.is_finite());
+        if values.is_empty() {
+            return LatencySummary::default();
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let n = values.len();
+        let rank = |q: f64| {
+            let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+            values[idx]
+        };
+        LatencySummary {
+            count: n,
+            mean: values.iter().sum::<f64>() / n as f64,
+            p50: rank(0.50),
+            p99: rank(0.99),
+            p999: rank(0.999),
+            max: values[n - 1],
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("count", Json::UInt(self.count as u64)),
+            ("mean", Json::Num(round3(self.mean))),
+            ("p50", Json::Num(round3(self.p50))),
+            ("p99", Json::Num(round3(self.p99))),
+            ("p999", Json::Num(round3(self.p999))),
+            ("max", Json::Num(round3(self.max))),
+        ])
+    }
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1_000.0).round() / 1_000.0
+}
+
+/// Server-side counters scraped after the run drains, used to cross-check
+/// the client's view against `/v1/metrics` and the Prometheus exposition.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ServerSummary {
+    /// `jobs_submitted` from `/v1/metrics`.
+    pub jobs_submitted: u64,
+    /// `jobs_completed` from `/v1/metrics`.
+    pub jobs_completed: u64,
+    /// `jobs_cancelled` from `/v1/metrics`.
+    pub jobs_cancelled: u64,
+    /// `jobs_rejected` from `/v1/metrics`.
+    pub jobs_rejected: u64,
+    /// Shared-cache saving (isolated minus aggregate query cost).
+    pub shared_cache_savings: u64,
+    /// Cross-job history snapshot hits.
+    pub history_hits: u64,
+    /// Walks reused out of the shared history.
+    pub history_reused_walks: u64,
+    /// Queries saved by cross-job history reuse.
+    pub history_reuse_savings: u64,
+    /// Budget refunded by cancels / hangups.
+    pub budget_refunded: u64,
+    /// Series count in the Prometheus exposition (0 when the scrape
+    /// failed validation).
+    pub prometheus_series: u64,
+    /// True iff the Prometheus scrape validated *and* its job-lifecycle
+    /// counters agree with the JSON metrics document.
+    pub prometheus_consistent: bool,
+}
+
+impl ServerSummary {
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("jobs_submitted", Json::UInt(self.jobs_submitted)),
+            ("jobs_completed", Json::UInt(self.jobs_completed)),
+            ("jobs_cancelled", Json::UInt(self.jobs_cancelled)),
+            ("jobs_rejected", Json::UInt(self.jobs_rejected)),
+            (
+                "shared_cache_savings",
+                Json::UInt(self.shared_cache_savings),
+            ),
+            ("history_hits", Json::UInt(self.history_hits)),
+            (
+                "history_reused_walks",
+                Json::UInt(self.history_reused_walks),
+            ),
+            (
+                "history_reuse_savings",
+                Json::UInt(self.history_reuse_savings),
+            ),
+            ("budget_refunded", Json::UInt(self.budget_refunded)),
+            ("prometheus_series", Json::UInt(self.prometheus_series)),
+            (
+                "prometheus_consistent",
+                Json::Bool(self.prometheus_consistent),
+            ),
+        ])
+    }
+}
+
+/// Everything measured about one scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name (`steady`, `burst`, `hot_key`, `churn`).
+    pub scenario: String,
+    /// Fingerprint of the submitted-request multiset — equal across
+    /// seeded reruns of the same scenario.
+    pub plan_fingerprint: u64,
+    /// Requests the plan offered.
+    pub offered: usize,
+    /// Requests the gateway accepted (`202`).
+    pub submitted: usize,
+    /// Requests shed with `503`.
+    pub shed: usize,
+    /// Requests that failed to submit for any other reason.
+    pub submit_errors: usize,
+    /// Jobs whose terminal event was `completed`.
+    pub completed: usize,
+    /// Jobs whose terminal event was `cancelled` (scripted cancels).
+    pub cancelled: usize,
+    /// Jobs that ended `failed` / `expired` / panicked, or whose stream
+    /// errored client-side.
+    pub failed: usize,
+    /// Wall clock of the whole run (dispatch of the first request until
+    /// the last stream drained), seconds.
+    pub wall_clock_s: f64,
+    /// `completed / wall_clock_s`.
+    pub throughput_rps: f64,
+    /// `shed / offered`.
+    pub shed_rate: f64,
+    /// Samples streamed to all clients.
+    pub samples_delivered: u64,
+    /// Server-reported queue wait per job (ms).
+    pub queue_wait_ms: LatencySummary,
+    /// Client-observed submit → terminal-event latency (ms).
+    pub e2e_ms: LatencySummary,
+    /// Client-observed submit → first-sample latency (ms), completed and
+    /// cancelled jobs that saw at least one sample.
+    pub ttfs_ms: LatencySummary,
+    /// Server-side cross-check.
+    pub server: ServerSummary,
+    /// The SLO verdict.
+    pub slo: SloReport,
+}
+
+impl ScenarioReport {
+    /// The report as the bench JSON row.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("scenario", Json::Str(self.scenario.clone())),
+            (
+                "plan_fingerprint",
+                Json::Str(format!("{:016x}", self.plan_fingerprint)),
+            ),
+            ("offered", Json::UInt(self.offered as u64)),
+            ("submitted", Json::UInt(self.submitted as u64)),
+            ("shed", Json::UInt(self.shed as u64)),
+            ("submit_errors", Json::UInt(self.submit_errors as u64)),
+            ("completed", Json::UInt(self.completed as u64)),
+            ("cancelled", Json::UInt(self.cancelled as u64)),
+            ("failed", Json::UInt(self.failed as u64)),
+            ("wall_clock_s", Json::Num(round3(self.wall_clock_s))),
+            ("throughput_rps", Json::Num(round3(self.throughput_rps))),
+            ("shed_rate", Json::Num(round3(self.shed_rate))),
+            ("samples_delivered", Json::UInt(self.samples_delivered)),
+            ("queue_wait_ms", self.queue_wait_ms.to_json()),
+            ("e2e_ms", self.e2e_ms.to_json()),
+            ("ttfs_ms", self.ttfs_ms.to_json()),
+            ("server", self.server.to_json()),
+            ("slo", slo_to_json(&self.slo)),
+        ])
+    }
+}
+
+fn slo_to_json(report: &SloReport) -> Json {
+    Json::obj(vec![
+        ("pass", Json::Bool(report.pass)),
+        (
+            "checks",
+            Json::Arr(
+                report
+                    .checks
+                    .iter()
+                    .map(|c| {
+                        Json::obj(vec![
+                            ("name", Json::str(c.name)),
+                            ("threshold", Json::Num(round3(c.threshold))),
+                            ("observed", Json::Num(round3(c.observed))),
+                            ("pass", Json::Bool(c.pass)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The whole suite as the `BENCH_service_load.json` document.
+pub fn suite_to_json(mode: &str, reports: &[ScenarioReport]) -> Json {
+    Json::obj(vec![
+        ("benchmark", Json::str("service_load")),
+        ("mode", Json::str(mode)),
+        ("slo_pass", Json::Bool(reports.iter().all(|r| r.slo.pass))),
+        (
+            "scenarios",
+            Json::Arr(reports.iter().map(ScenarioReport::to_json).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_exact_quantiles() {
+        let values: Vec<f64> = (1..=1_000).map(|v| v as f64).collect();
+        let summary = LatencySummary::from_ms(values);
+        assert_eq!(summary.count, 1_000);
+        assert_eq!(summary.p50, 500.0);
+        assert_eq!(summary.p99, 990.0);
+        assert_eq!(summary.p999, 999.0);
+        assert_eq!(summary.max, 1_000.0);
+        assert!((summary.mean - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_series_summarises_to_zero() {
+        let summary = LatencySummary::from_ms(Vec::new());
+        assert_eq!(summary, LatencySummary::default());
+    }
+
+    #[test]
+    fn suite_json_carries_the_verdict() {
+        let json = suite_to_json("smoke", &[]);
+        assert_eq!(
+            json.get("benchmark").unwrap().as_str(),
+            Some("service_load")
+        );
+        assert_eq!(json.get("slo_pass").unwrap().as_bool(), Some(true));
+    }
+}

@@ -1,0 +1,165 @@
+//! SLO definitions and verdicts.
+//!
+//! A [`Slo`] is the contract a scenario is judged against; evaluating it
+//! over a run's observed aggregates yields an [`SloReport`] — one
+//! [`SloCheck`] per objective plus an overall pass/fail verdict that the
+//! bench runner turns into its exit code.
+
+/// Service-level objectives for one scenario. Latency objectives are upper
+/// bounds on client-observed percentiles; throughput is a lower bound on
+/// completed jobs per second of wall clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slo {
+    /// Completed-job throughput must be at least this (jobs/s).
+    pub min_throughput_rps: f64,
+    /// At most this fraction of offered requests may be shed (`503`).
+    pub max_shed_rate: f64,
+    /// p99 queue wait (server-reported, ms) must not exceed this.
+    pub max_queue_wait_p99_ms: f64,
+    /// p99 end-to-end latency (submit → terminal event, ms) upper bound.
+    pub max_e2e_p99_ms: f64,
+    /// p99 time-to-first-sample (submit → first sample event, ms) upper
+    /// bound — the paper's headline "walk, not wait" promise, as an SLO.
+    pub max_ttfs_p99_ms: f64,
+}
+
+/// The observed aggregates an [`Slo`] is checked against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observed {
+    /// Completed jobs per second of wall clock.
+    pub throughput_rps: f64,
+    /// Shed requests / offered requests.
+    pub shed_rate: f64,
+    /// Client-observed p99 queue wait in ms.
+    pub queue_wait_p99_ms: f64,
+    /// Client-observed p99 end-to-end latency in ms.
+    pub e2e_p99_ms: f64,
+    /// Client-observed p99 time-to-first-sample in ms.
+    pub ttfs_p99_ms: f64,
+}
+
+/// One objective's verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloCheck {
+    /// Objective name as it appears in the bench JSON.
+    pub name: &'static str,
+    /// The bound from the [`Slo`].
+    pub threshold: f64,
+    /// The measured value.
+    pub observed: f64,
+    /// Whether the bound held. `NaN` observations fail.
+    pub pass: bool,
+}
+
+/// All objectives' verdicts for one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// Per-objective verdicts.
+    pub checks: Vec<SloCheck>,
+    /// True iff every check passed.
+    pub pass: bool,
+}
+
+impl Slo {
+    /// Judges a run's aggregates against this SLO.
+    pub fn evaluate(&self, observed: &Observed) -> SloReport {
+        let at_least = |name, threshold: f64, value: f64| SloCheck {
+            name,
+            threshold,
+            observed: value,
+            pass: value >= threshold, // NaN compares false => fail
+        };
+        let at_most = |name, threshold: f64, value: f64| SloCheck {
+            name,
+            threshold,
+            observed: value,
+            pass: value <= threshold,
+        };
+        let checks = vec![
+            at_least(
+                "throughput_rps_min",
+                self.min_throughput_rps,
+                observed.throughput_rps,
+            ),
+            at_most("shed_rate_max", self.max_shed_rate, observed.shed_rate),
+            at_most(
+                "queue_wait_p99_ms_max",
+                self.max_queue_wait_p99_ms,
+                observed.queue_wait_p99_ms,
+            ),
+            at_most("e2e_p99_ms_max", self.max_e2e_p99_ms, observed.e2e_p99_ms),
+            at_most(
+                "ttfs_p99_ms_max",
+                self.max_ttfs_p99_ms,
+                observed.ttfs_p99_ms,
+            ),
+        ];
+        let pass = checks.iter().all(|c| c.pass);
+        SloReport { checks, pass }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slo() -> Slo {
+        Slo {
+            min_throughput_rps: 10.0,
+            max_shed_rate: 0.1,
+            max_queue_wait_p99_ms: 100.0,
+            max_e2e_p99_ms: 500.0,
+            max_ttfs_p99_ms: 200.0,
+        }
+    }
+
+    #[test]
+    fn passing_run_passes_every_check() {
+        let report = slo().evaluate(&Observed {
+            throughput_rps: 25.0,
+            shed_rate: 0.0,
+            queue_wait_p99_ms: 12.0,
+            e2e_p99_ms: 80.0,
+            ttfs_p99_ms: 15.0,
+        });
+        assert!(report.pass);
+        assert_eq!(report.checks.len(), 5);
+        assert!(report.checks.iter().all(|c| c.pass));
+    }
+
+    #[test]
+    fn each_violation_fails_its_own_check_only() {
+        let report = slo().evaluate(&Observed {
+            throughput_rps: 25.0,
+            shed_rate: 0.5, // violated
+            queue_wait_p99_ms: 12.0,
+            e2e_p99_ms: 80.0,
+            ttfs_p99_ms: 15.0,
+        });
+        assert!(!report.pass);
+        let failed: Vec<_> = report
+            .checks
+            .iter()
+            .filter(|c| !c.pass)
+            .map(|c| c.name)
+            .collect();
+        assert_eq!(failed, ["shed_rate_max"]);
+    }
+
+    #[test]
+    fn nan_observations_fail() {
+        let report = slo().evaluate(&Observed {
+            throughput_rps: f64::NAN,
+            shed_rate: 0.0,
+            queue_wait_p99_ms: 0.0,
+            e2e_p99_ms: 0.0,
+            ttfs_p99_ms: f64::NAN,
+        });
+        assert!(!report.pass);
+        assert_eq!(
+            report.checks.iter().filter(|c| !c.pass).count(),
+            2,
+            "both NaN checks must fail"
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! A self-contained service-under-test: a seeded Barabási–Albert graph
+//! behind [`SimulatedOsn`], a [`SamplingService`], and a loopback
+//! [`GatewayServer`] sized so the *service*, not the harness, is the
+//! bottleneck under the preset scenarios.
+//!
+//! Every scenario gets a **fresh** testbed so the scraped metrics (shed
+//! counts, history-reuse savings, Prometheus counters) belong to that
+//! scenario alone rather than accumulating across the suite.
+
+use crate::scenario::Scenario;
+use std::io;
+use std::time::Duration;
+use wnw_access::SimulatedOsn;
+use wnw_gateway::{GatewayConfig, GatewayServer};
+use wnw_graph::generators::random::barabasi_albert;
+use wnw_service::SamplingService;
+
+/// Edges each newcomer attaches with in the testbed graph.
+const BA_EDGES_PER_NODE: usize = 3;
+/// Graph seed: fixed so the network itself is identical across runs and
+/// across scenarios — only the workload varies.
+const GRAPH_SEED: u64 = 0x0517_BEEF;
+
+/// Launches a fresh gateway over a `nodes`-node simulated OSN, bound to an
+/// OS-assigned loopback port. The caller owns the server (and should
+/// `shutdown()` it once the run drains).
+pub fn launch(nodes: usize) -> io::Result<GatewayServer<SimulatedOsn>> {
+    let graph = barabasi_albert(nodes, BA_EDGES_PER_NODE, GRAPH_SEED)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("testbed graph: {e}")))?;
+    let service = SamplingService::builder(SimulatedOsn::new(graph))
+        .pool_threads(2)
+        .max_in_flight(256)
+        .build();
+    let config = GatewayConfig {
+        // Each streaming client holds a worker for its job's life; the
+        // presets offer tens of concurrent streams at burst peaks.
+        workers: 24,
+        backlog: 64,
+        // Short claim TTL: a job whose stream-open was shed should release
+        // its admission slot quickly instead of squatting for the default
+        // 60 s.
+        claim_ttl: Duration::from_secs(2),
+        ..GatewayConfig::default()
+    };
+    GatewayServer::bind_with(service, "127.0.0.1:0", config)
+}
+
+/// Launches a fresh testbed sized for `scenario`, runs it, and tears the
+/// server down. The returned report is the scenario's bench row.
+pub fn run_scenario(scenario: &Scenario) -> io::Result<crate::report::ScenarioReport> {
+    let server = launch(scenario.nodes)?;
+    let report = crate::driver::run_scenario_on(server.local_addr(), scenario);
+    server.shutdown();
+    report
+}

@@ -6,7 +6,8 @@
 //! `rand = { package = "wnw-rand", path = "crates/rng" }`, which lets every
 //! crate keep writing `use rand::Rng` unchanged. The surface is deliberately
 //! small — [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen`],
-//! [`Rng::gen_range`], [`Rng::gen_bool`], and [`seq::SliceRandom`] — and the
+//! [`Rng::gen_range`], [`Rng::gen_bool`], [`seq::SliceRandom`], plus the
+//! workspace's own [`zipf::Zipf`] skew distribution — and the
 //! semantics match the real crate (half-open ranges, unbiased integer
 //! sampling, 53-bit uniform floats, Fisher–Yates shuffling).
 //!
@@ -23,6 +24,8 @@
 #![warn(missing_docs)]
 
 use std::ops::Range;
+
+pub mod zipf;
 
 /// A source of random 64-bit words. The base trait every generator implements.
 pub trait RngCore {

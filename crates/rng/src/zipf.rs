@@ -1,0 +1,175 @@
+//! A seeded, std-only Zipf distribution over ranks `1..=n`.
+//!
+//! `P(rank = k) ∝ k^{-s}`: the discrete power law that models hot-key skew
+//! in real request streams (a handful of celebrity nodes receive most of
+//! the traffic). Sampling is inverse-CDF over a table precomputed at
+//! construction — one uniform draw plus a binary search per sample — so a
+//! `Zipf` is cheap to sample from and exactly reproducible for a given
+//! `(n, s, seed)` triple, which is what the workload-replay harness's
+//! determinism contract rests on.
+
+use crate::{Rng, RngCore};
+
+/// A Zipf(`n`, `s`) distribution over the ranks `1..=n`.
+///
+/// ```
+/// use wnw_rand::rngs::StdRng;
+/// use wnw_rand::zipf::Zipf;
+/// use wnw_rand::SeedableRng;
+///
+/// let zipf = Zipf::new(100, 1.1);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!((1..=100).contains(&rank));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// `cdf[k-1] = P(rank <= k)`, normalized so the last entry is 1.0.
+    cdf: Vec<f64>,
+    s: f64,
+}
+
+impl Zipf {
+    /// Builds the distribution over ranks `1..=n` with exponent `s >= 0`.
+    /// `s = 0` degenerates to uniform; larger `s` concentrates more mass on
+    /// the head.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "Zipf exponent must be finite and >= 0"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cdf.push(total);
+        }
+        for entry in &mut cdf {
+            *entry /= total;
+        }
+        // Guard the tail against floating-point shortfall: a uniform draw
+        // infinitesimally below 1.0 must still find a rank.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf, s }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The skew exponent.
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    /// Exact probability of rank `k` (1-based), `0.0` outside `1..=n`.
+    pub fn probability(&self, k: usize) -> f64 {
+        if k == 0 || k > self.cdf.len() {
+            return 0.0;
+        }
+        let upper = self.cdf[k - 1];
+        let lower = if k == 1 { 0.0 } else { self.cdf[k - 2] };
+        upper - lower
+    }
+
+    /// Exact probability mass of the head `1..=k` (closed-form from the
+    /// normalization table): what fraction of draws land on the `k` hottest
+    /// ranks.
+    pub fn head_mass(&self, k: usize) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        self.cdf[k.min(self.cdf.len()) - 1]
+    }
+
+    /// Draws one rank in `1..=n` by inverting the CDF on a uniform draw.
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        // First index whose cumulative mass covers `u`; partition_point
+        // returns `n`-at-most because cdf ends at exactly 1.0 > u.
+        let idx = self.cdf.partition_point(|&c| c <= u);
+        (idx.min(self.cdf.len() - 1) + 1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    /// Closed-form head mass: `H_{k,s} / H_{n,s}`.
+    fn expected_head_mass(n: usize, s: f64, k: usize) -> f64 {
+        let h = |m: usize| (1..=m).map(|i| (i as f64).powf(-s)).sum::<f64>();
+        h(k) / h(n)
+    }
+
+    #[test]
+    fn head_mass_matches_closed_form_for_both_exponents() {
+        // The two exponents the load scenarios use; pin the precomputed
+        // table against an independent closed-form evaluation.
+        for s in [0.8, 1.1] {
+            let n = 1_000;
+            let zipf = Zipf::new(n, s);
+            for k in [1, 10, 100] {
+                let expected = expected_head_mass(n, s, k);
+                let got = zipf.head_mass(k);
+                assert!(
+                    (got - expected).abs() < 1e-12,
+                    "head_mass({k}) at s={s}: {got} vs {expected}"
+                );
+            }
+            // And empirically: draws must land in the head at the predicted
+            // frequency (binomial std dev at 40k draws is well under 0.01).
+            let mut rng = StdRng::seed_from_u64(42);
+            let draws = 40_000;
+            let in_top_10 =
+                (0..draws).filter(|_| zipf.sample(&mut rng) <= 10).count() as f64 / draws as f64;
+            let expected = expected_head_mass(n, s, 10);
+            assert!(
+                (in_top_10 - expected).abs() < 0.02,
+                "empirical top-10 mass at s={s}: {in_top_10} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn s_zero_is_uniform() {
+        let zipf = Zipf::new(4, 0.0);
+        for k in 1..=4 {
+            assert!((zipf.probability(k) - 0.25).abs() < 1e-12);
+        }
+        assert_eq!(zipf.probability(0), 0.0);
+        assert_eq!(zipf.probability(5), 0.0);
+    }
+
+    #[test]
+    fn samples_cover_the_support_and_are_seeded() {
+        let zipf = Zipf::new(8, 1.1);
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        let draws_a: Vec<u64> = (0..2_000).map(|_| zipf.sample(&mut a)).collect();
+        let draws_b: Vec<u64> = (0..2_000).map(|_| zipf.sample(&mut b)).collect();
+        assert_eq!(draws_a, draws_b, "same seed, same sequence");
+        for rank in 1..=8u64 {
+            assert!(draws_a.contains(&rank), "rank {rank} never drawn");
+        }
+        assert!(draws_a.iter().all(|&r| (1..=8).contains(&r)));
+        // Monotone head: rank 1 must be the most frequent.
+        let count = |r| draws_a.iter().filter(|&&x| x == r).count();
+        assert!(count(1) > count(8));
+    }
+
+    #[test]
+    fn single_rank_always_draws_one() {
+        let zipf = Zipf::new(1, 1.1);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| zipf.sample(&mut rng) == 1));
+        assert_eq!(zipf.head_mass(1), 1.0);
+    }
+}

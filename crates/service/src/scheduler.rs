@@ -427,7 +427,8 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
         let job_view = MeteredNetwork::new(Arc::clone(&self.cache));
         let job_counter = job_view.counter_handle();
         let policy = submission.request.history_policy;
-        let key = history_key_of(self.seed_node, &submission.request.job);
+        let start = submission.request.job.start_node.unwrap_or(self.seed_node);
+        let key = history_key_of(start, &submission.request.job);
         let read_key = (policy.reads()).then_some(key.as_ref()).flatten();
         let frozen = read_key.and_then(|key| self.history.snapshot(key));
         if read_key.is_some() {

@@ -243,6 +243,14 @@ impl<N: ThreadedNetwork + 'static> SamplingService<N> {
             self.metrics.on_reject();
             return Err(AdmissionError::Invalid("request has zero walkers"));
         }
+        // When the network knows its size, reject out-of-range start nodes
+        // at the door instead of failing the job mid-walk.
+        if let (Some(start), Some(n)) = (request.job.start_node, self.cache.node_count_hint()) {
+            if start.0 as usize >= n {
+                self.metrics.on_reject();
+                return Err(AdmissionError::Invalid("start_node is not in the network"));
+            }
+        }
         // Reserve an in-flight slot atomically — concurrent submitters
         // cannot race past the cap between a check and an increment.
         if let Err(in_flight) = self.metrics.try_admit(self.config.max_in_flight as u64) {

@@ -1,0 +1,77 @@
+//! Workload replay against a live loopback gateway, with SLO verdicts.
+//!
+//! Runs the four `wnw-loadgen` preset scenarios — `steady`, `burst`,
+//! `hot_key`, `churn` — each against its own freshly launched simulated
+//! OSN + sampling service + HTTP gateway, then prints a verdict table and
+//! writes `BENCH_service_load.json` at the repository root.
+//!
+//! ```text
+//! cargo run --release --example load_replay            # full scale
+//! WNW_BENCH_SMOKE=1 cargo run --example load_replay    # CI-sized
+//! ```
+//!
+//! Every scenario is seeded: rerunning it submits the identical job
+//! multiset (the report's `plan_fingerprint` pins that), while the
+//! open-loop driver guarantees a slow service cannot quietly thin the
+//! offered load — overload shows up as shed requests and queue-wait
+//! tails, which the SLO scores.
+
+use walk_not_wait::loadgen::{run_preset_suite, suite_json, Scale};
+
+fn main() {
+    let scale = if std::env::var_os("WNW_BENCH_SMOKE").is_some() {
+        Scale::Smoke
+    } else {
+        Scale::Full
+    };
+
+    println!("replaying the preset load suite at {scale:?} scale...\n");
+    let reports = match run_preset_suite(scale) {
+        Ok(reports) => reports,
+        Err(err) => {
+            eprintln!("load suite failed: {err}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "{:<8} {:>7} {:>6} {:>9} {:>9} {:>12} {:>12} {:>12}  slo",
+        "scenario", "offered", "shed%", "completed", "jobs/s", "qwait p99", "e2e p99", "ttfs p99"
+    );
+    for r in &reports {
+        println!(
+            "{:<8} {:>7} {:>6.1} {:>9} {:>9.1} {:>9.1} ms {:>9.1} ms {:>9.1} ms  {}",
+            r.scenario,
+            r.offered,
+            r.shed_rate * 100.0,
+            r.completed,
+            r.throughput_rps,
+            r.queue_wait_ms.p99,
+            r.e2e_ms.p99,
+            r.ttfs_ms.p99,
+            if r.slo.pass { "PASS" } else { "FAIL" },
+        );
+    }
+    if let Some(hot) = reports.iter().find(|r| r.scenario == "hot_key") {
+        println!(
+            "\nhot_key cross-job reuse: {} history hits, {} walks reused, {} queries saved \
+             (shared-cache savings {})",
+            hot.server.history_hits,
+            hot.server.history_reused_walks,
+            hot.server.history_reuse_savings,
+            hot.server.shared_cache_savings,
+        );
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_service_load.json");
+    if let Err(err) = std::fs::write(path, suite_json(scale, &reports)) {
+        eprintln!("could not write {path}: {err}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {path}");
+
+    if reports.iter().any(|r| !r.slo.pass) {
+        eprintln!("one or more scenarios missed their SLO");
+        std::process::exit(1);
+    }
+}

@@ -25,6 +25,7 @@
 //! | [`engine`] | `wnw-engine` | concurrent, cache-sharing sampling engine |
 //! | [`service`] | `wnw-service` | multi-job sampling service: scheduling, streaming, metrics |
 //! | [`gateway`] | `wnw-gateway` | std-only HTTP/1.1 streaming frontend over the service |
+//! | [`loadgen`] | `wnw-loadgen` | deterministic open-loop load generator with SLO scoring |
 //! | [`telemetry`] | `wnw-telemetry` | quantile histograms, lifecycle tracing, Prometheus exposition |
 //! | [`analytics`] | `wnw-analytics` | Lambert W, statistics, estimators, bias |
 //! | [`experiments`] | `wnw-experiments` | per-figure reproduction drivers |
@@ -62,6 +63,7 @@ pub use wnw_engine as engine;
 pub use wnw_experiments as experiments;
 pub use wnw_gateway as gateway;
 pub use wnw_graph as graph;
+pub use wnw_loadgen as loadgen;
 pub use wnw_mcmc as mcmc;
 pub use wnw_runtime as runtime;
 pub use wnw_service as service;

@@ -343,3 +343,180 @@ fn gateway_routes_respond_through_the_facade() {
     let snapshot = server.shutdown();
     assert_eq!(snapshot.jobs_cancelled, 1);
 }
+
+/// A client that stalls mid-stream must not delay anyone else: while the
+/// slow reader sleeps on a claimed stream, a second client's
+/// time-to-first-sample stays prompt.
+#[test]
+fn stalled_reader_does_not_delay_other_clients_first_sample() {
+    let service = SamplingService::builder(SimulatedOsn::new(graph(800, 31)))
+        .pool_threads(2)
+        .build();
+    let server = GatewayServer::bind(service, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+
+    let (fast_ttfs, slow_done) = std::thread::scope(|scope| {
+        // The slow reader: a biggish job, two events read, then a long
+        // stall with the stream held open (the socket stays claimed and
+        // its gateway worker stays occupied).
+        let slow = scope.spawn(move || {
+            let accepted = client::post(addr, "/v1/jobs", &job_body(150, 0x51))
+                .unwrap()
+                .json()
+                .unwrap();
+            let path = accepted
+                .get("stream")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string();
+            let mut stream = client::open_stream(addr, &path).unwrap();
+            let mut seen = 0;
+            for event in stream.by_ref() {
+                event.unwrap();
+                seen += 1;
+                if seen == 2 {
+                    std::thread::sleep(Duration::from_millis(1_500));
+                }
+            }
+            // After the stall the reader drains normally; the job must
+            // still reach its terminal event.
+            seen
+        });
+
+        // Give the slow reader time to claim its stream and begin stalling.
+        std::thread::sleep(Duration::from_millis(250));
+
+        // The well-behaved client, submitted mid-stall: its first sample
+        // must arrive long before the stall ends.
+        let submit = Instant::now();
+        let accepted = client::post(addr, "/v1/jobs", &job_body(6, 0x52))
+            .unwrap()
+            .json()
+            .unwrap();
+        let path = accepted
+            .get("stream")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        let mut ttfs = None;
+        // Record TTFS at the first sample, then drain politely so the job
+        // finishes (breaking early would drop the stream and cancel it).
+        for event in client::open_stream(addr, &path).unwrap() {
+            if event.unwrap().get("event").unwrap().as_str() == Some("sample") && ttfs.is_none() {
+                ttfs = Some(submit.elapsed());
+            }
+        }
+        (
+            ttfs.expect("fast client saw a sample"),
+            slow.join().unwrap(),
+        )
+    });
+
+    assert!(
+        fast_ttfs < Duration::from_millis(1_000),
+        "fast client's first sample took {fast_ttfs:?} — delayed by the stalled reader"
+    );
+    assert!(
+        slow_done > 2,
+        "slow reader must drain events after its stall"
+    );
+
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.jobs_completed, 2, "both jobs must complete");
+}
+
+/// A reader that stops reading altogether trips the server's write
+/// timeout once the socket buffers fill: the gateway treats the client as
+/// dead, cancels the job, and refunds its unused budget — the slow-reader
+/// twin of `killed_connection_cancels_the_job_and_refunds_budget`.
+#[test]
+fn write_timeout_cancels_and_refunds_a_wedged_reader() {
+    let service = SamplingService::builder(SimulatedOsn::new(graph(800, 41)))
+        .pool_threads(1)
+        .build();
+    let config = GatewayConfig {
+        // Short write timeout so the wedged reader is detected quickly.
+        write_timeout: Duration::from_millis(300),
+        ..GatewayConfig::default()
+    };
+    let server = GatewayServer::bind_with(service, "127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Only a *full* kernel send buffer makes the server's write block and
+    // trip the timeout, and Linux autotunes those buffers into the
+    // megabytes — so the job must produce event bytes fast even in a debug
+    // build. `one_long_run` emits one sample per walk step (no per-sample
+    // crawl phase), which floods the stream at tens of thousands of
+    // events per second.
+    let budget = 10_000_000u64;
+    let body = Json::obj(vec![
+        ("sampler", Json::str("one_long_run")),
+        ("samples", Json::UInt(100_000_000)),
+        ("seed", Json::UInt(0x61)),
+        ("walkers", Json::UInt(64)),
+        ("budget", Json::UInt(budget)),
+    ]);
+    let accepted = client::post(addr, "/v1/jobs", &body)
+        .unwrap()
+        .json()
+        .unwrap();
+    let path = accepted
+        .get("stream")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+
+    // Claim the stream, read a couple of events to prove it is live, then
+    // wedge: never read again, but keep the socket open. The job keeps
+    // producing, the socket buffers fill, the server's next write blocks
+    // and times out.
+    let mut stream = client::open_stream(addr, &path).unwrap();
+    let mut seen = 0;
+    for event in stream.by_ref() {
+        event.unwrap();
+        seen += 1;
+        if seen >= 2 {
+            break;
+        }
+    }
+    assert_eq!(seen, 2);
+
+    // Filling ~400 KB of kernel buffers at debug-build production rates
+    // takes several seconds; give it generous headroom on a busy machine.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let final_metrics = loop {
+        let metrics = client::get(addr, "/v1/metrics").unwrap().json().unwrap();
+        if metrics.get("jobs_cancelled").unwrap().as_u64() == Some(1) {
+            break metrics;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "gateway never cancelled the wedged reader's job; metrics: {metrics}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    drop(stream);
+
+    let refunded = final_metrics
+        .get("budget_refunded")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert!(
+        refunded > 0 && refunded < budget,
+        "a mid-flight cancel must refund part of the budget (got {refunded})"
+    );
+
+    // The service is healthy afterwards: a follow-up job completes.
+    let (nodes, done) = submit_and_stream(addr, &job_body(5, 0x62));
+    assert_eq!(done.get("status").unwrap().as_str(), Some("completed"));
+    assert_eq!(nodes.len(), 5);
+
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.jobs_cancelled, 1);
+    assert_eq!(snapshot.jobs_completed, 1);
+    assert_eq!(snapshot.budget_refunded, refunded);
+}

@@ -1,0 +1,97 @@
+//! Acceptance bar of the `wnw-loadgen` workload-replay harness, at smoke
+//! scale over real loopback sockets:
+//!
+//! * a driven scenario produces a fully populated report — every offered
+//!   request accounted for, client-side latency summaries present, the
+//!   Prometheus scrape validated and consistent with `/v1/metrics`;
+//! * a seeded rerun of the same scenario submits the identical job
+//!   multiset (plan fingerprints match across independent expansions);
+//! * the `hot_key` preset's Zipf-skewed start nodes concentrate work on
+//!   the celebrity nodes, so cross-job history reuse shows real savings.
+
+use walk_not_wait::loadgen::{scenario, testbed, Scale};
+
+#[test]
+fn steady_smoke_run_reports_and_meets_its_slo() {
+    let steady = scenario::steady(Scale::Smoke);
+    let report = testbed::run_scenario(&steady).expect("steady smoke run");
+
+    // Every offered request is accounted for exactly once.
+    assert!(report.offered > 0, "the plan must offer requests");
+    assert_eq!(
+        report.submitted + report.shed + report.submit_errors,
+        report.offered
+    );
+    assert_eq!(
+        report.completed + report.cancelled + report.failed,
+        report.submitted
+    );
+    assert!(report.completed > 0, "steady load must complete jobs");
+    assert!(report.samples_delivered > 0);
+
+    // The three latency series the SLO judges are populated, with sane
+    // ordering (a job's first sample cannot arrive after its last event).
+    for (name, summary) in [
+        ("queue_wait", &report.queue_wait_ms),
+        ("e2e", &report.e2e_ms),
+        ("ttfs", &report.ttfs_ms),
+    ] {
+        assert!(summary.count > 0, "{name} summary must have observations");
+        assert!(summary.p50 <= summary.p99 && summary.p99 <= summary.max);
+    }
+    assert!(report.ttfs_ms.p50 <= report.e2e_ms.max);
+
+    // The server's view agrees with the client's, and the Prometheus
+    // scrape cross-checks against the JSON metrics document.
+    assert_eq!(report.server.jobs_submitted as usize, report.submitted);
+    assert_eq!(report.server.jobs_completed as usize, report.completed);
+    assert!(report.server.prometheus_series > 0);
+    assert!(
+        report.server.prometheus_consistent,
+        "prometheus scrape must validate and agree with /v1/metrics"
+    );
+
+    // Five objectives, each judged.
+    assert_eq!(report.slo.checks.len(), 5);
+    assert!(
+        report.slo.pass,
+        "steady smoke must meet its SLO: {:?}",
+        report.slo.checks
+    );
+}
+
+#[test]
+fn seeded_rerun_submits_the_identical_job_multiset() {
+    for preset in scenario::presets(Scale::Smoke) {
+        let first = preset.plan();
+        let second = preset.plan();
+        assert_eq!(
+            first.fingerprint(),
+            second.fingerprint(),
+            "{}: rerun fingerprints diverged",
+            preset.name
+        );
+        assert_eq!(first.requests, second.requests);
+    }
+    // And a driven run reports exactly the plan's fingerprint, so the
+    // bench artifact alone proves which workload was replayed.
+    let steady = scenario::steady(Scale::Smoke);
+    let report = testbed::run_scenario(&steady).expect("steady smoke run");
+    assert_eq!(report.plan_fingerprint, steady.plan().fingerprint());
+}
+
+#[test]
+fn hot_key_skew_produces_cross_job_history_reuse() {
+    let hot = scenario::hot_key(Scale::Smoke);
+    let report = testbed::run_scenario(&hot).expect("hot_key smoke run");
+    assert!(report.completed > 0);
+    assert!(
+        report.server.history_hits > 0,
+        "Zipf-skewed shared_publish jobs must hit the shared walk history"
+    );
+    assert!(
+        report.server.history_reuse_savings > 0,
+        "history reuse must save real queries (got {:?})",
+        report.server
+    );
+}
