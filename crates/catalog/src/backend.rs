@@ -1,0 +1,188 @@
+//! The [`SocialNetwork`] adapter that puts a [`CsrGraph`] behind the
+//! restricted query interface.
+//!
+//! [`CatalogNetwork`] is the catalog substrate's answer to
+//! [`SimulatedOsn`](wnw_access::SimulatedOsn): the engine, service, gateway,
+//! and loadgen testbed all take `N: SocialNetwork`, so swapping the
+//! per-node-Vec simulator for a CSR catalog is a one-line change at the
+//! composition site — nothing above the access layer notices. Queries are
+//! metered by the same [`QueryCounter`] (unique-node cost, budgets,
+//! attribute reads) as every other backend.
+
+use crate::csr::CsrGraph;
+use std::sync::Arc;
+use wnw_access::{AccessError, QueryBudget, QueryCounter, QueryStats, SocialNetwork};
+use wnw_graph::NodeId;
+
+/// A metered [`SocialNetwork`] backed by an immutable [`CsrGraph`].
+///
+/// Cloning is cheap and shares the graph and the query counter, so several
+/// samplers can draw from one metered session — the same sharing contract
+/// as [`SimulatedOsn`](wnw_access::SimulatedOsn).
+#[derive(Debug, Clone)]
+pub struct CatalogNetwork {
+    graph: Arc<CsrGraph>,
+    counter: Arc<QueryCounter>,
+    seed_node: NodeId,
+}
+
+impl CatalogNetwork {
+    /// Wraps `graph` with an unlimited budget and node 0 as the seed.
+    pub fn new(graph: CsrGraph) -> Self {
+        Self::from_arc(Arc::new(graph))
+    }
+
+    /// Wraps an already-shared graph (e.g. one catalog serving several
+    /// independently-metered networks) with an unlimited budget.
+    pub fn from_arc(graph: Arc<CsrGraph>) -> Self {
+        CatalogNetwork {
+            graph,
+            counter: Arc::new(QueryCounter::unlimited()),
+            seed_node: NodeId(0),
+        }
+    }
+
+    /// Chooses the node returned by [`SocialNetwork::seed_node`].
+    pub fn with_seed_node(mut self, v: NodeId) -> Self {
+        self.seed_node = v;
+        self
+    }
+
+    /// Replaces the counter with a fresh one enforcing `budget`.
+    pub fn with_budget(mut self, budget: QueryBudget) -> Self {
+        self.counter = Arc::new(QueryCounter::with_budget(budget));
+        self
+    }
+
+    /// The underlying CSR graph (ground-truth computations only — samplers
+    /// must not touch this).
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// The shared query counter.
+    pub fn counter(&self) -> &QueryCounter {
+        &self.counter
+    }
+}
+
+impl SocialNetwork for CatalogNetwork {
+    fn neighbors(&self, v: NodeId) -> wnw_access::Result<Vec<NodeId>> {
+        if !self.graph.contains(v) {
+            return Err(AccessError::UnknownNode(v));
+        }
+        self.counter.record_neighbor_query(v)?;
+        Ok(self.graph.fetch_neighbors(v))
+    }
+
+    fn degree(&self, v: NodeId) -> wnw_access::Result<usize> {
+        if !self.graph.contains(v) {
+            return Err(AccessError::UnknownNode(v));
+        }
+        // Same charge as a neighbors() fetch (the interface returns the
+        // full list), but CSR answers without materializing it.
+        self.counter.record_neighbor_query(v)?;
+        Ok(self.graph.degree(v))
+    }
+
+    fn attribute(&self, name: &str, v: NodeId) -> wnw_access::Result<f64> {
+        if !self.graph.contains(v) {
+            return Err(AccessError::UnknownNode(v));
+        }
+        // Catalogs store topology only; attribute-bearing experiments use
+        // SimulatedOsn over a full Graph.
+        Err(AccessError::UnknownAttribute(name.to_string()))
+    }
+
+    fn seed_node(&self) -> NodeId {
+        self.seed_node
+    }
+
+    fn query_stats(&self) -> QueryStats {
+        self.counter.stats()
+    }
+
+    fn reset_counters(&self) {
+        self.counter.reset();
+    }
+
+    fn node_count_hint(&self) -> Option<usize> {
+        Some(self.graph.node_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wnw_graph::generators::classic::cycle;
+
+    fn cycle_net(n: usize) -> CatalogNetwork {
+        CatalogNetwork::new(CsrGraph::from_graph(&cycle(n)))
+    }
+
+    #[test]
+    fn neighbors_are_metered_with_unique_node_cost() {
+        let net = cycle_net(6);
+        assert_eq!(
+            net.neighbors(NodeId(0)).unwrap(),
+            vec![NodeId(1), NodeId(5)]
+        );
+        assert_eq!(net.query_cost(), 1);
+        net.neighbors(NodeId(0)).unwrap();
+        assert_eq!(net.query_cost(), 1); // revisit is free
+        assert_eq!(net.degree(NodeId(1)).unwrap(), 2);
+        assert_eq!(net.query_cost(), 2);
+        assert_eq!(net.query_stats().api_calls, 3);
+    }
+
+    #[test]
+    fn unknown_node_is_rejected_not_panicked() {
+        let net = cycle_net(3);
+        assert_eq!(
+            net.neighbors(NodeId(9)).unwrap_err(),
+            AccessError::UnknownNode(NodeId(9))
+        );
+        assert!(net.degree(NodeId(9)).is_err());
+        assert_eq!(net.query_cost(), 0);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let net = cycle_net(10).with_budget(QueryBudget(2));
+        net.neighbors(NodeId(0)).unwrap();
+        net.neighbors(NodeId(1)).unwrap();
+        assert!(matches!(
+            net.neighbors(NodeId(2)),
+            Err(AccessError::BudgetExhausted { budget: 2 })
+        ));
+        // Already-paid nodes stay readable.
+        assert!(net.neighbors(NodeId(0)).is_ok());
+    }
+
+    #[test]
+    fn attributes_are_absent_by_contract() {
+        let net = cycle_net(4);
+        assert!(matches!(
+            net.attribute("stars", NodeId(1)),
+            Err(AccessError::UnknownAttribute(_))
+        ));
+        assert!(matches!(
+            net.attribute("stars", NodeId(99)),
+            Err(AccessError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn clones_share_graph_and_counter() {
+        let net = cycle_net(5).with_seed_node(NodeId(3));
+        let other = net.clone();
+        net.neighbors(NodeId(0)).unwrap();
+        other.neighbors(NodeId(1)).unwrap();
+        assert_eq!(net.query_cost(), 2);
+        assert_eq!(other.query_cost(), 2);
+        assert_eq!(other.seed_node(), NodeId(3));
+        assert_eq!(net.node_count_hint(), Some(5));
+        net.reset_counters();
+        assert_eq!(other.query_cost(), 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! The per-node-`Vec` adjacency baseline the CSR substrate is measured
+//! against.
+//!
+//! [`AdjListGraph`] is the layout `wnw-graph`'s builders accumulate into and
+//! the one most quick graph implementations reach for: one heap-allocated
+//! `Vec<u32>` per node. It is deliberately kept in-tree — not as a second
+//! production substrate, but as the honest yardstick for
+//! `benches/graph_substrate.rs`: every per-node `Vec` costs a 24-byte
+//! header, an allocator chunk (~16 bytes of bookkeeping), and whatever slack
+//! geometric growth left behind, and every neighbor access chases a pointer
+//! into a scattered heap page. The bench quantifies exactly how much of that
+//! tax [`CsrGraph`] removes.
+
+use crate::csr::{CsrGraph, ALLOC_CHUNK_OVERHEAD};
+use wnw_graph::{Graph, NodeId};
+
+/// Heap bytes of a `Vec<T>`'s header on a 64-bit target (ptr, len, cap).
+const VEC_HEADER_BYTES: usize = 24;
+
+/// An undirected graph stored as one `Vec<u32>` neighbor list per node —
+/// the allocation-heavy layout the CSR substrate replaces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdjListGraph {
+    lists: Vec<Vec<u32>>,
+}
+
+impl AdjListGraph {
+    /// Builds the adjacency-list form of `g` by pushing one edge at a time,
+    /// the way an incremental generator or streaming loader would — so the
+    /// per-node `Vec`s grow geometrically and carry realistic slack
+    /// capacity rather than a hindsight-perfect exact fit.
+    pub fn from_graph(g: &Graph) -> Self {
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); g.node_count()];
+        for v in g.nodes() {
+            for &u in g.neighbors(v) {
+                if v.0 < u.0 {
+                    lists[v.index()].push(u.0);
+                    lists[u.index()].push(v.0);
+                }
+            }
+        }
+        for list in &mut lists {
+            list.sort_unstable();
+        }
+        AdjListGraph { lists }
+    }
+
+    /// Builds the adjacency-list form of a CSR graph (same incremental-push
+    /// policy as [`from_graph`](Self::from_graph)).
+    pub fn from_csr(g: &CsrGraph) -> Self {
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); g.node_count()];
+        for v in 0..g.node_count() as u32 {
+            for &u in g.neighbor_slice(NodeId(v)) {
+                if v < u {
+                    lists[v as usize].push(u);
+                    lists[u as usize].push(v);
+                }
+            }
+        }
+        for list in &mut lists {
+            list.sort_unstable();
+        }
+        AdjListGraph { lists }
+    }
+
+    /// Number of nodes `|V|`.
+    pub fn node_count(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Number of undirected edges `|E|`.
+    pub fn edge_count(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Degree `d(v)`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.lists[v.index()].len()
+    }
+
+    /// The neighbor list `N(v)` as a borrowed slice, sorted ascending.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn neighbor_slice(&self, v: NodeId) -> &[u32] {
+        &self.lists[v.index()]
+    }
+
+    /// The `i`-th neighbor of `v`, or `None` past the degree.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn nth_neighbor(&self, v: NodeId, i: usize) -> Option<NodeId> {
+        self.lists[v.index()].get(i).map(|&u| NodeId(u))
+    }
+
+    /// An owned copy of `N(v)` as typed [`NodeId`]s — the
+    /// [`SocialNetwork`](wnw_access::SocialNetwork) contract's return shape
+    /// and the baseline query path the substrate bench measures.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn fetch_neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        self.lists[v.index()].iter().map(|&u| NodeId(u)).collect()
+    }
+
+    /// Resident heap bytes under the documented allocation model: the
+    /// outer `Vec`'s header, chunk overhead, and capacity, plus — per
+    /// node — a 24-byte inner-`Vec` header (stored inline in the outer
+    /// array), the inner capacity in bytes, and one
+    /// [`ALLOC_CHUNK_OVERHEAD`] per non-empty list. This is the number the
+    /// substrate bench divides by `|E|` to get bytes/edge.
+    pub fn resident_bytes(&self) -> usize {
+        let outer =
+            VEC_HEADER_BYTES + ALLOC_CHUNK_OVERHEAD + self.lists.capacity() * VEC_HEADER_BYTES;
+        let inner: usize = self
+            .lists
+            .iter()
+            .map(|l| {
+                if l.capacity() == 0 {
+                    0
+                } else {
+                    l.capacity() * std::mem::size_of::<u32>() + ALLOC_CHUNK_OVERHEAD
+                }
+            })
+            .sum();
+        outer + inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wnw_graph::generators::random::barabasi_albert;
+
+    #[test]
+    fn matches_source_graph_topology() {
+        let src = barabasi_albert(300, 3, 7).unwrap();
+        let adj = AdjListGraph::from_graph(&src);
+        assert_eq!(adj.node_count(), src.node_count());
+        assert_eq!(adj.edge_count(), src.edge_count());
+        for v in src.nodes() {
+            assert_eq!(adj.degree(v), src.degree(v));
+            let expected: Vec<u32> = src.neighbors(v).iter().map(|u| u.0).collect();
+            assert_eq!(adj.neighbor_slice(v), &expected[..]);
+        }
+    }
+
+    #[test]
+    fn from_csr_and_from_graph_agree() {
+        let src = barabasi_albert(200, 2, 9).unwrap();
+        let csr = CsrGraph::from_graph(&src);
+        assert_eq!(AdjListGraph::from_csr(&csr), AdjListGraph::from_graph(&src));
+    }
+
+    #[test]
+    fn accessors_behave() {
+        let src = barabasi_albert(50, 2, 1).unwrap();
+        let adj = AdjListGraph::from_graph(&src);
+        let v = NodeId(10);
+        assert_eq!(
+            adj.nth_neighbor(v, 0),
+            Some(NodeId(adj.neighbor_slice(v)[0]))
+        );
+        assert_eq!(adj.nth_neighbor(v, adj.degree(v)), None);
+        let owned = adj.fetch_neighbors(v);
+        assert_eq!(owned.len(), adj.degree(v));
+    }
+
+    #[test]
+    fn resident_bytes_exceeds_csr_at_scale() {
+        let src = barabasi_albert(5_000, 3, 3).unwrap();
+        let adj = AdjListGraph::from_graph(&src);
+        let csr = CsrGraph::from_graph(&src);
+        // The whole point of the substrate: per-node Vecs pay headers,
+        // chunk overhead, and growth slack that the two-array CSR doesn't.
+        assert!(adj.resident_bytes() > 2 * csr.resident_bytes());
+    }
+}

@@ -1,0 +1,386 @@
+//! The flat two-array CSR graph — the canonical large-scale substrate.
+//!
+//! [`CsrGraph`] stores an immutable, simple, undirected graph as exactly two
+//! contiguous arrays: `offsets` (one `u64` per node, plus a sentinel) and
+//! `neighbors` (one `u32` per directed edge endpoint, each undirected edge
+//! appearing twice). That layout is what every serious graph engine
+//! converges on, and for good reason:
+//!
+//! * `degree(v)` is one subtraction, `neighbors(v)` is one contiguous
+//!   slice, and `nth_neighbor(v, i)` is one indexed load — the three
+//!   operations a random walk performs millions of times;
+//! * there are exactly **two** heap allocations however many nodes the
+//!   graph has, versus one `Vec` per node in an adjacency-list layout —
+//!   no per-node 24-byte headers, no allocator chunk overhead, no
+//!   pointer-chasing into scattered heap pages;
+//! * the two arrays serialize to disk as-is, which is what makes the
+//!   binary [`format`](crate::format) loader a flat copy instead of a
+//!   million tiny reconstructions.
+//!
+//! The in-memory cost is `8(n+1) + 8E` bytes (with `E` undirected edges);
+//! the [per-node-Vec baseline](crate::baseline::AdjListGraph) measured by
+//! `benches/graph_substrate.rs` pays well over twice that at scale.
+
+use crate::error::CatalogError;
+use wnw_graph::{Graph, GraphBuilder, NodeId};
+
+/// An immutable compressed-sparse-row undirected graph.
+///
+/// Neighbor lists are sorted by node id, and each undirected edge appears
+/// in both endpoints' lists. Construct one with [`CsrGraph::from_graph`],
+/// [`CsrGraph::from_sorted_edges`], a [`GraphSpec`](crate::GraphSpec), or by
+/// [loading a catalog](crate::format::load).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v + 1]` indexes `neighbors` for node `v`;
+    /// `offsets.len() == node_count + 1` and `offsets[0] == 0`.
+    offsets: Vec<u64>,
+    /// Concatenated, per-node-sorted neighbor ids.
+    neighbors: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Converts any [`wnw_graph::Graph`] (generator output, parsed edge
+    /// list, snapshot) into the flat CSR layout. Attributes are not
+    /// carried over — catalogs store topology only.
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(2 * g.edge_count());
+        let mut acc = 0u64;
+        offsets.push(0);
+        for v in g.nodes() {
+            let list = g.neighbors(v);
+            acc += list.len() as u64;
+            offsets.push(acc);
+            neighbors.extend(list.iter().map(|u| u.0));
+        }
+        CsrGraph { offsets, neighbors }
+    }
+
+    /// Builds a CSR graph from a deduplicated undirected edge list over
+    /// `node_count` nodes. Each edge must appear exactly once, in either
+    /// orientation; self-loops and out-of-range endpoints are rejected.
+    /// Duplicate edges are *not* detected (they would double the edge).
+    pub fn from_sorted_edges(
+        node_count: usize,
+        edges: &[(u32, u32)],
+    ) -> Result<Self, CatalogError> {
+        let mut degrees = vec![0u64; node_count];
+        for &(u, v) in edges {
+            if u as usize >= node_count || v as usize >= node_count {
+                return Err(CatalogError::InvalidInput(format!(
+                    "edge ({u}, {v}) out of range for {node_count} nodes"
+                )));
+            }
+            if u == v {
+                return Err(CatalogError::InvalidInput(format!("self-loop at node {u}")));
+            }
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(node_count + 1);
+        let mut acc = 0u64;
+        offsets.push(0);
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u64> = offsets[..node_count].to_vec();
+        let mut neighbors = vec![0u32; acc as usize];
+        for &(u, v) in edges {
+            neighbors[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        for v in 0..node_count {
+            let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+            neighbors[lo..hi].sort_unstable();
+        }
+        Ok(CsrGraph { offsets, neighbors })
+    }
+
+    /// Reassembles a CSR graph from raw arrays (the catalog loader's entry
+    /// point), validating every structural invariant so the panic-free
+    /// accessors below stay honest on untrusted input:
+    ///
+    /// * `offsets` is non-empty, starts at 0, and is monotone,
+    /// * the final offset equals `neighbors.len()`,
+    /// * `neighbors.len()` is even (each undirected edge appears twice),
+    /// * every neighbor id is a valid node index.
+    pub fn from_parts(offsets: Vec<u64>, neighbors: Vec<u32>) -> Result<Self, CatalogError> {
+        let corrupt = |detail: String| Err(CatalogError::Corrupt { detail });
+        let Some((&first, rest)) = offsets.split_first() else {
+            return corrupt("offsets array is empty".into());
+        };
+        if first != 0 {
+            return corrupt(format!("offsets[0] is {first}, expected 0"));
+        }
+        let mut prev = 0u64;
+        for (i, &o) in rest.iter().enumerate() {
+            if o < prev {
+                return corrupt(format!(
+                    "offsets not monotone at node {}: {prev} > {o}",
+                    i + 1
+                ));
+            }
+            prev = o;
+        }
+        if prev != neighbors.len() as u64 {
+            return corrupt(format!(
+                "final offset {prev} does not match neighbor array length {}",
+                neighbors.len()
+            ));
+        }
+        if !neighbors.len().is_multiple_of(2) {
+            return corrupt(format!(
+                "neighbor array length {} is odd (each undirected edge must appear twice)",
+                neighbors.len()
+            ));
+        }
+        let node_count = offsets.len() - 1;
+        if let Some(&bad) = neighbors.iter().find(|&&u| u as usize >= node_count) {
+            return corrupt(format!(
+                "neighbor id {bad} out of range for {node_count} nodes"
+            ));
+        }
+        Ok(CsrGraph { offsets, neighbors })
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.node_count() == 0
+    }
+
+    /// Returns `true` if `v` is a valid node of this graph.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        v.index() < self.node_count()
+    }
+
+    /// Degree `d(v)` — one subtraction, no pointer chase.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let i = v.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// The neighbor list `N(v)` as a borrowed contiguous slice of raw node
+    /// ids, sorted ascending. Zero-copy: this is the accessor walk engines
+    /// should prefer over materializing an owned list.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbor_slice(&self, v: NodeId) -> &[u32] {
+        let i = v.index();
+        &self.neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// The `i`-th neighbor of `v` (sorted order), or `None` if `i` is past
+    /// the degree — the O(1) walk-step primitive.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn nth_neighbor(&self, v: NodeId, i: usize) -> Option<NodeId> {
+        let base = self.offsets[v.index()] as usize;
+        if base + i < self.offsets[v.index() + 1] as usize {
+            Some(NodeId(self.neighbors[base + i]))
+        } else {
+            None
+        }
+    }
+
+    /// An owned copy of `N(v)` as typed [`NodeId`]s — what the
+    /// [`SocialNetwork`](wnw_access::SocialNetwork) contract returns.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn fetch_neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        self.neighbor_slice(v).iter().map(|&u| NodeId(u)).collect()
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count())
+            .map(|v| self.degree(NodeId(v as u32)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average degree `2|E| / |V|`.
+    pub fn average_degree(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.neighbors.len() as f64 / self.node_count() as f64
+    }
+
+    /// Resident heap bytes of this graph: the two arrays' capacities plus
+    /// two allocator chunk headers ([`ALLOC_CHUNK_OVERHEAD`] each). Used by
+    /// the substrate bench's bytes-per-edge comparison.
+    pub fn resident_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<u64>()
+            + self.neighbors.capacity() * std::mem::size_of::<u32>()
+            + 2 * ALLOC_CHUNK_OVERHEAD
+    }
+
+    /// The raw offsets array (`node_count + 1` entries) — the catalog
+    /// writer's view.
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The raw packed neighbor array (`2|E|` entries) — the catalog
+    /// writer's view.
+    pub fn neighbor_array(&self) -> &[u32] {
+        &self.neighbors
+    }
+
+    /// Expands back into a [`wnw_graph::Graph`] (for ground-truth metrics
+    /// or interop with the experiment harness). O(E log E): the builder
+    /// re-sorts the edge list.
+    pub fn to_graph(&self) -> Graph {
+        let mut b = GraphBuilder::with_capacity(self.node_count(), self.edge_count());
+        b.ensure_nodes(self.node_count());
+        for v in 0..self.node_count() as u32 {
+            for &u in self.neighbor_slice(NodeId(v)) {
+                if v < u {
+                    b.add_edge(v, u);
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+/// Estimated per-allocation overhead charged by `malloc`-style allocators
+/// (chunk header plus alignment rounding) — the honest tax every one of an
+/// adjacency list's per-node `Vec`s pays and the two-array CSR pays twice
+/// in total. Used by both substrates' `resident_bytes` models.
+pub const ALLOC_CHUNK_OVERHEAD: usize = 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wnw_graph::generators::classic::cycle;
+    use wnw_graph::generators::random::barabasi_albert;
+
+    fn path4() -> CsrGraph {
+        CsrGraph::from_sorted_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn from_sorted_edges_builds_expected_layout() {
+        let g = path4();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.neighbor_slice(NodeId(0)), &[1]);
+        assert_eq!(g.neighbor_slice(NodeId(1)), &[0, 2]);
+        assert_eq!(g.degree(NodeId(2)), 2);
+        assert_eq!(g.nth_neighbor(NodeId(1), 0), Some(NodeId(0)));
+        assert_eq!(g.nth_neighbor(NodeId(1), 1), Some(NodeId(2)));
+        assert_eq!(g.nth_neighbor(NodeId(1), 2), None);
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.average_degree() - 1.5).abs() < 1e-12);
+        assert!(g.contains(NodeId(3)));
+        assert!(!g.contains(NodeId(4)));
+    }
+
+    #[test]
+    fn from_sorted_edges_rejects_bad_input() {
+        assert!(matches!(
+            CsrGraph::from_sorted_edges(3, &[(0, 3)]),
+            Err(CatalogError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            CsrGraph::from_sorted_edges(3, &[(1, 1)]),
+            Err(CatalogError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn from_graph_matches_source_exactly() {
+        let src = barabasi_albert(500, 3, 11).unwrap();
+        let csr = CsrGraph::from_graph(&src);
+        assert_eq!(csr.node_count(), src.node_count());
+        assert_eq!(csr.edge_count(), src.edge_count());
+        for v in src.nodes() {
+            assert_eq!(csr.degree(v), src.degree(v));
+            let expected: Vec<u32> = src.neighbors(v).iter().map(|u| u.0).collect();
+            assert_eq!(csr.neighbor_slice(v), &expected[..]);
+        }
+    }
+
+    #[test]
+    fn to_graph_roundtrips() {
+        let src = barabasi_albert(200, 3, 5).unwrap();
+        let back = CsrGraph::from_graph(&src).to_graph();
+        assert_eq!(back.node_count(), src.node_count());
+        assert_eq!(back.edge_count(), src.edge_count());
+        for v in src.nodes() {
+            assert_eq!(back.neighbors(v), src.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn from_parts_validates_structure() {
+        // Valid: the path graph's own parts.
+        let g = path4();
+        let rebuilt =
+            CsrGraph::from_parts(g.offsets().to_vec(), g.neighbor_array().to_vec()).unwrap();
+        assert_eq!(rebuilt, g);
+
+        let corrupt = |offsets: Vec<u64>, neighbors: Vec<u32>| {
+            matches!(
+                CsrGraph::from_parts(offsets, neighbors),
+                Err(CatalogError::Corrupt { .. })
+            )
+        };
+        assert!(corrupt(vec![], vec![]));
+        assert!(corrupt(vec![1, 2], vec![0, 0]));
+        assert!(corrupt(vec![0, 2, 1], vec![0, 1]));
+        assert!(corrupt(vec![0, 4], vec![0, 0]));
+        assert!(corrupt(vec![0, 1], vec![0])); // odd neighbor count
+        assert!(corrupt(vec![0, 1, 2], vec![0, 7])); // neighbor out of range
+    }
+
+    #[test]
+    fn empty_graph_degenerates_cleanly() {
+        let g = CsrGraph::from_sorted_edges(0, &[]).unwrap();
+        assert!(g.is_empty());
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn fetch_neighbors_copies_typed_ids() {
+        let g = CsrGraph::from_graph(&cycle(5));
+        assert_eq!(g.fetch_neighbors(NodeId(0)), vec![NodeId(1), NodeId(4)]);
+    }
+
+    #[test]
+    fn resident_bytes_counts_both_arrays() {
+        let g = path4();
+        assert!(g.resident_bytes() >= 5 * 8 + 6 * 4);
+    }
+}

@@ -37,6 +37,10 @@ pub enum Priority {
 }
 
 impl Priority {
+    /// Number of priority levels (the scheduler's pending queue keeps one
+    /// FIFO bucket per level).
+    pub const COUNT: usize = 3;
+
     /// Rounds this priority receives per scheduling cycle.
     pub fn weight(&self) -> usize {
         match self {

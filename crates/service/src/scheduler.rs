@@ -83,6 +83,105 @@ impl Submission {
 /// job can be passed over by later high-priority arrivals).
 const AGED_PROMOTION_STRIDE: u64 = 4;
 
+/// The pending queue, indexed by priority so promotion never scans.
+///
+/// Submissions live in one FIFO bucket per [`Priority`], each entry stamped
+/// with a global arrival sequence number. The promotion sweep used to run an
+/// O(pending) `max_by` over the whole queue per promotion — under loadgen's
+/// burst presets the queue holds hundreds of jobs, making each promotion a
+/// linear rescan of state that never changed. With buckets, both promotion
+/// policies are O(1):
+///
+/// * **priority pick** — front of the highest-priority non-empty bucket
+///   (FIFO within a priority, because pushes append in arrival order);
+/// * **aged pick** — the front with the smallest sequence number across the
+///   (at most 3) buckets, i.e. the globally oldest submission.
+///
+/// Generic over the payload so the equivalence tests below can drive it
+/// with plain integers.
+struct PendingQueue<T> {
+    /// One FIFO per priority, indexed by [`bucket_index`].
+    buckets: [VecDeque<(u64, T)>; Priority::COUNT],
+    /// Next arrival sequence number (total pushes so far).
+    next_seq: u64,
+}
+
+/// The bucket a priority maps to, ordered so a higher index means a higher
+/// priority. Exhaustive match: adding a `Priority` variant without growing
+/// [`Priority::COUNT`] fails to compile here.
+fn bucket_index(priority: Priority) -> usize {
+    match priority {
+        Priority::Low => 0,
+        Priority::Normal => 1,
+        Priority::High => 2,
+    }
+}
+
+impl<T> PendingQueue<T> {
+    fn new() -> Self {
+        PendingQueue {
+            buckets: std::array::from_fn(|_| VecDeque::new()),
+            next_seq: 0,
+        }
+    }
+
+    /// Total queued submissions (used by the equivalence tests).
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.buckets.iter().map(VecDeque::len).sum()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.buckets.iter().all(VecDeque::is_empty)
+    }
+
+    /// Appends `item` at its priority's FIFO tail, stamping arrival order.
+    fn push(&mut self, priority: Priority, item: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.buckets[bucket_index(priority)].push_back((seq, item));
+    }
+
+    /// Removes and returns the next submission to promote: the oldest
+    /// overall when `aged`, otherwise the oldest of the highest non-empty
+    /// priority. O(1) either way.
+    fn pop_next(&mut self, aged: bool) -> Option<T> {
+        let bucket = if aged {
+            // Globally oldest = smallest sequence number among the fronts.
+            self.buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| b.front().map(|(seq, _)| (*seq, i)))
+                .min()
+                .map(|(_, i)| i)?
+        } else {
+            (0..self.buckets.len())
+                .rev()
+                .find(|&i| !self.buckets[i].is_empty())?
+        };
+        self.buckets[bucket].pop_front().map(|(_, item)| item)
+    }
+
+    /// Removes every item matching `pred`, returning them in arrival order
+    /// (the order the old linear reap walked them in).
+    fn extract_if<F: FnMut(&T) -> bool>(&mut self, mut pred: F) -> Vec<T> {
+        let mut removed: Vec<(u64, T)> = Vec::new();
+        for bucket in &mut self.buckets {
+            let mut kept = VecDeque::with_capacity(bucket.len());
+            for (seq, item) in bucket.drain(..) {
+                if pred(&item) {
+                    removed.push((seq, item));
+                } else {
+                    kept.push_back((seq, item));
+                }
+            }
+            *bucket = kept;
+        }
+        removed.sort_by_key(|(seq, _)| *seq);
+        removed.into_iter().map(|(_, item)| item).collect()
+    }
+}
+
 /// How long a gated (paused) scheduler parks between wake-ups — also the
 /// worst-case latency for noticing a resume.
 const PAUSE_POLL: Duration = Duration::from_millis(25);
@@ -240,7 +339,7 @@ pub(crate) struct Scheduler<N: ThreadedNetwork + 'static> {
     paused: Arc<AtomicBool>,
     rx: Receiver<Submission>,
     rx_open: bool,
-    pending: VecDeque<Submission>,
+    pending: PendingQueue<Submission>,
     active: Vec<ActiveJob>,
     /// Lifetime promotion count, driving the queue-aging stride.
     promotions: u64,
@@ -270,7 +369,7 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
             paused,
             rx,
             rx_open: true,
-            pending: VecDeque::new(),
+            pending: PendingQueue::new(),
             active: Vec::new(),
             promotions: 0,
         }
@@ -291,7 +390,7 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
                 // the worst-case latency for noticing a resume.
                 if self.rx_open {
                     match self.rx.recv_timeout(PAUSE_POLL) {
-                        Ok(submission) => self.pending.push_back(submission),
+                        Ok(submission) => self.enqueue(submission),
                         Err(RecvTimeoutError::Timeout) => {}
                         Err(RecvTimeoutError::Disconnected) => self.rx_open = false,
                     }
@@ -308,7 +407,7 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
                     }
                     // Idle: block until the next submission (or shutdown).
                     match self.rx.recv() {
-                        Ok(submission) => self.pending.push_back(submission),
+                        Ok(submission) => self.enqueue(submission),
                         Err(_) => self.rx_open = false,
                     }
                 }
@@ -322,11 +421,17 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
     fn ingest(&mut self) {
         while self.rx_open {
             match self.rx.try_recv() {
-                Ok(submission) => self.pending.push_back(submission),
+                Ok(submission) => self.enqueue(submission),
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => self.rx_open = false,
             }
         }
+    }
+
+    /// Files a submission into its priority bucket.
+    fn enqueue(&mut self, submission: Submission) {
+        let priority = submission.request.priority;
+        self.pending.push(priority, submission);
     }
 
     /// Retires queued jobs that died before reaching a walker slot —
@@ -334,24 +439,20 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
     /// their admission capacity immediately instead of holding it until a
     /// scheduler slot frees up, and never pay for a walker-pool build.
     fn reap_pending(&mut self) {
-        let mut i = 0;
-        while i < self.pending.len() {
-            let submission = &self.pending[i];
+        let dead = self.pending.extract_if(|submission| {
+            submission.cancel.load(Ordering::Relaxed)
+                || submission
+                    .deadline_at()
+                    .is_some_and(|d| Instant::now() >= d)
+        });
+        for submission in dead {
+            // Cancellation wins if both conditions hold (same precedence as
+            // the matching check over active jobs).
             let status = if submission.cancel.load(Ordering::Relaxed) {
-                Some(JobStatus::Cancelled)
-            } else if submission
-                .deadline_at()
-                .is_some_and(|d| Instant::now() >= d)
-            {
-                Some(JobStatus::DeadlineExpired)
+                JobStatus::Cancelled
             } else {
-                None
+                JobStatus::DeadlineExpired
             };
-            let Some(status) = status else {
-                i += 1;
-                continue;
-            };
-            let submission = self.pending.remove(i).expect("index in bounds");
             // Pair the gauges exactly like a scheduled job's lifecycle. The
             // job never reached a walker slot, so its whole queued life is
             // its queue wait.
@@ -391,20 +492,7 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
     fn promote(&mut self) {
         while self.active.len() < self.config.max_active.max(1) && !self.pending.is_empty() {
             let aged = self.promotions % AGED_PROMOTION_STRIDE == AGED_PROMOTION_STRIDE - 1;
-            let best = if aged {
-                0
-            } else {
-                self.pending
-                    .iter()
-                    .enumerate()
-                    .max_by(|(ia, a), (ib, b)| {
-                        (a.request.priority, std::cmp::Reverse(ia))
-                            .cmp(&(b.request.priority, std::cmp::Reverse(ib)))
-                    })
-                    .map(|(i, _)| i)
-                    .expect("pending is non-empty")
-            };
-            let submission = self.pending.remove(best).expect("index in bounds");
+            let submission = self.pending.pop_next(aged).expect("pending is non-empty");
             self.promotions += 1;
             let queue_wait = submission.submitted_at.elapsed();
             self.metrics.on_start(queue_wait);
@@ -596,7 +684,101 @@ fn cost_weighted_rounds(weight: usize, cost: Option<f64>, cheapest: Option<f64>)
 
 #[cfg(test)]
 mod tests {
-    use super::cost_weighted_rounds;
+    use super::{cost_weighted_rounds, PendingQueue};
+    use crate::request::Priority;
+
+    /// The pre-bucket promotion policy, kept as the test oracle: a linear
+    /// `max_by` over (priority, earliest-first) on a Vec in arrival order,
+    /// with aged picks taking index 0.
+    struct LinearModel {
+        items: Vec<(Priority, u32)>,
+    }
+
+    impl LinearModel {
+        fn pop_next(&mut self, aged: bool) -> Option<u32> {
+            if self.items.is_empty() {
+                return None;
+            }
+            let best = if aged {
+                0
+            } else {
+                self.items
+                    .iter()
+                    .enumerate()
+                    .max_by(|(ia, (pa, _)), (ib, (pb, _))| {
+                        (pa, std::cmp::Reverse(ia)).cmp(&(pb, std::cmp::Reverse(ib)))
+                    })
+                    .map(|(i, _)| i)
+                    .expect("non-empty")
+            };
+            Some(self.items.remove(best).1)
+        }
+    }
+
+    #[test]
+    fn pending_queue_matches_the_linear_scan_oracle() {
+        let priorities = [Priority::Low, Priority::Normal, Priority::High];
+        let mut queue: PendingQueue<u32> = PendingQueue::new();
+        let mut model = LinearModel { items: Vec::new() };
+        let mut rng: u64 = 0x5EED_CAFE;
+        let mut next_item: u32 = 0;
+        let mut promotions: u64 = 0;
+        for _ in 0..2000 {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let roll = (rng >> 33) as usize;
+            if roll % 5 < 3 || queue.is_empty() {
+                let p = priorities[roll % 3];
+                queue.push(p, next_item);
+                model.items.push((p, next_item));
+                next_item += 1;
+            } else {
+                let aged = promotions % 4 == 3;
+                promotions += 1;
+                assert_eq!(queue.pop_next(aged), model.pop_next(aged));
+            }
+            assert_eq!(queue.len(), model.items.len());
+            assert_eq!(queue.is_empty(), model.items.is_empty());
+        }
+        // Drain both completely, still in lockstep.
+        let mut aged_tick = 0u64;
+        while !queue.is_empty() {
+            let aged = aged_tick % 4 == 3;
+            aged_tick += 1;
+            assert_eq!(queue.pop_next(aged), model.pop_next(aged));
+        }
+        assert!(model.items.is_empty());
+        assert_eq!(queue.pop_next(false), None);
+        assert_eq!(queue.pop_next(true), None);
+    }
+
+    #[test]
+    fn pending_queue_is_fifo_within_priority_and_aged_takes_oldest() {
+        let mut q: PendingQueue<u32> = PendingQueue::new();
+        q.push(Priority::Low, 0);
+        q.push(Priority::High, 1);
+        q.push(Priority::High, 2);
+        q.push(Priority::Normal, 3);
+        assert_eq!(q.pop_next(false), Some(1)); // highest priority, oldest first
+        assert_eq!(q.pop_next(true), Some(0)); // aged: globally oldest
+        assert_eq!(q.pop_next(false), Some(2));
+        assert_eq!(q.pop_next(false), Some(3));
+        assert_eq!(q.pop_next(false), None);
+    }
+
+    #[test]
+    fn pending_queue_extract_if_returns_arrival_order() {
+        let mut q: PendingQueue<u32> = PendingQueue::new();
+        q.push(Priority::High, 10);
+        q.push(Priority::Low, 11);
+        q.push(Priority::Normal, 12);
+        q.push(Priority::High, 13);
+        let removed = q.extract_if(|&item| item != 12);
+        assert_eq!(removed, vec![10, 11, 13]); // arrival order, not bucket order
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_next(false), Some(12));
+    }
 
     #[test]
     fn equal_costs_keep_full_priority_weights() {

@@ -19,6 +19,7 @@
 //! |---|---|---|
 //! | [`graph`] | `wnw-graph` | CSR graph, generators, metrics, I/O |
 //! | [`access`] | `wnw-access` | restricted OSN interface, budgets, rate limits |
+//! | [`catalog`] | `wnw-catalog` | CSR substrate, binary on-disk network catalogs |
 //! | [`mcmc`] | `wnw-mcmc` | SRW/MHRW, convergence, rejection sampling, baselines |
 //! | [`core`] | `wnw-core` | WALK-ESTIMATE (the paper's contribution) |
 //! | [`runtime`] | `wnw-runtime` | persistent round-barrier worker pool (zero-spawn rounds) |
@@ -58,6 +59,7 @@
 
 pub use wnw_access as access;
 pub use wnw_analytics as analytics;
+pub use wnw_catalog as catalog;
 pub use wnw_core as core;
 pub use wnw_engine as engine;
 pub use wnw_experiments as experiments;
@@ -77,6 +79,7 @@ pub mod prelude {
     pub use wnw_analytics::aggregates::{
         estimate_average, relative_error, SampleValue, WeightingScheme,
     };
+    pub use wnw_catalog::{CatalogNetwork, CsrGraph, GraphSpec};
     pub use wnw_core::{
         WalkEstimateConfig, WalkEstimateSampler, WalkEstimateVariant, WalkLengthPolicy,
     };

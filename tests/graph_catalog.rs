@@ -1,0 +1,147 @@
+//! Acceptance bar of the `wnw-catalog` subsystem, through the facade crate:
+//!
+//! * **CSR conformance (property, 3 seeds):** a `CsrGraph` built from a
+//!   seeded BA generator presents exactly the per-node-Vec graph's degree
+//!   sequence and neighbor multisets — the substrate swap changes layout,
+//!   never topology;
+//! * **catalog roundtrip:** save → load through the filesystem is
+//!   lossless, and the loaded graph is byte-for-byte the saved one;
+//! * **spec cache:** `load_or_build_in` builds on a cold directory, loads
+//!   on a warm one, and recovers from a stomped cache file;
+//! * **service on a catalog:** a `SamplingService` over `CatalogNetwork`
+//!   delivers the same accepted-sample multiset as the same service over
+//!   `SimulatedOsn` on the same topology — nothing above the access layer
+//!   can tell the substrates apart.
+
+use std::path::PathBuf;
+use walk_not_wait::catalog::{CatalogSource, GraphModel, GraphSpec};
+use walk_not_wait::graph::generators::random::barabasi_albert;
+use walk_not_wait::prelude::*;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wnwcat-it-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Satellite (c): identical degree sequences and neighbor multisets between
+/// the CSR build and the per-node-Vec graph, across 3 generator seeds.
+#[test]
+fn csr_conforms_to_per_node_vec_graph_at_three_seeds() {
+    for seed in [0xA11CE, 0xB0B, 0xC0FFEE] {
+        let graph = barabasi_albert(2_000, 3, seed).unwrap();
+        let csr = CsrGraph::from_graph(&graph);
+        assert_eq!(csr.node_count(), graph.node_count(), "seed {seed:#x}");
+        assert_eq!(csr.edge_count(), graph.edge_count(), "seed {seed:#x}");
+        for v in graph.nodes() {
+            assert_eq!(
+                csr.degree(v),
+                graph.degree(v),
+                "degree of {v:?}, seed {seed:#x}"
+            );
+            // Both sides keep neighbor lists sorted, so multiset equality
+            // is slice equality.
+            let expected: Vec<u32> = graph.neighbors(v).iter().map(|u| u.0).collect();
+            assert_eq!(
+                csr.neighbor_slice(v),
+                &expected[..],
+                "neighbors of {v:?}, seed {seed:#x}"
+            );
+        }
+    }
+}
+
+/// Satellite (e)'s test-gate leg: catalog save → load → verify roundtrip
+/// through the real filesystem.
+#[test]
+fn catalog_roundtrip_through_filesystem_is_lossless() {
+    let dir = temp_dir("roundtrip");
+    let path = dir.join("roundtrip.wnwcat");
+    let graph = CsrGraph::from_graph(&barabasi_albert(3_000, 3, 0xD15C).unwrap());
+
+    walk_not_wait::catalog::format::save(&graph, &path).unwrap();
+    let loaded = walk_not_wait::catalog::format::load(&path).unwrap();
+    assert_eq!(loaded, graph);
+
+    // Verify the loaded graph is usable, not just equal: walk a few nodes.
+    for v in [0u32, 1, 1_500, 2_999] {
+        let v = walk_not_wait::graph::NodeId(v);
+        assert_eq!(loaded.degree(v), graph.degree(v));
+        assert_eq!(loaded.nth_neighbor(v, 0), graph.nth_neighbor(v, 0));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The spec cache lifecycle: cold build, warm load, corrupt-file recovery.
+#[test]
+fn spec_cache_builds_loads_and_self_heals() {
+    let dir = temp_dir("cache");
+    let spec = GraphSpec::new(
+        "it_cache",
+        GraphModel::BarabasiAlbert { m: 3 },
+        1_000,
+        0xFEED,
+    );
+
+    let (built, src) = spec.load_or_build_in(&dir).unwrap();
+    assert_eq!(src, CatalogSource::Built);
+    let (loaded, src) = spec.load_or_build_in(&dir).unwrap();
+    assert_eq!(src, CatalogSource::Loaded);
+    assert_eq!(built, loaded);
+
+    std::fs::write(spec.path_in(&dir), b"\x00garbage").unwrap();
+    let (healed, src) = spec.load_or_build_in(&dir).unwrap();
+    assert_eq!(src, CatalogSource::Built);
+    assert_eq!(healed, built);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The substrate-indifference guarantee, end to end: the sampling service
+/// produces the identical accepted-sample multiset whether the network
+/// under it is `SimulatedOsn` (per-node-Vec) or `CatalogNetwork` (CSR) on
+/// the same topology — and pays the same unique-node query cost.
+#[test]
+fn service_on_catalog_matches_service_on_simulated_osn() {
+    let graph = barabasi_albert(1_500, 3, 0x5EED).unwrap();
+    let csr = CsrGraph::from_graph(&graph);
+
+    let job = SampleJob::walk_estimate(RandomWalkKind::Simple, 40, 0xAB)
+        .with_walkers(4)
+        .with_diameter_estimate(5);
+
+    let run = |outcome_samples: &mut Vec<NodeId>, cost: &mut u64, on_catalog: bool| {
+        macro_rules! drive {
+            ($network:expr) => {{
+                let service = SamplingService::builder($network).pool_threads(2).build();
+                let ticket = service.submit(SampleRequest::new(job.clone())).unwrap();
+                let (samples, outcome) = ticket.stream.collect_all();
+                let outcome = outcome.unwrap();
+                assert_eq!(outcome.status, JobStatus::Completed);
+                let mut nodes: Vec<NodeId> = samples.iter().map(|s| s.node).collect();
+                nodes.sort_unstable();
+                *outcome_samples = nodes;
+                *cost = outcome.query_cost;
+            }};
+        }
+        if on_catalog {
+            drive!(CatalogNetwork::new(csr.clone()));
+        } else {
+            drive!(SimulatedOsn::new(graph.clone()));
+        }
+    };
+
+    let (mut sim_nodes, mut sim_cost) = (Vec::new(), 0u64);
+    let (mut cat_nodes, mut cat_cost) = (Vec::new(), 0u64);
+    run(&mut sim_nodes, &mut sim_cost, false);
+    run(&mut cat_nodes, &mut cat_cost, true);
+
+    assert_eq!(
+        sim_nodes, cat_nodes,
+        "sample multisets must be substrate-invariant"
+    );
+    assert_eq!(
+        sim_cost, cat_cost,
+        "query accounting must be substrate-invariant"
+    );
+    assert!(!cat_nodes.is_empty());
+}

@@ -334,6 +334,58 @@ fn dropping_the_stream_mid_job_frees_slots_and_refunds_budget() {
     assert!(metrics.max_queue_wait >= metrics.mean_queue_wait);
 }
 
+/// Pins the promotion order of the scheduler's priority-indexed pending
+/// queue: highest priority first, FIFO within a priority, and every 4th
+/// promotion aged (taking the globally oldest submission regardless of
+/// priority). With one active slot the jobs run — and therefore finish —
+/// exactly in promotion order, so `finish_index` exposes the policy.
+///
+/// Hand-computed for priorities [L, L, N, H, N, H, L, N] (submission order
+/// 0..8): promotions pick 3, 5, 2, then aged 0, then 4, 7, 1, then aged 6.
+/// This is the regression test for the O(pending)-scan → indexed-bucket
+/// replacement: any behavioral drift in the new queue changes this order.
+#[test]
+fn promotion_order_is_priority_fifo_with_aging() {
+    use walk_not_wait::service::Priority::{High, Low, Normal};
+    let priorities = [Low, Low, Normal, High, Normal, High, Low, Normal];
+    let expected_order = [3usize, 5, 2, 0, 4, 7, 1, 6];
+
+    let service = SamplingService::builder(osn(400, 29))
+        .pool_threads(1)
+        .max_active(1)
+        .max_in_flight(16)
+        .start_paused()
+        .build();
+    let tickets: Vec<_> = priorities
+        .iter()
+        .enumerate()
+        .map(|(i, &priority)| {
+            service
+                .submit(SampleRequest::new(we_job(2, 1, 0x50 + i as u64)).with_priority(priority))
+                .unwrap()
+        })
+        .collect();
+    service.resume();
+
+    let finish_indices: Vec<u64> = tickets
+        .into_iter()
+        .map(|t| {
+            let outcome = t.stream.wait().unwrap();
+            assert_eq!(outcome.status, JobStatus::Completed);
+            outcome.finish_index
+        })
+        .collect();
+
+    // Sort submissions by the order they finished; that is the promotion
+    // order under a single active slot.
+    let mut by_finish: Vec<usize> = (0..priorities.len()).collect();
+    by_finish.sort_by_key(|&i| finish_indices[i]);
+    assert_eq!(
+        by_finish, expected_order,
+        "promotion order drifted (finish indices: {finish_indices:?})"
+    );
+}
+
 /// Priority-weighted fairness: a high-priority small job finishes before a
 /// low-priority large job submitted earlier.
 #[test]
