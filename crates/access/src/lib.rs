@@ -26,7 +26,14 @@
 //!   over a shared network (how the engine gives each walker its own
 //!   deterministic budget share);
 //! * [`ThreadedNetwork`] — the `Send + Sync` marker the concurrent engine
-//!   requires of a network handle shared across worker threads.
+//!   requires of a network handle shared across worker threads;
+//! * [`FaultyNetwork`] — seeded, deterministic fault injection (transient
+//!   errors, timeout stalls, rate-limit bursts, flaps, blackout nodes) over
+//!   any network, for chaos testing;
+//! * [`ResilientNetwork`] — bounded retries with decorrelated-jitter
+//!   backoff on a simulated clock, honored `Retry-After` hints, and a
+//!   per-backend circuit breaker, with [`ResilienceStats`] counters the
+//!   service layer surfaces.
 //!
 //! Samplers in `wnw-mcmc` and `wnw-core` are written against the trait, so
 //! swapping a simulated graph for a live crawler is a matter of implementing
@@ -39,21 +46,25 @@
 pub mod cached;
 pub mod counter;
 pub mod error;
+pub mod fault;
 pub mod interface;
 pub mod metered;
 pub mod rate_limit;
 pub mod rebased;
+pub mod resilient;
 pub mod restrictions;
 pub mod simulated;
 pub mod sync;
 
 pub use cached::CachedNetwork;
 pub use counter::{QueryBudget, QueryCounter, QueryStats};
-pub use error::AccessError;
+pub use error::{AccessError, TransientKind, UnavailableReason};
+pub use fault::{FaultInjector, FaultProfile, FaultStats, FaultyNetwork};
 pub use interface::{SocialNetwork, ThreadedNetwork};
 pub use metered::MeteredNetwork;
-pub use rate_limit::{RateLimitPolicy, RateLimiter};
+pub use rate_limit::{RateLimitMode, RateLimitPolicy, RateLimiter};
 pub use rebased::Rebased;
+pub use resilient::{ResilienceMonitor, ResilienceStats, ResilientNetwork, RetryPolicy};
 pub use restrictions::NeighborRestriction;
 pub use simulated::SimulatedOsn;
 

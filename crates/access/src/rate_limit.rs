@@ -9,6 +9,7 @@
 //! still exposing "how long would this crawl have taken against the real
 //! API?".
 
+use crate::error::AccessError;
 use crate::sync::lock;
 use std::sync::Mutex;
 
@@ -37,13 +38,33 @@ impl RateLimitPolicy {
     };
 }
 
+/// How a [`RateLimiter`] reacts when the window is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RateLimitMode {
+    /// The call silently "waits": the simulated clock jumps to the next
+    /// window and the call proceeds. Experiments use this to report how
+    /// long a crawl *would* have taken.
+    #[default]
+    Accounting,
+    /// The call is rejected with
+    /// [`AccessError::RateLimited`] carrying the
+    /// `retry_after_secs` a real `429` response would — the caller (a
+    /// [`ResilientNetwork`](crate::ResilientNetwork)) is expected to honor
+    /// it and retry.
+    Reject,
+}
+
 /// Tracks simulated elapsed time under a [`RateLimitPolicy`].
 ///
 /// Each [`RateLimiter::record_call`] consumes one request slot; when the
 /// window is full the simulated clock jumps to the start of the next window.
+/// A limiter in [`RateLimitMode::Reject`] instead answers a full window
+/// through [`acquire`](RateLimiter::acquire) with
+/// [`AccessError::RateLimited`].
 #[derive(Debug)]
 pub struct RateLimiter {
     policy: RateLimitPolicy,
+    mode: RateLimitMode,
     state: Mutex<LimiterState>,
 }
 
@@ -59,6 +80,8 @@ struct LimiterState {
     waited_secs: u64,
     /// Total calls recorded.
     total_calls: u64,
+    /// Calls rejected (reject mode only).
+    rejections: u64,
 }
 
 impl RateLimiter {
@@ -66,8 +89,71 @@ impl RateLimiter {
     pub fn new(policy: RateLimitPolicy) -> Self {
         RateLimiter {
             policy,
+            mode: RateLimitMode::Accounting,
             state: Mutex::new(LimiterState::default()),
         }
+    }
+
+    /// Creates a limiter that rejects over-limit calls with
+    /// [`AccessError::RateLimited`] instead of silently accounting the wait.
+    pub fn rejecting(policy: RateLimitPolicy) -> Self {
+        RateLimiter {
+            policy,
+            mode: RateLimitMode::Reject,
+            state: Mutex::new(LimiterState::default()),
+        }
+    }
+
+    /// How this limiter reacts to a full window.
+    pub fn mode(&self) -> RateLimitMode {
+        self.mode
+    }
+
+    /// Acquires one request slot.
+    ///
+    /// In [`RateLimitMode::Accounting`] this is exactly
+    /// [`record_call`](Self::record_call) (the returned value is the wait
+    /// absorbed into the simulated clock). In [`RateLimitMode::Reject`] a
+    /// full window yields `Err(AccessError::RateLimited { retry_after_secs })`
+    /// — and, mirroring a client that honors the `Retry-After` header before
+    /// its next attempt, the simulated clock jumps to the next window so a
+    /// retry made *after* the rejection finds a fresh window.
+    pub fn acquire(&self) -> crate::Result<u64> {
+        match self.mode {
+            RateLimitMode::Accounting => Ok(self.record_call()),
+            RateLimitMode::Reject => {
+                let mut s = lock(&self.state);
+                if self.policy.requests_per_window == u64::MAX {
+                    s.total_calls += 1;
+                    return Ok(0);
+                }
+                if s.calls_in_window >= self.policy.requests_per_window {
+                    // Reject, then roll the clock to the next window: the
+                    // retry-after contract is "wait this long and the window
+                    // will be fresh", and the simulated clock models the
+                    // caller doing exactly that.
+                    let next_window = s.window_start + self.policy.window_secs;
+                    let wait = next_window.saturating_sub(s.now_secs).max(1);
+                    s.rejections += 1;
+                    s.now_secs = next_window;
+                    s.window_start = next_window;
+                    s.calls_in_window = 0;
+                    s.waited_secs += wait;
+                    return Err(AccessError::RateLimited {
+                        retry_after_secs: wait,
+                    });
+                }
+                s.total_calls += 1;
+                s.calls_in_window += 1;
+                Ok(0)
+            }
+        }
+    }
+
+    /// Calls rejected so far (reject mode only; always 0 in accounting
+    /// mode).
+    pub fn rejections(&self) -> u64 {
+        lock(&self.state).rejections
     }
 
     /// Records one API call, advancing the simulated clock if the window is
@@ -157,6 +243,49 @@ mod tests {
         }
         assert_eq!(rl.record_call(), 900);
         assert_eq!(rl.elapsed_secs(), 1800);
+    }
+
+    #[test]
+    fn reject_mode_surfaces_retry_after_and_rolls_the_window() {
+        let rl = RateLimiter::rejecting(RateLimitPolicy {
+            requests_per_window: 2,
+            window_secs: 60,
+        });
+        assert_eq!(rl.mode(), RateLimitMode::Reject);
+        assert_eq!(rl.acquire().unwrap(), 0);
+        assert_eq!(rl.acquire().unwrap(), 0);
+        // Third call in the window: rejected with the full window's wait.
+        assert_eq!(
+            rl.acquire().unwrap_err(),
+            AccessError::RateLimited {
+                retry_after_secs: 60
+            }
+        );
+        assert_eq!(rl.rejections(), 1);
+        assert_eq!(rl.total_calls(), 2, "rejected calls consume no slot");
+        // The rejection rolled the clock, so the honored retry succeeds.
+        assert_eq!(rl.acquire().unwrap(), 0);
+        assert_eq!(rl.elapsed_secs(), 60);
+        assert_eq!(rl.waited_secs(), 60);
+    }
+
+    #[test]
+    fn reject_mode_unlimited_never_rejects() {
+        let rl = RateLimiter::rejecting(RateLimitPolicy::UNLIMITED);
+        for _ in 0..100 {
+            assert_eq!(rl.acquire().unwrap(), 0);
+        }
+        assert_eq!(rl.rejections(), 0);
+    }
+
+    #[test]
+    fn accounting_mode_acquire_matches_record_call() {
+        let rl = RateLimiter::new(RateLimitPolicy::TWITTER_FOLLOWER_IDS);
+        for _ in 0..15 {
+            assert_eq!(rl.acquire().unwrap(), 0);
+        }
+        assert_eq!(rl.acquire().unwrap(), 900);
+        assert_eq!(rl.rejections(), 0);
     }
 
     #[test]

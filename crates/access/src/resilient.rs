@@ -1,0 +1,714 @@
+//! Bounded retries, backoff, and circuit breaking over any
+//! [`SocialNetwork`].
+//!
+//! [`ResilientNetwork`] is the policy layer between a sampler and a flaky
+//! backend (a live crawler, or a [`FaultyNetwork`](crate::FaultyNetwork)
+//! testbed). It retries [retryable](crate::AccessError::is_retryable)
+//! failures up to a bounded cap with decorrelated-jitter exponential
+//! backoff, honors the `retry_after_secs` carried by
+//! [`AccessError::RateLimited`], and fails fast through a per-backend
+//! circuit breaker once the backend looks dead. All waiting happens on a
+//! **simulated clock** (an atomic seconds counter), the same idiom as
+//! [`RateLimiter`](crate::RateLimiter) — experiments stay fast while still
+//! reporting how long the crawl would have waited for real.
+//!
+//! Exhausted retries and open-breaker fast-fails surface as
+//! [`AccessError::Unavailable`], which the engine treats like budget
+//! exhaustion for the failing walker: the job degrades to a partial result
+//! instead of dying. Every decision is counted in [`ResilienceStats`]; a
+//! cloneable [`ResilienceMonitor`] hands the live counters to the service
+//! layer for `/v1/metrics`, Prometheus, and the degraded `/healthz`.
+
+use crate::counter::QueryStats;
+use crate::error::{AccessError, UnavailableReason};
+use crate::interface::SocialNetwork;
+use crate::sync::lock;
+use crate::Result;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use wnw_graph::NodeId;
+use wnw_telemetry::{Histogram, HistogramSnapshot};
+
+/// SplitMix64, for deterministic backoff jitter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Retry, backoff, and circuit-breaker knobs for a [`ResilientNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries per original call (so attempts = `max_retries + 1`).
+    pub max_retries: u32,
+    /// First backoff wait, in simulated seconds.
+    pub base_backoff_secs: u64,
+    /// Backoff cap, in simulated seconds.
+    pub max_backoff_secs: u64,
+    /// Consecutive attempt-level failures that open the breaker.
+    pub breaker_threshold: u32,
+    /// Simulated seconds the breaker stays open before a half-open probe.
+    pub breaker_cooldown_secs: u64,
+}
+
+impl RetryPolicy {
+    /// Three retries, 1 s → 60 s decorrelated-jitter backoff, breaker
+    /// opening after 8 consecutive failures with a 120 s cooldown.
+    pub const DEFAULT: RetryPolicy = RetryPolicy {
+        max_retries: 3,
+        base_backoff_secs: 1,
+        max_backoff_secs: 60,
+        breaker_threshold: 8,
+        breaker_cooldown_secs: 120,
+    };
+
+    /// A policy whose breaker never opens — useful when a test needs
+    /// retry behaviour isolated from breaker state (which is
+    /// interleaving-dependent by nature).
+    pub fn without_breaker(mut self) -> RetryPolicy {
+        self.breaker_threshold = u32::MAX;
+        self
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::DEFAULT
+    }
+}
+
+/// The circuit-breaker state machine: closed → open (after N consecutive
+/// failures) → half-open probe → closed on success, re-open on failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed { consecutive_failures: u32 },
+    Open { since_secs: u64 },
+    HalfOpen,
+}
+
+/// A snapshot of every resilience counter. `Eq` so byte-identity tests can
+/// compare whole blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResilienceStats {
+    /// Top-level calls that entered the policy layer.
+    pub calls: u64,
+    /// Retryable errors observed from the wrapped network.
+    pub faults_seen: u64,
+    /// Retry attempts issued (bounded by `max_retries` per call).
+    pub retries: u64,
+    /// Simulated seconds spent in backoff waits.
+    pub backoff_wait_secs: u64,
+    /// Rate-limit `retry_after_secs` hints honored.
+    pub rate_limit_honored: u64,
+    /// Calls that exhausted the retry cap and degraded.
+    pub retries_exhausted: u64,
+    /// Calls that succeeded only after at least one retry.
+    pub recovered: u64,
+    /// Closed → open breaker transitions.
+    pub breaker_opened: u64,
+    /// Open → half-open probe transitions.
+    pub breaker_half_open_probes: u64,
+    /// Calls failed fast because the breaker was open.
+    pub breaker_fast_fails: u64,
+    /// Whether the breaker is open right now.
+    pub breaker_open: bool,
+    /// The simulated clock, in seconds (calls + backoff + honored waits).
+    pub clock_secs: u64,
+    /// Distribution of retries per top-level call.
+    pub retries_per_call: HistogramSnapshot,
+}
+
+/// The shared state behind a [`ResilientNetwork`] and every
+/// [`ResilienceMonitor`] cloned from it.
+#[derive(Debug)]
+struct ResilienceShared {
+    policy: RetryPolicy,
+    seed: u64,
+    /// Simulated seconds: 1 per attempt, plus every backoff or honored wait.
+    clock_secs: AtomicU64,
+    calls: AtomicU64,
+    faults_seen: AtomicU64,
+    retries: AtomicU64,
+    backoff_wait_secs: AtomicU64,
+    rate_limit_honored: AtomicU64,
+    retries_exhausted: AtomicU64,
+    recovered: AtomicU64,
+    breaker_opened: AtomicU64,
+    breaker_half_open_probes: AtomicU64,
+    breaker_fast_fails: AtomicU64,
+    retries_per_call: Histogram,
+    breaker: Mutex<BreakerState>,
+}
+
+impl ResilienceShared {
+    fn new(policy: RetryPolicy, seed: u64) -> Self {
+        ResilienceShared {
+            policy,
+            seed,
+            clock_secs: AtomicU64::new(0),
+            calls: AtomicU64::new(0),
+            faults_seen: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            backoff_wait_secs: AtomicU64::new(0),
+            rate_limit_honored: AtomicU64::new(0),
+            retries_exhausted: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
+            breaker_opened: AtomicU64::new(0),
+            breaker_half_open_probes: AtomicU64::new(0),
+            breaker_fast_fails: AtomicU64::new(0),
+            retries_per_call: Histogram::new(),
+            breaker: Mutex::new(BreakerState::Closed {
+                consecutive_failures: 0,
+            }),
+        }
+    }
+
+    fn stats(&self) -> ResilienceStats {
+        ResilienceStats {
+            calls: self.calls.load(Ordering::Relaxed),
+            faults_seen: self.faults_seen.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            backoff_wait_secs: self.backoff_wait_secs.load(Ordering::Relaxed),
+            rate_limit_honored: self.rate_limit_honored.load(Ordering::Relaxed),
+            retries_exhausted: self.retries_exhausted.load(Ordering::Relaxed),
+            recovered: self.recovered.load(Ordering::Relaxed),
+            breaker_opened: self.breaker_opened.load(Ordering::Relaxed),
+            breaker_half_open_probes: self.breaker_half_open_probes.load(Ordering::Relaxed),
+            breaker_fast_fails: self.breaker_fast_fails.load(Ordering::Relaxed),
+            breaker_open: matches!(*lock(&self.breaker), BreakerState::Open { .. }),
+            clock_secs: self.clock_secs.load(Ordering::Relaxed),
+            retries_per_call: self.retries_per_call.snapshot(),
+        }
+    }
+
+    /// Breaker gate for a new top-level call. `Err` means fail fast.
+    fn breaker_admit(&self) -> std::result::Result<(), AccessError> {
+        let mut b = lock(&self.breaker);
+        match *b {
+            BreakerState::Closed { .. } | BreakerState::HalfOpen => Ok(()),
+            BreakerState::Open { since_secs } => {
+                let now = self.clock_secs.load(Ordering::Relaxed);
+                if now >= since_secs.saturating_add(self.policy.breaker_cooldown_secs) {
+                    *b = BreakerState::HalfOpen;
+                    self.breaker_half_open_probes
+                        .fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                } else {
+                    // A fast-failed call still costs request time; advancing
+                    // the clock here is what lets the cooldown expire even
+                    // when every call is being rejected at the gate.
+                    self.clock_secs.fetch_add(1, Ordering::Relaxed);
+                    self.breaker_fast_fails.fetch_add(1, Ordering::Relaxed);
+                    Err(AccessError::Unavailable {
+                        reason: UnavailableReason::CircuitOpen,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Records an attempt-level success; closes the breaker.
+    fn breaker_success(&self) {
+        *lock(&self.breaker) = BreakerState::Closed {
+            consecutive_failures: 0,
+        };
+    }
+
+    /// Records an attempt-level retryable failure. Returns `true` if the
+    /// breaker is (now) open, in which case the caller stops retrying.
+    fn breaker_failure(&self) -> bool {
+        let mut b = lock(&self.breaker);
+        match *b {
+            BreakerState::Closed {
+                consecutive_failures,
+            } => {
+                let failures = consecutive_failures + 1;
+                if failures >= self.policy.breaker_threshold {
+                    *b = BreakerState::Open {
+                        since_secs: self.clock_secs.load(Ordering::Relaxed),
+                    };
+                    self.breaker_opened.fetch_add(1, Ordering::Relaxed);
+                    true
+                } else {
+                    *b = BreakerState::Closed {
+                        consecutive_failures: failures,
+                    };
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                // The probe failed: straight back to open.
+                *b = BreakerState::Open {
+                    since_secs: self.clock_secs.load(Ordering::Relaxed),
+                };
+                self.breaker_opened.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            BreakerState::Open { .. } => true,
+        }
+    }
+
+    fn reset(&self) {
+        self.clock_secs.store(0, Ordering::Relaxed);
+        self.calls.store(0, Ordering::Relaxed);
+        self.faults_seen.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.backoff_wait_secs.store(0, Ordering::Relaxed);
+        self.rate_limit_honored.store(0, Ordering::Relaxed);
+        self.retries_exhausted.store(0, Ordering::Relaxed);
+        self.recovered.store(0, Ordering::Relaxed);
+        self.breaker_opened.store(0, Ordering::Relaxed);
+        self.breaker_half_open_probes.store(0, Ordering::Relaxed);
+        self.breaker_fast_fails.store(0, Ordering::Relaxed);
+        self.retries_per_call.reset();
+        *lock(&self.breaker) = BreakerState::Closed {
+            consecutive_failures: 0,
+        };
+    }
+}
+
+/// A cloneable, read-only handle onto a [`ResilientNetwork`]'s counters —
+/// how the service layer watches breaker state and fault totals without
+/// knowing the network's concrete type.
+#[derive(Debug, Clone)]
+pub struct ResilienceMonitor {
+    shared: Arc<ResilienceShared>,
+}
+
+impl ResilienceMonitor {
+    /// A snapshot of every resilience counter.
+    pub fn stats(&self) -> ResilienceStats {
+        self.shared.stats()
+    }
+
+    /// Whether the circuit breaker is currently open.
+    pub fn breaker_open(&self) -> bool {
+        matches!(*lock(&self.shared.breaker), BreakerState::Open { .. })
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> RetryPolicy {
+        self.shared.policy
+    }
+}
+
+/// The retry/backoff/breaker wrapper. Cloning shares the policy state and
+/// counters (and clones the wrapped network handle alongside).
+#[derive(Debug, Clone)]
+pub struct ResilientNetwork<N> {
+    inner: N,
+    shared: Arc<ResilienceShared>,
+}
+
+impl<N: SocialNetwork> ResilientNetwork<N> {
+    /// Wraps `inner` under `policy`, with `seed` driving backoff jitter.
+    pub fn new(inner: N, policy: RetryPolicy, seed: u64) -> Self {
+        ResilientNetwork {
+            inner,
+            shared: Arc::new(ResilienceShared::new(policy, seed)),
+        }
+    }
+
+    /// Wraps `inner` under [`RetryPolicy::DEFAULT`].
+    pub fn with_defaults(inner: N) -> Self {
+        ResilientNetwork::new(inner, RetryPolicy::DEFAULT, 0)
+    }
+
+    /// A cloneable monitor handle for the service layer.
+    pub fn monitor(&self) -> ResilienceMonitor {
+        ResilienceMonitor {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// A snapshot of every resilience counter.
+    pub fn stats(&self) -> ResilienceStats {
+        self.shared.stats()
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> RetryPolicy {
+        self.shared.policy
+    }
+
+    /// The wrapped network.
+    pub fn inner(&self) -> &N {
+        &self.inner
+    }
+
+    /// Decorrelated-jitter backoff (the AWS architecture-blog variant):
+    /// `wait = min(cap, uniform(base, prev * 3))`, with the uniform draw
+    /// derived deterministically from `(seed, node, attempt)` so a given
+    /// walk retries identically under any interleaving.
+    fn backoff_secs(&self, v: NodeId, attempt: u32, prev_wait: u64) -> u64 {
+        let policy = self.shared.policy;
+        let base = policy.base_backoff_secs.max(1);
+        let upper = prev_wait.saturating_mul(3).max(base + 1);
+        let mut x = splitmix64(self.shared.seed ^ 0x0BAC_0FF5);
+        x = splitmix64(x ^ u64::from(v.0));
+        x = splitmix64(x ^ u64::from(attempt));
+        let span = upper - base;
+        (base + x % (span + 1)).min(policy.max_backoff_secs.max(base))
+    }
+
+    /// The retry loop around one neighbor fetch.
+    fn fetch_with_retries(&self, v: NodeId) -> Result<Vec<NodeId>> {
+        let shared = &self.shared;
+        let policy = shared.policy;
+        shared.calls.fetch_add(1, Ordering::Relaxed);
+        shared.breaker_admit()?;
+
+        let mut prev_wait = policy.base_backoff_secs.max(1);
+        let mut attempt: u32 = 0;
+        loop {
+            // Each attempt costs a simulated second of request time.
+            shared.clock_secs.fetch_add(1, Ordering::Relaxed);
+            match self.inner.neighbors(v) {
+                Ok(neighbors) => {
+                    shared.breaker_success();
+                    shared.retries_per_call.record(u64::from(attempt));
+                    if attempt > 0 {
+                        shared.recovered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(neighbors);
+                }
+                Err(err) if err.is_retryable() => {
+                    shared.faults_seen.fetch_add(1, Ordering::Relaxed);
+                    if shared.breaker_failure() {
+                        shared.retries_per_call.record(u64::from(attempt));
+                        return Err(AccessError::Unavailable {
+                            reason: UnavailableReason::CircuitOpen,
+                        });
+                    }
+                    if attempt >= policy.max_retries {
+                        shared.retries_exhausted.fetch_add(1, Ordering::Relaxed);
+                        shared.retries_per_call.record(u64::from(attempt));
+                        return Err(AccessError::Unavailable {
+                            reason: UnavailableReason::RetriesExhausted,
+                        });
+                    }
+                    // Honor an explicit Retry-After; otherwise decorrelated
+                    // jitter.
+                    let wait = match err {
+                        AccessError::RateLimited { retry_after_secs } => {
+                            shared.rate_limit_honored.fetch_add(1, Ordering::Relaxed);
+                            retry_after_secs.max(1)
+                        }
+                        _ => self.backoff_secs(v, attempt, prev_wait),
+                    };
+                    prev_wait = wait;
+                    shared.clock_secs.fetch_add(wait, Ordering::Relaxed);
+                    shared.backoff_wait_secs.fetch_add(wait, Ordering::Relaxed);
+                    shared.retries.fetch_add(1, Ordering::Relaxed);
+                    attempt += 1;
+                }
+                // Fatal (unknown node/attribute) and budget errors pass
+                // through untouched — they are not backend failures and must
+                // not trip the breaker.
+                Err(err) => return Err(err),
+            }
+        }
+    }
+}
+
+impl<N: SocialNetwork> SocialNetwork for ResilientNetwork<N> {
+    fn neighbors(&self, v: NodeId) -> Result<Vec<NodeId>> {
+        self.fetch_with_retries(v)
+    }
+
+    fn attribute(&self, name: &str, v: NodeId) -> Result<f64> {
+        // Attribute reads are local parses of already-fetched pages; they
+        // are not faulted and need no retry envelope.
+        self.inner.attribute(name, v)
+    }
+
+    fn seed_node(&self) -> NodeId {
+        self.inner.seed_node()
+    }
+
+    fn query_stats(&self) -> QueryStats {
+        self.inner.query_stats()
+    }
+
+    fn reset_counters(&self) {
+        self.inner.reset_counters();
+        self.shared.reset();
+    }
+
+    fn node_count_hint(&self) -> Option<usize> {
+        self.inner.node_count_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::TransientKind;
+    use crate::fault::{FaultProfile, FaultyNetwork};
+    use crate::rate_limit::{RateLimitPolicy, RateLimiter};
+    use crate::simulated::SimulatedOsn;
+    use wnw_graph::generators::classic::cycle;
+    use wnw_graph::generators::random::barabasi_albert;
+
+    fn flaky(profile: FaultProfile, seed: u64) -> FaultyNetwork<SimulatedOsn> {
+        FaultyNetwork::new(
+            SimulatedOsn::new(barabasi_albert(200, 3, 7).unwrap()),
+            seed,
+            profile,
+        )
+    }
+
+    #[test]
+    fn clean_backend_passes_through_with_zero_retries() {
+        let net = ResilientNetwork::with_defaults(SimulatedOsn::new(cycle(6)));
+        assert_eq!(
+            net.neighbors(NodeId(0)).unwrap(),
+            vec![NodeId(1), NodeId(5)]
+        );
+        let stats = net.stats();
+        assert_eq!(stats.calls, 1);
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.faults_seen, 0);
+        assert!(!stats.breaker_open);
+        assert_eq!(stats.retries_per_call.count, 1);
+    }
+
+    #[test]
+    fn transient_runs_inside_the_cap_are_absorbed() {
+        // Fault runs of length ≤ 2 against a 3-retry policy: every fetch
+        // eventually succeeds, bounded by the cap.
+        let net = ResilientNetwork::new(
+            flaky(FaultProfile::chaos(), 0x5EED),
+            RetryPolicy::DEFAULT.without_breaker(),
+            0x5EED,
+        );
+        let mut degraded = 0u64;
+        for v in 0..200u32 {
+            match net.neighbors(NodeId(v)) {
+                Ok(_) => {}
+                Err(AccessError::Unavailable { .. }) => degraded += 1,
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        let stats = net.stats();
+        let inj = net.inner().fault_stats();
+        assert!(stats.faults_seen > 0, "chaos profile injected nothing");
+        // Only blackout nodes can exhaust retries.
+        let blackouts = (0..200u32)
+            .filter(|v| net.inner().injector().is_blackout(NodeId(*v)))
+            .count() as u64;
+        assert_eq!(degraded, blackouts);
+        assert_eq!(stats.retries_exhausted, blackouts);
+        // No retry storm: retries ≤ max_retries per original call.
+        assert!(stats.retries <= stats.calls * u64::from(net.policy().max_retries));
+        assert_eq!(stats.retries_per_call.count, stats.calls);
+        assert!(inj.total_injected() >= stats.faults_seen);
+    }
+
+    #[test]
+    fn retry_after_is_honored_and_counted() {
+        // A rejecting limiter with a tiny window: the first over-limit call
+        // is rejected with Retry-After, the resilient layer honors it, and
+        // the (clock-rolled) retry succeeds — the dead-letter path is gone.
+        let osn = SimulatedOsn::builder(cycle(8))
+            .rate_limiter(RateLimiter::rejecting(RateLimitPolicy {
+                requests_per_window: 2,
+                window_secs: 60,
+            }))
+            .build();
+        let net = ResilientNetwork::new(osn, RetryPolicy::DEFAULT, 1);
+        for v in 0..8u32 {
+            net.neighbors(NodeId(v)).expect("retry absorbs the 429");
+        }
+        let stats = net.stats();
+        assert!(stats.rate_limit_honored >= 2, "429s were not honored");
+        assert_eq!(stats.retries_exhausted, 0);
+        assert!(stats.recovered >= 2);
+        // The honored waits landed on the simulated clock.
+        assert!(stats.clock_secs >= 8 + 60 * stats.rate_limit_honored);
+    }
+
+    #[test]
+    fn accounting_mode_needs_no_retries_at_all() {
+        let osn = SimulatedOsn::builder(cycle(8))
+            .rate_limiter(RateLimiter::new(RateLimitPolicy {
+                requests_per_window: 2,
+                window_secs: 60,
+            }))
+            .build();
+        let net = ResilientNetwork::new(osn, RetryPolicy::DEFAULT, 1);
+        for v in 0..8u32 {
+            net.neighbors(NodeId(v)).unwrap();
+        }
+        let stats = net.stats();
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.rate_limit_honored, 0);
+        assert_eq!(stats.faults_seen, 0);
+    }
+
+    #[test]
+    fn blackout_node_exhausts_retries_and_degrades() {
+        let profile = FaultProfile {
+            blackout_fraction: 1.0,
+            ..FaultProfile::OFF
+        };
+        let net =
+            ResilientNetwork::new(flaky(profile, 3), RetryPolicy::DEFAULT.without_breaker(), 3);
+        let err = net.neighbors(NodeId(0)).unwrap_err();
+        assert_eq!(
+            err,
+            AccessError::Unavailable {
+                reason: UnavailableReason::RetriesExhausted
+            }
+        );
+        assert!(err.is_degradation() && !err.is_retryable());
+        let stats = net.stats();
+        assert_eq!(stats.retries, u64::from(RetryPolicy::DEFAULT.max_retries));
+        assert_eq!(stats.retries_exhausted, 1);
+        assert!(stats.backoff_wait_secs > 0);
+    }
+
+    #[test]
+    fn breaker_opens_fast_fails_then_recovers_through_half_open() {
+        let profile = FaultProfile {
+            blackout_fraction: 1.0,
+            ..FaultProfile::OFF
+        };
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base_backoff_secs: 1,
+            max_backoff_secs: 4,
+            breaker_threshold: 4,
+            breaker_cooldown_secs: 10,
+        };
+        let net = ResilientNetwork::new(flaky(profile, 3), policy, 3);
+        // 4 attempts (1 call + 3 retries) = 4 consecutive failures → open.
+        let err = net.neighbors(NodeId(0)).unwrap_err();
+        assert_eq!(
+            err,
+            AccessError::Unavailable {
+                reason: UnavailableReason::CircuitOpen
+            }
+        );
+        let stats = net.stats();
+        assert_eq!(stats.breaker_opened, 1);
+        assert!(stats.breaker_open);
+        assert!(net.monitor().breaker_open());
+        // While open and inside the cooldown: fail fast, no inner calls.
+        let before = net.inner().fault_stats().total_injected();
+        let err = net.neighbors(NodeId(1)).unwrap_err();
+        assert_eq!(
+            err,
+            AccessError::Unavailable {
+                reason: UnavailableReason::CircuitOpen
+            }
+        );
+        assert_eq!(net.inner().fault_stats().total_injected(), before);
+        assert_eq!(net.stats().breaker_fast_fails, 1);
+        // Make the backend healthy again and wear out the cooldown.
+        net.inner().injector().reset();
+        // (reset clears counters, not the schedule — swap to a clean run by
+        // burning simulated time instead: wait out the cooldown.)
+        net.shared
+            .clock_secs
+            .fetch_add(policy.breaker_cooldown_secs, Ordering::Relaxed);
+        // The blackout schedule still fails every call, so the half-open
+        // probe fails and the breaker re-opens.
+        let err = net.neighbors(NodeId(2)).unwrap_err();
+        assert_eq!(
+            err,
+            AccessError::Unavailable {
+                reason: UnavailableReason::CircuitOpen
+            }
+        );
+        let stats = net.stats();
+        assert_eq!(stats.breaker_half_open_probes, 1);
+        assert_eq!(stats.breaker_opened, 2);
+        assert!(stats.breaker_open);
+    }
+
+    #[test]
+    fn half_open_probe_success_closes_the_breaker() {
+        // A fault-free inner network, but force the breaker open by hand.
+        let net = ResilientNetwork::new(
+            SimulatedOsn::new(cycle(6)),
+            RetryPolicy {
+                breaker_cooldown_secs: 5,
+                ..RetryPolicy::DEFAULT
+            },
+            0,
+        );
+        *lock(&net.shared.breaker) = BreakerState::Open { since_secs: 0 };
+        net.shared.clock_secs.store(10, Ordering::Relaxed);
+        assert!(net.neighbors(NodeId(0)).is_ok());
+        let stats = net.stats();
+        assert_eq!(stats.breaker_half_open_probes, 1);
+        assert!(!stats.breaker_open);
+        assert!(net.neighbors(NodeId(1)).is_ok());
+    }
+
+    #[test]
+    fn fatal_errors_bypass_retries_and_the_breaker() {
+        let net = ResilientNetwork::with_defaults(SimulatedOsn::new(cycle(4)));
+        let err = net.neighbors(NodeId(99)).unwrap_err();
+        assert_eq!(err, AccessError::UnknownNode(NodeId(99)));
+        let stats = net.stats();
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.faults_seen, 0);
+        assert!(!stats.breaker_open);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let net = ResilientNetwork::new(SimulatedOsn::new(cycle(4)), RetryPolicy::DEFAULT, 0xABCD);
+        let other =
+            ResilientNetwork::new(SimulatedOsn::new(cycle(4)), RetryPolicy::DEFAULT, 0xABCD);
+        let mut prev = 1;
+        for attempt in 0..8 {
+            let a = net.backoff_secs(NodeId(7), attempt, prev);
+            let b = other.backoff_secs(NodeId(7), attempt, prev);
+            assert_eq!(a, b, "same seed must give the same jitter");
+            assert!((1..=RetryPolicy::DEFAULT.max_backoff_secs).contains(&a));
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn reset_counters_clears_stats_and_closes_the_breaker() {
+        let profile = FaultProfile {
+            transient_error: 1.0,
+            max_faults_per_node: 2,
+            ..FaultProfile::OFF
+        };
+        let net =
+            ResilientNetwork::new(flaky(profile, 3), RetryPolicy::DEFAULT.without_breaker(), 3);
+        net.neighbors(NodeId(0)).unwrap();
+        assert!(net.stats().retries > 0);
+        net.reset_counters();
+        let stats = net.stats();
+        assert_eq!(stats, ResilienceStats::default());
+    }
+
+    #[test]
+    fn timeout_stalls_are_retried_like_any_transient() {
+        let profile = FaultProfile {
+            stall: 1.0,
+            stall_secs: 30,
+            max_faults_per_node: 1,
+            ..FaultProfile::OFF
+        };
+        let net =
+            ResilientNetwork::new(flaky(profile, 3), RetryPolicy::DEFAULT.without_breaker(), 3);
+        assert!(net.neighbors(NodeId(0)).is_ok());
+        let stats = net.stats();
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.recovered, 1);
+        assert_eq!(
+            net.inner().fault_stats().stalls,
+            1,
+            "the stall was injected exactly once"
+        );
+        let _ = TransientKind::Flap; // taxonomy is exercised elsewhere
+    }
+}

@@ -88,8 +88,16 @@ impl SimulatedOsn {
         if !self.graph.contains(v) {
             return Err(AccessError::UnknownNode(v));
         }
-        self.counter.record_neighbor_query(v)?;
-        self.limiter.record_call();
+        if self.limiter.mode() == crate::rate_limit::RateLimitMode::Reject {
+            // A rejecting limiter turns the caller away *before* the budget
+            // is charged — a 429 costs no quota — and its error carries the
+            // `retry_after_secs` a retry policy honors.
+            self.limiter.acquire()?;
+            self.counter.record_neighbor_query(v)?;
+        } else {
+            self.counter.record_neighbor_query(v)?;
+            self.limiter.record_call();
+        }
         let invocation = {
             let mut counts = lock(&self.fetch_counts);
             let entry = counts.entry(v).or_insert(0);

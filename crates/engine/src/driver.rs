@@ -44,6 +44,10 @@ struct WalkerState<'a> {
     /// (see [`JobDriver::drain_new_samples`]).
     streamed: usize,
     budget_exhausted: bool,
+    /// A degradation (transient fault, exhausted retries, open breaker)
+    /// that ended this walker early. Treated like budget exhaustion: the
+    /// walker stops, its samples are kept, and the job does not fail.
+    degraded: Option<AccessError>,
     fatal: Option<AccessError>,
     /// A panic payload caught from this walker's sampler, held until the
     /// caller decides how to surface it (the engine resumes it; the service
@@ -55,6 +59,7 @@ impl WalkerState<'_> {
     fn live(&self) -> bool {
         self.produced.len() < self.quota
             && !self.budget_exhausted
+            && self.degraded.is_none()
             && self.fatal.is_none()
             && self.panicked.is_none()
     }
@@ -68,6 +73,10 @@ impl WalkerState<'_> {
         match outcome {
             Ok(Ok(record)) => self.produced.push(record),
             Ok(Err(AccessError::BudgetExhausted { .. })) => self.budget_exhausted = true,
+            // A degradation (transient fault, exhausted retries, open
+            // breaker) ends this walker the way budget exhaustion does —
+            // the samples it already produced stay useful partial evidence.
+            Ok(Err(other)) if other.is_degradation() => self.degraded = Some(other),
             Ok(Err(other)) => self.fatal = Some(other),
             Err(payload) => self.panicked = Some(payload),
         }
@@ -191,6 +200,12 @@ impl<'a> JobDriver<'a> {
         self.walkers.iter().filter(|w| w.live()).count()
     }
 
+    /// Walkers stopped by a degradation (transient fault, exhausted
+    /// retries, open breaker) so far.
+    pub fn degraded_walkers(&self) -> usize {
+        self.walkers.iter().filter(|w| w.degraded.is_some()).count()
+    }
+
     /// Number of virtual walkers (live or not).
     pub fn walker_count(&self) -> usize {
         self.walkers.len()
@@ -277,6 +292,7 @@ impl<'a> JobDriver<'a> {
                 samples: state.produced,
                 stats: state.counter.stats(),
                 budget_exhausted: state.budget_exhausted,
+                degraded: state.degraded,
                 fatal: state.fatal,
             });
         }
@@ -350,6 +366,7 @@ where
         produced: Vec::new(),
         streamed: 0,
         budget_exhausted: false,
+        degraded: None,
         fatal: None,
         panicked: None,
     }
@@ -413,6 +430,43 @@ mod tests {
         let b = run(&job);
         assert_eq!(a.len(), 6);
         assert_eq!(a, b, "same job + same start node => same multiset");
+    }
+
+    #[test]
+    fn degraded_walkers_end_like_budget_exhaustion() {
+        use wnw_access::fault::{FaultProfile, FaultyNetwork};
+        use wnw_access::resilient::{ResilientNetwork, RetryPolicy};
+
+        // Every node is blacked out: the first fetch of each walker
+        // exhausts its retries and the walker degrades — but the job
+        // completes as a degraded partial instead of erroring.
+        let profile = FaultProfile {
+            blackout_fraction: 1.0,
+            ..FaultProfile::OFF
+        };
+        let osn = ResilientNetwork::new(
+            FaultyNetwork::new(
+                SimulatedOsn::new(barabasi_albert(100, 3, 1).unwrap()),
+                7,
+                profile,
+            ),
+            RetryPolicy::DEFAULT.without_breaker(),
+            7,
+        );
+        let job = SampleJob::walk_estimate(RandomWalkKind::Simple, 6, 5)
+            .with_walkers(2)
+            .with_diameter_estimate(4);
+        let report = crate::Engine::with_threads(1)
+            .run(&osn, &job)
+            .expect("degradation must not fail the job");
+        assert!(report.degraded);
+        assert_eq!(report.degraded_walkers(), 2);
+        assert!(report.samples.is_empty(), "blackout from step one");
+        for w in &report.walkers {
+            assert!(w.degraded.is_some());
+            assert!(w.fatal.is_none());
+            assert!(!w.budget_exhausted);
+        }
     }
 
     #[test]

@@ -156,6 +156,7 @@ impl Engine {
             .iter()
             .flat_map(|w| w.samples.iter().copied())
             .collect();
+        let degraded = walkers.iter().any(|w| w.degraded.is_some());
         Ok(JobReport {
             samples,
             walkers,
@@ -163,6 +164,7 @@ impl Engine {
             elapsed: started.elapsed(),
             threads,
             cancelled,
+            degraded,
         })
     }
 }

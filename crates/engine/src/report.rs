@@ -20,6 +20,12 @@ pub struct WalkerReport {
     pub stats: QueryStats,
     /// Whether the walker stopped because its budget share ran out.
     pub budget_exhausted: bool,
+    /// The degradation that stopped this walker, if any: a transient fault,
+    /// exhausted retries, or an open circuit breaker (see
+    /// [`AccessError::is_degradation`]). Treated like budget exhaustion —
+    /// the walker ends, its samples are kept, and the job completes as a
+    /// degraded partial instead of failing.
+    pub degraded: Option<AccessError>,
     /// A non-budget access error that stopped the walker, if any. A job
     /// whose walkers report one fails as a whole.
     pub fatal: Option<AccessError>,
@@ -46,6 +52,11 @@ pub struct JobReport {
     /// [`EngineObserver::cancel_requested`](crate::EngineObserver::cancel_requested)).
     /// Samples accepted before the stop are kept.
     pub cancelled: bool,
+    /// Whether any walker was stopped by a degradation (transient fault,
+    /// exhausted retries, open breaker) rather than finishing cleanly. The
+    /// samples collected before the fault are kept — the job is a
+    /// *degraded partial*, not a failure.
+    pub degraded: bool,
 }
 
 impl JobReport {
@@ -80,6 +91,12 @@ impl JobReport {
     /// Whether any walker exhausted its budget share.
     pub fn budget_exhausted(&self) -> bool {
         self.walkers.iter().any(|w| w.budget_exhausted)
+    }
+
+    /// Number of walkers stopped by a degradation (transient fault,
+    /// exhausted retries, open breaker).
+    pub fn degraded_walkers(&self) -> usize {
+        self.walkers.iter().filter(|w| w.degraded.is_some()).count()
     }
 
     /// The accepted-sample multiset as a sorted node list — convenient for

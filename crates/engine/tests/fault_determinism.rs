@@ -1,0 +1,118 @@
+//! Seeded fault injection must not cost determinism: the same seed
+//! replays the same fault schedule, and a fault-weathered job's sample
+//! multiset is identical at every worker-pool width — because the
+//! injector's per-node fault runs are capped below the retry budget, so
+//! every fault is retried through to the same clean answer no matter how
+//! the threads interleave.
+
+use wnw_access::{
+    FaultProfile, FaultyNetwork, ResilientNetwork, RetryPolicy, SimulatedOsn, SocialNetwork,
+};
+use wnw_engine::job::SampleJob;
+use wnw_engine::Engine;
+use wnw_graph::generators::random::barabasi_albert;
+use wnw_graph::NodeId;
+use wnw_mcmc::transition::RandomWalkKind;
+
+const GRAPH_SEED: u64 = 0xD15E_A5ED;
+const FAULT_SEED: u64 = 41;
+
+/// The chaos preset minus blackout: every injected fault is recoverable
+/// within the retry budget, so the walks see the same neighbor lists a
+/// fault-free run would.
+fn recoverable_profile() -> FaultProfile {
+    FaultProfile {
+        blackout_fraction: 0.0,
+        ..FaultProfile::chaos()
+    }
+}
+
+fn faulty_network(profile: FaultProfile) -> ResilientNetwork<FaultyNetwork<SimulatedOsn>> {
+    let graph = barabasi_albert(300, 3, GRAPH_SEED).unwrap();
+    ResilientNetwork::new(
+        FaultyNetwork::new(SimulatedOsn::new(graph), FAULT_SEED, profile),
+        RetryPolicy::DEFAULT.without_breaker(),
+        FAULT_SEED,
+    )
+}
+
+fn job() -> SampleJob {
+    SampleJob::walk_estimate(RandomWalkKind::Simple, 12, 9)
+        .with_walkers(4)
+        .with_diameter_estimate(4)
+}
+
+#[test]
+fn same_seed_replays_the_same_fault_schedule() {
+    let run = || {
+        let osn = faulty_network(recoverable_profile());
+        let report = Engine::with_threads(1).run(&osn, &job()).unwrap();
+        (report.nodes(), osn.inner().fault_stats())
+    };
+    let (samples_a, faults_a) = run();
+    let (samples_b, faults_b) = run();
+    assert!(
+        faults_a.total_injected() > 0,
+        "the profile must actually inject faults for this test to mean anything"
+    );
+    assert_eq!(faults_a, faults_b, "same seed, same fault tally");
+    assert_eq!(samples_a, samples_b, "same seed, same samples");
+}
+
+#[test]
+fn sample_multiset_is_invariant_across_pool_widths() {
+    let reference = {
+        let graph = barabasi_albert(300, 3, GRAPH_SEED).unwrap();
+        let clean = SimulatedOsn::new(graph);
+        Engine::with_threads(1).run(&clean, &job()).unwrap().nodes()
+    };
+    for width in [1, 2, 4] {
+        let osn = faulty_network(recoverable_profile());
+        let report = Engine::with_threads(width).run(&osn, &job()).unwrap();
+        assert!(
+            !report.degraded,
+            "width {width}: recoverable faults must never degrade a walker"
+        );
+        // Samples are concatenated in walker order, so equality holds for
+        // the ordered sequence, not just the multiset.
+        assert_eq!(
+            report.nodes(),
+            reference,
+            "width {width}: fault-weathered samples must match the fault-free run"
+        );
+    }
+}
+
+#[test]
+fn blackout_degradation_is_deterministic_at_width_one() {
+    // With a blackout node in play, walkers that reach it degrade; at
+    // width 1 the whole report — samples kept, walkers degraded — must
+    // replay exactly.
+    let profile = FaultProfile {
+        blackout_fraction: 0.05,
+        ..FaultProfile::chaos()
+    };
+    let run = || {
+        let osn = faulty_network(profile);
+        let report = Engine::with_threads(1).run(&osn, &job()).unwrap();
+        (report.nodes(), report.degraded_walkers())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn injection_disabled_is_byte_identical_to_the_bare_network() {
+    let graph = barabasi_albert(300, 3, GRAPH_SEED).unwrap();
+    let bare = SimulatedOsn::new(graph.clone());
+    let wrapped = faulty_network(FaultProfile::OFF);
+    for v in [0u32, 1, 17, 299] {
+        assert_eq!(
+            bare.neighbors(NodeId(v)).unwrap(),
+            wrapped.neighbors(NodeId(v)).unwrap()
+        );
+    }
+    let a = Engine::with_threads(2).run(&bare, &job()).unwrap();
+    let b = Engine::with_threads(2).run(&wrapped, &job()).unwrap();
+    assert_eq!(a.nodes(), b.nodes());
+    assert_eq!(wrapped.inner().fault_stats().total_injected(), 0);
+}

@@ -1,12 +1,27 @@
 //! Dataset registry: the surrogate and synthetic graphs every figure draws
 //! from, sized according to the experiment scale.
 //!
-//! Graphs are generated deterministically from fixed seeds, optionally cached
-//! as snapshots on disk so repeated `repro` invocations do not regenerate the
-//! larger surrogates.
+//! Graphs are generated deterministically from fixed seeds and cached on
+//! disk by default, so repeated `repro` invocations load instead of
+//! regenerate — at paper scale, regeneration dominates a figure's runtime.
+//! Two cache substrates share one directory
+//! (`wnw_catalog::catalog_dir()/experiments`, overridable via
+//! `$WNW_CATALOG_DIR` or [`DatasetRegistry::with_cache_dir`]):
+//!
+//! * pure-topology graphs (the Figure 11 synthetic BA family and the
+//!   exact-bias graph) go through [`wnw_catalog::GraphSpec`] binary
+//!   catalogs — checksummed, versioned, rebuilt-not-trusted on damage;
+//! * attributed surrogates (Google-Plus-, Yelp-, Twitter-like) use
+//!   [`wnw_graph::io`] snapshots, which carry the attribute columns the
+//!   catalog format deliberately omits.
+//!
+//! Both roundtrips preserve adjacency exactly ([`Graph`] neighbor lists are
+//! always id-sorted), so cached and freshly-generated runs walk identical
+//! paths.
 
 use crate::report::ExperimentScale;
 use std::path::{Path, PathBuf};
+use wnw_catalog::{catalog_dir, GraphModel, GraphSpec};
 use wnw_graph::generators::surrogate::{self, SurrogateDataset};
 use wnw_graph::{io, Graph};
 
@@ -32,17 +47,24 @@ pub struct DatasetRegistry {
 }
 
 impl DatasetRegistry {
-    /// A registry without on-disk caching.
+    /// A registry caching under the default catalog directory
+    /// (`wnw_catalog::catalog_dir()/experiments`).
     pub fn new(scale: ExperimentScale) -> Self {
         DatasetRegistry {
             scale,
-            cache_dir: None,
+            cache_dir: Some(catalog_dir().join("experiments")),
         }
     }
 
-    /// Enables snapshot caching under `dir`.
+    /// Moves the cache under `dir` instead of the default catalog directory.
     pub fn with_cache_dir(mut self, dir: impl AsRef<Path>) -> Self {
         self.cache_dir = Some(dir.as_ref().to_path_buf());
+        self
+    }
+
+    /// Disables on-disk caching entirely; every dataset is regenerated.
+    pub fn without_cache(mut self) -> Self {
+        self.cache_dir = None;
         self
     }
 
@@ -51,6 +73,10 @@ impl DatasetRegistry {
         self.scale
     }
 
+    /// Snapshot cache for attributed surrogates. A snapshot that fails to
+    /// parse is regenerated, never trusted; the write goes through a temp
+    /// file + rename so concurrent `repro` runs never read a half-written
+    /// snapshot.
     fn cached(&self, name: &str, build: impl FnOnce() -> Graph) -> Graph {
         if let Some(dir) = &self.cache_dir {
             let path = dir.join(format!("{name}.snapshot"));
@@ -61,11 +87,29 @@ impl DatasetRegistry {
             }
             let graph = build();
             if std::fs::create_dir_all(dir).is_ok() {
-                let _ = io::write_snapshot_file(&graph, &path);
+                let tmp = dir.join(format!(".{name}.snapshot.tmp-{}", std::process::id()));
+                if io::write_snapshot_file(&graph, &tmp).is_ok()
+                    && std::fs::rename(&tmp, &path).is_err()
+                {
+                    let _ = std::fs::remove_file(&tmp);
+                }
             }
             return graph;
         }
         build()
+    }
+
+    /// Binary-catalog cache for pure-topology graphs: load the spec's
+    /// `.wnwcat` file if a valid one exists, otherwise generate and cache.
+    /// The CSR roundtrip preserves adjacency exactly, so walks over a
+    /// loaded graph match walks over a freshly generated one.
+    fn catalog(&self, name: &str, m: usize, n: usize, seed: u64) -> Graph {
+        let spec = GraphSpec::new(name, GraphModel::BarabasiAlbert { m }, n, seed);
+        let csr = match &self.cache_dir {
+            Some(dir) => spec.load_or_build_in(dir).expect("valid graph spec").0,
+            None => spec.build().expect("valid graph spec"),
+        };
+        csr.to_graph()
     }
 
     /// Node count of the Google-Plus-like surrogate at this scale
@@ -152,12 +196,9 @@ impl DatasetRegistry {
     }
 
     /// A synthetic Barabási–Albert graph with `n` nodes and `m = 5`
-    /// (Figure 11 / Section 7.1).
+    /// (Figure 11 / Section 7.1), served from the binary graph catalog.
     pub fn synthetic(&self, n: usize) -> Graph {
-        self.cached(&format!("synthetic_ba_{n}"), || {
-            wnw_graph::generators::random::barabasi_albert(n, 5, seeds::SYNTHETIC)
-                .expect("valid synthetic size")
-        })
+        self.catalog(&format!("synthetic_ba_{n}"), 5, n, seeds::SYNTHETIC)
     }
 
     /// The small scale-free graph used for the exact-bias study
@@ -168,10 +209,7 @@ impl DatasetRegistry {
             _ => 1_000,
         };
         // m = 7 gives 1000·7 − O(m²) ≈ 6979 edges, closest to the paper's 6951.
-        self.cached(&format!("exact_bias_{n}"), || {
-            wnw_graph::generators::random::barabasi_albert(n, 7, seeds::EXACT_BIAS)
-                .expect("valid exact-bias size")
-        })
+        self.catalog(&format!("exact_bias_{n}"), 7, n, seeds::EXACT_BIAS)
     }
 
     /// Query-cost grid (x-axis of the error-vs-cost figures), scaled to the
@@ -206,7 +244,7 @@ mod tests {
 
     #[test]
     fn quick_scale_datasets_build() {
-        let reg = DatasetRegistry::new(ExperimentScale::Quick);
+        let reg = DatasetRegistry::new(ExperimentScale::Quick).without_cache();
         let gp = reg.google_plus();
         assert_eq!(gp.graph.node_count(), reg.google_plus_size());
         assert!(gp
@@ -225,7 +263,7 @@ mod tests {
 
     #[test]
     fn grids_are_monotone_and_nonempty() {
-        let reg = DatasetRegistry::new(ExperimentScale::Default);
+        let reg = DatasetRegistry::new(ExperimentScale::Default).without_cache();
         let grid = reg.query_budget_grid(3_000);
         assert!(!grid.is_empty());
         assert!(grid.windows(2).all(|w| w[0] <= w[1]));
@@ -234,21 +272,57 @@ mod tests {
     }
 
     #[test]
-    fn caching_roundtrips_through_snapshots() {
-        let dir = std::env::temp_dir().join("wnw_dataset_cache_test");
+    fn synthetic_graphs_cache_as_binary_catalogs() {
+        let dir =
+            std::env::temp_dir().join(format!("wnw_dataset_catalog_test_{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let reg = DatasetRegistry::new(ExperimentScale::Quick).with_cache_dir(&dir);
         let a = reg.synthetic(300);
-        assert!(dir.join("synthetic_ba_300.snapshot").exists());
+        let spec = GraphSpec::new(
+            "synthetic_ba_300",
+            GraphModel::BarabasiAlbert { m: 5 },
+            300,
+            0,
+        );
+        assert!(spec.path_in(&dir).exists(), "catalog file must be written");
+        // Second call loads the catalog; the uncached path regenerates.
+        // All three must agree edge for edge.
         let b = reg.synthetic(300);
-        assert_eq!(a.node_count(), b.node_count());
-        assert_eq!(a.edge_count(), b.edge_count());
+        let fresh = DatasetRegistry::new(ExperimentScale::Quick)
+            .without_cache()
+            .synthetic(300);
+        for g in [&b, &fresh] {
+            assert_eq!(a.node_count(), g.node_count());
+            assert_eq!(a.edge_count(), g.edge_count());
+            assert!((0..300).all(|v| {
+                a.neighbors(wnw_graph::NodeId(v)) == g.neighbors(wnw_graph::NodeId(v))
+            }));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn surrogate_snapshots_still_cache_attributes() {
+        let dir =
+            std::env::temp_dir().join(format!("wnw_dataset_snapshot_test_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let reg = DatasetRegistry::new(ExperimentScale::Quick).with_cache_dir(&dir);
+        let a = reg.yelp();
+        assert!(dir
+            .join(format!("yelp_{}.snapshot", reg.yelp_size()))
+            .exists());
+        let b = reg.yelp();
+        assert_eq!(
+            a.graph.attributes().column("stars"),
+            b.graph.attributes().column("stars"),
+            "the cached snapshot must carry the attribute columns"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn paper_scale_sizes_match_the_paper() {
-        let reg = DatasetRegistry::new(ExperimentScale::Paper);
+        let reg = DatasetRegistry::new(ExperimentScale::Paper).without_cache();
         assert_eq!(reg.google_plus_size(), 16_405);
         assert_eq!(reg.yelp_size(), 120_000);
         assert_eq!(reg.twitter_size(), 81_306);

@@ -70,6 +70,16 @@ pub fn exposition(snapshot: &ServiceMetricsSnapshot) -> String {
         snapshot.jobs_failed,
     );
     exp.counter(
+        "wnw_jobs_degraded_total",
+        "jobs finished as degraded partials (a walker was stopped by a fault)",
+        snapshot.jobs_degraded,
+    );
+    exp.counter(
+        "wnw_walkers_degraded_total",
+        "walkers stopped by a transient fault, exhausted retries, or an open breaker",
+        snapshot.walkers_degraded,
+    );
+    exp.counter(
         "wnw_jobs_finished_total",
         "total terminal jobs",
         snapshot.jobs_finished,
@@ -183,6 +193,64 @@ pub fn exposition(snapshot: &ServiceMetricsSnapshot) -> String {
         gauge(snapshot.history.epoch),
     );
 
+    // Resilience layer: retry/backoff/breaker counters (all zero when the
+    // service runs without a ResilienceMonitor attached).
+    exp.counter(
+        "wnw_resilience_calls_total",
+        "neighbor fetches that entered the retry layer",
+        snapshot.resilience.calls,
+    );
+    exp.counter(
+        "wnw_resilience_faults_seen_total",
+        "retryable faults observed across all attempts",
+        snapshot.resilience.faults_seen,
+    );
+    exp.counter(
+        "wnw_resilience_retries_total",
+        "retry attempts after a retryable fault",
+        snapshot.resilience.retries,
+    );
+    exp.counter(
+        "wnw_resilience_backoff_wait_seconds_total",
+        "simulated seconds spent waiting in backoff",
+        snapshot.resilience.backoff_wait_secs,
+    );
+    exp.counter(
+        "wnw_resilience_rate_limit_honored_total",
+        "rate-limit rejections whose retry_after was honored exactly",
+        snapshot.resilience.rate_limit_honored,
+    );
+    exp.counter(
+        "wnw_resilience_retries_exhausted_total",
+        "calls that failed after the full retry budget",
+        snapshot.resilience.retries_exhausted,
+    );
+    exp.counter(
+        "wnw_resilience_recovered_total",
+        "calls that succeeded after at least one retry",
+        snapshot.resilience.recovered,
+    );
+    exp.counter(
+        "wnw_resilience_breaker_opened_total",
+        "circuit-breaker trips (closed-to-open transitions)",
+        snapshot.resilience.breaker_opened,
+    );
+    exp.counter(
+        "wnw_resilience_breaker_half_open_probes_total",
+        "probe calls admitted while the breaker was half-open",
+        snapshot.resilience.breaker_half_open_probes,
+    );
+    exp.counter(
+        "wnw_resilience_breaker_fast_fails_total",
+        "calls rejected immediately by an open breaker",
+        snapshot.resilience.breaker_fast_fails,
+    );
+    exp.gauge(
+        "wnw_resilience_breaker_open",
+        "whether the circuit breaker is currently open (1) or not (0)",
+        i64::from(snapshot.resilience.breaker_open),
+    );
+
     // Latency and cost distributions.
     exp.histogram(
         "wnw_queue_wait_us",
@@ -208,6 +276,11 @@ pub fn exposition(snapshot: &ServiceMetricsSnapshot) -> String {
         "wnw_job_query_cost",
         "unique-node queries per finished job",
         &snapshot.job_cost_histogram,
+    );
+    exp.histogram(
+        "wnw_resilience_retries_per_query",
+        "retries needed per successful neighbor fetch",
+        &snapshot.resilience.retries_per_call,
     );
 
     exp.finish()
@@ -235,6 +308,8 @@ mod tests {
             jobs_cancelled: 1,
             jobs_expired: 0,
             jobs_failed: 1,
+            jobs_degraded: 1,
+            walkers_degraded: 2,
             jobs_finished: 6,
             samples_delivered: 480,
             aggregate_query_cost: 700,
@@ -265,6 +340,21 @@ mod tests {
                 reuse_savings: 29,
                 epoch: 2,
             },
+            resilience: wnw_service::ResilienceStats {
+                calls: 40,
+                faults_seen: 7,
+                retries: 6,
+                backoff_wait_secs: 19,
+                rate_limit_honored: 3,
+                retries_exhausted: 1,
+                recovered: 5,
+                breaker_opened: 1,
+                breaker_half_open_probes: 1,
+                breaker_fast_fails: 2,
+                breaker_open: true,
+                clock_secs: 77,
+                retries_per_call: Histogram::new().snapshot(),
+            },
             queue_wait_histogram: waits.snapshot(),
             latency_histogram: Histogram::new().snapshot(),
             first_sample_histogram: Histogram::new().snapshot(),
@@ -277,7 +367,7 @@ mod tests {
     fn exposition_is_valid_and_carries_every_family() {
         let text = exposition(&snapshot());
         let stats = validate(&text).expect("document validates");
-        assert_eq!(stats.histograms, 5);
+        assert_eq!(stats.histograms, 6);
         assert!(
             stats.series >= 20,
             "expected a rich scrape, got {} series",
@@ -286,10 +376,18 @@ mod tests {
         for needle in [
             "wnw_jobs_submitted_total 9",
             "wnw_jobs_queued 1",
+            "wnw_jobs_degraded_total 1",
+            "wnw_walkers_degraded_total 2",
             "wnw_shared_cache_savings 300",
             "wnw_pool_cache_hits_total 1400",
             "wnw_worker_pool_workers 3",
             "wnw_history_reuse_savings_total 29",
+            "wnw_resilience_retries_total 6",
+            "wnw_resilience_backoff_wait_seconds_total 19",
+            "wnw_resilience_rate_limit_honored_total 3",
+            "wnw_resilience_breaker_opened_total 1",
+            "wnw_resilience_breaker_open 1",
+            "wnw_resilience_retries_per_query_bucket{le=\"+Inf\"} 0",
             "wnw_queue_wait_us_count 2",
             "wnw_queue_wait_us_sum 4120",
             "wnw_queue_wait_us_bucket{le=\"+Inf\"} 2",

@@ -90,7 +90,7 @@ struct State<N: ThreadedNetwork + 'static> {
 /// | `GET /v1/metrics` | service metrics snapshot (JSON) |
 /// | `GET /v1/metrics/prometheus` | Prometheus text exposition of the same snapshot |
 /// | `GET /v1/jobs/{id}/trace` | the job's lifecycle trace events (JSON array) |
-/// | `GET /healthz` | liveness probe (`status`, `version`, `uptime_seconds`) |
+/// | `GET /healthz` | liveness probe (`status` `ok`/`degraded`, `version`, `uptime_seconds`, breaker + fault counts when a resilience monitor is attached) |
 ///
 /// See the [crate docs](crate) for the wire format and a walkthrough.
 #[derive(Debug)]
@@ -309,15 +309,32 @@ fn respond<N: ThreadedNetwork + 'static>(
     let method = request.method.as_str();
     match (method, segments.as_slice()) {
         ("GET", ["healthz"]) => {
-            let body = Json::obj(vec![
-                ("status", Json::str("ok")),
+            // With a resilience monitor attached, an open circuit breaker
+            // downgrades the probe to "degraded" (still 200: the gateway is
+            // alive and serving, the backend is shedding) and the body
+            // carries the breaker and fault counts a prober needs to alert
+            // on. Without a monitor the original three-field shape is kept.
+            let resilience = state.service.resilience().map(|m| m.stats());
+            let degraded = resilience.is_some_and(|s| s.breaker_open);
+            let mut fields = vec![
+                (
+                    "status",
+                    Json::str(if degraded { "degraded" } else { "ok" }),
+                ),
                 ("version", Json::str(env!("CARGO_PKG_VERSION"))),
                 (
                     "uptime_seconds",
                     Json::UInt(state.started.elapsed().as_secs()),
                 ),
-            ]);
-            write_json(writer, 200, &body, !keep_alive)?;
+            ];
+            if let Some(stats) = resilience {
+                fields.push(("breaker_open", Json::Bool(stats.breaker_open)));
+                fields.push(("breaker_opened", Json::UInt(stats.breaker_opened)));
+                fields.push(("breaker_fast_fails", Json::UInt(stats.breaker_fast_fails)));
+                fields.push(("faults_seen", Json::UInt(stats.faults_seen)));
+                fields.push(("retries_exhausted", Json::UInt(stats.retries_exhausted)));
+            }
+            write_json(writer, 200, &Json::obj(fields), !keep_alive)?;
         }
         ("GET", ["v1", "metrics"]) => {
             let body = wire::metrics_to_json(&state.service.metrics());
@@ -496,6 +513,10 @@ mod tests {
             Some(env!("CARGO_PKG_VERSION"))
         );
         assert!(health.get("uptime_seconds").unwrap().as_u64().is_some());
+        assert!(
+            health.get("breaker_open").is_none(),
+            "without a resilience monitor the probe keeps its three-field shape"
+        );
 
         let metrics = client::get(addr, "/v1/metrics").unwrap();
         assert_eq!(metrics.status, 200);
@@ -525,6 +546,50 @@ mod tests {
             client::delete(addr, "/v1/jobs/1/trace").unwrap().status,
             405
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_reports_degraded_while_the_breaker_is_open() {
+        use wnw_access::interface::SocialNetwork;
+        use wnw_access::{FaultProfile, FaultyNetwork, ResilientNetwork, RetryPolicy};
+        use wnw_graph::NodeId;
+
+        let faulty = FaultyNetwork::new(
+            SimulatedOsn::new(barabasi_albert(200, 3, 5).unwrap()),
+            7,
+            FaultProfile {
+                blackout_fraction: 1.0,
+                ..FaultProfile::OFF
+            },
+        );
+        let policy = RetryPolicy {
+            breaker_threshold: 1,
+            breaker_cooldown_secs: 1 << 40,
+            ..RetryPolicy::DEFAULT
+        };
+        let resilient = ResilientNetwork::new(faulty, policy, 7);
+        let monitor = resilient.monitor();
+        // Trip the breaker before the gateway comes up: every node is
+        // blacked out, so the first failed attempt crosses threshold 1.
+        assert!(resilient.neighbors(NodeId(0)).is_err());
+        assert!(monitor.breaker_open());
+
+        let service = SamplingService::builder(resilient)
+            .pool_threads(1)
+            .resilience(monitor)
+            .build();
+        let server = GatewayServer::bind(service, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let health = client::get(addr, "/healthz").unwrap();
+        assert_eq!(health.status, 200, "degraded is alive, not down");
+        let health = health.json().unwrap();
+        assert_eq!(health.get("status").unwrap().as_str(), Some("degraded"));
+        assert_eq!(health.get("breaker_open").unwrap().as_bool(), Some(true));
+        assert_eq!(health.get("breaker_opened").unwrap().as_u64(), Some(1));
+        assert!(health.get("faults_seen").unwrap().as_u64().unwrap() >= 1);
+        assert!(health.get("retries_exhausted").unwrap().as_u64().is_some());
+        assert!(health.get("breaker_fast_fails").unwrap().as_u64().is_some());
         server.shutdown();
     }
 
@@ -561,7 +626,7 @@ mod tests {
         let text = String::from_utf8(scrape.body.clone()).unwrap();
         let stats = wnw_telemetry::prometheus::validate(&text).expect("scrape validates");
         assert!(stats.series >= 20, "got only {} series", stats.series);
-        assert_eq!(stats.histograms, 5);
+        assert_eq!(stats.histograms, 6);
         assert!(text.contains("wnw_jobs_completed_total 1"));
         assert!(text.contains("wnw_queue_wait_us_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("wnw_job_latency_us_count 1"));

@@ -240,6 +240,8 @@ pub fn outcome_to_json(outcome: &JobOutcome) -> Json {
         ("budget_consumed", Json::UInt(outcome.budget_consumed)),
         ("budget_refunded", Json::UInt(outcome.budget_refunded)),
         ("budget_exhausted", Json::Bool(outcome.budget_exhausted)),
+        ("degraded", Json::Bool(outcome.degraded)),
+        ("degraded_walkers", Json::UInt(outcome.degraded_walkers)),
         ("rounds", Json::UInt(outcome.rounds as u64)),
         ("latency_ms", Json::Num(duration_ms(outcome.latency))),
         ("queue_wait_ms", Json::Num(duration_ms(outcome.queue_wait))),
@@ -266,6 +268,8 @@ pub fn metrics_to_json(snapshot: &ServiceMetricsSnapshot) -> Json {
         ("jobs_cancelled", Json::UInt(snapshot.jobs_cancelled)),
         ("jobs_expired", Json::UInt(snapshot.jobs_expired)),
         ("jobs_failed", Json::UInt(snapshot.jobs_failed)),
+        ("jobs_degraded", Json::UInt(snapshot.jobs_degraded)),
+        ("walkers_degraded", Json::UInt(snapshot.walkers_degraded)),
         ("jobs_finished", Json::UInt(snapshot.jobs_finished)),
         ("jobs_started", Json::UInt(snapshot.jobs_started)),
         ("samples_delivered", Json::UInt(snapshot.samples_delivered)),
@@ -337,6 +341,41 @@ pub fn metrics_to_json(snapshot: &ServiceMetricsSnapshot) -> Json {
             ]),
         ),
         (
+            "resilience",
+            Json::obj(vec![
+                ("calls", Json::UInt(snapshot.resilience.calls)),
+                ("faults_seen", Json::UInt(snapshot.resilience.faults_seen)),
+                ("retries", Json::UInt(snapshot.resilience.retries)),
+                (
+                    "backoff_wait_secs",
+                    Json::UInt(snapshot.resilience.backoff_wait_secs),
+                ),
+                (
+                    "rate_limit_honored",
+                    Json::UInt(snapshot.resilience.rate_limit_honored),
+                ),
+                (
+                    "retries_exhausted",
+                    Json::UInt(snapshot.resilience.retries_exhausted),
+                ),
+                ("recovered", Json::UInt(snapshot.resilience.recovered)),
+                (
+                    "breaker_opened",
+                    Json::UInt(snapshot.resilience.breaker_opened),
+                ),
+                (
+                    "breaker_half_open_probes",
+                    Json::UInt(snapshot.resilience.breaker_half_open_probes),
+                ),
+                (
+                    "breaker_fast_fails",
+                    Json::UInt(snapshot.resilience.breaker_fast_fails),
+                ),
+                ("breaker_open", Json::Bool(snapshot.resilience.breaker_open)),
+                ("clock_secs", Json::UInt(snapshot.resilience.clock_secs)),
+            ]),
+        ),
+        (
             "queue_wait_histogram",
             histogram_to_json(&snapshot.queue_wait_histogram),
         ),
@@ -355,6 +394,10 @@ pub fn metrics_to_json(snapshot: &ServiceMetricsSnapshot) -> Json {
         (
             "round_duration_histogram",
             histogram_to_json(&snapshot.round_duration_histogram),
+        ),
+        (
+            "retries_per_query_histogram",
+            histogram_to_json(&snapshot.resilience.retries_per_call),
         ),
     ])
 }
@@ -586,6 +629,8 @@ mod tests {
             budget_consumed: 400,
             budget_refunded: 600,
             budget_exhausted: false,
+            degraded: true,
+            degraded_walkers: 2,
             rounds: 9,
             latency: Duration::from_millis(15),
             queue_wait: Duration::from_millis(3),
@@ -595,6 +640,8 @@ mod tests {
         assert_eq!(json.get("event").unwrap().as_str(), Some("done"));
         assert_eq!(json.get("status").unwrap().as_str(), Some("cancelled"));
         assert_eq!(json.get("budget_refunded").unwrap().as_u64(), Some(600));
+        assert_eq!(json.get("degraded").unwrap().as_bool(), Some(true));
+        assert_eq!(json.get("degraded_walkers").unwrap().as_u64(), Some(2));
         assert_eq!(json.get("queue_wait_ms").unwrap().as_f64(), Some(3.0));
         // Encodes to a single NDJSON-safe line.
         assert!(!json.encode().contains('\n'));
@@ -619,6 +666,8 @@ mod tests {
             jobs_cancelled: 1,
             jobs_expired: 0,
             jobs_failed: 0,
+            jobs_degraded: 1,
+            walkers_degraded: 2,
             jobs_finished: 3,
             samples_delivered: 40,
             aggregate_query_cost: 100,
@@ -646,6 +695,21 @@ mod tests {
                 reused_walks: 80,
                 reuse_savings: 55,
                 epoch: 3,
+            },
+            resilience: wnw_service::ResilienceStats {
+                calls: 50,
+                faults_seen: 6,
+                retries: 5,
+                backoff_wait_secs: 12,
+                rate_limit_honored: 2,
+                retries_exhausted: 1,
+                recovered: 4,
+                breaker_opened: 1,
+                breaker_half_open_probes: 1,
+                breaker_fast_fails: 3,
+                breaker_open: false,
+                clock_secs: 90,
+                retries_per_call: HistogramSnapshot::default(),
             },
             queue_wait_histogram: queue_wait.snapshot(),
             latency_histogram: latency.snapshot(),
@@ -701,6 +765,8 @@ mod tests {
             jobs_cancelled,
             jobs_expired,
             jobs_failed,
+            jobs_degraded,
+            walkers_degraded,
             jobs_finished,
             samples_delivered,
             aggregate_query_cost,
@@ -713,6 +779,7 @@ mod tests {
             pool,
             worker_pool,
             history,
+            resilience,
             queue_wait_histogram,
             latency_histogram,
             first_sample_histogram,
@@ -730,6 +797,8 @@ mod tests {
             ("jobs_cancelled", jobs_cancelled),
             ("jobs_expired", jobs_expired),
             ("jobs_failed", jobs_failed),
+            ("jobs_degraded", jobs_degraded),
+            ("walkers_degraded", walkers_degraded),
             ("jobs_finished", jobs_finished),
             ("jobs_started", jobs_started),
             ("samples_delivered", samples_delivered),
@@ -759,12 +828,40 @@ mod tests {
             field("history").get("hits").unwrap().as_u64(),
             Some(history.hits)
         );
+        let res = field("resilience");
+        for (key, expected) in [
+            ("calls", resilience.calls),
+            ("faults_seen", resilience.faults_seen),
+            ("retries", resilience.retries),
+            ("backoff_wait_secs", resilience.backoff_wait_secs),
+            ("rate_limit_honored", resilience.rate_limit_honored),
+            ("retries_exhausted", resilience.retries_exhausted),
+            ("recovered", resilience.recovered),
+            ("breaker_opened", resilience.breaker_opened),
+            (
+                "breaker_half_open_probes",
+                resilience.breaker_half_open_probes,
+            ),
+            ("breaker_fast_fails", resilience.breaker_fast_fails),
+            ("clock_secs", resilience.clock_secs),
+        ] {
+            assert_eq!(
+                res.get(key).unwrap().as_u64(),
+                Some(expected),
+                "resilience field `{key}`"
+            );
+        }
+        assert_eq!(
+            res.get("breaker_open").unwrap().as_bool(),
+            Some(resilience.breaker_open)
+        );
         for (key, expected) in [
             ("queue_wait_histogram", queue_wait_histogram),
             ("latency_histogram", latency_histogram),
             ("first_sample_histogram", first_sample_histogram),
             ("job_cost_histogram", job_cost_histogram),
             ("round_duration_histogram", round_duration_histogram),
+            ("retries_per_query_histogram", resilience.retries_per_call),
         ] {
             let doc = field(key);
             assert_eq!(doc.get("count").unwrap().as_u64(), Some(expected.count));
@@ -850,6 +947,8 @@ mod tests {
             budget_consumed: 0,
             budget_refunded: 0,
             budget_exhausted: false,
+            degraded: false,
+            degraded_walkers: 0,
             rounds: 0,
             latency: Duration::ZERO,
             queue_wait: Duration::ZERO,

@@ -38,6 +38,9 @@ pub struct Observation {
     pub submit_error: bool,
     /// Terminal `done` status label, when a stream delivered one.
     pub status: Option<String>,
+    /// The terminal event carried `degraded: true` — the resilience layer
+    /// gave up on at least one of the job's walkers.
+    pub degraded: bool,
     /// The stream errored or ended without a terminal event.
     pub stream_error: bool,
     /// Server-reported queue wait from the `done` event (ms).
@@ -165,6 +168,10 @@ fn drive_one(addr: SocketAddr, request: &PlannedRequest) -> Observation {
             }
             Some("done") => {
                 obs.status = event.get("status").and_then(Json::as_str).map(String::from);
+                obs.degraded = event
+                    .get("degraded")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false);
                 obs.queue_wait_ms = event.get("queue_wait_ms").and_then(Json::as_f64);
                 obs.e2e_ms = Some(ms(t0.elapsed()));
             }
@@ -221,6 +228,12 @@ pub fn scrape_server(addr: SocketAddr) -> io::Result<ServerSummary> {
         history_reused_walks: nested("history", "reused_walks"),
         history_reuse_savings: nested("history", "reuse_savings"),
         budget_refunded: counter("budget_refunded"),
+        jobs_degraded: counter("jobs_degraded"),
+        walkers_degraded: counter("walkers_degraded"),
+        resilience_retries: nested("resilience", "retries"),
+        resilience_recovered: nested("resilience", "recovered"),
+        breaker_opened: nested("resilience", "breaker_opened"),
+        breaker_fast_fails: nested("resilience", "breaker_fast_fails"),
         prometheus_series: 0,
         prometheus_consistent: false,
     };
@@ -278,6 +291,14 @@ pub fn summarize(
     let completed = status_count("completed");
     let cancelled = status_count("cancelled");
     let failed = submitted - completed - cancelled;
+    let degraded = obs.iter().filter(|o| o.degraded).count();
+    // A *lost* job is the resilience layer's cardinal sin: the gateway
+    // accepted it, but its client never saw a terminal event. Shed and
+    // submit-failed requests were never accepted, so they don't count.
+    let lost = obs
+        .iter()
+        .filter(|o| !o.shed && !o.submit_error && o.status.is_none())
+        .count();
 
     let collect = |f: fn(&Observation) -> Option<f64>| {
         LatencySummary::from_ms(obs.iter().filter_map(f).collect())
@@ -307,6 +328,12 @@ pub fn summarize(
         queue_wait_p99_ms: p99_or_nan(&queue_wait_ms),
         e2e_p99_ms: p99_or_nan(&e2e_ms),
         ttfs_p99_ms: p99_or_nan(&ttfs_ms),
+        degraded_rate: if submitted > 0 {
+            degraded as f64 / submitted as f64
+        } else {
+            0.0
+        },
+        lost_jobs: lost as u64,
     });
 
     ScenarioReport {
@@ -319,6 +346,8 @@ pub fn summarize(
         completed,
         cancelled,
         failed,
+        degraded,
+        lost,
         wall_clock_s,
         throughput_rps,
         shed_rate,

@@ -10,11 +10,11 @@
 //! | Module | Role |
 //! |---|---|
 //! | [`arrival`] | seeded Poisson / on-off burst arrival schedules |
-//! | [`scenario`] | [`Scenario`] specs, the four named presets, and deterministic [`WorkPlan`] expansion |
-//! | [`testbed`] | fresh simulated-OSN + service + loopback gateway per run |
+//! | [`scenario`] | [`Scenario`] specs, the four named presets, the [`scenario::chaos`] scenario, and deterministic [`WorkPlan`] expansion |
+//! | [`testbed`] | fresh simulated-OSN + service + loopback gateway per run; the chaos variant wraps the OSN in fault injection + the resilience policy and forces a breaker trip-and-recovery before traffic |
 //! | [`driver`] | the open-loop client driver and the server-metrics cross-check |
-//! | [`slo`] | SLO thresholds and verdicts |
-//! | [`report`] | per-scenario reports and `BENCH_service_load.json` emission |
+//! | [`slo`] | SLO thresholds and verdicts, including the chaos-only max-degraded-rate and zero-job-loss objectives |
+//! | [`report`] | per-scenario reports, `BENCH_service_load.json` and `BENCH_fault_resilience.json` emission |
 //!
 //! Two properties carry the weight:
 //!
@@ -39,7 +39,9 @@
 //! ```
 //!
 //! `cargo run --release --example load_replay` runs the full preset suite
-//! and writes `BENCH_service_load.json` at the repository root.
+//! and writes `BENCH_service_load.json` at the repository root;
+//! `cargo run --release --example chaos_replay` runs the fault-injected
+//! chaos scenario and writes `BENCH_fault_resilience.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -55,6 +57,7 @@ pub use arrival::ArrivalProcess;
 pub use report::{LatencySummary, ScenarioReport, ServerSummary};
 pub use scenario::{presets, Scale, Scenario, WorkPlan};
 pub use slo::{Slo, SloReport};
+pub use testbed::ChaosEvidence;
 
 use std::io;
 
@@ -74,4 +77,20 @@ pub fn suite_json(scale: Scale, reports: &[ScenarioReport]) -> String {
         Scale::Full => "full",
     };
     report::suite_to_json(mode, reports).encode()
+}
+
+/// Runs the [`scenario::chaos`] scenario at `scale` against the
+/// fault-injected testbed (seeded fault schedule, retry/backoff/breaker
+/// wrap, one forced breaker trip-and-recovery before the load starts).
+pub fn run_chaos_suite(scale: Scale) -> io::Result<(ScenarioReport, ChaosEvidence)> {
+    testbed::run_scenario_chaos(&scenario::chaos(scale))
+}
+
+/// The chaos run serialised as the `BENCH_fault_resilience.json` document.
+pub fn chaos_suite_json(scale: Scale, report: &ScenarioReport, evidence: &ChaosEvidence) -> String {
+    let mode = match scale {
+        Scale::Smoke => "smoke",
+        Scale::Full => "full",
+    };
+    report::chaos_suite_to_json(mode, report, evidence).encode()
 }

@@ -90,6 +90,18 @@ pub struct ServerSummary {
     pub history_reuse_savings: u64,
     /// Budget refunded by cancels / hangups.
     pub budget_refunded: u64,
+    /// Completed jobs the server flagged degraded (partial results).
+    pub jobs_degraded: u64,
+    /// Walkers that ended degraded, summed over all jobs.
+    pub walkers_degraded: u64,
+    /// Retry attempts issued by the resilience layer.
+    pub resilience_retries: u64,
+    /// Calls that succeeded only after at least one retry.
+    pub resilience_recovered: u64,
+    /// Closed → open circuit-breaker transitions.
+    pub breaker_opened: u64,
+    /// Calls failed fast at an open breaker.
+    pub breaker_fast_fails: u64,
     /// Series count in the Prometheus exposition (0 when the scrape
     /// failed validation).
     pub prometheus_series: u64,
@@ -119,6 +131,15 @@ impl ServerSummary {
                 Json::UInt(self.history_reuse_savings),
             ),
             ("budget_refunded", Json::UInt(self.budget_refunded)),
+            ("jobs_degraded", Json::UInt(self.jobs_degraded)),
+            ("walkers_degraded", Json::UInt(self.walkers_degraded)),
+            ("resilience_retries", Json::UInt(self.resilience_retries)),
+            (
+                "resilience_recovered",
+                Json::UInt(self.resilience_recovered),
+            ),
+            ("breaker_opened", Json::UInt(self.breaker_opened)),
+            ("breaker_fast_fails", Json::UInt(self.breaker_fast_fails)),
             ("prometheus_series", Json::UInt(self.prometheus_series)),
             (
                 "prometheus_consistent",
@@ -151,6 +172,12 @@ pub struct ScenarioReport {
     /// Jobs that ended `failed` / `expired` / panicked, or whose stream
     /// errored client-side.
     pub failed: usize,
+    /// Jobs whose terminal event carried `degraded: true` — the job
+    /// finished, but the resilience layer gave up on some walkers.
+    pub degraded: usize,
+    /// Accepted jobs whose client never saw a terminal event at all —
+    /// the one count a chaos run must keep at zero.
+    pub lost: usize,
     /// Wall clock of the whole run (dispatch of the first request until
     /// the last stream drained), seconds.
     pub wall_clock_s: f64,
@@ -189,6 +216,8 @@ impl ScenarioReport {
             ("completed", Json::UInt(self.completed as u64)),
             ("cancelled", Json::UInt(self.cancelled as u64)),
             ("failed", Json::UInt(self.failed as u64)),
+            ("degraded", Json::UInt(self.degraded as u64)),
+            ("lost", Json::UInt(self.lost as u64)),
             ("wall_clock_s", Json::Num(round3(self.wall_clock_s))),
             ("throughput_rps", Json::Num(round3(self.throughput_rps))),
             ("shed_rate", Json::Num(round3(self.shed_rate))),
@@ -235,6 +264,110 @@ pub fn suite_to_json(mode: &str, reports: &[ScenarioReport]) -> Json {
             "scenarios",
             Json::Arr(reports.iter().map(ScenarioReport::to_json).collect()),
         ),
+    ])
+}
+
+/// The chaos run as the `BENCH_fault_resilience.json` document: the
+/// scenario row plus the injector / resilience-layer evidence and the
+/// acceptance verdicts derived from it.
+pub fn chaos_suite_to_json(
+    mode: &str,
+    report: &ScenarioReport,
+    evidence: &crate::testbed::ChaosEvidence,
+) -> Json {
+    let faults = evidence.fault_stats;
+    let res = evidence.resilience;
+    Json::obj(vec![
+        ("benchmark", Json::str("fault_resilience")),
+        ("mode", Json::str(mode)),
+        ("slo_pass", Json::Bool(report.slo.pass)),
+        ("jobs_lost", Json::UInt(report.lost as u64)),
+        (
+            "forced_breaker_trip",
+            Json::Bool(evidence.forced_breaker_trip),
+        ),
+        (
+            "breaker_recovered",
+            Json::Bool(evidence.breaker_recovered()),
+        ),
+        (
+            "forced_trip_pre_run",
+            Json::obj(vec![
+                (
+                    "breaker_opened",
+                    Json::UInt(evidence.pre_run.breaker_opened),
+                ),
+                (
+                    "breaker_half_open_probes",
+                    Json::UInt(evidence.pre_run.breaker_half_open_probes),
+                ),
+                ("breaker_open", Json::Bool(evidence.pre_run.breaker_open)),
+            ]),
+        ),
+        (
+            "retries_within_policy",
+            Json::Bool(evidence.retries_within_policy()),
+        ),
+        (
+            "retry_policy",
+            Json::obj(vec![
+                (
+                    "max_retries",
+                    Json::UInt(u64::from(evidence.policy.max_retries)),
+                ),
+                (
+                    "base_backoff_secs",
+                    Json::UInt(evidence.policy.base_backoff_secs),
+                ),
+                (
+                    "max_backoff_secs",
+                    Json::UInt(evidence.policy.max_backoff_secs),
+                ),
+                (
+                    "breaker_threshold",
+                    Json::UInt(u64::from(evidence.policy.breaker_threshold)),
+                ),
+                (
+                    "breaker_cooldown_secs",
+                    Json::UInt(evidence.policy.breaker_cooldown_secs),
+                ),
+            ]),
+        ),
+        (
+            "fault_injection",
+            Json::obj(vec![
+                ("calls_passed", Json::UInt(faults.calls_passed)),
+                ("transient_errors", Json::UInt(faults.transient_errors)),
+                ("stalls", Json::UInt(faults.stalls)),
+                ("stalled_secs", Json::UInt(faults.stalled_secs)),
+                ("rate_limits", Json::UInt(faults.rate_limits)),
+                ("flaps", Json::UInt(faults.flaps)),
+                ("blackout_hits", Json::UInt(faults.blackout_hits)),
+                ("total_injected", Json::UInt(faults.total_injected())),
+            ]),
+        ),
+        (
+            "resilience",
+            Json::obj(vec![
+                ("calls", Json::UInt(res.calls)),
+                ("faults_seen", Json::UInt(res.faults_seen)),
+                ("retries", Json::UInt(res.retries)),
+                ("backoff_wait_secs", Json::UInt(res.backoff_wait_secs)),
+                ("rate_limit_honored", Json::UInt(res.rate_limit_honored)),
+                ("retries_exhausted", Json::UInt(res.retries_exhausted)),
+                ("recovered", Json::UInt(res.recovered)),
+                ("breaker_opened", Json::UInt(res.breaker_opened)),
+                (
+                    "breaker_half_open_probes",
+                    Json::UInt(res.breaker_half_open_probes),
+                ),
+                ("breaker_fast_fails", Json::UInt(res.breaker_fast_fails)),
+                ("breaker_open", Json::Bool(res.breaker_open)),
+                ("clock_secs", Json::UInt(res.clock_secs)),
+                ("max_retries_per_call", Json::UInt(res.retries_per_call.max)),
+            ]),
+        ),
+        ("scenarios", Json::Arr(vec![report.to_json()])),
     ])
 }
 

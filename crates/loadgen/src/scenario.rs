@@ -330,6 +330,8 @@ pub fn steady(scale: Scale) -> Scenario {
             max_queue_wait_p99_ms: 2_000.0,
             max_e2e_p99_ms: 4_000.0,
             max_ttfs_p99_ms: 3_000.0,
+            max_degraded_rate: None,
+            max_lost_jobs: None,
         },
     }
 }
@@ -372,6 +374,8 @@ pub fn burst(scale: Scale) -> Scenario {
             max_queue_wait_p99_ms: 3_000.0,
             max_e2e_p99_ms: 5_000.0,
             max_ttfs_p99_ms: 4_000.0,
+            max_degraded_rate: None,
+            max_lost_jobs: None,
         },
     }
 }
@@ -408,6 +412,8 @@ pub fn hot_key(scale: Scale) -> Scenario {
             max_queue_wait_p99_ms: 2_000.0,
             max_e2e_p99_ms: 4_000.0,
             max_ttfs_p99_ms: 3_000.0,
+            max_degraded_rate: None,
+            max_lost_jobs: None,
         },
     }
 }
@@ -448,11 +454,69 @@ pub fn churn(scale: Scale) -> Scenario {
             max_queue_wait_p99_ms: 3_000.0,
             max_e2e_p99_ms: 5_000.0,
             max_ttfs_p99_ms: 4_000.0,
+            max_degraded_rate: None,
+            max_lost_jobs: None,
         },
     }
 }
 
-/// All four named presets at the given scale, in suite order.
+/// `chaos` — steady-shaped load meant for a **fault-injected** testbed
+/// (see `testbed::run_scenario_chaos`): the workload itself is smooth so
+/// every anomaly in the report is attributable to the injected faults and
+/// the resilience layer's response, not to overload. Its SLO is the only
+/// one with the gated resilience objectives armed: a bounded fraction of
+/// jobs may finish degraded, and **zero** accepted jobs may be lost.
+///
+/// Deliberately *not* part of [`presets`]: `BENCH_service_load.json`
+/// measures the fault-free service, `BENCH_fault_resilience.json`
+/// measures graceful degradation, and mixing the two would let chaos
+/// noise move the baseline numbers.
+pub fn chaos(scale: Scale) -> Scenario {
+    Scenario {
+        name: "chaos",
+        seed: 0xC4A0_5BAD,
+        duration: scale.window(1.5, 5.0),
+        arrivals: ArrivalProcess::Poisson {
+            rps: scale.rate(20.0, 50.0),
+        },
+        nodes: scale.nodes(),
+        zipf_s: 0.8,
+        samples_per_job: 4,
+        walkers: 2,
+        budget: Some(1_000_000),
+        priority_mix: PriorityMix::NORMAL_ONLY,
+        history_mix: HistoryMix {
+            isolated: 0.5,
+            shared_read: 0.0,
+            shared_publish: 0.5,
+        },
+        cancel_rate: 0.0,
+        slow_reader_fraction: 0.0,
+        stall: PRESET_STALL,
+        slo: Slo {
+            // Latency bounds stay loose: chaos scores *degradation*, and
+            // backoff waits are simulated-clock, not wall-clock.
+            min_throughput_rps: scale.rate(4.0, 12.0),
+            max_shed_rate: 0.25,
+            max_queue_wait_p99_ms: 3_000.0,
+            max_e2e_p99_ms: 5_000.0,
+            max_ttfs_p99_ms: 4_000.0,
+            // The scored objectives: faults may cost completeness on a
+            // bounded slice of jobs, but never an entire job. Full-scale
+            // chaos weather degrades ~35% of jobs (a walker that walks
+            // into the blacked-out node, or through an open-breaker
+            // window, ends early); the bound leaves margin above that,
+            // and would still catch a hub blackout or a stuck breaker
+            // (both degrade ~100%).
+            max_degraded_rate: Some(0.45),
+            max_lost_jobs: Some(0),
+        },
+    }
+}
+
+/// All four named presets at the given scale, in suite order. The
+/// [`chaos`] scenario is intentionally excluded — it runs against the
+/// fault-injected testbed and reports into its own bench artifact.
 pub fn presets(scale: Scale) -> Vec<Scenario> {
     vec![steady(scale), burst(scale), hot_key(scale), churn(scale)]
 }
@@ -502,6 +566,19 @@ mod tests {
             .requests
             .iter()
             .all(|r| (r.start_node as usize) < scenario.nodes));
+    }
+
+    #[test]
+    fn chaos_arms_the_resilience_objectives_but_stays_out_of_the_presets() {
+        let scenario = chaos(Scale::Smoke);
+        assert!(scenario.slo.max_degraded_rate.is_some());
+        assert_eq!(scenario.slo.max_lost_jobs, Some(0));
+        assert!(!scenario.plan().requests.is_empty());
+        assert!(
+            presets(Scale::Smoke).iter().all(|s| s.name != "chaos"),
+            "chaos must not leak into the fault-free preset suite"
+        );
+        assert_eq!(presets(Scale::Smoke).len(), 4);
     }
 
     #[test]

@@ -21,6 +21,16 @@ pub struct Slo {
     /// p99 time-to-first-sample (submit → first sample event, ms) upper
     /// bound — the paper's headline "walk, not wait" promise, as an SLO.
     pub max_ttfs_p99_ms: f64,
+    /// Chaos scenarios only: at most this fraction of accepted jobs may
+    /// finish degraded (partial results after the resilience layer gave
+    /// up on some walkers). `None` skips the check — the fault-free
+    /// presets have nothing to degrade.
+    pub max_degraded_rate: Option<f64>,
+    /// Chaos scenarios only: at most this many accepted jobs may be
+    /// *lost* — accepted but never delivering a terminal event. Chaos
+    /// runs pin this to zero: faults may degrade answers, never drop
+    /// jobs. `None` skips the check.
+    pub max_lost_jobs: Option<u64>,
 }
 
 /// The observed aggregates an [`Slo`] is checked against.
@@ -36,6 +46,10 @@ pub struct Observed {
     pub e2e_p99_ms: f64,
     /// Client-observed p99 time-to-first-sample in ms.
     pub ttfs_p99_ms: f64,
+    /// Degraded terminal events / accepted jobs.
+    pub degraded_rate: f64,
+    /// Accepted jobs that never reached a terminal event.
+    pub lost_jobs: u64,
 }
 
 /// One objective's verdict.
@@ -75,7 +89,7 @@ impl Slo {
             observed: value,
             pass: value <= threshold,
         };
-        let checks = vec![
+        let mut checks = vec![
             at_least(
                 "throughput_rps_min",
                 self.min_throughput_rps,
@@ -94,6 +108,19 @@ impl Slo {
                 observed.ttfs_p99_ms,
             ),
         ];
+        // The resilience objectives are gated: fault-free presets keep
+        // them `None` and the report shape stays exactly the classic five
+        // checks. Chaos scenarios append them *after* the pinned five.
+        if let Some(max) = self.max_degraded_rate {
+            checks.push(at_most("degraded_rate_max", max, observed.degraded_rate));
+        }
+        if let Some(max) = self.max_lost_jobs {
+            checks.push(at_most(
+                "lost_jobs_max",
+                max as f64,
+                observed.lost_jobs as f64,
+            ));
+        }
         let pass = checks.iter().all(|c| c.pass);
         SloReport { checks, pass }
     }
@@ -110,18 +137,26 @@ mod tests {
             max_queue_wait_p99_ms: 100.0,
             max_e2e_p99_ms: 500.0,
             max_ttfs_p99_ms: 200.0,
+            max_degraded_rate: None,
+            max_lost_jobs: None,
         }
     }
 
-    #[test]
-    fn passing_run_passes_every_check() {
-        let report = slo().evaluate(&Observed {
+    fn observed() -> Observed {
+        Observed {
             throughput_rps: 25.0,
             shed_rate: 0.0,
             queue_wait_p99_ms: 12.0,
             e2e_p99_ms: 80.0,
             ttfs_p99_ms: 15.0,
-        });
+            degraded_rate: 0.0,
+            lost_jobs: 0,
+        }
+    }
+
+    #[test]
+    fn passing_run_passes_every_check() {
+        let report = slo().evaluate(&observed());
         assert!(report.pass);
         assert_eq!(report.checks.len(), 5);
         assert!(report.checks.iter().all(|c| c.pass));
@@ -130,11 +165,8 @@ mod tests {
     #[test]
     fn each_violation_fails_its_own_check_only() {
         let report = slo().evaluate(&Observed {
-            throughput_rps: 25.0,
             shed_rate: 0.5, // violated
-            queue_wait_p99_ms: 12.0,
-            e2e_p99_ms: 80.0,
-            ttfs_p99_ms: 15.0,
+            ..observed()
         });
         assert!(!report.pass);
         let failed: Vec<_> = report
@@ -150,10 +182,10 @@ mod tests {
     fn nan_observations_fail() {
         let report = slo().evaluate(&Observed {
             throughput_rps: f64::NAN,
-            shed_rate: 0.0,
             queue_wait_p99_ms: 0.0,
             e2e_p99_ms: 0.0,
             ttfs_p99_ms: f64::NAN,
+            ..observed()
         });
         assert!(!report.pass);
         assert_eq!(
@@ -161,5 +193,45 @@ mod tests {
             2,
             "both NaN checks must fail"
         );
+    }
+
+    #[test]
+    fn resilience_checks_are_gated_and_appended_after_the_classic_five() {
+        let chaos_slo = Slo {
+            max_degraded_rate: Some(0.25),
+            max_lost_jobs: Some(0),
+            ..slo()
+        };
+        let report = chaos_slo.evaluate(&Observed {
+            degraded_rate: 0.1,
+            lost_jobs: 0,
+            ..observed()
+        });
+        assert!(report.pass);
+        assert_eq!(report.checks.len(), 7);
+        assert_eq!(report.checks[5].name, "degraded_rate_max");
+        assert_eq!(report.checks[6].name, "lost_jobs_max");
+    }
+
+    #[test]
+    fn degradation_and_job_loss_fail_their_checks() {
+        let chaos_slo = Slo {
+            max_degraded_rate: Some(0.25),
+            max_lost_jobs: Some(0),
+            ..slo()
+        };
+        let report = chaos_slo.evaluate(&Observed {
+            degraded_rate: 0.4, // violated
+            lost_jobs: 1,       // violated
+            ..observed()
+        });
+        assert!(!report.pass);
+        let failed: Vec<_> = report
+            .checks
+            .iter()
+            .filter(|c| !c.pass)
+            .map(|c| c.name)
+            .collect();
+        assert_eq!(failed, ["degraded_rate_max", "lost_jobs_max"]);
     }
 }

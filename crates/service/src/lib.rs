@@ -119,6 +119,10 @@ pub use wnw_engine::{HistoryPolicy, HistoryStore, HistoryStoreStats, ReuseCorrec
 // The telemetry substrate's types a frontend needs to read the metrics
 // snapshot's histograms and the per-job lifecycle trace.
 pub use wnw_telemetry::{Histogram, HistogramSnapshot, TraceEvent, TraceEventKind, TraceLog};
+// The resilience layer's handle and stats, re-exported so frontends can
+// attach a monitor and read retry/backoff/breaker counters without
+// depending on `wnw-access` directly.
+pub use wnw_access::{ResilienceMonitor, ResilienceStats};
 
 #[cfg(test)]
 mod tests {

@@ -10,6 +10,7 @@ use crate::stream::{JobOutcome, JobStatus};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use wnw_access::counter::QueryStats;
+use wnw_access::ResilienceStats;
 use wnw_engine::HistoryStoreStats;
 use wnw_runtime::PoolStats;
 use wnw_telemetry::{saturating_micros, Histogram, HistogramSnapshot};
@@ -29,6 +30,11 @@ pub struct ServiceMetrics {
     cancelled: AtomicU64,
     expired: AtomicU64,
     failed: AtomicU64,
+    /// Jobs that finished as degraded partials (a walker was stopped by a
+    /// transient fault, exhausted retries, or an open breaker).
+    degraded: AtomicU64,
+    /// Walkers stopped by a degradation, lifetime, across all jobs.
+    walkers_degraded: AtomicU64,
     samples_delivered: AtomicU64,
     isolated_query_cost: AtomicU64,
     budget_refunded: AtomicU64,
@@ -128,6 +134,11 @@ impl ServiceMetrics {
             JobStatus::Failed(_) | JobStatus::Panicked(_) => &self.failed,
         };
         bucket.fetch_add(1, Ordering::Relaxed);
+        if outcome.degraded {
+            self.degraded.fetch_add(1, Ordering::Relaxed);
+            self.walkers_degraded
+                .fetch_add(outcome.degraded_walkers, Ordering::Relaxed);
+        }
         self.samples_delivered
             .fetch_add(delivered, Ordering::Relaxed);
         self.isolated_query_cost
@@ -157,6 +168,7 @@ impl ServiceMetrics {
         pool: QueryStats,
         worker_pool: PoolStats,
         history: HistoryStoreStats,
+        resilience: ResilienceStats,
     ) -> ServiceMetricsSnapshot {
         let finished = self.finished.load(Ordering::Relaxed);
         let latency_micros = self.latency_micros.load(Ordering::Relaxed);
@@ -171,6 +183,8 @@ impl ServiceMetrics {
             jobs_cancelled: self.cancelled.load(Ordering::Relaxed),
             jobs_expired: self.expired.load(Ordering::Relaxed),
             jobs_failed: self.failed.load(Ordering::Relaxed),
+            jobs_degraded: self.degraded.load(Ordering::Relaxed),
+            walkers_degraded: self.walkers_degraded.load(Ordering::Relaxed),
             jobs_finished: finished,
             samples_delivered: self.samples_delivered.load(Ordering::Relaxed),
             aggregate_query_cost: pool.unique_nodes,
@@ -189,6 +203,7 @@ impl ServiceMetrics {
             pool,
             worker_pool,
             history,
+            resilience,
             queue_wait_histogram: self.queue_wait.snapshot(),
             latency_histogram: self.latency.snapshot(),
             first_sample_histogram: self.first_sample.snapshot(),
@@ -217,6 +232,14 @@ pub struct ServiceMetricsSnapshot {
     pub jobs_expired: u64,
     /// Jobs stopped by an access error or sampler panic (lifetime).
     pub jobs_failed: u64,
+    /// Jobs that finished as **degraded partials**: a walker was stopped by
+    /// a transient fault, exhausted retries, or an open circuit breaker,
+    /// and the job completed with the samples it had (lifetime). A subset
+    /// of [`jobs_completed`](Self::jobs_completed) in the common case —
+    /// degradation flags the outcome, it does not change the status.
+    pub jobs_degraded: u64,
+    /// Walkers stopped by a degradation, lifetime, across all jobs.
+    pub walkers_degraded: u64,
     /// Total terminal jobs (= completed + cancelled + expired + failed).
     pub jobs_finished: u64,
     /// Samples streamed to consumers (lifetime).
@@ -259,6 +282,13 @@ pub struct ServiceMetricsSnapshot {
     /// unique-node query cost of the walk histories reusing jobs inherited
     /// instead of re-spending.
     pub history: HistoryStoreStats,
+    /// The resilience layer's counters (retries, backoff waits, honored
+    /// rate limits, breaker transitions, and the retries-per-query
+    /// histogram), when the service was built with a
+    /// [`ResilienceMonitor`](wnw_access::ResilienceMonitor) attached via
+    /// [`ServiceBuilder::resilience`](crate::ServiceBuilder::resilience).
+    /// All-zero otherwise.
+    pub resilience: ResilienceStats,
     /// Distribution of admission→first-round queue waits (microseconds),
     /// over the same population as [`mean_queue_wait`](Self::mean_queue_wait).
     pub queue_wait_histogram: HistogramSnapshot,
@@ -300,6 +330,8 @@ mod tests {
             budget_consumed: cost,
             budget_refunded: 3,
             budget_exhausted: false,
+            degraded: false,
+            degraded_walkers: 0,
             rounds: 1,
             latency: Duration::from_micros(500),
             queue_wait: Duration::from_micros(100),
@@ -346,6 +378,7 @@ mod tests {
                 reuse_savings: 41,
                 epoch: 3,
             },
+            ResilienceStats::default(),
         );
         assert_eq!(snap.jobs_submitted, 2);
         assert_eq!(snap.jobs_rejected, 1);
@@ -381,6 +414,31 @@ mod tests {
     }
 
     #[test]
+    fn degraded_outcomes_count_jobs_and_walkers() {
+        let metrics = ServiceMetrics::default();
+        metrics.try_admit(8).unwrap();
+        metrics.on_submit();
+        metrics.on_start(Duration::ZERO);
+        let mut partial = outcome(JobStatus::Completed, 4, 9);
+        partial.degraded = true;
+        partial.degraded_walkers = 3;
+        metrics.on_finish(&partial, 4);
+        metrics.try_admit(8).unwrap();
+        metrics.on_submit();
+        metrics.on_start(Duration::ZERO);
+        metrics.on_finish(&outcome(JobStatus::Completed, 2, 3), 2);
+        let snap = metrics.snapshot(
+            QueryStats::default(),
+            PoolStats::default(),
+            HistoryStoreStats::default(),
+            ResilienceStats::default(),
+        );
+        assert_eq!(snap.jobs_completed, 2, "degraded partials still complete");
+        assert_eq!(snap.jobs_degraded, 1);
+        assert_eq!(snap.walkers_degraded, 3);
+    }
+
+    #[test]
     fn first_sample_and_round_histograms_record() {
         let metrics = ServiceMetrics::default();
         metrics.on_first_sample(Duration::from_micros(250));
@@ -390,6 +448,7 @@ mod tests {
             QueryStats::default(),
             PoolStats::default(),
             HistoryStoreStats::default(),
+            ResilienceStats::default(),
         );
         assert_eq!(snap.first_sample_histogram.count, 1);
         assert_eq!(snap.first_sample_histogram.max, 250);
@@ -415,6 +474,7 @@ mod tests {
             QueryStats::default(),
             PoolStats::default(),
             HistoryStoreStats::default(),
+            ResilienceStats::default(),
         );
         assert_eq!(snap.max_queue_wait, Duration::from_micros(u64::MAX));
         assert_eq!(snap.queue_wait_histogram.max, u64::MAX);
@@ -429,6 +489,7 @@ mod tests {
             QueryStats::default(),
             PoolStats::default(),
             HistoryStoreStats::default(),
+            ResilienceStats::default(),
         );
         assert_eq!(snap.mean_latency, Duration::ZERO);
         assert_eq!(snap.shared_cache_savings(), 0);

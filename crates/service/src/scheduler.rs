@@ -467,6 +467,8 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
                 budget_consumed: 0,
                 budget_refunded: submission.request.job.budget.unwrap_or(0),
                 budget_exhausted: false,
+                degraded: false,
+                degraded_walkers: 0,
                 rounds: 0,
                 latency: submission.submitted_at.elapsed(),
                 queue_wait,
@@ -626,6 +628,10 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
 
         let samples: usize = reports.iter().map(|r| r.samples.len()).sum();
         let budget_consumed: u64 = reports.iter().map(|r| r.stats.unique_nodes).sum();
+        // A degradation (transient fault, exhausted retries, open breaker)
+        // does not change the terminal status — the job *completed*, with
+        // partial evidence — it is reported as a flag plus a walker count.
+        let degraded_walkers = reports.iter().filter(|r| r.degraded.is_some()).count() as u64;
         let mut outcome = JobOutcome {
             id: job.id,
             status,
@@ -635,6 +641,8 @@ impl<N: ThreadedNetwork + 'static> Scheduler<N> {
             budget_consumed,
             budget_refunded: job.budget.map_or(0, |b| b.saturating_sub(budget_consumed)),
             budget_exhausted: reports.iter().any(|r| r.budget_exhausted),
+            degraded: degraded_walkers > 0,
+            degraded_walkers,
             rounds,
             latency,
             queue_wait: job.queue_wait,

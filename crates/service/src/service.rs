@@ -13,6 +13,7 @@ use std::time::Instant;
 use wnw_access::cached::CachedNetwork;
 use wnw_access::counter::QueryStats;
 use wnw_access::interface::{SocialNetwork, ThreadedNetwork};
+use wnw_access::ResilienceMonitor;
 use wnw_engine::{HistoryStore, HistoryStoreStats};
 use wnw_runtime::{PoolStats, WorkerPool};
 use wnw_telemetry::{TraceEvent, TraceEventKind, TraceLog, DEFAULT_TRACE_CAPACITY};
@@ -75,6 +76,7 @@ impl Default for ServiceConfig {
 pub struct ServiceBuilder<N> {
     network: N,
     config: ServiceConfig,
+    resilience: Option<ResilienceMonitor>,
 }
 
 impl<N: ThreadedNetwork + 'static> ServiceBuilder<N> {
@@ -122,6 +124,17 @@ impl<N: ThreadedNetwork + 'static> ServiceBuilder<N> {
         self
     }
 
+    /// Attaches the [`ResilienceMonitor`] of the
+    /// [`ResilientNetwork`](wnw_access::ResilientNetwork) the service is
+    /// built over, so retry/backoff/breaker counters appear in
+    /// [`SamplingService::metrics`] (and degraded breaker state in
+    /// frontends' health endpoints). The service itself never consults the
+    /// monitor — it only snapshots it.
+    pub fn resilience(mut self, monitor: ResilienceMonitor) -> Self {
+        self.resilience = Some(monitor);
+        self
+    }
+
     /// Spawns the worker pool and the scheduler thread, and returns the
     /// running service. These are the service's only thread spawns: every
     /// round of every future job reuses the pool built here.
@@ -165,6 +178,7 @@ impl<N: ThreadedNetwork + 'static> ServiceBuilder<N> {
             scheduler: Some(handle),
             next_id: AtomicU64::new(0),
             config: self.config,
+            resilience: self.resilience,
         }
     }
 }
@@ -205,6 +219,10 @@ pub struct SamplingService<N: ThreadedNetwork + 'static> {
     scheduler: Option<JoinHandle<()>>,
     next_id: AtomicU64,
     config: ServiceConfig,
+    /// The resilience layer's stats handle, when the service was built over
+    /// a `ResilientNetwork` and given its monitor via
+    /// [`ServiceBuilder::resilience`].
+    resilience: Option<ResilienceMonitor>,
 }
 
 impl<N: ThreadedNetwork + 'static> SamplingService<N> {
@@ -218,6 +236,7 @@ impl<N: ThreadedNetwork + 'static> SamplingService<N> {
         ServiceBuilder {
             network,
             config: ServiceConfig::default(),
+            resilience: None,
         }
     }
 
@@ -308,7 +327,17 @@ impl<N: ThreadedNetwork + 'static> SamplingService<N> {
             self.cache.query_stats(),
             self.pool.stats(),
             self.history.stats(),
+            self.resilience
+                .as_ref()
+                .map(|m| m.stats())
+                .unwrap_or_default(),
         )
+    }
+
+    /// The attached [`ResilienceMonitor`], if the service was built with
+    /// one (see [`ServiceBuilder::resilience`]).
+    pub fn resilience(&self) -> Option<&ResilienceMonitor> {
+        self.resilience.as_ref()
     }
 
     /// The cross-job history store's counters (also embedded in

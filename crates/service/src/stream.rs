@@ -120,6 +120,15 @@ pub struct JobOutcome {
     pub budget_refunded: u64,
     /// Whether any walker stopped on budget exhaustion.
     pub budget_exhausted: bool,
+    /// Whether the job completed as a **degraded partial**: at least one
+    /// walker was stopped by a transient fault, exhausted retries, or an
+    /// open circuit breaker. The samples delivered before the fault are
+    /// kept, and the job's history still publishes — partial walks are
+    /// evidence, not waste.
+    pub degraded: bool,
+    /// How many walkers were stopped by a degradation (0 when
+    /// [`degraded`](Self::degraded) is false).
+    pub degraded_walkers: u64,
     /// Rounds the job ran.
     pub rounds: usize,
     /// Submit-to-done wall-clock latency.
@@ -262,6 +271,8 @@ mod tests {
             budget_consumed: 0,
             budget_refunded: 0,
             budget_exhausted: false,
+            degraded: false,
+            degraded_walkers: 0,
             rounds: 0,
             latency: Duration::ZERO,
             queue_wait: Duration::ZERO,

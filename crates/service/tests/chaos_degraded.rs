@@ -1,0 +1,102 @@
+//! Chaos end-to-end: a mid-job fault burst turns the job into a
+//! *degraded partial* — it completes, keeps the samples it collected,
+//! publishes its walks to the shared history, and a later job seeds off
+//! them. Degradation costs completeness, never the job and never the
+//! cross-job reuse lever.
+
+use wnw_access::{FaultProfile, FaultyNetwork, ResilientNetwork, RetryPolicy, SimulatedOsn};
+use wnw_engine::SampleJob;
+use wnw_graph::generators::random::barabasi_albert;
+use wnw_graph::NodeId;
+use wnw_mcmc::RandomWalkKind;
+use wnw_service::{HistoryPolicy, JobStatus, SampleRequest, SamplingService};
+
+const GRAPH_SEED: u64 = 0xD15E_A5ED;
+const FAULT_SEED: u64 = 43;
+
+fn chaos_service() -> SamplingService<ResilientNetwork<FaultyNetwork<SimulatedOsn>>> {
+    // Just enough blackout coverage that some — but not all — of a
+    // multi-walker job's walkers walk into a blacked-out node mid-flight;
+    // everything else in the chaos profile recovers within the retry
+    // budget. (At this seed, two of four walkers degrade.)
+    let profile = FaultProfile {
+        blackout_fraction: 0.005,
+        ..FaultProfile::chaos()
+    };
+    let osn = ResilientNetwork::new(
+        FaultyNetwork::new(
+            SimulatedOsn::new(barabasi_albert(300, 3, GRAPH_SEED).unwrap()),
+            FAULT_SEED,
+            profile,
+        ),
+        RetryPolicy::DEFAULT.without_breaker(),
+        FAULT_SEED,
+    );
+    SamplingService::builder(osn).pool_threads(1).build()
+}
+
+fn job() -> SampleJob {
+    SampleJob::walk_estimate(RandomWalkKind::Simple, 16, 9)
+        .with_walkers(4)
+        .with_diameter_estimate(4)
+        .with_start_node(NodeId(0))
+}
+
+#[test]
+fn degraded_partial_publishes_history_and_seeds_a_later_job() {
+    let service = chaos_service();
+
+    // Job A: publishes to the shared history, loses walkers to the fault
+    // burst mid-job — and still completes with the samples it got.
+    let a = service
+        .submit(SampleRequest::new(job()).with_history_policy(HistoryPolicy::SharedPublish))
+        .unwrap();
+    let (samples, outcome) = a.stream.collect_all();
+    let outcome = outcome.expect("job A must reach a terminal event");
+    assert_eq!(outcome.status, JobStatus::Completed);
+    assert!(outcome.degraded, "the fault burst must degrade job A");
+    assert!(outcome.degraded_walkers >= 1);
+    assert!(
+        (outcome.degraded_walkers as usize) < 4,
+        "a partial, not a wipeout — some walkers must survive"
+    );
+    assert!(
+        !samples.is_empty(),
+        "samples collected before the burst are kept"
+    );
+
+    // Job B: same history key (start node + walk kind), read-only. The
+    // degraded job's walks must already be in the store for B to seed
+    // off, because history publication happens before the job finishes.
+    let b = service
+        .submit(SampleRequest::new(job()).with_history_policy(HistoryPolicy::SharedReadOnly))
+        .unwrap();
+    let (_, outcome_b) = b.stream.collect_all();
+    let outcome_b = outcome_b.expect("job B must finish");
+    assert_eq!(outcome_b.status, JobStatus::Completed);
+
+    let history = service.history_stats();
+    assert!(
+        history.hits >= 1,
+        "job B must hit the snapshot job A published"
+    );
+    assert!(
+        history.reused_walks >= 1,
+        "job B must reuse at least one of the degraded job's walks"
+    );
+
+    // Job B walks the same chaotic network (with the injector's fault
+    // stream advanced past job A), so it may or may not degrade too —
+    // the service tallies must agree with whatever actually happened.
+    let metrics = service.shutdown();
+    assert_eq!(metrics.jobs_completed, 2);
+    assert_eq!(
+        metrics.jobs_degraded,
+        1 + u64::from(outcome_b.degraded),
+        "job A degraded; job B counts iff its outcome says so"
+    );
+    assert_eq!(
+        metrics.walkers_degraded,
+        outcome.degraded_walkers + outcome_b.degraded_walkers
+    );
+}

@@ -137,6 +137,22 @@ impl Histogram {
         self.snapshot().quantile(q)
     }
 
+    /// Clears every bucket and aggregate back to the empty state.
+    ///
+    /// Not atomic with respect to concurrent writers — a racing `record`
+    /// may survive or be partially dropped. Use only at quiescent points
+    /// (test setup, counter-reset endpoints), like every other `reset` in
+    /// this workspace.
+    pub fn reset(&self) {
+        for bucket in &self.counts {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of every bucket and aggregate.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let counts = std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed));
@@ -375,6 +391,21 @@ mod tests {
         assert_eq!(snap.max, 40_000);
         assert_eq!(snap.sum, 40_000 * 40_001 / 2);
         assert_eq!(snap.counts.iter().sum::<u64>(), 40_000);
+    }
+
+    #[test]
+    fn reset_restores_the_empty_state() {
+        let h = Histogram::new();
+        for v in [3u64, 9, 81] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        h.reset();
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+        // Recording after a reset behaves like a fresh histogram.
+        h.record(42);
+        let snap = h.snapshot();
+        assert_eq!((snap.count, snap.min, snap.max), (1, 42, 42));
     }
 
     #[test]

@@ -35,6 +35,9 @@
 //! | `wnw_pool_*_total` | counter | shared neighbor-cache counters |
 //! | `wnw_worker_pool_*` | counter / gauge | persistent worker-pool round dispatch |
 //! | `wnw_history_*` | counter / gauge | cross-job history-store reuse |
+//! | `wnw_jobs_degraded_total`, `wnw_walkers_degraded_total` | counter | jobs finished as degraded partials / walkers stopped by faults |
+//! | `wnw_resilience_*_total` | counter | retry/backoff/breaker counters (calls, faults seen, retries, backoff-wait seconds, honored rate limits, exhausted retries, recoveries, breaker trips, half-open probes, fast-fails) |
+//! | `wnw_resilience_breaker_open` | gauge | whether the circuit breaker is currently open |
 //! | `wnw_queue_wait_us`, `wnw_job_latency_us`, `wnw_time_to_first_sample_us`, `wnw_round_duration_us` | histogram | microsecond latency distributions |
 //! | `wnw_job_query_cost` | histogram | unique-node queries per finished job |
 //!

@@ -225,7 +225,9 @@ fn live_service_snapshot_renders_to_valid_prometheus_text() {
     let text = walk_not_wait::gateway::prom::exposition(&metrics);
     let stats = validate(&text).expect("live snapshot validates");
     assert!(stats.series >= 20, "got {} series", stats.series);
-    assert_eq!(stats.histograms, 5);
+    // Five latency/cost histograms plus the resilience layer's
+    // retries-per-call distribution.
+    assert_eq!(stats.histograms, 6);
     assert!(text.contains("wnw_jobs_completed_total 2"));
     assert!(text.contains("wnw_time_to_first_sample_us_count 2"));
 }
