@@ -6,7 +6,7 @@
 //! ([`get`] / [`post`] / [`delete`], or [`Connection`] for keep-alive
 //! reuse) and chunked NDJSON event streams ([`open_stream`]).
 
-use crate::http::status_reason;
+use crate::http::{is_idle_timeout, status_reason};
 use crate::json::{self, Json, JsonError};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -199,12 +199,12 @@ fn read_body(
                 .parse::<usize>()
                 .map_err(|_| invalid(format!("bad Content-Length {v:?}")))?;
             let mut body = vec![0u8; length];
-            reader.read_exact(&mut body)?;
+            reader.read_exact(&mut body).map_err(normalize_timeout)?;
             Ok(body)
         }
         None => {
             let mut body = Vec::new();
-            reader.read_to_end(&mut body)?;
+            reader.read_to_end(&mut body).map_err(normalize_timeout)?;
             Ok(body)
         }
     }
@@ -225,9 +225,9 @@ fn read_chunk(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Vec<u8>>> 
         return Ok(None);
     }
     let mut chunk = vec![0u8; size];
-    reader.read_exact(&mut chunk)?;
+    reader.read_exact(&mut chunk).map_err(normalize_timeout)?;
     let mut crlf = [0u8; 2];
-    reader.read_exact(&mut crlf)?;
+    reader.read_exact(&mut crlf).map_err(normalize_timeout)?;
     if &crlf != b"\r\n" {
         return Err(invalid("chunk not CRLF-terminated".to_string()));
     }
@@ -236,7 +236,9 @@ fn read_chunk(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Vec<u8>>> 
 
 fn read_line(reader: &mut impl BufRead) -> io::Result<String> {
     let mut raw = Vec::new();
-    let read = reader.read_until(b'\n', &mut raw)?;
+    let read = reader
+        .read_until(b'\n', &mut raw)
+        .map_err(normalize_timeout)?;
     if read == 0 {
         return Err(io::Error::new(
             io::ErrorKind::UnexpectedEof,
@@ -251,6 +253,19 @@ fn read_line(reader: &mut impl BufRead) -> io::Result<String> {
 
 fn invalid(message: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+/// Normalizes the platform-dependent socket-timeout kinds (`WouldBlock`
+/// on Unix, `TimedOut` on Windows — see
+/// [`is_idle_timeout`](crate::http::is_idle_timeout)) to `TimedOut`, so
+/// callers that distinguish "server too slow" from "connection broken"
+/// can match one kind on every platform.
+fn normalize_timeout(e: io::Error) -> io::Error {
+    if is_idle_timeout(&e) {
+        io::Error::new(io::ErrorKind::TimedOut, e)
+    } else {
+        e
+    }
 }
 
 /// Opens `GET {path}` and returns the NDJSON event stream. Fails with

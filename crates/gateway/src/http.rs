@@ -1,20 +1,30 @@
-//! Hand-rolled HTTP/1.1 wire handling: request parsing and response
-//! writing.
+//! Hand-rolled HTTP/1.1 wire handling: incremental request parsing and
+//! response encoding.
 //!
 //! The gateway speaks the small, boring subset of HTTP/1.1 that a sampling
 //! frontend needs — request line + headers + `Content-Length` bodies on the
 //! way in; fixed-length or `Transfer-Encoding: chunked` responses on the
 //! way out; keep-alive connection reuse. Everything is bounded: header
 //! block, header count, and body size all have hard caps so a misbehaving
-//! client cannot balloon a worker's memory.
+//! client cannot balloon the server's memory.
+//!
+//! Parsing is **incremental and non-blocking by construction**: the
+//! readiness-loop server appends whatever bytes the socket had into a
+//! per-connection buffer and asks [`RequestParser::parse`] whether a
+//! complete request is in there yet. The parser never does I/O, so the
+//! same code is exercised byte-for-byte by unit tests, the event loop,
+//! and any future transport.
 
 use crate::json::Json;
-use std::io::{self, BufRead, Read, Write};
+use std::io::{self, Write};
 
 /// Maximum bytes accepted for the request line plus all headers.
 pub const MAX_HEADER_BYTES: usize = 16 * 1024;
 /// Maximum number of request headers.
 pub const MAX_HEADERS: usize = 64;
+/// Terminating frame of a chunked response body (zero-length chunk, no
+/// trailers).
+pub const CHUNK_TERMINATOR: &[u8] = b"0\r\n\r\n";
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -56,142 +66,200 @@ impl Request {
     }
 }
 
-/// Why a request could not be parsed.
+/// Why buffered bytes can never become a valid request.
+///
+/// Both variants are fatal to the connection; "not enough bytes yet" is
+/// not an error but [`Parse::Incomplete`]. I/O-level conditions (EOF,
+/// timeouts) are the transport's business, not the parser's — which is
+/// also what keeps `WouldBlock`-vs-`TimedOut` platform drift out of the
+/// parsing layer entirely (see [`is_idle_timeout`]).
 #[derive(Debug)]
 pub enum RequestError {
-    /// The peer closed the connection cleanly before sending a request —
-    /// the normal end of a keep-alive connection, not an error to report.
-    Closed,
     /// The bytes on the wire are not a well-formed HTTP/1.x request.
     Malformed(&'static str),
     /// The request exceeded a size bound (header block or body).
     TooLarge(&'static str),
-    /// The socket failed mid-request (includes read timeouts).
-    Io(io::Error),
 }
 
-impl From<io::Error> for RequestError {
-    fn from(e: io::Error) -> Self {
-        RequestError::Io(e)
+/// One [`RequestParser::parse`] verdict over a byte buffer.
+#[derive(Debug)]
+pub enum Parse {
+    /// No complete request yet — read more bytes and parse again.
+    Incomplete,
+    /// A complete request occupying the first `consumed` buffer bytes
+    /// (strip them before parsing the next pipelined request).
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer the request consumed, including any
+        /// tolerated stray CRLFs before the request line.
+        consumed: usize,
+    },
+}
+
+/// Incremental HTTP/1.1 request parser.
+///
+/// Stateless between calls: feed it the connection's *entire* unconsumed
+/// buffer each time. Cheap in practice — requests are small and the scan
+/// restarts only while a request is still arriving.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestParser {
+    max_body: usize,
+}
+
+impl RequestParser {
+    /// A parser that rejects bodies larger than `max_body` with
+    /// [`RequestError::TooLarge`] (without ever buffering them).
+    pub fn new(max_body: usize) -> Self {
+        RequestParser { max_body }
+    }
+
+    /// Tries to parse one complete request from the front of `buf`.
+    pub fn parse(&self, buf: &[u8]) -> Result<Parse, RequestError> {
+        // Tolerate (bounded) stray CRLFs between keep-alive requests, as
+        // RFC 9112 recommends.
+        let start = buf
+            .iter()
+            .take_while(|&&b| b == b'\r' || b == b'\n')
+            .count();
+        if start > 8 {
+            return Err(RequestError::Malformed("empty request line"));
+        }
+        if start == buf.len() {
+            return Ok(Parse::Incomplete);
+        }
+
+        // The header block ends at the first empty line.
+        let Some(head_end) = find_head_end(&buf[start..]).map(|e| start + e) else {
+            if buf.len() - start > MAX_HEADER_BYTES {
+                return Err(RequestError::TooLarge("header block too large"));
+            }
+            return Ok(Parse::Incomplete);
+        };
+        if head_end - start > MAX_HEADER_BYTES {
+            return Err(RequestError::TooLarge("header block too large"));
+        }
+        let head = std::str::from_utf8(&buf[start..head_end])
+            .map_err(|_| RequestError::Malformed("non-UTF-8 header bytes"))?;
+        let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+
+        // Request line.
+        let line = lines.next().unwrap_or("");
+        let mut parts = line.split(' ').filter(|p| !p.is_empty());
+        let method = parts
+            .next()
+            .ok_or(RequestError::Malformed("missing method"))?
+            .to_string();
+        let target = parts
+            .next()
+            .ok_or(RequestError::Malformed("missing request target"))?;
+        let version = parts
+            .next()
+            .ok_or(RequestError::Malformed("missing HTTP version"))?;
+        if parts.next().is_some() {
+            return Err(RequestError::Malformed("malformed request line"));
+        }
+        let http10 = match version {
+            "HTTP/1.1" => false,
+            "HTTP/1.0" => true,
+            _ => return Err(RequestError::Malformed("unsupported HTTP version")),
+        };
+        if !method.chars().all(|c| c.is_ascii_alphabetic()) {
+            return Err(RequestError::Malformed("invalid method"));
+        }
+        let path = target.split('?').next().unwrap_or(target).to_string();
+        if !path.starts_with('/') {
+            return Err(RequestError::Malformed("request target must be a path"));
+        }
+
+        // Headers until the blank line.
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                break;
+            }
+            if headers.len() >= MAX_HEADERS {
+                return Err(RequestError::TooLarge("too many headers"));
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or(RequestError::Malformed("header without ':'"))?;
+            if name.is_empty() || name.contains(' ') {
+                return Err(RequestError::Malformed("invalid header name"));
+            }
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let mut request = Request {
+            method,
+            path,
+            headers,
+            body: Vec::new(),
+            http10,
+        };
+        if request
+            .header("transfer-encoding")
+            .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+        {
+            return Err(RequestError::Malformed(
+                "chunked request bodies are not supported",
+            ));
+        }
+        let length = match request.header("content-length") {
+            None => 0,
+            Some(v) => v
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| RequestError::Malformed("invalid Content-Length"))?,
+        };
+        if length > self.max_body {
+            return Err(RequestError::TooLarge("request body too large"));
+        }
+        let body_end = head_end + length;
+        if buf.len() < body_end {
+            return Ok(Parse::Incomplete);
+        }
+        request.body = buf[head_end..body_end].to_vec();
+        Ok(Parse::Complete {
+            request,
+            consumed: body_end,
+        })
     }
 }
 
-/// Reads one request from `reader`. Bodies larger than `max_body` are
-/// rejected with [`RequestError::TooLarge`] without being read.
-pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Request, RequestError> {
-    let mut header_budget = MAX_HEADER_BYTES;
-
-    // Request line; tolerate (bounded) stray CRLFs between keep-alive
-    // requests, as RFC 9112 recommends.
-    let mut line = String::new();
-    for _ in 0..4 {
-        line = read_line(reader, &mut header_budget)?;
-        if line.is_empty() && header_budget == MAX_HEADER_BYTES {
-            return Err(RequestError::Closed);
+/// Index just past the blank line terminating the header block, if one is
+/// present. Lines are LF-terminated with an optional preceding CR.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut line_start = 0;
+    for (i, &b) in buf.iter().enumerate() {
+        if b != b'\n' {
+            continue;
         }
-        if !line.is_empty() {
-            break;
+        let mut line_end = i;
+        if line_end > line_start && buf[line_end - 1] == b'\r' {
+            line_end -= 1;
         }
-    }
-    if line.is_empty() {
-        return Err(RequestError::Malformed("empty request line"));
-    }
-    let mut parts = line.split(' ').filter(|p| !p.is_empty());
-    let method = parts
-        .next()
-        .ok_or(RequestError::Malformed("missing method"))?
-        .to_string();
-    let target = parts
-        .next()
-        .ok_or(RequestError::Malformed("missing request target"))?;
-    let version = parts
-        .next()
-        .ok_or(RequestError::Malformed("missing HTTP version"))?;
-    if parts.next().is_some() {
-        return Err(RequestError::Malformed("malformed request line"));
-    }
-    let http10 = match version {
-        "HTTP/1.1" => false,
-        "HTTP/1.0" => true,
-        _ => return Err(RequestError::Malformed("unsupported HTTP version")),
-    };
-    if !method.chars().all(|c| c.is_ascii_alphabetic()) {
-        return Err(RequestError::Malformed("invalid method"));
-    }
-    let path = target.split('?').next().unwrap_or(target).to_string();
-    if !path.starts_with('/') {
-        return Err(RequestError::Malformed("request target must be a path"));
-    }
-
-    // Headers until the blank line.
-    let mut headers = Vec::new();
-    loop {
-        let line = read_line(reader, &mut header_budget)?;
-        if line.is_empty() {
-            break;
+        if line_end == line_start {
+            return Some(i + 1);
         }
-        if headers.len() >= MAX_HEADERS {
-            return Err(RequestError::TooLarge("too many headers"));
-        }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or(RequestError::Malformed("header without ':'"))?;
-        if name.is_empty() || name.contains(' ') {
-            return Err(RequestError::Malformed("invalid header name"));
-        }
-        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        line_start = i + 1;
     }
-
-    let request = Request {
-        method,
-        path,
-        headers,
-        body: Vec::new(),
-        http10,
-    };
-    if request
-        .header("transfer-encoding")
-        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
-    {
-        return Err(RequestError::Malformed(
-            "chunked request bodies are not supported",
-        ));
-    }
-    let length = match request.header("content-length") {
-        None => 0,
-        Some(v) => v
-            .trim()
-            .parse::<usize>()
-            .map_err(|_| RequestError::Malformed("invalid Content-Length"))?,
-    };
-    if length > max_body {
-        return Err(RequestError::TooLarge("request body too large"));
-    }
-    let mut body = vec![0u8; length];
-    reader.read_exact(&mut body)?;
-    Ok(Request { body, ..request })
+    None
 }
 
-/// Reads one CRLF- (or bare-LF-) terminated line, charging `budget`.
-fn read_line<R: BufRead>(reader: &mut R, budget: &mut usize) -> Result<String, RequestError> {
-    let mut raw = Vec::new();
-    let read = reader
-        .by_ref()
-        .take(*budget as u64 + 1)
-        .read_until(b'\n', &mut raw)?;
-    if read > *budget {
-        return Err(RequestError::TooLarge("header block too large"));
-    }
-    *budget -= read;
-    if read == 0 {
-        // EOF: report as an empty line; the caller decides whether that is
-        // a clean close (before a request) or a truncation (inside one).
-        return Ok(String::new());
-    }
-    while matches!(raw.last(), Some(b'\n' | b'\r')) {
-        raw.pop();
-    }
-    String::from_utf8(raw).map_err(|_| RequestError::Malformed("non-UTF-8 header bytes"))
+/// Whether `e` is an idle-timeout condition on a socket.
+///
+/// Platforms disagree on what a timed-out or not-ready socket read/write
+/// returns: Unix surfaces `WouldBlock` (EAGAIN), Windows `TimedOut`, and
+/// non-blocking sockets report `WouldBlock` everywhere. Every timeout and
+/// readiness decision in the gateway and its client goes through this one
+/// predicate so keep-alive reaping and wedge-cancel-refund behave
+/// identically on every platform.
+pub fn is_idle_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
 }
 
 /// Canonical reason phrase for the status codes the gateway emits.
@@ -202,6 +270,7 @@ pub fn status_reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Content Too Large",
         500 => "Internal Server Error",
@@ -253,27 +322,67 @@ pub fn write_error(w: &mut impl Write, status: u16, message: &str, close: bool) 
     )
 }
 
-/// A `Transfer-Encoding: chunked` response body in progress.
+/// A complete fixed-length response as bytes, for write-buffer queueing.
+pub fn response_bytes(status: u16, content_type: &str, body: &[u8], close: bool) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128 + body.len());
+    write_response(&mut out, status, content_type, body, close).expect("Vec writes are infallible");
+    out
+}
+
+/// A JSON response as bytes.
+pub fn json_bytes(status: u16, body: &Json, close: bool) -> Vec<u8> {
+    response_bytes(status, "application/json", body.encode().as_bytes(), close)
+}
+
+/// A `{"error": message}` response as bytes.
+pub fn error_bytes(status: u16, message: &str, close: bool) -> Vec<u8> {
+    json_bytes(
+        status,
+        &Json::obj(vec![("error", Json::str(message))]),
+        close,
+    )
+}
+
+/// The response head opening a chunked body (streaming responses always
+/// close the connection when done).
+pub fn chunked_head(status: u16, content_type: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+        status,
+        status_reason(status),
+        content_type,
+    )
+    .into_bytes()
+}
+
+/// Appends one chunk frame (size line + payload + CRLF) to `out`. `data`
+/// must be non-empty — an empty chunk would terminate the body (that is
+/// [`CHUNK_TERMINATOR`]'s job).
+pub fn encode_chunk(out: &mut Vec<u8>, data: &[u8]) {
+    debug_assert!(!data.is_empty(), "empty chunks terminate the stream");
+    out.extend_from_slice(format!("{:x}\r\n", data.len()).as_bytes());
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
+}
+
+/// A `Transfer-Encoding: chunked` response body in progress, over a
+/// blocking writer.
 ///
-/// Every chunk is flushed to the socket immediately — the whole point of
-/// the streaming endpoint is that the client sees each sample as the
-/// scheduler lands it, not a buffered batch at job end.
+/// Every chunk is flushed immediately — the whole point of the streaming
+/// endpoint is that the client sees each sample as the scheduler lands
+/// it, not a buffered batch at job end. (The readiness-loop server frames
+/// chunks with [`encode_chunk`] into its own write buffer instead; this
+/// writer serves blocking callers and keeps the frame format pinned by
+/// one implementation.)
 #[derive(Debug)]
 pub struct ChunkedWriter<W: Write> {
     w: W,
 }
 
 impl<W: Write> ChunkedWriter<W> {
-    /// Writes the response head and returns the body writer. Streaming
-    /// responses always close the connection when done.
+    /// Writes the response head and returns the body writer.
     pub fn begin(mut w: W, status: u16, content_type: &str) -> io::Result<Self> {
-        write!(
-            w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
-            status,
-            status_reason(status),
-            content_type,
-        )?;
+        w.write_all(&chunked_head(status, content_type))?;
         w.flush()?;
         Ok(ChunkedWriter { w })
     }
@@ -281,16 +390,15 @@ impl<W: Write> ChunkedWriter<W> {
     /// Writes one chunk (non-empty; an empty chunk would terminate the
     /// body) and flushes it.
     pub fn write_chunk(&mut self, data: &[u8]) -> io::Result<()> {
-        debug_assert!(!data.is_empty(), "empty chunks terminate the stream");
-        write!(self.w, "{:x}\r\n", data.len())?;
-        self.w.write_all(data)?;
-        self.w.write_all(b"\r\n")?;
+        let mut frame = Vec::with_capacity(data.len() + 16);
+        encode_chunk(&mut frame, data);
+        self.w.write_all(&frame)?;
         self.w.flush()
     }
 
     /// Terminates the body (zero-length chunk, no trailers).
     pub fn finish(mut self) -> io::Result<()> {
-        self.w.write_all(b"0\r\n\r\n")?;
+        self.w.write_all(CHUNK_TERMINATOR)?;
         self.w.flush()
     }
 }
@@ -298,10 +406,16 @@ impl<W: Write> ChunkedWriter<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Cursor;
 
+    /// Parses a buffer expected to hold exactly one complete request.
     fn parse(bytes: &[u8]) -> Result<Request, RequestError> {
-        read_request(&mut Cursor::new(bytes.to_vec()), 1024)
+        match RequestParser::new(1024).parse(bytes)? {
+            Parse::Complete { request, consumed } => {
+                assert_eq!(consumed, bytes.len(), "whole buffer consumed");
+                Ok(request)
+            }
+            Parse::Incomplete => panic!("complete request parsed as incomplete"),
+        }
     }
 
     #[test]
@@ -336,20 +450,50 @@ mod tests {
     }
 
     #[test]
-    fn keep_alive_sequences_parse_back_to_back() {
-        let mut cursor = Cursor::new(
-            b"GET /healthz HTTP/1.1\r\n\r\n\r\nDELETE /v1/jobs/3 HTTP/1.1\r\n\r\n".to_vec(),
-        );
-        let first = read_request(&mut cursor, 1024).unwrap();
-        assert_eq!(first.path, "/healthz");
-        // The stray CRLF between requests is tolerated.
-        let second = read_request(&mut cursor, 1024).unwrap();
-        assert_eq!(second.method, "DELETE");
-        assert_eq!(second.path_segments(), vec!["v1", "jobs", "3"]);
-        // Clean EOF afterwards.
+    fn incremental_parsing_reports_incomplete_until_the_request_lands() {
+        let parser = RequestParser::new(1024);
+        let full = b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 11\r\n\r\n{\"seed\":42}";
+        // Every strict prefix is Incomplete, never an error.
+        for cut in 0..full.len() {
+            assert!(
+                matches!(parser.parse(&full[..cut]), Ok(Parse::Incomplete)),
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+        let Ok(Parse::Complete { request, consumed }) = parser.parse(full) else {
+            panic!("full request must parse");
+        };
+        assert_eq!(consumed, full.len());
+        assert_eq!(request.body, b"{\"seed\":42}");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let parser = RequestParser::new(1024);
+        let buf = b"GET /healthz HTTP/1.1\r\n\r\n\r\nDELETE /v1/jobs/3 HTTP/1.1\r\n\r\n".to_vec();
+        let Ok(Parse::Complete { request, consumed }) = parser.parse(&buf) else {
+            panic!("first request must parse");
+        };
+        assert_eq!(request.path, "/healthz");
+        // The stray CRLF between requests is tolerated (charged to the
+        // *second* request's consumption).
+        let Ok(Parse::Complete { request, consumed }) = parser.parse(&buf[consumed..]) else {
+            panic!("second request must parse");
+        };
+        assert_eq!(request.method, "DELETE");
+        assert_eq!(request.path_segments(), vec!["v1", "jobs", "3"]);
+        assert_eq!(consumed, buf.len() - 25, "second parse consumed the rest");
+        // An empty buffer afterwards is simply incomplete; EOF handling is
+        // the transport's job.
+        assert!(matches!(parser.parse(b""), Ok(Parse::Incomplete)));
+    }
+
+    #[test]
+    fn unbounded_stray_crlfs_are_rejected() {
+        let parser = RequestParser::new(1024);
         assert!(matches!(
-            read_request(&mut cursor, 1024),
-            Err(RequestError::Closed)
+            parser.parse(&b"\r\n".repeat(8)),
+            Err(RequestError::Malformed("empty request line"))
         ));
     }
 
@@ -391,6 +535,14 @@ mod tests {
             parse(huge.as_bytes()),
             Err(RequestError::TooLarge(_))
         ));
+        // The header cap fires even before the blank line arrives — an
+        // attacker cannot stall a connection open by trickling an
+        // endless header block.
+        let unterminated = format!("GET /x HTTP/1.1\r\nA: {}", "y".repeat(MAX_HEADER_BYTES));
+        assert!(matches!(
+            RequestParser::new(1024).parse(unterminated.as_bytes()),
+            Err(RequestError::TooLarge(_))
+        ));
         let many = format!(
             "GET /x HTTP/1.1\r\n{}\r\n",
             "A: b\r\n".repeat(MAX_HEADERS + 1)
@@ -402,11 +554,27 @@ mod tests {
     }
 
     #[test]
-    fn truncated_bodies_surface_as_io_errors() {
+    fn truncated_bodies_stay_incomplete_for_the_deadline_to_reap() {
+        // A body that never finishes arriving is not a parse error — the
+        // connection's whole-request deadline is what reaps it.
         assert!(matches!(
-            parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
-            Err(RequestError::Io(_))
+            RequestParser::new(1024).parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Ok(Parse::Incomplete)
         ));
+    }
+
+    #[test]
+    fn timeout_kinds_are_classified_uniformly() {
+        for kind in [io::ErrorKind::WouldBlock, io::ErrorKind::TimedOut] {
+            assert!(is_idle_timeout(&io::Error::new(kind, "t")), "{kind:?}");
+        }
+        for kind in [
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::BrokenPipe,
+            io::ErrorKind::UnexpectedEof,
+        ] {
+            assert!(!is_idle_timeout(&io::Error::new(kind, "t")), "{kind:?}");
+        }
     }
 
     #[test]
@@ -426,12 +594,16 @@ mod tests {
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
 
-        let mut out = Vec::new();
-        write_error(&mut out, 404, "unknown job", true).unwrap();
+        let out = error_bytes(404, "unknown job", true);
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("{\"error\":\"unknown job\"}"));
+
+        // The byte-producing and writer-based encoders agree exactly.
+        let mut written = Vec::new();
+        write_error(&mut written, 404, "unknown job", true).unwrap();
+        assert_eq!(written, text.as_bytes());
     }
 
     #[test]

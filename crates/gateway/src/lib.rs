@@ -3,14 +3,18 @@
 //! The paper's promise only pays off in production when remote clients can
 //! submit sampling jobs and consume results **over the wire**. This crate
 //! is that serving edge: a dependency-free HTTP/1.1 server (std's
-//! `TcpListener` plus a bounded worker pool — it builds and tests fully
-//! offline on loopback) in front of a
-//! [`SamplingService`](wnw_service::SamplingService), with its own small
-//! substrates since the workspace carries no serde: a hand-rolled request
-//! parser ([`http`]), a tiny JSON codec ([`json`]), the wire mapping for
-//! the service's request/event/metrics types ([`wire`]), and a minimal
-//! blocking client ([`client`]) used by the integration tests and
-//! `examples/http_gateway.rs`.
+//! non-blocking `TcpListener`/`TcpStream` driven by a hand-rolled
+//! readiness loop — it builds and tests fully offline on loopback) in
+//! front of a [`SamplingService`](wnw_service::SamplingService). A couple
+//! of I/O threads step every connection through an explicit state machine
+//! ([`conn`]), so thousands of concurrent slow stream consumers cost
+//! buffers, not threads; blocking work runs on a small task pool (see
+//! [`server`]). The crate carries its own small substrates since the
+//! workspace has no serde or mio: an incremental request parser
+//! ([`http`]), a tiny JSON codec ([`json`]), the wire mapping for the
+//! service's request/event/metrics types ([`wire`]), and a minimal
+//! blocking client ([`client`]) used by the integration tests, the
+//! load-generation harness, and `examples/http_gateway.rs`.
 //!
 //! ## Endpoints
 //!
@@ -77,6 +81,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod conn;
 pub mod http;
 pub mod json;
 pub mod prom;

@@ -1,29 +1,37 @@
-//! The gateway server: a `TcpListener` accept loop feeding a bounded worker
-//! pool, routing requests over one [`SamplingService`].
+//! The gateway server: a readiness loop over non-blocking sockets,
+//! routing requests over one [`SamplingService`].
 //!
-//! Concurrency model: one accept thread plus `workers` connection-serving
-//! threads, joined by a bounded hand-off queue. A worker owns a connection
-//! for its whole life (keep-alive requests are served back to back; a
-//! streaming response occupies its worker until the job's `Done` event), so
-//! `workers` bounds the number of concurrently served connections and the
-//! queue bounds how many accepted connections may wait — beyond that, the
-//! accept loop sheds load with `503` instead of queueing unboundedly, the
-//! same philosophy as the service's admission control.
+//! Concurrency model: `io_threads` (default 2) readiness loops share one
+//! non-blocking `TcpListener` and step every connection they own through
+//! its [`Conn`] state machine — accumulate request bytes, route, buffer
+//! NDJSON stream events, write on writability. No thread ever blocks on a
+//! socket, so the thread count bounds *CPU* concurrency only: thousands
+//! of slow or idle streaming clients cost two threads, not thousands.
+//! Work that can block or compute (job submission, metrics snapshots,
+//! trace replays) is handed to a small task pool of `workers` threads
+//! whose replies re-arm the waiting connection.
 //!
-//! Client disconnects during a stream surface as write errors; the handler
-//! drops its claimed [`SampleStream`](wnw_service::SampleStream), which is
-//! the service's consumer-hang-up signal: the scheduler cancels the job at
-//! the next delivery and refunds its unused budget.
+//! Load shedding happens at `max_connections`: a connection beyond the
+//! cap is answered `503`, half-closed, and linger-drained so the client
+//! reads the status instead of a connection reset — the same
+//! shed-don't-queue philosophy as the service's admission control.
+//!
+//! Client disconnects during a stream surface as write errors or write
+//! stalls; the connection drops its claimed
+//! [`SampleStream`](wnw_service::SampleStream), which is the service's
+//! consumer-hang-up signal: the scheduler cancels the job at the next
+//! delivery and refunds its unused budget.
 
+use crate::conn::{Conn, ConnLimits, Step};
 use crate::http::{
-    read_request, write_error, write_json, write_response, ChunkedWriter, Request, RequestError,
+    error_bytes, is_idle_timeout, json_bytes, response_bytes, Request, RequestParser,
 };
 use crate::json::{self, Json};
 use crate::{prom, wire};
-use std::io::{self, BufReader};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -35,19 +43,26 @@ use wnw_service::{
 /// Tuning knobs of a [`GatewayServer`].
 #[derive(Debug, Clone, Copy)]
 pub struct GatewayConfig {
-    /// Connection-serving threads. Each streaming client occupies one for
-    /// its job's whole life, so size this at least to the expected number
-    /// of concurrent streams. Default 4.
+    /// Task-pool threads for blocking work (job submission, metrics and
+    /// trace snapshots). Streaming clients do NOT occupy these — they
+    /// live on the I/O threads. Default 4.
     pub workers: usize,
-    /// Accepted connections that may wait for a free worker before the
-    /// accept loop starts shedding load with `503`. Default 8.
+    /// Connections accepted per readiness tick per I/O thread (an accept
+    /// burst bound, not a queue depth). Default 64.
     pub backlog: usize,
+    /// Readiness-loop threads carrying every connection. Default 2.
+    pub io_threads: usize,
+    /// Open connections beyond which new arrivals are shed with `503`.
+    /// Default 1024.
+    pub max_connections: usize,
     /// Largest accepted request body. Default 64 KiB.
     pub max_body_bytes: usize,
-    /// Idle read timeout on a keep-alive connection; also the worst-case
-    /// time a worker lingers on a silent client. Default 5 s.
+    /// Whole-request deadline (a stalled partial request gets `408`) and
+    /// keep-alive idle reap timeout. Default 5 s.
     pub read_timeout: Duration,
-    /// Write timeout towards slow or dead clients. Default 5 s.
+    /// How long a connection's pending bytes may make zero write progress
+    /// before the peer counts as wedged (dropping the connection cancels
+    /// and refunds a streamed job). Default 5 s.
     pub write_timeout: Duration,
     /// How long a submitted job's stream may sit unclaimed before the
     /// gateway reaps it (cancelling the job and refunding its budget, via
@@ -60,7 +75,9 @@ impl Default for GatewayConfig {
     fn default() -> Self {
         GatewayConfig {
             workers: 4,
-            backlog: 8,
+            backlog: 64,
+            io_threads: 2,
+            max_connections: 1024,
             max_body_bytes: 64 * 1024,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
@@ -75,9 +92,15 @@ struct State<N: ThreadedNetwork + 'static> {
     registry: JobRegistry,
     config: GatewayConfig,
     shutdown: AtomicBool,
+    /// Open connections across all I/O threads (shed gate).
+    connections: AtomicUsize,
     /// When the gateway came up — `/healthz` reports the uptime.
     started: Instant,
 }
+
+/// A blocking unit of work dispatched to the task pool; it delivers its
+/// response bytes through the channel captured inside.
+type Task = Box<dyn FnOnce() + Send + 'static>;
 
 /// An HTTP/1.1 frontend over a [`SamplingService`], bound to a loopback (or
 /// any TCP) address.
@@ -99,8 +122,8 @@ pub struct GatewayServer<N: ThreadedNetwork + 'static> {
     /// `None` only transiently inside [`shutdown`](Self::shutdown), after
     /// the threads are joined (defuses the `Drop` teardown).
     state: Option<Arc<State<N>>>,
-    accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    io_threads: Vec<JoinHandle<()>>,
+    task_threads: Vec<JoinHandle<()>>,
 }
 
 // Manual Debug for State would drag N: Debug bounds around; the server's
@@ -127,39 +150,49 @@ impl<N: ThreadedNetwork + 'static> GatewayServer<N> {
         config: GatewayConfig,
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let listener = Arc::new(listener);
         let state = Arc::new(State {
             service,
             registry: JobRegistry::default(),
             config,
             shutdown: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
             started: Instant::now(),
         });
 
-        let workers = config.workers.max(1);
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.backlog.max(1));
-        let rx = Arc::new(Mutex::new(rx));
-        let worker_handles = (0..workers)
+        let (task_tx, task_rx) = std::sync::mpsc::channel::<Task>();
+        let task_rx = Arc::new(Mutex::new(task_rx));
+        let task_threads = (0..config.workers.max(1))
             .map(|i| {
-                let state = Arc::clone(&state);
-                let rx = Arc::clone(&rx);
+                let rx = Arc::clone(&task_rx);
                 std::thread::Builder::new()
-                    .name(format!("wnw-gateway-worker-{i}"))
-                    .spawn(move || worker_loop(state, rx))
-                    .expect("spawn gateway worker")
+                    .name(format!("wnw-gateway-task-{i}"))
+                    .spawn(move || task_loop(rx))
+                    .expect("spawn gateway task worker")
             })
             .collect();
-        let accept_state = Arc::clone(&state);
-        let accept = std::thread::Builder::new()
-            .name("wnw-gateway-accept".into())
-            .spawn(move || accept_loop(listener, accept_state, tx))
-            .expect("spawn gateway accept thread");
+        let io_threads = (0..config.io_threads.max(1))
+            .map(|i| {
+                let listener = Arc::clone(&listener);
+                let state = Arc::clone(&state);
+                let tasks = task_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("wnw-gateway-io-{i}"))
+                    .spawn(move || io_loop(listener, state, tasks))
+                    .expect("spawn gateway io thread")
+            })
+            .collect();
+        // The I/O threads hold the only task senders: once they exit, the
+        // task workers drain the queue and exit too.
+        drop(task_tx);
 
         Ok(GatewayServer {
             addr,
             state: Some(state),
-            accept: Some(accept),
-            workers: worker_handles,
+            io_threads,
+            task_threads,
         })
     }
 
@@ -178,8 +211,9 @@ impl<N: ThreadedNetwork + 'static> GatewayServer<N> {
     }
 
     /// Stops accepting, cancels every registered job so in-flight streams
-    /// reach their `Done` event promptly, drains the workers, shuts the
-    /// service down, and returns its final metrics snapshot.
+    /// reach their `Done` event promptly, drains the I/O and task
+    /// threads, shuts the service down, and returns its final metrics
+    /// snapshot.
     pub fn shutdown(mut self) -> ServiceMetricsSnapshot {
         self.stop_threads();
         let state = self.state.take().expect("shutdown runs once");
@@ -197,21 +231,20 @@ impl<N: ThreadedNetwork + 'static> GatewayServer<N> {
             return;
         };
         state.shutdown.store(true, Ordering::SeqCst);
-        // Streams held by workers end once their jobs go terminal.
+        // Streams buffered by connections end once their jobs go terminal.
         state.registry.cancel_all();
-        // Unblock the accept() call; the errorless connect also drains fine
-        // if a worker picks it up first.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        for handle in self.io_threads.drain(..) {
+            let _ = handle.join();
         }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        // The I/O threads held the task senders; the workers now drain
+        // whatever was queued and exit.
+        for handle in self.task_threads.drain(..) {
+            let _ = handle.join();
         }
-        // A worker may have been mid-submit when the first cancel_all ran,
-        // registering its job just after. Now that every worker is joined
-        // the registry is quiescent; cancel again so the service drain
-        // below never waits on a straggler job running to completion.
+        // A task worker may have been mid-submit when the first
+        // cancel_all ran, registering its job just after. Every thread is
+        // joined now, so the registry is quiescent; cancel again so the
+        // service drain never waits on a straggler running to completion.
         state.registry.cancel_all();
     }
 }
@@ -224,153 +257,175 @@ impl<N: ThreadedNetwork + 'static> Drop for GatewayServer<N> {
     }
 }
 
-fn accept_loop<N: ThreadedNetwork + 'static>(
-    listener: TcpListener,
+fn task_loop(rx: Arc<Mutex<Receiver<Task>>>) {
+    loop {
+        let task = rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
+        match task {
+            Ok(task) => task(),
+            Err(_) => return, // every sender gone: shutdown.
+        }
+    }
+}
+
+/// Idle backoff bounds of a readiness loop: sleep briefly when a tick
+/// moved nothing, doubling up to the cap so an idle gateway costs ~nothing
+/// while a busy one spins flat out.
+const MIN_IDLE_SLEEP: Duration = Duration::from_micros(100);
+const MAX_IDLE_SLEEP: Duration = Duration::from_millis(2);
+/// Steps one connection may take back-to-back in a tick before yielding
+/// to its neighbours (fairness under pipelining).
+const MAX_STEPS_PER_TICK: usize = 8;
+
+fn io_loop<N: ThreadedNetwork + 'static>(
+    listener: Arc<TcpListener>,
     state: Arc<State<N>>,
-    tx: SyncSender<TcpStream>,
+    tasks: Sender<Task>,
 ) {
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => continue,
-        };
-        if state.shutdown.load(Ordering::SeqCst) {
-            return; // tx drops; workers drain the queue, then exit.
-        }
-        match tx.try_send(stream) {
-            Ok(()) => {}
-            Err(TrySendError::Full(mut stream)) => {
-                // Every worker is busy and the wait queue is full: shed
-                // load at the door rather than queueing unboundedly.
-                let _ = stream.set_write_timeout(Some(state.config.write_timeout));
-                let _ = write_error(&mut stream, 503, "gateway at capacity; retry later", true);
+    let parser = RequestParser::new(state.config.max_body_bytes);
+    let limits = ConnLimits::for_config(&state.config);
+    let mut conns: Vec<Conn<TcpStream>> = Vec::new();
+    let mut idle_sleep = MIN_IDLE_SLEEP;
+    while !state.shutdown.load(Ordering::SeqCst) {
+        let now = Instant::now();
+        let mut progressed = false;
+
+        // Accept a bounded burst of new connections.
+        for _ in 0..state.config.backlog.max(1) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    progressed = true;
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let mut conn = Conn::new(stream, parser, limits, now);
+                    let open = state.connections.fetch_add(1, Ordering::SeqCst);
+                    if open >= state.config.max_connections {
+                        conn.shed(now);
+                    }
+                    conns.push(conn);
+                }
+                Err(e) if is_idle_timeout(&e) => break,
+                Err(_) => break,
             }
-            Err(TrySendError::Disconnected(_)) => return,
+        }
+
+        // Step every connection; remove the finished ones.
+        let mut i = 0;
+        while i < conns.len() {
+            let mut done = false;
+            for _ in 0..MAX_STEPS_PER_TICK {
+                match conns[i].step(now, &state.registry) {
+                    Step::Route(request) => {
+                        progressed = true;
+                        route(&state, &tasks, &mut conns[i], &request, now);
+                    }
+                    Step::Progress => progressed = true,
+                    Step::Idle => break,
+                    Step::Done => {
+                        done = true;
+                        break;
+                    }
+                }
+            }
+            if done {
+                conns.swap_remove(i);
+                state.connections.fetch_sub(1, Ordering::SeqCst);
+            } else {
+                i += 1;
+            }
+        }
+
+        if progressed {
+            idle_sleep = MIN_IDLE_SLEEP;
+        } else {
+            std::thread::sleep(idle_sleep);
+            idle_sleep = (idle_sleep * 2).min(MAX_IDLE_SLEEP);
         }
     }
+    // Shutdown: dropping the connections drops their claimed streams (the
+    // hang-up signal for any job the registry cancel missed).
+    state.connections.fetch_sub(conns.len(), Ordering::SeqCst);
 }
 
-fn worker_loop<N: ThreadedNetwork + 'static>(
-    state: Arc<State<N>>,
-    rx: Arc<Mutex<Receiver<TcpStream>>>,
-) {
-    loop {
-        let next = rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
-        match next {
-            Ok(stream) => {
-                let _ = serve_connection(&state, stream);
-            }
-            Err(_) => return, // accept loop gone: shutdown.
-        }
-    }
-}
-
-/// Serves one connection: keep-alive loop of parse → route → respond.
-fn serve_connection<N: ThreadedNetwork + 'static>(
-    state: &State<N>,
-    stream: TcpStream,
-) -> io::Result<()> {
-    stream.set_read_timeout(Some(state.config.read_timeout))?;
-    stream.set_write_timeout(Some(state.config.write_timeout))?;
-    stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    loop {
-        let request = match read_request(&mut reader, state.config.max_body_bytes) {
-            Ok(request) => request,
-            Err(RequestError::Closed) | Err(RequestError::Io(_)) => return Ok(()),
-            Err(RequestError::Malformed(message)) => {
-                let _ = write_error(&mut writer, 400, message, true);
-                return Ok(());
-            }
-            Err(RequestError::TooLarge(message)) => {
-                let _ = write_error(&mut writer, 413, message, true);
-                return Ok(());
-            }
-        };
-        // During shutdown, answer the in-flight request but stop reusing
-        // the connection so the worker can exit.
-        let keep_alive = request.keep_alive() && !state.shutdown.load(Ordering::SeqCst);
-        let keep_alive = respond(state, &request, &mut writer, keep_alive)?;
-        if !keep_alive {
-            return Ok(());
-        }
-    }
-}
-
-/// Routes one request. Returns whether the connection may be reused.
-fn respond<N: ThreadedNetwork + 'static>(
-    state: &State<N>,
+/// Routes one parsed request on the I/O thread. Cheap lookups answer
+/// inline; anything that can block is dispatched to the task pool and the
+/// connection parks in its waiting state.
+fn route<N: ThreadedNetwork + 'static>(
+    state: &Arc<State<N>>,
+    tasks: &Sender<Task>,
+    conn: &mut Conn<TcpStream>,
     request: &Request,
-    writer: &mut TcpStream,
-    keep_alive: bool,
-) -> io::Result<bool> {
+    now: Instant,
+) {
+    // During shutdown, answer the in-flight request but stop reusing the
+    // connection so the I/O loop can exit.
+    let keep_alive = request.keep_alive() && !state.shutdown.load(Ordering::SeqCst);
+    let close = !keep_alive;
     let segments = request.path_segments();
-    let method = request.method.as_str();
-    match (method, segments.as_slice()) {
+    match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => {
-            // With a resilience monitor attached, an open circuit breaker
-            // downgrades the probe to "degraded" (still 200: the gateway is
-            // alive and serving, the backend is shedding) and the body
-            // carries the breaker and fault counts a prober needs to alert
-            // on. Without a monitor the original three-field shape is kept.
-            let resilience = state.service.resilience().map(|m| m.stats());
-            let degraded = resilience.is_some_and(|s| s.breaker_open);
-            let mut fields = vec![
-                (
-                    "status",
-                    Json::str(if degraded { "degraded" } else { "ok" }),
-                ),
-                ("version", Json::str(env!("CARGO_PKG_VERSION"))),
-                (
-                    "uptime_seconds",
-                    Json::UInt(state.started.elapsed().as_secs()),
-                ),
-            ];
-            if let Some(stats) = resilience {
-                fields.push(("breaker_open", Json::Bool(stats.breaker_open)));
-                fields.push(("breaker_opened", Json::UInt(stats.breaker_opened)));
-                fields.push(("breaker_fast_fails", Json::UInt(stats.breaker_fast_fails)));
-                fields.push(("faults_seen", Json::UInt(stats.faults_seen)));
-                fields.push(("retries_exhausted", Json::UInt(stats.retries_exhausted)));
-            }
-            write_json(writer, 200, &Json::obj(fields), !keep_alive)?;
+            conn.push_response(now, json_bytes(200, &health_json(state), close), keep_alive);
         }
         ("GET", ["v1", "metrics"]) => {
-            let body = wire::metrics_to_json(&state.service.metrics());
-            write_json(writer, 200, &body, !keep_alive)?;
+            let state = Arc::clone(state);
+            dispatch(tasks, conn, keep_alive, move || {
+                json_bytes(200, &wire::metrics_to_json(&state.service.metrics()), close)
+            });
         }
         ("GET", ["v1", "metrics", "prometheus"]) => {
-            let body = prom::exposition(&state.service.metrics());
-            write_response(
-                writer,
-                200,
-                "text/plain; version=0.0.4",
-                body.as_bytes(),
-                !keep_alive,
-            )?;
+            let state = Arc::clone(state);
+            dispatch(tasks, conn, keep_alive, move || {
+                let body = prom::exposition(&state.service.metrics());
+                response_bytes(200, "text/plain; version=0.0.4", body.as_bytes(), close)
+            });
         }
         ("GET", ["v1", "jobs", id, "trace"]) => {
-            let events = parse_id(id).map_or_else(Vec::new, |id| state.service.trace_of(id));
-            if events.is_empty() {
-                // Unknown job, tracing off, or the ring already evicted it.
-                write_error(writer, 404, "no trace for job", !keep_alive)?;
-            } else {
-                let body = Json::Arr(events.iter().map(wire::trace_event_to_json).collect());
-                write_json(writer, 200, &body, !keep_alive)?;
-            }
+            let state = Arc::clone(state);
+            let id = id.to_string();
+            dispatch(tasks, conn, keep_alive, move || {
+                let events = parse_id(&id).map_or_else(Vec::new, |id| state.service.trace_of(id));
+                if events.is_empty() {
+                    // Unknown job, tracing off, or the ring evicted it.
+                    error_bytes(404, "no trace for job", close)
+                } else {
+                    let body = Json::Arr(events.iter().map(wire::trace_event_to_json).collect());
+                    json_bytes(200, &body, close)
+                }
+            });
         }
-        ("POST", ["v1", "jobs"]) => return submit(state, request, writer, keep_alive),
-        ("GET", ["v1", "jobs", id, "stream"]) => return stream_job(state, id, writer),
+        ("POST", ["v1", "jobs"]) => {
+            let state = Arc::clone(state);
+            let body = request.body.clone();
+            dispatch(tasks, conn, keep_alive, move || {
+                submit_response(&state, &body, close)
+            });
+        }
+        // Claiming is a cheap registry lookup, and the stream must attach
+        // to this connection's state machine — always inline. Stream
+        // responses (and their claim errors, as before) close the
+        // connection.
+        ("GET", ["v1", "jobs", id, "stream"]) => match parse_id(id)
+            .ok_or(ClaimError::Unknown)
+            .and_then(|id| state.registry.claim_stream(id).map(|s| (s, id)))
+        {
+            Ok((stream, id)) => conn.begin_stream(stream, id),
+            Err(ClaimError::Unknown) => {
+                conn.push_response(now, error_bytes(404, "unknown job", true), false);
+            }
+            Err(ClaimError::AlreadyClaimed) => {
+                conn.push_response(now, error_bytes(409, "stream already claimed", true), false);
+            }
+        },
         ("DELETE", ["v1", "jobs", id]) => match parse_id(id) {
             Some(id) if state.registry.cancel(id) => {
                 let body = Json::obj(vec![
                     ("job_id", Json::UInt(id.0)),
                     ("cancelled", Json::Bool(true)),
                 ]);
-                write_json(writer, 200, &body, !keep_alive)?;
+                conn.push_response(now, json_bytes(200, &body, close), keep_alive);
             }
-            _ => write_error(writer, 404, "unknown job", !keep_alive)?,
+            _ => conn.push_response(now, error_bytes(404, "unknown job", close), keep_alive),
         },
         // Known paths under the wrong method get a 405, unknown paths 404.
         (_, ["healthz"])
@@ -380,107 +435,95 @@ fn respond<N: ThreadedNetwork + 'static>(
         | (_, ["v1", "jobs", _, "stream"])
         | (_, ["v1", "jobs", _, "trace"])
         | (_, ["v1", "jobs", _]) => {
-            write_error(writer, 405, "method not allowed", !keep_alive)?;
+            conn.push_response(
+                now,
+                error_bytes(405, "method not allowed", close),
+                keep_alive,
+            );
         }
-        _ => write_error(writer, 404, "no such route", !keep_alive)?,
+        _ => conn.push_response(now, error_bytes(404, "no such route", close), keep_alive),
     }
-    Ok(keep_alive)
 }
 
-/// `POST /v1/jobs`: parse, submit, register, answer `202` with the id.
-fn submit<N: ThreadedNetwork + 'static>(
+/// Parks `conn` and runs `work` on the task pool; the reply re-arms the
+/// connection. If the pool is gone (shutdown), the dropped sender
+/// surfaces as `500` + close on the next step.
+fn dispatch<F>(tasks: &Sender<Task>, conn: &mut Conn<TcpStream>, keep_alive: bool, work: F)
+where
+    F: FnOnce() -> Vec<u8> + Send + 'static,
+{
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<u8>>(1);
+    conn.begin_wait(rx, keep_alive);
+    let task: Task = Box::new(move || {
+        // The connection may have died while we computed; nothing to do.
+        let _ = tx.send(work());
+    });
+    let _ = tasks.send(task);
+}
+
+/// The `/healthz` body. With a resilience monitor attached, an open
+/// circuit breaker downgrades the probe to "degraded" (still 200: the
+/// gateway is alive and serving, the backend is shedding) and the body
+/// carries the breaker and fault counts a prober needs to alert on.
+/// Without a monitor the original three-field shape is kept.
+fn health_json<N: ThreadedNetwork + 'static>(state: &State<N>) -> Json {
+    let resilience = state.service.resilience().map(|m| m.stats());
+    let degraded = resilience.is_some_and(|s| s.breaker_open);
+    let mut fields = vec![
+        (
+            "status",
+            Json::str(if degraded { "degraded" } else { "ok" }),
+        ),
+        ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+        (
+            "uptime_seconds",
+            Json::UInt(state.started.elapsed().as_secs()),
+        ),
+    ];
+    if let Some(stats) = resilience {
+        fields.push(("breaker_open", Json::Bool(stats.breaker_open)));
+        fields.push(("breaker_opened", Json::UInt(stats.breaker_opened)));
+        fields.push(("breaker_fast_fails", Json::UInt(stats.breaker_fast_fails)));
+        fields.push(("faults_seen", Json::UInt(stats.faults_seen)));
+        fields.push(("retries_exhausted", Json::UInt(stats.retries_exhausted)));
+    }
+    Json::obj(fields)
+}
+
+/// `POST /v1/jobs` on the task pool: sweep, parse, submit, register,
+/// answer `202` with the id.
+fn submit_response<N: ThreadedNetwork + 'static>(
     state: &State<N>,
-    request: &Request,
-    writer: &mut TcpStream,
-    keep_alive: bool,
-) -> io::Result<bool> {
+    body: &[u8],
+    close: bool,
+) -> Vec<u8> {
     // Reap fire-and-forget jobs whose streams were never claimed: they are
     // still burning query budget and buffering events. Sweeping on every
     // submission bounds the unclaimed population by the submission rate
     // within one TTL window.
     state.registry.sweep_unclaimed(state.config.claim_ttl);
-    let body = match std::str::from_utf8(&request.body)
+    let request = match std::str::from_utf8(body)
         .map_err(|_| "request body is not UTF-8".to_string())
         .and_then(|text| json::parse(text).map_err(|e| e.to_string()))
         .and_then(|json| wire::sample_request_from_json(&json))
     {
         Ok(sample_request) => sample_request,
-        Err(message) => {
-            write_error(writer, 400, &message, !keep_alive)?;
-            return Ok(keep_alive);
-        }
+        Err(message) => return error_bytes(400, &message, close),
     };
-    match state.service.submit(body) {
+    match state.service.submit(request) {
         Ok(ticket) => {
             let id = state.registry.register(ticket);
             let body = Json::obj(vec![
                 ("job_id", Json::UInt(id.0)),
                 ("stream", Json::Str(format!("/v1/jobs/{}/stream", id.0))),
             ]);
-            write_json(writer, 202, &body, !keep_alive)?;
+            json_bytes(202, &body, close)
         }
-        Err(err @ AdmissionError::Invalid(_)) => {
-            write_error(writer, 400, &err.to_string(), !keep_alive)?;
-        }
+        Err(err @ AdmissionError::Invalid(_)) => error_bytes(400, &err.to_string(), close),
         Err(err @ (AdmissionError::Saturated { .. } | AdmissionError::ShuttingDown)) => {
-            write_error(writer, 503, &err.to_string(), !keep_alive)?;
+            error_bytes(503, &err.to_string(), close)
         }
     }
-    Ok(keep_alive)
-}
-
-/// `GET /v1/jobs/{id}/stream`: chunked NDJSON of the job's events. The
-/// connection is never reused afterwards; a mid-stream client disconnect
-/// drops the claimed stream, which cancels the job and refunds its budget
-/// (the service's hang-up path).
-fn stream_job<N: ThreadedNetwork + 'static>(
-    state: &State<N>,
-    id: &str,
-    writer: &mut TcpStream,
-) -> io::Result<bool> {
-    let Some(id) = parse_id(id) else {
-        write_error(writer, 404, "unknown job", true)?;
-        return Ok(false);
-    };
-    let events = match state.registry.claim_stream(id) {
-        Ok(events) => events,
-        Err(ClaimError::Unknown) => {
-            write_error(writer, 404, "unknown job", true)?;
-            return Ok(false);
-        }
-        Err(ClaimError::AlreadyClaimed) => {
-            write_error(writer, 409, "stream already claimed", true)?;
-            return Ok(false);
-        }
-    };
-    let mut body = match ChunkedWriter::begin(&mut *writer, 200, "application/x-ndjson") {
-        Ok(body) => body,
-        Err(_) => {
-            // The client died before the response head went out. The entry
-            // must not linger half-claimed: discard it (dropping the claimed
-            // stream already cancelled the job).
-            state.registry.discard(id);
-            return Ok(false);
-        }
-    };
-    let mut line = String::new();
-    for event in events {
-        line.clear();
-        line.push_str(&wire::event_to_json(&event).encode());
-        line.push('\n');
-        // A write failure here is the client hanging up: stop consuming,
-        // drop `events` (→ cooperative cancel + budget refund), clean the
-        // registry entry, and give the connection up.
-        if body.write_chunk(line.as_bytes()).is_err() {
-            state.registry.discard(id);
-            return Ok(false);
-        }
-    }
-    // Discard before the terminal chunk: a client that observes the end of
-    // the stream must find the registry entry already gone (404, not 409).
-    state.registry.discard(id);
-    let _ = body.finish();
-    Ok(false)
 }
 
 fn parse_id(text: &str) -> Option<JobId> {
@@ -491,6 +534,7 @@ fn parse_id(text: &str) -> Option<JobId> {
 mod tests {
     use super::*;
     use crate::client;
+    use std::io::{Read, Write};
     use wnw_access::SimulatedOsn;
     use wnw_graph::generators::random::barabasi_albert;
 
@@ -839,6 +883,99 @@ mod tests {
             assert_eq!(resp.status, 200);
         }
         drop(conn);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shed_connections_receive_the_503_even_mid_request_body() {
+        let osn = SimulatedOsn::new(barabasi_albert(200, 3, 5).unwrap());
+        let service = SamplingService::builder(osn).pool_threads(1).build();
+        let config = GatewayConfig {
+            max_connections: 1,
+            ..GatewayConfig::default()
+        };
+        let server = GatewayServer::bind_with(service, "127.0.0.1:0", config).unwrap();
+        let addr = server.local_addr();
+        // Occupy the only slot with a keep-alive connection.
+        let mut held = client::Connection::connect(addr).unwrap();
+        assert_eq!(held.get("/healthz").unwrap().status, 200);
+
+        // The next client is shed — and must read the 503 even though it
+        // is still mid-request-body when the gateway decides.
+        let mut shed = std::net::TcpStream::connect(addr).unwrap();
+        shed.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        shed.write_all(b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 60\r\n\r\n{\"samples\"")
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        shed.write_all(b": 5, \"seed\": 1, \"walkers\": 2, \"budget\": 123456789}")
+            .unwrap();
+        let mut response = String::new();
+        shed.read_to_string(&mut response)
+            .expect("a clean 503, not a connection reset");
+        assert!(
+            response.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "got: {response}"
+        );
+        assert!(response.contains("gateway at capacity"));
+
+        drop(held);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stalled_partial_requests_get_408_by_the_whole_request_deadline() {
+        let osn = SimulatedOsn::new(barabasi_albert(200, 3, 5).unwrap());
+        let service = SamplingService::builder(osn).pool_threads(1).build();
+        let config = GatewayConfig {
+            read_timeout: Duration::from_millis(300),
+            ..GatewayConfig::default()
+        };
+        let server = GatewayServer::bind_with(service, "127.0.0.1:0", config).unwrap();
+        let addr = server.local_addr();
+
+        let mut stalled = std::net::TcpStream::connect(addr).unwrap();
+        stalled
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let started = Instant::now();
+        stalled.write_all(b"GET /healthz HTT").unwrap();
+        // Keep trickling bytes slower than the old per-read timeout would
+        // ever notice: the whole-request deadline must still fire.
+        std::thread::sleep(Duration::from_millis(150));
+        let _ = stalled.write_all(b"P");
+        let mut response = String::new();
+        stalled.read_to_string(&mut response).unwrap();
+        assert!(
+            response.starts_with("HTTP/1.1 408 Request Timeout\r\n"),
+            "got: {response}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "reaped by the request deadline, not per-read timeouts"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_are_answered_in_order() {
+        let server = server();
+        let addr = server.local_addr();
+        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        conn.write_all(
+            b"GET /healthz HTTP/1.1\r\n\r\nGET /v1/metrics HTTP/1.1\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        let first = response.find("HTTP/1.1 200 OK").expect("first response");
+        let second = response[first + 1..]
+            .find("HTTP/1.1 200 OK")
+            .expect("second response");
+        let healthz = response.find("\"status\":\"ok\"").expect("healthz body");
+        let metrics = response.find("jobs_submitted").expect("metrics body");
+        assert!(healthz < metrics, "responses keep request order");
+        assert!(second > 0);
         server.shutdown();
     }
 }

@@ -200,6 +200,14 @@ pub fn status_label(status: &JobStatus) -> &'static str {
     status.label()
 }
 
+/// One stream event as its complete NDJSON line (trailing newline
+/// included) — the unit the readiness loop frames into one chunk.
+pub fn event_line(event: &SampleEvent) -> Vec<u8> {
+    let mut line = event_to_json(event).encode().into_bytes();
+    line.push(b'\n');
+    line
+}
+
 /// One stream event as its NDJSON object.
 pub fn event_to_json(event: &SampleEvent) -> Json {
     match event {

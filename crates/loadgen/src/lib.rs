@@ -15,6 +15,7 @@
 //! | [`driver`] | the open-loop client driver and the server-metrics cross-check |
 //! | [`slo`] | SLO thresholds and verdicts, including the chaos-only max-degraded-rate and zero-job-loss objectives |
 //! | [`report`] | per-scenario reports, `BENCH_service_load.json` and `BENCH_fault_resilience.json` emission |
+//! | [`streams`] | the `gateway_streams` concurrency tiers: one client thread multiplexing thousands of open NDJSON streams (`BENCH_gateway_streams.json`) |
 //!
 //! Two properties carry the weight:
 //!
@@ -51,12 +52,14 @@ pub mod driver;
 pub mod report;
 pub mod scenario;
 pub mod slo;
+pub mod streams;
 pub mod testbed;
 
 pub use arrival::ArrivalProcess;
 pub use report::{LatencySummary, ScenarioReport, ServerSummary};
 pub use scenario::{presets, Scale, Scenario, WorkPlan};
 pub use slo::{Slo, SloReport};
+pub use streams::{run_streams_suite, streams_suite_json, StreamsTierReport};
 pub use testbed::ChaosEvidence;
 
 use std::io;

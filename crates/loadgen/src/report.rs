@@ -52,7 +52,7 @@ impl LatencySummary {
         }
     }
 
-    fn to_json(self) -> Json {
+    pub(crate) fn to_json(self) -> Json {
         Json::obj(vec![
             ("count", Json::UInt(self.count as u64)),
             ("mean", Json::Num(round3(self.mean))),
@@ -111,7 +111,7 @@ pub struct ServerSummary {
 }
 
 impl ServerSummary {
-    fn to_json(self) -> Json {
+    pub(crate) fn to_json(self) -> Json {
         Json::obj(vec![
             ("jobs_submitted", Json::UInt(self.jobs_submitted)),
             ("jobs_completed", Json::UInt(self.jobs_completed)),

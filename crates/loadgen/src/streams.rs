@@ -1,0 +1,729 @@
+//! The `gateway_streams` tiers: thousands of concurrent NDJSON streams
+//! held open against a **two-I/O-thread** gateway.
+//!
+//! The driver in [`crate::driver`] spawns one OS thread per scripted
+//! client, which caps it at a few hundred concurrent streams before the
+//! harness itself becomes the bottleneck. This module scales past that
+//! with the same trick the server uses: **one** client thread multiplexes
+//! every stream over non-blocking sockets, decoding HTTP heads, chunk
+//! framing, and NDJSON lines incrementally from whatever bytes each
+//! socket has ready. The harness therefore costs one thread no matter
+//! the tier, which keeps the gateway — not the load generator — as the
+//! system under test on a small machine.
+//!
+//! A tier runs in three phases:
+//!
+//! 1. **Submit.** Every job is posted over a handful of keep-alive
+//!    connections ([`SUBMIT_CONNECTIONS`]); the testbed's long claim TTL
+//!    (see [`crate::testbed::launch_streams`]) guarantees none of the
+//!    accepted-but-not-yet-claimed jobs get reaped mid-sweep.
+//! 2. **Open.** Every stream's `GET` is connected and written *before
+//!    any stream is drained*, so all of them are concurrently open — the
+//!    tier's concurrency claim holds by construction, not by racing.
+//! 3. **Drain.** The multiplexer loops over the open sockets, reading
+//!    whatever is ready, until every stream has delivered its chunk
+//!    terminator (or the drain deadline expires, which scores as loss).
+//!
+//! Time-to-first-sample is measured per stream from *its* `GET` hitting
+//! the wire to its first `sample` line, so the open sweep itself is part
+//! of the burst the tail quantiles describe.
+//!
+//! Loopback streams are double-billed against the process fd limit (the
+//! client end and the server's accepted end live in the same process),
+//! so tiers are clamped to [`max_open_streams`] and the report records
+//! both the requested and the actually-opened width.
+
+use crate::report::{LatencySummary, ServerSummary};
+use crate::scenario::Scale;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+use wnw_gateway::client::Connection;
+use wnw_gateway::json::{self, Json};
+
+/// I/O threads the streams testbed pins the gateway to — the headline
+/// claim is "thousands of streams on two I/O threads", so the tier
+/// reports carry this number and the bench verdict depends on it.
+pub const IO_THREADS: usize = 2;
+
+/// Keep-alive connections the submit sweep round-robins over.
+pub const SUBMIT_CONNECTIONS: usize = 4;
+
+/// Samples each tier job requests: enough that every stream sees a real
+/// event sequence (samples, progress, done), small enough that the tier
+/// stresses connection concurrency rather than sampling throughput.
+const SAMPLES_PER_JOB: u64 = 4;
+/// Walkers per tier job — two keeps each job's round fan-out trivial.
+const WALKERS_PER_JOB: u64 = 2;
+/// Diameter estimate submitted with every tier job (short burn-in).
+const DIAMETER_ESTIMATE: u64 = 4;
+
+/// Descriptors reserved for everything that is not a stream: stdio, the
+/// listener, submit connections, the metrics scrape, and test-runner
+/// incidentals.
+const FD_SLACK: usize = 128;
+
+/// Connects per burst between pauses, so the server's accept queue gets
+/// a chance to drain instead of dropping SYNs under a 10k sweep.
+const CONNECT_BATCH: usize = 64;
+/// Pause between connect bursts.
+const CONNECT_PAUSE: Duration = Duration::from_micros(500);
+/// Attempts per stream connect before scoring it as a stream error.
+const CONNECT_ATTEMPTS: u32 = 3;
+
+/// Hard ceiling on the drain phase; streams still open at the deadline
+/// score as lost, which fails the tier.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(300);
+/// Sleep when a full multiplexer pass moves no bytes — on a small box
+/// the server's threads need the core more than a spinning client does.
+const IDLE_SLEEP: Duration = Duration::from_millis(1);
+/// Read size per `read` call, and reads per stream per pass.
+const READ_CHUNK: usize = 16 * 1024;
+const READS_PER_PASS: usize = 4;
+
+/// Streams one tier can hold open at once. Each loopback stream costs
+/// **two** descriptors in this process (client end + the server's
+/// accepted end), so the budget is half the soft `RLIMIT_NOFILE` minus
+/// a slack reserve for everything else. Falls back to a conservative
+/// floor when `/proc/self/limits` is unreadable (non-Linux).
+pub fn max_open_streams() -> usize {
+    let soft = std::fs::read_to_string("/proc/self/limits")
+        .ok()
+        .and_then(|text| {
+            text.lines().find_map(|line| {
+                let field = line
+                    .strip_prefix("Max open files")?
+                    .split_whitespace()
+                    .next()?;
+                if field == "unlimited" {
+                    Some(1 << 20)
+                } else {
+                    field.parse::<usize>().ok()
+                }
+            })
+        })
+        .unwrap_or(1_024);
+    (soft.saturating_sub(FD_SLACK) / 2).max(16)
+}
+
+/// Concurrency tiers per scale: the CI smoke tier, and the full ladder
+/// whose 1 000-stream rung is the bench's acceptance bar (10 000 is
+/// clamped by [`max_open_streams`] where the fd limit demands).
+pub fn tiers(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Smoke => vec![100],
+        Scale::Full => vec![100, 1_000, 10_000],
+    }
+}
+
+/// Everything measured about one concurrency tier.
+#[derive(Debug, Clone)]
+pub struct StreamsTierReport {
+    /// Streams the tier asked for.
+    pub requested: usize,
+    /// Jobs the gateway accepted (`202`).
+    pub submitted: usize,
+    /// Submits shed with `503` (a clean tier has none — admission is
+    /// sized to the tier).
+    pub shed: usize,
+    /// Submits that failed any other way.
+    pub submit_errors: usize,
+    /// Streams concurrently open before the drain began — every one of
+    /// these sockets was connected, and its `GET` written, before any
+    /// stream was read.
+    pub opened: usize,
+    /// Streams that delivered their terminator with a `completed` done
+    /// event.
+    pub completed: usize,
+    /// Streams that errored (connect failure, malformed framing, early
+    /// close, drain deadline).
+    pub stream_errors: usize,
+    /// Accepted jobs whose client never saw a `done` event — the count
+    /// the readiness loop must keep at zero.
+    pub lost: usize,
+    /// Sample events delivered across all streams.
+    pub samples: u64,
+    /// All events delivered across all streams.
+    pub events: u64,
+    /// Submit start → last stream drained, seconds.
+    pub wall_clock_s: f64,
+    /// `events / wall_clock_s`.
+    pub events_per_sec: f64,
+    /// Stream-open → first `sample` line, per stream (ms).
+    pub ttfs_ms: LatencySummary,
+    /// Stream-open → chunk terminator, per stream (ms).
+    pub stream_done_ms: LatencySummary,
+    /// Server-side cross-check scraped after the drain.
+    pub server: ServerSummary,
+}
+
+impl StreamsTierReport {
+    /// A clean tier: every opened stream ran to completion, nothing was
+    /// shed, errored, or lost.
+    pub fn clean(&self) -> bool {
+        self.opened > 0
+            && self.shed == 0
+            && self.submit_errors == 0
+            && self.stream_errors == 0
+            && self.lost == 0
+            && self.completed == self.opened
+    }
+
+    /// The tier as its bench JSON row.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("requested", Json::UInt(self.requested as u64)),
+            ("submitted", Json::UInt(self.submitted as u64)),
+            ("shed", Json::UInt(self.shed as u64)),
+            ("submit_errors", Json::UInt(self.submit_errors as u64)),
+            ("opened", Json::UInt(self.opened as u64)),
+            ("completed", Json::UInt(self.completed as u64)),
+            ("stream_errors", Json::UInt(self.stream_errors as u64)),
+            ("lost", Json::UInt(self.lost as u64)),
+            ("samples", Json::UInt(self.samples)),
+            ("events", Json::UInt(self.events)),
+            ("wall_clock_s", Json::Num(round3(self.wall_clock_s))),
+            ("events_per_sec", Json::Num(round3(self.events_per_sec))),
+            ("ttfs_ms", self.ttfs_ms.to_json()),
+            ("stream_done_ms", self.stream_done_ms.to_json()),
+            ("clean", Json::Bool(self.clean())),
+            ("server", self.server.to_json()),
+        ])
+    }
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1_000.0).round() / 1_000.0
+}
+
+/// Runs every tier of `scale`, each against its own fresh two-I/O-thread
+/// testbed.
+pub fn run_streams_suite(scale: Scale) -> io::Result<Vec<StreamsTierReport>> {
+    tiers(scale)
+        .into_iter()
+        .map(|tier| {
+            let server = crate::testbed::launch_streams(tier)?;
+            let report = run_tier(server.local_addr(), tier);
+            server.shutdown();
+            report
+        })
+        .collect()
+}
+
+/// The suite verdict: every tier clean, and — at full scale — at least
+/// one tier held ≥ 1 000 streams concurrently open to completion.
+pub fn suite_pass(scale: Scale, reports: &[StreamsTierReport]) -> bool {
+    let all_clean = reports.iter().all(StreamsTierReport::clean);
+    match scale {
+        Scale::Smoke => all_clean,
+        Scale::Full => all_clean && reports.iter().any(|r| r.opened >= 1_000),
+    }
+}
+
+/// The suite serialised as the `BENCH_gateway_streams.json` document.
+pub fn streams_suite_json(scale: Scale, reports: &[StreamsTierReport]) -> String {
+    let mode = match scale {
+        Scale::Smoke => "smoke",
+        Scale::Full => "full",
+    };
+    Json::obj(vec![
+        ("benchmark", Json::str("gateway_streams")),
+        ("mode", Json::str(mode)),
+        ("io_threads", Json::UInt(IO_THREADS as u64)),
+        ("pass", Json::Bool(suite_pass(scale, reports))),
+        (
+            "tiers",
+            Json::Arr(reports.iter().map(StreamsTierReport::to_json).collect()),
+        ),
+    ])
+    .encode()
+}
+
+/// Runs one tier against the gateway at `addr`: submit sweep, open
+/// sweep, multiplexed drain, server scrape.
+pub fn run_tier(addr: SocketAddr, requested: usize) -> io::Result<StreamsTierReport> {
+    let started = Instant::now();
+    let attempt = requested.min(max_open_streams());
+
+    let submit = submit_jobs(addr, attempt)?;
+    let (mut streams, connect_failures) = open_streams(addr, &submit.paths);
+    let opened = streams.len();
+
+    // Drain: loop over whatever is readable until every stream closed
+    // or the deadline expires. `now` is sampled once per pass —
+    // millisecond-scale latency summaries don't need per-socket clocks.
+    let deadline = Instant::now() + DRAIN_TIMEOUT;
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            for s in streams.iter_mut().filter(|s| s.sock.is_some()) {
+                s.fail("drain deadline expired");
+            }
+            break;
+        }
+        let mut progress = false;
+        let mut open = 0usize;
+        for s in &mut streams {
+            if s.sock.is_some() {
+                open += 1;
+                progress |= s.step(now);
+            }
+        }
+        if open == 0 {
+            break;
+        }
+        if !progress {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+
+    let wall_clock_s = started.elapsed().as_secs_f64();
+    let completed = streams.iter().filter(|s| s.completed()).count();
+    let stream_errors = streams.iter().filter(|s| s.error.is_some()).count() + connect_failures;
+    // Lost = accepted by the gateway, but its client never saw a done
+    // event (connect failures included: their jobs were accepted too).
+    let lost = submit.paths.len() - streams.iter().filter(|s| s.saw_done).count();
+    let events: u64 = streams.iter().map(|s| s.events).sum();
+
+    Ok(StreamsTierReport {
+        requested,
+        submitted: submit.paths.len(),
+        shed: submit.shed,
+        submit_errors: submit.errors,
+        opened,
+        completed,
+        stream_errors,
+        lost,
+        samples: streams.iter().map(|s| s.samples).sum(),
+        events,
+        wall_clock_s,
+        events_per_sec: if wall_clock_s > 0.0 {
+            events as f64 / wall_clock_s
+        } else {
+            0.0
+        },
+        ttfs_ms: LatencySummary::from_ms(streams.iter().filter_map(|s| s.ttfs_ms).collect()),
+        stream_done_ms: LatencySummary::from_ms(streams.iter().filter_map(|s| s.done_ms).collect()),
+        server: crate::driver::scrape_server(addr)?,
+    })
+}
+
+struct SubmitOutcome {
+    paths: Vec<String>,
+    shed: usize,
+    errors: usize,
+}
+
+/// Posts `count` jobs over [`SUBMIT_CONNECTIONS`] keep-alive
+/// connections and collects their stream paths.
+fn submit_jobs(addr: SocketAddr, count: usize) -> io::Result<SubmitOutcome> {
+    let mut conns: Vec<Connection> = (0..SUBMIT_CONNECTIONS)
+        .map(|_| Connection::connect(addr))
+        .collect::<io::Result<_>>()?;
+    let mut outcome = SubmitOutcome {
+        paths: Vec::with_capacity(count),
+        shed: 0,
+        errors: 0,
+    };
+    for i in 0..count {
+        let body = Json::obj(vec![
+            ("samples", Json::UInt(SAMPLES_PER_JOB)),
+            ("seed", Json::UInt(0xC0FF_EE00 + i as u64)),
+            ("walkers", Json::UInt(WALKERS_PER_JOB)),
+            ("diameter_estimate", Json::UInt(DIAMETER_ESTIMATE)),
+        ]);
+        let conn = &mut conns[i % SUBMIT_CONNECTIONS];
+        match conn.post("/v1/jobs", &body) {
+            Ok(response) if response.status == 202 => {
+                match response
+                    .json()
+                    .ok()
+                    .and_then(|doc| doc.get("stream").and_then(Json::as_str).map(String::from))
+                {
+                    Some(path) => outcome.paths.push(path),
+                    None => outcome.errors += 1,
+                }
+            }
+            Ok(response) if response.status == 503 => outcome.shed += 1,
+            Ok(_) => outcome.errors += 1,
+            Err(_) => {
+                outcome.errors += 1;
+                // A broken submit connection takes its successors with it
+                // unless replaced.
+                *conn = Connection::connect(addr)?;
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+/// Connects every stream and writes its `GET` **before returning**, in
+/// paced bursts so the listener's accept queue keeps up. No stream is
+/// read here — when this returns, all of them are concurrently open.
+fn open_streams(addr: SocketAddr, paths: &[String]) -> (Vec<MuxStream>, usize) {
+    let mut streams = Vec::with_capacity(paths.len());
+    let mut failures = 0usize;
+    for (i, path) in paths.iter().enumerate() {
+        match open_one(addr, path) {
+            Ok(stream) => streams.push(stream),
+            Err(_) => failures += 1,
+        }
+        if (i + 1) % CONNECT_BATCH == 0 {
+            std::thread::sleep(CONNECT_PAUSE);
+        }
+    }
+    (streams, failures)
+}
+
+/// Connects one stream socket, writes its request while still blocking
+/// (a sub-200-byte write into an empty send buffer cannot stall), then
+/// flips it non-blocking for the multiplexer.
+fn open_one(addr: SocketAddr, path: &str) -> io::Result<MuxStream> {
+    let mut last = None;
+    for backoff in 0..CONNECT_ATTEMPTS {
+        if backoff > 0 {
+            std::thread::sleep(Duration::from_millis(10 << backoff));
+        }
+        match TcpStream::connect(addr) {
+            Ok(mut sock) => {
+                sock.set_nodelay(true)?;
+                sock.write_all(
+                    format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+                        .as_bytes(),
+                )?;
+                sock.set_nonblocking(true)?;
+                return Ok(MuxStream::new(sock));
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.expect("at least one connect attempt ran"))
+}
+
+/// Decoder position within one stream's response bytes.
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    /// Waiting for the complete response head (`\r\n\r\n`).
+    Head,
+    /// At a chunk-size line.
+    ChunkSize,
+    /// Inside chunk data with this many bytes still due.
+    ChunkData { remaining: usize },
+    /// At the CRLF that closes a chunk's data.
+    ChunkCrlf,
+    /// Past the zero chunk, consuming (empty) trailers.
+    Trailer,
+    /// Terminator seen — the stream completed.
+    Done,
+}
+
+/// One multiplexed stream: its socket, undecoded bytes, decoder state,
+/// and everything observed about it.
+struct MuxStream {
+    /// `None` once closed (completed or failed).
+    sock: Option<TcpStream>,
+    /// Received, not-yet-decoded bytes.
+    buf: Vec<u8>,
+    /// De-chunked bytes not yet consumed as complete NDJSON lines.
+    line_buf: Vec<u8>,
+    phase: Phase,
+    opened_at: Instant,
+    ttfs_ms: Option<f64>,
+    done_ms: Option<f64>,
+    /// A `done` event arrived (any status).
+    saw_done: bool,
+    /// The `done` event's status was `completed`.
+    done_completed: bool,
+    samples: u64,
+    events: u64,
+    error: Option<&'static str>,
+}
+
+impl MuxStream {
+    fn new(sock: TcpStream) -> Self {
+        MuxStream {
+            sock: Some(sock),
+            buf: Vec::new(),
+            line_buf: Vec::new(),
+            phase: Phase::Head,
+            opened_at: Instant::now(),
+            ttfs_ms: None,
+            done_ms: None,
+            saw_done: false,
+            done_completed: false,
+            samples: 0,
+            events: 0,
+            error: None,
+        }
+    }
+
+    /// Ran to a clean end: terminator decoded, `done` said `completed`.
+    fn completed(&self) -> bool {
+        matches!(self.phase, Phase::Done) && self.done_completed && self.error.is_none()
+    }
+
+    /// One multiplexer visit: read what is ready, decode it. Returns
+    /// whether any bytes moved.
+    fn step(&mut self, now: Instant) -> bool {
+        let mut progress = false;
+        let mut eof = false;
+        let mut broken = false;
+        let mut scratch = [0u8; READ_CHUNK];
+        for _ in 0..READS_PER_PASS {
+            let Some(sock) = self.sock.as_mut() else {
+                return progress;
+            };
+            match sock.read(&mut scratch) {
+                Ok(0) => {
+                    // The terminator and the EOF behind it often land in
+                    // one pass — decode what arrived before judging it.
+                    eof = true;
+                    progress = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.buf.extend_from_slice(&scratch[..n]);
+                    progress = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    broken = true;
+                    progress = true;
+                    break;
+                }
+            }
+        }
+        if progress {
+            if let Err(msg) = self.decode(now) {
+                self.fail(msg);
+            } else if matches!(self.phase, Phase::Done) {
+                // Close as soon as the terminator lands — no reason to
+                // hold the descriptors through the rest of the drain.
+                self.sock = None;
+                if self.done_ms.is_none() {
+                    self.done_ms = Some(ms_between(self.opened_at, now));
+                }
+            } else if broken {
+                self.fail("socket read error");
+            } else if eof {
+                self.fail("connection closed before the chunk terminator");
+            }
+        }
+        progress
+    }
+
+    fn fail(&mut self, msg: &'static str) {
+        if self.error.is_none() {
+            self.error = Some(msg);
+        }
+        self.sock = None;
+    }
+
+    /// Decodes as much of `buf` as the current phase allows.
+    fn decode(&mut self, now: Instant) -> Result<(), &'static str> {
+        let mut pos = 0usize;
+        loop {
+            match self.phase {
+                Phase::Head => {
+                    let Some(end) = find(&self.buf[pos..], b"\r\n\r\n") else {
+                        break;
+                    };
+                    {
+                        let head = std::str::from_utf8(&self.buf[pos..pos + end])
+                            .map_err(|_| "non-UTF-8 response head")?;
+                        let mut lines = head.split("\r\n");
+                        let status = lines
+                            .next()
+                            .and_then(|l| l.split(' ').nth(1))
+                            .and_then(|s| s.parse::<u16>().ok())
+                            .ok_or("malformed status line")?;
+                        if status != 200 {
+                            return Err("non-200 response to stream open");
+                        }
+                        if !lines.any(|l| {
+                            let l = l.to_ascii_lowercase();
+                            l.starts_with("transfer-encoding") && l.contains("chunked")
+                        }) {
+                            return Err("stream response is not chunked");
+                        }
+                    }
+                    pos += end + 4;
+                    self.phase = Phase::ChunkSize;
+                }
+                Phase::ChunkSize => {
+                    let Some(eol) = find(&self.buf[pos..], b"\r\n") else {
+                        break;
+                    };
+                    let line = std::str::from_utf8(&self.buf[pos..pos + eol])
+                        .map_err(|_| "non-UTF-8 chunk size line")?;
+                    let size =
+                        usize::from_str_radix(line.split(';').next().unwrap_or("").trim(), 16)
+                            .map_err(|_| "bad chunk size")?;
+                    pos += eol + 2;
+                    self.phase = if size == 0 {
+                        Phase::Trailer
+                    } else {
+                        Phase::ChunkData { remaining: size }
+                    };
+                }
+                Phase::ChunkData { remaining } => {
+                    let avail = self.buf.len() - pos;
+                    if avail == 0 {
+                        break;
+                    }
+                    let take = remaining.min(avail);
+                    self.line_buf.extend_from_slice(&self.buf[pos..pos + take]);
+                    pos += take;
+                    self.phase = if take == remaining {
+                        Phase::ChunkCrlf
+                    } else {
+                        Phase::ChunkData {
+                            remaining: remaining - take,
+                        }
+                    };
+                    self.drain_lines(now)?;
+                }
+                Phase::ChunkCrlf => {
+                    if self.buf.len() - pos < 2 {
+                        break;
+                    }
+                    if &self.buf[pos..pos + 2] != b"\r\n" {
+                        return Err("chunk not CRLF-terminated");
+                    }
+                    pos += 2;
+                    self.phase = Phase::ChunkSize;
+                }
+                Phase::Trailer => {
+                    let Some(eol) = find(&self.buf[pos..], b"\r\n") else {
+                        break;
+                    };
+                    pos += eol + 2;
+                    if eol == 0 {
+                        self.phase = Phase::Done;
+                    }
+                }
+                Phase::Done => break,
+            }
+        }
+        self.buf.drain(..pos);
+        Ok(())
+    }
+
+    /// Classifies every complete NDJSON line sitting in `line_buf`.
+    fn drain_lines(&mut self, now: Instant) -> Result<(), &'static str> {
+        while let Some(nl) = self.line_buf.iter().position(|&b| b == b'\n') {
+            let rest = self.line_buf.split_off(nl + 1);
+            let mut line = std::mem::replace(&mut self.line_buf, rest);
+            line.pop();
+            let text = std::str::from_utf8(&line).map_err(|_| "non-UTF-8 event line")?;
+            let event = json::parse(text).map_err(|_| "malformed NDJSON event")?;
+            self.events += 1;
+            match event.get("event").and_then(Json::as_str) {
+                Some("sample") => {
+                    self.samples += 1;
+                    if self.ttfs_ms.is_none() {
+                        self.ttfs_ms = Some(ms_between(self.opened_at, now));
+                    }
+                }
+                Some("done") => {
+                    self.saw_done = true;
+                    self.done_completed =
+                        event.get("status").and_then(Json::as_str) == Some("completed");
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+fn ms_between(from: Instant, to: Instant) -> f64 {
+    to.saturating_duration_since(from).as_secs_f64() * 1_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small real tier over loopback: every stream opened before the
+    /// drain, every one completed, nothing shed or lost.
+    #[test]
+    fn small_tier_runs_clean_on_the_streams_testbed() {
+        let tier = 32;
+        let server = crate::testbed::launch_streams(tier).expect("streams testbed");
+        let report = run_tier(server.local_addr(), tier).expect("tier run");
+        server.shutdown();
+
+        assert!(
+            report.clean(),
+            "tier must run clean: {:?}",
+            (
+                report.shed,
+                report.submit_errors,
+                report.stream_errors,
+                report.lost,
+                report.completed,
+                report.opened,
+            )
+        );
+        assert_eq!(report.opened, tier);
+        assert_eq!(report.samples, tier as u64 * SAMPLES_PER_JOB);
+        assert_eq!(report.ttfs_ms.count, tier);
+        assert_eq!(report.server.jobs_completed, tier as u64);
+        assert_eq!(report.server.jobs_cancelled, 0);
+    }
+
+    #[test]
+    fn fd_budget_is_sane_and_suite_json_carries_the_verdict() {
+        assert!(max_open_streams() >= 16);
+        let report = StreamsTierReport {
+            requested: 1_000,
+            submitted: 1_000,
+            shed: 0,
+            submit_errors: 0,
+            opened: 1_000,
+            completed: 1_000,
+            stream_errors: 0,
+            lost: 0,
+            samples: 4_000,
+            events: 6_000,
+            wall_clock_s: 2.0,
+            events_per_sec: 3_000.0,
+            ttfs_ms: LatencySummary::from_ms(vec![1.0, 2.0, 3.0]),
+            stream_done_ms: LatencySummary::from_ms(vec![2.0, 3.0, 4.0]),
+            server: ServerSummary::default(),
+        };
+        assert!(report.clean());
+        assert!(suite_pass(Scale::Full, std::slice::from_ref(&report)));
+
+        let doc = json::parse(&streams_suite_json(
+            Scale::Full,
+            std::slice::from_ref(&report),
+        ))
+        .unwrap();
+        assert_eq!(
+            doc.get("benchmark").unwrap().as_str(),
+            Some("gateway_streams")
+        );
+        assert_eq!(doc.get("io_threads").unwrap().as_u64(), Some(2));
+        assert_eq!(doc.get("pass").unwrap().as_bool(), Some(true));
+
+        // Full scale demands a ≥ 1 000-stream tier; a clean small tier
+        // alone is not enough.
+        let small = StreamsTierReport {
+            requested: 100,
+            submitted: 100,
+            opened: 100,
+            completed: 100,
+            ..report
+        };
+        assert!(small.clean());
+        assert!(!suite_pass(Scale::Full, std::slice::from_ref(&small)));
+        assert!(suite_pass(Scale::Smoke, std::slice::from_ref(&small)));
+    }
+}

@@ -72,11 +72,41 @@ pub fn testbed_catalog(nodes: usize) -> wnw_catalog::Result<CsrGraph> {
     spec.load_or_build().map(|(graph, _)| graph)
 }
 
+/// Nodes in the streams-tier testbed graph: the tiers stress connection
+/// concurrency, not sampling, so the graph stays small.
+const STREAMS_NODES: usize = 2_000;
+
+/// Launches the [`crate::streams`] tier testbed: the readiness loop held
+/// to exactly [`crate::streams::IO_THREADS`] I/O threads (the headline
+/// claim under test), admission wide open so a tier of `concurrent`
+/// streams sheds nothing, and a claim TTL long enough that the harness's
+/// submit-everything-then-open-everything sweep cannot get its unclaimed
+/// jobs reaped mid-tier.
+pub fn launch_streams(concurrent: usize) -> io::Result<GatewayServer<SimulatedOsn>> {
+    let graph = barabasi_albert(STREAMS_NODES, BA_EDGES_PER_NODE, GRAPH_SEED)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("testbed graph: {e}")))?;
+    let service = SamplingService::builder(SimulatedOsn::new(graph))
+        .pool_threads(2)
+        .max_in_flight(concurrent.max(256))
+        .build();
+    let config = GatewayConfig {
+        io_threads: crate::streams::IO_THREADS,
+        workers: 4,
+        // Headroom above the tier for the submit connections and the
+        // post-drain metrics scrape.
+        max_connections: concurrent + 64,
+        claim_ttl: Duration::from_secs(600),
+        ..GatewayConfig::default()
+    };
+    GatewayServer::bind_with(service, "127.0.0.1:0", config)
+}
+
 fn testbed_gateway_config() -> GatewayConfig {
     GatewayConfig {
-        // Each streaming client holds a worker for its job's life; the
-        // presets offer tens of concurrent streams at burst peaks.
-        workers: 24,
+        // Streams ride the readiness loop, not threads; the task pool
+        // only absorbs the blocking route handlers (submit, metrics),
+        // so it stays narrow even at burst peaks.
+        workers: 8,
         backlog: 64,
         // Short claim TTL: a job whose stream-open was shed should release
         // its admission slot quickly instead of squatting for the default

@@ -109,6 +109,7 @@ pub use request::{AdmissionError, JobId, Priority, SampleRequest};
 pub use service::{SamplingService, ServiceBuilder, ServiceConfig};
 pub use stream::{
     JobHandle, JobOutcome, JobStatus, JobTicket, ProgressUpdate, SampleEvent, SampleStream,
+    StreamPoll,
 };
 // The persistent worker pool the scheduler runs rounds on; re-exported so
 // frontends can name its stats type without depending on `wnw-runtime`.

@@ -24,7 +24,7 @@
 //! or drop the stream to cancel.
 
 use crate::request::JobId;
-use std::sync::mpsc::Receiver;
+use std::sync::mpsc::{Receiver, TryRecvError};
 use std::time::Duration;
 use wnw_access::counter::QueryStats;
 use wnw_access::AccessError;
@@ -143,10 +143,32 @@ pub struct JobOutcome {
     pub finish_index: u64,
 }
 
+/// What one non-blocking [`SampleStream::poll_next`] call observed.
+///
+/// The non-blocking twin of the stream's `Iterator` protocol, for
+/// consumers that multiplex many streams on one thread (the gateway's
+/// readiness loop): `Event` and `Finished` mean exactly what `Some` and
+/// `None` mean to the iterator, and `Empty` is the third state blocking
+/// iteration never surfaces — nothing buffered *right now*, poll again
+/// later.
+#[derive(Debug)]
+pub enum StreamPoll {
+    /// The next buffered event (after [`SampleEvent::Done`] the stream is
+    /// finished).
+    Event(SampleEvent),
+    /// Nothing buffered right now; the job is still producing.
+    Empty,
+    /// No further events will ever arrive: the `Done` event was already
+    /// delivered, or the service was torn down without sending one.
+    Finished,
+}
+
 /// Blocking iterator over a job's [`SampleEvent`]s.
 ///
 /// Iteration ends after the [`Done`](SampleEvent::Done) event (or
 /// immediately, if the service was torn down without delivering one).
+/// Consumers that cannot afford to block — one thread serving many
+/// streams — use [`poll_next`](Self::poll_next) instead.
 #[derive(Debug)]
 pub struct SampleStream {
     rx: Receiver<SampleEvent>,
@@ -158,6 +180,30 @@ impl SampleStream {
         SampleStream {
             rx,
             finished: false,
+        }
+    }
+
+    /// Non-blocking pull of the next buffered event. Never waits: returns
+    /// [`StreamPoll::Empty`] when the scheduler has not landed anything
+    /// new yet, and [`StreamPoll::Finished`] once the stream is over
+    /// (after `Done`, or after a service teardown). Mixing `poll_next`
+    /// and blocking iteration is fine — both advance the same stream.
+    pub fn poll_next(&mut self) -> StreamPoll {
+        if self.finished {
+            return StreamPoll::Finished;
+        }
+        match self.rx.try_recv() {
+            Ok(event) => {
+                if matches!(event, SampleEvent::Done(_)) {
+                    self.finished = true;
+                }
+                StreamPoll::Event(event)
+            }
+            Err(TryRecvError::Empty) => StreamPoll::Empty,
+            Err(TryRecvError::Disconnected) => {
+                self.finished = true;
+                StreamPoll::Finished
+            }
         }
     }
 
@@ -290,6 +336,53 @@ mod tests {
         assert!(matches!(stream.next(), Some(SampleEvent::Done(o)) if o.id == JobId(1)));
         assert!(stream.next().is_none());
         assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn poll_next_never_blocks_and_tracks_the_stream_protocol() {
+        let (tx, rx) = channel();
+        let mut stream = SampleStream::new(rx);
+        // Nothing buffered: Empty, not a block or an end.
+        assert!(matches!(stream.poll_next(), StreamPoll::Empty));
+        tx.send(SampleEvent::Done(outcome(3))).unwrap();
+        assert!(matches!(
+            stream.poll_next(),
+            StreamPoll::Event(SampleEvent::Done(o)) if o.id == JobId(3)
+        ));
+        // After Done the stream is finished even though the sender lives.
+        assert!(matches!(stream.poll_next(), StreamPoll::Finished));
+
+        // Disconnect without Done also finishes.
+        let (tx, rx) = channel::<SampleEvent>();
+        let mut stream = SampleStream::new(rx);
+        drop(tx);
+        assert!(matches!(stream.poll_next(), StreamPoll::Finished));
+        assert!(matches!(stream.poll_next(), StreamPoll::Finished));
+    }
+
+    #[test]
+    fn poll_next_interleaves_with_blocking_iteration() {
+        let (tx, rx) = channel();
+        tx.send(SampleEvent::Progress(ProgressUpdate {
+            rounds: 1,
+            samples: 0,
+            requested: 4,
+            live_walkers: 1,
+            budget_consumed: 0,
+            query_cost: 0,
+            pool: Default::default(),
+        }))
+        .unwrap();
+        tx.send(SampleEvent::Done(outcome(9))).unwrap();
+        let mut stream = SampleStream::new(rx);
+        assert!(matches!(
+            stream.poll_next(),
+            StreamPoll::Event(SampleEvent::Progress(_))
+        ));
+        // The blocking iterator picks up exactly where the poll left off.
+        assert!(matches!(stream.next(), Some(SampleEvent::Done(_))));
+        assert!(stream.next().is_none());
+        assert!(matches!(stream.poll_next(), StreamPoll::Finished));
     }
 
     #[test]

@@ -520,3 +520,36 @@ fn write_timeout_cancels_and_refunds_a_wedged_reader() {
     assert_eq!(snapshot.jobs_completed, 1);
     assert_eq!(snapshot.budget_refunded, refunded);
 }
+
+/// The readiness loop's headline claim at integration scale: one
+/// thousand NDJSON streams, every socket connected and its `GET` written
+/// before any stream is drained, all served to completion on two I/O
+/// threads with zero job loss. The multiplexed single-thread client in
+/// `wnw_loadgen::streams` keeps the harness side at one thread, so the
+/// gateway — not the test — carries the concurrency.
+#[test]
+fn a_thousand_concurrent_streams_complete_on_two_io_threads() {
+    use walk_not_wait::loadgen::streams;
+
+    // Loopback double-bills the fd limit (both ends live here), so clamp
+    // on constrained runners rather than fail the build.
+    let tier = 1_000.min(streams::max_open_streams());
+    let server = walk_not_wait::loadgen::testbed::launch_streams(tier).expect("streams testbed");
+    let report = streams::run_tier(server.local_addr(), tier).expect("streams tier");
+    let snapshot = server.shutdown();
+
+    assert_eq!(report.opened, tier, "every stream must open concurrently");
+    assert!(
+        report.clean(),
+        "tier must run clean: shed {} submit_errors {} stream_errors {} lost {} completed {}/{}",
+        report.shed,
+        report.submit_errors,
+        report.stream_errors,
+        report.lost,
+        report.completed,
+        report.opened,
+    );
+    assert_eq!(report.ttfs_ms.count, tier, "every stream saw a sample");
+    assert_eq!(snapshot.jobs_completed, tier as u64);
+    assert_eq!(snapshot.jobs_cancelled, 0, "zero job loss, zero hangups");
+}
